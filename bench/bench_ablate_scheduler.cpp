@@ -1,0 +1,81 @@
+// Extension bench (paper Future Work #1): what if the cluster scheduler
+// were PS-aware? We place 21 jobs with a role-agnostic least-loaded
+// scheduler (PS colocation emerges, Section II) and with a PS-aware one
+// (bursts spread), then run FIFO and TLs-RR on both placements. The paper
+// argues end-host scheduling is complementary to placement; this bench
+// quantifies that: PS-aware placement removes most contention up front,
+// TensorLights removes the rest without touching the scheduler.
+#include "common.hpp"
+
+#include "cluster/launcher.hpp"
+#include "cluster/scheduler.hpp"
+#include "simcore/simulator.hpp"
+#include "tc/tc.hpp"
+#include "tensorlights/controller.hpp"
+
+namespace {
+
+using namespace tls;
+
+double run_jct(cluster::SchedulerPolicy sched_policy,
+               core::PolicyKind net_policy, int* max_colocation) {
+  sim::Simulator simulator(bench::bench_seed());
+  net::FabricConfig fc;
+  fc.num_hosts = 21;
+  net::Fabric fabric(simulator, fc);
+  tc::TrafficControl control(fabric);
+  core::ControllerConfig cc;
+  cc.policy = net_policy;
+  cc.rotation_interval = 10 * sim::kSecond;
+  core::Controller controller(simulator, control, cc);
+  cluster::Launcher launcher(simulator, fabric);
+  launcher.add_listener(&controller);
+
+  workload::GridSearchConfig w;
+  w.global_step_target = 20L * bench::bench_iters();
+  auto specs = workload::grid_search_jobs(w);
+
+  cluster::OnlineScheduler scheduler(21, sched_policy);
+  std::vector<dl::JobPlacement> placements;
+  for (const auto& spec : specs) placements.push_back(scheduler.place(spec));
+  if (max_colocation != nullptr) {
+    *max_colocation = scheduler.max_ps_colocation();
+  }
+
+  launcher.launch_all(std::move(specs), std::move(placements), {});
+  while (!launcher.all_finished() && !simulator.idle() &&
+         simulator.now() < 48L * 3600 * sim::kSecond) {
+    simulator.run(simulator.now() + sim::kSecond);
+  }
+  double total = 0;
+  for (const auto& job : launcher.jobs()) total += sim::to_seconds(job->jct());
+  return total / static_cast<double>(launcher.jobs().size());
+}
+
+}  // namespace
+
+int main() {
+  bench::print_header(
+      "Extension - PS-aware cluster scheduling vs TensorLights",
+      "Future Work Section VII: spread PS tasks at placement time; "
+      "complementary to end-host scheduling");
+
+  metrics::Table table({"scheduler", "max PS colocation", "network policy",
+                        "avg JCT (s)"});
+  for (auto sched : {cluster::SchedulerPolicy::kPsAgnostic,
+                     cluster::SchedulerPolicy::kPsAware}) {
+    for (auto net : {core::PolicyKind::kFifo, core::PolicyKind::kTlsRR}) {
+      int coloc = 0;
+      double jct = run_jct(sched, net, &coloc);
+      table.add_row({cluster::to_string(sched), std::to_string(coloc),
+                     core::to_string(net), metrics::fmt(jct)});
+    }
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Reading: the agnostic scheduler recreates the colocated regime and\n"
+      "TensorLights recovers most of the loss; the PS-aware scheduler\n"
+      "avoids the contention up front, and TensorLights remains a no-op\n"
+      "safety net on top (work-conserving).\n");
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Extension bench (paper Future Work #2): centralized transmission
+// coordination vs end-host priorities. A zero-RTT coordinator is the
+// oracle schedule (bursts perfectly serialized per host); realistic
+// coordination round trips erode it, while TensorLights needs no
+// coordination at all — the trade-off Section VII describes.
+#include "common.hpp"
+
+int main() {
+  using namespace tls;
+  bench::print_header(
+      "Extension - centralized burst coordination vs TensorLights "
+      "(placement #1)",
+      "coordination can match priority scheduling but 'incurs non-trivial "
+      "coordination overhead'");
+
+  exp::ExperimentConfig base = bench::paper_config();
+  exp::ExperimentResult fifo =
+      exp::run_experiment(exp::with_policy(base, core::PolicyKind::kFifo));
+  exp::ExperimentResult tls =
+      exp::run_experiment(exp::with_policy(base, core::PolicyKind::kTlsRR));
+
+  metrics::Table table({"scheme", "coordination RTT", "avg JCT (s)",
+                        "norm vs FIFO", "grants", "burst queue wait (s)"});
+  table.add_row({"FIFO", "-", metrics::fmt(fifo.avg_jct_s), "1.000", "-", "-"});
+  table.add_row({"TLs-RR (local only)", "-", metrics::fmt(tls.avg_jct_s),
+                 metrics::fmt(exp::avg_normalized_jct(tls, fifo), 3), "-",
+                 "-"});
+  for (double rtt_ms : {0.0, 1.0, 5.0, 20.0}) {
+    exp::ExperimentConfig c = exp::with_policy(base, core::PolicyKind::kFifo);
+    c.coordinated_transport = true;
+    c.coordinator_config.coordination_rtt = sim::from_millis(rtt_ms);
+    exp::ExperimentResult r = exp::run_experiment(c);
+    table.add_row({"coordinator", metrics::fmt(rtt_ms, 0) + " ms",
+                   metrics::fmt(r.avg_jct_s),
+                   metrics::fmt(exp::avg_normalized_jct(r, fifo), 3),
+                   std::to_string(r.coordinator_grants),
+                   metrics::fmt(r.coordinator_wait_s, 1)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf(
+      "Reading: at RTT 0 the coordinator is the oracle; as the RTT grows\n"
+      "each of the ~%ld bursts per job pays for two coordinator trips and\n"
+      "the oracle loses to the coordination-free TensorLights.\n",
+      bench::bench_iters());
+  return 0;
+}

@@ -1,0 +1,42 @@
+// Figure 2: Job completion time of 21 concurrent DL jobs under the eight
+// PS placements of Table I, FIFO scheduling. The paper's headline: the
+// average-JCT gap between the best and worst placement reaches ~75%.
+#include <algorithm>
+
+#include "common.hpp"
+
+int main() {
+  using namespace tls;
+  bench::print_header(
+      "Figure 2 - JCT of concurrent DL jobs under placements #1-#8 (FIFO)",
+      "performance gap between best and worst placement up to 75%");
+
+  metrics::Table placements({"index", "PS placement"});
+  for (const auto& p : cluster::table1_all(21)) {
+    placements.add_row({"#" + std::to_string(p.index), p.name});
+  }
+  std::printf("Table I - placements under test:\n%s\n", placements.str().c_str());
+
+  metrics::Table table({"placement", "avg JCT (s)", "min", "max", "stddev"});
+  std::vector<double> averages;
+  for (int index = 1; index <= 8; ++index) {
+    exp::ExperimentConfig c = bench::paper_config();
+    c.placement = cluster::table1(index, 21);
+    c.controller.policy = core::PolicyKind::kFifo;
+    exp::ExperimentResult r = exp::run_experiment(c);
+    std::vector<double> jcts;
+    for (const auto& j : r.jobs) jcts.push_back(j.jct_s);
+    metrics::Summary s = metrics::summarize(jcts);
+    table.add_row({"#" + std::to_string(index), metrics::fmt(s.mean),
+                   metrics::fmt(s.min), metrics::fmt(s.max),
+                   metrics::fmt(s.stddev)});
+    averages.push_back(s.mean);
+  }
+  std::printf("%s\n", table.str().c_str());
+  double best = *std::min_element(averages.begin(), averages.end());
+  double worst = *std::max_element(averages.begin(), averages.end());
+  double gap = (worst - best) / best;
+  std::printf("Performance gap (worst-best)/best: %s   [paper: up to 75%%]\n",
+              metrics::fmt_percent(gap).c_str());
+  return 0;
+}

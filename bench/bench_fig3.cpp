@@ -1,0 +1,54 @@
+// Figure 3: distribution of per-barrier mean (a) and variance (b) of the
+// barrier wait time among workers of the same job, under placement #1
+// (heavy contention) vs #8 (mild contention), FIFO scheduling.
+// Paper: #1's average wait is 3.71x of #8's; its variance is 4.37x.
+#include "common.hpp"
+
+int main() {
+  using namespace tls;
+  bench::print_header(
+      "Figure 3 - barrier wait time distribution, placement #1 vs #8 (FIFO)",
+      "placement #1 mean wait 3.71x of #8; variance 4.37x of #8");
+
+  exp::ExperimentResult results[2];
+  int indexes[2] = {1, 8};
+  for (int i = 0; i < 2; ++i) {
+    exp::ExperimentConfig c = bench::paper_config();
+    c.placement = cluster::table1(indexes[i], 21);
+    c.controller.policy = core::PolicyKind::kFifo;
+    results[i] = exp::run_experiment(c);
+  }
+
+  auto pooled = [](const exp::ExperimentResult& r, bool variance) {
+    std::vector<double> out;
+    for (const auto& j : r.jobs) {
+      const auto& src = variance ? j.barrier_variances_s2 : j.barrier_mean_waits_s;
+      out.insert(out.end(), src.begin(), src.end());
+    }
+    return out;
+  };
+
+  metrics::Table mean_table({"placement", "p10", "p25", "p50", "p75", "p90",
+                             "mean", "unit"});
+  bench::print_cdf_rows(mean_table, "#1", pooled(results[0], false), 1e3, "ms");
+  bench::print_cdf_rows(mean_table, "#8", pooled(results[1], false), 1e3, "ms");
+  std::printf("(a) average barrier wait per barrier:\n%s\n",
+              mean_table.str().c_str());
+
+  metrics::Table var_table({"placement", "p10", "p25", "p50", "p75", "p90",
+                            "mean", "unit"});
+  bench::print_cdf_rows(var_table, "#1", pooled(results[0], true), 1e6, "ms^2");
+  bench::print_cdf_rows(var_table, "#8", pooled(results[1], true), 1e6, "ms^2");
+  std::printf("(b) variance of barrier wait per barrier:\n%s\n",
+              var_table.str().c_str());
+
+  double mean_ratio = metrics::Cdf(pooled(results[0], false)).mean() /
+                      metrics::Cdf(pooled(results[1], false)).mean();
+  double var_ratio = metrics::Cdf(pooled(results[0], true)).mean() /
+                     metrics::Cdf(pooled(results[1], true)).mean();
+  std::printf("mean-wait ratio #1/#8:  %s   [paper: 3.71x]\n",
+              metrics::fmt_ratio(mean_ratio).c_str());
+  std::printf("variance ratio #1/#8:   %s   [paper: 4.37x]\n",
+              metrics::fmt_ratio(var_ratio).c_str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Figure 5a: normalized JCT (relative to FIFO, same job) under TLs-One and
+// TLs-RR for every Table I placement, local batch size 4.
+// Paper: TLs-One up to -27%, TLs-RR up to -16% at placement #1; all
+// policies comparable (~1.0) for placements #4 and above.
+#include <algorithm>
+
+#include "common.hpp"
+
+int main() {
+  using namespace tls;
+  bench::print_header(
+      "Figure 5a - normalized JCT vs placement (batch 4)",
+      "TLs-One up to -27%, TLs-RR up to -16%; ~1.0 for placements #4+");
+
+  metrics::Table table({"placement", "TLs-One avg norm", "TLs-One min..max",
+                        "TLs-RR avg norm", "TLs-RR min..max"});
+  double best_one = 1.0, best_rr = 1.0;
+  for (int index = 1; index <= 8; ++index) {
+    exp::ExperimentConfig c = bench::paper_config();
+    c.placement = cluster::table1(index, 21);
+    exp::ExperimentResult fifo =
+        exp::run_experiment(exp::with_policy(c, core::PolicyKind::kFifo));
+    exp::ExperimentResult one =
+        exp::run_experiment(exp::with_policy(c, core::PolicyKind::kTlsOne));
+    exp::ExperimentResult rr =
+        exp::run_experiment(exp::with_policy(c, core::PolicyKind::kTlsRR));
+    auto norms_one = exp::normalized_jcts(one, fifo);
+    auto norms_rr = exp::normalized_jcts(rr, fifo);
+    auto span = [](const std::vector<double>& v) {
+      return metrics::fmt(*std::min_element(v.begin(), v.end()), 2) + ".." +
+             metrics::fmt(*std::max_element(v.begin(), v.end()), 2);
+    };
+    double avg_one = exp::avg_normalized_jct(one, fifo);
+    double avg_rr = exp::avg_normalized_jct(rr, fifo);
+    best_one = std::min(best_one, avg_one);
+    best_rr = std::min(best_rr, avg_rr);
+    table.add_row({"#" + std::to_string(index), metrics::fmt(avg_one, 3),
+                   span(norms_one), metrics::fmt(avg_rr, 3), span(norms_rr)});
+  }
+  std::printf("%s\n", table.str().c_str());
+  std::printf("best TLs-One improvement: %s   [paper: up to 27%%]\n",
+              metrics::fmt_percent(1.0 - best_one).c_str());
+  std::printf("best TLs-RR  improvement: %s   [paper: up to 16%%]\n",
+              metrics::fmt_percent(1.0 - best_rr).c_str());
+  return 0;
+}

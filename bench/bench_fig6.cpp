@@ -1,0 +1,64 @@
+// Figure 6: distribution of barrier wait time under FIFO, TLs-One, and
+// TLs-RR at placement #1. Paper: the *variance* of the barrier wait (the
+// straggler signal) drops by 26% (mean) / 40% (median) under TLs-One and
+// by 15% / 30% under TLs-RR, while the average waits stay in the same
+// range (high-priority jobs wait less, low-priority jobs wait more).
+#include "common.hpp"
+
+int main() {
+  using namespace tls;
+  bench::print_header(
+      "Figure 6 - barrier wait distributions by policy (placement #1)",
+      "TLs-One cuts wait variance by 26% (mean) / 40% (median); "
+      "TLs-RR by 15% / 30%");
+
+  exp::ExperimentConfig c = bench::paper_config();
+  exp::ExperimentResult results[3];
+  core::PolicyKind policies[3] = {core::PolicyKind::kFifo,
+                                  core::PolicyKind::kTlsOne,
+                                  core::PolicyKind::kTlsRR};
+  for (int i = 0; i < 3; ++i) {
+    results[i] = exp::run_experiment(exp::with_policy(c, policies[i]));
+  }
+
+  auto pooled = [](const exp::ExperimentResult& r, bool variance) {
+    std::vector<double> out;
+    for (const auto& j : r.jobs) {
+      const auto& src = variance ? j.barrier_variances_s2 : j.barrier_mean_waits_s;
+      out.insert(out.end(), src.begin(), src.end());
+    }
+    return out;
+  };
+
+  metrics::Table mean_table({"policy", "p10", "p25", "p50", "p75", "p90",
+                             "mean", "unit"});
+  for (int i = 0; i < 3; ++i) {
+    bench::print_cdf_rows(mean_table, results[i].policy_name,
+                          pooled(results[i], false), 1e3, "ms");
+  }
+  std::printf("(a) average barrier wait per barrier:\n%s\n",
+              mean_table.str().c_str());
+
+  metrics::Table var_table({"policy", "p10", "p25", "p50", "p75", "p90",
+                            "mean", "unit"});
+  for (int i = 0; i < 3; ++i) {
+    bench::print_cdf_rows(var_table, results[i].policy_name,
+                          pooled(results[i], true), 1e6, "ms^2");
+  }
+  std::printf("(b) variance of barrier wait per barrier:\n%s\n",
+              var_table.str().c_str());
+
+  metrics::Cdf fifo_var(pooled(results[0], true));
+  for (int i = 1; i < 3; ++i) {
+    metrics::Cdf v(pooled(results[i], true));
+    double mean_red = 1.0 - v.mean() / fifo_var.mean();
+    double med_red = 1.0 - v.value_at(0.5) / fifo_var.value_at(0.5);
+    std::printf("%s variance reduction vs FIFO: mean %s, median %s   "
+                "[paper: %s]\n",
+                results[i].policy_name.c_str(),
+                metrics::fmt_percent(mean_red).c_str(),
+                metrics::fmt_percent(med_red).c_str(),
+                i == 1 ? "26% / 40%" : "15% / 30%");
+  }
+  return 0;
+}

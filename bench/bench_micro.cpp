@@ -1,0 +1,143 @@
+// Micro-benchmarks (google-benchmark) for the simulator's hot paths: the
+// event queue, the qdisc schedulers, classification, tc parsing, and
+// whole-fabric throughput. These bound how large an experiment the
+// simulator can sustain per wall-clock second.
+#include <benchmark/benchmark.h>
+
+#include "net/fabric.hpp"
+#include "net/htb_qdisc.hpp"
+#include "net/pfifo_qdisc.hpp"
+#include "net/prio_qdisc.hpp"
+#include "simcore/event_queue.hpp"
+#include "simcore/rng.hpp"
+#include "tc/parser.hpp"
+
+namespace {
+
+using namespace tls;
+
+void BM_EventQueueScheduleAndPop(benchmark::State& state) {
+  sim::EventQueue q;
+  sim::Time t = 0;
+  for (auto _ : state) {
+    for (int i = 0; i < 64; ++i) q.schedule(t + (i * 37) % 1000, [] {});
+    while (!q.empty()) q.pop();
+    t += 1000;
+  }
+  state.SetItemsProcessed(state.iterations() * 64);
+}
+BENCHMARK(BM_EventQueueScheduleAndPop);
+
+void BM_RngLognormal(benchmark::State& state) {
+  sim::Rng rng(1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(rng.lognormal_median(1.0, 0.3));
+  }
+}
+BENCHMARK(BM_RngLognormal);
+
+net::Chunk chunk_for(net::FlowId f, net::BandId band) {
+  net::Chunk c;
+  c.flow = f;
+  c.size = 128 * net::kKiB;
+  c.band = band;
+  return c;
+}
+
+void BM_PfifoEnqueueDequeue(benchmark::State& state) {
+  net::PfifoQdisc q;
+  for (auto _ : state) {
+    for (net::FlowId f = 0; f < 32; ++f) q.enqueue(chunk_for(f, 0));
+    while (!q.empty()) benchmark::DoNotOptimize(q.dequeue(0));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_PfifoEnqueueDequeue);
+
+void BM_PrioEnqueueDequeue(benchmark::State& state) {
+  net::PrioQdisc q(6);
+  for (auto _ : state) {
+    for (net::FlowId f = 0; f < 32; ++f) {
+      q.enqueue(chunk_for(f, static_cast<net::BandId>(f % 6)));
+    }
+    while (!q.empty()) benchmark::DoNotOptimize(q.dequeue(0));
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_PrioEnqueueDequeue);
+
+void BM_HtbEnqueueDequeue(benchmark::State& state) {
+  net::HtbQdisc q(net::gbps(10), 0x3F);
+  for (std::uint32_t minor = 1; minor <= 6; ++minor) {
+    net::HtbClassConfig cfg;
+    cfg.minor = minor;
+    cfg.rate = net::mbps(1);
+    cfg.ceil = net::gbps(10);
+    cfg.prio = static_cast<int>(minor - 1);
+    q.add_class(cfg);
+  }
+  sim::Time now = 0;
+  for (auto _ : state) {
+    for (net::FlowId f = 0; f < 32; ++f) {
+      q.enqueue(chunk_for(f, static_cast<net::BandId>(1 + f % 6)));
+    }
+    while (!q.empty()) {
+      net::DequeueResult r = q.dequeue(now);
+      if (r.kind == net::DequeueResult::Kind::kWaitUntil) {
+        now = r.retry_at;
+      } else {
+        now += 105 * sim::kMicrosecond;
+      }
+    }
+  }
+  state.SetItemsProcessed(state.iterations() * 32);
+}
+BENCHMARK(BM_HtbEnqueueDequeue);
+
+void BM_ClassifierLookup(benchmark::State& state) {
+  net::Classifier c;
+  for (int i = 0; i < 21; ++i) {
+    c.upsert({.pref = 1000 + i,
+              .src_port = static_cast<std::uint16_t>(5000 + 64 * i),
+              .target_band = i % 6});
+  }
+  net::FlowSpec spec;
+  spec.src_port = 5000 + 64 * 20;  // worst case: last rule
+  for (auto _ : state) benchmark::DoNotOptimize(c.classify(spec));
+}
+BENCHMARK(BM_ClassifierLookup);
+
+void BM_TcParseFilter(benchmark::State& state) {
+  const std::string cmd =
+      "tc filter add dev host0 parent 1: pref 1007 u32 match ip sport 5064 "
+      "0xffff flowid 1:3";
+  for (auto _ : state) benchmark::DoNotOptimize(tc::parse_command(cmd));
+}
+BENCHMARK(BM_TcParseFilter);
+
+void BM_FabricBroadcastRound(benchmark::State& state) {
+  // One full PS fan-out burst: 20 flows of 1.87 MB through one egress.
+  for (auto _ : state) {
+    state.PauseTiming();
+    sim::Simulator simulator(1);
+    net::FabricConfig fc;
+    fc.num_hosts = 21;
+    net::Fabric fabric(simulator, fc);
+    state.ResumeTiming();
+    int remaining = 20;
+    for (int w = 0; w < 20; ++w) {
+      net::FlowSpec f;
+      f.src = 0;
+      f.dst = 1 + w;
+      f.bytes = 1'868'776;
+      fabric.start_flow(f, [&remaining](const net::FlowRecord&) { --remaining; });
+    }
+    simulator.run();
+    if (remaining != 0) state.SkipWithError("flows did not complete");
+  }
+}
+BENCHMARK(BM_FabricBroadcastRound);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,58 @@
+// Table II: normalized CPU and NIC utilization over the active window
+// under placement #1 — the vmstat/ifstat measurement of the paper.
+// Paper: TLs-One / TLs-RR vs FIFO:
+//   CPU on the PS host      1.04x / 1.03x
+//   CPU on worker hosts     1.13x / 1.12x
+//   NIC inbound (all hosts) 1.20x / 1.21x
+//   NIC outbound            1.20x / 1.21x
+#include "common.hpp"
+
+int main() {
+  using namespace tls;
+  bench::print_header(
+      "Table II - normalized utilization over the active window "
+      "(placement #1)",
+      "TLs-One: CPU PS 1.04x, worker 1.13x, NIC in/out 1.20x "
+      "(TLs-RR similar)");
+
+  exp::ExperimentConfig c = bench::paper_config();
+  exp::ExperimentResult fifo =
+      exp::run_experiment(exp::with_policy(c, core::PolicyKind::kFifo));
+  exp::ExperimentResult one =
+      exp::run_experiment(exp::with_policy(c, core::PolicyKind::kTlsOne));
+  exp::ExperimentResult rr =
+      exp::run_experiment(exp::with_policy(c, core::PolicyKind::kTlsRR));
+
+  auto ratio = [](double v, double base) { return base > 0 ? v / base : 0.0; };
+
+  metrics::Table table({"resource", "host type", "TLs-One", "TLs-RR",
+                        "paper TLs-One", "paper TLs-RR"});
+  table.add_row({"CPU", "PS",
+                 metrics::fmt_ratio(ratio(one.cpu_util_ps_hosts, fifo.cpu_util_ps_hosts)),
+                 metrics::fmt_ratio(ratio(rr.cpu_util_ps_hosts, fifo.cpu_util_ps_hosts)),
+                 "1.04x", "1.03x"});
+  table.add_row({"CPU", "Worker",
+                 metrics::fmt_ratio(ratio(one.cpu_util_worker_hosts, fifo.cpu_util_worker_hosts)),
+                 metrics::fmt_ratio(ratio(rr.cpu_util_worker_hosts, fifo.cpu_util_worker_hosts)),
+                 "1.13x", "1.12x"});
+  table.add_row({"Network Inbound", "All",
+                 metrics::fmt_ratio(ratio(one.nic_in_util, fifo.nic_in_util)),
+                 metrics::fmt_ratio(ratio(rr.nic_in_util, fifo.nic_in_util)),
+                 "1.20x", "1.21x"});
+  table.add_row({"Network Outbound", "All",
+                 metrics::fmt_ratio(ratio(one.nic_out_util, fifo.nic_out_util)),
+                 metrics::fmt_ratio(ratio(rr.nic_out_util, fifo.nic_out_util)),
+                 "1.20x", "1.21x"});
+  std::printf("%s\n", table.str().c_str());
+
+  std::printf("absolute (FIFO baseline): CPU PS %s, CPU worker %s, "
+              "NIC in %s, NIC out %s\n",
+              metrics::fmt_percent(fifo.cpu_util_ps_hosts).c_str(),
+              metrics::fmt_percent(fifo.cpu_util_worker_hosts).c_str(),
+              metrics::fmt_percent(fifo.nic_in_util).c_str(),
+              metrics::fmt_percent(fifo.nic_out_util).c_str());
+  std::printf("active window: %.1fs .. %.1fs\n",
+              sim::to_seconds(fifo.active_window_begin),
+              sim::to_seconds(fifo.active_window_end));
+  return 0;
+}

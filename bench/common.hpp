@@ -1,0 +1,72 @@
+// Shared helpers for the figure/table reproduction harnesses.
+//
+// Scale knobs (environment variables):
+//   TLS_BENCH_ITERS  iterations per job   (default 60; paper: 1500)
+//   TLS_BENCH_SEED   base RNG seed        (default 1)
+//
+// Absolute times scale with TLS_BENCH_ITERS; the ratios the paper reports
+// stabilize after a few tens of iterations.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "exp/experiment.hpp"
+#include "metrics/report.hpp"
+
+namespace tls::bench {
+
+inline long env_long(const char* name, long fallback) {
+  const char* v = std::getenv(name);
+  if (v == nullptr || *v == '\0') return fallback;
+  return std::atol(v);
+}
+
+inline long bench_iters() { return env_long("TLS_BENCH_ITERS", 60); }
+inline std::uint64_t bench_seed() {
+  return static_cast<std::uint64_t>(env_long("TLS_BENCH_SEED", 1));
+}
+
+/// The paper's testbed configuration: 21 hosts, 21 concurrent ResNet-32
+/// grid-search jobs, 1 PS + 20 workers each, synchronous, batch 4.
+inline exp::ExperimentConfig paper_config() {
+  exp::ExperimentConfig c;
+  c.num_hosts = 21;
+  c.workload.num_jobs = 21;
+  c.workload.workers_per_job = 20;
+  c.workload.local_batch_size = 4;
+  c.workload.global_step_target = 20L * bench_iters();
+  c.placement = cluster::table1(1, 21);
+  c.seed = bench_seed();
+  // Rotation interval scaled to the shortened runs (paper: 20 s over
+  // thousands of seconds; here ~1/4 of the run, same ratio ballpark).
+  c.controller.rotation_interval = 10 * sim::kSecond;
+  return c;
+}
+
+inline void print_header(const char* experiment, const char* paper_claim) {
+  std::printf("==============================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("Paper: %s\n", paper_claim);
+  std::printf("Iterations/job: %ld (paper: 1500), seed: %llu\n",
+              bench_iters(),
+              static_cast<unsigned long long>(bench_seed()));
+  std::printf("==============================================================\n\n");
+}
+
+/// One Figure-3/6 style CDF row set: quantiles of a sample vector.
+inline void print_cdf_rows(metrics::Table& table, const std::string& label,
+                           const std::vector<double>& samples, double scale,
+                           const char* unit) {
+  metrics::Cdf cdf(samples);
+  table.add_row({label,
+                 metrics::fmt(cdf.value_at(0.10) * scale, 1),
+                 metrics::fmt(cdf.value_at(0.25) * scale, 1),
+                 metrics::fmt(cdf.value_at(0.50) * scale, 1),
+                 metrics::fmt(cdf.value_at(0.75) * scale, 1),
+                 metrics::fmt(cdf.value_at(0.90) * scale, 1),
+                 metrics::fmt(cdf.mean() * scale, 1), unit});
+}
+
+}  // namespace tls::bench

@@ -1,0 +1,101 @@
+// tc playground: drive the traffic-control substrate directly with the tc
+// command DSL, exactly as the TensorLights controller does, and watch how
+// the qdisc changes who gets the wire.
+//
+// Three acts on one 10 Gbps egress carrying two competing bursts:
+//   1. default pfifo            - arrival order wins
+//   2. htb with two classes     - priority wins (green passes, yellow yields)
+//   3. htb with a hard ceiling  - the shaped class cannot exceed its rate
+//
+// Run: ./build/examples/tc_playground
+#include <iostream>
+#include <vector>
+
+#include "metrics/report.hpp"
+#include "net/fabric.hpp"
+#include "simcore/simulator.hpp"
+#include "tc/tc.hpp"
+
+using namespace tls;
+
+namespace {
+
+/// Sends two 8 MB bursts from host0 (ports 7000 and 7100) to two
+/// receivers and reports each burst's completion time.
+void run_act(const std::string& title,
+             const std::vector<std::string>& commands) {
+  sim::Simulator simulator(3);
+  net::FabricConfig fc;
+  fc.num_hosts = 3;
+  fc.tcp_weight_sigma = 0;
+  fc.protocol_overhead = 1.0;
+  net::Fabric fabric(simulator, fc);
+  tc::TrafficControl control(fabric);
+
+  std::cout << title << "\n";
+  for (const std::string& cmd : commands) {
+    tc::Status s = control.exec(cmd);
+    std::cout << "  $ tc " << cmd.substr(3) << "\n";
+    if (!s.ok) {
+      std::cout << "    error: " << s.error << "\n";
+      return;
+    }
+  }
+
+  double done[2] = {0, 0};
+  for (int i = 0; i < 2; ++i) {
+    net::FlowSpec f;
+    f.src = 0;
+    f.dst = 1 + i;
+    f.bytes = 8 * net::kMiB;
+    f.src_port = static_cast<std::uint16_t>(7000 + 100 * i);
+    fabric.start_flow(f, [&done, i](const net::FlowRecord& r) {
+      done[i] = sim::to_millis(r.end);
+    });
+  }
+  simulator.run();
+  std::cout << "  burst A (sport 7000) done at " << metrics::fmt(done[0], 2)
+            << " ms, burst B (sport 7100) done at "
+            << metrics::fmt(done[1], 2) << " ms\n\n";
+}
+
+}  // namespace
+
+int main() {
+  std::cout << "tc playground: two 8 MB bursts sharing one 10 Gbps egress\n\n";
+
+  run_act("Act 1 - default pfifo (no configuration):", {});
+
+  run_act("Act 2 - htb strict priority, burst A in the high class:",
+          {
+              "tc qdisc add dev host0 root handle 1: htb default 3f",
+              "tc class add dev host0 parent 1: classid 1:3f htb rate 2gbit "
+              "ceil 10gbit prio 7",
+              "tc class add dev host0 parent 1: classid 1:1 htb rate 1mbit "
+              "ceil 10gbit prio 0",
+              "tc class add dev host0 parent 1: classid 1:2 htb rate 1mbit "
+              "ceil 10gbit prio 1",
+              "tc filter add dev host0 parent 1: pref 10 u32 match ip sport "
+              "7000 0xffff flowid 1:1",
+              "tc filter add dev host0 parent 1: pref 11 u32 match ip sport "
+              "7100 0xffff flowid 1:2",
+          });
+
+  run_act("Act 3 - htb shaping, burst B capped at 1 gbit (ceil == rate):",
+          {
+              "tc qdisc add dev host0 root handle 1: htb default 3f",
+              "tc class add dev host0 parent 1: classid 1:3f htb rate 9gbit "
+              "ceil 10gbit prio 0",
+              "tc class add dev host0 parent 1: classid 1:2 htb rate 1gbit "
+              "ceil 1gbit prio 1",
+              "tc filter add dev host0 parent 1: pref 11 u32 match ip sport "
+              "7100 0xffff flowid 1:2",
+          });
+
+  std::cout << "Act 1: fair sharing, both finish together at ~13 ms.\n"
+               "Act 2: A finishes in ~7 ms (one burst's serialization), B\n"
+               "        still ~13 ms - priority is work-conserving.\n"
+               "Act 3: B is rate-limited to 1 gbit and takes ~8x longer,\n"
+               "        while A rides the unshaped default class.\n";
+  return 0;
+}

@@ -1,0 +1,58 @@
+#include "cluster/launcher.hpp"
+
+#include <stdexcept>
+
+namespace tls::cluster {
+
+Launcher::Launcher(sim::Simulator& simulator, net::Fabric& fabric)
+    : sim_(simulator), fabric_(fabric) {}
+
+void Launcher::add_listener(JobEventListener* listener) {
+  listeners_.push_back(listener);
+}
+
+void Launcher::launch_all(std::vector<dl::JobSpec> specs,
+                          std::vector<dl::JobPlacement> placements,
+                          const LaunchConfig& config) {
+  if (!jobs_.empty()) throw std::logic_error("launch_all may be called once");
+  if (specs.size() != placements.size()) {
+    throw std::invalid_argument("specs/placements size mismatch");
+  }
+  jobs_.reserve(specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    dl::JobSpec& spec = specs[i];
+    if (config.port_stride <
+        static_cast<std::uint16_t>(1 + spec.num_ps + spec.num_workers)) {
+      throw std::invalid_argument("port_stride too small for task count");
+    }
+    spec.ps_port = static_cast<std::uint16_t>(config.base_port +
+                                              i * config.port_stride);
+    auto* self = this;
+    auto on_finish = [self, i] {
+      ++self->finished_;
+      const auto& job = *self->jobs_[i];
+      for (JobEventListener* l : self->listeners_) {
+        l->on_job_departure(job.spec(), job.placement());
+      }
+    };
+    jobs_.push_back(std::make_unique<dl::JobRuntime>(
+        sim_, fabric_, spec, placements[i], on_finish, busy_sink_));
+    if (gate_ != nullptr) jobs_.back()->set_transmission_gate(gate_);
+  }
+  for (std::size_t i = 0; i < jobs_.size(); ++i) {
+    sim_.schedule_after(static_cast<sim::Time>(i) * config.stagger,
+                        [this, i] { launch_one(i); });
+  }
+}
+
+void Launcher::launch_one(std::size_t index) {
+  dl::JobRuntime& job = *jobs_[index];
+  // Arrival precedes the first packet so controllers can configure tc
+  // before the initial model broadcast hits the NIC.
+  for (JobEventListener* l : listeners_) {
+    l->on_job_arrival(job.spec(), job.placement());
+  }
+  job.start();
+}
+
+}  // namespace tls::cluster

@@ -1,0 +1,84 @@
+// Job launcher: instantiates JobRuntimes, assigns stable PS ports, staggers
+// starts (the paper spaces launches 0.1 s apart to avoid RPC/SSH overload),
+// and publishes arrival/departure events — the hook the TensorLights
+// controller subscribes to.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "dl/job_runtime.hpp"
+#include "net/fabric.hpp"
+#include "simcore/simulator.hpp"
+
+namespace tls::cluster {
+
+/// Observer of job lifecycle. Arrival fires *before* the job's first flow
+/// enters the network, so a controller can install priorities in time;
+/// departure fires when the job reaches its global-step target.
+class JobEventListener {
+ public:
+  virtual ~JobEventListener() = default;
+  virtual void on_job_arrival(const dl::JobSpec& spec,
+                              const dl::JobPlacement& placement) = 0;
+  virtual void on_job_departure(const dl::JobSpec& spec,
+                                const dl::JobPlacement& placement) = 0;
+};
+
+struct LaunchConfig {
+  /// Delay between consecutive job launches.
+  sim::Time stagger = 100 * sim::kMillisecond;
+  /// First PS port; job j gets base_port + j * port_stride. The stride
+  /// must cover 1 + num_ps + workers so PS shard ports (ps_port+p) and
+  /// worker ports (ps_port+num_ps+w) never collide across jobs.
+  std::uint16_t base_port = 5000;
+  std::uint16_t port_stride = 64;
+};
+
+class Launcher {
+ public:
+  Launcher(sim::Simulator& simulator, net::Fabric& fabric);
+
+  Launcher(const Launcher&) = delete;
+  Launcher& operator=(const Launcher&) = delete;
+
+  /// Listener lifetime must cover the simulation.
+  void add_listener(JobEventListener* listener);
+
+  /// Optional sink receiving every CPU-busy interval of every job.
+  void set_busy_sink(dl::BusySink sink) { busy_sink_ = std::move(sink); }
+
+  /// Optional transmission-coordination gate passed to every job (must
+  /// outlive the simulation). Set before launch_all().
+  void set_transmission_gate(dl::TransmissionGate* gate) { gate_ = gate; }
+
+  /// Creates runtimes for `specs[i]` placed at `placements[i]` and
+  /// schedules their staggered starts from the current simulation time.
+  /// Assigns each spec's ps_port. May be called once.
+  void launch_all(std::vector<dl::JobSpec> specs,
+                  std::vector<dl::JobPlacement> placements,
+                  const LaunchConfig& config = {});
+
+  const std::vector<std::unique_ptr<dl::JobRuntime>>& jobs() const {
+    return jobs_;
+  }
+  int finished_count() const { return finished_; }
+  bool all_finished() const {
+    return finished_ == static_cast<int>(jobs_.size()) && !jobs_.empty();
+  }
+
+ private:
+  void launch_one(std::size_t index);
+
+  sim::Simulator& sim_;
+  net::Fabric& fabric_;
+  std::vector<JobEventListener*> listeners_;
+  std::vector<std::unique_ptr<dl::JobRuntime>> jobs_;
+  dl::BusySink busy_sink_;
+  dl::TransmissionGate* gate_ = nullptr;
+  int finished_ = 0;
+};
+
+}  // namespace tls::cluster

@@ -1,0 +1,61 @@
+// PS placement schemes (Table I of the paper) and task-to-host assignment.
+//
+// For M concurrent jobs, a placement is written m_1,...,m_K with
+// sum(m_k) = M: group k colocates m_k parameter servers on one host.
+// Placement #1 ("21") puts every PS on one host — the shared-PS rack-scale
+// design of Parameter Hub; #8 ("1,...,1") gives every host one PS.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "dl/job.hpp"
+
+namespace tls::cluster {
+
+struct PsPlacement {
+  /// Table index (1-8) when this came from Table I, 0 for custom.
+  int index = 0;
+  /// Display form, e.g. "5, 5, 5, 6".
+  std::string name;
+  /// Jobs whose PSes share a host, per group.
+  std::vector<int> group_sizes;
+
+  int total_jobs() const;
+  int num_groups() const { return static_cast<int>(group_sizes.size()); }
+};
+
+/// Splits `num_jobs` into `num_groups` sizes as evenly as possible,
+/// smallest groups first (e.g. 21 into 4 -> 5,5,5,6).
+PsPlacement even_groups(int num_jobs, int num_groups);
+
+/// Table I entry `index` in [1, 8] for `num_jobs` concurrent jobs.
+/// Index #2 is the paper's irregular "5, 16" split (scaled for other M);
+/// all others are even splits into 1, 2, 3, 4, 5, 7, and M groups.
+PsPlacement table1(int index, int num_jobs = 21);
+
+/// All eight Table I placements.
+std::vector<PsPlacement> table1_all(int num_jobs = 21);
+
+/// Expands a PS placement into per-job task placements on `num_hosts`
+/// hosts: group k's PSes land on host k, and each job's workers are spread
+/// one-per-host over the other hosts starting after the PS host (the
+/// paper's "20 workers distributed evenly on the rest of 20 hosts").
+/// Requires num_groups <= num_hosts and workers_per_job <= num_hosts - 1.
+/// Throws std::invalid_argument otherwise.
+std::vector<dl::JobPlacement> assign_tasks(const PsPlacement& placement,
+                                           int num_hosts,
+                                           int workers_per_job);
+
+/// Multi-PS variant (the paper's "general case where one DL job has
+/// multiple PSes"): shard 0 of each job lands on its group host and the
+/// remaining shards walk the following hosts, so shard k of the group's
+/// jobs colocate on host (group + k). Workers spread as in assign_tasks,
+/// excluding only the first shard's host. Requires num_ps >= 1 and
+/// num_ps <= num_hosts.
+std::vector<dl::JobPlacement> assign_tasks_sharded(const PsPlacement& placement,
+                                                   int num_hosts,
+                                                   int workers_per_job,
+                                                   int num_ps);
+
+}  // namespace tls::cluster

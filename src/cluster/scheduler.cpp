@@ -1,0 +1,97 @@
+#include "cluster/scheduler.hpp"
+
+#include <algorithm>
+#include <numeric>
+#include <stdexcept>
+#include <tuple>
+
+namespace tls::cluster {
+
+const char* to_string(SchedulerPolicy policy) {
+  switch (policy) {
+    case SchedulerPolicy::kPsAgnostic: return "ps-agnostic";
+    case SchedulerPolicy::kPsAware: return "ps-aware";
+  }
+  return "?";
+}
+
+OnlineScheduler::OnlineScheduler(int num_hosts, SchedulerPolicy policy)
+    : policy_(policy),
+      tasks_(static_cast<std::size_t>(num_hosts), 0),
+      ps_(static_cast<std::size_t>(num_hosts), 0) {
+  if (num_hosts < 2) throw std::invalid_argument("need at least 2 hosts");
+}
+
+net::HostId OnlineScheduler::pick_ps_host() const {
+  net::HostId best = 0;
+  for (net::HostId h = 1; h < num_hosts(); ++h) {
+    auto hi = static_cast<std::size_t>(h);
+    auto bi = static_cast<std::size_t>(best);
+    bool better;
+    if (policy_ == SchedulerPolicy::kPsAware) {
+      better = std::tie(ps_[hi], tasks_[hi]) < std::tie(ps_[bi], tasks_[bi]);
+    } else {
+      better = tasks_[hi] < tasks_[bi];
+    }
+    if (better) best = h;
+  }
+  return best;
+}
+
+dl::JobPlacement OnlineScheduler::place(const dl::JobSpec& spec) {
+  if (spec.num_workers > num_hosts() - 1) {
+    throw std::invalid_argument("more workers than non-PS hosts");
+  }
+  dl::JobPlacement placement;
+  // Place PS shards one at a time so later shards see earlier ones' load.
+  for (int p = 0; p < spec.num_ps; ++p) {
+    net::HostId host = pick_ps_host();
+    if (p == 0) placement.ps_host = host;
+    if (spec.num_ps > 1) placement.ps_hosts.push_back(host);
+    ++ps_[static_cast<std::size_t>(host)];
+    ++tasks_[static_cast<std::size_t>(host)];
+  }
+  // Workers: one per least-loaded host, excluding the first PS host (the
+  // paper's layout keeps the PS's own host free of this job's workers).
+  std::vector<net::HostId> order(static_cast<std::size_t>(num_hosts()));
+  std::iota(order.begin(), order.end(), 0);
+  std::stable_sort(order.begin(), order.end(), [&](net::HostId a, net::HostId b) {
+    return tasks_[static_cast<std::size_t>(a)] <
+           tasks_[static_cast<std::size_t>(b)];
+  });
+  for (net::HostId h : order) {
+    if (h == placement.ps_host) continue;
+    if (static_cast<int>(placement.worker_hosts.size()) == spec.num_workers) {
+      break;
+    }
+    placement.worker_hosts.push_back(h);
+    ++tasks_[static_cast<std::size_t>(h)];
+  }
+  return placement;
+}
+
+void OnlineScheduler::remove(const dl::JobSpec& spec,
+                             const dl::JobPlacement& placement) {
+  for (int p = 0; p < spec.num_ps; ++p) {
+    auto hi = static_cast<std::size_t>(placement.ps_shard_host(p));
+    --ps_[hi];
+    --tasks_[hi];
+  }
+  for (net::HostId h : placement.worker_hosts) {
+    --tasks_[static_cast<std::size_t>(h)];
+  }
+}
+
+int OnlineScheduler::ps_count(net::HostId host) const {
+  return ps_.at(static_cast<std::size_t>(host));
+}
+
+int OnlineScheduler::task_count(net::HostId host) const {
+  return tasks_.at(static_cast<std::size_t>(host));
+}
+
+int OnlineScheduler::max_ps_colocation() const {
+  return *std::max_element(ps_.begin(), ps_.end());
+}
+
+}  // namespace tls::cluster

@@ -1,0 +1,60 @@
+// Online task scheduler — the paper's Future Work direction #1.
+//
+// Production schedulers (YARN/Borg/Mesos) place tasks by resource demand
+// and are agnostic of a task's *role* in the job, so PS tasks naturally
+// pile onto the emptiest host (Section II: "colocation of PS tasks can
+// naturally occur"). The paper suggests notifying the scheduler of the
+// task type so PS tasks can be spread before the job starts. Both policies
+// are implemented here so the bench can quantify the difference and how it
+// composes with TensorLights.
+#pragma once
+
+#include <vector>
+
+#include "dl/job.hpp"
+
+namespace tls::cluster {
+
+enum class SchedulerPolicy {
+  /// Role-agnostic least-loaded placement (task count as the load proxy;
+  /// ties break toward the lowest host id, as a deterministic bin-packer
+  /// would). PS colocation emerges on symmetric clusters.
+  kPsAgnostic,
+  /// PS-aware: the PS lands on the host with the fewest PS tasks first,
+  /// least total load second — spreading the fan-out burst sources.
+  kPsAware,
+};
+
+const char* to_string(SchedulerPolicy policy);
+
+/// Stateful online scheduler over a fixed host pool.
+class OnlineScheduler {
+ public:
+  OnlineScheduler(int num_hosts, SchedulerPolicy policy);
+
+  /// Places one arriving job: chooses the PS host (or shard hosts) by the
+  /// policy, then spreads workers one per least-loaded host, excluding the
+  /// first PS host. Updates internal load accounting. Requires
+  /// spec.num_workers <= num_hosts - 1.
+  dl::JobPlacement place(const dl::JobSpec& spec);
+
+  /// Releases a departing job's tasks.
+  void remove(const dl::JobSpec& spec, const dl::JobPlacement& placement);
+
+  int ps_count(net::HostId host) const;
+  int task_count(net::HostId host) const;
+  int num_hosts() const { return static_cast<int>(tasks_.size()); }
+
+  /// Largest number of PS tasks sharing one host right now — the
+  /// contention indicator Table I indexes.
+  int max_ps_colocation() const;
+
+ private:
+  net::HostId pick_ps_host() const;
+
+  SchedulerPolicy policy_;
+  std::vector<int> tasks_;  // total tasks per host
+  std::vector<int> ps_;     // PS tasks per host
+};
+
+}  // namespace tls::cluster

@@ -1,0 +1,34 @@
+#include "dl/barrier_log.hpp"
+
+#include <cassert>
+
+namespace tls::dl {
+
+void BarrierLog::record(std::int64_t iteration,
+                        const std::vector<double>& waits_s) {
+  assert(!waits_s.empty());
+  double sum = 0;
+  for (double w : waits_s) sum += w;
+  double mean = sum / static_cast<double>(waits_s.size());
+  double var = 0;
+  for (double w : waits_s) var += (w - mean) * (w - mean);
+  var /= static_cast<double>(waits_s.size());
+  stats_.push_back(BarrierStats{iteration, mean, var,
+                                static_cast<int>(waits_s.size())});
+}
+
+std::vector<double> BarrierLog::mean_waits() const {
+  std::vector<double> out;
+  out.reserve(stats_.size());
+  for (const auto& s : stats_) out.push_back(s.mean_wait_s);
+  return out;
+}
+
+std::vector<double> BarrierLog::variances() const {
+  std::vector<double> out;
+  out.reserve(stats_.size());
+  for (const auto& s : stats_) out.push_back(s.var_wait_s2);
+  return out;
+}
+
+}  // namespace tls::dl

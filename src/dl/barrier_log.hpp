@@ -1,0 +1,43 @@
+// Per-job record of barrier wait times — the paper's straggler metric.
+//
+// For every synchronization barrier (one per iteration) we keep each
+// worker's wait: the time from the worker *entering* the barrier (local
+// compute done, gradient handed to the network) to *exiting* it (the next
+// model update fully received). Figures 3 and 6 are CDFs over the
+// per-barrier mean and per-barrier variance of these waits.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace tls::dl {
+
+struct BarrierStats {
+  std::int64_t iteration = 0;
+  double mean_wait_s = 0;
+  /// Population variance of the waits across workers, in s^2 — the
+  /// "standard variance" axis of Figures 3b/6b.
+  double var_wait_s2 = 0;
+  int workers = 0;
+};
+
+class BarrierLog {
+ public:
+  /// Records one completed barrier with the per-worker waits (seconds).
+  void record(std::int64_t iteration, const std::vector<double>& waits_s);
+
+  std::size_t size() const { return stats_.size(); }
+  const std::vector<BarrierStats>& stats() const { return stats_; }
+
+  /// All per-barrier mean waits (s), for CDF plotting.
+  std::vector<double> mean_waits() const;
+  /// All per-barrier variances (s^2), for CDF plotting.
+  std::vector<double> variances() const;
+
+ private:
+  std::vector<BarrierStats> stats_;
+};
+
+}  // namespace tls::dl

@@ -1,0 +1,223 @@
+#include "dl/job_runtime.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <stdexcept>
+#include <string>
+
+namespace tls::dl {
+
+JobRuntime::JobRuntime(sim::Simulator& simulator, net::Fabric& fabric,
+                       JobSpec spec, JobPlacement placement,
+                       std::function<void()> on_finish, BusySink busy_sink)
+    : sim_(simulator),
+      fabric_(fabric),
+      spec_(std::move(spec)),
+      placement_(std::move(placement)),
+      on_finish_(std::move(on_finish)),
+      busy_sink_(std::move(busy_sink)),
+      rng_(simulator.rng().fork("job" + std::to_string(spec_.job_id))) {
+  if (spec_.num_workers < 1) throw std::invalid_argument("num_workers < 1");
+  if (spec_.num_ps < 1) throw std::invalid_argument("num_ps < 1");
+  if (static_cast<int>(placement_.worker_hosts.size()) != spec_.num_workers) {
+    throw std::invalid_argument("placement/worker count mismatch");
+  }
+  if (placement_.ps_count() != spec_.num_ps) {
+    throw std::invalid_argument("placement/PS shard count mismatch");
+  }
+  if (spec_.global_step_target < 1) {
+    throw std::invalid_argument("global_step_target < 1");
+  }
+  if (spec_.mode == TrainingMode::kAsync && spec_.num_ps != 1) {
+    throw std::invalid_argument("async training supports a single PS");
+  }
+  iterations_needed_ = spec_.sync_iterations();
+  local_steps_.assign(static_cast<std::size_t>(spec_.num_workers), 0);
+  shards_received_.assign(static_cast<std::size_t>(spec_.num_workers), 0);
+  barrier_enter_.assign(static_cast<std::size_t>(spec_.num_workers), -1);
+  pending_waits_.assign(static_cast<std::size_t>(spec_.num_workers), 0.0);
+  worker_busy_.assign(static_cast<std::size_t>(spec_.num_workers), 0);
+  ps_gradients_pending_.assign(static_cast<std::size_t>(spec_.num_ps), 0);
+  ps_iterations_.assign(static_cast<std::size_t>(spec_.num_ps), 0);
+  burst_outstanding_.assign(static_cast<std::size_t>(spec_.num_ps), 0);
+}
+
+std::uint16_t JobRuntime::worker_port(int worker) const {
+  return static_cast<std::uint16_t>(spec_.ps_port + spec_.num_ps + worker);
+}
+
+void JobRuntime::start() {
+  assert(!started_);
+  started_ = true;
+  start_time_ = sim_.now();
+  for (int p = 0; p < spec_.num_ps; ++p) {
+    ps_gradients_pending_[static_cast<std::size_t>(p)] = spec_.num_workers;
+    broadcast_shard(p);
+  }
+}
+
+void JobRuntime::broadcast_shard(int ps) {
+  if (gate_ != nullptr && spec_.mode == TrainingMode::kSync) {
+    net::HostId host = placement_.ps_shard_host(ps);
+    net::Bytes burst = spec_.shard_bytes() * spec_.num_workers;
+    gate_->request(host, burst, [this, ps, host] {
+      if (finished_) {
+        // The job ended while waiting for the grant; hand the slot back so
+        // the coordinator never leaks capacity.
+        gate_->release(host);
+        return;
+      }
+      do_broadcast(ps);
+    });
+    return;
+  }
+  do_broadcast(ps);
+}
+
+void JobRuntime::do_broadcast(int ps) {
+  burst_outstanding_[static_cast<std::size_t>(ps)] = spec_.num_workers;
+  for (int w = 0; w < spec_.num_workers; ++w) send_shard_to(ps, w);
+}
+
+void JobRuntime::send_shard_to(int ps, int worker) {
+  net::FlowSpec flow;
+  flow.src = placement_.ps_shard_host(ps);
+  flow.dst = placement_.worker_hosts[static_cast<std::size_t>(worker)];
+  flow.bytes = spec_.shard_bytes();
+  flow.src_port = spec_.ps_shard_port(ps);
+  flow.dst_port = worker_port(worker);
+  flow.job_id = spec_.job_id;
+  flow.kind = net::FlowKind::kModelUpdate;
+  fabric_.start_flow(flow, [this, ps, worker](const net::FlowRecord&) {
+    // Burst-completion accounting runs even after the job finishes, so a
+    // coordinated slot is always returned.
+    auto pi = static_cast<std::size_t>(ps);
+    if (gate_ != nullptr && spec_.mode == TrainingMode::kSync &&
+        burst_outstanding_[pi] > 0 && --burst_outstanding_[pi] == 0) {
+      gate_->release(placement_.ps_shard_host(ps));
+    }
+    on_model_shard_received(worker);
+  });
+}
+
+void JobRuntime::on_model_shard_received(int worker) {
+  if (finished_) return;
+  auto wi = static_cast<std::size_t>(worker);
+  if (++shards_received_[wi] < spec_.num_ps) return;
+  shards_received_[wi] = 0;
+
+  // Exiting the previous barrier (if the worker was blocked in one).
+  if (barrier_enter_[wi] >= 0) {
+    double wait_s = sim::to_seconds(sim_.now() - barrier_enter_[wi]);
+    barrier_enter_[wi] = -1;
+    if (spec_.mode == TrainingMode::kSync) {
+      pending_waits_[wi] = wait_s;
+      ++waits_exited_;
+      if (waits_exited_ == spec_.num_workers) {
+        barrier_log_.record(iteration_ - 1, pending_waits_);
+        waits_exited_ = 0;
+      }
+    } else {
+      // Async: no shared barrier, but the per-worker blocking time is the
+      // same quantity; log it as a single-worker sample.
+      barrier_log_.record(local_steps_[wi], {wait_s});
+    }
+  }
+  start_compute(worker);
+}
+
+void JobRuntime::start_compute(int worker) {
+  auto wi = static_cast<std::size_t>(worker);
+  double noise = rng_.lognormal_median(1.0, spec_.compute_sigma);
+  sim::Time compute =
+      sim::from_seconds(sim::to_seconds(spec_.base_step_time()) * noise);
+  if (compute < 1) compute = 1;
+  mark_busy(placement_.worker_hosts[wi], sim_.now(), sim_.now() + compute);
+  worker_busy_[wi] += compute;
+  sim_.schedule_after(compute, [this, worker] { on_compute_done(worker); });
+}
+
+void JobRuntime::on_compute_done(int worker) {
+  if (finished_) return;
+  auto wi = static_cast<std::size_t>(worker);
+  ++local_steps_[wi];
+  barrier_enter_[wi] = sim_.now();
+
+  for (int p = 0; p < spec_.num_ps; ++p) {
+    net::FlowSpec flow;
+    flow.src = placement_.worker_hosts[wi];
+    flow.dst = placement_.ps_shard_host(p);
+    flow.bytes = spec_.shard_bytes();
+    flow.src_port = worker_port(worker);
+    flow.dst_port = spec_.ps_shard_port(p);
+    flow.job_id = spec_.job_id;
+    flow.kind = net::FlowKind::kGradientUpdate;
+    fabric_.start_flow(flow, [this, p, worker](const net::FlowRecord&) {
+      if (spec_.mode == TrainingMode::kSync) {
+        on_gradient_received(p);
+      } else {
+        // Async single-PS path: reply to this worker alone.
+        if (finished_) return;
+        sim::Time agg = spec_.ps_aggregate_per_worker;
+        mark_busy(placement_.ps_shard_host(0), sim_.now(), sim_.now() + agg);
+        ps_busy_ += agg;
+        ++global_step_;
+        if (global_step_ >= spec_.global_step_target) {
+          finish_job();
+          return;
+        }
+        sim_.schedule_after(agg, [this, worker] {
+          if (finished_) return;
+          send_shard_to(0, worker);
+        });
+      }
+    });
+  }
+}
+
+void JobRuntime::on_gradient_received(int ps) {
+  if (finished_) return;
+  auto pi = static_cast<std::size_t>(ps);
+  assert(ps_gradients_pending_[pi] > 0);
+  if (--ps_gradients_pending_[pi] > 0) return;
+  // Aggregation work is sharded across PSes.
+  sim::Time agg = spec_.ps_aggregate_per_worker * spec_.num_workers /
+                  spec_.num_ps;
+  mark_busy(placement_.ps_shard_host(ps), sim_.now(), sim_.now() + agg);
+  ps_busy_ += agg;
+  sim_.schedule_after(agg, [this, ps] { complete_shard_barrier(ps); });
+}
+
+void JobRuntime::complete_shard_barrier(int ps) {
+  if (finished_) return;
+  auto pi = static_cast<std::size_t>(ps);
+  ++ps_iterations_[pi];
+  // The job's iteration advances with the slowest shard.
+  std::int64_t slowest =
+      *std::min_element(ps_iterations_.begin(), ps_iterations_.end());
+  while (iteration_ < slowest) {
+    ++iteration_;
+    global_step_ += spec_.num_workers;
+  }
+  if (iteration_ >= iterations_needed_) {
+    finish_job();
+    return;
+  }
+  if (ps_iterations_[pi] < iterations_needed_) {
+    ps_gradients_pending_[pi] = spec_.num_workers;
+    broadcast_shard(ps);
+  }
+}
+
+void JobRuntime::finish_job() {
+  assert(!finished_);
+  finished_ = true;
+  finish_time_ = sim_.now();
+  if (on_finish_) on_finish_();
+}
+
+void JobRuntime::mark_busy(net::HostId host, sim::Time begin, sim::Time end) {
+  if (busy_sink_) busy_sink_(host, begin, end);
+}
+
+}  // namespace tls::dl

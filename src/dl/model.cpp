@@ -1,0 +1,26 @@
+#include "dl/model.hpp"
+
+namespace tls::dl::zoo {
+
+// Parameter counts from the respective papers; ms_per_sample calibrated to
+// CPU-class workers (the paper's testbed trains ResNet-32 on 6-core hosts).
+ModelSpec resnet32_cifar10() { return {"resnet32_cifar10", 467'194, 150.0}; }
+ModelSpec resnet50_imagenet() { return {"resnet50_imagenet", 25'557'032, 1100.0}; }
+ModelSpec vgg16() { return {"vgg16", 138'357'544, 2300.0}; }
+ModelSpec inception_v3() { return {"inception_v3", 23'834'568, 1350.0}; }
+ModelSpec alexnet() { return {"alexnet", 60'965'224, 420.0}; }
+ModelSpec lstm_ptb() { return {"lstm_ptb", 66'000'000, 600.0}; }
+
+std::vector<ModelSpec> all() {
+  return {resnet32_cifar10(), resnet50_imagenet(), vgg16(),
+          inception_v3(),     alexnet(),           lstm_ptb()};
+}
+
+std::optional<ModelSpec> by_name(const std::string& name) {
+  for (const ModelSpec& m : all()) {
+    if (m.name == name) return m;
+  }
+  return std::nullopt;
+}
+
+}  // namespace tls::dl::zoo

@@ -1,0 +1,43 @@
+// DL model descriptions: only the properties that matter to an end-host
+// traffic scheduler — the size of one model/gradient update (the fan-out
+// payload per worker per iteration) and the compute cost per sample.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "net/units.hpp"
+
+namespace tls::dl {
+
+struct ModelSpec {
+  std::string name;
+  /// Number of trainable parameters.
+  std::int64_t parameters = 0;
+  /// Bytes of one model update == one gradient update (fp32 parameters).
+  net::Bytes update_bytes() const { return parameters * 4; }
+  /// Per-sample forward+backward time on a testbed-class CPU worker, in
+  /// milliseconds. Calibrated so the paper's ResNet-32 batch-4 iteration
+  /// lands in its measured ~1-2 s regime.
+  double ms_per_sample = 1.0;
+};
+
+/// Built-in model zoo. ResNet-32 is the paper's workload; the others give
+/// heterogeneous-mix experiments realistic sizes.
+namespace zoo {
+ModelSpec resnet32_cifar10();   ///< 0.46 M params, the paper's model
+ModelSpec resnet50_imagenet();  ///< 25.6 M params
+ModelSpec vgg16();              ///< 138 M params
+ModelSpec inception_v3();       ///< 23.8 M params
+ModelSpec alexnet();            ///< 61 M params
+ModelSpec lstm_ptb();           ///< 66 M params, language model
+
+/// All zoo models, for enumeration in tests and examples.
+std::vector<ModelSpec> all();
+
+/// Looks a model up by name; nullopt when unknown.
+std::optional<ModelSpec> by_name(const std::string& name);
+}  // namespace zoo
+
+}  // namespace tls::dl

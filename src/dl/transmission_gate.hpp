@@ -1,0 +1,30 @@
+// Hook for transmission-layer coordination (the paper's Future Work #2).
+//
+// A PS that wants to emit its per-iteration model-update burst first asks
+// the gate; the gate grants (possibly later, and possibly after a
+// coordination round trip), and the PS releases the gate once the whole
+// burst is delivered. A null gate means uncoordinated sending — the
+// TensorLights deployment model, where only local NIC priorities exist.
+#pragma once
+
+#include <functional>
+
+#include "net/units.hpp"
+
+namespace tls::dl {
+
+class TransmissionGate {
+ public:
+  virtual ~TransmissionGate() = default;
+
+  /// Asks to send a burst of `bytes` out of `host`. `grant` is invoked
+  /// exactly once, when the burst may start (never synchronously inside
+  /// request()).
+  virtual void request(net::HostId host, net::Bytes bytes,
+                       std::function<void()> grant) = 0;
+
+  /// Signals that a previously granted burst has fully completed.
+  virtual void release(net::HostId host) = 0;
+};
+
+}  // namespace tls::dl

@@ -1,0 +1,315 @@
+#include "exp/cli.hpp"
+
+#include <cstdlib>
+#include <ostream>
+
+#include "exp/experiment.hpp"
+#include "exp/export.hpp"
+#include "metrics/report.hpp"
+
+namespace tls::exp {
+
+std::string CliArgs::get(const std::string& key,
+                         const std::string& fallback) const {
+  std::string value = fallback;
+  for (const auto& [k, v] : flags) {
+    if (k == key) value = v;
+  }
+  return value;
+}
+
+bool CliArgs::has(const std::string& key) const {
+  for (const auto& [k, v] : flags) {
+    (void)v;
+    if (k == key) return true;
+  }
+  return false;
+}
+
+bool parse_args(const std::vector<std::string>& raw, CliArgs* out,
+                std::string* error) {
+  for (std::size_t i = 0; i < raw.size(); ++i) {
+    const std::string& a = raw[i];
+    if (a.rfind("--", 0) != 0) {
+      out->positional.push_back(a);
+      continue;
+    }
+    std::string key = a.substr(2);
+    if (key.empty()) {
+      *error = "empty flag name";
+      return false;
+    }
+    auto eq = key.find('=');
+    if (eq != std::string::npos) {
+      out->flags.emplace_back(key.substr(0, eq), key.substr(eq + 1));
+      continue;
+    }
+    // "--key value" when the next token is not itself a flag; otherwise a
+    // boolean switch.
+    if (i + 1 < raw.size() && raw[i + 1].rfind("--", 0) != 0) {
+      out->flags.emplace_back(key, raw[i + 1]);
+      ++i;
+    } else {
+      out->flags.emplace_back(key, "true");
+    }
+  }
+  return true;
+}
+
+namespace {
+
+constexpr const char* kUsage = R"(tlsim - TensorLights cluster simulator
+
+usage: tlsim <command> [flags]
+
+commands:
+  run              one experiment, full report
+  compare          FIFO vs TLs-One vs TLs-RR on one configuration
+  sweep-placement  Table I placements under every policy
+  sweep-batch      local batch sizes {1,2,4,8,16} under every policy
+  help             this text
+
+flags (defaults = the paper's testbed):
+  --hosts N (21) --jobs N (21) --workers N (20) --ps N (1)
+  --batch N (4) --iters N (60) --placement IDX (1) --seed N (1)
+  --policy fifo|tls-one|tls-rr (tls-rr)
+  --strategy arrival|random|smallest (arrival)
+  --bands N (6) --interval-s X (10) --link-gbps X (10)
+  --replicas N (1) --background --csv --export-prefix PATH
+)";
+
+bool parse_policy(const std::string& s, core::PolicyKind* out) {
+  if (s == "fifo") *out = core::PolicyKind::kFifo;
+  else if (s == "tls-one") *out = core::PolicyKind::kTlsOne;
+  else if (s == "tls-rr") *out = core::PolicyKind::kTlsRR;
+  else return false;
+  return true;
+}
+
+bool parse_strategy(const std::string& s, core::AssignStrategy* out) {
+  if (s == "arrival") *out = core::AssignStrategy::kArrivalOrder;
+  else if (s == "random") *out = core::AssignStrategy::kRandom;
+  else if (s == "smallest") *out = core::AssignStrategy::kSmallestModelFirst;
+  else return false;
+  return true;
+}
+
+/// Builds the experiment configuration from flags; returns false with a
+/// message on any invalid value.
+bool build_config(const CliArgs& args, ExperimentConfig* config,
+                  std::string* error) {
+  auto to_long = [&](const std::string& key, long fallback, long lo, long hi,
+                     long* out) {
+    std::string v = args.get(key);
+    if (v.empty()) {
+      *out = fallback;
+      return true;
+    }
+    char* end = nullptr;
+    long parsed = std::strtol(v.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || parsed < lo || parsed > hi) {
+      *error = "bad value for --" + key + ": '" + v + "'";
+      return false;
+    }
+    *out = parsed;
+    return true;
+  };
+  auto to_double = [&](const std::string& key, double fallback, double* out) {
+    std::string v = args.get(key);
+    if (v.empty()) {
+      *out = fallback;
+      return true;
+    }
+    char* end = nullptr;
+    double parsed = std::strtod(v.c_str(), &end);
+    if (end == nullptr || *end != '\0' || parsed <= 0) {
+      *error = "bad value for --" + key + ": '" + v + "'";
+      return false;
+    }
+    *out = parsed;
+    return true;
+  };
+
+  long hosts, jobs, workers, ps, batch, iters, placement, seed, bands;
+  double interval_s, link_gbps;
+  if (!to_long("hosts", 21, 2, 4096, &hosts)) return false;
+  if (!to_long("jobs", 21, 1, 4096, &jobs)) return false;
+  if (!to_long("workers", 20, 1, 4095, &workers)) return false;
+  if (!to_long("ps", 1, 1, 64, &ps)) return false;
+  if (!to_long("batch", 4, 1, 65536, &batch)) return false;
+  if (!to_long("iters", 60, 1, 1000000, &iters)) return false;
+  if (!to_long("placement", 1, 1, 8, &placement)) return false;
+  if (!to_long("seed", 1, 0, INT64_MAX / 2, &seed)) return false;
+  if (!to_long("bands", 6, 1, 15, &bands)) return false;
+  if (!to_double("interval-s", 10.0, &interval_s)) return false;
+  if (!to_double("link-gbps", 10.0, &link_gbps)) return false;
+
+  config->num_hosts = static_cast<int>(hosts);
+  config->workload.num_jobs = static_cast<int>(jobs);
+  config->workload.workers_per_job = static_cast<int>(workers);
+  config->workload.ps_per_job = static_cast<int>(ps);
+  config->workload.local_batch_size = static_cast<int>(batch);
+  config->workload.global_step_target = workers * iters;
+  config->placement =
+      cluster::table1(static_cast<int>(placement), static_cast<int>(jobs));
+  config->seed = static_cast<std::uint64_t>(seed);
+  config->fabric.link_rate = net::gbps(link_gbps);
+  config->controller.max_bands = static_cast<int>(bands);
+  config->controller.rotation_interval = sim::from_seconds(interval_s);
+  config->background = args.has("background");
+
+  if (workers > hosts - 1) {
+    *error = "--workers must be <= --hosts - 1";
+    return false;
+  }
+  if (!parse_policy(args.get("policy", "tls-rr"), &config->controller.policy)) {
+    *error = "bad --policy (fifo|tls-one|tls-rr)";
+    return false;
+  }
+  if (!parse_strategy(args.get("strategy", "arrival"),
+                      &config->controller.strategy)) {
+    *error = "bad --strategy (arrival|random|smallest)";
+    return false;
+  }
+  // The prio data plane allows more bands than htb's 8 priority levels.
+  if (config->controller.max_bands > 8) {
+    config->controller.data_plane = core::DataPlane::kPrio;
+  }
+  return true;
+}
+
+void emit(const metrics::Table& table, bool csv, std::ostream& out) {
+  out << (csv ? table.csv() : table.str()) << "\n";
+}
+
+void add_result_row(metrics::Table* table, const ExperimentResult& r,
+                    double norm) {
+  table->add_row({r.policy_name, metrics::fmt(r.avg_jct_s),
+                  metrics::fmt(r.min_jct_s), metrics::fmt(r.max_jct_s),
+                  metrics::fmt(norm, 3),
+                  metrics::fmt(r.barrier_mean_summary.mean * 1e3, 1),
+                  metrics::fmt(r.barrier_variance_summary.mean * 1e6, 0),
+                  std::to_string(r.tc_commands)});
+}
+
+int cmd_run(const CliArgs& args, const ExperimentConfig& config,
+            std::ostream& out, std::ostream& err) {
+  long replicas = std::strtol(args.get("replicas", "1").c_str(), nullptr, 10);
+  if (replicas < 1) replicas = 1;
+  auto runs = run_replicated(config, static_cast<int>(replicas));
+  metrics::Table table({"policy", "avg JCT (s)", "min", "max", "norm",
+                        "barrier wait (ms)", "wait var (ms^2)", "tc cmds"});
+  for (const auto& r : runs) add_result_row(&table, r, 1.0);
+  emit(table, args.has("csv"), out);
+  if (replicas > 1) {
+    metrics::Summary s = jct_across(runs);
+    out << "avg JCT across " << replicas << " seeds: " << metrics::fmt(s.mean)
+        << " +/- " << metrics::fmt(s.stddev) << " s\n";
+  }
+  // --export-prefix PATH writes PATH.jobs.csv / PATH.barriers.csv /
+  // PATH.json for the first replica.
+  std::string prefix = args.get("export-prefix");
+  if (!prefix.empty()) {
+    std::string error;
+    if (!write_file(prefix + ".jobs.csv", jobs_csv(runs.front()), &error) ||
+        !write_file(prefix + ".barriers.csv", barriers_csv(runs.front()),
+                    &error) ||
+        !write_file(prefix + ".json", to_json(runs.front()), &error)) {
+      err << "tlsim: export failed: " << error << "\n";
+      return 1;
+    }
+    out << "exported " << prefix << ".{jobs.csv,barriers.csv,json}\n";
+  }
+  return 0;
+}
+
+int cmd_compare(const CliArgs& args, ExperimentConfig config,
+                std::ostream& out) {
+  metrics::Table table({"policy", "avg JCT (s)", "min", "max", "norm",
+                        "barrier wait (ms)", "wait var (ms^2)", "tc cmds"});
+  ExperimentResult fifo;
+  for (auto policy : {core::PolicyKind::kFifo, core::PolicyKind::kTlsOne,
+                      core::PolicyKind::kTlsRR}) {
+    ExperimentResult r = run_experiment(with_policy(config, policy));
+    if (policy == core::PolicyKind::kFifo) fifo = r;
+    add_result_row(&table, r, avg_normalized_jct(r, fifo));
+  }
+  emit(table, args.has("csv"), out);
+  return 0;
+}
+
+int cmd_sweep_placement(const CliArgs& args, ExperimentConfig config,
+                        std::ostream& out) {
+  metrics::Table table({"placement", "FIFO avg JCT (s)", "TLs-One norm",
+                        "TLs-RR norm"});
+  for (int index = 1; index <= 8; ++index) {
+    config.placement = cluster::table1(index, config.workload.num_jobs);
+    ExperimentResult fifo =
+        run_experiment(with_policy(config, core::PolicyKind::kFifo));
+    ExperimentResult one =
+        run_experiment(with_policy(config, core::PolicyKind::kTlsOne));
+    ExperimentResult rr =
+        run_experiment(with_policy(config, core::PolicyKind::kTlsRR));
+    table.add_row({"#" + std::to_string(index), metrics::fmt(fifo.avg_jct_s),
+                   metrics::fmt(avg_normalized_jct(one, fifo), 3),
+                   metrics::fmt(avg_normalized_jct(rr, fifo), 3)});
+  }
+  emit(table, args.has("csv"), out);
+  return 0;
+}
+
+int cmd_sweep_batch(const CliArgs& args, ExperimentConfig config,
+                    std::ostream& out) {
+  metrics::Table table({"batch", "FIFO avg JCT (s)", "TLs-One norm",
+                        "TLs-RR norm"});
+  for (int batch : {1, 2, 4, 8, 16}) {
+    config.workload.local_batch_size = batch;
+    ExperimentResult fifo =
+        run_experiment(with_policy(config, core::PolicyKind::kFifo));
+    ExperimentResult one =
+        run_experiment(with_policy(config, core::PolicyKind::kTlsOne));
+    ExperimentResult rr =
+        run_experiment(with_policy(config, core::PolicyKind::kTlsRR));
+    table.add_row({std::to_string(batch), metrics::fmt(fifo.avg_jct_s),
+                   metrics::fmt(avg_normalized_jct(one, fifo), 3),
+                   metrics::fmt(avg_normalized_jct(rr, fifo), 3)});
+  }
+  emit(table, args.has("csv"), out);
+  return 0;
+}
+
+}  // namespace
+
+int run_cli(const std::vector<std::string>& args, std::ostream& out,
+            std::ostream& err) {
+  CliArgs parsed;
+  std::string error;
+  if (!parse_args(args, &parsed, &error)) {
+    err << "tlsim: " << error << "\n" << kUsage;
+    return 2;
+  }
+  std::string command =
+      parsed.positional.empty() ? "help" : parsed.positional.front();
+  if (command == "help" || command == "--help") {
+    out << kUsage;
+    return 0;
+  }
+
+  ExperimentConfig config;
+  if (!build_config(parsed, &config, &error)) {
+    err << "tlsim: " << error << "\n";
+    return 2;
+  }
+
+  if (command == "run") return cmd_run(parsed, config, out, err);
+  if (command == "compare") return cmd_compare(parsed, config, out);
+  if (command == "sweep-placement") {
+    return cmd_sweep_placement(parsed, config, out);
+  }
+  if (command == "sweep-batch") return cmd_sweep_batch(parsed, config, out);
+
+  err << "tlsim: unknown command '" << command << "'\n" << kUsage;
+  return 2;
+}
+
+}  // namespace tls::exp

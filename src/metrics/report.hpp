@@ -1,0 +1,44 @@
+// Plain-text table rendering for bench/experiment output, mirroring the
+// rows the paper's tables and figures report.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace tls::metrics {
+
+/// Fixed-column text table with a header row and aligned cells.
+class Table {
+ public:
+  explicit Table(std::vector<std::string> headers);
+
+  /// Appends a row; must have exactly as many cells as there are headers
+  /// (throws std::invalid_argument otherwise).
+  void add_row(std::vector<std::string> cells);
+
+  std::size_t rows() const { return rows_.size(); }
+
+  /// Renders with a header underline and two-space column gaps.
+  std::string str() const;
+
+  /// Renders as comma-separated values (no alignment padding).
+  std::string csv() const;
+
+  friend std::ostream& operator<<(std::ostream& os, const Table& t);
+
+ private:
+  std::vector<std::string> headers_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Formats a double with `digits` fraction digits.
+std::string fmt(double value, int digits = 2);
+
+/// Formats a ratio as "1.23x".
+std::string fmt_ratio(double value, int digits = 2);
+
+/// Formats a fraction as a percentage, e.g. 0.27 -> "27.0%".
+std::string fmt_percent(double fraction, int digits = 1);
+
+}  // namespace tls::metrics

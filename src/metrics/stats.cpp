@@ -1,0 +1,104 @@
+#include "metrics/stats.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+
+namespace tls::metrics {
+
+double percentile_sorted(const std::vector<double>& sorted, double q) {
+  if (sorted.empty()) return 0;
+  if (q <= 0) return sorted.front();
+  if (q >= 1) return sorted.back();
+  double pos = q * static_cast<double>(sorted.size() - 1);
+  std::size_t lo = static_cast<std::size_t>(pos);
+  double frac = pos - static_cast<double>(lo);
+  if (lo + 1 >= sorted.size()) return sorted.back();
+  return sorted[lo] * (1 - frac) + sorted[lo + 1] * frac;
+}
+
+Summary summarize(const std::vector<double>& samples) {
+  Summary s;
+  if (samples.empty()) return s;
+  std::vector<double> sorted = samples;
+  std::sort(sorted.begin(), sorted.end());
+  s.count = sorted.size();
+  double sum = 0;
+  for (double v : sorted) sum += v;
+  s.mean = sum / static_cast<double>(s.count);
+  double var = 0;
+  for (double v : sorted) var += (v - s.mean) * (v - s.mean);
+  s.variance = var / static_cast<double>(s.count);
+  s.stddev = std::sqrt(s.variance);
+  s.min = sorted.front();
+  s.max = sorted.back();
+  s.median = percentile_sorted(sorted, 0.5);
+  s.p25 = percentile_sorted(sorted, 0.25);
+  s.p75 = percentile_sorted(sorted, 0.75);
+  s.p90 = percentile_sorted(sorted, 0.90);
+  s.p99 = percentile_sorted(sorted, 0.99);
+  return s;
+}
+
+double jain_fairness(const std::vector<double>& samples) {
+  if (samples.empty()) return 0;
+  double sum = 0, sq = 0;
+  for (double v : samples) {
+    sum += v;
+    sq += v * v;
+  }
+  if (sq == 0) return 0;
+  return sum * sum / (static_cast<double>(samples.size()) * sq);
+}
+
+Cdf::Cdf(std::vector<double> samples) : samples_(std::move(samples)) {}
+
+void Cdf::add(double sample) {
+  samples_.push_back(sample);
+  sorted_ = false;
+}
+
+void Cdf::add_all(const std::vector<double>& samples) {
+  samples_.insert(samples_.end(), samples.begin(), samples.end());
+  sorted_ = false;
+}
+
+void Cdf::ensure_sorted() const {
+  if (!sorted_) {
+    std::sort(samples_.begin(), samples_.end());
+    sorted_ = true;
+  }
+}
+
+double Cdf::value_at(double q) const {
+  ensure_sorted();
+  return percentile_sorted(samples_, q);
+}
+
+double Cdf::fraction_below(double x) const {
+  if (samples_.empty()) return 0;
+  ensure_sorted();
+  auto it = std::upper_bound(samples_.begin(), samples_.end(), x);
+  return static_cast<double>(it - samples_.begin()) /
+         static_cast<double>(samples_.size());
+}
+
+double Cdf::mean() const {
+  if (samples_.empty()) return 0;
+  double sum = 0;
+  for (double v : samples_) sum += v;
+  return sum / static_cast<double>(samples_.size());
+}
+
+std::vector<std::pair<double, double>> Cdf::curve(int points) const {
+  assert(points >= 2);
+  std::vector<std::pair<double, double>> out;
+  out.reserve(static_cast<std::size_t>(points));
+  for (int i = 0; i < points; ++i) {
+    double q = static_cast<double>(i) / static_cast<double>(points - 1);
+    out.emplace_back(q, value_at(q));
+  }
+  return out;
+}
+
+}  // namespace tls::metrics

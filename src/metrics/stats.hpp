@@ -1,0 +1,65 @@
+// Summary statistics and empirical CDFs for experiment reporting.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace tls::metrics {
+
+/// Descriptive statistics of a sample set. Variance is the population
+/// variance (the paper's "standard variance").
+struct Summary {
+  std::size_t count = 0;
+  double mean = 0;
+  double median = 0;
+  double variance = 0;
+  double stddev = 0;
+  double min = 0;
+  double max = 0;
+  double p25 = 0;
+  double p75 = 0;
+  double p90 = 0;
+  double p99 = 0;
+};
+
+/// Computes a Summary; an empty input yields a zeroed Summary.
+Summary summarize(const std::vector<double>& samples);
+
+/// Jain's fairness index: (sum x)^2 / (n * sum x^2), in (0, 1]; 1 means
+/// perfectly equal allocation. Used to quantify TLs-RR's fairness claim.
+/// Empty input or all-zero input yields 0.
+double jain_fairness(const std::vector<double>& samples);
+
+/// Linear-interpolated percentile of a *sorted* sample vector, q in [0,1].
+double percentile_sorted(const std::vector<double>& sorted, double q);
+
+/// Empirical cumulative distribution over a sample set.
+class Cdf {
+ public:
+  Cdf() = default;
+  explicit Cdf(std::vector<double> samples);
+
+  void add(double sample);
+  void add_all(const std::vector<double>& samples);
+
+  std::size_t size() const { return sorted_ ? samples_.size() : samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+
+  /// Value at quantile q in [0, 1] (0.5 = median).
+  double value_at(double q) const;
+
+  /// Fraction of samples <= x.
+  double fraction_below(double x) const;
+
+  double mean() const;
+
+  /// Evenly spaced (quantile, value) points for plotting, `points >= 2`.
+  std::vector<std::pair<double, double>> curve(int points = 11) const;
+
+ private:
+  void ensure_sorted() const;
+  mutable std::vector<double> samples_;
+  mutable bool sorted_ = false;
+};
+
+}  // namespace tls::metrics

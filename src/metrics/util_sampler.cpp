@@ -1,0 +1,87 @@
+#include "metrics/util_sampler.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cstdlib>
+
+namespace tls::metrics {
+
+BusyAccumulator::BusyAccumulator(int num_hosts)
+    : per_host_(static_cast<std::size_t>(num_hosts)) {}
+
+void BusyAccumulator::add(net::HostId host, sim::Time begin, sim::Time end) {
+  assert(end >= begin);
+  per_host_.at(static_cast<std::size_t>(host)).push_back({begin, end});
+}
+
+double BusyAccumulator::busy_seconds_in(net::HostId host, sim::Time w_begin,
+                                        sim::Time w_end) const {
+  double total = 0;
+  for (const Interval& iv : per_host_.at(static_cast<std::size_t>(host))) {
+    sim::Time lo = std::max(iv.begin, w_begin);
+    sim::Time hi = std::min(iv.end, w_end);
+    if (hi > lo) total += sim::to_seconds(hi - lo);
+  }
+  return total;
+}
+
+double BusyAccumulator::cpu_utilization(net::HostId host, sim::Time w_begin,
+                                        sim::Time w_end, int cores) const {
+  assert(cores > 0);
+  double window = sim::to_seconds(w_end - w_begin);
+  if (window <= 0) return 0;
+  return busy_seconds_in(host, w_begin, w_end) /
+         (window * static_cast<double>(cores));
+}
+
+std::size_t BusyAccumulator::interval_count(net::HostId host) const {
+  return per_host_.at(static_cast<std::size_t>(host)).size();
+}
+
+NicSampler::NicSampler(sim::Simulator& simulator, net::Fabric& fabric,
+                       sim::Time period)
+    : sim_(simulator),
+      fabric_(fabric),
+      per_host_(static_cast<std::size_t>(fabric.num_hosts())),
+      timer_(simulator, period, [this] { sample(); }) {
+  sample();  // baseline snapshot at the current time
+  timer_.start();
+}
+
+void NicSampler::sample() {
+  for (net::HostId h = 0; h < fabric_.num_hosts(); ++h) {
+    NicSample s;
+    s.at = sim_.now();
+    s.tx = fabric_.egress(h).counters().bytes;
+    s.rx = fabric_.ingress(h).counters().bytes;
+    per_host_[static_cast<std::size_t>(h)].push_back(s);
+  }
+}
+
+const NicSample* NicSampler::nearest(net::HostId host, sim::Time t) const {
+  const auto& v = per_host_.at(static_cast<std::size_t>(host));
+  if (v.empty()) return nullptr;
+  const NicSample* best = &v.front();
+  for (const NicSample& s : v) {
+    if (std::llabs(s.at - t) < std::llabs(best->at - t)) best = &s;
+  }
+  return best;
+}
+
+double NicSampler::utilization(net::HostId host, bool outbound,
+                               sim::Time w_begin, sim::Time w_end) const {
+  const NicSample* a = nearest(host, w_begin);
+  const NicSample* b = nearest(host, w_end);
+  if (a == nullptr || b == nullptr || b->at <= a->at) return 0;
+  net::Bytes delta = outbound ? (b->tx - a->tx) : (b->rx - a->rx);
+  double seconds = sim::to_seconds(b->at - a->at);
+  double rate = outbound ? fabric_.egress(host).rate()
+                         : fabric_.ingress(host).rate();
+  return static_cast<double>(delta) / (rate * seconds);
+}
+
+const std::vector<NicSample>& NicSampler::series(net::HostId host) const {
+  return per_host_.at(static_cast<std::size_t>(host));
+}
+
+}  // namespace tls::metrics

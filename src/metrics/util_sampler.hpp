@@ -1,0 +1,76 @@
+// Host utilization measurement: the vmstat / ifstat analogs.
+//
+// CPU: tasks report busy intervals [begin, end) per host; utilization over
+// a window is overlapped-busy-core-seconds / (cores * window). NIC: the
+// sampler snapshots the fabric's cumulative byte counters on a timer;
+// utilization over a window is the byte delta over rate * window. Table II
+// reports both, normalized FIFO-relative, over the paper's "active window"
+// when all jobs are running.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "net/fabric.hpp"
+#include "simcore/simulator.hpp"
+
+namespace tls::metrics {
+
+/// Collects CPU-busy intervals per host (plug it in as the dl::BusySink).
+class BusyAccumulator {
+ public:
+  explicit BusyAccumulator(int num_hosts);
+
+  void add(net::HostId host, sim::Time begin, sim::Time end);
+
+  /// Busy core-seconds of `host` overlapping [w_begin, w_end).
+  double busy_seconds_in(net::HostId host, sim::Time w_begin,
+                         sim::Time w_end) const;
+
+  /// Utilization in [0, inf): busy core-seconds / (cores * window). Values
+  /// above 1 mean oversubscription (more runnable tasks than cores).
+  double cpu_utilization(net::HostId host, sim::Time w_begin, sim::Time w_end,
+                         int cores) const;
+
+  std::size_t interval_count(net::HostId host) const;
+
+ private:
+  struct Interval {
+    sim::Time begin;
+    sim::Time end;
+  };
+  std::vector<std::vector<Interval>> per_host_;
+};
+
+/// One snapshot of a host NIC's cumulative counters.
+struct NicSample {
+  sim::Time at = 0;
+  net::Bytes tx = 0;
+  net::Bytes rx = 0;
+};
+
+/// Periodically snapshots every host's NIC counters (the ifstat analog).
+class NicSampler {
+ public:
+  /// Starts sampling immediately and then every `period`.
+  NicSampler(sim::Simulator& simulator, net::Fabric& fabric, sim::Time period);
+
+  /// Average utilization in [0,1] of host's direction over [w_begin,
+  /// w_end], computed from the snapshots closest to the window edges.
+  /// Returns 0 when fewer than two samples cover the window.
+  double utilization(net::HostId host, bool outbound, sim::Time w_begin,
+                     sim::Time w_end) const;
+
+  const std::vector<NicSample>& series(net::HostId host) const;
+
+ private:
+  void sample();
+  const NicSample* nearest(net::HostId host, sim::Time t) const;
+
+  sim::Simulator& sim_;
+  net::Fabric& fabric_;
+  std::vector<std::vector<NicSample>> per_host_;
+  sim::PeriodicTimer timer_;
+};
+
+}  // namespace tls::metrics

@@ -1,0 +1,54 @@
+#include "net/classifier.hpp"
+
+#include <algorithm>
+
+namespace tls::net {
+
+const char* to_string(FlowKind kind) {
+  switch (kind) {
+    case FlowKind::kModelUpdate: return "model_update";
+    case FlowKind::kGradientUpdate: return "gradient_update";
+    case FlowKind::kControl: return "control";
+    case FlowKind::kBulk: return "bulk";
+  }
+  return "?";
+}
+
+bool FilterRule::matches(const FlowSpec& spec) const {
+  if (src_port && *src_port != spec.src_port) return false;
+  if (dst_port && *dst_port != spec.dst_port) return false;
+  if (job_id && *job_id != spec.job_id) return false;
+  if (kind && *kind != spec.kind) return false;
+  return true;
+}
+
+void Classifier::upsert(const FilterRule& rule) {
+  auto it = std::lower_bound(
+      rules_.begin(), rules_.end(), rule.pref,
+      [](const FilterRule& r, int pref) { return r.pref < pref; });
+  if (it != rules_.end() && it->pref == rule.pref) {
+    *it = rule;
+  } else {
+    rules_.insert(it, rule);
+  }
+}
+
+bool Classifier::remove(int pref) {
+  auto it = std::lower_bound(
+      rules_.begin(), rules_.end(), pref,
+      [](const FilterRule& r, int p) { return r.pref < p; });
+  if (it == rules_.end() || it->pref != pref) return false;
+  rules_.erase(it);
+  return true;
+}
+
+void Classifier::clear() { rules_.clear(); }
+
+BandId Classifier::classify(const FlowSpec& spec) const {
+  for (const FilterRule& r : rules_) {
+    if (r.matches(spec)) return r.target_band;
+  }
+  return default_band_;
+}
+
+}  // namespace tls::net

@@ -1,0 +1,127 @@
+#include "net/fabric.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+#include <utility>
+
+namespace tls::net {
+
+Fabric::Fabric(sim::Simulator& simulator, const FabricConfig& config)
+    : sim_(simulator), config_(config), rng_(simulator.rng().fork("fabric")) {
+  if (config_.num_hosts < 1) throw std::invalid_argument("num_hosts < 1");
+  if (config_.link_rate <= 0) throw std::invalid_argument("link_rate <= 0");
+  if (config_.chunk_size <= 0) throw std::invalid_argument("chunk_size <= 0");
+  if (config_.flow_window < 1) throw std::invalid_argument("flow_window < 1");
+  egress_.reserve(static_cast<std::size_t>(config_.num_hosts));
+  ingress_.reserve(static_cast<std::size_t>(config_.num_hosts));
+  for (HostId h = 0; h < config_.num_hosts; ++h) {
+    egress_.push_back(std::make_unique<EgressPort>(
+        sim_, config_.link_rate,
+        [this, h](const Chunk& c) { on_transmit(h, c); }));
+    ingress_.push_back(std::make_unique<IngressPort>(
+        sim_, config_.link_rate, [this](const Chunk& c) { on_delivered(c); }));
+  }
+}
+
+EgressPort& Fabric::egress(HostId host) {
+  return *egress_.at(static_cast<std::size_t>(host));
+}
+const EgressPort& Fabric::egress(HostId host) const {
+  return *egress_.at(static_cast<std::size_t>(host));
+}
+IngressPort& Fabric::ingress(HostId host) {
+  return *ingress_.at(static_cast<std::size_t>(host));
+}
+const IngressPort& Fabric::ingress(HostId host) const {
+  return *ingress_.at(static_cast<std::size_t>(host));
+}
+
+Bytes Fabric::chunk_bytes(const FlowState& flow, std::uint32_t index) const {
+  Bytes remaining = flow.wire_bytes -
+                    static_cast<Bytes>(index) * config_.chunk_size;
+  return std::min(remaining, config_.chunk_size);
+}
+
+FlowId Fabric::start_flow(const FlowSpec& spec, FlowCallback on_complete) {
+  if (spec.src < 0 || spec.src >= config_.num_hosts ||
+      spec.dst < 0 || spec.dst >= config_.num_hosts) {
+    throw std::invalid_argument("flow endpoints out of range");
+  }
+  if (spec.bytes < 0) throw std::invalid_argument("negative flow size");
+
+  FlowId id = next_flow_id_++;
+  if (spec.bytes == 0) {
+    // Degenerate flow: deliver "instantly" but asynchronously, preserving
+    // the invariant that callbacks never run inside start_flow.
+    FlowRecord rec{id, spec, sim_.now(), sim_.now()};
+    sim_.schedule_after(0, [cb = std::move(on_complete), rec] { cb(rec); });
+    ++completed_flows_;
+    return id;
+  }
+
+  FlowState flow;
+  flow.spec = spec;
+  flow.on_complete = std::move(on_complete);
+  double noise = config_.tcp_weight_sigma > 0
+                     ? rng_.lognormal_median(1.0, config_.tcp_weight_sigma)
+                     : 1.0;
+  flow.noisy_weight = spec.weight * noise;
+  flow.window = std::clamp(
+      static_cast<int>(std::lround(config_.flow_window * flow.noisy_weight)),
+      1, 4 * config_.flow_window);
+  // The scheduler moves wire bytes: payload inflated by transport overhead.
+  flow.wire_bytes = std::max<Bytes>(
+      1, static_cast<Bytes>(std::llround(static_cast<double>(spec.bytes) *
+                                         config_.protocol_overhead)));
+  flow.chunks_total = static_cast<std::uint32_t>(
+      (flow.wire_bytes + config_.chunk_size - 1) / config_.chunk_size);
+  flow.start = sim_.now();
+  auto [it, inserted] = flows_.emplace(id, std::move(flow));
+  assert(inserted);
+  admit(id, it->second);
+  return id;
+}
+
+void Fabric::admit(FlowId id, FlowState& flow) {
+  while (flow.next_index < flow.chunks_total &&
+         static_cast<int>(flow.next_index - flow.delivered_chunks) <
+             flow.window) {
+    Chunk chunk;
+    chunk.flow = id;
+    chunk.index = flow.next_index;
+    chunk.size = chunk_bytes(flow, flow.next_index);
+    chunk.last = (flow.next_index + 1 == flow.chunks_total);
+    chunk.weight = flow.noisy_weight;
+    chunk.dst = flow.spec.dst;
+    chunk.kind = flow.spec.kind;
+    ++flow.next_index;
+    egress(flow.spec.src).submit(chunk, flow.spec);
+  }
+}
+
+void Fabric::on_transmit(HostId /*src*/, const Chunk& chunk) {
+  // Switch traversal; the switch itself is non-blocking, so the only
+  // contention on the receive path is the destination ingress drain.
+  sim_.schedule_after(config_.switch_latency,
+                      [this, chunk] { ingress(chunk.dst).arrive(chunk); });
+}
+
+void Fabric::on_delivered(const Chunk& chunk) {
+  auto it = flows_.find(chunk.flow);
+  assert(it != flows_.end());
+  FlowState& flow = it->second;
+  ++flow.delivered_chunks;
+  if (flow.delivered_chunks == flow.chunks_total) {
+    FlowRecord rec{chunk.flow, flow.spec, flow.start, sim_.now()};
+    FlowCallback cb = std::move(flow.on_complete);
+    flows_.erase(it);
+    ++completed_flows_;
+    if (cb) cb(rec);
+    return;
+  }
+  admit(chunk.flow, flow);
+}
+
+}  // namespace tls::net

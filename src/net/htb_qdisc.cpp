@@ -1,0 +1,237 @@
+#include "net/htb_qdisc.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <cmath>
+#include <limits>
+#include <sstream>
+
+#include "simcore/time.hpp"
+
+namespace tls::net {
+
+namespace {
+bool valid_config(const HtbClassConfig& c) {
+  return c.minor != 0 && c.rate > 0 && c.ceil >= c.rate && c.burst > 0 &&
+         c.cburst > 0 && c.quantum > 0;
+}
+}  // namespace
+
+HtbQdisc::HtbQdisc(Rate root_rate, std::uint32_t default_minor)
+    : root_rate_(root_rate),
+      default_minor_(default_minor),
+      root_tokens_(0),
+      root_burst_(256 * kKiB) {
+  assert(root_rate_ > 0);
+  root_tokens_ = static_cast<double>(root_burst_);
+}
+
+bool HtbQdisc::add_class(const HtbClassConfig& config) {
+  if (!valid_config(config) || has_class(config.minor)) return false;
+  classes_.emplace(config.minor, LeafClass(config));
+  return true;
+}
+
+bool HtbQdisc::change_class(const HtbClassConfig& config) {
+  if (!valid_config(config)) return false;
+  auto it = classes_.find(config.minor);
+  if (it == classes_.end()) return false;
+  LeafClass& leaf = it->second;
+  leaf.cfg = config;
+  leaf.tokens = static_cast<double>(config.burst);
+  leaf.ctokens = static_cast<double>(config.cburst);
+  return true;
+}
+
+bool HtbQdisc::delete_class(std::uint32_t minor) {
+  auto it = classes_.find(minor);
+  if (it == classes_.end()) return false;
+  if (!it->second.queue.empty()) return false;
+  classes_.erase(it);
+  return true;
+}
+
+std::optional<HtbClassConfig> HtbQdisc::class_config(std::uint32_t minor) const {
+  auto it = classes_.find(minor);
+  if (it == classes_.end()) return std::nullopt;
+  return it->second.cfg;
+}
+
+Bytes HtbQdisc::class_backlog(std::uint32_t minor) const {
+  auto it = classes_.find(minor);
+  return it == classes_.end() ? 0 : it->second.queue.backlog_bytes();
+}
+
+void HtbQdisc::enqueue(const Chunk& chunk) {
+  std::uint32_t minor = chunk.band >= 0 ? static_cast<std::uint32_t>(chunk.band) : 0;
+  auto it = classes_.find(minor);
+  if (it == classes_.end() && default_minor_ != 0) {
+    it = classes_.find(default_minor_);
+  }
+  if (it == classes_.end()) {
+    direct_.push_back(chunk);
+    direct_bytes_ += chunk.size;
+    return;
+  }
+  it->second.queue.enqueue(chunk);
+}
+
+void HtbQdisc::refill(LeafClass& leaf, sim::Time now) const {
+  double dt = sim::to_seconds(now - leaf.last_refill);
+  if (dt <= 0) return;
+  leaf.tokens = std::min(static_cast<double>(leaf.cfg.burst),
+                         leaf.tokens + leaf.cfg.rate * dt);
+  leaf.ctokens = std::min(static_cast<double>(leaf.cfg.cburst),
+                          leaf.ctokens + leaf.cfg.ceil * dt);
+  leaf.last_refill = now;
+}
+
+void HtbQdisc::refill_root(sim::Time now) {
+  double dt = sim::to_seconds(now - root_last_refill_);
+  if (dt <= 0) return;
+  root_tokens_ = std::min(static_cast<double>(root_burst_),
+                          root_tokens_ + root_rate_ * dt);
+  root_last_refill_ = now;
+}
+
+HtbQdisc::Mode HtbQdisc::mode_of(const LeafClass& leaf) const {
+  if (root_tokens_ < 0) return Mode::kRed;
+  if (leaf.tokens >= 0) return Mode::kGreen;
+  if (leaf.ctokens >= 0) return Mode::kYellow;
+  return Mode::kRed;
+}
+
+double HtbQdisc::eligible_in(const LeafClass& leaf) const {
+  double root_wait = root_tokens_ >= 0 ? 0.0 : -root_tokens_ / root_rate_;
+  double green_wait = leaf.tokens >= 0 ? 0.0 : -leaf.tokens / leaf.cfg.rate;
+  double yellow_wait = leaf.ctokens >= 0 ? 0.0 : -leaf.ctokens / leaf.cfg.ceil;
+  return std::max(root_wait, std::min(green_wait, yellow_wait));
+}
+
+DequeueResult HtbQdisc::dequeue(sim::Time now) {
+  // Direct (unclassified) traffic bypasses shaping entirely, like htb's
+  // direct queue.
+  if (!direct_.empty()) {
+    Chunk c = direct_.front();
+    direct_.pop_front();
+    direct_bytes_ -= c.size;
+    stats_.bytes_sent += c.size;
+    ++stats_.chunks_sent;
+    return DequeueResult::of(c);
+  }
+  if (backlog_chunks() == 0) return DequeueResult::idle();
+
+  refill_root(now);
+  for (auto& [minor, leaf] : classes_) {
+    (void)minor;
+    refill(leaf, now);
+  }
+
+  // Pick GREEN first, then YELLOW; tie-break by (prio, least recently
+  // served) for borrowing fairness among peers.
+  LeafClass* best = nullptr;
+  Mode best_mode = Mode::kRed;
+  auto better = [&](LeafClass& cand, Mode m) {
+    if (best == nullptr) return true;
+    if (m != best_mode) return m == Mode::kGreen;
+    if (cand.cfg.prio != best->cfg.prio) return cand.cfg.prio < best->cfg.prio;
+    return cand.last_served < best->last_served;
+  };
+  for (auto& [minor, leaf] : classes_) {
+    (void)minor;
+    if (leaf.queue.empty()) continue;
+    Mode m = mode_of(leaf);
+    if (m == Mode::kRed) continue;
+    if (better(leaf, m)) {
+      best = &leaf;
+      best_mode = m;
+    }
+  }
+
+  if (best == nullptr) {
+    // Everything backlogged is RED: report the earliest eligibility.
+    double wait_s = std::numeric_limits<double>::infinity();
+    for (auto& [minor, leaf] : classes_) {
+      (void)minor;
+      if (leaf.queue.empty()) continue;
+      wait_s = std::min(wait_s, eligible_in(leaf));
+    }
+    assert(std::isfinite(wait_s));
+    ++stats_.overlimits;
+    sim::Time retry = now + std::max<sim::Time>(sim::from_seconds(wait_s), 1);
+    return DequeueResult::wait_until(retry);
+  }
+
+  std::optional<Chunk> chunk = best->queue.dequeue();
+  assert(chunk.has_value());
+  double need = static_cast<double>(chunk->size);
+  // Sending consumes ceil credit and root credit; assured-rate credit only
+  // when sending green. Buckets may overdraw (go negative) by one chunk.
+  if (best_mode == Mode::kGreen) best->tokens -= need;
+  best->ctokens -= need;
+  root_tokens_ -= need;
+  best->last_served = ++serve_seq_;
+  stats_.bytes_sent += chunk->size;
+  ++stats_.chunks_sent;
+  best->stats.bytes_sent += chunk->size;
+  ++best->stats.chunks_sent;
+  if (best_mode == Mode::kGreen) {
+    ++stats_.green_sends;
+    ++best->stats.green_sends;
+  } else {
+    ++stats_.yellow_sends;
+    ++best->stats.yellow_sends;
+  }
+  return DequeueResult::of(*chunk);
+}
+
+void HtbQdisc::drain(std::vector<Chunk>& out) {
+  out.insert(out.end(), direct_.begin(), direct_.end());
+  direct_.clear();
+  direct_bytes_ = 0;
+  for (auto& [minor, leaf] : classes_) {
+    (void)minor;
+    while (auto c = leaf.queue.dequeue()) out.push_back(*c);
+  }
+}
+
+Bytes HtbQdisc::backlog_bytes() const {
+  Bytes total = direct_bytes_;
+  for (const auto& [minor, leaf] : classes_) {
+    (void)minor;
+    total += leaf.queue.backlog_bytes();
+  }
+  return total;
+}
+
+QdiscStats HtbQdisc::class_stats(std::uint32_t minor) const {
+  auto it = classes_.find(minor);
+  return it == classes_.end() ? QdiscStats{} : it->second.stats;
+}
+
+std::string HtbQdisc::stats_text() const {
+  std::ostringstream os;
+  os << "qdisc htb: sent " << stats_.bytes_sent << " bytes "
+     << stats_.chunks_sent << " chunks (green " << stats_.green_sends
+     << ", yellow " << stats_.yellow_sends << "), overlimits "
+     << stats_.overlimits << ", backlog " << backlog_bytes() << " bytes\n";
+  for (const auto& [minor, leaf] : classes_) {
+    os << "  class 1:" << std::hex << minor << std::dec << " prio "
+       << leaf.cfg.prio << ": sent " << leaf.stats.bytes_sent << " bytes "
+       << leaf.stats.chunks_sent << " chunks (green "
+       << leaf.stats.green_sends << ", yellow " << leaf.stats.yellow_sends
+       << "), backlog " << leaf.queue.backlog_bytes() << " bytes\n";
+  }
+  return os.str();
+}
+
+std::size_t HtbQdisc::backlog_chunks() const {
+  std::size_t total = direct_.size();
+  for (const auto& [minor, leaf] : classes_) {
+    (void)minor;
+    total += leaf.queue.backlog_chunks();
+  }
+  return total;
+}
+
+}  // namespace tls::net

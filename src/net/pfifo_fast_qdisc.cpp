@@ -1,0 +1,66 @@
+#include "net/pfifo_fast_qdisc.hpp"
+
+#include <sstream>
+
+namespace tls::net {
+
+int PfifoFastQdisc::priomap(FlowKind kind) {
+  switch (kind) {
+    case FlowKind::kControl: return 0;        // interactive
+    case FlowKind::kModelUpdate: return 1;    // best effort
+    case FlowKind::kGradientUpdate: return 1; // best effort
+    case FlowKind::kBulk: return 2;           // background
+  }
+  return 1;
+}
+
+void PfifoFastQdisc::enqueue(const Chunk& chunk) {
+  int band = priomap(chunk.kind);
+  bands_[static_cast<std::size_t>(band)].push_back(chunk);
+  band_bytes_[static_cast<std::size_t>(band)] += chunk.size;
+}
+
+DequeueResult PfifoFastQdisc::dequeue(sim::Time /*now*/) {
+  for (int b = 0; b < kBands; ++b) {
+    auto& band = bands_[static_cast<std::size_t>(b)];
+    if (band.empty()) continue;
+    Chunk c = band.front();
+    band.pop_front();
+    band_bytes_[static_cast<std::size_t>(b)] -= c.size;
+    stats_.bytes_sent += c.size;
+    ++stats_.chunks_sent;
+    return DequeueResult::of(c);
+  }
+  return DequeueResult::idle();
+}
+
+Bytes PfifoFastQdisc::backlog_bytes() const {
+  return band_bytes_[0] + band_bytes_[1] + band_bytes_[2];
+}
+
+std::size_t PfifoFastQdisc::backlog_chunks() const {
+  return bands_[0].size() + bands_[1].size() + bands_[2].size();
+}
+
+void PfifoFastQdisc::drain(std::vector<Chunk>& out) {
+  for (int b = 0; b < kBands; ++b) {
+    auto& band = bands_[static_cast<std::size_t>(b)];
+    out.insert(out.end(), band.begin(), band.end());
+    band.clear();
+    band_bytes_[static_cast<std::size_t>(b)] = 0;
+  }
+}
+
+std::string PfifoFastQdisc::stats_text() const {
+  std::ostringstream os;
+  os << "qdisc pfifo_fast bands 3: sent " << stats_.bytes_sent << " bytes "
+     << stats_.chunks_sent << " chunks, backlog " << backlog_bytes()
+     << " bytes\n";
+  for (int b = 0; b < kBands; ++b) {
+    os << "  band " << b << ": backlog "
+       << band_bytes_[static_cast<std::size_t>(b)] << " bytes\n";
+  }
+  return os.str();
+}
+
+}  // namespace tls::net

@@ -1,0 +1,36 @@
+#include "net/pfifo_qdisc.hpp"
+
+#include <sstream>
+
+namespace tls::net {
+
+void PfifoQdisc::enqueue(const Chunk& chunk) {
+  queue_.push_back(chunk);
+  backlog_bytes_ += chunk.size;
+}
+
+void PfifoQdisc::drain(std::vector<Chunk>& out) {
+  out.insert(out.end(), queue_.begin(), queue_.end());
+  queue_.clear();
+  backlog_bytes_ = 0;
+}
+
+DequeueResult PfifoQdisc::dequeue(sim::Time /*now*/) {
+  if (queue_.empty()) return DequeueResult::idle();
+  Chunk c = queue_.front();
+  queue_.pop_front();
+  backlog_bytes_ -= c.size;
+  stats_.bytes_sent += c.size;
+  ++stats_.chunks_sent;
+  return DequeueResult::of(c);
+}
+
+std::string PfifoQdisc::stats_text() const {
+  std::ostringstream os;
+  os << "qdisc pfifo: sent " << stats_.bytes_sent << " bytes "
+     << stats_.chunks_sent << " chunks, backlog " << backlog_bytes_
+     << " bytes " << queue_.size() << " chunks\n";
+  return os.str();
+}
+
+}  // namespace tls::net

@@ -1,0 +1,110 @@
+#include "net/port.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <utility>
+
+#include "net/pfifo_qdisc.hpp"
+
+namespace tls::net {
+
+EgressPort::EgressPort(sim::Simulator& simulator, Rate rate,
+                       TransmitDone on_transmit)
+    : sim_(simulator),
+      rate_(rate),
+      on_transmit_(std::move(on_transmit)),
+      qdisc_(std::make_unique<PfifoQdisc>()) {
+  assert(rate_ > 0);
+  assert(on_transmit_);
+}
+
+void EgressPort::submit(Chunk chunk, const FlowSpec& spec) {
+  chunk.band = classifier_.classify(spec);
+  qdisc_->enqueue(chunk);
+  counters_.peak_backlog_bytes =
+      std::max(counters_.peak_backlog_bytes, qdisc_->backlog_bytes());
+  kick();
+}
+
+void EgressPort::set_qdisc(std::unique_ptr<Qdisc> qdisc) {
+  assert(qdisc);
+  std::vector<Chunk> backlog;
+  qdisc_->drain(backlog);
+  qdisc_ = std::move(qdisc);
+  for (const Chunk& c : backlog) qdisc_->enqueue(c);
+  kick();
+}
+
+void EgressPort::kick() {
+  if (busy_) return;
+  DequeueResult r = qdisc_->dequeue(sim_.now());
+  switch (r.kind) {
+    case DequeueResult::Kind::kChunk: {
+      if (retry_armed_) {
+        sim_.cancel(retry_event_);
+        retry_armed_ = false;
+      }
+      busy_ = true;
+      Chunk chunk = r.chunk;
+      sim_.schedule_after(transmit_time(chunk.size, rate_),
+                          [this, chunk] { finish_transmit(chunk); });
+      break;
+    }
+    case DequeueResult::Kind::kWaitUntil: {
+      // Re-arm the poll; a newer enqueue may land earlier, in which case
+      // kick() runs again and the earlier of the two polls wins.
+      if (retry_armed_) sim_.cancel(retry_event_);
+      retry_armed_ = true;
+      retry_event_ = sim_.schedule_at(std::max(r.retry_at, sim_.now() + 1),
+                                      [this] {
+                                        retry_armed_ = false;
+                                        kick();
+                                      });
+      break;
+    }
+    case DequeueResult::Kind::kIdle:
+      break;
+  }
+}
+
+void EgressPort::finish_transmit(const Chunk& chunk) {
+  busy_ = false;
+  counters_.bytes += chunk.size;
+  ++counters_.chunks;
+  on_transmit_(chunk);
+  kick();
+}
+
+IngressPort::IngressPort(sim::Simulator& simulator, Rate rate,
+                         Delivered on_delivered)
+    : sim_(simulator), rate_(rate), on_delivered_(std::move(on_delivered)) {
+  assert(rate_ > 0);
+  assert(on_delivered_);
+}
+
+void IngressPort::arrive(const Chunk& chunk) {
+  queue_.push_back(chunk);
+  backlog_bytes_ += chunk.size;
+  counters_.peak_backlog_bytes =
+      std::max(counters_.peak_backlog_bytes, backlog_bytes_);
+  if (!busy_) serve_next();
+}
+
+void IngressPort::serve_next() {
+  if (queue_.empty()) {
+    busy_ = false;
+    return;
+  }
+  busy_ = true;
+  Chunk chunk = queue_.front();
+  queue_.pop_front();
+  backlog_bytes_ -= chunk.size;
+  sim_.schedule_after(transmit_time(chunk.size, rate_), [this, chunk] {
+    counters_.bytes += chunk.size;
+    ++counters_.chunks;
+    on_delivered_(chunk);
+    serve_next();
+  });
+}
+
+}  // namespace tls::net

@@ -1,0 +1,103 @@
+// Host NIC ports: the egress side schedules through a pluggable qdisc, the
+// ingress side is a plain FIFO drain (receive fan-in contention).
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+
+#include "net/classifier.hpp"
+#include "net/qdisc.hpp"
+#include "simcore/simulator.hpp"
+
+namespace tls::net {
+
+/// Cumulative byte/chunk counters for one direction of a port; the ifstat
+/// analog reads these.
+struct PortCounters {
+  Bytes bytes = 0;
+  std::uint64_t chunks = 0;
+  Bytes peak_backlog_bytes = 0;
+};
+
+/// Transmit side of a host NIC. Owns the classifier and qdisc; serializes
+/// one chunk at a time at the line rate and hands completed chunks to the
+/// fabric for delivery.
+class EgressPort {
+ public:
+  using TransmitDone = std::function<void(const Chunk&)>;
+
+  EgressPort(sim::Simulator& simulator, Rate rate, TransmitDone on_transmit);
+
+  EgressPort(const EgressPort&) = delete;
+  EgressPort& operator=(const EgressPort&) = delete;
+
+  /// Classifies `spec`, stamps the chunk's band, enqueues, and kicks the
+  /// link if idle.
+  void submit(Chunk chunk, const FlowSpec& spec);
+
+  /// Replaces the queueing discipline. Backlogged chunks are migrated into
+  /// the new qdisc in the old one's service order (Linux would drop them;
+  /// our transfers are lossless). Migrated chunks keep their band stamp —
+  /// the new discipline clamps or default-routes unknown bands.
+  void set_qdisc(std::unique_ptr<Qdisc> qdisc);
+
+  Qdisc& qdisc() { return *qdisc_; }
+  const Qdisc& qdisc() const { return *qdisc_; }
+  Classifier& classifier() { return classifier_; }
+  const Classifier& classifier() const { return classifier_; }
+
+  Rate rate() const { return rate_; }
+  bool busy() const { return busy_; }
+  const PortCounters& counters() const { return counters_; }
+
+  /// Re-polls the qdisc if the link is idle; safe to call any time (the tc
+  /// applier calls this after reconfiguration).
+  void kick();
+
+ private:
+  void finish_transmit(const Chunk& chunk);
+
+  sim::Simulator& sim_;
+  Rate rate_;
+  TransmitDone on_transmit_;
+  std::unique_ptr<Qdisc> qdisc_;
+  Classifier classifier_;
+  bool busy_ = false;
+  bool retry_armed_ = false;
+  sim::EventId retry_event_{};
+  PortCounters counters_;
+};
+
+/// Receive side of a host NIC: FIFO service at line rate, modeling fan-in
+/// serialization at the receiver.
+class IngressPort {
+ public:
+  using Delivered = std::function<void(const Chunk&)>;
+
+  IngressPort(sim::Simulator& simulator, Rate rate, Delivered on_delivered);
+
+  IngressPort(const IngressPort&) = delete;
+  IngressPort& operator=(const IngressPort&) = delete;
+
+  /// Chunk arrives from the switch; queued behind any chunk in service.
+  void arrive(const Chunk& chunk);
+
+  Rate rate() const { return rate_; }
+  Bytes backlog_bytes() const { return backlog_bytes_; }
+  const PortCounters& counters() const { return counters_; }
+
+ private:
+  void serve_next();
+
+  sim::Simulator& sim_;
+  Rate rate_;
+  Delivered on_delivered_;
+  std::deque<Chunk> queue_;
+  Bytes backlog_bytes_ = 0;
+  bool busy_ = false;
+  PortCounters counters_;
+};
+
+}  // namespace tls::net

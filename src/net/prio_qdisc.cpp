@@ -1,0 +1,68 @@
+#include "net/prio_qdisc.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+
+namespace tls::net {
+
+PrioQdisc::PrioQdisc(int bands, Bytes quantum) {
+  assert(bands >= 1 && bands <= kMaxBands);
+  bands_.reserve(static_cast<std::size_t>(bands));
+  for (int i = 0; i < bands; ++i) bands_.emplace_back(quantum);
+  band_stats_.resize(static_cast<std::size_t>(bands));
+}
+
+void PrioQdisc::enqueue(const Chunk& chunk) {
+  // Out-of-range bands are clamped to the lowest priority, mirroring how a
+  // misconfigured tc filter lands traffic in the last band.
+  int b = std::clamp<int>(chunk.band, 0, bands() - 1);
+  bands_[static_cast<std::size_t>(b)].enqueue(chunk);
+}
+
+DequeueResult PrioQdisc::dequeue(sim::Time /*now*/) {
+  for (std::size_t b = 0; b < bands_.size(); ++b) {
+    if (auto c = bands_[b].dequeue()) {
+      stats_.bytes_sent += c->size;
+      ++stats_.chunks_sent;
+      band_stats_[b].bytes_sent += c->size;
+      ++band_stats_[b].chunks_sent;
+      return DequeueResult::of(*c);
+    }
+  }
+  return DequeueResult::idle();
+}
+
+std::string PrioQdisc::stats_text() const {
+  std::ostringstream os;
+  os << "qdisc prio bands " << bands() << ": sent " << stats_.bytes_sent
+     << " bytes " << stats_.chunks_sent << " chunks, backlog "
+     << backlog_bytes() << " bytes\n";
+  for (std::size_t b = 0; b < bands_.size(); ++b) {
+    os << "  band " << b << ": sent " << band_stats_[b].bytes_sent
+       << " bytes " << band_stats_[b].chunks_sent << " chunks, backlog "
+       << bands_[b].backlog_bytes() << " bytes, " << bands_[b].active_flows()
+       << " active flows\n";
+  }
+  return os.str();
+}
+
+void PrioQdisc::drain(std::vector<Chunk>& out) {
+  for (auto& band : bands_) {
+    while (auto c = band.dequeue()) out.push_back(*c);
+  }
+}
+
+Bytes PrioQdisc::backlog_bytes() const {
+  Bytes total = 0;
+  for (const auto& b : bands_) total += b.backlog_bytes();
+  return total;
+}
+
+std::size_t PrioQdisc::backlog_chunks() const {
+  std::size_t total = 0;
+  for (const auto& b : bands_) total += b.backlog_chunks();
+  return total;
+}
+
+}  // namespace tls::net

@@ -1,0 +1,87 @@
+// Queueing-discipline interface for the simulated egress NIC.
+//
+// The EgressPort polls its qdisc whenever the link goes idle. A qdisc can
+// answer with a chunk to transmit, with "nothing can be sent before time T"
+// (rate-limited disciplines such as htb), or with "empty".
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "net/chunk.hpp"
+#include "simcore/time.hpp"
+
+namespace tls::net {
+
+/// Cumulative service counters of a qdisc (or one of its classes/bands),
+/// the `tc -s` statistics analog.
+struct QdiscStats {
+  Bytes bytes_sent = 0;
+  std::uint64_t chunks_sent = 0;
+  /// htb only: sends at assured rate (green) vs borrowed (yellow).
+  std::uint64_t green_sends = 0;
+  std::uint64_t yellow_sends = 0;
+  /// Rate-limited stalls reported to the port (kWaitUntil results).
+  std::uint64_t overlimits = 0;
+};
+
+/// Result of a dequeue attempt.
+struct DequeueResult {
+  enum class Kind { kChunk, kWaitUntil, kIdle };
+  Kind kind = Kind::kIdle;
+  Chunk chunk{};
+  sim::Time retry_at = 0;
+
+  static DequeueResult idle() { return {}; }
+  static DequeueResult wait_until(sim::Time t) {
+    DequeueResult r;
+    r.kind = Kind::kWaitUntil;
+    r.retry_at = t;
+    return r;
+  }
+  static DequeueResult of(const Chunk& c) {
+    DequeueResult r;
+    r.kind = Kind::kChunk;
+    r.chunk = c;
+    return r;
+  }
+};
+
+/// Abstract egress queueing discipline.
+///
+/// Disciplines are lossless: the flow-transport admission window bounds the
+/// backlog instead of tail-drop + retransmission (see DESIGN.md §4).
+class Qdisc {
+ public:
+  virtual ~Qdisc() = default;
+
+  /// Adds a chunk. `chunk.band` has already been set by the classifier.
+  virtual void enqueue(const Chunk& chunk) = 0;
+
+  /// Attempts to pick the next chunk to put on the wire at time `now`.
+  virtual DequeueResult dequeue(sim::Time now) = 0;
+
+  virtual Bytes backlog_bytes() const = 0;
+  virtual std::size_t backlog_chunks() const = 0;
+
+  /// Removes all queued chunks in service order, appending them to `out`.
+  /// Used to migrate backlog when the root qdisc is replaced (Linux drops
+  /// the backlog on `tc qdisc replace`; a lossless simulation migrates).
+  virtual void drain(std::vector<Chunk>& out) = 0;
+
+  /// Whole-qdisc service counters (`tc -s qdisc show` analog).
+  virtual const QdiscStats& stats() const = 0;
+
+  /// Human-readable statistics dump, one line per class/band where the
+  /// discipline has them.
+  virtual std::string stats_text() const = 0;
+
+  /// Discipline name for introspection ("pfifo", "prio", "htb").
+  virtual std::string kind() const = 0;
+
+  bool empty() const { return backlog_chunks() == 0; }
+};
+
+}  // namespace tls::net

@@ -1,0 +1,58 @@
+#include "net/tbf_qdisc.hpp"
+
+#include <algorithm>
+#include <cassert>
+#include <sstream>
+#include <stdexcept>
+
+namespace tls::net {
+
+TbfQdisc::TbfQdisc(const TbfConfig& config)
+    : config_(config), tokens_(static_cast<double>(config.burst)) {
+  if (config_.rate <= 0) throw std::invalid_argument("tbf rate <= 0");
+  if (config_.burst <= 0) throw std::invalid_argument("tbf burst <= 0");
+}
+
+void TbfQdisc::enqueue(const Chunk& chunk) {
+  queue_.push_back(chunk);
+  backlog_bytes_ += chunk.size;
+}
+
+DequeueResult TbfQdisc::dequeue(sim::Time now) {
+  if (queue_.empty()) return DequeueResult::idle();
+  double dt = sim::to_seconds(now - last_refill_);
+  if (dt > 0) {
+    tokens_ = std::min(static_cast<double>(config_.burst),
+                       tokens_ + config_.rate * dt);
+    last_refill_ = now;
+  }
+  if (tokens_ < 0) {
+    ++stats_.overlimits;
+    sim::Time wait = sim::from_seconds(-tokens_ / config_.rate);
+    return DequeueResult::wait_until(now + std::max<sim::Time>(wait, 1));
+  }
+  Chunk c = queue_.front();
+  queue_.pop_front();
+  backlog_bytes_ -= c.size;
+  tokens_ -= static_cast<double>(c.size);
+  stats_.bytes_sent += c.size;
+  ++stats_.chunks_sent;
+  return DequeueResult::of(c);
+}
+
+void TbfQdisc::drain(std::vector<Chunk>& out) {
+  out.insert(out.end(), queue_.begin(), queue_.end());
+  queue_.clear();
+  backlog_bytes_ = 0;
+}
+
+std::string TbfQdisc::stats_text() const {
+  std::ostringstream os;
+  os << "qdisc tbf rate " << config_.rate * 8 / 1e6 << "mbit: sent "
+     << stats_.bytes_sent << " bytes " << stats_.chunks_sent
+     << " chunks, overlimits " << stats_.overlimits << ", backlog "
+     << backlog_bytes_ << " bytes\n";
+  return os.str();
+}
+
+}  // namespace tls::net

@@ -1,0 +1,45 @@
+// Basic network quantities and conversions.
+#pragma once
+
+#include <cassert>
+#include <cstdint>
+
+#include "simcore/time.hpp"
+
+namespace tls::net {
+
+/// Index of a host in the cluster (dense, 0-based).
+using HostId = std::int32_t;
+
+/// Byte counts and sizes.
+using Bytes = std::int64_t;
+
+/// Link / class rates in bytes per second.
+using Rate = double;
+
+/// Unique id of an in-flight transfer.
+using FlowId = std::uint64_t;
+
+/// Priority band index inside a qdisc (0 = highest priority).
+using BandId = std::int32_t;
+
+inline constexpr Bytes kKiB = 1024;
+inline constexpr Bytes kMiB = 1024 * 1024;
+
+/// Converts gigabits/second (link spec convention) to bytes/second.
+constexpr Rate gbps(double g) { return g * 1e9 / 8.0; }
+
+/// Converts megabits/second to bytes/second.
+constexpr Rate mbps(double m) { return m * 1e6 / 8.0; }
+
+/// Serialization delay of `bytes` at `rate`, rounded up to >= 1 ns so a
+/// transmission always advances simulated time.
+inline sim::Time transmit_time(Bytes bytes, Rate rate) {
+  assert(bytes >= 0);
+  assert(rate > 0);
+  double s = static_cast<double>(bytes) / rate;
+  sim::Time t = sim::from_seconds(s);
+  return t > 0 ? t : 1;
+}
+
+}  // namespace tls::net

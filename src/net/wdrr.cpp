@@ -1,0 +1,60 @@
+#include "net/wdrr.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tls::net {
+
+WdrrBand::WdrrBand(Bytes quantum) : quantum_(quantum) { assert(quantum_ > 0); }
+
+void WdrrBand::enqueue(const Chunk& chunk) {
+  auto [it, inserted] = flows_.try_emplace(chunk.flow);
+  FlowQueue& fq = it->second;
+  if (inserted || fq.chunks.empty()) {
+    fq.weight = std::max(chunk.weight, kMinWeight);
+  }
+  fq.chunks.push_back(chunk);
+  backlog_bytes_ += chunk.size;
+  ++backlog_chunks_;
+  if (!fq.in_round) {
+    fq.in_round = true;
+    fq.deficit = 0;
+    active_.push_back(chunk.flow);
+  }
+}
+
+std::optional<Chunk> WdrrBand::dequeue() {
+  if (backlog_chunks_ == 0) return std::nullopt;
+  // Each iteration either serves a chunk or tops up one flow's deficit and
+  // rotates it; with weight >= kMinWeight a flow needs at most
+  // ceil(chunk/quantum/kMinWeight) top-ups, so this terminates quickly.
+  for (;;) {
+    assert(!active_.empty());
+    FlowId fid = active_.front();
+    auto it = flows_.find(fid);
+    assert(it != flows_.end());
+    FlowQueue& fq = it->second;
+    assert(!fq.chunks.empty());
+    const Chunk& head = fq.chunks.front();
+    if (fq.deficit < head.size) {
+      fq.deficit += static_cast<Bytes>(static_cast<double>(quantum_) * fq.weight);
+      active_.pop_front();
+      active_.push_back(fid);
+      continue;
+    }
+    Chunk served = head;
+    fq.deficit -= served.size;
+    fq.chunks.pop_front();
+    backlog_bytes_ -= served.size;
+    --backlog_chunks_;
+    if (fq.chunks.empty()) {
+      fq.in_round = false;
+      fq.deficit = 0;
+      active_.pop_front();
+      flows_.erase(it);
+    }
+    return served;
+  }
+}
+
+}  // namespace tls::net

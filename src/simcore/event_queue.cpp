@@ -1,0 +1,67 @@
+#include "simcore/event_queue.hpp"
+
+#include <algorithm>
+#include <cassert>
+
+namespace tls::sim {
+
+EventId EventQueue::schedule(Time at, Callback cb) {
+  assert(cb);
+  std::uint64_t seq = next_seq_++;
+  heap_.push_back(Entry{at, seq, std::move(cb)});
+  std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
+  ++live_;
+  return EventId{seq};
+}
+
+bool EventQueue::cancel(EventId id) {
+  if (id.seq == 0 || id.seq >= next_seq_) return false;
+  if (is_cancelled(id.seq)) return false;
+  // The event may already have fired; verify it is still in the heap.
+  bool pending = std::any_of(heap_.begin(), heap_.end(),
+                             [&](const Entry& e) { return e.seq == id.seq; });
+  if (!pending) return false;
+  auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id.seq);
+  cancelled_.insert(it, id.seq);
+  --live_;
+  return true;
+}
+
+bool EventQueue::is_cancelled(std::uint64_t seq) const {
+  return std::binary_search(cancelled_.begin(), cancelled_.end(), seq);
+}
+
+void EventQueue::skim() {
+  while (!heap_.empty() && is_cancelled(heap_.front().seq)) {
+    std::uint64_t seq = heap_.front().seq;
+    std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+    heap_.pop_back();
+    auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), seq);
+    assert(it != cancelled_.end() && *it == seq);
+    cancelled_.erase(it);
+  }
+}
+
+Time EventQueue::peek_time() {
+  skim();
+  assert(!heap_.empty());
+  return heap_.front().at;
+}
+
+std::pair<Time, EventQueue::Callback> EventQueue::pop() {
+  skim();
+  assert(!heap_.empty());
+  std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
+  Entry e = std::move(heap_.back());
+  heap_.pop_back();
+  --live_;
+  return {e.at, std::move(e.cb)};
+}
+
+void EventQueue::clear() {
+  heap_.clear();
+  cancelled_.clear();
+  live_ = 0;
+}
+
+}  // namespace tls::sim

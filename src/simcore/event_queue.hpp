@@ -1,0 +1,78 @@
+// Pending-event set for the discrete-event simulator.
+//
+// A binary heap keyed on (time, sequence number). The sequence number makes
+// ordering of simultaneous events deterministic (FIFO by scheduling order),
+// which in turn makes whole experiments reproducible. Events can be
+// cancelled in O(1) amortized via tombstoning: cancellation marks the entry
+// dead and it is skipped at pop time.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace tls::sim {
+
+/// Opaque handle identifying a scheduled event; used for cancellation.
+struct EventId {
+  std::uint64_t seq = 0;
+  friend bool operator==(const EventId&, const EventId&) = default;
+};
+
+/// Min-heap of timed callbacks with stable ordering and O(1) cancellation.
+class EventQueue {
+ public:
+  using Callback = std::function<void()>;
+
+  EventQueue() = default;
+  EventQueue(const EventQueue&) = delete;
+  EventQueue& operator=(const EventQueue&) = delete;
+
+  /// Schedules `cb` at absolute time `at`. Returns a handle usable with
+  /// cancel(). Events at equal times fire in scheduling order.
+  EventId schedule(Time at, Callback cb);
+
+  /// Cancels a previously scheduled event. Returns true if the event was
+  /// still pending (and is now guaranteed not to fire), false if it already
+  /// fired or was already cancelled.
+  bool cancel(EventId id);
+
+  /// True when no live events remain.
+  bool empty() const { return live_ == 0; }
+
+  /// Number of live (non-cancelled, not-yet-fired) events.
+  std::size_t size() const { return live_; }
+
+  /// Time of the earliest live event. Requires !empty().
+  Time peek_time();
+
+  /// Removes and returns the earliest live event. Requires !empty().
+  /// The returned pair is (time, callback).
+  std::pair<Time, Callback> pop();
+
+  /// Drops everything, firing nothing.
+  void clear();
+
+ private:
+  struct Entry {
+    Time at;
+    std::uint64_t seq;
+    Callback cb;
+    bool operator>(const Entry& o) const {
+      return at != o.at ? at > o.at : seq > o.seq;
+    }
+  };
+
+  // Pops cancelled entries off the top of the heap.
+  void skim();
+  bool is_cancelled(std::uint64_t seq) const;
+
+  std::vector<Entry> heap_;
+  std::vector<std::uint64_t> cancelled_;  // sorted-insert small set
+  std::uint64_t next_seq_ = 1;
+  std::size_t live_ = 0;
+};
+
+}  // namespace tls::sim

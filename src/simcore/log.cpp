@@ -1,0 +1,67 @@
+#include "simcore/log.hpp"
+
+#include <cstdio>
+#include <iomanip>
+
+#include "simcore/simulator.hpp"
+
+namespace tls::sim {
+
+namespace {
+LogLevel g_level = LogLevel::kWarn;
+const Simulator* g_clock = nullptr;
+Log::Sink g_sink;
+
+void default_sink(LogLevel level, const std::string& msg) {
+  std::string prefix;
+  if (g_clock != nullptr) {
+    prefix = "[" + format_time(g_clock->now()) + "] ";
+  }
+  std::fprintf(stderr, "%s%-5s %s\n", prefix.c_str(), Log::level_name(level),
+               msg.c_str());
+}
+}  // namespace
+
+LogLevel Log::level() { return g_level; }
+void Log::set_level(LogLevel level) { g_level = level; }
+void Log::attach_clock(const Simulator* sim) { g_clock = sim; }
+void Log::set_sink(Sink sink) { g_sink = std::move(sink); }
+
+void Log::write(LogLevel level, const std::string& msg) {
+  if (!enabled(level)) return;
+  if (g_sink) {
+    g_sink(level, msg);
+  } else {
+    default_sink(level, msg);
+  }
+}
+
+const char* Log::level_name(LogLevel l) {
+  switch (l) {
+    case LogLevel::kTrace: return "TRACE";
+    case LogLevel::kDebug: return "DEBUG";
+    case LogLevel::kInfo: return "INFO";
+    case LogLevel::kWarn: return "WARN";
+    case LogLevel::kError: return "ERROR";
+    case LogLevel::kOff: return "OFF";
+  }
+  return "?";
+}
+
+std::string format_time(Time t) {
+  std::ostringstream os;
+  os << std::setprecision(4);
+  Time a = t < 0 ? -t : t;
+  if (a >= kSecond) {
+    os << to_seconds(t) << "s";
+  } else if (a >= kMillisecond) {
+    os << to_millis(t) << "ms";
+  } else if (a >= kMicrosecond) {
+    os << static_cast<double>(t) / kMicrosecond << "us";
+  } else {
+    os << t << "ns";
+  }
+  return os.str();
+}
+
+}  // namespace tls::sim

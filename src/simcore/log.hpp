@@ -1,0 +1,75 @@
+// Minimal leveled logger for the simulator.
+//
+// Logging is off by default (kWarn) so experiment binaries stay quiet; tests
+// and examples raise the level explicitly. Messages are timestamped with the
+// *simulation* clock when a Simulator is attached, which is what one wants
+// when debugging event interleavings.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+#include "simcore/time.hpp"
+
+namespace tls::sim {
+
+class Simulator;
+
+enum class LogLevel { kTrace = 0, kDebug = 1, kInfo = 2, kWarn = 3, kError = 4, kOff = 5 };
+
+/// Process-wide logger configuration.
+class Log {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static LogLevel level();
+  static void set_level(LogLevel level);
+
+  /// Attaches the simulator whose clock timestamps messages (nullptr to
+  /// detach; wall-clock-free "t=?" prefix is then used).
+  static void attach_clock(const Simulator* sim);
+
+  /// Replaces the output sink (default writes to stderr). Pass nullptr to
+  /// restore the default.
+  static void set_sink(Sink sink);
+
+  /// Emits a message if `level` is enabled.
+  static void write(LogLevel level, const std::string& msg);
+
+  static bool enabled(LogLevel l) { return l >= level(); }
+
+  static const char* level_name(LogLevel l);
+};
+
+namespace detail {
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { Log::write(level_, os_.str()); }
+  template <typename T>
+  LogLine& operator<<(const T& v) {
+    os_ << v;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream os_;
+};
+}  // namespace detail
+
+}  // namespace tls::sim
+
+// Streaming log macros; the stream expression is not evaluated when the
+// level is disabled.
+#define TLS_LOG(lvl)                                  \
+  if (!::tls::sim::Log::enabled(lvl)) {               \
+  } else                                              \
+    ::tls::sim::detail::LogLine(lvl)
+
+#define TLS_TRACE TLS_LOG(::tls::sim::LogLevel::kTrace)
+#define TLS_DEBUG TLS_LOG(::tls::sim::LogLevel::kDebug)
+#define TLS_INFO TLS_LOG(::tls::sim::LogLevel::kInfo)
+#define TLS_WARN TLS_LOG(::tls::sim::LogLevel::kWarn)
+#define TLS_ERROR TLS_LOG(::tls::sim::LogLevel::kError)

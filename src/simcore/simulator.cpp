@@ -1,0 +1,80 @@
+#include "simcore/simulator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace tls::sim {
+
+Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
+
+EventId Simulator::schedule_after(Time delay, EventQueue::Callback cb) {
+  assert(delay >= 0);
+  return queue_.schedule(now_ + delay, std::move(cb));
+}
+
+EventId Simulator::schedule_at(Time at, EventQueue::Callback cb) {
+  assert(at >= now_);
+  return queue_.schedule(at, std::move(cb));
+}
+
+std::uint64_t Simulator::run(Time until) {
+  std::uint64_t n = 0;
+  while (!queue_.empty()) {
+    Time t = queue_.peek_time();
+    if (t > until) break;
+    auto [at, cb] = queue_.pop();
+    assert(at >= now_);
+    now_ = at;
+    cb();
+    ++n;
+    ++dispatched_;
+    if (event_limit_ != 0 && dispatched_ >= event_limit_) {
+      throw std::runtime_error("Simulator event limit exceeded");
+    }
+  }
+  // When stopping on the time bound with events still pending, advance the
+  // clock to the bound so now() reflects the elapsed horizon.
+  if (!queue_.empty() && until != kTimeMax && now_ < until) now_ = until;
+  return n;
+}
+
+bool Simulator::step() {
+  if (queue_.empty()) return false;
+  auto [at, cb] = queue_.pop();
+  now_ = at;
+  cb();
+  ++dispatched_;
+  return true;
+}
+
+PeriodicTimer::PeriodicTimer(Simulator& simulator, Time period,
+                             std::function<void()> on_tick)
+    : sim_(simulator), period_(period), on_tick_(std::move(on_tick)) {
+  assert(period_ > 0);
+  assert(on_tick_);
+}
+
+PeriodicTimer::~PeriodicTimer() { stop(); }
+
+void PeriodicTimer::start(Time phase) {
+  if (running_) return;
+  running_ = true;
+  arm(phase >= 0 ? phase : period_);
+}
+
+void PeriodicTimer::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+  pending_ = EventId{};
+}
+
+void PeriodicTimer::arm(Time delay) {
+  pending_ = sim_.schedule_after(delay, [this] {
+    if (!running_) return;
+    on_tick_();
+    if (running_) arm(period_);
+  });
+}
+
+}  // namespace tls::sim

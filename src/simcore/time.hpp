@@ -1,0 +1,48 @@
+// Simulation time: a signed 64-bit count of nanoseconds since experiment
+// start. Integer time keeps event ordering exact and experiments bit-for-bit
+// reproducible across platforms; doubles are used only for rates.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace tls::sim {
+
+/// Simulation timestamp or duration, in nanoseconds.
+using Time = std::int64_t;
+
+inline constexpr Time kNanosecond = 1;
+inline constexpr Time kMicrosecond = 1'000;
+inline constexpr Time kMillisecond = 1'000'000;
+inline constexpr Time kSecond = 1'000'000'000;
+
+/// Largest representable time; used as "never".
+inline constexpr Time kTimeMax = INT64_MAX;
+
+/// Converts a duration in (fractional) seconds to a Time, rounding to the
+/// nearest nanosecond. Negative durations are preserved.
+constexpr Time from_seconds(double s) {
+  return static_cast<Time>(s * static_cast<double>(kSecond) + (s >= 0 ? 0.5 : -0.5));
+}
+
+/// Converts a duration in (fractional) milliseconds to a Time.
+constexpr Time from_millis(double ms) { return from_seconds(ms / 1e3); }
+
+/// Converts a duration in (fractional) microseconds to a Time.
+constexpr Time from_micros(double us) { return from_seconds(us / 1e6); }
+
+/// Converts a Time to fractional seconds (for reporting and rate math).
+constexpr double to_seconds(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kSecond);
+}
+
+/// Converts a Time to fractional milliseconds.
+constexpr double to_millis(Time t) {
+  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+}
+
+/// Renders a time as a compact human-readable string, e.g. "1.250s",
+/// "37.5ms", "800ns". Chooses the coarsest unit that keeps the value >= 1.
+std::string format_time(Time t);
+
+}  // namespace tls::sim

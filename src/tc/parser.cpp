@@ -1,0 +1,284 @@
+#include "tc/parser.hpp"
+
+#include <cctype>
+#include <cstdlib>
+#include <sstream>
+
+namespace tls::tc {
+
+std::vector<std::string> tokenize(const std::string& line) {
+  std::vector<std::string> tokens;
+  std::istringstream is(line);
+  std::string tok;
+  while (is >> tok) tokens.push_back(tok);
+  return tokens;
+}
+
+namespace {
+
+/// Cursor over the token stream with error accumulation.
+class Cursor {
+ public:
+  explicit Cursor(std::vector<std::string> tokens) : tokens_(std::move(tokens)) {}
+
+  bool done() const { return pos_ >= tokens_.size(); }
+  const std::string& peek() const {
+    static const std::string kEmpty;
+    return done() ? kEmpty : tokens_[pos_];
+  }
+  std::string next() {
+    if (done()) return {};
+    return tokens_[pos_++];
+  }
+  /// Consumes `word` if it is next; returns whether it was.
+  bool accept(const std::string& word) {
+    if (!done() && tokens_[pos_] == word) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+ private:
+  std::vector<std::string> tokens_;
+  std::size_t pos_ = 0;
+};
+
+std::optional<int> parse_int(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  char* end = nullptr;
+  long v = std::strtol(s.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0') return std::nullopt;
+  return static_cast<int>(v);
+}
+
+std::optional<std::uint16_t> parse_port(const std::string& s) {
+  auto v = parse_int(s);
+  if (!v || *v < 0 || *v > 65535) return std::nullopt;
+  return static_cast<std::uint16_t>(*v);
+}
+
+ParseResult parse_qdisc(Cursor& c) {
+  std::string op = c.next();
+  if (op == "del" || op == "delete") {
+    if (!c.accept("dev")) return ParseResult::failure("expected 'dev'");
+    QdiscDelCmd cmd;
+    cmd.dev = c.next();
+    if (cmd.dev.empty()) return ParseResult::failure("expected device name");
+    if (!c.accept("root")) return ParseResult::failure("expected 'root'");
+    return ParseResult::success(cmd);
+  }
+  if (op != "add" && op != "replace") {
+    return ParseResult::failure("unknown qdisc operation '" + op + "'");
+  }
+  QdiscAddCmd cmd;
+  cmd.replace = (op == "replace");
+  if (!c.accept("dev")) return ParseResult::failure("expected 'dev'");
+  cmd.dev = c.next();
+  if (cmd.dev.empty()) return ParseResult::failure("expected device name");
+  if (!c.accept("root")) return ParseResult::failure("expected 'root'");
+  if (c.accept("handle")) {
+    auto h = Handle::parse(c.next());
+    if (!h || h->minor != 0) return ParseResult::failure("bad qdisc handle");
+    cmd.spec.handle = *h;
+  }
+  std::string kind = c.next();
+  if (kind == "pfifo") {
+    cmd.spec.kind = QdiscKind::kPfifo;
+    // pfifo accepts "limit N" in tc; our queues are lossless, so accept and
+    // ignore the value for command compatibility.
+    if (c.accept("limit")) {
+      if (!parse_int(c.next())) return ParseResult::failure("bad pfifo limit");
+    }
+  } else if (kind == "prio") {
+    cmd.spec.kind = QdiscKind::kPrio;
+    if (c.accept("bands")) {
+      auto n = parse_int(c.next());
+      if (!n || *n < 1 || *n > 16) return ParseResult::failure("bad band count");
+      cmd.spec.prio_bands = *n;
+    }
+  } else if (kind == "pfifo_fast") {
+    cmd.spec.kind = QdiscKind::kPfifoFast;
+  } else if (kind == "htb") {
+    cmd.spec.kind = QdiscKind::kHtb;
+    if (c.accept("default")) {
+      // tc parses the htb default minor as hex.
+      auto h = Handle::parse(":" + c.next());
+      if (!h) return ParseResult::failure("bad htb default");
+      cmd.spec.htb_default = h->minor;
+    }
+  } else if (kind == "tbf") {
+    cmd.spec.kind = QdiscKind::kTbf;
+    bool saw_rate = false;
+    while (!c.done()) {
+      std::string key = c.next();
+      std::string val = c.next();
+      if (val.empty()) return ParseResult::failure("missing value for '" + key + "'");
+      if (key == "rate") {
+        auto r = parse_rate(val);
+        if (!r) return ParseResult::failure("bad tbf rate '" + val + "'");
+        cmd.spec.tbf_rate = *r;
+        saw_rate = true;
+      } else if (key == "burst") {
+        auto s = parse_size(val);
+        if (!s) return ParseResult::failure("bad tbf burst '" + val + "'");
+        cmd.spec.tbf_burst = *s;
+      } else if (key == "limit" || key == "latency") {
+        // Accepted for command compatibility; our queues are lossless.
+        if (!parse_size(val) && !parse_int(val)) {
+          return ParseResult::failure("bad tbf " + key);
+        }
+      } else {
+        return ParseResult::failure("unknown tbf parameter '" + key + "'");
+      }
+    }
+    if (!saw_rate) return ParseResult::failure("tbf requires 'rate'");
+  } else {
+    return ParseResult::failure("unknown qdisc kind '" + kind + "'");
+  }
+  if (!c.done()) return ParseResult::failure("trailing tokens after qdisc spec");
+  return ParseResult::success(cmd);
+}
+
+ParseResult parse_class(Cursor& c) {
+  std::string op = c.next();
+  if (op == "del" || op == "delete") {
+    if (!c.accept("dev")) return ParseResult::failure("expected 'dev'");
+    ClassDelCmd cmd;
+    cmd.dev = c.next();
+    if (cmd.dev.empty()) return ParseResult::failure("expected device name");
+    if (!c.accept("classid")) return ParseResult::failure("expected 'classid'");
+    auto h = Handle::parse(c.next());
+    if (!h || h->minor == 0) return ParseResult::failure("bad classid");
+    cmd.classid = *h;
+    return ParseResult::success(cmd);
+  }
+  if (op != "add" && op != "change") {
+    return ParseResult::failure("unknown class operation '" + op + "'");
+  }
+  ClassAddCmd cmd;
+  cmd.change = (op == "change");
+  if (!c.accept("dev")) return ParseResult::failure("expected 'dev'");
+  cmd.dev = c.next();
+  if (cmd.dev.empty()) return ParseResult::failure("expected device name");
+  if (!c.accept("parent")) return ParseResult::failure("expected 'parent'");
+  auto parent = Handle::parse(c.next());
+  if (!parent) return ParseResult::failure("bad parent handle");
+  cmd.spec.parent = *parent;
+  if (!c.accept("classid")) return ParseResult::failure("expected 'classid'");
+  auto classid = Handle::parse(c.next());
+  if (!classid || classid->minor == 0) return ParseResult::failure("bad classid");
+  cmd.spec.classid = *classid;
+  if (!c.accept("htb")) return ParseResult::failure("only htb classes supported");
+  bool saw_rate = false;
+  while (!c.done()) {
+    std::string key = c.next();
+    std::string val = c.next();
+    if (val.empty()) return ParseResult::failure("missing value for '" + key + "'");
+    if (key == "rate") {
+      auto r = parse_rate(val);
+      if (!r) return ParseResult::failure("bad rate '" + val + "'");
+      cmd.spec.rate = *r;
+      saw_rate = true;
+    } else if (key == "ceil") {
+      auto r = parse_rate(val);
+      if (!r) return ParseResult::failure("bad ceil '" + val + "'");
+      cmd.spec.ceil = *r;
+    } else if (key == "burst") {
+      auto s = parse_size(val);
+      if (!s) return ParseResult::failure("bad burst '" + val + "'");
+      cmd.spec.burst = *s;
+    } else if (key == "cburst") {
+      auto s = parse_size(val);
+      if (!s) return ParseResult::failure("bad cburst '" + val + "'");
+      cmd.spec.cburst = *s;
+    } else if (key == "prio") {
+      auto p = parse_int(val);
+      if (!p || *p < 0 || *p > 7) return ParseResult::failure("bad prio '" + val + "'");
+      cmd.spec.prio = *p;
+    } else if (key == "quantum") {
+      auto s = parse_size(val);
+      if (!s) return ParseResult::failure("bad quantum '" + val + "'");
+      cmd.spec.quantum = *s;
+    } else {
+      return ParseResult::failure("unknown class parameter '" + key + "'");
+    }
+  }
+  if (!saw_rate) return ParseResult::failure("htb class requires 'rate'");
+  return ParseResult::success(cmd);
+}
+
+ParseResult parse_filter(Cursor& c) {
+  std::string op = c.next();
+  if (op == "del" || op == "delete") {
+    if (!c.accept("dev")) return ParseResult::failure("expected 'dev'");
+    FilterDelCmd cmd;
+    cmd.dev = c.next();
+    if (cmd.dev.empty()) return ParseResult::failure("expected device name");
+    if (!c.accept("pref")) return ParseResult::failure("expected 'pref'");
+    auto p = parse_int(c.next());
+    if (!p) return ParseResult::failure("bad pref");
+    cmd.pref = *p;
+    return ParseResult::success(cmd);
+  }
+  if (op != "add") return ParseResult::failure("unknown filter operation '" + op + "'");
+  FilterAddCmd cmd;
+  if (!c.accept("dev")) return ParseResult::failure("expected 'dev'");
+  cmd.dev = c.next();
+  if (cmd.dev.empty()) return ParseResult::failure("expected device name");
+  if (c.accept("protocol")) {
+    if (c.next() != "ip") return ParseResult::failure("only 'protocol ip' supported");
+  }
+  if (!c.accept("parent")) return ParseResult::failure("expected 'parent'");
+  auto parent = Handle::parse(c.next());
+  if (!parent) return ParseResult::failure("bad parent handle");
+  cmd.parent = *parent;
+  if (c.accept("pref")) {
+    auto p = parse_int(c.next());
+    if (!p) return ParseResult::failure("bad pref");
+    cmd.spec.pref = *p;
+  }
+  if (!c.accept("u32")) return ParseResult::failure("only u32 filters supported");
+  bool saw_flowid = false;
+  while (!c.done()) {
+    if (c.accept("match")) {
+      if (!c.accept("ip")) return ParseResult::failure("expected 'ip' after match");
+      std::string field = c.next();
+      auto port = parse_port(c.next());
+      if (!port) return ParseResult::failure("bad port in match");
+      std::string mask = c.next();
+      if (mask != "0xffff") return ParseResult::failure("port match requires mask 0xffff");
+      if (field == "sport") {
+        cmd.spec.sport = *port;
+      } else if (field == "dport") {
+        cmd.spec.dport = *port;
+      } else {
+        return ParseResult::failure("unsupported match field '" + field + "'");
+      }
+    } else if (c.accept("flowid")) {
+      auto h = Handle::parse(c.next());
+      if (!h || h->minor == 0) return ParseResult::failure("bad flowid");
+      cmd.spec.flowid = *h;
+      saw_flowid = true;
+    } else {
+      return ParseResult::failure("unexpected token '" + c.peek() + "' in filter");
+    }
+  }
+  if (!saw_flowid) return ParseResult::failure("filter requires 'flowid'");
+  return ParseResult::success(cmd);
+}
+
+}  // namespace
+
+ParseResult parse_command(const std::string& line) {
+  Cursor c(tokenize(line));
+  if (c.done()) return ParseResult::failure("empty command");
+  c.accept("tc");  // optional leading binary name
+  std::string object = c.next();
+  if (object == "qdisc") return parse_qdisc(c);
+  if (object == "class") return parse_class(c);
+  if (object == "filter") return parse_filter(c);
+  return ParseResult::failure("unknown tc object '" + object + "'");
+}
+
+}  // namespace tls::tc

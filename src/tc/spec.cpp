@@ -1,0 +1,134 @@
+#include "tc/spec.hpp"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace tls::tc {
+
+const char* to_string(QdiscKind kind) {
+  switch (kind) {
+    case QdiscKind::kPfifo: return "pfifo";
+    case QdiscKind::kPfifoFast: return "pfifo_fast";
+    case QdiscKind::kPrio: return "prio";
+    case QdiscKind::kHtb: return "htb";
+    case QdiscKind::kTbf: return "tbf";
+  }
+  return "?";
+}
+
+namespace {
+std::optional<std::uint16_t> parse_hex16(const std::string& s) {
+  if (s.empty() || s.size() > 4) return std::nullopt;
+  std::uint32_t v = 0;
+  for (char c : s) {
+    int d;
+    if (c >= '0' && c <= '9') d = c - '0';
+    else if (c >= 'a' && c <= 'f') d = c - 'a' + 10;
+    else if (c >= 'A' && c <= 'F') d = c - 'A' + 10;
+    else return std::nullopt;
+    v = v * 16 + static_cast<std::uint32_t>(d);
+  }
+  if (v > 0xFFFF) return std::nullopt;
+  return static_cast<std::uint16_t>(v);
+}
+
+/// Splits "<number><suffix>"; returns (value, suffix) or nullopt.
+std::optional<std::pair<double, std::string>> split_number(const std::string& s) {
+  if (s.empty()) return std::nullopt;
+  std::size_t i = 0;
+  while (i < s.size() &&
+         (std::isdigit(static_cast<unsigned char>(s[i])) || s[i] == '.')) {
+    ++i;
+  }
+  if (i == 0) return std::nullopt;
+  char* end = nullptr;
+  double v = std::strtod(s.substr(0, i).c_str(), &end);
+  if (end == nullptr || *end != '\0' || !std::isfinite(v)) return std::nullopt;
+  std::string suffix = s.substr(i);
+  for (char& c : suffix) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  return std::make_pair(v, suffix);
+}
+}  // namespace
+
+std::optional<Handle> Handle::parse(const std::string& text) {
+  auto colon = text.find(':');
+  if (colon == std::string::npos) return std::nullopt;
+  std::string major_s = text.substr(0, colon);
+  std::string minor_s = text.substr(colon + 1);
+  Handle h;
+  if (!major_s.empty()) {
+    auto m = parse_hex16(major_s);
+    if (!m) return std::nullopt;
+    h.major = *m;
+  }
+  if (!minor_s.empty()) {
+    auto m = parse_hex16(minor_s);
+    if (!m) return std::nullopt;
+    h.minor = *m;
+  }
+  if (major_s.empty() && minor_s.empty()) return std::nullopt;
+  return h;
+}
+
+std::string Handle::str() const {
+  char buf[16];
+  if (minor == 0) {
+    std::snprintf(buf, sizeof(buf), "%x:", major);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%x:%x", major, minor);
+  }
+  return buf;
+}
+
+std::optional<net::Rate> parse_rate(const std::string& text) {
+  auto parts = split_number(text);
+  if (!parts) return std::nullopt;
+  auto [v, suffix] = *parts;
+  double bits_per_sec;
+  if (suffix.empty() || suffix == "bit") bits_per_sec = v;
+  else if (suffix == "kbit") bits_per_sec = v * 1e3;
+  else if (suffix == "mbit") bits_per_sec = v * 1e6;
+  else if (suffix == "gbit") bits_per_sec = v * 1e9;
+  else if (suffix == "tbit") bits_per_sec = v * 1e12;
+  // tc's *bps family is bytes per second.
+  else if (suffix == "bps") bits_per_sec = v * 8;
+  else if (suffix == "kbps") bits_per_sec = v * 8e3;
+  else if (suffix == "mbps") bits_per_sec = v * 8e6;
+  else if (suffix == "gbps") bits_per_sec = v * 8e9;
+  else return std::nullopt;
+  if (bits_per_sec <= 0) return std::nullopt;
+  return bits_per_sec / 8.0;
+}
+
+std::optional<net::Bytes> parse_size(const std::string& text) {
+  auto parts = split_number(text);
+  if (!parts) return std::nullopt;
+  auto [v, suffix] = *parts;
+  double bytes;
+  if (suffix.empty() || suffix == "b") bytes = v;
+  else if (suffix == "k" || suffix == "kb") bytes = v * 1024.0;
+  else if (suffix == "m" || suffix == "mb") bytes = v * 1024.0 * 1024.0;
+  else if (suffix == "g" || suffix == "gb") bytes = v * 1024.0 * 1024.0 * 1024.0;
+  else return std::nullopt;
+  if (bytes <= 0) return std::nullopt;
+  return static_cast<net::Bytes>(bytes);
+}
+
+std::string format_rate(net::Rate bytes_per_sec) {
+  double bits = bytes_per_sec * 8.0;
+  char buf[32];
+  if (bits >= 1e9) {
+    std::snprintf(buf, sizeof(buf), "%ggbit", bits / 1e9);
+  } else if (bits >= 1e6) {
+    std::snprintf(buf, sizeof(buf), "%gmbit", bits / 1e6);
+  } else if (bits >= 1e3) {
+    std::snprintf(buf, sizeof(buf), "%gkbit", bits / 1e3);
+  } else {
+    std::snprintf(buf, sizeof(buf), "%gbit", bits);
+  }
+  return buf;
+}
+
+}  // namespace tls::tc

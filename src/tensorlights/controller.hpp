@@ -1,0 +1,105 @@
+// The TensorLights controller: the paper's end-host traffic scheduler.
+//
+// One logical daemon per host (implemented as one object holding per-host
+// state). It subscribes to job arrival/departure, and on every host that
+// runs parameter servers it installs an htb (or prio) root qdisc whose
+// bands realize per-job priorities; each job's model-update traffic is
+// steered into its band by a tc filter matching the PS's TCP port. Under
+// TLs-RR a timer rotates the assignment every interval T. Hosts without
+// PS tasks are never touched, and all commands go through the tc DSL —
+// exactly the deployment story of the paper (no application, scheduler, or
+// hardware changes).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include "cluster/launcher.hpp"
+#include "simcore/simulator.hpp"
+#include "tc/tc.hpp"
+#include "tensorlights/policy.hpp"
+
+namespace tls::core {
+
+class Controller : public cluster::JobEventListener {
+ public:
+  Controller(sim::Simulator& simulator, tc::TrafficControl& control,
+             ControllerConfig config);
+  ~Controller() override;
+
+  Controller(const Controller&) = delete;
+  Controller& operator=(const Controller&) = delete;
+
+  void on_job_arrival(const dl::JobSpec& spec,
+                      const dl::JobPlacement& placement) override;
+  void on_job_departure(const dl::JobSpec& spec,
+                        const dl::JobPlacement& placement) override;
+
+  const ControllerConfig& config() const { return config_; }
+
+  /// Band currently assigned to a job's model updates, or -1 when the job
+  /// is not managed (FIFO policy or unknown job). For a multi-PS job this
+  /// is the band on the job's lowest-numbered PS host; ranks are computed
+  /// per host, so shards on different hosts may sit in different bands.
+  int band_of(std::int32_t job_id) const;
+
+  /// Priority rank of a job among the PS jobs of its (first) PS host
+  /// (0 = highest), or -1 when unmanaged.
+  int rank_of(std::int32_t job_id) const;
+
+  /// True when the controller has installed a qdisc on this host.
+  bool host_configured(net::HostId host) const;
+
+  /// Number of TLs-RR rotations performed so far.
+  std::uint64_t rotations() const { return rotations_; }
+
+ private:
+  struct ManagedShard {
+    int shard = 0;
+    std::uint16_t port = 0;
+  };
+  struct ManagedJob {
+    std::int32_t job_id = 0;
+    net::Bytes update_bytes = 0;
+    std::uint64_t arrival_seq = 0;
+    std::uint64_t random_key = 0;
+    /// PS shards of this job living on this host (usually one).
+    std::vector<ManagedShard> shards;
+  };
+  struct HostState {
+    bool configured = false;
+    std::vector<ManagedJob> jobs;  // in arrival order
+  };
+
+  void configure_host(net::HostId host);
+  /// Computes ranks for a host's jobs under the current strategy and
+  /// rotation offset, then (re)issues one filter per job.
+  void install_filters(net::HostId host);
+  /// Two-sided mode: (re)issues gradient-steering filters on every worker
+  /// host of every managed job (bands follow the jobs' current ranks).
+  void install_gradient_filters();
+  std::vector<int> ranks_for(const HostState& state) const;
+  void rotate();
+  void exec_or_die(const std::string& command);
+
+  sim::Simulator& sim_;
+  tc::TrafficControl& control_;
+  ControllerConfig config_;
+  struct GradientState {
+    std::vector<net::HostId> worker_hosts;
+    std::vector<std::uint16_t> ps_ports;  // indexed by shard
+  };
+
+  sim::Rng rng_;
+  std::map<net::HostId, HostState> hosts_;
+  std::map<std::int32_t, std::vector<net::HostId>> job_hosts_;
+  std::map<std::int32_t, GradientState> gradient_jobs_;
+  std::uint64_t arrivals_ = 0;
+  std::uint64_t rotations_ = 0;
+  std::uint64_t rotation_offset_ = 0;
+  std::unique_ptr<sim::PeriodicTimer> rotation_timer_;
+};
+
+}  // namespace tls::core

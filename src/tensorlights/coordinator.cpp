@@ -1,0 +1,70 @@
+#include "tensorlights/coordinator.hpp"
+
+#include <cassert>
+#include <stdexcept>
+#include <utility>
+
+namespace tls::core {
+
+CentralCoordinator::CentralCoordinator(sim::Simulator& simulator,
+                                       CoordinatorConfig config)
+    : sim_(simulator), config_(config) {
+  if (config_.slots_per_host < 1) {
+    throw std::invalid_argument("slots_per_host < 1");
+  }
+  if (config_.coordination_rtt < 0) {
+    throw std::invalid_argument("negative coordination_rtt");
+  }
+}
+
+void CentralCoordinator::request(net::HostId host, net::Bytes /*bytes*/,
+                                 std::function<void()> grant) {
+  assert(grant);
+  // The request itself travels to the coordinator first.
+  sim_.schedule_after(config_.coordination_rtt, [this, host,
+                                                 g = std::move(grant)]() mutable {
+    HostState& state = hosts_[host];
+    Pending pending{std::move(g), sim_.now()};
+    if (state.active < config_.slots_per_host) {
+      issue(host, std::move(pending));
+    } else {
+      state.queue.push_back(std::move(pending));
+    }
+  });
+}
+
+void CentralCoordinator::issue(net::HostId host, Pending pending) {
+  HostState& state = hosts_[host];
+  ++state.active;
+  ++grants_;
+  total_wait_s_ += sim::to_seconds(sim_.now() - pending.enqueued);
+  // The grant travels back to the requesting host.
+  sim_.schedule_after(config_.coordination_rtt,
+                      [g = std::move(pending.grant)] { g(); });
+}
+
+void CentralCoordinator::release(net::HostId host) {
+  // The release notification also takes one trip to the coordinator.
+  sim_.schedule_after(config_.coordination_rtt, [this, host] {
+    HostState& state = hosts_[host];
+    assert(state.active > 0);
+    --state.active;
+    if (!state.queue.empty() && state.active < config_.slots_per_host) {
+      Pending next = std::move(state.queue.front());
+      state.queue.pop_front();
+      issue(host, std::move(next));
+    }
+  });
+}
+
+int CentralCoordinator::active(net::HostId host) const {
+  auto it = hosts_.find(host);
+  return it == hosts_.end() ? 0 : it->second.active;
+}
+
+std::size_t CentralCoordinator::queued(net::HostId host) const {
+  auto it = hosts_.find(host);
+  return it == hosts_.end() ? 0 : it->second.queue.size();
+}
+
+}  // namespace tls::core

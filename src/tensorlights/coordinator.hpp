@@ -1,0 +1,68 @@
+// Centralized transmission coordinator — the paper's Future Work #2
+// ("a customized protocol to coordinate model/gradient updates ...
+// orchestrated by a logically centralized coordinator"), built as a
+// TransmissionGate so it can be compared head-to-head with TensorLights.
+//
+// Each per-iteration model-update burst must obtain a slot on its egress
+// host before transmitting; at most `slots_per_host` bursts are active per
+// host at a time (1 = fully serialized bursts — the ideal schedule a
+// global coordinator would aim for). Every grant costs one coordination
+// round trip, the overhead the paper warns about: with RTT = 0 this is an
+// oracle; with realistic RTTs the oracle pays for its coordination.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <map>
+
+#include "dl/transmission_gate.hpp"
+#include "simcore/simulator.hpp"
+
+namespace tls::core {
+
+struct CoordinatorConfig {
+  /// Concurrent bursts allowed per egress host.
+  int slots_per_host = 1;
+  /// One-way request latency to the coordinator; a grant costs two of
+  /// these (request + response).
+  sim::Time coordination_rtt = 2 * sim::kMillisecond;
+};
+
+class CentralCoordinator final : public dl::TransmissionGate {
+ public:
+  CentralCoordinator(sim::Simulator& simulator, CoordinatorConfig config);
+
+  void request(net::HostId host, net::Bytes bytes,
+               std::function<void()> grant) override;
+  void release(net::HostId host) override;
+
+  /// Grants issued so far.
+  std::uint64_t grants() const { return grants_; }
+  /// Total time bursts spent queued waiting for a slot (excludes the RTT).
+  double total_wait_s() const { return total_wait_s_; }
+  /// Bursts currently holding a slot on `host`.
+  int active(net::HostId host) const;
+  /// Bursts queued on `host`.
+  std::size_t queued(net::HostId host) const;
+
+ private:
+  struct Pending {
+    std::function<void()> grant;
+    sim::Time enqueued = 0;
+  };
+  struct HostState {
+    int active = 0;
+    std::deque<Pending> queue;
+  };
+
+  void issue(net::HostId host, Pending pending);
+
+  sim::Simulator& sim_;
+  CoordinatorConfig config_;
+  std::map<net::HostId, HostState> hosts_;
+  std::uint64_t grants_ = 0;
+  double total_wait_s_ = 0;
+};
+
+}  // namespace tls::core

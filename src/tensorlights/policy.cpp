@@ -1,0 +1,40 @@
+#include "tensorlights/policy.hpp"
+
+#include <cassert>
+
+namespace tls::core {
+
+const char* to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kFifo: return "FIFO";
+    case PolicyKind::kTlsOne: return "TLs-One";
+    case PolicyKind::kTlsRR: return "TLs-RR";
+  }
+  return "?";
+}
+
+const char* to_string(AssignStrategy strategy) {
+  switch (strategy) {
+    case AssignStrategy::kArrivalOrder: return "arrival-order";
+    case AssignStrategy::kRandom: return "random";
+    case AssignStrategy::kSmallestModelFirst: return "smallest-model-first";
+  }
+  return "?";
+}
+
+const char* to_string(DataPlane plane) {
+  switch (plane) {
+    case DataPlane::kHtb: return "htb";
+    case DataPlane::kPrio: return "prio";
+  }
+  return "?";
+}
+
+int band_for_rank(int rank, int n, int bands) {
+  assert(rank >= 0 && rank < n && bands >= 1);
+  if (n <= bands) return rank;
+  // Spread n jobs across the bands evenly; consecutive ranks share.
+  return rank * bands / n;
+}
+
+}  // namespace tls::core

@@ -1,0 +1,68 @@
+// TensorLights policy configuration.
+#pragma once
+
+#include "simcore/time.hpp"
+
+namespace tls::core {
+
+/// Network scheduling policy under evaluation.
+enum class PolicyKind {
+  /// Baseline: no tc configuration at all; the NIC keeps its default FIFO
+  /// behaviour.
+  kFifo,
+  /// TensorLights-One: distinct per-job priority, reconfigured only on job
+  /// arrival and departure (batch mode, Section IV-B).
+  kTlsOne,
+  /// TensorLights-Round-Robin: like TLs-One but the assignment rotates
+  /// every `rotation_interval` for long-term fairness (Section IV-C).
+  kTlsRR,
+};
+
+const char* to_string(PolicyKind kind);
+
+/// How arriving jobs are ranked into priorities on a host (Section IV-B:
+/// "we do not constrain how priorities are assigned").
+enum class AssignStrategy {
+  kArrivalOrder,        ///< earlier arrival = higher priority
+  kRandom,              ///< random, suited to homogeneous grid search
+  kSmallestModelFirst,  ///< avoid head-of-line blocking by big updates
+};
+
+const char* to_string(AssignStrategy strategy);
+
+/// Which qdisc the controller deploys on contended hosts.
+enum class DataPlane {
+  kHtb,   ///< hierarchical token bucket, as in the paper's implementation
+  kPrio,  ///< strict-priority bands; simpler, same scheduling order
+};
+
+const char* to_string(DataPlane plane);
+
+struct ControllerConfig {
+  PolicyKind policy = PolicyKind::kTlsOne;
+  AssignStrategy strategy = AssignStrategy::kArrivalOrder;
+  DataPlane data_plane = DataPlane::kHtb;
+  /// tc offers a limited number of distinct bands; the paper uses up to 6
+  /// and lets jobs share bands beyond that.
+  int max_bands = 6;
+  /// TLs-RR rotation interval T (paper: 20 s).
+  sim::Time rotation_interval = 20 * sim::kSecond;
+  /// Fraction of the link rate guaranteed to unclassified (non-model-
+  /// update) traffic through the htb default class, so colocated workers'
+  /// gradient pushes are not starved by prioritized bursts.
+  double default_class_rate_fraction = 0.2;
+
+  /// Two-sided extension: also configure every *worker* host and steer the
+  /// job's gradient updates (matched by destination PS port) into the
+  /// job's band. The paper's Insight #2 argues this is unnecessary —
+  /// PS-side control implicitly paces gradients — and this knob exists to
+  /// test exactly that claim (see bench_ablate_two_sided).
+  bool prioritize_gradients = false;
+};
+
+/// Maps a job's priority rank among `n` colocated jobs onto one of
+/// `bands` bands, spreading jobs evenly when n > bands (jobs then share
+/// bands, as the paper notes). rank 0 = highest priority = band 0.
+int band_for_rank(int rank, int n, int bands);
+
+}  // namespace tls::core

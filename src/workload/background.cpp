@@ -1,0 +1,76 @@
+#include "workload/background.hpp"
+
+#include <cassert>
+#include <stdexcept>
+
+namespace tls::workload {
+
+BackgroundTraffic::BackgroundTraffic(sim::Simulator& simulator,
+                                     net::Fabric& fabric,
+                                     BackgroundTrafficConfig config)
+    : sim_(simulator),
+      fabric_(fabric),
+      config_(config),
+      rng_(simulator.rng().fork("background")) {
+  if (config_.flows_per_second <= 0) {
+    throw std::invalid_argument("flows_per_second must be positive");
+  }
+  if (config_.mean_bytes < 1) {
+    throw std::invalid_argument("mean_bytes must be at least 1");
+  }
+  if (fabric_.num_hosts() < 2) {
+    throw std::invalid_argument("background traffic needs >= 2 hosts");
+  }
+}
+
+void BackgroundTraffic::start() {
+  if (running_) return;
+  running_ = true;
+  arm_next();
+}
+
+void BackgroundTraffic::stop() {
+  if (!running_) return;
+  running_ = false;
+  sim_.cancel(pending_);
+  pending_ = sim::EventId{};
+}
+
+void BackgroundTraffic::arm_next() {
+  double gap_s = rng_.exponential(1.0 / config_.flows_per_second);
+  pending_ = sim_.schedule_after(sim::from_seconds(gap_s), [this] {
+    if (!running_) return;
+    launch_one();
+    arm_next();
+  });
+}
+
+void BackgroundTraffic::launch_one() {
+  int n = fabric_.num_hosts();
+  net::HostId src = static_cast<net::HostId>(rng_.uniform_u64(
+      static_cast<std::uint64_t>(n)));
+  net::HostId dst = static_cast<net::HostId>(rng_.uniform_u64(
+      static_cast<std::uint64_t>(n - 1)));
+  if (dst >= src) ++dst;  // distinct endpoints, uniform over pairs
+
+  net::FlowSpec flow;
+  flow.src = src;
+  flow.dst = dst;
+  flow.bytes = std::max<net::Bytes>(
+      1, static_cast<net::Bytes>(
+             rng_.exponential(static_cast<double>(config_.mean_bytes))));
+  flow.dst_port = config_.port;
+  flow.kind = net::FlowKind::kBulk;
+  ++started_;
+  bytes_ += flow.bytes;
+  fabric_.start_flow(flow, [this](const net::FlowRecord& rec) {
+    ++completed_;
+    fct_sum_s_ += sim::to_seconds(rec.end - rec.start);
+  });
+}
+
+double BackgroundTraffic::mean_fct_s() const {
+  return completed_ == 0 ? 0.0 : fct_sum_s_ / static_cast<double>(completed_);
+}
+
+}  // namespace tls::workload

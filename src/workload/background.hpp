@@ -1,0 +1,65 @@
+// Background cross-traffic: Poisson flow arrivals with exponential sizes
+// between random host pairs. Production clusters never give DL jobs a
+// quiet network (the paper had to avoid the public cloud for exactly this
+// reason); this generator lets experiments ask whether TensorLights'
+// benefit survives interference and whether the htb default class keeps
+// background traffic from starving.
+#pragma once
+
+#include <cstdint>
+
+#include "net/fabric.hpp"
+#include "simcore/rng.hpp"
+#include "simcore/simulator.hpp"
+
+namespace tls::workload {
+
+struct BackgroundTrafficConfig {
+  /// Cluster-wide Poisson arrival rate.
+  double flows_per_second = 5.0;
+  /// Mean of the exponential flow-size distribution.
+  net::Bytes mean_bytes = 8 * net::kMiB;
+  /// Destination port carried by background flows (so tc filters can
+  /// match or ignore them).
+  std::uint16_t port = 9000;
+};
+
+class BackgroundTraffic {
+ public:
+  BackgroundTraffic(sim::Simulator& simulator, net::Fabric& fabric,
+                    BackgroundTrafficConfig config);
+
+  BackgroundTraffic(const BackgroundTraffic&) = delete;
+  BackgroundTraffic& operator=(const BackgroundTraffic&) = delete;
+
+  /// Begins generating flows; the first arrival is one inter-arrival time
+  /// from now.
+  void start();
+
+  /// Stops generating new flows (in-flight flows complete normally).
+  void stop();
+
+  bool running() const { return running_; }
+  std::uint64_t flows_started() const { return started_; }
+  std::uint64_t flows_completed() const { return completed_; }
+  net::Bytes bytes_injected() const { return bytes_; }
+  /// Mean completion time of finished background flows, seconds.
+  double mean_fct_s() const;
+
+ private:
+  void arm_next();
+  void launch_one();
+
+  sim::Simulator& sim_;
+  net::Fabric& fabric_;
+  BackgroundTrafficConfig config_;
+  sim::Rng rng_;
+  bool running_ = false;
+  sim::EventId pending_{};
+  std::uint64_t started_ = 0;
+  std::uint64_t completed_ = 0;
+  net::Bytes bytes_ = 0;
+  double fct_sum_s_ = 0;
+};
+
+}  // namespace tls::workload

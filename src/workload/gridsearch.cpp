@@ -1,0 +1,52 @@
+#include "workload/gridsearch.hpp"
+
+#include <stdexcept>
+
+namespace tls::workload {
+
+std::vector<dl::JobSpec> grid_search_jobs(const GridSearchConfig& config) {
+  if (config.num_jobs < 1) throw std::invalid_argument("num_jobs < 1");
+  if (config.local_batch_size < 1) {
+    throw std::invalid_argument("local_batch_size < 1");
+  }
+  std::vector<dl::JobSpec> specs;
+  specs.reserve(static_cast<std::size_t>(config.num_jobs));
+  for (int j = 0; j < config.num_jobs; ++j) {
+    dl::JobSpec spec;
+    spec.job_id = j;
+    spec.model = config.model;
+    spec.num_workers = config.workers_per_job;
+    spec.num_ps = config.ps_per_job;
+    spec.local_batch_size = config.local_batch_size;
+    spec.global_step_target = config.global_step_target;
+    spec.mode = config.mode;
+    spec.compute_sigma = config.compute_sigma;
+    if (config.step_overhead >= 0) spec.step_overhead = config.step_overhead;
+    specs.push_back(std::move(spec));
+  }
+  return specs;
+}
+
+std::vector<dl::JobSpec> heterogeneous_jobs(
+    const std::vector<MixEntry>& entries, int workers_per_job,
+    dl::TrainingMode mode, double compute_sigma) {
+  std::vector<dl::JobSpec> specs;
+  std::int32_t id = 0;
+  for (const MixEntry& e : entries) {
+    if (e.count < 1) throw std::invalid_argument("mix entry count < 1");
+    for (int j = 0; j < e.count; ++j) {
+      dl::JobSpec spec;
+      spec.job_id = id++;
+      spec.model = e.model;
+      spec.num_workers = workers_per_job;
+      spec.local_batch_size = e.local_batch_size;
+      spec.global_step_target = e.global_step_target;
+      spec.mode = mode;
+      spec.compute_sigma = compute_sigma;
+      specs.push_back(std::move(spec));
+    }
+  }
+  return specs;
+}
+
+}  // namespace tls::workload

@@ -1,0 +1,50 @@
+// Workload generators.
+//
+// The paper's evaluation workload is a grid search: N identical concurrent
+// jobs training the same model on the same dataset with different
+// hyper-parameters (identical compute/communication shape). The
+// heterogeneous mix generator adds jobs of different model sizes for the
+// smallest-model-first assignment experiments.
+#pragma once
+
+#include <vector>
+
+#include "dl/job.hpp"
+
+namespace tls::workload {
+
+struct GridSearchConfig {
+  int num_jobs = 21;
+  dl::ModelSpec model = dl::zoo::resnet32_cifar10();
+  int workers_per_job = 20;
+  /// PS shards per job (1 = the paper's main setup).
+  int ps_per_job = 1;
+  int local_batch_size = 4;
+  /// Paper target is 30000; benches scale this down — JCT ratios stabilize
+  /// after a few tens of iterations.
+  std::int64_t global_step_target = 3000;
+  dl::TrainingMode mode = dl::TrainingMode::kSync;
+  double compute_sigma = 0.12;
+  /// Per-local-step fixed overhead (see dl::JobSpec::step_overhead); -1
+  /// keeps the JobSpec default.
+  sim::Time step_overhead = -1;
+};
+
+/// N identical jobs with job ids 0..N-1 (ports assigned at launch).
+std::vector<dl::JobSpec> grid_search_jobs(const GridSearchConfig& config);
+
+struct MixEntry {
+  dl::ModelSpec model;
+  int count = 1;
+  int local_batch_size = 4;
+  std::int64_t global_step_target = 1000;
+};
+
+/// Concatenates groups of jobs with different models; worker count and
+/// training mode are shared. Job ids are assigned in order.
+std::vector<dl::JobSpec> heterogeneous_jobs(
+    const std::vector<MixEntry>& entries, int workers_per_job,
+    dl::TrainingMode mode = dl::TrainingMode::kSync,
+    double compute_sigma = 0.12);
+
+}  // namespace tls::workload

@@ -1,0 +1,134 @@
+#include "cluster/launcher.hpp"
+
+#include <gtest/gtest.h>
+
+#include "cluster/placement.hpp"
+#include "workload/gridsearch.hpp"
+
+namespace tls::cluster {
+namespace {
+
+struct Recorder : JobEventListener {
+  std::vector<std::pair<std::int32_t, sim::Time>> arrivals;
+  std::vector<std::pair<std::int32_t, sim::Time>> departures;
+  sim::Simulator* sim = nullptr;
+
+  void on_job_arrival(const dl::JobSpec& spec, const dl::JobPlacement&) override {
+    arrivals.emplace_back(spec.job_id, sim->now());
+  }
+  void on_job_departure(const dl::JobSpec& spec, const dl::JobPlacement&) override {
+    departures.emplace_back(spec.job_id, sim->now());
+  }
+};
+
+class LauncherTest : public ::testing::Test {
+ protected:
+  LauncherTest() : fabric_(sim_, make_fabric()), launcher_(sim_, fabric_) {
+    recorder_.sim = &sim_;
+  }
+
+  static net::FabricConfig make_fabric() {
+    net::FabricConfig c;
+    c.num_hosts = 4;
+    return c;
+  }
+
+  std::vector<dl::JobSpec> jobs(int n, std::int64_t target = 6) {
+    workload::GridSearchConfig w;
+    w.num_jobs = n;
+    w.workers_per_job = 3;
+    w.global_step_target = target;
+    return workload::grid_search_jobs(w);
+  }
+
+  sim::Simulator sim_{1};
+  net::Fabric fabric_;
+  Launcher launcher_;
+  Recorder recorder_;
+};
+
+TEST_F(LauncherTest, StaggeredLaunchTimes) {
+  launcher_.add_listener(&recorder_);
+  launcher_.launch_all(jobs(3), assign_tasks(table1(1, 3), 4, 3), {});
+  sim_.run();
+  ASSERT_EQ(recorder_.arrivals.size(), 3u);
+  EXPECT_EQ(recorder_.arrivals[0].second, 0);
+  EXPECT_EQ(recorder_.arrivals[1].second, 100 * sim::kMillisecond);
+  EXPECT_EQ(recorder_.arrivals[2].second, 200 * sim::kMillisecond);
+}
+
+TEST_F(LauncherTest, ArrivalPrecedesFirstFlow) {
+  struct Checker : JobEventListener {
+    net::Fabric* fabric = nullptr;
+    void on_job_arrival(const dl::JobSpec&, const dl::JobPlacement&) override {
+      // No traffic from this job may exist yet.
+      EXPECT_EQ(fabric->active_flows(), 0u);
+    }
+    void on_job_departure(const dl::JobSpec&, const dl::JobPlacement&) override {}
+  } checker;
+  checker.fabric = &fabric_;
+  launcher_.add_listener(&checker);
+  launcher_.launch_all(jobs(1), assign_tasks(table1(1, 1), 4, 3), {});
+  sim_.run(10 * sim::kMillisecond);
+}
+
+TEST_F(LauncherTest, DeparturesFireOnFinish) {
+  launcher_.add_listener(&recorder_);
+  launcher_.launch_all(jobs(2), assign_tasks(table1(1, 2), 4, 3), {});
+  sim_.run();
+  EXPECT_EQ(recorder_.departures.size(), 2u);
+  EXPECT_TRUE(launcher_.all_finished());
+  EXPECT_EQ(launcher_.finished_count(), 2);
+}
+
+TEST_F(LauncherTest, PortsAssignedWithStride) {
+  LaunchConfig cfg;
+  cfg.base_port = 6000;
+  cfg.port_stride = 32;
+  launcher_.launch_all(jobs(3), assign_tasks(table1(1, 3), 4, 3), cfg);
+  EXPECT_EQ(launcher_.jobs()[0]->spec().ps_port, 6000);
+  EXPECT_EQ(launcher_.jobs()[1]->spec().ps_port, 6032);
+  EXPECT_EQ(launcher_.jobs()[2]->spec().ps_port, 6064);
+}
+
+TEST_F(LauncherTest, PortStrideTooSmallRejected) {
+  LaunchConfig cfg;
+  cfg.port_stride = 4;  // needs 2 + 3 workers = 5
+  EXPECT_THROW(
+      launcher_.launch_all(jobs(2), assign_tasks(table1(1, 2), 4, 3), cfg),
+      std::invalid_argument);
+}
+
+TEST_F(LauncherTest, MismatchedSpecsAndPlacementsRejected) {
+  EXPECT_THROW(
+      launcher_.launch_all(jobs(3), assign_tasks(table1(1, 2), 4, 3), {}),
+      std::invalid_argument);
+}
+
+TEST_F(LauncherTest, SecondLaunchAllRejected) {
+  launcher_.launch_all(jobs(1), assign_tasks(table1(1, 1), 4, 3), {});
+  EXPECT_THROW(
+      launcher_.launch_all(jobs(1), assign_tasks(table1(1, 1), 4, 3), {}),
+      std::logic_error);
+}
+
+TEST_F(LauncherTest, AllFinishedFalseWhileRunning) {
+  launcher_.launch_all(jobs(1, /*target=*/30), assign_tasks(table1(1, 1), 4, 3), {});
+  EXPECT_FALSE(launcher_.all_finished());
+  sim_.run(sim_.now() + 10 * sim::kMillisecond);
+  EXPECT_FALSE(launcher_.all_finished());
+  sim_.run();
+  EXPECT_TRUE(launcher_.all_finished());
+}
+
+TEST_F(LauncherTest, BusySinkForwarded) {
+  int intervals = 0;
+  launcher_.set_busy_sink(
+      [&](net::HostId, sim::Time, sim::Time) { ++intervals; });
+  launcher_.launch_all(jobs(1), assign_tasks(table1(1, 1), 4, 3), {});
+  sim_.run();
+  EXPECT_GT(intervals, 0);
+}
+
+}  // namespace
+}  // namespace tls::cluster

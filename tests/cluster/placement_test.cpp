@@ -1,0 +1,145 @@
+#include "cluster/placement.hpp"
+
+#include <gtest/gtest.h>
+
+#include <numeric>
+#include <set>
+
+namespace tls::cluster {
+namespace {
+
+TEST(Placement, EvenGroupsBasic) {
+  PsPlacement p = even_groups(21, 4);
+  EXPECT_EQ(p.group_sizes, (std::vector<int>{5, 5, 5, 6}));
+  EXPECT_EQ(p.name, "5, 5, 5, 6");
+  EXPECT_EQ(p.total_jobs(), 21);
+}
+
+TEST(Placement, EvenGroupsExactDivision) {
+  EXPECT_EQ(even_groups(21, 3).group_sizes, (std::vector<int>{7, 7, 7}));
+  EXPECT_EQ(even_groups(21, 7).group_sizes,
+            (std::vector<int>{3, 3, 3, 3, 3, 3, 3}));
+}
+
+TEST(Placement, EvenGroupsValidation) {
+  EXPECT_THROW(even_groups(0, 1), std::invalid_argument);
+  EXPECT_THROW(even_groups(5, 0), std::invalid_argument);
+  EXPECT_THROW(even_groups(5, 6), std::invalid_argument);
+}
+
+TEST(Placement, TableOneMatchesPaper) {
+  // Table I of the paper for M = 21.
+  EXPECT_EQ(table1(1).group_sizes, (std::vector<int>{21}));
+  EXPECT_EQ(table1(2).group_sizes, (std::vector<int>{5, 16}));
+  EXPECT_EQ(table1(3).group_sizes, (std::vector<int>{10, 11}));
+  EXPECT_EQ(table1(4).group_sizes, (std::vector<int>{7, 7, 7}));
+  EXPECT_EQ(table1(5).group_sizes, (std::vector<int>{5, 5, 5, 6}));
+  EXPECT_EQ(table1(6).group_sizes, (std::vector<int>{4, 4, 4, 4, 5}));
+  EXPECT_EQ(table1(7).group_sizes, (std::vector<int>{3, 3, 3, 3, 3, 3, 3}));
+  EXPECT_EQ(table1(8).group_sizes, std::vector<int>(21, 1));
+}
+
+TEST(Placement, TableOneIndexRecorded) {
+  for (int i = 1; i <= 8; ++i) EXPECT_EQ(table1(i).index, i);
+  EXPECT_THROW(table1(0), std::invalid_argument);
+  EXPECT_THROW(table1(9), std::invalid_argument);
+}
+
+TEST(Placement, TableOneAllTotalsConsistent) {
+  for (const PsPlacement& p : table1_all(21)) EXPECT_EQ(p.total_jobs(), 21);
+}
+
+TEST(Placement, TableOneScalesToOtherJobCounts) {
+  for (int m : {8, 10, 30}) {
+    for (const PsPlacement& p : table1_all(m)) {
+      EXPECT_EQ(p.total_jobs(), m) << "index " << p.index << " m " << m;
+      for (int g : p.group_sizes) EXPECT_GE(g, 1);
+    }
+  }
+}
+
+TEST(Placement, HigherIndexMoreUniform) {
+  // The paper: "placement with a higher index tends to be more uniform."
+  auto max_group = [](const PsPlacement& p) {
+    return *std::max_element(p.group_sizes.begin(), p.group_sizes.end());
+  };
+  auto all = table1_all(21);
+  for (std::size_t i = 1; i < all.size(); ++i) {
+    EXPECT_LE(max_group(all[i]), max_group(all[i - 1]))
+        << "index " << all[i].index;
+  }
+}
+
+TEST(AssignTasks, PsHostsFollowGroups) {
+  auto jobs = assign_tasks(table1(4, 21), 21, 20);  // 7,7,7
+  ASSERT_EQ(jobs.size(), 21u);
+  for (int j = 0; j < 7; ++j) EXPECT_EQ(jobs[static_cast<size_t>(j)].ps_host, 0);
+  for (int j = 7; j < 14; ++j) EXPECT_EQ(jobs[static_cast<size_t>(j)].ps_host, 1);
+  for (int j = 14; j < 21; ++j) EXPECT_EQ(jobs[static_cast<size_t>(j)].ps_host, 2);
+}
+
+TEST(AssignTasks, WorkersOnePerHostExcludingPs) {
+  auto jobs = assign_tasks(table1(1, 21), 21, 20);
+  for (const auto& jp : jobs) {
+    EXPECT_EQ(jp.worker_hosts.size(), 20u);
+    std::set<net::HostId> hosts(jp.worker_hosts.begin(), jp.worker_hosts.end());
+    EXPECT_EQ(hosts.size(), 20u);                 // all distinct
+    EXPECT_EQ(hosts.count(jp.ps_host), 0u);       // none on the PS host
+  }
+}
+
+TEST(AssignTasks, AllHostsGetEqualWorkerLoad) {
+  auto jobs = assign_tasks(table1(8, 21), 21, 20);
+  std::vector<int> load(21, 0);
+  for (const auto& jp : jobs) {
+    for (net::HostId h : jp.worker_hosts) ++load[static_cast<size_t>(h)];
+  }
+  for (int l : load) EXPECT_EQ(l, 20);  // every host hosts 20 workers
+}
+
+TEST(AssignTasks, Validation) {
+  EXPECT_THROW(assign_tasks(table1(8, 21), 20, 19), std::invalid_argument);
+  EXPECT_THROW(assign_tasks(table1(1, 21), 21, 21), std::invalid_argument);
+  EXPECT_THROW(assign_tasks(table1(1, 21), 21, 0), std::invalid_argument);
+}
+
+TEST(AssignTasksSharded, ShardsWalkFromGroupHost) {
+  auto jobs = assign_tasks_sharded(table1(1, 4), 8, 5, /*num_ps=*/3);
+  ASSERT_EQ(jobs.size(), 4u);
+  for (const auto& jp : jobs) {
+    ASSERT_EQ(jp.ps_count(), 3);
+    EXPECT_EQ(jp.ps_shard_host(0), jp.ps_host);
+    EXPECT_EQ(jp.ps_shard_host(1), (jp.ps_host + 1) % 8);
+    EXPECT_EQ(jp.ps_shard_host(2), (jp.ps_host + 2) % 8);
+  }
+}
+
+TEST(AssignTasksSharded, SinglePsMatchesPlainAssign) {
+  auto plain = assign_tasks(table1(4, 9), 9, 6);
+  auto sharded = assign_tasks_sharded(table1(4, 9), 9, 6, 1);
+  ASSERT_EQ(plain.size(), sharded.size());
+  for (std::size_t i = 0; i < plain.size(); ++i) {
+    EXPECT_EQ(plain[i].ps_host, sharded[i].ps_host);
+    EXPECT_EQ(plain[i].worker_hosts, sharded[i].worker_hosts);
+    EXPECT_EQ(sharded[i].ps_count(), 1);
+  }
+}
+
+TEST(AssignTasksSharded, Validation) {
+  EXPECT_THROW(assign_tasks_sharded(table1(1, 4), 8, 5, 0),
+               std::invalid_argument);
+  EXPECT_THROW(assign_tasks_sharded(table1(1, 4), 8, 5, 9),
+               std::invalid_argument);
+}
+
+TEST(AssignTasks, FewerWorkersThanHosts) {
+  auto jobs = assign_tasks(table1(1, 4), 8, 3);
+  ASSERT_EQ(jobs.size(), 4u);
+  for (const auto& jp : jobs) {
+    EXPECT_EQ(jp.worker_hosts.size(), 3u);
+    for (net::HostId h : jp.worker_hosts) EXPECT_NE(h, jp.ps_host);
+  }
+}
+
+}  // namespace
+}  // namespace tls::cluster

@@ -1,0 +1,96 @@
+#include "cluster/scheduler.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tls::cluster {
+namespace {
+
+dl::JobSpec job(int workers, int num_ps = 1) {
+  dl::JobSpec spec;
+  spec.num_workers = workers;
+  spec.num_ps = num_ps;
+  return spec;
+}
+
+TEST(Scheduler, AgnosticColocatesPsOnSymmetricCluster) {
+  // The paper's Section II observation: a role-agnostic least-loaded
+  // scheduler piles PS tasks onto the same host.
+  OnlineScheduler sched(5, SchedulerPolicy::kPsAgnostic);
+  for (int j = 0; j < 4; ++j) {
+    dl::JobPlacement p = sched.place(job(4));
+    EXPECT_EQ(p.worker_hosts.size(), 4u);
+  }
+  EXPECT_GE(sched.max_ps_colocation(), 2);
+}
+
+TEST(Scheduler, AwareSpreadsPs) {
+  OnlineScheduler sched(5, SchedulerPolicy::kPsAware);
+  for (int j = 0; j < 5; ++j) sched.place(job(4));
+  EXPECT_EQ(sched.max_ps_colocation(), 1);
+}
+
+TEST(Scheduler, AwareColocatesOnlyWhenForced) {
+  OnlineScheduler sched(4, SchedulerPolicy::kPsAware);
+  for (int j = 0; j < 6; ++j) sched.place(job(3));
+  // 6 PSes over 4 hosts: best achievable colocation is 2.
+  EXPECT_EQ(sched.max_ps_colocation(), 2);
+}
+
+TEST(Scheduler, WorkersExcludePsHostAndAreDistinct) {
+  OnlineScheduler sched(6, SchedulerPolicy::kPsAware);
+  dl::JobPlacement p = sched.place(job(5));
+  EXPECT_EQ(p.worker_hosts.size(), 5u);
+  std::set<net::HostId> hosts(p.worker_hosts.begin(), p.worker_hosts.end());
+  EXPECT_EQ(hosts.size(), 5u);
+  EXPECT_EQ(hosts.count(p.ps_host), 0u);
+}
+
+TEST(Scheduler, LoadAccountingAndRemove) {
+  OnlineScheduler sched(4, SchedulerPolicy::kPsAware);
+  dl::JobSpec spec = job(3);
+  dl::JobPlacement p = sched.place(spec);
+  int total = 0;
+  for (net::HostId h = 0; h < 4; ++h) total += sched.task_count(h);
+  EXPECT_EQ(total, 4);  // 1 PS + 3 workers
+  sched.remove(spec, p);
+  for (net::HostId h = 0; h < 4; ++h) {
+    EXPECT_EQ(sched.task_count(h), 0);
+    EXPECT_EQ(sched.ps_count(h), 0);
+  }
+}
+
+TEST(Scheduler, MultiPsShardsSpreadUnderAware) {
+  OnlineScheduler sched(6, SchedulerPolicy::kPsAware);
+  dl::JobSpec spec = job(3, /*num_ps=*/4);
+  dl::JobPlacement p = sched.place(spec);
+  EXPECT_EQ(p.ps_count(), 4);
+  std::set<net::HostId> shard_hosts(p.ps_hosts.begin(), p.ps_hosts.end());
+  EXPECT_EQ(shard_hosts.size(), 4u);  // all on distinct hosts
+}
+
+TEST(Scheduler, Validation) {
+  EXPECT_THROW(OnlineScheduler(1, SchedulerPolicy::kPsAware),
+               std::invalid_argument);
+  OnlineScheduler sched(3, SchedulerPolicy::kPsAware);
+  EXPECT_THROW(sched.place(job(3)), std::invalid_argument);
+}
+
+TEST(Scheduler, PolicyNames) {
+  EXPECT_STREQ(to_string(SchedulerPolicy::kPsAgnostic), "ps-agnostic");
+  EXPECT_STREQ(to_string(SchedulerPolicy::kPsAware), "ps-aware");
+}
+
+TEST(Scheduler, DeparturesReopenCapacity) {
+  OnlineScheduler sched(5, SchedulerPolicy::kPsAware);
+  dl::JobSpec spec = job(4);
+  std::vector<dl::JobPlacement> placements;
+  for (int j = 0; j < 5; ++j) placements.push_back(sched.place(spec));
+  EXPECT_EQ(sched.max_ps_colocation(), 1);
+  sched.remove(spec, placements[0]);
+  dl::JobPlacement p = sched.place(spec);
+  // The freed PS slot is reused.
+  EXPECT_EQ(p.ps_host, placements[0].ps_host);
+}
+
+}  // namespace
+}  // namespace tls::cluster

@@ -1,0 +1,57 @@
+#include "dl/barrier_log.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tls::dl {
+namespace {
+
+TEST(BarrierLog, RecordsMeanAndVariance) {
+  BarrierLog log;
+  log.record(0, {1.0, 2.0, 3.0});
+  ASSERT_EQ(log.size(), 1u);
+  const BarrierStats& s = log.stats()[0];
+  EXPECT_EQ(s.iteration, 0);
+  EXPECT_EQ(s.workers, 3);
+  EXPECT_DOUBLE_EQ(s.mean_wait_s, 2.0);
+  EXPECT_DOUBLE_EQ(s.var_wait_s2, 2.0 / 3.0);  // population variance
+}
+
+TEST(BarrierLog, UniformWaitsHaveZeroVariance) {
+  BarrierLog log;
+  log.record(5, {0.7, 0.7, 0.7, 0.7});
+  EXPECT_DOUBLE_EQ(log.stats()[0].var_wait_s2, 0.0);
+}
+
+TEST(BarrierLog, SingleWorkerBarrier) {
+  BarrierLog log;
+  log.record(1, {0.42});
+  EXPECT_DOUBLE_EQ(log.stats()[0].mean_wait_s, 0.42);
+  EXPECT_DOUBLE_EQ(log.stats()[0].var_wait_s2, 0.0);
+}
+
+TEST(BarrierLog, ExtractionVectorsAligned) {
+  BarrierLog log;
+  log.record(0, {1.0, 3.0});
+  log.record(1, {2.0, 2.0});
+  auto means = log.mean_waits();
+  auto vars = log.variances();
+  ASSERT_EQ(means.size(), 2u);
+  ASSERT_EQ(vars.size(), 2u);
+  EXPECT_DOUBLE_EQ(means[0], 2.0);
+  EXPECT_DOUBLE_EQ(vars[0], 1.0);
+  EXPECT_DOUBLE_EQ(means[1], 2.0);
+  EXPECT_DOUBLE_EQ(vars[1], 0.0);
+}
+
+TEST(BarrierLog, StragglerRaisesVarianceNotMean) {
+  // One straggler (everyone else waits long, straggler waits little):
+  // exactly the paper's signature.
+  BarrierLog log;
+  log.record(0, {1.0, 1.0, 1.0, 1.0});        // balanced
+  log.record(1, {1.3, 1.3, 1.3, 0.1});        // straggler in the last slot
+  EXPECT_NEAR(log.stats()[0].mean_wait_s, log.stats()[1].mean_wait_s, 0.01);
+  EXPECT_GT(log.stats()[1].var_wait_s2, log.stats()[0].var_wait_s2 + 0.1);
+}
+
+}  // namespace
+}  // namespace tls::dl

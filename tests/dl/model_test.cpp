@@ -1,0 +1,84 @@
+#include "dl/model.hpp"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "dl/job.hpp"
+
+namespace tls::dl {
+namespace {
+
+TEST(ModelZoo, ResNet32MatchesPaperScale) {
+  ModelSpec m = zoo::resnet32_cifar10();
+  // ~0.46 M parameters -> ~1.87 MB fp32 update, the paper's payload.
+  EXPECT_NEAR(static_cast<double>(m.parameters), 0.467e6, 0.01e6);
+  EXPECT_NEAR(static_cast<double>(m.update_bytes()), 1.87e6, 0.05e6);
+}
+
+TEST(ModelZoo, UpdateBytesIsFourBytesPerParameter) {
+  for (const ModelSpec& m : zoo::all()) {
+    EXPECT_EQ(m.update_bytes(), m.parameters * 4) << m.name;
+  }
+}
+
+TEST(ModelZoo, AllModelsHavePositiveCosts) {
+  for (const ModelSpec& m : zoo::all()) {
+    EXPECT_GT(m.parameters, 0) << m.name;
+    EXPECT_GT(m.ms_per_sample, 0) << m.name;
+    EXPECT_FALSE(m.name.empty());
+  }
+}
+
+TEST(ModelZoo, NamesUnique) {
+  std::set<std::string> names;
+  for (const ModelSpec& m : zoo::all()) names.insert(m.name);
+  EXPECT_EQ(names.size(), zoo::all().size());
+}
+
+TEST(ModelZoo, LookupByName) {
+  auto m = zoo::by_name("resnet32_cifar10");
+  ASSERT_TRUE(m);
+  EXPECT_EQ(m->parameters, zoo::resnet32_cifar10().parameters);
+  EXPECT_FALSE(zoo::by_name("nonexistent_model"));
+}
+
+TEST(ModelZoo, RelativeSizesSane) {
+  // VGG16 is the biggest classic model; ResNet-32/CIFAR is tiny.
+  EXPECT_GT(zoo::vgg16().parameters, zoo::resnet50_imagenet().parameters);
+  EXPECT_GT(zoo::resnet50_imagenet().parameters,
+            zoo::resnet32_cifar10().parameters);
+}
+
+TEST(JobSpec, BaseStepTimeScalesWithBatch) {
+  JobSpec spec;
+  spec.model = zoo::resnet32_cifar10();
+  spec.step_overhead = 0;
+  spec.local_batch_size = 1;
+  sim::Time t1 = spec.base_step_time();
+  spec.local_batch_size = 8;
+  EXPECT_EQ(spec.base_step_time(), 8 * t1);
+}
+
+TEST(JobSpec, StepOverheadAdds) {
+  JobSpec spec;
+  spec.model = zoo::resnet32_cifar10();
+  spec.local_batch_size = 1;
+  spec.step_overhead = sim::from_millis(100);
+  JobSpec no_overhead = spec;
+  no_overhead.step_overhead = 0;
+  EXPECT_EQ(spec.base_step_time() - no_overhead.base_step_time(),
+            sim::from_millis(100));
+}
+
+TEST(JobSpec, SyncIterationsCeils) {
+  JobSpec spec;
+  spec.num_workers = 20;
+  spec.global_step_target = 30000;
+  EXPECT_EQ(spec.sync_iterations(), 1500);  // the paper's numbers
+  spec.global_step_target = 30001;
+  EXPECT_EQ(spec.sync_iterations(), 1501);
+}
+
+}  // namespace
+}  // namespace tls::dl

@@ -1,0 +1,159 @@
+#include "exp/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <sstream>
+
+namespace tls::exp {
+namespace {
+
+struct CliRun {
+  int code = 0;
+  std::string out;
+  std::string err;
+};
+
+CliRun cli(std::initializer_list<std::string> args) {
+  std::ostringstream out, err;
+  int code = run_cli(std::vector<std::string>(args), out, err);
+  return {code, out.str(), err.str()};
+}
+
+// Small-but-contended base flags so CLI tests run in milliseconds.
+#define SMALL "--hosts", "6", "--jobs", "6", "--workers", "5", \
+              "--batch", "1", "--iters", "6", "--link-gbps", "2.5"
+
+TEST(CliParse, FlagsAndPositionals) {
+  CliArgs args;
+  std::string error;
+  ASSERT_TRUE(parse_args({"run", "--hosts", "8", "--csv", "--seed=9"}, &args,
+                         &error));
+  ASSERT_EQ(args.positional.size(), 1u);
+  EXPECT_EQ(args.positional[0], "run");
+  EXPECT_EQ(args.get("hosts"), "8");
+  EXPECT_EQ(args.get("seed"), "9");
+  EXPECT_TRUE(args.has("csv"));
+  EXPECT_EQ(args.get("csv"), "true");
+  EXPECT_EQ(args.get("missing", "fallback"), "fallback");
+}
+
+TEST(CliParse, LastFlagWins) {
+  CliArgs args;
+  std::string error;
+  ASSERT_TRUE(parse_args({"--seed", "1", "--seed", "2"}, &args, &error));
+  EXPECT_EQ(args.get("seed"), "2");
+}
+
+TEST(CliParse, EmptyFlagRejected) {
+  CliArgs args;
+  std::string error;
+  EXPECT_FALSE(parse_args({"--"}, &args, &error));
+  EXPECT_FALSE(error.empty());
+}
+
+TEST(Cli, HelpByDefaultAndExplicit) {
+  CliRun r = cli({});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("usage: tlsim"), std::string::npos);
+  EXPECT_EQ(cli({"help"}).code, 0);
+}
+
+TEST(Cli, UnknownCommandFails) {
+  CliRun r = cli({"frobnicate"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown command"), std::string::npos);
+}
+
+TEST(Cli, RunProducesTable) {
+  CliRun r = cli({"run", SMALL, "--policy", "tls-one"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("TLs-One"), std::string::npos);
+  EXPECT_NE(r.out.find("avg JCT"), std::string::npos);
+}
+
+TEST(Cli, RunCsvOutput) {
+  CliRun r = cli({"run", SMALL, "--policy", "fifo", "--csv"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("policy,avg JCT (s)"), std::string::npos);
+  EXPECT_NE(r.out.find("FIFO,"), std::string::npos);
+}
+
+TEST(Cli, RunReplicated) {
+  CliRun r = cli({"run", SMALL, "--policy", "fifo", "--replicas", "2"});
+  EXPECT_EQ(r.code, 0);
+  EXPECT_NE(r.out.find("across 2 seeds"), std::string::npos);
+}
+
+TEST(Cli, CompareShowsAllPolicies) {
+  CliRun r = cli({"compare", SMALL});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("FIFO"), std::string::npos);
+  EXPECT_NE(r.out.find("TLs-One"), std::string::npos);
+  EXPECT_NE(r.out.find("TLs-RR"), std::string::npos);
+}
+
+TEST(Cli, BadPolicyRejected) {
+  CliRun r = cli({"run", SMALL, "--policy", "wfq"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--policy"), std::string::npos);
+}
+
+TEST(Cli, BadNumberRejected) {
+  EXPECT_EQ(cli({"run", "--hosts", "zero"}).code, 2);
+  EXPECT_EQ(cli({"run", "--placement", "9"}).code, 2);
+  EXPECT_EQ(cli({"run", "--bands", "16"}).code, 2);
+}
+
+TEST(Cli, WorkerHostConstraintEnforced) {
+  CliRun r = cli({"run", "--hosts", "4", "--jobs", "2", "--workers", "4"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--workers"), std::string::npos);
+}
+
+TEST(Cli, ManyBandsSelectPrioPlane) {
+  // 15 bands exceed htb's 8 prio levels; the CLI must switch data planes
+  // rather than fail.
+  CliRun r = cli({"run", SMALL, "--policy", "tls-one", "--bands", "15"});
+  EXPECT_EQ(r.code, 0) << r.err;
+}
+
+TEST(Cli, BackgroundFlagAccepted) {
+  CliRun r = cli({"run", SMALL, "--policy", "tls-rr", "--background"});
+  EXPECT_EQ(r.code, 0) << r.err;
+}
+
+TEST(Cli, ExportPrefixWritesArtifacts) {
+  std::string prefix = ::testing::TempDir() + "/tlsim_cli_export";
+  CliRun r = cli({"run", SMALL, "--policy", "fifo", "--export-prefix", prefix});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("exported"), std::string::npos);
+  for (const char* suffix : {".jobs.csv", ".barriers.csv", ".json"}) {
+    std::ifstream in(prefix + suffix);
+    EXPECT_TRUE(in.good()) << suffix;
+    std::string first_line;
+    std::getline(in, first_line);
+    EXPECT_FALSE(first_line.empty()) << suffix;
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST(Cli, ExportToBadPathFails) {
+  CliRun r = cli({"run", SMALL, "--policy", "fifo", "--export-prefix",
+                  "/nonexistent-dir-xyz/out"});
+  EXPECT_EQ(r.code, 1);
+  EXPECT_NE(r.err.find("export failed"), std::string::npos);
+}
+
+TEST(Cli, SweepBatchRuns) {
+  CliRun r = cli({"sweep-batch", "--hosts", "5", "--jobs", "4", "--workers",
+                  "4", "--iters", "3", "--link-gbps", "2.5", "--csv"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("batch,FIFO avg JCT (s)"), std::string::npos);
+  // Five batch rows.
+  EXPECT_NE(r.out.find("\n16,"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tls::exp

@@ -1,0 +1,71 @@
+// Coordinated-transport integration: the centralized oracle vs TensorLights.
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+
+namespace tls::exp {
+namespace {
+
+ExperimentConfig contended_base() {
+  ExperimentConfig c;
+  c.num_hosts = 8;
+  c.workload.num_jobs = 8;
+  c.workload.workers_per_job = 7;
+  c.workload.local_batch_size = 1;
+  c.workload.step_overhead = 0;
+  c.workload.global_step_target = 7L * 12;
+  c.fabric.link_rate = net::gbps(2.5);
+  c.placement = cluster::table1(1, 8);
+  c.controller.policy = core::PolicyKind::kFifo;
+  c.seed = 3;
+  return c;
+}
+
+TEST(CoordinatedTransport, RunsToCompletion) {
+  ExperimentConfig c = contended_base();
+  c.coordinated_transport = true;
+  c.coordinator_config.coordination_rtt = 0;
+  ExperimentResult r = run_experiment(c);
+  EXPECT_TRUE(r.all_finished);
+  EXPECT_GT(r.coordinator_grants, 0u);
+  // Every model-update burst of every iteration asked for a slot.
+  EXPECT_GE(r.coordinator_grants, 8u * 12u);
+}
+
+TEST(CoordinatedTransport, ZeroRttOracleBeatsFifo) {
+  ExperimentResult fifo = run_experiment(contended_base());
+  ExperimentConfig c = contended_base();
+  c.coordinated_transport = true;
+  c.coordinator_config.coordination_rtt = 0;
+  ExperimentResult coord = run_experiment(c);
+  EXPECT_LT(avg_normalized_jct(coord, fifo), 1.0);
+  EXPECT_GT(coord.coordinator_wait_s, 0);
+}
+
+TEST(CoordinatedTransport, CoordinationOverheadErodesTheBenefit) {
+  // The paper's Future Work caveat: "this approach incurs non-trivial
+  // coordination overhead." Larger RTTs must not make things better.
+  ExperimentConfig c = contended_base();
+  c.coordinated_transport = true;
+  c.coordinator_config.coordination_rtt = 0;
+  double zero_rtt = run_experiment(c).avg_jct_s;
+  c.coordinator_config.coordination_rtt = 20 * sim::kMillisecond;
+  double slow_rtt = run_experiment(c).avg_jct_s;
+  EXPECT_GT(slow_rtt, zero_rtt);
+}
+
+TEST(CoordinatedTransport, ComposesWithTensorLights) {
+  // Both mechanisms on at once must still complete correctly (priorities
+  // order what the coordinator admits).
+  ExperimentConfig c = contended_base();
+  c.controller.policy = core::PolicyKind::kTlsRR;
+  c.controller.rotation_interval = 2 * sim::kSecond;
+  c.coordinated_transport = true;
+  ExperimentResult r = run_experiment(c);
+  EXPECT_TRUE(r.all_finished);
+  EXPECT_GT(r.tc_commands, 0u);
+  EXPECT_GT(r.coordinator_grants, 0u);
+}
+
+}  // namespace
+}  // namespace tls::exp

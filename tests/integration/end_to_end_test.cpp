@@ -1,0 +1,181 @@
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+
+namespace tls::exp {
+namespace {
+
+/// Small but genuinely contended configuration: 8 jobs' PSes on one host,
+/// batch 1 (heavy contention knob from the paper's Figure 5b).
+ExperimentConfig contended(core::PolicyKind policy, int iterations = 12) {
+  ExperimentConfig c;
+  c.num_hosts = 8;
+  c.workload.num_jobs = 8;
+  c.workload.workers_per_job = 7;
+  c.workload.local_batch_size = 1;
+  c.workload.step_overhead = 0;
+  c.workload.global_step_target = 7L * iterations;
+  // A slower link pushes the offered load past the iteration period, the
+  // paper's heavy-contention regime, without needing 21 hosts.
+  c.fabric.link_rate = net::gbps(2.5);
+  c.placement = cluster::table1(1, 8);
+  c.controller.policy = policy;
+  c.controller.rotation_interval = 2 * sim::kSecond;
+  c.seed = 3;
+  return c;
+}
+
+TEST(EndToEnd, FifoRunsAllJobsToCompletion) {
+  ExperimentResult r = run_experiment(contended(core::PolicyKind::kFifo));
+  EXPECT_TRUE(r.all_finished);
+  EXPECT_EQ(r.jobs.size(), 8u);
+  for (const JobResult& j : r.jobs) {
+    EXPECT_TRUE(j.finished);
+    EXPECT_GT(j.jct_s, 0);
+    EXPECT_EQ(j.iterations, 12);
+    EXPECT_EQ(j.barrier_mean_waits_s.size(), 11u);  // last barrier unlogged
+  }
+  EXPECT_GT(r.avg_jct_s, 0);
+  EXPECT_LE(r.min_jct_s, r.avg_jct_s);
+  EXPECT_GE(r.max_jct_s, r.avg_jct_s);
+  EXPECT_EQ(r.tc_commands, 0u);  // FIFO never touches tc
+  EXPECT_EQ(r.policy_name, "FIFO");
+}
+
+TEST(EndToEnd, TlsOneImprovesContendedJct) {
+  ExperimentResult fifo = run_experiment(contended(core::PolicyKind::kFifo));
+  ExperimentResult tls = run_experiment(contended(core::PolicyKind::kTlsOne));
+  EXPECT_TRUE(tls.all_finished);
+  EXPECT_LT(tls.avg_jct_s, fifo.avg_jct_s);
+  EXPECT_LT(avg_normalized_jct(tls, fifo), 0.97);
+  EXPECT_GT(tls.tc_commands, 0u);
+}
+
+TEST(EndToEnd, TlsReducesBarrierWaitVariance) {
+  ExperimentResult fifo = run_experiment(contended(core::PolicyKind::kFifo));
+  ExperimentResult tls = run_experiment(contended(core::PolicyKind::kTlsOne));
+  EXPECT_LT(tls.barrier_variance_summary.median,
+            fifo.barrier_variance_summary.median);
+}
+
+TEST(EndToEnd, TlsRRRotatesAndStaysCompetitive) {
+  ExperimentResult fifo = run_experiment(contended(core::PolicyKind::kFifo));
+  ExperimentResult rr = run_experiment(contended(core::PolicyKind::kTlsRR));
+  EXPECT_TRUE(rr.all_finished);
+  EXPECT_GT(rr.rotations, 0u);
+  EXPECT_LT(avg_normalized_jct(rr, fifo), 1.0);
+}
+
+TEST(EndToEnd, TlsRRFairerThanTlsOne) {
+  // Rotation equalizes progress: the JCT spread across jobs under TLs-RR
+  // must not exceed the spread under TLs-One's static priorities.
+  ExperimentResult one = run_experiment(contended(core::PolicyKind::kTlsOne, 20));
+  ExperimentResult rr = run_experiment(contended(core::PolicyKind::kTlsRR, 20));
+  double spread_one = one.max_jct_s - one.min_jct_s;
+  double spread_rr = rr.max_jct_s - rr.min_jct_s;
+  EXPECT_LE(spread_rr, spread_one * 1.05);
+}
+
+TEST(EndToEnd, SpreadPlacementIsPolicyNeutral) {
+  ExperimentConfig base = contended(core::PolicyKind::kFifo);
+  base.placement = cluster::table1(8, 8);  // one PS per host
+  ExperimentResult fifo = run_experiment(base);
+  base.controller.policy = core::PolicyKind::kTlsOne;
+  ExperimentResult tls = run_experiment(base);
+  // Work conservation: no contention, no change (paper Result #1).
+  EXPECT_NEAR(avg_normalized_jct(tls, fifo), 1.0, 0.02);
+}
+
+TEST(EndToEnd, ColocationHurtsFifo) {
+  ExperimentConfig spread = contended(core::PolicyKind::kFifo);
+  spread.placement = cluster::table1(8, 8);
+  ExperimentResult colocated = run_experiment(contended(core::PolicyKind::kFifo));
+  ExperimentResult even = run_experiment(spread);
+  // Placement #1 must be clearly worse than #8 under FIFO (Figure 2).
+  EXPECT_GT(colocated.avg_jct_s, even.avg_jct_s * 1.1);
+  // And the straggler signal must be stronger (Figure 3).
+  EXPECT_GT(colocated.barrier_variance_summary.mean,
+            even.barrier_variance_summary.mean);
+  EXPECT_GT(colocated.barrier_mean_summary.mean,
+            even.barrier_mean_summary.mean);
+}
+
+TEST(EndToEnd, DeterministicForSameSeed) {
+  ExperimentResult a = run_experiment(contended(core::PolicyKind::kTlsRR));
+  ExperimentResult b = run_experiment(contended(core::PolicyKind::kTlsRR));
+  ASSERT_EQ(a.jobs.size(), b.jobs.size());
+  for (std::size_t i = 0; i < a.jobs.size(); ++i) {
+    EXPECT_DOUBLE_EQ(a.jobs[i].jct_s, b.jobs[i].jct_s);
+  }
+  EXPECT_EQ(a.sim_events, b.sim_events);
+}
+
+TEST(EndToEnd, SeedChangesResults) {
+  ExperimentConfig c = contended(core::PolicyKind::kFifo);
+  ExperimentResult a = run_experiment(c);
+  c.seed = 99;
+  ExperimentResult b = run_experiment(c);
+  EXPECT_NE(a.jobs[0].jct_s, b.jobs[0].jct_s);
+}
+
+TEST(EndToEnd, UtilizationWindowPopulated) {
+  ExperimentResult r = run_experiment(contended(core::PolicyKind::kFifo, 20));
+  EXPECT_GT(r.active_window_end, r.active_window_begin);
+  EXPECT_GT(r.cpu_util_ps_hosts, 0);
+  EXPECT_GT(r.cpu_util_worker_hosts, 0);
+  EXPECT_GT(r.nic_in_util, 0);
+  EXPECT_GT(r.nic_out_util, 0);
+  EXPECT_LE(r.nic_out_util, 1.0 + 1e-9);
+}
+
+TEST(EndToEnd, NormalizedJctsMatchedByJobId) {
+  ExperimentResult fifo = run_experiment(contended(core::PolicyKind::kFifo));
+  ExperimentResult tls = run_experiment(contended(core::PolicyKind::kTlsOne));
+  auto norms = normalized_jcts(tls, fifo);
+  EXPECT_EQ(norms.size(), 8u);
+  for (double n : norms) {
+    EXPECT_GT(n, 0.2);
+    EXPECT_LT(n, 2.0);
+  }
+}
+
+TEST(EndToEnd, MismatchedPlacementRejected) {
+  ExperimentConfig c = contended(core::PolicyKind::kFifo);
+  c.placement = cluster::table1(1, 9);  // 9 jobs vs 8 in workload
+  EXPECT_THROW(run_experiment(c), std::invalid_argument);
+}
+
+TEST(EndToEnd, WithPolicyHelper) {
+  ExperimentConfig c = contended(core::PolicyKind::kFifo);
+  EXPECT_EQ(with_policy(c, core::PolicyKind::kTlsRR).controller.policy,
+            core::PolicyKind::kTlsRR);
+}
+
+TEST(EndToEnd, AsyncTrainingRuns) {
+  ExperimentConfig c = contended(core::PolicyKind::kTlsOne);
+  c.workload.mode = dl::TrainingMode::kAsync;
+  ExperimentResult r = run_experiment(c);
+  EXPECT_TRUE(r.all_finished);
+}
+
+TEST(EndToEnd, MultiPsExperimentRuns) {
+  ExperimentConfig c = contended(core::PolicyKind::kTlsRR);
+  c.workload.ps_per_job = 2;
+  ExperimentResult r = run_experiment(c);
+  EXPECT_TRUE(r.all_finished);
+  EXPECT_GT(r.tc_commands, 0u);
+  for (const JobResult& j : r.jobs) EXPECT_TRUE(j.finished);
+}
+
+TEST(EndToEnd, ShardingRelievesColocation) {
+  // Sharding each job's PS across two hosts halves the per-host burst at
+  // placement #1, so even FIFO improves.
+  ExperimentResult single = run_experiment(contended(core::PolicyKind::kFifo, 16));
+  ExperimentConfig c = contended(core::PolicyKind::kFifo, 16);
+  c.workload.ps_per_job = 2;
+  ExperimentResult sharded = run_experiment(c);
+  EXPECT_LT(sharded.avg_jct_s, single.avg_jct_s);
+}
+
+}  // namespace
+}  // namespace tls::exp

@@ -1,0 +1,225 @@
+// Parameterized property tests: invariants that must hold across the whole
+// configuration space (placements x policies x fidelity knobs x seeds).
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+
+namespace tls::exp {
+namespace {
+
+ExperimentConfig small_config() {
+  ExperimentConfig c;
+  c.num_hosts = 6;
+  c.workload.num_jobs = 6;
+  c.workload.workers_per_job = 5;
+  c.workload.local_batch_size = 1;
+  c.workload.step_overhead = 0;
+  c.workload.global_step_target = 5L * 8;
+  c.fabric.link_rate = net::gbps(2.5);  // heavy-contention regime at small scale
+  c.placement = cluster::table1(1, 6);
+  c.controller.rotation_interval = 2 * sim::kSecond;
+  return c;
+}
+
+// ---------------------------------------------------------------------------
+// Placement x policy sweep.
+
+struct SweepParam {
+  int placement_index;
+  core::PolicyKind policy;
+};
+
+class PlacementPolicySweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PlacementPolicySweep, InvariantsHold) {
+  const SweepParam& p = GetParam();
+  ExperimentConfig c = small_config();
+  c.placement = cluster::table1(p.placement_index, 6);
+  c.controller.policy = p.policy;
+  ExperimentResult r = run_experiment(c);
+
+  EXPECT_TRUE(r.all_finished);
+  ASSERT_EQ(r.jobs.size(), 6u);
+  for (const JobResult& j : r.jobs) {
+    EXPECT_TRUE(j.finished);
+    EXPECT_GT(j.jct_s, 0);
+    EXPECT_EQ(j.iterations, 8);
+    // Barrier statistics are physical quantities.
+    for (double m : j.barrier_mean_waits_s) EXPECT_GE(m, 0);
+    for (double v : j.barrier_variances_s2) EXPECT_GE(v, 0);
+  }
+  if (p.policy == core::PolicyKind::kFifo) {
+    EXPECT_EQ(r.tc_commands, 0u);
+    EXPECT_EQ(r.rotations, 0u);
+  } else {
+    EXPECT_GT(r.tc_commands, 0u);
+  }
+  if (p.policy != core::PolicyKind::kTlsRR) EXPECT_EQ(r.rotations, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    AllPlacementsAllPolicies, PlacementPolicySweep,
+    ::testing::Values(
+        SweepParam{1, core::PolicyKind::kFifo},
+        SweepParam{1, core::PolicyKind::kTlsOne},
+        SweepParam{1, core::PolicyKind::kTlsRR},
+        SweepParam{2, core::PolicyKind::kTlsOne},
+        SweepParam{3, core::PolicyKind::kTlsRR},
+        SweepParam{4, core::PolicyKind::kFifo},
+        SweepParam{5, core::PolicyKind::kTlsOne},
+        SweepParam{6, core::PolicyKind::kTlsRR},
+        SweepParam{7, core::PolicyKind::kTlsOne},
+        SweepParam{8, core::PolicyKind::kFifo},
+        SweepParam{8, core::PolicyKind::kTlsRR}),
+    [](const ::testing::TestParamInfo<SweepParam>& info) {
+      return "placement" + std::to_string(info.param.placement_index) + "_" +
+             std::string(to_string(info.param.policy) == std::string("TLs-RR")
+                             ? "TlsRR"
+                             : (info.param.policy == core::PolicyKind::kFifo
+                                    ? "Fifo"
+                                    : "TlsOne"));
+    });
+
+// ---------------------------------------------------------------------------
+// Seed sweep: the TLs-One benefit under heavy contention is not a fluke of
+// one random stream.
+
+class SeedSweep : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SeedSweep, TlsOneNeverWorseUnderHeavyContention) {
+  ExperimentConfig c = small_config();
+  c.seed = GetParam();
+  ExperimentResult fifo = run_experiment(with_policy(c, core::PolicyKind::kFifo));
+  ExperimentResult tls = run_experiment(with_policy(c, core::PolicyKind::kTlsOne));
+  EXPECT_LT(avg_normalized_jct(tls, fifo), 1.02);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SeedSweep,
+                         ::testing::Values(1u, 7u, 42u, 1234u, 99999u));
+
+// ---------------------------------------------------------------------------
+// Fidelity-knob sweep: results must stay physical across chunk sizes and
+// window sizes (no lost flows, conserved bytes, sane timings).
+
+class ChunkSweep : public ::testing::TestWithParam<net::Bytes> {};
+
+TEST_P(ChunkSweep, CompletesAndConserves) {
+  ExperimentConfig c = small_config();
+  c.fabric.chunk_size = GetParam();
+  ExperimentResult r = run_experiment(with_policy(c, core::PolicyKind::kTlsRR));
+  EXPECT_TRUE(r.all_finished);
+  for (const JobResult& j : r.jobs) EXPECT_TRUE(j.finished);
+}
+
+INSTANTIATE_TEST_SUITE_P(ChunkSizes, ChunkSweep,
+                         ::testing::Values(32 * net::kKiB, 64 * net::kKiB,
+                                           128 * net::kKiB, 512 * net::kKiB));
+
+TEST(Properties, ChunkSizeDoesNotFlipTheConclusion) {
+  // The TLs-One vs FIFO ordering is a property of the system, not the
+  // discretization.
+  for (net::Bytes chunk : {64 * net::kKiB, 256 * net::kKiB}) {
+    ExperimentConfig c = small_config();
+    c.fabric.chunk_size = chunk;
+    ExperimentResult fifo = run_experiment(with_policy(c, core::PolicyKind::kFifo));
+    ExperimentResult tls = run_experiment(with_policy(c, core::PolicyKind::kTlsOne));
+    EXPECT_LT(avg_normalized_jct(tls, fifo), 1.0) << "chunk " << chunk;
+  }
+}
+
+class WindowSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(WindowSweep, Completes) {
+  ExperimentConfig c = small_config();
+  c.fabric.flow_window = GetParam();
+  ExperimentResult r = run_experiment(with_policy(c, core::PolicyKind::kTlsOne));
+  EXPECT_TRUE(r.all_finished);
+}
+
+INSTANTIATE_TEST_SUITE_P(Windows, WindowSweep, ::testing::Values(1, 2, 8, 16));
+
+// ---------------------------------------------------------------------------
+// Batch-size monotonicity (the Figure 5b mechanism): smaller batches mean
+// heavier contention, so FIFO's barrier waits grow relative to compute.
+
+class BatchSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(BatchSweep, RunsAtAllContentionLevels) {
+  ExperimentConfig c = small_config();
+  c.workload.local_batch_size = GetParam();
+  ExperimentResult r = run_experiment(with_policy(c, core::PolicyKind::kFifo));
+  EXPECT_TRUE(r.all_finished);
+}
+
+INSTANTIATE_TEST_SUITE_P(Batches, BatchSweep, ::testing::Values(1, 2, 4, 8));
+
+TEST(Properties, SmallerBatchYieldsBiggerTlsBenefit) {
+  auto norm_at = [](int batch) {
+    ExperimentConfig c = small_config();
+    c.workload.local_batch_size = batch;
+    ExperimentResult fifo = run_experiment(with_policy(c, core::PolicyKind::kFifo));
+    ExperimentResult tls = run_experiment(with_policy(c, core::PolicyKind::kTlsOne));
+    return avg_normalized_jct(tls, fifo);
+  };
+  // Figure 5b: the improvement shrinks as the batch grows.
+  EXPECT_LT(norm_at(1), norm_at(8) + 0.02);
+}
+
+// ---------------------------------------------------------------------------
+// Assignment-strategy sweep.
+
+class StrategySweep : public ::testing::TestWithParam<core::AssignStrategy> {};
+
+TEST_P(StrategySweep, AllStrategiesWork) {
+  ExperimentConfig c = small_config();
+  c.controller.policy = core::PolicyKind::kTlsOne;
+  c.controller.strategy = GetParam();
+  ExperimentResult r = run_experiment(c);
+  EXPECT_TRUE(r.all_finished);
+  EXPECT_GT(r.tc_commands, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Strategies, StrategySweep,
+                         ::testing::Values(core::AssignStrategy::kArrivalOrder,
+                                           core::AssignStrategy::kRandom,
+                                           core::AssignStrategy::kSmallestModelFirst));
+
+// ---------------------------------------------------------------------------
+// Data-plane equivalence: htb-with-ceil=link and prio bands produce the
+// same qualitative behaviour.
+
+TEST(Properties, PrioAndHtbDataPlanesBothBeatFifo) {
+  ExperimentConfig c = small_config();
+  ExperimentResult fifo = run_experiment(with_policy(c, core::PolicyKind::kFifo));
+  for (auto plane : {core::DataPlane::kHtb, core::DataPlane::kPrio}) {
+    ExperimentConfig pc = with_policy(c, core::PolicyKind::kTlsOne);
+    pc.controller.data_plane = plane;
+    ExperimentResult r = run_experiment(pc);
+    EXPECT_TRUE(r.all_finished);
+    EXPECT_LT(avg_normalized_jct(r, fifo), 1.0)
+        << core::to_string(plane);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Rotation-interval sweep.
+
+class RotationSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RotationSweep, RotationCountMatchesHorizon) {
+  ExperimentConfig c = small_config();
+  c.controller.policy = core::PolicyKind::kTlsRR;
+  c.controller.rotation_interval = GetParam() * sim::kSecond;
+  ExperimentResult r = run_experiment(c);
+  EXPECT_TRUE(r.all_finished);
+  // Rotations happen once per interval until the workload ends.
+  std::uint64_t expected =
+      static_cast<std::uint64_t>(r.sim_horizon_s / GetParam());
+  EXPECT_NEAR(static_cast<double>(r.rotations), static_cast<double>(expected),
+              2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Intervals, RotationSweep, ::testing::Values(1, 2, 5));
+
+}  // namespace
+}  // namespace tls::exp

@@ -1,0 +1,100 @@
+// Scale and cross-feature sweeps: the simulator must stay correct (and
+// fast enough to test) beyond the paper's 21-host geometry, and the
+// extensions must compose.
+#include <gtest/gtest.h>
+
+#include "exp/experiment.hpp"
+
+namespace tls::exp {
+namespace {
+
+TEST(Scale, FortyHostCluster) {
+  ExperimentConfig c;
+  c.num_hosts = 40;
+  c.workload.num_jobs = 40;
+  c.workload.workers_per_job = 30;
+  c.workload.local_batch_size = 1;
+  c.workload.global_step_target = 30L * 5;
+  c.placement = cluster::table1(1, 40);
+  c.controller.policy = core::PolicyKind::kTlsRR;
+  c.controller.rotation_interval = 5 * sim::kSecond;
+  ExperimentResult r = run_experiment(c);
+  EXPECT_TRUE(r.all_finished);
+  EXPECT_EQ(r.jobs.size(), 40u);
+}
+
+TEST(Scale, SingleJobDegenerateCase) {
+  ExperimentConfig c;
+  c.num_hosts = 4;
+  c.workload.num_jobs = 1;
+  c.workload.workers_per_job = 3;
+  c.workload.global_step_target = 3L * 4;
+  c.placement = cluster::table1(1, 1);
+  c.controller.policy = core::PolicyKind::kTlsOne;
+  ExperimentResult r = run_experiment(c);
+  EXPECT_TRUE(r.all_finished);
+  // One job, no contention: TensorLights configures its PS host but the
+  // schedule is identical to FIFO.
+  ExperimentResult fifo = run_experiment(with_policy(c, core::PolicyKind::kFifo));
+  EXPECT_NEAR(avg_normalized_jct(r, fifo), 1.0, 0.01);
+}
+
+struct ComboParam {
+  int ps_per_job;
+  bool two_sided;
+  bool background;
+};
+
+class FeatureCombo : public ::testing::TestWithParam<ComboParam> {};
+
+TEST_P(FeatureCombo, ExtensionsCompose) {
+  const ComboParam& p = GetParam();
+  ExperimentConfig c;
+  c.num_hosts = 8;
+  c.workload.num_jobs = 6;
+  c.workload.workers_per_job = 5;
+  c.workload.ps_per_job = p.ps_per_job;
+  c.workload.local_batch_size = 1;
+  c.workload.global_step_target = 5L * 6;
+  c.placement = cluster::table1(1, 6);
+  c.controller.policy = core::PolicyKind::kTlsRR;
+  c.controller.rotation_interval = 2 * sim::kSecond;
+  c.controller.prioritize_gradients = p.two_sided;
+  c.background = p.background;
+  ExperimentResult r = run_experiment(c);
+  EXPECT_TRUE(r.all_finished);
+  for (const JobResult& j : r.jobs) EXPECT_TRUE(j.finished);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Combos, FeatureCombo,
+    ::testing::Values(ComboParam{1, false, false}, ComboParam{2, false, false},
+                      ComboParam{1, true, false}, ComboParam{2, true, false},
+                      ComboParam{1, true, true}, ComboParam{3, false, true}),
+    [](const ::testing::TestParamInfo<ComboParam>& info) {
+      return "ps" + std::to_string(info.param.ps_per_job) +
+             (info.param.two_sided ? "_twosided" : "_onesided") +
+             (info.param.background ? "_noisy" : "_quiet");
+    });
+
+TEST(Scale, EventCountIsLinearInIterations) {
+  auto events_for = [](long iters) {
+    ExperimentConfig c;
+    c.num_hosts = 6;
+    c.workload.num_jobs = 4;
+    c.workload.workers_per_job = 5;
+    c.workload.global_step_target = 5 * iters;
+    c.placement = cluster::table1(1, 4);
+    c.controller.policy = core::PolicyKind::kFifo;
+    return run_experiment(c).sim_events;
+  };
+  double ratio = static_cast<double>(events_for(20)) /
+                 static_cast<double>(events_for(5));
+  // 4x the iterations should cost roughly 4x the events (no quadratic
+  // blowup from the allocator or queues).
+  EXPECT_LT(ratio, 5.5);
+  EXPECT_GT(ratio, 2.8);
+}
+
+}  // namespace
+}  // namespace tls::exp

@@ -1,0 +1,38 @@
+#include <gtest/gtest.h>
+
+#include "metrics/stats.hpp"
+
+namespace tls::metrics {
+namespace {
+
+TEST(JainFairness, PerfectEqualityIsOne) {
+  EXPECT_DOUBLE_EQ(jain_fairness({5, 5, 5, 5}), 1.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({1}), 1.0);
+}
+
+TEST(JainFairness, TotalStarvationApproaches1OverN) {
+  // One user gets everything: index = 1/n.
+  EXPECT_NEAR(jain_fairness({10, 0, 0, 0}), 0.25, 1e-12);
+}
+
+TEST(JainFairness, MonotoneInDisparity) {
+  double fair = jain_fairness({4, 4, 4, 4});
+  double skewed = jain_fairness({7, 4, 3, 2});
+  double very_skewed = jain_fairness({13, 1, 1, 1});
+  EXPECT_GT(fair, skewed);
+  EXPECT_GT(skewed, very_skewed);
+}
+
+TEST(JainFairness, DegenerateInputs) {
+  EXPECT_DOUBLE_EQ(jain_fairness({}), 0.0);
+  EXPECT_DOUBLE_EQ(jain_fairness({0, 0}), 0.0);
+}
+
+TEST(JainFairness, ScaleInvariant) {
+  std::vector<double> a{1, 2, 3};
+  std::vector<double> b{10, 20, 30};
+  EXPECT_DOUBLE_EQ(jain_fairness(a), jain_fairness(b));
+}
+
+}  // namespace
+}  // namespace tls::metrics

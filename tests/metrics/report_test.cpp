@@ -1,0 +1,55 @@
+#include "metrics/report.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tls::metrics {
+namespace {
+
+TEST(Table, RendersAlignedColumns) {
+  Table t({"name", "value"});
+  t.add_row({"a", "1"});
+  t.add_row({"longer", "22"});
+  std::string out = t.str();
+  EXPECT_NE(out.find("name"), std::string::npos);
+  EXPECT_NE(out.find("longer"), std::string::npos);
+  EXPECT_NE(out.find("----"), std::string::npos);
+  // Each line ends cleanly with \n.
+  EXPECT_EQ(out.back(), '\n');
+}
+
+TEST(Table, RowWidthValidated) {
+  Table t({"a", "b"});
+  EXPECT_THROW(t.add_row({"only one"}), std::invalid_argument);
+  EXPECT_THROW(t.add_row({"1", "2", "3"}), std::invalid_argument);
+  EXPECT_EQ(t.rows(), 0u);
+}
+
+TEST(Table, CsvOutput) {
+  Table t({"x", "y"});
+  t.add_row({"1", "2"});
+  t.add_row({"3", "4"});
+  EXPECT_EQ(t.csv(), "x,y\n1,2\n3,4\n");
+}
+
+TEST(Table, StreamOperator) {
+  Table t({"h"});
+  t.add_row({"v"});
+  std::ostringstream os;
+  os << t;
+  EXPECT_EQ(os.str(), t.str());
+}
+
+TEST(Fmt, Digits) {
+  EXPECT_EQ(fmt(3.14159, 2), "3.14");
+  EXPECT_EQ(fmt(3.14159, 0), "3");
+  EXPECT_EQ(fmt(-1.5, 1), "-1.5");
+}
+
+TEST(Fmt, RatioAndPercent) {
+  EXPECT_EQ(fmt_ratio(1.204), "1.20x");
+  EXPECT_EQ(fmt_percent(0.27), "27.0%");
+  EXPECT_EQ(fmt_percent(-0.155, 0), "-16%");
+}
+
+}  // namespace
+}  // namespace tls::metrics

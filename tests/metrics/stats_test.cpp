@@ -1,0 +1,105 @@
+#include "metrics/stats.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tls::metrics {
+namespace {
+
+TEST(Summarize, EmptyIsZeroed) {
+  Summary s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_EQ(s.mean, 0);
+  EXPECT_EQ(s.variance, 0);
+}
+
+TEST(Summarize, BasicMoments) {
+  Summary s = summarize({1, 2, 3, 4, 5});
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.variance, 2.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+}
+
+TEST(Summarize, SingleSample) {
+  Summary s = summarize({7.5});
+  EXPECT_DOUBLE_EQ(s.mean, 7.5);
+  EXPECT_DOUBLE_EQ(s.median, 7.5);
+  EXPECT_DOUBLE_EQ(s.variance, 0.0);
+  EXPECT_DOUBLE_EQ(s.p99, 7.5);
+}
+
+TEST(Summarize, UnsortedInput) {
+  Summary s = summarize({5, 1, 3, 2, 4});
+  EXPECT_DOUBLE_EQ(s.median, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+}
+
+TEST(Summarize, EvenCountMedianInterpolates) {
+  Summary s = summarize({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(s.median, 2.5);
+}
+
+TEST(PercentileSorted, Endpoints) {
+  std::vector<double> v{10, 20, 30};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0), 10);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 1), 30);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, -0.5), 10);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 2.0), 30);
+  EXPECT_DOUBLE_EQ(percentile_sorted({}, 0.5), 0);
+}
+
+TEST(PercentileSorted, LinearInterpolation) {
+  std::vector<double> v{0, 10};
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.25), 2.5);
+  EXPECT_DOUBLE_EQ(percentile_sorted(v, 0.5), 5.0);
+}
+
+TEST(Cdf, ValueAtQuantiles) {
+  Cdf cdf({4, 1, 3, 2});
+  EXPECT_DOUBLE_EQ(cdf.value_at(0), 1);
+  EXPECT_DOUBLE_EQ(cdf.value_at(1), 4);
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.5), 2.5);
+}
+
+TEST(Cdf, FractionBelow) {
+  Cdf cdf({1, 2, 3, 4});
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(0.5), 0.0);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(2), 0.5);
+  EXPECT_DOUBLE_EQ(cdf.fraction_below(10), 1.0);
+  EXPECT_DOUBLE_EQ(Cdf{}.fraction_below(1), 0.0);
+}
+
+TEST(Cdf, IncrementalAddKeepsOrderCorrect) {
+  Cdf cdf;
+  cdf.add(3);
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.5), 3);
+  cdf.add(1);
+  cdf.add(2);
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.0), 1);
+  cdf.add_all({0, 4});
+  EXPECT_DOUBLE_EQ(cdf.value_at(0.0), 0);
+  EXPECT_DOUBLE_EQ(cdf.value_at(1.0), 4);
+  EXPECT_EQ(cdf.size(), 5u);
+}
+
+TEST(Cdf, MeanMatchesSummarize) {
+  std::vector<double> v{1.5, 2.5, 3.5};
+  EXPECT_DOUBLE_EQ(Cdf(v).mean(), summarize(v).mean);
+  EXPECT_DOUBLE_EQ(Cdf{}.mean(), 0.0);
+}
+
+TEST(Cdf, CurveIsMonotone) {
+  Cdf cdf({5, 3, 8, 1, 9, 2, 7});
+  auto curve = cdf.curve(11);
+  ASSERT_EQ(curve.size(), 11u);
+  EXPECT_DOUBLE_EQ(curve.front().first, 0.0);
+  EXPECT_DOUBLE_EQ(curve.back().first, 1.0);
+  for (std::size_t i = 1; i < curve.size(); ++i) {
+    EXPECT_GE(curve[i].second, curve[i - 1].second);
+  }
+}
+
+}  // namespace
+}  // namespace tls::metrics

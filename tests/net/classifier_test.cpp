@@ -1,0 +1,125 @@
+#include "net/classifier.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tls::net {
+namespace {
+
+FlowSpec spec(std::uint16_t sport, std::uint16_t dport, std::int32_t job = -1,
+              FlowKind kind = FlowKind::kBulk) {
+  FlowSpec s;
+  s.src_port = sport;
+  s.dst_port = dport;
+  s.job_id = job;
+  s.kind = kind;
+  return s;
+}
+
+TEST(Classifier, DefaultBandWhenNoRules) {
+  Classifier c;
+  EXPECT_EQ(c.classify(spec(1, 2)), 0);
+  c.set_default_band(7);
+  EXPECT_EQ(c.classify(spec(1, 2)), 7);
+}
+
+TEST(Classifier, MatchesSrcPort) {
+  Classifier c;
+  c.upsert({.pref = 10, .src_port = 5000, .target_band = 3});
+  EXPECT_EQ(c.classify(spec(5000, 1)), 3);
+  EXPECT_EQ(c.classify(spec(5001, 1)), 0);
+}
+
+TEST(Classifier, MatchesDstPort) {
+  Classifier c;
+  c.upsert({.pref = 10, .dst_port = 8080, .target_band = 2});
+  EXPECT_EQ(c.classify(spec(1, 8080)), 2);
+  EXPECT_EQ(c.classify(spec(8080, 1)), 0);
+}
+
+TEST(Classifier, AndSemanticsAcrossFields) {
+  Classifier c;
+  FilterRule r;
+  r.pref = 10;
+  r.src_port = 5000;
+  r.dst_port = 6000;
+  r.target_band = 4;
+  c.upsert(r);
+  EXPECT_EQ(c.classify(spec(5000, 6000)), 4);
+  EXPECT_EQ(c.classify(spec(5000, 6001)), 0);
+  EXPECT_EQ(c.classify(spec(5001, 6000)), 0);
+}
+
+TEST(Classifier, FirstMatchWinsByPref) {
+  Classifier c;
+  c.upsert({.pref = 20, .src_port = 5000, .target_band = 2});
+  c.upsert({.pref = 10, .src_port = 5000, .target_band = 1});
+  EXPECT_EQ(c.classify(spec(5000, 1)), 1);
+}
+
+TEST(Classifier, UpsertReplacesSamePref) {
+  Classifier c;
+  c.upsert({.pref = 10, .src_port = 5000, .target_band = 1});
+  c.upsert({.pref = 10, .src_port = 5000, .target_band = 5});
+  EXPECT_EQ(c.size(), 1u);
+  EXPECT_EQ(c.classify(spec(5000, 1)), 5);
+}
+
+TEST(Classifier, RemoveByPref) {
+  Classifier c;
+  c.upsert({.pref = 10, .src_port = 5000, .target_band = 1});
+  EXPECT_TRUE(c.remove(10));
+  EXPECT_FALSE(c.remove(10));
+  EXPECT_EQ(c.classify(spec(5000, 1)), 0);
+}
+
+TEST(Classifier, CatchAllRuleMatchesEverything) {
+  Classifier c;
+  c.upsert({.pref = 65000, .target_band = 6});
+  EXPECT_EQ(c.classify(spec(1, 2)), 6);
+  c.upsert({.pref = 10, .src_port = 5000, .target_band = 1});
+  EXPECT_EQ(c.classify(spec(5000, 9)), 1);
+  EXPECT_EQ(c.classify(spec(4999, 9)), 6);
+}
+
+TEST(Classifier, MatchesJobIdAndKind) {
+  Classifier c;
+  FilterRule r;
+  r.pref = 10;
+  r.job_id = 7;
+  r.kind = FlowKind::kModelUpdate;
+  r.target_band = 2;
+  c.upsert(r);
+  EXPECT_EQ(c.classify(spec(1, 2, 7, FlowKind::kModelUpdate)), 2);
+  EXPECT_EQ(c.classify(spec(1, 2, 7, FlowKind::kGradientUpdate)), 0);
+  EXPECT_EQ(c.classify(spec(1, 2, 8, FlowKind::kModelUpdate)), 0);
+}
+
+TEST(Classifier, ClearRemovesRulesKeepsDefault) {
+  Classifier c;
+  c.set_default_band(3);
+  c.upsert({.pref = 10, .src_port = 1, .target_band = 1});
+  c.clear();
+  EXPECT_EQ(c.size(), 0u);
+  EXPECT_EQ(c.classify(spec(1, 1)), 3);
+}
+
+TEST(Classifier, RulesKeptSortedByPref) {
+  Classifier c;
+  c.upsert({.pref = 30, .target_band = 3});
+  c.upsert({.pref = 10, .target_band = 1});
+  c.upsert({.pref = 20, .target_band = 2});
+  ASSERT_EQ(c.rules().size(), 3u);
+  EXPECT_EQ(c.rules()[0].pref, 10);
+  EXPECT_EQ(c.rules()[1].pref, 20);
+  EXPECT_EQ(c.rules()[2].pref, 30);
+}
+
+TEST(FlowKindNames, AllDistinct) {
+  EXPECT_STREQ(to_string(FlowKind::kModelUpdate), "model_update");
+  EXPECT_STREQ(to_string(FlowKind::kGradientUpdate), "gradient_update");
+  EXPECT_STREQ(to_string(FlowKind::kControl), "control");
+  EXPECT_STREQ(to_string(FlowKind::kBulk), "bulk");
+}
+
+}  // namespace
+}  // namespace tls::net

@@ -1,0 +1,239 @@
+#include "net/fabric.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+namespace tls::net {
+namespace {
+
+FabricConfig ideal(int hosts) {
+  FabricConfig c;
+  c.num_hosts = hosts;
+  c.tcp_weight_sigma = 0;     // deterministic
+  c.protocol_overhead = 1.0;  // no framing inflation
+  c.switch_latency = 0;
+  return c;
+}
+
+TEST(Fabric, SingleFlowTakesSerializationTime) {
+  sim::Simulator s(1);
+  Fabric fab(s, ideal(2));
+  sim::Time done = -1;
+  FlowSpec f;
+  f.src = 0;
+  f.dst = 1;
+  f.bytes = 1250000;  // 1 ms at 10 Gbps... actually 1.25 MB = 1 ms
+  fab.start_flow(f, [&](const FlowRecord& r) { done = r.end; });
+  s.run();
+  ASSERT_GE(done, 0);
+  // Egress + ingress are pipelined; total ≈ serialization + one chunk.
+  double expect_s = 1250000.0 / gbps(10);
+  EXPECT_NEAR(sim::to_seconds(done), expect_s, expect_s * 0.2);
+}
+
+TEST(Fabric, ZeroByteFlowCompletesAsync) {
+  sim::Simulator s(1);
+  Fabric fab(s, ideal(2));
+  bool done = false;
+  FlowSpec f;
+  f.src = 0;
+  f.dst = 1;
+  f.bytes = 0;
+  fab.start_flow(f, [&](const FlowRecord&) { done = true; });
+  EXPECT_FALSE(done);  // never synchronous
+  s.run();
+  EXPECT_TRUE(done);
+}
+
+TEST(Fabric, RejectsBadEndpoints) {
+  sim::Simulator s(1);
+  Fabric fab(s, ideal(2));
+  FlowSpec f;
+  f.src = 0;
+  f.dst = 5;
+  f.bytes = 1;
+  EXPECT_THROW(fab.start_flow(f, [](const FlowRecord&) {}), std::invalid_argument);
+  f.dst = -1;
+  EXPECT_THROW(fab.start_flow(f, [](const FlowRecord&) {}), std::invalid_argument);
+  f.dst = 1;
+  f.bytes = -5;
+  EXPECT_THROW(fab.start_flow(f, [](const FlowRecord&) {}), std::invalid_argument);
+}
+
+TEST(Fabric, RejectsBadConfig) {
+  sim::Simulator s(1);
+  FabricConfig c = ideal(0);
+  EXPECT_THROW(Fabric(s, c), std::invalid_argument);
+  c = ideal(2);
+  c.chunk_size = 0;
+  EXPECT_THROW(Fabric(s, c), std::invalid_argument);
+  c = ideal(2);
+  c.flow_window = 0;
+  EXPECT_THROW(Fabric(s, c), std::invalid_argument);
+}
+
+TEST(Fabric, FairSharingBetweenEqualFlows) {
+  sim::Simulator s(1);
+  Fabric fab(s, ideal(3));
+  std::vector<sim::Time> ends(2, 0);
+  for (int i = 0; i < 2; ++i) {
+    FlowSpec f;
+    f.src = 0;
+    f.dst = 1 + i;
+    f.bytes = 12'500'000;  // 10 ms each alone
+    fab.start_flow(f, [&ends, i](const FlowRecord& r) { ends[static_cast<size_t>(i)] = r.end; });
+  }
+  s.run();
+  // Sharing one egress: both finish around 20 ms, together.
+  EXPECT_NEAR(sim::to_seconds(ends[0]), 0.020, 0.004);
+  EXPECT_NEAR(sim::to_seconds(ends[1]), 0.020, 0.004);
+}
+
+TEST(Fabric, IngressFanInContention) {
+  sim::Simulator s(1);
+  Fabric fab(s, ideal(3));
+  std::vector<sim::Time> ends(2, 0);
+  // Two sources send to one destination: ingress is the bottleneck.
+  for (int i = 0; i < 2; ++i) {
+    FlowSpec f;
+    f.src = i;
+    f.dst = 2;
+    f.bytes = 12'500'000;
+    fab.start_flow(f, [&ends, i](const FlowRecord& r) { ends[static_cast<size_t>(i)] = r.end; });
+  }
+  s.run();
+  EXPECT_GT(sim::to_seconds(std::max(ends[0], ends[1])), 0.018);
+}
+
+TEST(Fabric, CompletedFlowCountAndActiveFlows) {
+  sim::Simulator s(1);
+  Fabric fab(s, ideal(2));
+  FlowSpec f;
+  f.src = 0;
+  f.dst = 1;
+  f.bytes = 1000;
+  fab.start_flow(f, [](const FlowRecord&) {});
+  EXPECT_EQ(fab.active_flows(), 1u);
+  s.run();
+  EXPECT_EQ(fab.active_flows(), 0u);
+  EXPECT_EQ(fab.completed_flows(), 1u);
+}
+
+TEST(Fabric, ProtocolOverheadInflatesWireBytes) {
+  sim::Simulator s(1);
+  FabricConfig c = ideal(2);
+  c.protocol_overhead = 2.0;
+  Fabric fab(s, c);
+  FlowSpec f;
+  f.src = 0;
+  f.dst = 1;
+  f.bytes = 1'250'000;
+  sim::Time done = 0;
+  fab.start_flow(f, [&](const FlowRecord& r) { done = r.end; });
+  s.run();
+  // Twice the wire bytes => about twice the ideal duration.
+  EXPECT_NEAR(sim::to_seconds(done), 0.002, 0.0005);
+  EXPECT_GE(fab.egress(0).counters().bytes, 2'500'000);
+}
+
+TEST(Fabric, SwitchLatencyDelaysDelivery) {
+  sim::Simulator s(1);
+  FabricConfig c = ideal(2);
+  c.switch_latency = sim::from_millis(5);
+  Fabric fab(s, c);
+  FlowSpec f;
+  f.src = 0;
+  f.dst = 1;
+  f.bytes = 100;
+  sim::Time done = 0;
+  fab.start_flow(f, [&](const FlowRecord& r) { done = r.end; });
+  s.run();
+  EXPECT_GE(done, sim::from_millis(5));
+}
+
+TEST(Fabric, WindowScalesWithWeightDeterministically) {
+  // With sigma 0 every flow's window is the base; completions of equal
+  // flows through a shared port stay tightly grouped.
+  sim::Simulator s(1);
+  Fabric fab(s, ideal(5));
+  std::vector<sim::Time> ends;
+  for (int i = 0; i < 4; ++i) {
+    FlowSpec f;
+    f.src = 0;
+    f.dst = 1 + i;
+    f.bytes = 1'250'000;
+    fab.start_flow(f, [&](const FlowRecord& r) { ends.push_back(r.end); });
+  }
+  s.run();
+  ASSERT_EQ(ends.size(), 4u);
+  sim::Time spread = *std::max_element(ends.begin(), ends.end()) -
+                     *std::min_element(ends.begin(), ends.end());
+  EXPECT_LT(sim::to_seconds(spread), 0.001);
+}
+
+TEST(Fabric, WeightNoiseSpreadsCompletions) {
+  sim::Simulator s(1);
+  FabricConfig c = ideal(21);
+  c.tcp_weight_sigma = 0.3;
+  Fabric fab(s, c);
+  std::vector<sim::Time> ends;
+  for (int i = 0; i < 20; ++i) {
+    FlowSpec f;
+    f.src = 0;
+    f.dst = 1 + i;
+    f.bytes = 1'868'776;
+    fab.start_flow(f, [&](const FlowRecord& r) { ends.push_back(r.end); });
+  }
+  s.run();
+  ASSERT_EQ(ends.size(), 20u);
+  sim::Time spread = *std::max_element(ends.begin(), ends.end()) -
+                     *std::min_element(ends.begin(), ends.end());
+  // Under contention the noisy windows must create a visible spread.
+  EXPECT_GT(sim::to_seconds(spread), 0.002);
+}
+
+TEST(Fabric, DeterministicAcrossRuns) {
+  auto run_once = [] {
+    sim::Simulator s(77);
+    FabricConfig c;
+    c.num_hosts = 4;
+    Fabric fab(s, c);
+    sim::Time last = 0;
+    for (int i = 0; i < 6; ++i) {
+      FlowSpec f;
+      f.src = i % 2;
+      f.dst = 2 + (i % 2);
+      f.bytes = 500'000 + i * 1000;
+      fab.start_flow(f, [&](const FlowRecord& r) { last = std::max(last, r.end); });
+    }
+    s.run();
+    return last;
+  };
+  EXPECT_EQ(run_once(), run_once());
+}
+
+TEST(Fabric, ByteConservationEgressEqualsIngress) {
+  sim::Simulator s(5);
+  FabricConfig c;
+  c.num_hosts = 4;
+  Fabric fab(s, c);
+  for (int i = 0; i < 10; ++i) {
+    FlowSpec f;
+    f.src = i % 4;
+    f.dst = (i + 1) % 4;
+    f.bytes = 100'000 * (i + 1);
+    fab.start_flow(f, [](const FlowRecord&) {});
+  }
+  s.run();
+  Bytes tx = 0, rx = 0;
+  for (HostId h = 0; h < 4; ++h) {
+    tx += fab.egress(h).counters().bytes;
+    rx += fab.ingress(h).counters().bytes;
+  }
+  EXPECT_EQ(tx, rx);
+  EXPECT_GT(tx, 0);
+}
+
+}  // namespace
+}  // namespace tls::net

@@ -1,0 +1,123 @@
+// pfifo_fast (Linux default priomap qdisc) and tbf (token bucket filter).
+#include <gtest/gtest.h>
+
+#include "net/pfifo_fast_qdisc.hpp"
+#include "net/tbf_qdisc.hpp"
+
+namespace tls::net {
+namespace {
+
+Chunk kinded_chunk(FlowId flow, FlowKind kind, Bytes size = 1000) {
+  Chunk c;
+  c.flow = flow;
+  c.kind = kind;
+  c.size = size;
+  return c;
+}
+
+TEST(PfifoFast, PriomapMatchesLinuxConvention) {
+  EXPECT_EQ(PfifoFastQdisc::priomap(FlowKind::kControl), 0);
+  EXPECT_EQ(PfifoFastQdisc::priomap(FlowKind::kModelUpdate), 1);
+  EXPECT_EQ(PfifoFastQdisc::priomap(FlowKind::kGradientUpdate), 1);
+  EXPECT_EQ(PfifoFastQdisc::priomap(FlowKind::kBulk), 2);
+}
+
+TEST(PfifoFast, ControlPreemptsBestEffortPreemptsBulk) {
+  PfifoFastQdisc q;
+  q.enqueue(kinded_chunk(1, FlowKind::kBulk));
+  q.enqueue(kinded_chunk(2, FlowKind::kModelUpdate));
+  q.enqueue(kinded_chunk(3, FlowKind::kControl));
+  EXPECT_EQ(q.dequeue(0).chunk.flow, 3u);
+  EXPECT_EQ(q.dequeue(0).chunk.flow, 2u);
+  EXPECT_EQ(q.dequeue(0).chunk.flow, 1u);
+}
+
+TEST(PfifoFast, FifoWithinBand) {
+  PfifoFastQdisc q;
+  q.enqueue(kinded_chunk(1, FlowKind::kModelUpdate));
+  q.enqueue(kinded_chunk(2, FlowKind::kGradientUpdate));
+  EXPECT_EQ(q.dequeue(0).chunk.flow, 1u);
+  EXPECT_EQ(q.dequeue(0).chunk.flow, 2u);
+}
+
+TEST(PfifoFast, BacklogAndDrain) {
+  PfifoFastQdisc q;
+  q.enqueue(kinded_chunk(1, FlowKind::kControl, 100));
+  q.enqueue(kinded_chunk(2, FlowKind::kBulk, 200));
+  EXPECT_EQ(q.backlog_bytes(), 300);
+  EXPECT_EQ(q.backlog_chunks(), 2u);
+  EXPECT_EQ(q.band_backlog(0), 100);
+  EXPECT_EQ(q.band_backlog(2), 200);
+  std::vector<Chunk> out;
+  q.drain(out);
+  EXPECT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].flow, 1u);  // priority order
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(PfifoFast, StatsAndText) {
+  PfifoFastQdisc q;
+  q.enqueue(kinded_chunk(1, FlowKind::kModelUpdate, 500));
+  q.dequeue(0);
+  EXPECT_EQ(q.stats().bytes_sent, 500);
+  EXPECT_NE(q.stats_text().find("pfifo_fast"), std::string::npos);
+  EXPECT_EQ(q.kind(), "pfifo_fast");
+}
+
+TEST(Tbf, ShapesToConfiguredRate) {
+  TbfConfig cfg;
+  cfg.rate = mbps(8);  // 1 MB/s
+  cfg.burst = 100 * kKiB;
+  TbfQdisc q(cfg);
+  for (int i = 0; i < 20; ++i) q.enqueue(kinded_chunk(1, FlowKind::kBulk, 100 * kKiB));
+  sim::Time now = 0;
+  Bytes sent = 0;
+  while (q.backlog_chunks() > 0) {
+    DequeueResult r = q.dequeue(now);
+    if (r.kind == DequeueResult::Kind::kChunk) {
+      sent += r.chunk.size;
+      now += transmit_time(r.chunk.size, gbps(10));
+    } else {
+      ASSERT_EQ(r.kind, DequeueResult::Kind::kWaitUntil);
+      ASSERT_GT(r.retry_at, now);
+      now = r.retry_at;
+    }
+  }
+  double achieved = static_cast<double>(sent) / sim::to_seconds(now);
+  EXPECT_LT(achieved, cfg.rate * 1.25);
+  EXPECT_GT(achieved, cfg.rate * 0.6);
+  EXPECT_GT(q.stats().overlimits, 0u);
+}
+
+TEST(Tbf, BurstAllowsInitialLineRate) {
+  TbfConfig cfg;
+  cfg.rate = mbps(1);
+  cfg.burst = 1 * kMiB;
+  TbfQdisc q(cfg);
+  for (int i = 0; i < 8; ++i) q.enqueue(kinded_chunk(1, FlowKind::kBulk, 128 * kKiB));
+  // The full burst fits in the bucket: all 8 chunks leave without waiting.
+  for (int i = 0; i < 8; ++i) {
+    EXPECT_EQ(q.dequeue(0).kind, DequeueResult::Kind::kChunk);
+  }
+}
+
+TEST(Tbf, EmptyIsIdleAndValidates) {
+  TbfQdisc q({mbps(1), 64 * kKiB});
+  EXPECT_EQ(q.dequeue(0).kind, DequeueResult::Kind::kIdle);
+  EXPECT_THROW(TbfQdisc({0, 64 * kKiB}), std::invalid_argument);
+  EXPECT_THROW(TbfQdisc({mbps(1), 0}), std::invalid_argument);
+}
+
+TEST(Tbf, DrainKeepsOrder) {
+  TbfQdisc q({mbps(1), 64 * kKiB});
+  q.enqueue(kinded_chunk(1, FlowKind::kBulk));
+  q.enqueue(kinded_chunk(2, FlowKind::kBulk));
+  std::vector<Chunk> out;
+  q.drain(out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].flow, 1u);
+  EXPECT_EQ(q.backlog_bytes(), 0);
+}
+
+}  // namespace
+}  // namespace tls::net

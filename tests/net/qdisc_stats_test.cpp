@@ -1,0 +1,98 @@
+// Service-counter (`tc -s`) tests across the three disciplines.
+#include <gtest/gtest.h>
+
+#include "net/htb_qdisc.hpp"
+#include "net/pfifo_qdisc.hpp"
+#include "net/prio_qdisc.hpp"
+
+namespace tls::net {
+namespace {
+
+Chunk make_chunk(FlowId flow, BandId band, Bytes size) {
+  Chunk c;
+  c.flow = flow;
+  c.band = band;
+  c.size = size;
+  return c;
+}
+
+TEST(QdiscStats, PfifoCountsSentBytes) {
+  PfifoQdisc q;
+  q.enqueue(make_chunk(1, 0, 100));
+  q.enqueue(make_chunk(2, 0, 250));
+  q.dequeue(0);
+  EXPECT_EQ(q.stats().bytes_sent, 100);
+  EXPECT_EQ(q.stats().chunks_sent, 1u);
+  q.dequeue(0);
+  EXPECT_EQ(q.stats().bytes_sent, 350);
+  EXPECT_NE(q.stats_text().find("sent 350 bytes"), std::string::npos);
+}
+
+TEST(QdiscStats, PrioTracksPerBand) {
+  PrioQdisc q(3);
+  q.enqueue(make_chunk(1, 0, 100));
+  q.enqueue(make_chunk(2, 2, 200));
+  q.dequeue(0);
+  q.dequeue(0);
+  EXPECT_EQ(q.stats().bytes_sent, 300);
+  EXPECT_EQ(q.band_stats(0).bytes_sent, 100);
+  EXPECT_EQ(q.band_stats(1).bytes_sent, 0);
+  EXPECT_EQ(q.band_stats(2).bytes_sent, 200);
+  EXPECT_NE(q.stats_text().find("band 2"), std::string::npos);
+}
+
+TEST(QdiscStats, HtbDistinguishesGreenFromYellow) {
+  HtbQdisc q(gbps(10));
+  HtbClassConfig cfg;
+  cfg.minor = 1;
+  cfg.rate = mbps(8);  // 1 MB/s assured
+  cfg.ceil = gbps(10);
+  cfg.burst = 200 * kKiB;  // enough for exactly the first chunks
+  cfg.cburst = 200 * kKiB;
+  ASSERT_TRUE(q.add_class(cfg));
+  for (int i = 0; i < 6; ++i) q.enqueue(make_chunk(1, 1, 128 * kKiB));
+  sim::Time now = 0;
+  while (q.backlog_chunks() > 0) {
+    DequeueResult r = q.dequeue(now);
+    if (r.kind == DequeueResult::Kind::kChunk) {
+      now += transmit_time(r.chunk.size, gbps(10));
+    } else {
+      now = r.retry_at;
+    }
+  }
+  QdiscStats s = q.class_stats(1);
+  EXPECT_EQ(s.chunks_sent, 6u);
+  EXPECT_GE(s.green_sends, 1u);   // first sends ride the full bucket
+  EXPECT_GE(s.yellow_sends, 1u);  // later sends borrow at the ceiling
+  EXPECT_EQ(s.green_sends + s.yellow_sends, 6u);
+  EXPECT_EQ(q.stats().green_sends, s.green_sends);
+  EXPECT_NE(q.stats_text().find("green"), std::string::npos);
+}
+
+TEST(QdiscStats, HtbOverlimitsCounted) {
+  HtbQdisc q(gbps(10));
+  HtbClassConfig cfg;
+  cfg.minor = 1;
+  cfg.rate = mbps(8);
+  cfg.ceil = mbps(8);  // hard cap: stalls are guaranteed
+  ASSERT_TRUE(q.add_class(cfg));
+  for (int i = 0; i < 4; ++i) q.enqueue(make_chunk(1, 1, 128 * kKiB));
+  sim::Time now = 0;
+  while (q.backlog_chunks() > 0) {
+    DequeueResult r = q.dequeue(now);
+    now = r.kind == DequeueResult::Kind::kChunk
+              ? now + transmit_time(r.chunk.size, gbps(10))
+              : r.retry_at;
+  }
+  EXPECT_GT(q.stats().overlimits, 0u);
+}
+
+TEST(QdiscStats, UnknownClassStatsEmpty) {
+  HtbQdisc q(gbps(10));
+  QdiscStats s = q.class_stats(42);
+  EXPECT_EQ(s.bytes_sent, 0);
+  EXPECT_EQ(s.chunks_sent, 0u);
+}
+
+}  // namespace
+}  // namespace tls::net

@@ -1,0 +1,125 @@
+#include "simcore/event_queue.hpp"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace tls::sim {
+namespace {
+
+TEST(EventQueue, StartsEmpty) {
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.size(), 0u);
+}
+
+TEST(EventQueue, PopsInTimeOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(30, [&] { fired.push_back(3); });
+  q.schedule(10, [&] { fired.push_back(1); });
+  q.schedule(20, [&] { fired.push_back(2); });
+  while (!q.empty()) {
+    auto [t, cb] = q.pop();
+    cb();
+  }
+  EXPECT_EQ(fired, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, EqualTimesFireInSchedulingOrder) {
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 10; ++i) {
+    q.schedule(42, [&fired, i] { fired.push_back(i); });
+  }
+  while (!q.empty()) q.pop().second();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
+}
+
+TEST(EventQueue, PeekTimeReturnsEarliest) {
+  EventQueue q;
+  q.schedule(100, [] {});
+  q.schedule(50, [] {});
+  EXPECT_EQ(q.peek_time(), 50);
+}
+
+TEST(EventQueue, CancelPreventsFiring) {
+  EventQueue q;
+  bool fired = false;
+  EventId id = q.schedule(10, [&] { fired = true; });
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, CancelTwiceReturnsFalse) {
+  EventQueue q;
+  EventId id = q.schedule(10, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelAfterFireReturnsFalse) {
+  EventQueue q;
+  EventId id = q.schedule(10, [] {});
+  q.pop().second();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, CancelInvalidIdReturnsFalse) {
+  EventQueue q;
+  EXPECT_FALSE(q.cancel(EventId{}));
+  EXPECT_FALSE(q.cancel(EventId{999}));
+}
+
+TEST(EventQueue, CancelledEventSkippedByPop) {
+  EventQueue q;
+  std::vector<int> fired;
+  q.schedule(10, [&] { fired.push_back(1); });
+  EventId mid = q.schedule(20, [&] { fired.push_back(2); });
+  q.schedule(30, [&] { fired.push_back(3); });
+  q.cancel(mid);
+  EXPECT_EQ(q.size(), 2u);
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired, (std::vector<int>{1, 3}));
+}
+
+TEST(EventQueue, SizeTracksLiveEvents) {
+  EventQueue q;
+  EventId a = q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  EXPECT_EQ(q.size(), 2u);
+  q.cancel(a);
+  EXPECT_EQ(q.size(), 1u);
+  q.pop();
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, ClearDropsEverything) {
+  EventQueue q;
+  bool fired = false;
+  q.schedule(1, [&] { fired = true; });
+  q.clear();
+  EXPECT_TRUE(q.empty());
+  EXPECT_FALSE(fired);
+}
+
+TEST(EventQueue, ManyInterleavedScheduleCancelPop) {
+  EventQueue q;
+  std::vector<EventId> ids;
+  int fired = 0;
+  for (int i = 0; i < 100; ++i) {
+    ids.push_back(q.schedule(i % 17, [&] { ++fired; }));
+  }
+  // Cancel every third event.
+  int cancelled = 0;
+  for (std::size_t i = 0; i < ids.size(); i += 3) {
+    if (q.cancel(ids[i])) ++cancelled;
+  }
+  while (!q.empty()) q.pop().second();
+  EXPECT_EQ(fired + cancelled, 100);
+  EXPECT_EQ(cancelled, 34);
+}
+
+}  // namespace
+}  // namespace tls::sim

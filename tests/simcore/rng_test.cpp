@@ -1,0 +1,171 @@
+#include "simcore/rng.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <set>
+#include <vector>
+
+namespace tls::sim {
+namespace {
+
+TEST(Rng, DeterministicForSameSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.next() == b.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, UniformInUnitInterval) {
+  Rng r(7);
+  for (int i = 0; i < 10000; ++i) {
+    double u = r.uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(Rng, UniformRangeRespectsBounds) {
+  Rng r(7);
+  for (int i = 0; i < 1000; ++i) {
+    double u = r.uniform(-3.0, 5.0);
+    EXPECT_GE(u, -3.0);
+    EXPECT_LT(u, 5.0);
+  }
+}
+
+TEST(Rng, UniformMeanNearHalf) {
+  Rng r(99);
+  double sum = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) sum += r.uniform();
+  EXPECT_NEAR(sum / n, 0.5, 0.01);
+}
+
+TEST(Rng, UniformU64CoversRangeWithoutBias) {
+  Rng r(5);
+  std::vector<int> counts(10, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++counts[r.uniform_u64(10)];
+  for (int c : counts) EXPECT_NEAR(c, n / 10, n / 100);
+}
+
+TEST(Rng, UniformI64Inclusive) {
+  Rng r(5);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 1000; ++i) seen.insert(r.uniform_i64(-2, 2));
+  EXPECT_EQ(seen.size(), 5u);
+  EXPECT_EQ(*seen.begin(), -2);
+  EXPECT_EQ(*seen.rbegin(), 2);
+}
+
+TEST(Rng, NormalMomentsMatch) {
+  Rng r(11);
+  const int n = 200000;
+  double sum = 0, sq = 0;
+  for (int i = 0; i < n; ++i) {
+    double x = r.normal();
+    sum += x;
+    sq += x * x;
+  }
+  double mean = sum / n;
+  double var = sq / n - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(var, 1.0, 0.03);
+}
+
+TEST(Rng, NormalShiftScale) {
+  Rng r(11);
+  const int n = 100000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += r.normal(10.0, 2.0);
+  EXPECT_NEAR(sum / n, 10.0, 0.05);
+}
+
+TEST(Rng, LognormalMedianIsMedian) {
+  Rng r(13);
+  const int n = 50001;
+  std::vector<double> xs(n);
+  for (double& x : xs) x = r.lognormal_median(4.0, 0.5);
+  std::nth_element(xs.begin(), xs.begin() + n / 2, xs.end());
+  EXPECT_NEAR(xs[n / 2], 4.0, 0.1);
+}
+
+TEST(Rng, LognormalSigmaZeroIsExact) {
+  Rng r(13);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(r.lognormal_median(2.5, 0.0), 2.5);
+}
+
+TEST(Rng, LognormalAlwaysPositive) {
+  Rng r(17);
+  for (int i = 0; i < 10000; ++i) EXPECT_GT(r.lognormal_median(1.0, 1.0), 0.0);
+}
+
+TEST(Rng, ExponentialMeanMatches) {
+  Rng r(19);
+  const int n = 200000;
+  double sum = 0;
+  for (int i = 0; i < n; ++i) sum += r.exponential(3.0);
+  EXPECT_NEAR(sum / n, 3.0, 0.05);
+}
+
+TEST(Rng, BernoulliProbability) {
+  Rng r(23);
+  int hits = 0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) hits += r.bernoulli(0.3) ? 1 : 0;
+  EXPECT_NEAR(static_cast<double>(hits) / n, 0.3, 0.01);
+  EXPECT_FALSE(Rng(1).bernoulli(0.0));
+}
+
+TEST(Rng, ForkIsDeterministicAndIndependent) {
+  Rng parent(100);
+  Rng a = parent.fork(1);
+  Rng b = parent.fork(1);
+  Rng c = parent.fork(2);
+  EXPECT_EQ(a.next(), b.next());
+  // Different stream ids decorrelate.
+  Rng a2 = parent.fork(1);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a2.next() == c.next()) ++same;
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Rng, ForkByLabelStable) {
+  Rng parent(100);
+  EXPECT_EQ(parent.fork("fabric").next(), parent.fork("fabric").next());
+  EXPECT_NE(parent.fork("fabric").next(), parent.fork("job1").next());
+}
+
+TEST(Rng, ForkDoesNotPerturbParent) {
+  Rng a(100), b(100);
+  (void)a.fork("x");
+  EXPECT_EQ(a.next(), b.next());
+}
+
+TEST(Rng, ShuffleIsPermutation) {
+  Rng r(3);
+  std::vector<int> v{0, 1, 2, 3, 4, 5, 6, 7};
+  r.shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  EXPECT_EQ(sorted, (std::vector<int>{0, 1, 2, 3, 4, 5, 6, 7}));
+}
+
+TEST(Rng, Fnv1aStable) {
+  EXPECT_EQ(fnv1a("abc"), fnv1a("abc"));
+  EXPECT_NE(fnv1a("abc"), fnv1a("abd"));
+  EXPECT_NE(fnv1a(""), fnv1a("a"));
+}
+
+}  // namespace
+}  // namespace tls::sim

@@ -1,0 +1,90 @@
+// Parser + applier coverage for the pfifo_fast and tbf qdisc kinds.
+#include <gtest/gtest.h>
+
+#include "net/tbf_qdisc.hpp"
+#include "tc/tc.hpp"
+
+namespace tls::tc {
+namespace {
+
+class TcQdiscKindsTest : public ::testing::Test {
+ protected:
+  TcQdiscKindsTest() : fabric_(sim_, make_config()), control_(fabric_) {}
+  static net::FabricConfig make_config() {
+    net::FabricConfig c;
+    c.num_hosts = 2;
+    return c;
+  }
+  sim::Simulator sim_{1};
+  net::Fabric fabric_;
+  TrafficControl control_;
+};
+
+TEST_F(TcQdiscKindsTest, PfifoFastInstalls) {
+  Status s = control_.exec("tc qdisc add dev host0 root handle 1: pfifo_fast");
+  ASSERT_TRUE(s.ok) << s.error;
+  EXPECT_EQ(control_.root_kind(0), QdiscKind::kPfifoFast);
+  EXPECT_EQ(fabric_.egress(0).qdisc().kind(), "pfifo_fast");
+}
+
+TEST_F(TcQdiscKindsTest, TbfInstallsWithRate) {
+  Status s = control_.exec(
+      "tc qdisc add dev host0 root handle 1: tbf rate 500mbit burst 256k");
+  ASSERT_TRUE(s.ok) << s.error;
+  auto& tbf = static_cast<net::TbfQdisc&>(fabric_.egress(0).qdisc());
+  EXPECT_DOUBLE_EQ(tbf.config().rate, 500e6 / 8);
+  EXPECT_EQ(tbf.config().burst, 256 * 1024);
+}
+
+TEST_F(TcQdiscKindsTest, TbfRequiresRate) {
+  EXPECT_FALSE(control_.exec("tc qdisc add dev host0 root handle 1: tbf").ok);
+  EXPECT_FALSE(
+      control_.exec("tc qdisc add dev host0 root handle 1: tbf burst 64k").ok);
+  EXPECT_FALSE(
+      control_.exec("tc qdisc add dev host0 root handle 1: tbf rate slow").ok);
+}
+
+TEST_F(TcQdiscKindsTest, TbfAcceptsLimitForCompat) {
+  EXPECT_TRUE(control_
+                  .exec("tc qdisc add dev host0 root handle 1: tbf rate "
+                        "100mbit burst 64k limit 1m")
+                  .ok);
+}
+
+TEST_F(TcQdiscKindsTest, FiltersOnClasslessQdiscsAreNoOps) {
+  ASSERT_TRUE(control_.exec("tc qdisc add dev host0 root handle 1: pfifo_fast").ok);
+  ASSERT_TRUE(control_
+                  .exec("tc filter add dev host0 parent 1: pref 10 u32 match "
+                        "ip sport 5000 0xffff flowid 1:3")
+                  .ok);
+  net::FlowSpec f;
+  f.src_port = 5000;
+  EXPECT_EQ(fabric_.egress(0).classifier().classify(f), 0);
+}
+
+TEST_F(TcQdiscKindsTest, ShowQdiscNamesDiscipline) {
+  ASSERT_TRUE(control_.exec("tc qdisc add dev host0 root handle 1: tbf rate 1gbit").ok);
+  std::string shown = control_.show_qdisc(0);
+  EXPECT_NE(shown.find("tbf"), std::string::npos);
+  EXPECT_NE(shown.find("host0"), std::string::npos);
+}
+
+TEST_F(TcQdiscKindsTest, TbfShapesEndToEnd) {
+  // 8 MB through a 100 mbit tbf takes ~0.65 s instead of ~7 ms.
+  ASSERT_TRUE(control_
+                  .exec("tc qdisc add dev host0 root handle 1: tbf rate "
+                        "100mbit burst 256k")
+                  .ok);
+  net::FlowSpec f;
+  f.src = 0;
+  f.dst = 1;
+  f.bytes = 8 * net::kMiB;
+  sim::Time done = 0;
+  fabric_.start_flow(f, [&](const net::FlowRecord& r) { done = r.end; });
+  sim_.run();
+  EXPECT_GT(sim::to_seconds(done), 0.4);
+  EXPECT_LT(sim::to_seconds(done), 1.5);
+}
+
+}  // namespace
+}  // namespace tls::tc

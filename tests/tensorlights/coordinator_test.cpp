@@ -1,0 +1,103 @@
+#include "tensorlights/coordinator.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tls::core {
+namespace {
+
+TEST(Coordinator, GrantIsNeverSynchronous) {
+  sim::Simulator s(1);
+  CoordinatorConfig cfg;
+  cfg.coordination_rtt = 0;
+  CentralCoordinator coord(s, cfg);
+  bool granted = false;
+  coord.request(0, 100, [&] { granted = true; });
+  EXPECT_FALSE(granted);
+  s.run();
+  EXPECT_TRUE(granted);
+}
+
+TEST(Coordinator, GrantCostsOneRoundTrip) {
+  sim::Simulator s(1);
+  CoordinatorConfig cfg;
+  cfg.coordination_rtt = 5 * sim::kMillisecond;
+  CentralCoordinator coord(s, cfg);
+  sim::Time granted_at = -1;
+  coord.request(0, 100, [&] { granted_at = s.now(); });
+  s.run();
+  EXPECT_EQ(granted_at, 10 * sim::kMillisecond);  // request + response
+}
+
+TEST(Coordinator, SerializesBurstsPerHost) {
+  sim::Simulator s(1);
+  CoordinatorConfig cfg;
+  cfg.slots_per_host = 1;
+  cfg.coordination_rtt = 0;
+  CentralCoordinator coord(s, cfg);
+  std::vector<int> order;
+  coord.request(0, 100, [&] { order.push_back(1); });
+  coord.request(0, 100, [&] { order.push_back(2); });
+  s.run();
+  // Only the first burst is granted until release.
+  EXPECT_EQ(order, std::vector<int>{1});
+  EXPECT_EQ(coord.active(0), 1);
+  EXPECT_EQ(coord.queued(0), 1u);
+  coord.release(0);
+  s.run();
+  EXPECT_EQ(order, (std::vector<int>{1, 2}));
+  EXPECT_EQ(coord.queued(0), 0u);
+}
+
+TEST(Coordinator, HostsAreIndependent) {
+  sim::Simulator s(1);
+  CoordinatorConfig cfg;
+  cfg.coordination_rtt = 0;
+  CentralCoordinator coord(s, cfg);
+  int grants = 0;
+  coord.request(0, 1, [&] { ++grants; });
+  coord.request(1, 1, [&] { ++grants; });
+  s.run();
+  EXPECT_EQ(grants, 2);
+}
+
+TEST(Coordinator, MultipleSlots) {
+  sim::Simulator s(1);
+  CoordinatorConfig cfg;
+  cfg.slots_per_host = 2;
+  cfg.coordination_rtt = 0;
+  CentralCoordinator coord(s, cfg);
+  int grants = 0;
+  for (int i = 0; i < 3; ++i) coord.request(0, 1, [&] { ++grants; });
+  s.run();
+  EXPECT_EQ(grants, 2);
+  coord.release(0);
+  s.run();
+  EXPECT_EQ(grants, 3);
+}
+
+TEST(Coordinator, WaitAccounting) {
+  sim::Simulator s(1);
+  CoordinatorConfig cfg;
+  cfg.coordination_rtt = 0;
+  CentralCoordinator coord(s, cfg);
+  coord.request(0, 1, [] {});
+  coord.request(0, 1, [] {});
+  s.run();
+  s.schedule_after(sim::kSecond, [&] { coord.release(0); });
+  s.run();
+  EXPECT_EQ(coord.grants(), 2u);
+  EXPECT_NEAR(coord.total_wait_s(), 1.0, 0.01);  // second burst waited 1 s
+}
+
+TEST(Coordinator, Validation) {
+  sim::Simulator s(1);
+  CoordinatorConfig bad;
+  bad.slots_per_host = 0;
+  EXPECT_THROW(CentralCoordinator(s, bad), std::invalid_argument);
+  bad = {};
+  bad.coordination_rtt = -1;
+  EXPECT_THROW(CentralCoordinator(s, bad), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace tls::core

@@ -1,0 +1,64 @@
+#include "tensorlights/policy.hpp"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+namespace tls::core {
+namespace {
+
+TEST(PolicyNames, Stable) {
+  EXPECT_STREQ(to_string(PolicyKind::kFifo), "FIFO");
+  EXPECT_STREQ(to_string(PolicyKind::kTlsOne), "TLs-One");
+  EXPECT_STREQ(to_string(PolicyKind::kTlsRR), "TLs-RR");
+  EXPECT_STREQ(to_string(AssignStrategy::kArrivalOrder), "arrival-order");
+  EXPECT_STREQ(to_string(AssignStrategy::kRandom), "random");
+  EXPECT_STREQ(to_string(AssignStrategy::kSmallestModelFirst),
+               "smallest-model-first");
+  EXPECT_STREQ(to_string(DataPlane::kHtb), "htb");
+  EXPECT_STREQ(to_string(DataPlane::kPrio), "prio");
+}
+
+TEST(BandForRank, IdentityWhenEnoughBands) {
+  for (int r = 0; r < 6; ++r) EXPECT_EQ(band_for_rank(r, 6, 6), r);
+  EXPECT_EQ(band_for_rank(2, 3, 6), 2);
+}
+
+TEST(BandForRank, MonotoneNonDecreasing) {
+  for (int n : {7, 21, 100}) {
+    for (int bands : {1, 2, 6}) {
+      int prev = 0;
+      for (int r = 0; r < n; ++r) {
+        int b = band_for_rank(r, n, bands);
+        EXPECT_GE(b, prev);
+        EXPECT_GE(b, 0);
+        EXPECT_LT(b, bands);
+        prev = b;
+      }
+    }
+  }
+}
+
+TEST(BandForRank, SpreadsEvenlyWhenSharing) {
+  // 21 jobs into 6 bands: band occupancy 3 or 4.
+  std::map<int, int> occupancy;
+  for (int r = 0; r < 21; ++r) ++occupancy[band_for_rank(r, 21, 6)];
+  EXPECT_EQ(occupancy.size(), 6u);
+  for (const auto& [band, count] : occupancy) {
+    EXPECT_GE(count, 3) << band;
+    EXPECT_LE(count, 4) << band;
+  }
+}
+
+TEST(BandForRank, TopRankAlwaysBandZero) {
+  for (int n : {1, 2, 6, 21}) {
+    EXPECT_EQ(band_for_rank(0, n, 6), 0);
+  }
+}
+
+TEST(BandForRank, SingleBandCollapsesAll) {
+  for (int r = 0; r < 21; ++r) EXPECT_EQ(band_for_rank(r, 21, 1), 0);
+}
+
+}  // namespace
+}  // namespace tls::core

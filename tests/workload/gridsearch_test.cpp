@@ -1,0 +1,69 @@
+#include "workload/gridsearch.hpp"
+
+#include <gtest/gtest.h>
+
+namespace tls::workload {
+namespace {
+
+TEST(GridSearch, GeneratesIdenticalJobsWithSequentialIds) {
+  GridSearchConfig cfg;
+  cfg.num_jobs = 5;
+  cfg.local_batch_size = 8;
+  auto jobs = grid_search_jobs(cfg);
+  ASSERT_EQ(jobs.size(), 5u);
+  for (int j = 0; j < 5; ++j) {
+    EXPECT_EQ(jobs[static_cast<size_t>(j)].job_id, j);
+    EXPECT_EQ(jobs[static_cast<size_t>(j)].local_batch_size, 8);
+    EXPECT_EQ(jobs[static_cast<size_t>(j)].model.name,
+              cfg.model.name);
+    EXPECT_EQ(jobs[static_cast<size_t>(j)].num_workers, cfg.workers_per_job);
+  }
+}
+
+TEST(GridSearch, PaperDefaults) {
+  GridSearchConfig cfg;
+  EXPECT_EQ(cfg.num_jobs, 21);
+  EXPECT_EQ(cfg.workers_per_job, 20);
+  EXPECT_EQ(cfg.local_batch_size, 4);
+  EXPECT_EQ(cfg.model.name, "resnet32_cifar10");
+  EXPECT_EQ(cfg.mode, dl::TrainingMode::kSync);
+}
+
+TEST(GridSearch, Validation) {
+  GridSearchConfig cfg;
+  cfg.num_jobs = 0;
+  EXPECT_THROW(grid_search_jobs(cfg), std::invalid_argument);
+  cfg = {};
+  cfg.local_batch_size = 0;
+  EXPECT_THROW(grid_search_jobs(cfg), std::invalid_argument);
+}
+
+TEST(Heterogeneous, ConcatenatesGroups) {
+  std::vector<MixEntry> mix = {
+      {dl::zoo::resnet32_cifar10(), 2, 4, 100},
+      {dl::zoo::vgg16(), 3, 8, 50},
+  };
+  auto jobs = heterogeneous_jobs(mix, /*workers=*/10);
+  ASSERT_EQ(jobs.size(), 5u);
+  EXPECT_EQ(jobs[0].model.name, "resnet32_cifar10");
+  EXPECT_EQ(jobs[2].model.name, "vgg16");
+  EXPECT_EQ(jobs[4].job_id, 4);
+  EXPECT_EQ(jobs[2].local_batch_size, 8);
+  EXPECT_EQ(jobs[2].global_step_target, 50);
+  for (const auto& j : jobs) EXPECT_EQ(j.num_workers, 10);
+}
+
+TEST(Heterogeneous, Validation) {
+  std::vector<MixEntry> mix = {{dl::zoo::alexnet(), 0, 4, 100}};
+  EXPECT_THROW(heterogeneous_jobs(mix, 4), std::invalid_argument);
+}
+
+TEST(Heterogeneous, ModeAndSigmaPropagate) {
+  std::vector<MixEntry> mix = {{dl::zoo::alexnet(), 2, 4, 100}};
+  auto jobs = heterogeneous_jobs(mix, 4, dl::TrainingMode::kAsync, 0.3);
+  EXPECT_EQ(jobs[0].mode, dl::TrainingMode::kAsync);
+  EXPECT_DOUBLE_EQ(jobs[1].compute_sigma, 0.3);
+}
+
+}  // namespace
+}  // namespace tls::workload

@@ -1,0 +1,11 @@
+// tlsim: command-line front end for the TensorLights cluster simulator.
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "exp/cli.hpp"
+
+int main(int argc, char** argv) {
+  std::vector<std::string> args(argv + 1, argv + argc);
+  return tls::exp::run_cli(args, std::cout, std::cerr);
+}
