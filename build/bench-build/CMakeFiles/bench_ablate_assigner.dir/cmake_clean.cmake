@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_assigner"
+  "../bench/bench_ablate_assigner.pdb"
+  "CMakeFiles/bench_ablate_assigner.dir/bench_ablate_assigner.cpp.o"
+  "CMakeFiles/bench_ablate_assigner.dir/bench_ablate_assigner.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_assigner.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

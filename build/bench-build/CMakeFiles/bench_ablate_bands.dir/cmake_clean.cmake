@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_bands"
+  "../bench/bench_ablate_bands.pdb"
+  "CMakeFiles/bench_ablate_bands.dir/bench_ablate_bands.cpp.o"
+  "CMakeFiles/bench_ablate_bands.dir/bench_ablate_bands.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_bands.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ablate_two_sided"
+  "../bench/bench_ablate_two_sided.pdb"
+  "CMakeFiles/bench_ablate_two_sided.dir/bench_ablate_two_sided.cpp.o"
+  "CMakeFiles/bench_ablate_two_sided.dir/bench_ablate_two_sided.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablate_two_sided.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "../bench/bench_ext_coordinator"
+  "../bench/bench_ext_coordinator.pdb"
+  "CMakeFiles/bench_ext_coordinator.dir/bench_ext_coordinator.cpp.o"
+  "CMakeFiles/bench_ext_coordinator.dir/bench_ext_coordinator.cpp.o.d"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_coordinator.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

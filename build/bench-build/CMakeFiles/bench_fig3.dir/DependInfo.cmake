@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/bench_fig3.cpp" "bench-build/CMakeFiles/bench_fig3.dir/bench_fig3.cpp.o" "gcc" "bench-build/CMakeFiles/bench_fig3.dir/bench_fig3.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/tls_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensorlights/CMakeFiles/tls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tc/CMakeFiles/tls_tc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tls_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tls_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tls_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dl/CMakeFiles/tls_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/tls_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/grid_search_campaign.dir/grid_search_campaign.cpp.o"
+  "CMakeFiles/grid_search_campaign.dir/grid_search_campaign.cpp.o.d"
+  "grid_search_campaign"
+  "grid_search_campaign.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/grid_search_campaign.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tc_playground.dir/tc_playground.cpp.o"
+  "CMakeFiles/tc_playground.dir/tc_playground.cpp.o.d"
+  "tc_playground"
+  "tc_playground.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tc_playground.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

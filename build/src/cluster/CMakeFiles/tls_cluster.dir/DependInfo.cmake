@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/cluster/launcher.cpp" "src/cluster/CMakeFiles/tls_cluster.dir/launcher.cpp.o" "gcc" "src/cluster/CMakeFiles/tls_cluster.dir/launcher.cpp.o.d"
+  "/root/repo/src/cluster/placement.cpp" "src/cluster/CMakeFiles/tls_cluster.dir/placement.cpp.o" "gcc" "src/cluster/CMakeFiles/tls_cluster.dir/placement.cpp.o.d"
+  "/root/repo/src/cluster/scheduler.cpp" "src/cluster/CMakeFiles/tls_cluster.dir/scheduler.cpp.o" "gcc" "src/cluster/CMakeFiles/tls_cluster.dir/scheduler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/dl/CMakeFiles/tls_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/tls_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

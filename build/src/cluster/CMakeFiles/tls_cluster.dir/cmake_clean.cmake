@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_cluster.dir/launcher.cpp.o"
+  "CMakeFiles/tls_cluster.dir/launcher.cpp.o.d"
+  "CMakeFiles/tls_cluster.dir/placement.cpp.o"
+  "CMakeFiles/tls_cluster.dir/placement.cpp.o.d"
+  "CMakeFiles/tls_cluster.dir/scheduler.cpp.o"
+  "CMakeFiles/tls_cluster.dir/scheduler.cpp.o.d"
+  "libtls_cluster.a"
+  "libtls_cluster.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_cluster.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dl/barrier_log.cpp" "src/dl/CMakeFiles/tls_dl.dir/barrier_log.cpp.o" "gcc" "src/dl/CMakeFiles/tls_dl.dir/barrier_log.cpp.o.d"
+  "/root/repo/src/dl/job_runtime.cpp" "src/dl/CMakeFiles/tls_dl.dir/job_runtime.cpp.o" "gcc" "src/dl/CMakeFiles/tls_dl.dir/job_runtime.cpp.o.d"
+  "/root/repo/src/dl/model.cpp" "src/dl/CMakeFiles/tls_dl.dir/model.cpp.o" "gcc" "src/dl/CMakeFiles/tls_dl.dir/model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/tls_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

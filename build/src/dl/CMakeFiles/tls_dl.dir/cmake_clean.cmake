@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_dl.dir/barrier_log.cpp.o"
+  "CMakeFiles/tls_dl.dir/barrier_log.cpp.o.d"
+  "CMakeFiles/tls_dl.dir/job_runtime.cpp.o"
+  "CMakeFiles/tls_dl.dir/job_runtime.cpp.o.d"
+  "CMakeFiles/tls_dl.dir/model.cpp.o"
+  "CMakeFiles/tls_dl.dir/model.cpp.o.d"
+  "libtls_dl.a"
+  "libtls_dl.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_dl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

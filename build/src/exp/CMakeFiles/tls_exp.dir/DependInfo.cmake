@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/exp/cli.cpp" "src/exp/CMakeFiles/tls_exp.dir/cli.cpp.o" "gcc" "src/exp/CMakeFiles/tls_exp.dir/cli.cpp.o.d"
+  "/root/repo/src/exp/experiment.cpp" "src/exp/CMakeFiles/tls_exp.dir/experiment.cpp.o" "gcc" "src/exp/CMakeFiles/tls_exp.dir/experiment.cpp.o.d"
+  "/root/repo/src/exp/export.cpp" "src/exp/CMakeFiles/tls_exp.dir/export.cpp.o" "gcc" "src/exp/CMakeFiles/tls_exp.dir/export.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensorlights/CMakeFiles/tls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tls_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tls_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/tc/CMakeFiles/tls_tc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tls_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/dl/CMakeFiles/tls_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/tls_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

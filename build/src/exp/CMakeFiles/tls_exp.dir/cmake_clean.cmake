@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_exp.dir/cli.cpp.o"
+  "CMakeFiles/tls_exp.dir/cli.cpp.o.d"
+  "CMakeFiles/tls_exp.dir/experiment.cpp.o"
+  "CMakeFiles/tls_exp.dir/experiment.cpp.o.d"
+  "CMakeFiles/tls_exp.dir/export.cpp.o"
+  "CMakeFiles/tls_exp.dir/export.cpp.o.d"
+  "libtls_exp.a"
+  "libtls_exp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_exp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/metrics/report.cpp" "src/metrics/CMakeFiles/tls_metrics.dir/report.cpp.o" "gcc" "src/metrics/CMakeFiles/tls_metrics.dir/report.cpp.o.d"
+  "/root/repo/src/metrics/stats.cpp" "src/metrics/CMakeFiles/tls_metrics.dir/stats.cpp.o" "gcc" "src/metrics/CMakeFiles/tls_metrics.dir/stats.cpp.o.d"
+  "/root/repo/src/metrics/util_sampler.cpp" "src/metrics/CMakeFiles/tls_metrics.dir/util_sampler.cpp.o" "gcc" "src/metrics/CMakeFiles/tls_metrics.dir/util_sampler.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/net/CMakeFiles/tls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/tls_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

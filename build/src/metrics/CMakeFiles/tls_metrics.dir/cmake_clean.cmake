@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_metrics.dir/report.cpp.o"
+  "CMakeFiles/tls_metrics.dir/report.cpp.o.d"
+  "CMakeFiles/tls_metrics.dir/stats.cpp.o"
+  "CMakeFiles/tls_metrics.dir/stats.cpp.o.d"
+  "CMakeFiles/tls_metrics.dir/util_sampler.cpp.o"
+  "CMakeFiles/tls_metrics.dir/util_sampler.cpp.o.d"
+  "libtls_metrics.a"
+  "libtls_metrics.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_metrics.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/net/classifier.cpp" "src/net/CMakeFiles/tls_net.dir/classifier.cpp.o" "gcc" "src/net/CMakeFiles/tls_net.dir/classifier.cpp.o.d"
+  "/root/repo/src/net/fabric.cpp" "src/net/CMakeFiles/tls_net.dir/fabric.cpp.o" "gcc" "src/net/CMakeFiles/tls_net.dir/fabric.cpp.o.d"
+  "/root/repo/src/net/htb_qdisc.cpp" "src/net/CMakeFiles/tls_net.dir/htb_qdisc.cpp.o" "gcc" "src/net/CMakeFiles/tls_net.dir/htb_qdisc.cpp.o.d"
+  "/root/repo/src/net/pfifo_fast_qdisc.cpp" "src/net/CMakeFiles/tls_net.dir/pfifo_fast_qdisc.cpp.o" "gcc" "src/net/CMakeFiles/tls_net.dir/pfifo_fast_qdisc.cpp.o.d"
+  "/root/repo/src/net/pfifo_qdisc.cpp" "src/net/CMakeFiles/tls_net.dir/pfifo_qdisc.cpp.o" "gcc" "src/net/CMakeFiles/tls_net.dir/pfifo_qdisc.cpp.o.d"
+  "/root/repo/src/net/port.cpp" "src/net/CMakeFiles/tls_net.dir/port.cpp.o" "gcc" "src/net/CMakeFiles/tls_net.dir/port.cpp.o.d"
+  "/root/repo/src/net/prio_qdisc.cpp" "src/net/CMakeFiles/tls_net.dir/prio_qdisc.cpp.o" "gcc" "src/net/CMakeFiles/tls_net.dir/prio_qdisc.cpp.o.d"
+  "/root/repo/src/net/tbf_qdisc.cpp" "src/net/CMakeFiles/tls_net.dir/tbf_qdisc.cpp.o" "gcc" "src/net/CMakeFiles/tls_net.dir/tbf_qdisc.cpp.o.d"
+  "/root/repo/src/net/wdrr.cpp" "src/net/CMakeFiles/tls_net.dir/wdrr.cpp.o" "gcc" "src/net/CMakeFiles/tls_net.dir/wdrr.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/simcore/CMakeFiles/tls_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

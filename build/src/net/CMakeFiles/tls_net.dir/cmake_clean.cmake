@@ -1,0 +1,27 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_net.dir/classifier.cpp.o"
+  "CMakeFiles/tls_net.dir/classifier.cpp.o.d"
+  "CMakeFiles/tls_net.dir/fabric.cpp.o"
+  "CMakeFiles/tls_net.dir/fabric.cpp.o.d"
+  "CMakeFiles/tls_net.dir/htb_qdisc.cpp.o"
+  "CMakeFiles/tls_net.dir/htb_qdisc.cpp.o.d"
+  "CMakeFiles/tls_net.dir/pfifo_fast_qdisc.cpp.o"
+  "CMakeFiles/tls_net.dir/pfifo_fast_qdisc.cpp.o.d"
+  "CMakeFiles/tls_net.dir/pfifo_qdisc.cpp.o"
+  "CMakeFiles/tls_net.dir/pfifo_qdisc.cpp.o.d"
+  "CMakeFiles/tls_net.dir/port.cpp.o"
+  "CMakeFiles/tls_net.dir/port.cpp.o.d"
+  "CMakeFiles/tls_net.dir/prio_qdisc.cpp.o"
+  "CMakeFiles/tls_net.dir/prio_qdisc.cpp.o.d"
+  "CMakeFiles/tls_net.dir/tbf_qdisc.cpp.o"
+  "CMakeFiles/tls_net.dir/tbf_qdisc.cpp.o.d"
+  "CMakeFiles/tls_net.dir/wdrr.cpp.o"
+  "CMakeFiles/tls_net.dir/wdrr.cpp.o.d"
+  "libtls_net.a"
+  "libtls_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

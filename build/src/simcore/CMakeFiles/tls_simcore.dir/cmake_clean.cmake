@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_simcore.dir/event_queue.cpp.o"
+  "CMakeFiles/tls_simcore.dir/event_queue.cpp.o.d"
+  "CMakeFiles/tls_simcore.dir/log.cpp.o"
+  "CMakeFiles/tls_simcore.dir/log.cpp.o.d"
+  "CMakeFiles/tls_simcore.dir/rng.cpp.o"
+  "CMakeFiles/tls_simcore.dir/rng.cpp.o.d"
+  "CMakeFiles/tls_simcore.dir/simulator.cpp.o"
+  "CMakeFiles/tls_simcore.dir/simulator.cpp.o.d"
+  "libtls_simcore.a"
+  "libtls_simcore.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_simcore.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_tc.dir/parser.cpp.o"
+  "CMakeFiles/tls_tc.dir/parser.cpp.o.d"
+  "CMakeFiles/tls_tc.dir/spec.cpp.o"
+  "CMakeFiles/tls_tc.dir/spec.cpp.o.d"
+  "CMakeFiles/tls_tc.dir/tc.cpp.o"
+  "CMakeFiles/tls_tc.dir/tc.cpp.o.d"
+  "libtls_tc.a"
+  "libtls_tc.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_core.dir/controller.cpp.o"
+  "CMakeFiles/tls_core.dir/controller.cpp.o.d"
+  "CMakeFiles/tls_core.dir/coordinator.cpp.o"
+  "CMakeFiles/tls_core.dir/coordinator.cpp.o.d"
+  "CMakeFiles/tls_core.dir/policy.cpp.o"
+  "CMakeFiles/tls_core.dir/policy.cpp.o.d"
+  "libtls_core.a"
+  "libtls_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tls_workload.dir/background.cpp.o"
+  "CMakeFiles/tls_workload.dir/background.cpp.o.d"
+  "CMakeFiles/tls_workload.dir/gridsearch.cpp.o"
+  "CMakeFiles/tls_workload.dir/gridsearch.cpp.o.d"
+  "libtls_workload.a"
+  "libtls_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tls_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dl.dir/dl/barrier_log_test.cpp.o"
+  "CMakeFiles/test_dl.dir/dl/barrier_log_test.cpp.o.d"
+  "CMakeFiles/test_dl.dir/dl/job_runtime_test.cpp.o"
+  "CMakeFiles/test_dl.dir/dl/job_runtime_test.cpp.o.d"
+  "CMakeFiles/test_dl.dir/dl/model_test.cpp.o"
+  "CMakeFiles/test_dl.dir/dl/model_test.cpp.o.d"
+  "CMakeFiles/test_dl.dir/dl/multi_ps_test.cpp.o"
+  "CMakeFiles/test_dl.dir/dl/multi_ps_test.cpp.o.d"
+  "CMakeFiles/test_dl.dir/dl/transmission_gate_test.cpp.o"
+  "CMakeFiles/test_dl.dir/dl/transmission_gate_test.cpp.o.d"
+  "test_dl"
+  "test_dl.pdb"
+  "test_dl[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dl.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

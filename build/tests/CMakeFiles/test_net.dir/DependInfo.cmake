@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/net/classifier_test.cpp" "tests/CMakeFiles/test_net.dir/net/classifier_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/classifier_test.cpp.o.d"
+  "/root/repo/tests/net/fabric_test.cpp" "tests/CMakeFiles/test_net.dir/net/fabric_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/fabric_test.cpp.o.d"
+  "/root/repo/tests/net/htb_qdisc_test.cpp" "tests/CMakeFiles/test_net.dir/net/htb_qdisc_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/htb_qdisc_test.cpp.o.d"
+  "/root/repo/tests/net/pfifo_fast_tbf_test.cpp" "tests/CMakeFiles/test_net.dir/net/pfifo_fast_tbf_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/pfifo_fast_tbf_test.cpp.o.d"
+  "/root/repo/tests/net/pfifo_qdisc_test.cpp" "tests/CMakeFiles/test_net.dir/net/pfifo_qdisc_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/pfifo_qdisc_test.cpp.o.d"
+  "/root/repo/tests/net/port_test.cpp" "tests/CMakeFiles/test_net.dir/net/port_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/port_test.cpp.o.d"
+  "/root/repo/tests/net/prio_qdisc_test.cpp" "tests/CMakeFiles/test_net.dir/net/prio_qdisc_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/prio_qdisc_test.cpp.o.d"
+  "/root/repo/tests/net/qdisc_properties_test.cpp" "tests/CMakeFiles/test_net.dir/net/qdisc_properties_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/qdisc_properties_test.cpp.o.d"
+  "/root/repo/tests/net/qdisc_stats_test.cpp" "tests/CMakeFiles/test_net.dir/net/qdisc_stats_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/qdisc_stats_test.cpp.o.d"
+  "/root/repo/tests/net/wdrr_test.cpp" "tests/CMakeFiles/test_net.dir/net/wdrr_test.cpp.o" "gcc" "tests/CMakeFiles/test_net.dir/net/wdrr_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/exp/CMakeFiles/tls_exp.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensorlights/CMakeFiles/tls_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/tc/CMakeFiles/tls_tc.dir/DependInfo.cmake"
+  "/root/repo/build/src/cluster/CMakeFiles/tls_cluster.dir/DependInfo.cmake"
+  "/root/repo/build/src/metrics/CMakeFiles/tls_metrics.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/tls_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/dl/CMakeFiles/tls_dl.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/tls_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/simcore/CMakeFiles/tls_simcore.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

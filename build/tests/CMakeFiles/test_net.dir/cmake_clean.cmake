@@ -1,0 +1,30 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_net.dir/net/classifier_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/classifier_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/fabric_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/fabric_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/htb_qdisc_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/htb_qdisc_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/pfifo_fast_tbf_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/pfifo_fast_tbf_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/pfifo_qdisc_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/pfifo_qdisc_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/port_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/port_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/prio_qdisc_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/prio_qdisc_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/qdisc_properties_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/qdisc_properties_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/qdisc_stats_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/qdisc_stats_test.cpp.o.d"
+  "CMakeFiles/test_net.dir/net/wdrr_test.cpp.o"
+  "CMakeFiles/test_net.dir/net/wdrr_test.cpp.o.d"
+  "test_net"
+  "test_net.pdb"
+  "test_net[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

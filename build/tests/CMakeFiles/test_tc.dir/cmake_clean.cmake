@@ -1,0 +1,18 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tc.dir/tc/parser_test.cpp.o"
+  "CMakeFiles/test_tc.dir/tc/parser_test.cpp.o.d"
+  "CMakeFiles/test_tc.dir/tc/spec_test.cpp.o"
+  "CMakeFiles/test_tc.dir/tc/spec_test.cpp.o.d"
+  "CMakeFiles/test_tc.dir/tc/tc_qdisc_kinds_test.cpp.o"
+  "CMakeFiles/test_tc.dir/tc/tc_qdisc_kinds_test.cpp.o.d"
+  "CMakeFiles/test_tc.dir/tc/tc_test.cpp.o"
+  "CMakeFiles/test_tc.dir/tc/tc_test.cpp.o.d"
+  "test_tc"
+  "test_tc.pdb"
+  "test_tc[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tc.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,20 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_tensorlights.dir/tensorlights/controller_test.cpp.o"
+  "CMakeFiles/test_tensorlights.dir/tensorlights/controller_test.cpp.o.d"
+  "CMakeFiles/test_tensorlights.dir/tensorlights/coordinator_test.cpp.o"
+  "CMakeFiles/test_tensorlights.dir/tensorlights/coordinator_test.cpp.o.d"
+  "CMakeFiles/test_tensorlights.dir/tensorlights/multi_ps_controller_test.cpp.o"
+  "CMakeFiles/test_tensorlights.dir/tensorlights/multi_ps_controller_test.cpp.o.d"
+  "CMakeFiles/test_tensorlights.dir/tensorlights/policy_test.cpp.o"
+  "CMakeFiles/test_tensorlights.dir/tensorlights/policy_test.cpp.o.d"
+  "CMakeFiles/test_tensorlights.dir/tensorlights/two_sided_test.cpp.o"
+  "CMakeFiles/test_tensorlights.dir/tensorlights/two_sided_test.cpp.o.d"
+  "test_tensorlights"
+  "test_tensorlights.pdb"
+  "test_tensorlights[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_tensorlights.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
