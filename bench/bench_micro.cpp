@@ -97,9 +97,11 @@ BENCHMARK(BM_HtbEnqueueDequeue);
 void BM_ClassifierLookup(benchmark::State& state) {
   net::Classifier c;
   for (int i = 0; i < 21; ++i) {
-    c.upsert({.pref = 1000 + i,
-              .src_port = static_cast<std::uint16_t>(5000 + 64 * i),
-              .target_band = i % 6});
+    net::FilterRule rule;
+    rule.pref = 1000 + i;
+    rule.src_port = static_cast<std::uint16_t>(5000 + 64 * i);
+    rule.target_band = i % 6;
+    c.upsert(rule);
   }
   net::FlowSpec spec;
   spec.src_port = 5000 + 64 * 20;  // worst case: last rule

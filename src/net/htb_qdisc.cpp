@@ -1,7 +1,6 @@
 #include "net/htb_qdisc.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <cmath>
 #include <limits>
 #include <sstream>
@@ -22,7 +21,8 @@ HtbQdisc::HtbQdisc(Rate root_rate, std::uint32_t default_minor)
       default_minor_(default_minor),
       root_tokens_(0),
       root_burst_(256 * kKiB) {
-  assert(root_rate_ > 0);
+  TLS_CHECK(root_rate_ > 0, "htb root rate must be positive, got ",
+            root_rate_);
   root_tokens_ = static_cast<double>(root_burst_);
 }
 
@@ -63,6 +63,9 @@ Bytes HtbQdisc::class_backlog(std::uint32_t minor) const {
 }
 
 void HtbQdisc::enqueue(const Chunk& chunk) {
+  TLS_CHECK(chunk.size >= 0, "htb enqueue of negative-size chunk: ",
+            chunk.size);
+  ledger_.enqueued += chunk.size;
   std::uint32_t minor = chunk.band >= 0 ? static_cast<std::uint32_t>(chunk.band) : 0;
   auto it = classes_.find(minor);
   if (it == classes_.end() && default_minor_ != 0) {
@@ -71,9 +74,13 @@ void HtbQdisc::enqueue(const Chunk& chunk) {
   if (it == classes_.end()) {
     direct_.push_back(chunk);
     direct_bytes_ += chunk.size;
+    TLS_DCHECK(ledger_.balanced(backlog_bytes()),
+               "htb ledger imbalance after direct enqueue");
     return;
   }
   it->second.queue.enqueue(chunk);
+  TLS_DCHECK(ledger_.balanced(backlog_bytes()),
+             "htb ledger imbalance after enqueue");
 }
 
 void HtbQdisc::refill(LeafClass& leaf, sim::Time now) const {
@@ -115,8 +122,13 @@ DequeueResult HtbQdisc::dequeue(sim::Time now) {
     Chunk c = direct_.front();
     direct_.pop_front();
     direct_bytes_ -= c.size;
+    TLS_CHECK(direct_bytes_ >= 0, "htb direct backlog went negative: ",
+              direct_bytes_);
     stats_.bytes_sent += c.size;
     ++stats_.chunks_sent;
+    ledger_.dequeued += c.size;
+    TLS_DCHECK(ledger_.balanced(backlog_bytes()),
+               "htb ledger imbalance after direct dequeue");
     return DequeueResult::of(c);
   }
   if (backlog_chunks() == 0) return DequeueResult::idle();
@@ -156,14 +168,17 @@ DequeueResult HtbQdisc::dequeue(sim::Time now) {
       if (leaf.queue.empty()) continue;
       wait_s = std::min(wait_s, eligible_in(leaf));
     }
-    assert(std::isfinite(wait_s));
+    TLS_CHECK(std::isfinite(wait_s),
+              "htb: all-red backlog but no finite eligibility time");
     ++stats_.overlimits;
     sim::Time retry = now + std::max<sim::Time>(sim::from_seconds(wait_s), 1);
+    TLS_CHECK(retry > now, "htb retry time not in the future: retry=", retry,
+              " now=", now);
     return DequeueResult::wait_until(retry);
   }
 
   std::optional<Chunk> chunk = best->queue.dequeue();
-  assert(chunk.has_value());
+  TLS_CHECK(chunk.has_value(), "htb picked a class with an empty queue");
   double need = static_cast<double>(chunk->size);
   // Sending consumes ceil credit and root credit; assured-rate credit only
   // when sending green. Buckets may overdraw (go negative) by one chunk.
@@ -182,17 +197,27 @@ DequeueResult HtbQdisc::dequeue(sim::Time now) {
     ++stats_.yellow_sends;
     ++best->stats.yellow_sends;
   }
+  ledger_.dequeued += chunk->size;
+  TLS_DCHECK(ledger_.balanced(backlog_bytes()), "htb ledger imbalance: in=",
+             ledger_.enqueued, " out=", ledger_.dequeued, " drained=",
+             ledger_.drained, " backlog=", backlog_bytes());
   return DequeueResult::of(*chunk);
 }
 
 void HtbQdisc::drain(std::vector<Chunk>& out) {
   out.insert(out.end(), direct_.begin(), direct_.end());
   direct_.clear();
+  ledger_.drained += direct_bytes_;
   direct_bytes_ = 0;
   for (auto& [minor, leaf] : classes_) {
     (void)minor;
-    while (auto c = leaf.queue.dequeue()) out.push_back(*c);
+    while (auto c = leaf.queue.dequeue()) {
+      ledger_.drained += c->size;
+      out.push_back(*c);
+    }
   }
+  TLS_DCHECK(ledger_.balanced(backlog_bytes()),
+             "htb ledger imbalance after drain");
 }
 
 Bytes HtbQdisc::backlog_bytes() const {

@@ -116,6 +116,7 @@ class HtbQdisc final : public Qdisc {
   std::deque<Chunk> direct_;  // unclassified, unshaped
   Bytes direct_bytes_ = 0;
   QdiscStats stats_;
+  ByteLedger ledger_;
 };
 
 }  // namespace tls::net

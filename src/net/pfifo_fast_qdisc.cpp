@@ -15,9 +15,14 @@ int PfifoFastQdisc::priomap(FlowKind kind) {
 }
 
 void PfifoFastQdisc::enqueue(const Chunk& chunk) {
+  TLS_CHECK(chunk.size >= 0, "pfifo_fast enqueue of negative-size chunk: ",
+            chunk.size);
   int band = priomap(chunk.kind);
   bands_[static_cast<std::size_t>(band)].push_back(chunk);
   band_bytes_[static_cast<std::size_t>(band)] += chunk.size;
+  ledger_.enqueued += chunk.size;
+  TLS_DCHECK(ledger_.balanced(backlog_bytes()),
+             "pfifo_fast ledger imbalance after enqueue");
 }
 
 DequeueResult PfifoFastQdisc::dequeue(sim::Time /*now*/) {
@@ -27,8 +32,15 @@ DequeueResult PfifoFastQdisc::dequeue(sim::Time /*now*/) {
     Chunk c = band.front();
     band.pop_front();
     band_bytes_[static_cast<std::size_t>(b)] -= c.size;
+    TLS_CHECK(band_bytes_[static_cast<std::size_t>(b)] >= 0,
+              "pfifo_fast band ", b, " backlog went negative");
     stats_.bytes_sent += c.size;
     ++stats_.chunks_sent;
+    ledger_.dequeued += c.size;
+    TLS_DCHECK(ledger_.balanced(backlog_bytes()),
+               "pfifo_fast ledger imbalance: in=", ledger_.enqueued, " out=",
+               ledger_.dequeued, " drained=", ledger_.drained, " backlog=",
+               backlog_bytes());
     return DequeueResult::of(c);
   }
   return DequeueResult::idle();
@@ -47,8 +59,11 @@ void PfifoFastQdisc::drain(std::vector<Chunk>& out) {
     auto& band = bands_[static_cast<std::size_t>(b)];
     out.insert(out.end(), band.begin(), band.end());
     band.clear();
+    ledger_.drained += band_bytes_[static_cast<std::size_t>(b)];
     band_bytes_[static_cast<std::size_t>(b)] = 0;
   }
+  TLS_DCHECK(ledger_.balanced(backlog_bytes()),
+             "pfifo_fast ledger imbalance after drain");
 }
 
 std::string PfifoFastQdisc::stats_text() const {

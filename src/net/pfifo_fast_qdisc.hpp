@@ -40,6 +40,7 @@ class PfifoFastQdisc final : public Qdisc {
   std::array<std::deque<Chunk>, kBands> bands_;
   std::array<Bytes, kBands> band_bytes_{0, 0, 0};
   QdiscStats stats_;
+  ByteLedger ledger_;
 };
 
 }  // namespace tls::net

@@ -5,14 +5,22 @@
 namespace tls::net {
 
 void PfifoQdisc::enqueue(const Chunk& chunk) {
+  TLS_CHECK(chunk.size >= 0, "pfifo enqueue of negative-size chunk: ",
+            chunk.size);
   queue_.push_back(chunk);
   backlog_bytes_ += chunk.size;
+  ledger_.enqueued += chunk.size;
+  TLS_DCHECK(ledger_.balanced(backlog_bytes_), "pfifo ledger imbalance: in=",
+             ledger_.enqueued, " out=", ledger_.dequeued, " drained=",
+             ledger_.drained, " backlog=", backlog_bytes_);
 }
 
 void PfifoQdisc::drain(std::vector<Chunk>& out) {
   out.insert(out.end(), queue_.begin(), queue_.end());
   queue_.clear();
+  ledger_.drained += backlog_bytes_;
   backlog_bytes_ = 0;
+  TLS_DCHECK(ledger_.balanced(backlog_bytes_), "pfifo ledger imbalance after drain");
 }
 
 DequeueResult PfifoQdisc::dequeue(sim::Time /*now*/) {
@@ -20,8 +28,14 @@ DequeueResult PfifoQdisc::dequeue(sim::Time /*now*/) {
   Chunk c = queue_.front();
   queue_.pop_front();
   backlog_bytes_ -= c.size;
+  TLS_CHECK(backlog_bytes_ >= 0, "pfifo backlog went negative: ",
+            backlog_bytes_);
   stats_.bytes_sent += c.size;
   ++stats_.chunks_sent;
+  ledger_.dequeued += c.size;
+  TLS_DCHECK(ledger_.balanced(backlog_bytes_), "pfifo ledger imbalance: in=",
+             ledger_.enqueued, " out=", ledger_.dequeued, " drained=",
+             ledger_.drained, " backlog=", backlog_bytes_);
   return DequeueResult::of(c);
 }
 

@@ -29,6 +29,7 @@ class PfifoQdisc final : public Qdisc {
   std::deque<Chunk> queue_;
   Bytes backlog_bytes_ = 0;
   QdiscStats stats_;
+  ByteLedger ledger_;
 };
 
 }  // namespace tls::net

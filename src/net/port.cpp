@@ -1,10 +1,10 @@
 #include "net/port.hpp"
 
 #include <algorithm>
-#include <cassert>
 #include <utility>
 
 #include "net/pfifo_qdisc.hpp"
+#include "simcore/check.hpp"
 
 namespace tls::net {
 
@@ -14,24 +14,37 @@ EgressPort::EgressPort(sim::Simulator& simulator, Rate rate,
       rate_(rate),
       on_transmit_(std::move(on_transmit)),
       qdisc_(std::make_unique<PfifoQdisc>()) {
-  assert(rate_ > 0);
-  assert(on_transmit_);
+  TLS_CHECK(rate_ > 0, "egress port rate must be positive, got ", rate_);
+  TLS_CHECK(on_transmit_, "egress port with null transmit callback");
 }
 
 void EgressPort::submit(Chunk chunk, const FlowSpec& spec) {
+  TLS_CHECK(chunk.size >= 0, "egress submit of negative-size chunk: ",
+            chunk.size);
   chunk.band = classifier_.classify(spec);
+  submitted_bytes_ += chunk.size;
   qdisc_->enqueue(chunk);
   counters_.peak_backlog_bytes =
       std::max(counters_.peak_backlog_bytes, qdisc_->backlog_bytes());
+  TLS_DCHECK(submitted_bytes_ ==
+                 counters_.bytes + in_flight_bytes_ + qdisc_->backlog_bytes(),
+             "egress byte conservation broken after submit: submitted=",
+             submitted_bytes_, " transmitted=", counters_.bytes,
+             " in_flight=", in_flight_bytes_, " backlog=",
+             qdisc_->backlog_bytes());
   kick();
 }
 
 void EgressPort::set_qdisc(std::unique_ptr<Qdisc> qdisc) {
-  assert(qdisc);
+  TLS_CHECK(qdisc, "set_qdisc(nullptr)");
   std::vector<Chunk> backlog;
+  Bytes before = qdisc_->backlog_bytes();
   qdisc_->drain(backlog);
   qdisc_ = std::move(qdisc);
   for (const Chunk& c : backlog) qdisc_->enqueue(c);
+  TLS_DCHECK(qdisc_->backlog_bytes() == before,
+             "qdisc replacement lost bytes: before=", before, " after=",
+             qdisc_->backlog_bytes());
   kick();
 }
 
@@ -46,6 +59,7 @@ void EgressPort::kick() {
       }
       busy_ = true;
       Chunk chunk = r.chunk;
+      in_flight_bytes_ += chunk.size;
       sim_.schedule_after(transmit_time(chunk.size, rate_),
                           [this, chunk] { finish_transmit(chunk); });
       break;
@@ -71,6 +85,15 @@ void EgressPort::finish_transmit(const Chunk& chunk) {
   busy_ = false;
   counters_.bytes += chunk.size;
   ++counters_.chunks;
+  in_flight_bytes_ -= chunk.size;
+  TLS_CHECK(in_flight_bytes_ >= 0, "egress in-flight bytes went negative: ",
+            in_flight_bytes_);
+  TLS_DCHECK(submitted_bytes_ ==
+                 counters_.bytes + in_flight_bytes_ + qdisc_->backlog_bytes(),
+             "egress byte conservation broken after transmit: submitted=",
+             submitted_bytes_, " transmitted=", counters_.bytes,
+             " in_flight=", in_flight_bytes_, " backlog=",
+             qdisc_->backlog_bytes());
   on_transmit_(chunk);
   kick();
 }
@@ -78,11 +101,13 @@ void EgressPort::finish_transmit(const Chunk& chunk) {
 IngressPort::IngressPort(sim::Simulator& simulator, Rate rate,
                          Delivered on_delivered)
     : sim_(simulator), rate_(rate), on_delivered_(std::move(on_delivered)) {
-  assert(rate_ > 0);
-  assert(on_delivered_);
+  TLS_CHECK(rate_ > 0, "ingress port rate must be positive, got ", rate_);
+  TLS_CHECK(on_delivered_, "ingress port with null delivery callback");
 }
 
 void IngressPort::arrive(const Chunk& chunk) {
+  TLS_CHECK(chunk.size >= 0, "ingress arrival of negative-size chunk: ",
+            chunk.size);
   queue_.push_back(chunk);
   backlog_bytes_ += chunk.size;
   counters_.peak_backlog_bytes =
@@ -99,6 +124,8 @@ void IngressPort::serve_next() {
   Chunk chunk = queue_.front();
   queue_.pop_front();
   backlog_bytes_ -= chunk.size;
+  TLS_CHECK(backlog_bytes_ >= 0, "ingress backlog went negative: ",
+            backlog_bytes_);
   sim_.schedule_after(transmit_time(chunk.size, rate_), [this, chunk] {
     counters_.bytes += chunk.size;
     ++counters_.chunks;

@@ -68,6 +68,10 @@ class EgressPort {
   bool retry_armed_ = false;
   sim::EventId retry_event_{};
   PortCounters counters_;
+  // Byte-conservation bookkeeping: everything submitted is either already
+  // transmitted (counters_.bytes), in flight on the wire, or still queued.
+  Bytes submitted_bytes_ = 0;
+  Bytes in_flight_bytes_ = 0;
 };
 
 /// Receive side of a host NIC: FIFO service at line rate, modeling fan-in

@@ -14,10 +14,15 @@ PrioQdisc::PrioQdisc(int bands, Bytes quantum) {
 }
 
 void PrioQdisc::enqueue(const Chunk& chunk) {
+  TLS_CHECK(chunk.size >= 0, "prio enqueue of negative-size chunk: ",
+            chunk.size);
   // Out-of-range bands are clamped to the lowest priority, mirroring how a
   // misconfigured tc filter lands traffic in the last band.
   int b = std::clamp<int>(chunk.band, 0, bands() - 1);
   bands_[static_cast<std::size_t>(b)].enqueue(chunk);
+  ledger_.enqueued += chunk.size;
+  TLS_DCHECK(ledger_.balanced(backlog_bytes()),
+             "prio ledger imbalance after enqueue");
 }
 
 DequeueResult PrioQdisc::dequeue(sim::Time /*now*/) {
@@ -27,9 +32,17 @@ DequeueResult PrioQdisc::dequeue(sim::Time /*now*/) {
       ++stats_.chunks_sent;
       band_stats_[b].bytes_sent += c->size;
       ++band_stats_[b].chunks_sent;
+      ledger_.dequeued += c->size;
+      TLS_DCHECK(ledger_.balanced(backlog_bytes()),
+                 "prio ledger imbalance: in=", ledger_.enqueued, " out=",
+                 ledger_.dequeued, " drained=", ledger_.drained, " backlog=",
+                 backlog_bytes());
       return DequeueResult::of(*c);
     }
   }
+  TLS_DCHECK(backlog_chunks() == 0,
+             "prio reported idle with backlog of ", backlog_chunks(),
+             " chunks");
   return DequeueResult::idle();
 }
 
@@ -49,8 +62,13 @@ std::string PrioQdisc::stats_text() const {
 
 void PrioQdisc::drain(std::vector<Chunk>& out) {
   for (auto& band : bands_) {
-    while (auto c = band.dequeue()) out.push_back(*c);
+    while (auto c = band.dequeue()) {
+      ledger_.drained += c->size;
+      out.push_back(*c);
+    }
   }
+  TLS_DCHECK(ledger_.balanced(backlog_bytes()),
+             "prio ledger imbalance after drain");
 }
 
 Bytes PrioQdisc::backlog_bytes() const {

@@ -45,6 +45,7 @@ class PrioQdisc final : public Qdisc {
   std::vector<WdrrBand> bands_;
   std::vector<QdiscStats> band_stats_;
   QdiscStats stats_;
+  ByteLedger ledger_;
 };
 
 }  // namespace tls::net

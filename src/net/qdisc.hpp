@@ -11,6 +11,7 @@
 #include <vector>
 
 #include "net/chunk.hpp"
+#include "simcore/check.hpp"
 #include "simcore/time.hpp"
 
 namespace tls::net {
@@ -25,6 +26,23 @@ struct QdiscStats {
   std::uint64_t yellow_sends = 0;
   /// Rate-limited stalls reported to the port (kWaitUntil results).
   std::uint64_t overlimits = 0;
+};
+
+/// Byte-conservation ledger for qdisc implementations. The disciplines here
+/// are lossless, so at any instant
+///   enqueued == dequeued + drained + backlog.
+/// Implementations update the ledger on every chunk movement (two integer
+/// additions on the hot path) and audit the balance with TLS_DCHECK, so a
+/// chunk silently lost or double-counted by a refactor aborts Debug and
+/// sanitizer runs at the first operation that breaks the books.
+struct ByteLedger {
+  Bytes enqueued = 0;
+  Bytes dequeued = 0;
+  Bytes drained = 0;
+
+  bool balanced(Bytes backlog) const {
+    return backlog >= 0 && enqueued == dequeued + drained + backlog;
+  }
 };
 
 /// Result of a dequeue attempt.

@@ -14,12 +14,19 @@ TbfQdisc::TbfQdisc(const TbfConfig& config)
 }
 
 void TbfQdisc::enqueue(const Chunk& chunk) {
+  TLS_CHECK(chunk.size >= 0, "tbf enqueue of negative-size chunk: ",
+            chunk.size);
   queue_.push_back(chunk);
   backlog_bytes_ += chunk.size;
+  ledger_.enqueued += chunk.size;
+  TLS_DCHECK(ledger_.balanced(backlog_bytes_),
+             "tbf ledger imbalance after enqueue");
 }
 
 DequeueResult TbfQdisc::dequeue(sim::Time now) {
   if (queue_.empty()) return DequeueResult::idle();
+  TLS_CHECK(now >= last_refill_, "tbf clock went backwards: now=", now,
+            " last_refill=", last_refill_);
   double dt = sim::to_seconds(now - last_refill_);
   if (dt > 0) {
     tokens_ = std::min(static_cast<double>(config_.burst),
@@ -34,16 +41,25 @@ DequeueResult TbfQdisc::dequeue(sim::Time now) {
   Chunk c = queue_.front();
   queue_.pop_front();
   backlog_bytes_ -= c.size;
+  TLS_CHECK(backlog_bytes_ >= 0, "tbf backlog went negative: ",
+            backlog_bytes_);
   tokens_ -= static_cast<double>(c.size);
   stats_.bytes_sent += c.size;
   ++stats_.chunks_sent;
+  ledger_.dequeued += c.size;
+  TLS_DCHECK(ledger_.balanced(backlog_bytes_), "tbf ledger imbalance: in=",
+             ledger_.enqueued, " out=", ledger_.dequeued, " drained=",
+             ledger_.drained, " backlog=", backlog_bytes_);
   return DequeueResult::of(c);
 }
 
 void TbfQdisc::drain(std::vector<Chunk>& out) {
   out.insert(out.end(), queue_.begin(), queue_.end());
   queue_.clear();
+  ledger_.drained += backlog_bytes_;
   backlog_bytes_ = 0;
+  TLS_DCHECK(ledger_.balanced(backlog_bytes_),
+             "tbf ledger imbalance after drain");
 }
 
 std::string TbfQdisc::stats_text() const {

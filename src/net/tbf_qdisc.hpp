@@ -38,6 +38,7 @@ class TbfQdisc final : public Qdisc {
   double tokens_;
   sim::Time last_refill_ = 0;
   QdiscStats stats_;
+  ByteLedger ledger_;
 };
 
 }  // namespace tls::net

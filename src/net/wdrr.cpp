@@ -1,13 +1,18 @@
 #include "net/wdrr.hpp"
 
 #include <algorithm>
-#include <cassert>
+
+#include "simcore/check.hpp"
 
 namespace tls::net {
 
-WdrrBand::WdrrBand(Bytes quantum) : quantum_(quantum) { assert(quantum_ > 0); }
+WdrrBand::WdrrBand(Bytes quantum) : quantum_(quantum) {
+  TLS_CHECK(quantum_ > 0, "wdrr quantum must be positive, got ", quantum_);
+}
 
 void WdrrBand::enqueue(const Chunk& chunk) {
+  TLS_CHECK(chunk.size >= 0, "wdrr enqueue of negative-size chunk: ",
+            chunk.size);
   auto [it, inserted] = flows_.try_emplace(chunk.flow);
   FlowQueue& fq = it->second;
   if (inserted || fq.chunks.empty()) {
@@ -29,12 +34,16 @@ std::optional<Chunk> WdrrBand::dequeue() {
   // rotates it; with weight >= kMinWeight a flow needs at most
   // ceil(chunk/quantum/kMinWeight) top-ups, so this terminates quickly.
   for (;;) {
-    assert(!active_.empty());
+    TLS_CHECK(!active_.empty(),
+              "wdrr: backlogged band with empty active list (",
+              backlog_chunks_, " chunks unreachable)");
     FlowId fid = active_.front();
     auto it = flows_.find(fid);
-    assert(it != flows_.end());
+    TLS_CHECK(it != flows_.end(), "wdrr: active flow ", fid,
+              " missing from flow table");
     FlowQueue& fq = it->second;
-    assert(!fq.chunks.empty());
+    TLS_CHECK(!fq.chunks.empty(), "wdrr: active flow ", fid,
+              " has an empty queue");
     const Chunk& head = fq.chunks.front();
     if (fq.deficit < head.size) {
       fq.deficit += static_cast<Bytes>(static_cast<double>(quantum_) * fq.weight);
@@ -47,6 +56,8 @@ std::optional<Chunk> WdrrBand::dequeue() {
     fq.chunks.pop_front();
     backlog_bytes_ -= served.size;
     --backlog_chunks_;
+    TLS_CHECK(backlog_bytes_ >= 0, "wdrr backlog went negative: ",
+              backlog_bytes_);
     if (fq.chunks.empty()) {
       fq.in_round = false;
       fq.deficit = 0;

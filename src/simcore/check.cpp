@@ -1,0 +1,17 @@
+#include "simcore/check.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace tls::sim::internal {
+
+void check_failed(const char* file, int line, const char* expr,
+                  const std::string& message) {
+  std::fflush(stdout);
+  std::fprintf(stderr, "TLS_CHECK failed at %s:%d: %s%s%s\n", file, line, expr,
+               message.empty() ? "" : " — ", message.c_str());
+  std::fflush(stderr);
+  std::abort();
+}
+
+}  // namespace tls::sim::internal

@@ -1,12 +1,11 @@
 #include "simcore/event_queue.hpp"
 
 #include <algorithm>
-#include <cassert>
 
 namespace tls::sim {
 
 EventId EventQueue::schedule(Time at, Callback cb) {
-  assert(cb);
+  TLS_CHECK(cb, "scheduling a null callback at t=", at);
   std::uint64_t seq = next_seq_++;
   heap_.push_back(Entry{at, seq, std::move(cb)});
   std::push_heap(heap_.begin(), heap_.end(), std::greater<>());
@@ -23,6 +22,7 @@ bool EventQueue::cancel(EventId id) {
   if (!pending) return false;
   auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), id.seq);
   cancelled_.insert(it, id.seq);
+  TLS_CHECK(live_ > 0, "cancel with zero live events (seq=", id.seq, ")");
   --live_;
   return true;
 }
@@ -37,24 +37,31 @@ void EventQueue::skim() {
     std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
     heap_.pop_back();
     auto it = std::lower_bound(cancelled_.begin(), cancelled_.end(), seq);
-    assert(it != cancelled_.end() && *it == seq);
+    TLS_CHECK(it != cancelled_.end() && *it == seq,
+              "tombstone missing for cancelled seq=", seq);
     cancelled_.erase(it);
   }
 }
 
 Time EventQueue::peek_time() {
   skim();
-  assert(!heap_.empty());
+  TLS_CHECK(!heap_.empty(), "peek_time() on an empty event queue");
   return heap_.front().at;
 }
 
 std::pair<Time, EventQueue::Callback> EventQueue::pop() {
   skim();
-  assert(!heap_.empty());
+  TLS_CHECK(!heap_.empty(), "pop() on an empty event queue");
   std::pop_heap(heap_.begin(), heap_.end(), std::greater<>());
   Entry e = std::move(heap_.back());
   heap_.pop_back();
+  TLS_CHECK(live_ > 0, "pop with zero live events");
   --live_;
+  // Event-time monotonicity: the heap must deliver times in nondecreasing
+  // order or the simulation clock would run backwards.
+  TLS_CHECK(e.at >= last_pop_time_, "event queue went backwards: popped t=",
+            e.at, " after t=", last_pop_time_);
+  last_pop_time_ = e.at;
   return {e.at, std::move(e.cb)};
 }
 
@@ -62,6 +69,7 @@ void EventQueue::clear() {
   heap_.clear();
   cancelled_.clear();
   live_ = 0;
+  last_pop_time_ = kTimeMin;
 }
 
 }  // namespace tls::sim

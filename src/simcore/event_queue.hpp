@@ -11,6 +11,7 @@
 #include <functional>
 #include <vector>
 
+#include "simcore/check.hpp"
 #include "simcore/time.hpp"
 
 namespace tls::sim {
@@ -73,6 +74,9 @@ class EventQueue {
   std::vector<std::uint64_t> cancelled_;  // sorted-insert small set
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
+  // Time of the last popped event; pops must never go backwards or the
+  // simulation clock (and therefore every derived metric) is corrupt.
+  Time last_pop_time_ = kTimeMin;
 };
 
 }  // namespace tls::sim

@@ -1,19 +1,21 @@
 #include "simcore/simulator.hpp"
 
-#include <cassert>
 #include <stdexcept>
+
+#include "simcore/check.hpp"
 
 namespace tls::sim {
 
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
 
 EventId Simulator::schedule_after(Time delay, EventQueue::Callback cb) {
-  assert(delay >= 0);
+  TLS_CHECK(delay >= 0, "schedule_after with negative delay=", delay,
+            " at now=", now_);
   return queue_.schedule(now_ + delay, std::move(cb));
 }
 
 EventId Simulator::schedule_at(Time at, EventQueue::Callback cb) {
-  assert(at >= now_);
+  TLS_CHECK(at >= now_, "schedule_at in the past: at=", at, " now=", now_);
   return queue_.schedule(at, std::move(cb));
 }
 
@@ -23,7 +25,8 @@ std::uint64_t Simulator::run(Time until) {
     Time t = queue_.peek_time();
     if (t > until) break;
     auto [at, cb] = queue_.pop();
-    assert(at >= now_);
+    TLS_CHECK(at >= now_, "clock would run backwards: event t=", at,
+              " now=", now_);
     now_ = at;
     cb();
     ++n;
@@ -41,6 +44,8 @@ std::uint64_t Simulator::run(Time until) {
 bool Simulator::step() {
   if (queue_.empty()) return false;
   auto [at, cb] = queue_.pop();
+  TLS_CHECK(at >= now_, "clock would run backwards: event t=", at,
+            " now=", now_);
   now_ = at;
   cb();
   ++dispatched_;
@@ -50,8 +55,9 @@ bool Simulator::step() {
 PeriodicTimer::PeriodicTimer(Simulator& simulator, Time period,
                              std::function<void()> on_tick)
     : sim_(simulator), period_(period), on_tick_(std::move(on_tick)) {
-  assert(period_ > 0);
-  assert(on_tick_);
+  TLS_CHECK(period_ > 0, "PeriodicTimer period must be positive, got ",
+            period_);
+  TLS_CHECK(on_tick_, "PeriodicTimer with null tick callback");
 }
 
 PeriodicTimer::~PeriodicTimer() { stop(); }

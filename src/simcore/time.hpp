@@ -19,6 +19,9 @@ inline constexpr Time kSecond = 1'000'000'000;
 /// Largest representable time; used as "never".
 inline constexpr Time kTimeMax = INT64_MAX;
 
+/// Smallest representable time; used as "before everything".
+inline constexpr Time kTimeMin = INT64_MIN;
+
 /// Converts a duration in (fractional) seconds to a Time, rounding to the
 /// nearest nanosecond. Negative durations are preserved.
 constexpr Time from_seconds(double s) {

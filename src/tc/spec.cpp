@@ -43,8 +43,9 @@ std::optional<std::pair<double, std::string>> split_number(const std::string& s)
     ++i;
   }
   if (i == 0) return std::nullopt;
+  const std::string digits = s.substr(0, i);  // keeps end's target alive
   char* end = nullptr;
-  double v = std::strtod(s.substr(0, i).c_str(), &end);
+  double v = std::strtod(digits.c_str(), &end);
   if (end == nullptr || *end != '\0' || !std::isfinite(v)) return std::nullopt;
   std::string suffix = s.substr(i);
   for (char& c : suffix) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));

@@ -54,7 +54,9 @@ TEST_P(PlacementPolicySweep, InvariantsHold) {
   } else {
     EXPECT_GT(r.tc_commands, 0u);
   }
-  if (p.policy != core::PolicyKind::kTlsRR) EXPECT_EQ(r.rotations, 0u);
+  if (p.policy != core::PolicyKind::kTlsRR) {
+    EXPECT_EQ(r.rotations, 0u);
+  }
 }
 
 INSTANTIATE_TEST_SUITE_P(

@@ -2,8 +2,21 @@
 
 #include <gtest/gtest.h>
 
+#include <optional>
+
 namespace tls::net {
 namespace {
+
+FilterRule rule(int pref, BandId band,
+                std::optional<std::uint16_t> sport = std::nullopt,
+                std::optional<std::uint16_t> dport = std::nullopt) {
+  FilterRule r;
+  r.pref = pref;
+  r.target_band = band;
+  r.src_port = sport;
+  r.dst_port = dport;
+  return r;
+}
 
 FlowSpec spec(std::uint16_t sport, std::uint16_t dport, std::int32_t job = -1,
               FlowKind kind = FlowKind::kBulk) {
@@ -24,14 +37,14 @@ TEST(Classifier, DefaultBandWhenNoRules) {
 
 TEST(Classifier, MatchesSrcPort) {
   Classifier c;
-  c.upsert({.pref = 10, .src_port = 5000, .target_band = 3});
+  c.upsert(rule(10, 3, 5000));
   EXPECT_EQ(c.classify(spec(5000, 1)), 3);
   EXPECT_EQ(c.classify(spec(5001, 1)), 0);
 }
 
 TEST(Classifier, MatchesDstPort) {
   Classifier c;
-  c.upsert({.pref = 10, .dst_port = 8080, .target_band = 2});
+  c.upsert(rule(10, 2, std::nullopt, 8080));
   EXPECT_EQ(c.classify(spec(1, 8080)), 2);
   EXPECT_EQ(c.classify(spec(8080, 1)), 0);
 }
@@ -51,22 +64,22 @@ TEST(Classifier, AndSemanticsAcrossFields) {
 
 TEST(Classifier, FirstMatchWinsByPref) {
   Classifier c;
-  c.upsert({.pref = 20, .src_port = 5000, .target_band = 2});
-  c.upsert({.pref = 10, .src_port = 5000, .target_band = 1});
+  c.upsert(rule(20, 2, 5000));
+  c.upsert(rule(10, 1, 5000));
   EXPECT_EQ(c.classify(spec(5000, 1)), 1);
 }
 
 TEST(Classifier, UpsertReplacesSamePref) {
   Classifier c;
-  c.upsert({.pref = 10, .src_port = 5000, .target_band = 1});
-  c.upsert({.pref = 10, .src_port = 5000, .target_band = 5});
+  c.upsert(rule(10, 1, 5000));
+  c.upsert(rule(10, 5, 5000));
   EXPECT_EQ(c.size(), 1u);
   EXPECT_EQ(c.classify(spec(5000, 1)), 5);
 }
 
 TEST(Classifier, RemoveByPref) {
   Classifier c;
-  c.upsert({.pref = 10, .src_port = 5000, .target_band = 1});
+  c.upsert(rule(10, 1, 5000));
   EXPECT_TRUE(c.remove(10));
   EXPECT_FALSE(c.remove(10));
   EXPECT_EQ(c.classify(spec(5000, 1)), 0);
@@ -74,9 +87,9 @@ TEST(Classifier, RemoveByPref) {
 
 TEST(Classifier, CatchAllRuleMatchesEverything) {
   Classifier c;
-  c.upsert({.pref = 65000, .target_band = 6});
+  c.upsert(rule(65000, 6));
   EXPECT_EQ(c.classify(spec(1, 2)), 6);
-  c.upsert({.pref = 10, .src_port = 5000, .target_band = 1});
+  c.upsert(rule(10, 1, 5000));
   EXPECT_EQ(c.classify(spec(5000, 9)), 1);
   EXPECT_EQ(c.classify(spec(4999, 9)), 6);
 }
@@ -97,7 +110,7 @@ TEST(Classifier, MatchesJobIdAndKind) {
 TEST(Classifier, ClearRemovesRulesKeepsDefault) {
   Classifier c;
   c.set_default_band(3);
-  c.upsert({.pref = 10, .src_port = 1, .target_band = 1});
+  c.upsert(rule(10, 1, 1));
   c.clear();
   EXPECT_EQ(c.size(), 0u);
   EXPECT_EQ(c.classify(spec(1, 1)), 3);
@@ -105,9 +118,9 @@ TEST(Classifier, ClearRemovesRulesKeepsDefault) {
 
 TEST(Classifier, RulesKeptSortedByPref) {
   Classifier c;
-  c.upsert({.pref = 30, .target_band = 3});
-  c.upsert({.pref = 10, .target_band = 1});
-  c.upsert({.pref = 20, .target_band = 2});
+  c.upsert(rule(30, 3));
+  c.upsert(rule(10, 1));
+  c.upsert(rule(20, 2));
   ASSERT_EQ(c.rules().size(), 3u);
   EXPECT_EQ(c.rules()[0].pref, 10);
   EXPECT_EQ(c.rules()[1].pref, 20);

@@ -48,7 +48,11 @@ TEST_F(PortTest, ClassifierStampsBand) {
   EgressPort port(simulator, 1000.0,
                   [&](const Chunk& c) { transmitted.push_back(c); });
   port.set_qdisc(std::make_unique<PrioQdisc>(4));
-  port.classifier().upsert({.pref = 1, .src_port = 7000, .target_band = 2});
+  FilterRule rule;
+  rule.pref = 1;
+  rule.src_port = 7000;
+  rule.target_band = 2;
+  port.classifier().upsert(rule);
   FlowSpec spec;
   spec.src_port = 7000;
   port.submit(make_chunk(1, 10), spec);

@@ -1,0 +1,239 @@
+// Unit tests for the determinism lint: every banned pattern is seeded into
+// a synthetic source and must be caught; clean idioms must not be flagged;
+// the allowlist must silence exactly what it names.
+#include "tls_lint_core.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <filesystem>
+#include <fstream>
+
+namespace tls::lint {
+namespace {
+
+bool has_rule(const std::vector<Finding>& fs, const std::string& rule) {
+  return std::any_of(fs.begin(), fs.end(),
+                     [&](const Finding& f) { return f.rule == rule; });
+}
+
+int line_of(const std::vector<Finding>& fs, const std::string& rule) {
+  for (const Finding& f : fs) {
+    if (f.rule == rule) return f.line;
+  }
+  return -1;
+}
+
+TEST(TlsLint, CatchesWallClockReads) {
+  std::string src =
+      "#include <chrono>\n"
+      "double now_s() {\n"
+      "  auto t = std::chrono::steady_clock::now();\n"
+      "  return std::chrono::duration<double>(t.time_since_epoch()).count();\n"
+      "}\n";
+  auto findings = lint_source("net/bad.cpp", src);
+  ASSERT_TRUE(has_rule(findings, "wall-clock"));
+  EXPECT_EQ(line_of(findings, "wall-clock"), 3);
+}
+
+TEST(TlsLint, CatchesBareTimeAndClockCalls) {
+  auto f1 = lint_source("net/bad.cpp", "long t = time(nullptr);\n");
+  EXPECT_TRUE(has_rule(f1, "wall-clock"));
+  auto f2 = lint_source("net/bad.cpp", "long t = std::time(nullptr);\n");
+  EXPECT_TRUE(has_rule(f2, "wall-clock"));
+  auto f3 = lint_source("net/bad.cpp", "long c = clock();\n");
+  EXPECT_TRUE(has_rule(f3, "wall-clock"));
+}
+
+TEST(TlsLint, DoesNotFlagSimTimeHelpers) {
+  std::string src =
+      "sim::Time t = transmit_time(bytes, rate);\n"
+      "sim::Time u = q.peek_time();\n"
+      "std::string s = format_time(t);\n"
+      "sim::Time v = sim_.now();\n";
+  auto findings = lint_source("net/good.cpp", src);
+  EXPECT_FALSE(has_rule(findings, "wall-clock")) << format_findings(findings);
+}
+
+TEST(TlsLint, CatchesRawRngOutsideRngModule) {
+  auto f1 = lint_source("net/bad.cpp", "int r = rand() % 6;\n");
+  EXPECT_TRUE(has_rule(f1, "banned-rng"));
+  auto f2 = lint_source("dl/bad.cpp", "std::random_device rd;\n");
+  EXPECT_TRUE(has_rule(f2, "banned-rng"));
+  auto f3 = lint_source("workload/bad.cpp", "std::mt19937 gen(42);\n");
+  EXPECT_TRUE(has_rule(f3, "banned-rng"));
+}
+
+TEST(TlsLint, RngModuleIsExemptFromRngRule) {
+  // The hand-rolled generator implementation is the one sanctioned place
+  // for raw machinery.
+  auto findings =
+      lint_source("simcore/rng.cpp", "std::mt19937 reference_gen(1);\n");
+  EXPECT_FALSE(has_rule(findings, "banned-rng"));
+}
+
+TEST(TlsLint, DoesNotFlagOperandLikeIdentifiers) {
+  auto findings = lint_source(
+      "net/good.cpp", "int operand(int x);\nint y = my_rand(3);\n");
+  EXPECT_FALSE(has_rule(findings, "banned-rng")) << format_findings(findings);
+}
+
+TEST(TlsLint, FindsUnorderedDeclarations) {
+  std::string src =
+      "std::unordered_map<FlowId, FlowQueue> flows_;\n"
+      "std::unordered_set<int> seen_;\n"
+      "std::unordered_map<int, std::vector<std::pair<int, int>>> nested_;\n"
+      "using Alias = std::unordered_map<int, int>;\n";
+  auto names = unordered_decl_names(src);
+  EXPECT_EQ(names, (std::vector<std::string>{"flows_", "nested_", "seen_"}));
+}
+
+TEST(TlsLint, CatchesUnorderedIterationInHotPaths) {
+  std::string src =
+      "std::unordered_map<int, int> flows_;\n"
+      "void f() {\n"
+      "  for (auto& [id, q] : flows_) { (void)id; (void)q; }\n"
+      "}\n";
+  auto findings = lint_source("net/bad.cpp", src);
+  ASSERT_TRUE(has_rule(findings, "unordered-iteration"));
+  EXPECT_EQ(line_of(findings, "unordered-iteration"), 3);
+}
+
+TEST(TlsLint, CatchesBeginIterationViaCompanionHeaderDecl) {
+  // The member is declared in the header; the .cpp only iterates it.
+  std::string src = "void f() { auto it = flows_.begin(); use(it); }\n";
+  auto findings = lint_source("simcore/bad.cpp", src, {"flows_"});
+  EXPECT_TRUE(has_rule(findings, "unordered-iteration"));
+}
+
+TEST(TlsLint, AllowsUnorderedIterationOutsideHotPaths) {
+  std::string src =
+      "std::unordered_map<int, int> index_;\n"
+      "void f() {\n"
+      "  for (auto& [k, v] : index_) { (void)k; (void)v; }\n"
+      "}\n";
+  auto findings = lint_source("metrics/report.cpp", src);
+  EXPECT_FALSE(has_rule(findings, "unordered-iteration"));
+}
+
+TEST(TlsLint, AllowsKeyedLookupOnUnorderedContainers) {
+  std::string src =
+      "std::unordered_map<int, int> flows_;\n"
+      "void f(int k) { auto it = flows_.find(k); flows_.erase(it); }\n";
+  auto findings = lint_source("net/good.cpp", src);
+  EXPECT_FALSE(has_rule(findings, "unordered-iteration"))
+      << format_findings(findings);
+}
+
+TEST(TlsLint, CatchesFloatTimeComparison) {
+  auto f1 = lint_source("net/bad.cpp",
+                        "if (to_seconds(a) == to_seconds(b)) sync();\n");
+  EXPECT_TRUE(has_rule(f1, "float-time-compare"));
+  auto f2 = lint_source(
+      "net/bad.cpp", "float t = static_cast<float>(sim_.now());\n");
+  EXPECT_TRUE(has_rule(f2, "float-time-compare"));
+}
+
+TEST(TlsLint, AllowsOrderedFloatTimeMath) {
+  auto findings = lint_source(
+      "net/good.cpp",
+      "double dt = to_seconds(now - last);\nif (dt <= 0) return;\n");
+  EXPECT_FALSE(has_rule(findings, "float-time-compare"));
+}
+
+TEST(TlsLint, CatchesMissingPragmaOnce) {
+  auto findings = lint_source("net/bad.hpp", "struct X {};\n");
+  ASSERT_TRUE(has_rule(findings, "missing-pragma-once"));
+  EXPECT_EQ(line_of(findings, "missing-pragma-once"), 0);
+  auto ok = lint_source("net/good.hpp", "#pragma once\nstruct X {};\n");
+  EXPECT_FALSE(has_rule(ok, "missing-pragma-once"));
+}
+
+TEST(TlsLint, IgnoresBannedPatternsInCommentsAndStrings) {
+  std::string src =
+      "// never call rand() or read steady_clock here\n"
+      "/* std::random_device is banned */\n"
+      "const char* msg = \"time(nullptr) is not simulation time\";\n";
+  auto findings = lint_source("net/good.cpp", src);
+  EXPECT_TRUE(findings.empty()) << format_findings(findings);
+}
+
+TEST(TlsLint, AllowlistSilencesByPathAndRule) {
+  Finding f{"net/legacy.cpp", 10, "wall-clock", "msg"};
+  auto entries = parse_allowlist(
+      "# comment\n"
+      "net/legacy.cpp:wall-clock  # timing a real benchmark\n");
+  EXPECT_TRUE(is_allowed(f, entries));
+  Finding other{"net/legacy.cpp", 10, "banned-rng", "msg"};
+  EXPECT_FALSE(is_allowed(other, entries));
+  // Whole-file entry silences every rule.
+  auto file_wide = parse_allowlist("net/legacy.cpp\n");
+  EXPECT_TRUE(is_allowed(other, file_wide));
+  // Suffix must align on a path-segment boundary.
+  Finding subnet{"subnet/port.cpp", 1, "wall-clock", "msg"};
+  auto seg = parse_allowlist("net/port.cpp\n");
+  EXPECT_FALSE(is_allowed(subnet, seg));
+}
+
+// End-to-end: seed a violating file into a temp tree, run lint_tree, and
+// watch the violation get caught — then allowlist it and watch it pass.
+TEST(TlsLint, TreeScanCatchesSeededViolation) {
+  namespace fs = std::filesystem;
+  fs::path root = fs::path(testing::TempDir()) / "tls_lint_seeded";
+  fs::remove_all(root);
+  fs::create_directories(root / "net");
+  {
+    std::ofstream good(root / "net" / "good.hpp");
+    good << "#pragma once\ninline int f() { return 1; }\n";
+    std::ofstream hdr(root / "net" / "bad.hpp");
+    hdr << "#pragma once\n#include <unordered_map>\n"
+        << "struct S { std::unordered_map<int, int> flows_; void g(); };\n";
+    std::ofstream bad(root / "net" / "bad.cpp");
+    bad << "#include \"bad.hpp\"\n"
+        << "void S::g() {\n"
+        << "  int x = rand();\n"
+        << "  for (auto& [k, v] : flows_) { x += k + v; }\n"
+        << "}\n";
+  }
+
+  auto findings = lint_tree(root, {});
+  EXPECT_TRUE(has_rule(findings, "banned-rng")) << format_findings(findings);
+  EXPECT_TRUE(has_rule(findings, "unordered-iteration"))
+      << format_findings(findings);
+  // The companion-header declaration was picked up for the .cpp scan.
+  EXPECT_EQ(line_of(findings, "unordered-iteration"), 4);
+  // good.hpp contributed nothing.
+  for (const Finding& f : findings) EXPECT_EQ(f.file, "net/bad.cpp");
+
+  auto allow = parse_allowlist("net/bad.cpp:banned-rng\n");
+  auto remaining = lint_tree(root, allow);
+  EXPECT_FALSE(has_rule(remaining, "banned-rng"));
+  EXPECT_TRUE(has_rule(remaining, "unordered-iteration"));
+
+  fs::remove_all(root);
+}
+
+// The deterministic output contract of the lint itself: findings are sorted.
+TEST(TlsLint, FindingsAreSorted) {
+  namespace fs = std::filesystem;
+  fs::path root = fs::path(testing::TempDir()) / "tls_lint_sorted";
+  fs::remove_all(root);
+  fs::create_directories(root / "net");
+  {
+    std::ofstream a(root / "net" / "a.cpp");
+    a << "int x = rand();\nlong t = time(nullptr);\n";
+    std::ofstream b(root / "net" / "b.cpp");
+    b << "int y = srand(1), z = 0;\n";
+  }
+  auto findings = lint_tree(root, {});
+  ASSERT_GE(findings.size(), 3u);
+  EXPECT_TRUE(std::is_sorted(
+      findings.begin(), findings.end(), [](const Finding& x, const Finding& y) {
+        return std::tie(x.file, x.line, x.rule) <
+               std::tie(y.file, y.line, y.rule);
+      }));
+  fs::remove_all(root);
+}
+
+}  // namespace
+}  // namespace tls::lint

@@ -1,0 +1,32 @@
+#!/usr/bin/env bash
+# CI driver: sanitizer pass first (cheapest way to surface memory/UB bugs
+# with full context), then the warnings-clean RelWithDebInfo tier-1 suite
+# that gates every PR. Run from anywhere; paths resolve to the repo root.
+set -euo pipefail
+
+root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+cd "$root"
+
+jobs="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> [1/3] debug-asan: build + ctest (AddressSanitizer, recover=off)"
+cmake --preset debug-asan
+cmake --build --preset debug-asan -j "$jobs"
+ctest --preset debug-asan -j "$jobs"
+
+echo "==> [2/3] determinism lint over src/"
+./build-asan/tools/tls_lint src --allowlist tools/tls_lint_allow.txt
+
+if command -v clang-tidy >/dev/null 2>&1; then
+  echo "==> [2b/3] clang-tidy (.clang-tidy profile)"
+  clang-tidy -p build-asan src/simcore/*.cpp src/net/*.cpp tools/*.cpp
+else
+  echo "==> [2b/3] clang-tidy not installed; skipping (profile: .clang-tidy)"
+fi
+
+echo "==> [3/3] ci preset: RelWithDebInfo + TLS_WERROR=ON, tier-1 ctest"
+cmake --preset ci
+cmake --build --preset ci -j "$jobs"
+ctest --preset ci -j "$jobs"
+
+echo "==> ci.sh: all green"

@@ -1,0 +1,68 @@
+// Determinism lint driver. Usage:
+//   tls_lint <source-root> [--allowlist FILE]
+// Scans every C++ file under <source-root> for the banned patterns
+// documented in tls_lint_core.hpp and exits nonzero when any finding is not
+// covered by the allowlist. Registered as the `tls_lint` ctest, so a
+// determinism hazard fails the build the same way a failing unit test does.
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+
+#include "tls_lint_core.hpp"
+
+int main(int argc, char** argv) {
+  std::string root;
+  std::string allow_path;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--allowlist") {
+      if (i + 1 >= argc) {
+        std::cerr << "tls_lint: --allowlist needs a file argument\n";
+        return 2;
+      }
+      allow_path = argv[++i];
+    } else if (arg == "--help" || arg == "-h") {
+      std::cout << "usage: tls_lint <source-root> [--allowlist FILE]\n";
+      return 0;
+    } else if (root.empty()) {
+      root = arg;
+    } else {
+      std::cerr << "tls_lint: unexpected argument '" << arg << "'\n";
+      return 2;
+    }
+  }
+  if (root.empty()) {
+    std::cerr << "usage: tls_lint <source-root> [--allowlist FILE]\n";
+    return 2;
+  }
+
+  std::vector<tls::lint::AllowEntry> allow;
+  if (!allow_path.empty()) {
+    std::ifstream in(allow_path, std::ios::binary);
+    if (!in) {
+      std::cerr << "tls_lint: cannot read allowlist '" << allow_path << "'\n";
+      return 2;
+    }
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    allow = tls::lint::parse_allowlist(buf.str());
+  }
+
+  std::vector<tls::lint::Finding> findings;
+  try {
+    findings = tls::lint::lint_tree(root, allow);
+  } catch (const std::exception& e) {
+    std::cerr << "tls_lint: cannot scan '" << root << "': " << e.what() << "\n";
+    return 2;
+  }
+  if (findings.empty()) {
+    std::cout << "tls_lint: clean (" << root << ")\n";
+    return 0;
+  }
+  std::cout << tls::lint::format_findings(findings);
+  std::cout << "tls_lint: " << findings.size()
+            << " determinism finding(s); fix them or add an entry to the "
+               "allowlist with a justification\n";
+  return 1;
+}

@@ -1,0 +1,446 @@
+#include "tls_lint_core.hpp"
+
+#include <algorithm>
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <regex>
+#include <sstream>
+
+namespace tls::lint {
+
+namespace {
+
+bool is_ident_char(char c) {
+  return std::isalnum(static_cast<unsigned char>(c)) != 0 || c == '_';
+}
+
+/// True when the token starting at `pos` is a call of a bare (or std::)
+/// function: not a suffix of a longer identifier, not a member access
+/// (`x.time(`), and not qualified by anything except `std::`.
+bool is_banned_call_site(const std::string& line, std::size_t pos) {
+  if (pos == 0) return true;
+  char prev = line[pos - 1];
+  if (is_ident_char(prev) || prev == '.') return false;
+  if (prev == ':') {
+    // Qualified call: only std::foo( is the banned global.
+    return pos >= 5 && line.compare(pos - 5, 5, "std::") == 0;
+  }
+  return true;
+}
+
+/// Finds a whole-word occurrence of `token` in `line` (identifier
+/// boundaries on both sides). Returns npos when absent.
+std::size_t find_word(const std::string& line, const std::string& token) {
+  std::size_t pos = 0;
+  while ((pos = line.find(token, pos)) != std::string::npos) {
+    bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+    std::size_t end = pos + token.size();
+    bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+    if (left_ok && right_ok) return pos;
+    pos = end;
+  }
+  return std::string::npos;
+}
+
+std::vector<std::string> split_path(const std::string& path) {
+  std::vector<std::string> segs;
+  std::string cur;
+  for (char c : path) {
+    if (c == '/' || c == '\\') {
+      if (!cur.empty()) segs.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  if (!cur.empty()) segs.push_back(cur);
+  return segs;
+}
+
+/// Hot-path scoping for the unordered-iteration rule.
+bool in_hot_path_dir(const std::string& rel_path) {
+  for (const std::string& seg : split_path(rel_path)) {
+    if (seg == "net" || seg == "simcore" || seg == "tensorlights") return true;
+  }
+  return false;
+}
+
+/// src/simcore/rng.* is the one sanctioned home of raw generator machinery.
+bool is_rng_module(const std::string& rel_path) {
+  std::vector<std::string> segs = split_path(rel_path);
+  if (segs.empty()) return false;
+  const std::string& name = segs.back();
+  return name.rfind("rng.", 0) == 0 &&
+         (segs.size() < 2 || segs[segs.size() - 2] == "simcore");
+}
+
+bool is_header(const std::string& rel_path) {
+  return rel_path.size() >= 2 &&
+         (rel_path.ends_with(".hpp") || rel_path.ends_with(".h"));
+}
+
+std::vector<std::string> split_lines(const std::string& text) {
+  std::vector<std::string> lines;
+  std::string cur;
+  for (char c : text) {
+    if (c == '\n') {
+      lines.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  lines.push_back(cur);
+  return lines;
+}
+
+}  // namespace
+
+std::string strip_comments_and_strings(const std::string& source) {
+  std::string out = source;
+  enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
+  State state = State::kCode;
+  for (std::size_t i = 0; i < source.size(); ++i) {
+    char c = source[i];
+    char next = i + 1 < source.size() ? source[i + 1] : '\0';
+    switch (state) {
+      case State::kCode:
+        if (c == '/' && next == '/') {
+          state = State::kLineComment;
+          out[i] = ' ';
+        } else if (c == '/' && next == '*') {
+          state = State::kBlockComment;
+          out[i] = ' ';
+        } else if (c == '"') {
+          state = State::kString;
+        } else if (c == '\'') {
+          state = State::kChar;
+        }
+        break;
+      case State::kLineComment:
+        if (c == '\n') {
+          state = State::kCode;
+        } else {
+          out[i] = ' ';
+        }
+        break;
+      case State::kBlockComment:
+        if (c == '*' && next == '/') {
+          out[i] = ' ';
+          out[i + 1] = ' ';
+          ++i;
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kString:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '"') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+      case State::kChar:
+        if (c == '\\' && next != '\0') {
+          out[i] = ' ';
+          if (next != '\n') out[i + 1] = ' ';
+          ++i;
+        } else if (c == '\'') {
+          state = State::kCode;
+        } else if (c != '\n') {
+          out[i] = ' ';
+        }
+        break;
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> unordered_decl_names(const std::string& source) {
+  std::string code = strip_comments_and_strings(source);
+  std::vector<std::string> names;
+  for (const char* token : {"unordered_map", "unordered_set"}) {
+    std::size_t pos = 0;
+    std::string tok(token);
+    while (pos < code.size()) {
+      std::size_t hit = code.find(tok, pos);
+      if (hit == std::string::npos) break;
+      pos = hit + tok.size();
+      bool left_ok = hit == 0 || !is_ident_char(code[hit - 1]);
+      if (!left_ok) continue;
+      // Skip whitespace, expect the template argument list.
+      std::size_t i = pos;
+      while (i < code.size() && std::isspace(static_cast<unsigned char>(code[i]))) ++i;
+      if (i >= code.size() || code[i] != '<') continue;
+      int depth = 0;
+      for (; i < code.size(); ++i) {
+        if (code[i] == '<') ++depth;
+        if (code[i] == '>') {
+          --depth;
+          if (depth == 0) {
+            ++i;
+            break;
+          }
+        }
+      }
+      // Optional reference/pointer declarator, then the declared name.
+      while (i < code.size() &&
+             (std::isspace(static_cast<unsigned char>(code[i])) ||
+              code[i] == '&' || code[i] == '*')) {
+        ++i;
+      }
+      std::string name;
+      while (i < code.size() && is_ident_char(code[i])) name.push_back(code[i++]);
+      // `const` between type and name, e.g. map<K,V> const x — rare; and
+      // `::iterator` chains yield no name here, which is what we want.
+      if (!name.empty() && name != "const") names.push_back(name);
+      pos = i;
+    }
+  }
+  std::sort(names.begin(), names.end());
+  names.erase(std::unique(names.begin(), names.end()), names.end());
+  return names;
+}
+
+std::vector<Finding> lint_source(
+    const std::string& rel_path, const std::string& source,
+    const std::vector<std::string>& extra_unordered_names) {
+  std::vector<Finding> findings;
+  auto add = [&](int line, const std::string& rule, const std::string& msg) {
+    findings.push_back(Finding{rel_path, line, rule, msg});
+  };
+
+  if (is_header(rel_path) && source.find("#pragma once") == std::string::npos) {
+    add(0, "missing-pragma-once", "header is missing #pragma once");
+  }
+
+  std::string code = strip_comments_and_strings(source);
+  std::vector<std::string> lines = split_lines(code);
+
+  std::vector<std::string> unordered = unordered_decl_names(source);
+  unordered.insert(unordered.end(), extra_unordered_names.begin(),
+                   extra_unordered_names.end());
+  std::sort(unordered.begin(), unordered.end());
+  unordered.erase(std::unique(unordered.begin(), unordered.end()),
+                  unordered.end());
+
+  const bool hot = in_hot_path_dir(rel_path);
+  const bool rng_ok = is_rng_module(rel_path);
+
+  static const char* kWallClockTokens[] = {
+      "system_clock", "steady_clock", "high_resolution_clock", "gettimeofday",
+      "clock_gettime", "localtime", "gmtime"};
+  static const char* kWallClockCalls[] = {"time", "clock"};
+  static const char* kRngTokens[] = {"random_device", "mt19937", "minstd_rand",
+                                     "default_random_engine", "ranlux24",
+                                     "ranlux48", "knuth_b", "drand48",
+                                     "lrand48", "random_shuffle"};
+  static const char* kRngCalls[] = {"rand", "srand"};
+
+  for (std::size_t li = 0; li < lines.size(); ++li) {
+    const std::string& line = lines[li];
+    int lineno = static_cast<int>(li) + 1;
+
+    // --- wall-clock ---
+    for (const char* tok : kWallClockTokens) {
+      if (find_word(line, tok) != std::string::npos) {
+        add(lineno, "wall-clock",
+            std::string("host clock access '") + tok +
+                "' — simulation time must come from Simulator::now()");
+      }
+    }
+    for (const char* fn : kWallClockCalls) {
+      std::string call = std::string(fn) + "(";
+      std::size_t pos = 0;
+      while ((pos = line.find(call, pos)) != std::string::npos) {
+        if (is_banned_call_site(line, pos)) {
+          add(lineno, "wall-clock",
+              std::string("call of '") + fn +
+                  "()' — simulation time must come from Simulator::now()");
+          break;
+        }
+        pos += call.size();
+      }
+    }
+
+    // --- banned-rng ---
+    if (!rng_ok) {
+      for (const char* tok : kRngTokens) {
+        if (find_word(line, tok) != std::string::npos) {
+          add(lineno, "banned-rng",
+              std::string("raw generator '") + tok +
+                  "' — draw from a tls::sim::Rng stream instead");
+        }
+      }
+      for (const char* fn : kRngCalls) {
+        std::string call = std::string(fn) + "(";
+        std::size_t pos = 0;
+        while ((pos = line.find(call, pos)) != std::string::npos) {
+          if (is_banned_call_site(line, pos)) {
+            add(lineno, "banned-rng",
+                std::string("call of '") + fn +
+                    "()' — draw from a tls::sim::Rng stream instead");
+            break;
+          }
+          pos += call.size();
+        }
+      }
+    }
+
+    // --- unordered-iteration (hot-path dirs only) ---
+    if (hot && !unordered.empty()) {
+      for (const std::string& name : unordered) {
+        bool hit = false;
+        if (line.find("for") != std::string::npos &&
+            line.find(':') != std::string::npos) {
+          std::regex range_for("for\\s*\\([^;)]*:\\s*&?\\s*" + name +
+                               "\\s*\\)");
+          if (std::regex_search(line, range_for)) hit = true;
+        }
+        for (const char* method : {".begin()", ".cbegin()", ".rbegin()"}) {
+          std::size_t p = find_word(line, name);
+          if (p != std::string::npos &&
+              line.compare(p + name.size(),
+                           std::char_traits<char>::length(method),
+                           method) == 0) {
+            hit = true;
+          }
+        }
+        if (hit) {
+          add(lineno, "unordered-iteration",
+              "iteration over unordered container '" + name +
+                  "' — hash order is not deterministic; iterate a sorted "
+                  "structure or an explicit order");
+        }
+      }
+    }
+
+    // --- float-time-compare ---
+    if (line.find("to_seconds") != std::string::npos &&
+        (line.find("==") != std::string::npos ||
+         line.find("!=") != std::string::npos)) {
+      add(lineno, "float-time-compare",
+          "exact ==/!= comparison of to_seconds() output — compare integer "
+          "sim::Time values instead");
+    }
+    if (line.find("static_cast<float>") != std::string::npos &&
+        (line.find("time") != std::string::npos ||
+         line.find("Time") != std::string::npos ||
+         line.find("now()") != std::string::npos)) {
+      add(lineno, "float-time-compare",
+          "simulation time narrowed to float — keep integer sim::Time (or "
+          "double only for rates)");
+    }
+  }
+
+  return findings;
+}
+
+std::vector<AllowEntry> parse_allowlist(const std::string& text) {
+  std::vector<AllowEntry> entries;
+  std::istringstream in(text);
+  std::string line;
+  while (std::getline(in, line)) {
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    // Trim.
+    auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+    while (!line.empty() && is_space(line.back())) line.pop_back();
+    std::size_t start = 0;
+    while (start < line.size() && is_space(line[start])) ++start;
+    line.erase(0, start);
+    if (line.empty()) continue;
+    AllowEntry e;
+    std::size_t colon = line.rfind(':');
+    if (colon != std::string::npos && colon + 1 < line.size() &&
+        line.find('/', colon) == std::string::npos) {
+      e.path_suffix = line.substr(0, colon);
+      e.rule = line.substr(colon + 1);
+    } else {
+      e.path_suffix = line;
+    }
+    entries.push_back(std::move(e));
+  }
+  return entries;
+}
+
+bool is_allowed(const Finding& f, const std::vector<AllowEntry>& entries) {
+  for (const AllowEntry& e : entries) {
+    if (!e.rule.empty() && e.rule != f.rule) continue;
+    if (f.file.size() < e.path_suffix.size()) continue;
+    if (f.file.compare(f.file.size() - e.path_suffix.size(),
+                       e.path_suffix.size(), e.path_suffix) != 0) {
+      continue;
+    }
+    // Suffix must align on a path-segment boundary ("net/port.cpp" should
+    // not match "subnet/port.cpp").
+    std::size_t at = f.file.size() - e.path_suffix.size();
+    if (at != 0 && f.file[at - 1] != '/') continue;
+    return true;
+  }
+  return false;
+}
+
+std::vector<Finding> lint_tree(const std::filesystem::path& root,
+                               const std::vector<AllowEntry>& allow) {
+  namespace fs = std::filesystem;
+  std::vector<fs::path> files;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    std::string ext = entry.path().extension().string();
+    if (ext == ".hpp" || ext == ".h" || ext == ".cpp" || ext == ".cc") {
+      files.push_back(entry.path());
+    }
+  }
+  std::sort(files.begin(), files.end());
+
+  // First pass: contents + per-file unordered declarations, so a .cpp can be
+  // checked against members declared in its companion header.
+  std::map<std::string, std::string> contents;       // rel path -> source
+  std::map<std::string, std::vector<std::string>> decls;  // stem -> names
+  for (const fs::path& p : files) {
+    std::ifstream in(p, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string rel = p.lexically_relative(root).generic_string();
+    contents[rel] = buf.str();
+    fs::path stem = p.lexically_relative(root);
+    stem.replace_extension();
+    auto& names = decls[stem.generic_string()];
+    std::vector<std::string> found = unordered_decl_names(contents[rel]);
+    names.insert(names.end(), found.begin(), found.end());
+  }
+
+  std::vector<Finding> all;
+  for (const auto& [rel, source] : contents) {
+    fs::path stem(rel);
+    stem.replace_extension();
+    const std::vector<std::string>& extra = decls[stem.generic_string()];
+    for (Finding& f : lint_source(rel, source, extra)) {
+      if (!is_allowed(f, allow)) all.push_back(std::move(f));
+    }
+  }
+  std::sort(all.begin(), all.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return all;
+}
+
+std::string format_findings(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  for (const Finding& f : findings) {
+    os << f.file << ':' << f.line << ": [" << f.rule << "] " << f.message
+       << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tls::lint

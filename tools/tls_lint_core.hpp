@@ -1,0 +1,92 @@
+// Determinism lint for the TensorLights simulator sources.
+//
+// Every figure and table this repo reproduces depends on tls::net being a
+// *deterministic* chunk-level simulator: two runs with the same seed must
+// produce byte-identical metrics. The classic ways that property silently
+// rots are wall-clock reads, unseeded/global RNGs, and iteration order of
+// hash containers leaking into scheduling decisions. This lint scans the
+// source tree for those patterns and fails the build (it is registered as a
+// ctest) when one appears outside the allowlist.
+//
+// Rules (rule ids are stable; use them in the allowlist):
+//   wall-clock          std::chrono::{system,steady,high_resolution}_clock,
+//                       time(), clock(), gettimeofday, clock_gettime.
+//                       Simulation time comes from Simulator::now(), never
+//                       from the host.
+//   banned-rng          rand()/srand(), std::random_device, mt19937 and
+//                       friends anywhere except src/simcore/rng.* — all
+//                       randomness must flow through tls::sim::Rng streams.
+//   unordered-iteration range-for or .begin() iteration over a member
+//                       declared as std::unordered_map/unordered_set in the
+//                       hot-path directories (src/net, src/simcore,
+//                       src/tensorlights). Hash-order is not stable across
+//                       libstdc++ versions or pointer layouts; iterate a
+//                       sorted structure or an explicit order instead.
+//   float-time-compare  exact ==/!= comparison of to_seconds() results or
+//                       float-cast simulation times; compare integer
+//                       sim::Time values instead.
+//   missing-pragma-once a header without #pragma once.
+//
+// Comments and string literals are stripped before matching, so documenting
+// a banned pattern is fine. The scanner is line-based and intentionally
+// simple; the allowlist (tools/tls_lint_allow.txt) is the escape hatch for
+// legitimate uses (e.g. a benchmark timing real elapsed wall time).
+#pragma once
+
+#include <filesystem>
+#include <string>
+#include <vector>
+
+namespace tls::lint {
+
+/// One rule violation at a source location.
+struct Finding {
+  std::string file;     ///< path as reported (relative to the scan root)
+  int line = 0;         ///< 1-based; 0 means "whole file"
+  std::string rule;     ///< stable rule id, e.g. "wall-clock"
+  std::string message;  ///< human-readable explanation
+};
+
+/// One allowlist entry: `path_suffix` silences every rule in matching files,
+/// `path_suffix:rule` silences only that rule.
+struct AllowEntry {
+  std::string path_suffix;
+  std::string rule;  ///< empty = all rules
+};
+
+/// Parses allowlist text: one entry per line, `#` comments, blank lines
+/// ignored. Entry syntax: `<path-suffix>[:<rule>]`.
+std::vector<AllowEntry> parse_allowlist(const std::string& text);
+
+/// True when `entries` silences `f`.
+bool is_allowed(const Finding& f, const std::vector<AllowEntry>& entries);
+
+/// Replaces comments and string/char literal bodies with spaces, preserving
+/// line structure so findings keep their line numbers.
+std::string strip_comments_and_strings(const std::string& source);
+
+/// Collects names of variables/members declared with an unordered container
+/// type in `source` (e.g. `std::unordered_map<FlowId, FlowQueue> flows_;`
+/// yields "flows_"). Using-aliases contribute no names.
+std::vector<std::string> unordered_decl_names(const std::string& source);
+
+/// Lints one file's contents. `rel_path` is used for reporting and for the
+/// path-based rule scoping (hot-path dirs, the rng exemption); use
+/// '/'-separated paths. `extra_unordered_names` supplements the names found
+/// in `source` itself (callers pass the companion header's declarations when
+/// linting a .cpp).
+std::vector<Finding> lint_source(const std::string& rel_path,
+                                 const std::string& source,
+                                 const std::vector<std::string>&
+                                     extra_unordered_names = {});
+
+/// Recursively lints every .hpp/.h/.cpp/.cc file under `root`, applying the
+/// allowlist. Findings are sorted by (file, line, rule) so output order is
+/// itself deterministic.
+std::vector<Finding> lint_tree(const std::filesystem::path& root,
+                               const std::vector<AllowEntry>& allow);
+
+/// Renders findings in "file:line: [rule] message" form, one per line.
+std::string format_findings(const std::vector<Finding>& findings);
+
+}  // namespace tls::lint
