@@ -72,7 +72,11 @@ MixResult run_mix(core::PolicyKind policy, core::AssignStrategy strategy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Drives a hand-built heterogeneous mix directly (no ExperimentConfig),
+  // so it picks up init()/Timing only.
+  bench::init(argc, argv);
+  bench::Timing timing("ablate_assigner");
   bench::print_header(
       "Ablation - priority assignment strategy, heterogeneous mix",
       "smaller-update-first avoids head-of-line blocking behind large "

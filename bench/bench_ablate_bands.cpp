@@ -4,37 +4,55 @@
 // returns diminish once bands approach the number of colocated jobs.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tls;
+  bench::init(argc, argv);
+  bench::Timing timing("ablate_bands");
   bench::print_header(
       "Ablation - priority band count (placement #1, TLs-One)",
       "the paper uses <= 6 bands and lets 21 jobs share them");
 
   exp::ExperimentConfig base = bench::paper_config();
-  exp::ExperimentResult fifo =
-      exp::run_experiment(exp::with_policy(base, core::PolicyKind::kFifo));
+  // Run 0 is the FIFO baseline; the rest are TLs-One band/data-plane
+  // variants. htb class prio stops at 8 levels; the prio qdisc reaches 15
+  // usable bands (one reserved for default traffic) — still short of 21
+  // jobs, a real constraint of the deployment the paper works within.
+  struct Variant {
+    int bands;
+    core::DataPlane plane;
+  };
+  std::vector<Variant> variants;
+  for (int bands : {1, 2, 3, 6, 8}) {
+    variants.push_back({bands, core::DataPlane::kHtb});
+  }
+  variants.push_back({15, core::DataPlane::kPrio});
+
+  std::vector<exp::ExperimentConfig> configs;
+  configs.push_back(exp::with_policy(base, core::PolicyKind::kFifo));
+  for (const Variant& v : variants) {
+    exp::ExperimentConfig c = exp::with_policy(base, core::PolicyKind::kTlsOne);
+    c.controller.max_bands = v.bands;
+    c.controller.data_plane = v.plane;
+    configs.push_back(std::move(c));
+  }
+  std::vector<exp::ExperimentResult> results =
+      bench::run_all(configs, &timing);
+  const exp::ExperimentResult& fifo = results[0];
 
   metrics::Table table({"bands", "data plane", "avg norm JCT",
                         "improvement", "barrier var vs FIFO"});
-  auto run_one = [&](int bands, core::DataPlane plane) {
-    exp::ExperimentConfig c = exp::with_policy(base, core::PolicyKind::kTlsOne);
-    c.controller.max_bands = bands;
-    c.controller.data_plane = plane;
-    exp::ExperimentResult r = exp::run_experiment(c);
+  for (std::size_t i = 0; i < variants.size(); ++i) {
+    const exp::ExperimentResult& r = results[i + 1];
     double norm = exp::avg_normalized_jct(r, fifo);
     double var_ratio = fifo.barrier_variance_summary.mean > 0
                            ? r.barrier_variance_summary.mean /
                                  fifo.barrier_variance_summary.mean
                            : 0;
-    table.add_row({std::to_string(bands), core::to_string(plane),
-                   metrics::fmt(norm, 3), metrics::fmt_percent(1.0 - norm),
+    table.add_row({std::to_string(variants[i].bands),
+                   core::to_string(variants[i].plane), metrics::fmt(norm, 3),
+                   metrics::fmt_percent(1.0 - norm),
                    metrics::fmt_ratio(var_ratio)});
-  };
-  for (int bands : {1, 2, 3, 6, 8}) run_one(bands, core::DataPlane::kHtb);
-  // htb class prio stops at 8 levels; the prio qdisc reaches 15 usable
-  // bands (one reserved for default traffic) — still short of 21 jobs, a
-  // real constraint of the deployment the paper works within.
-  run_one(15, core::DataPlane::kPrio);
+  }
   std::printf("%s\n", table.str().c_str());
   return 0;
 }

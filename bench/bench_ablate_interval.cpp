@@ -4,18 +4,30 @@
 // normalized JCT) and fairness (spread of per-job JCTs).
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tls;
+  bench::init(argc, argv);
+  bench::Timing timing("ablate_interval");
   bench::print_header(
       "Ablation - TLs-RR rotation interval T (placement #1)",
       "T in seconds-to-minutes achieves fairness without losing the "
       "straggler benefit");
 
   exp::ExperimentConfig base = bench::paper_config();
-  exp::ExperimentResult fifo =
-      exp::run_experiment(exp::with_policy(base, core::PolicyKind::kFifo));
-  exp::ExperimentResult one =
-      exp::run_experiment(exp::with_policy(base, core::PolicyKind::kTlsOne));
+  const std::vector<double> intervals = {1.0, 2.0, 5.0, 10.0, 30.0};
+  // Runs 0/1 are the FIFO baseline and TLs-One; then one TLs-RR per T.
+  std::vector<exp::ExperimentConfig> configs;
+  configs.push_back(exp::with_policy(base, core::PolicyKind::kFifo));
+  configs.push_back(exp::with_policy(base, core::PolicyKind::kTlsOne));
+  for (double t : intervals) {
+    exp::ExperimentConfig c = exp::with_policy(base, core::PolicyKind::kTlsRR);
+    c.controller.rotation_interval = sim::from_seconds(t);
+    configs.push_back(std::move(c));
+  }
+  std::vector<exp::ExperimentResult> results =
+      bench::run_all(configs, &timing);
+  const exp::ExperimentResult& fifo = results[0];
+  const exp::ExperimentResult& one = results[1];
 
   auto jain_of = [](const exp::ExperimentResult& r) {
     std::vector<double> jcts;
@@ -28,11 +40,9 @@ int main() {
   double one_spread = one.max_jct_s - one.min_jct_s;
   table.add_row({"TLs-One", "-", metrics::fmt(exp::avg_normalized_jct(one, fifo), 3),
                  metrics::fmt(one_spread), metrics::fmt(jain_of(one), 4), "0"});
-  for (double t : {1.0, 2.0, 5.0, 10.0, 30.0}) {
-    exp::ExperimentConfig c = exp::with_policy(base, core::PolicyKind::kTlsRR);
-    c.controller.rotation_interval = sim::from_seconds(t);
-    exp::ExperimentResult r = exp::run_experiment(c);
-    table.add_row({"TLs-RR", metrics::fmt(t, 0),
+  for (std::size_t i = 0; i < intervals.size(); ++i) {
+    const exp::ExperimentResult& r = results[i + 2];
+    table.add_row({"TLs-RR", metrics::fmt(intervals[i], 0),
                    metrics::fmt(exp::avg_normalized_jct(r, fifo), 3),
                    metrics::fmt(r.max_jct_s - r.min_jct_s),
                    metrics::fmt(jain_of(r), 4),

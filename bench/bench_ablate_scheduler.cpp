@@ -54,7 +54,11 @@ double run_jct(cluster::SchedulerPolicy sched_policy,
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // Drives the online scheduler directly (no ExperimentConfig), so it
+  // picks up init()/Timing only.
+  bench::init(argc, argv);
+  bench::Timing timing("ablate_scheduler");
   bench::print_header(
       "Extension - PS-aware cluster scheduling vs TensorLights",
       "Future Work Section VII: spread PS tasks at placement time; "

@@ -8,8 +8,10 @@
 // the extra tc churn it costs.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tls;
+  bench::init(argc, argv);
+  bench::Timing timing("ablate_two_sided");
   bench::print_header(
       "Ablation - one-sided (paper) vs two-sided priority configuration",
       "Insight #2: PS-side priorities implicitly pace gradients; the "
@@ -17,15 +19,24 @@ int main() {
 
   exp::ExperimentConfig base = bench::paper_config();
   base.workload.local_batch_size = 1;  // heaviest contention
-  exp::ExperimentResult fifo =
-      exp::run_experiment(exp::with_policy(base, core::PolicyKind::kFifo));
 
-  metrics::Table table({"variant", "avg norm JCT", "barrier var vs FIFO",
-                        "tc commands", "hosts touched"});
+  // Run 0 is the FIFO baseline; 1/2 are one-sided and two-sided TLs-One.
+  std::vector<exp::ExperimentConfig> configs;
+  configs.push_back(exp::with_policy(base, core::PolicyKind::kFifo));
   for (bool two_sided : {false, true}) {
     exp::ExperimentConfig c = exp::with_policy(base, core::PolicyKind::kTlsOne);
     c.controller.prioritize_gradients = two_sided;
-    exp::ExperimentResult r = exp::run_experiment(c);
+    configs.push_back(std::move(c));
+  }
+  std::vector<exp::ExperimentResult> results =
+      bench::run_all(configs, &timing);
+  const exp::ExperimentResult& fifo = results[0];
+
+  metrics::Table table({"variant", "avg norm JCT", "barrier var vs FIFO",
+                        "tc commands", "hosts touched"});
+  for (int i = 0; i < 2; ++i) {
+    bool two_sided = i == 1;
+    const exp::ExperimentResult& r = results[static_cast<std::size_t>(i) + 1];
     double var_ratio = fifo.barrier_variance_summary.mean > 0
                            ? r.barrier_variance_summary.mean /
                                  fifo.barrier_variance_summary.mean

@@ -5,27 +5,41 @@
 // the barrier.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tls;
+  bench::init(argc, argv);
+  bench::Timing timing("ext_async");
   bench::print_header(
       "Extension - synchronous vs asynchronous training (placement #1)",
       "the straggler penalty is a synchronization-barrier phenomenon");
 
-  metrics::Table table({"mode", "policy", "avg JCT (s)", "norm vs FIFO-sync"});
   exp::ExperimentConfig base = bench::paper_config();
   base.workload.local_batch_size = 1;
 
-  exp::ExperimentResult fifo_sync =
-      exp::run_experiment(exp::with_policy(base, core::PolicyKind::kFifo));
-  for (auto mode : {dl::TrainingMode::kSync, dl::TrainingMode::kAsync}) {
-    for (auto policy : {core::PolicyKind::kFifo, core::PolicyKind::kTlsRR}) {
+  // Row-major: mode-major, policy-minor; run 0 (sync, FIFO) doubles as
+  // the normalization baseline.
+  const dl::TrainingMode modes[2] = {dl::TrainingMode::kSync,
+                                     dl::TrainingMode::kAsync};
+  const core::PolicyKind policies[2] = {core::PolicyKind::kFifo,
+                                        core::PolicyKind::kTlsRR};
+  std::vector<exp::ExperimentConfig> configs;
+  for (auto mode : modes) {
+    for (auto policy : policies) {
       exp::ExperimentConfig c = exp::with_policy(base, policy);
       c.workload.mode = mode;
-      exp::ExperimentResult r = exp::run_experiment(c);
-      table.add_row({mode == dl::TrainingMode::kSync ? "sync" : "async",
-                     r.policy_name, metrics::fmt(r.avg_jct_s),
-                     metrics::fmt(r.avg_jct_s / fifo_sync.avg_jct_s, 3)});
+      configs.push_back(std::move(c));
     }
+  }
+  std::vector<exp::ExperimentResult> results =
+      bench::run_all(configs, &timing);
+  const exp::ExperimentResult& fifo_sync = results[0];
+
+  metrics::Table table({"mode", "policy", "avg JCT (s)", "norm vs FIFO-sync"});
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const exp::ExperimentResult& r = results[i];
+    table.add_row({i < 2 ? "sync" : "async", r.policy_name,
+                   metrics::fmt(r.avg_jct_s),
+                   metrics::fmt(r.avg_jct_s / fifo_sync.avg_jct_s, 3)});
   }
   std::printf("%s\n", table.str().c_str());
   std::printf(

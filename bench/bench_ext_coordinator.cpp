@@ -5,8 +5,10 @@
 // coordination at all — the trade-off Section VII describes.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tls;
+  bench::init(argc, argv);
+  bench::Timing timing("ext_coordinator");
   bench::print_header(
       "Extension - centralized burst coordination vs TensorLights "
       "(placement #1)",
@@ -14,10 +16,21 @@ int main() {
       "coordination overhead'");
 
   exp::ExperimentConfig base = bench::paper_config();
-  exp::ExperimentResult fifo =
-      exp::run_experiment(exp::with_policy(base, core::PolicyKind::kFifo));
-  exp::ExperimentResult tls =
-      exp::run_experiment(exp::with_policy(base, core::PolicyKind::kTlsRR));
+  const std::vector<double> rtts_ms = {0.0, 1.0, 5.0, 20.0};
+  // Runs 0/1 are FIFO and TLs-RR; then one coordinated run per RTT.
+  std::vector<exp::ExperimentConfig> configs;
+  configs.push_back(exp::with_policy(base, core::PolicyKind::kFifo));
+  configs.push_back(exp::with_policy(base, core::PolicyKind::kTlsRR));
+  for (double rtt_ms : rtts_ms) {
+    exp::ExperimentConfig c = exp::with_policy(base, core::PolicyKind::kFifo);
+    c.coordinated_transport = true;
+    c.coordinator_config.coordination_rtt = sim::from_millis(rtt_ms);
+    configs.push_back(std::move(c));
+  }
+  std::vector<exp::ExperimentResult> results =
+      bench::run_all(configs, &timing);
+  const exp::ExperimentResult& fifo = results[0];
+  const exp::ExperimentResult& tls = results[1];
 
   metrics::Table table({"scheme", "coordination RTT", "avg JCT (s)",
                         "norm vs FIFO", "grants", "burst queue wait (s)"});
@@ -25,12 +38,9 @@ int main() {
   table.add_row({"TLs-RR (local only)", "-", metrics::fmt(tls.avg_jct_s),
                  metrics::fmt(exp::avg_normalized_jct(tls, fifo), 3), "-",
                  "-"});
-  for (double rtt_ms : {0.0, 1.0, 5.0, 20.0}) {
-    exp::ExperimentConfig c = exp::with_policy(base, core::PolicyKind::kFifo);
-    c.coordinated_transport = true;
-    c.coordinator_config.coordination_rtt = sim::from_millis(rtt_ms);
-    exp::ExperimentResult r = exp::run_experiment(c);
-    table.add_row({"coordinator", metrics::fmt(rtt_ms, 0) + " ms",
+  for (std::size_t i = 0; i < rtts_ms.size(); ++i) {
+    const exp::ExperimentResult& r = results[i + 2];
+    table.add_row({"coordinator", metrics::fmt(rtts_ms[i], 0) + " ms",
                    metrics::fmt(r.avg_jct_s),
                    metrics::fmt(exp::avg_normalized_jct(r, fifo), 3),
                    std::to_string(r.coordinator_grants),

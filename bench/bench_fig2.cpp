@@ -5,8 +5,10 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tls;
+  bench::init(argc, argv);
+  bench::Timing timing("fig2");
   bench::print_header(
       "Figure 2 - JCT of concurrent DL jobs under placements #1-#8 (FIFO)",
       "performance gap between best and worst placement up to 75%");
@@ -17,13 +19,21 @@ int main() {
   }
   std::printf("Table I - placements under test:\n%s\n", placements.str().c_str());
 
-  metrics::Table table({"placement", "avg JCT (s)", "min", "max", "stddev"});
-  std::vector<double> averages;
+  std::vector<exp::ExperimentConfig> configs;
   for (int index = 1; index <= 8; ++index) {
     exp::ExperimentConfig c = bench::paper_config();
     c.placement = cluster::table1(index, 21);
     c.controller.policy = core::PolicyKind::kFifo;
-    exp::ExperimentResult r = exp::run_experiment(c);
+    configs.push_back(std::move(c));
+  }
+  std::vector<exp::ExperimentResult> results =
+      bench::run_all(configs, &timing);
+
+  metrics::Table table({"placement", "avg JCT (s)", "min", "max", "stddev"});
+  std::vector<double> averages;
+  for (int index = 1; index <= 8; ++index) {
+    const exp::ExperimentResult& r =
+        results[static_cast<std::size_t>(index - 1)];
     std::vector<double> jcts;
     for (const auto& j : r.jobs) jcts.push_back(j.jct_s);
     metrics::Summary s = metrics::summarize(jcts);

@@ -4,20 +4,23 @@
 // Paper: #1's average wait is 3.71x of #8's; its variance is 4.37x.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tls;
+  bench::init(argc, argv);
+  bench::Timing timing("fig3");
   bench::print_header(
       "Figure 3 - barrier wait time distribution, placement #1 vs #8 (FIFO)",
       "placement #1 mean wait 3.71x of #8; variance 4.37x of #8");
 
-  exp::ExperimentResult results[2];
-  int indexes[2] = {1, 8};
-  for (int i = 0; i < 2; ++i) {
+  std::vector<exp::ExperimentConfig> configs;
+  for (int index : {1, 8}) {
     exp::ExperimentConfig c = bench::paper_config();
-    c.placement = cluster::table1(indexes[i], 21);
+    c.placement = cluster::table1(index, 21);
     c.controller.policy = core::PolicyKind::kFifo;
-    results[i] = exp::run_experiment(c);
+    configs.push_back(std::move(c));
   }
+  std::vector<exp::ExperimentResult> results =
+      bench::run_all(configs, &timing);
 
   auto pooled = [](const exp::ExperimentResult& r, bool variance) {
     std::vector<double> out;

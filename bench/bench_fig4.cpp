@@ -75,7 +75,11 @@ void print_result(const char* name, const BurstResult& r) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  // This bench drives the fabric directly (no ExperimentConfig), so it
+  // only picks up init()/Timing — there is nothing for run_all to fan out.
+  bench::init(argc, argv);
+  bench::Timing timing("fig4");
   bench::print_header(
       "Figure 4 - two colocated PSes: FIFO vs TLs-One vs TLs-RR burst",
       "FIFO delays BOTH jobs to the end of the combined burst; priority "

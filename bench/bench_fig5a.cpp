@@ -6,24 +6,34 @@
 
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tls;
+  bench::init(argc, argv);
+  bench::Timing timing("fig5a");
   bench::print_header(
       "Figure 5a - normalized JCT vs placement (batch 4)",
       "TLs-One up to -27%, TLs-RR up to -16%; ~1.0 for placements #4+");
+
+  // Row-major: placement-major, policy-minor (FIFO, TLs-One, TLs-RR).
+  std::vector<exp::ExperimentConfig> configs;
+  for (int index = 1; index <= 8; ++index) {
+    exp::ExperimentConfig c = bench::paper_config();
+    c.placement = cluster::table1(index, 21);
+    configs.push_back(exp::with_policy(c, core::PolicyKind::kFifo));
+    configs.push_back(exp::with_policy(c, core::PolicyKind::kTlsOne));
+    configs.push_back(exp::with_policy(c, core::PolicyKind::kTlsRR));
+  }
+  std::vector<exp::ExperimentResult> results =
+      bench::run_all(configs, &timing);
 
   metrics::Table table({"placement", "TLs-One avg norm", "TLs-One min..max",
                         "TLs-RR avg norm", "TLs-RR min..max"});
   double best_one = 1.0, best_rr = 1.0;
   for (int index = 1; index <= 8; ++index) {
-    exp::ExperimentConfig c = bench::paper_config();
-    c.placement = cluster::table1(index, 21);
-    exp::ExperimentResult fifo =
-        exp::run_experiment(exp::with_policy(c, core::PolicyKind::kFifo));
-    exp::ExperimentResult one =
-        exp::run_experiment(exp::with_policy(c, core::PolicyKind::kTlsOne));
-    exp::ExperimentResult rr =
-        exp::run_experiment(exp::with_policy(c, core::PolicyKind::kTlsRR));
+    std::size_t base = static_cast<std::size_t>(index - 1) * 3;
+    const exp::ExperimentResult& fifo = results[base];
+    const exp::ExperimentResult& one = results[base + 1];
+    const exp::ExperimentResult& rr = results[base + 2];
     auto norms_one = exp::normalized_jcts(one, fifo);
     auto norms_rr = exp::normalized_jcts(rr, fifo);
     auto span = [](const std::vector<double>& v) {

@@ -5,26 +5,36 @@
 // smallest batch; improvements shrink as the batch grows.
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tls;
+  bench::init(argc, argv);
+  bench::Timing timing("fig5b");
   bench::print_header(
       "Figure 5b - normalized JCT vs local batch size (placement #1)",
       "improvement grows with contention: up to -31% (TLs-One), -17% (TLs-RR)");
 
-  metrics::Table table({"batch", "FIFO avg JCT (s)", "TLs-One norm",
-                        "TLs-RR norm", "TLs-One improvement"});
-  for (int batch : {1, 2, 4, 8, 16}) {
+  const std::vector<int> batches = {1, 2, 4, 8, 16};
+  // Row-major: batch-major, policy-minor (FIFO, TLs-One, TLs-RR).
+  std::vector<exp::ExperimentConfig> configs;
+  for (int batch : batches) {
     exp::ExperimentConfig c = bench::paper_config();
     c.workload.local_batch_size = batch;
-    exp::ExperimentResult fifo =
-        exp::run_experiment(exp::with_policy(c, core::PolicyKind::kFifo));
-    exp::ExperimentResult one =
-        exp::run_experiment(exp::with_policy(c, core::PolicyKind::kTlsOne));
-    exp::ExperimentResult rr =
-        exp::run_experiment(exp::with_policy(c, core::PolicyKind::kTlsRR));
+    configs.push_back(exp::with_policy(c, core::PolicyKind::kFifo));
+    configs.push_back(exp::with_policy(c, core::PolicyKind::kTlsOne));
+    configs.push_back(exp::with_policy(c, core::PolicyKind::kTlsRR));
+  }
+  std::vector<exp::ExperimentResult> results =
+      bench::run_all(configs, &timing);
+
+  metrics::Table table({"batch", "FIFO avg JCT (s)", "TLs-One norm",
+                        "TLs-RR norm", "TLs-One improvement"});
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    const exp::ExperimentResult& fifo = results[3 * i];
+    const exp::ExperimentResult& one = results[3 * i + 1];
+    const exp::ExperimentResult& rr = results[3 * i + 2];
     double n_one = exp::avg_normalized_jct(one, fifo);
     double n_rr = exp::avg_normalized_jct(rr, fifo);
-    table.add_row({std::to_string(batch), metrics::fmt(fifo.avg_jct_s),
+    table.add_row({std::to_string(batches[i]), metrics::fmt(fifo.avg_jct_s),
                    metrics::fmt(n_one, 3), metrics::fmt(n_rr, 3),
                    metrics::fmt_percent(1.0 - n_one)});
   }

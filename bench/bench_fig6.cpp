@@ -5,21 +5,25 @@
 // range (high-priority jobs wait less, low-priority jobs wait more).
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tls;
+  bench::init(argc, argv);
+  bench::Timing timing("fig6");
   bench::print_header(
       "Figure 6 - barrier wait distributions by policy (placement #1)",
       "TLs-One cuts wait variance by 26% (mean) / 40% (median); "
       "TLs-RR by 15% / 30%");
 
   exp::ExperimentConfig c = bench::paper_config();
-  exp::ExperimentResult results[3];
   core::PolicyKind policies[3] = {core::PolicyKind::kFifo,
                                   core::PolicyKind::kTlsOne,
                                   core::PolicyKind::kTlsRR};
-  for (int i = 0; i < 3; ++i) {
-    results[i] = exp::run_experiment(exp::with_policy(c, policies[i]));
+  std::vector<exp::ExperimentConfig> configs;
+  for (core::PolicyKind p : policies) {
+    configs.push_back(exp::with_policy(c, p));
   }
+  std::vector<exp::ExperimentResult> results =
+      bench::run_all(configs, &timing);
 
   auto pooled = [](const exp::ExperimentResult& r, bool variance) {
     std::vector<double> out;

@@ -7,8 +7,10 @@
 //   NIC outbound            1.20x / 1.21x
 #include "common.hpp"
 
-int main() {
+int main(int argc, char** argv) {
   using namespace tls;
+  bench::init(argc, argv);
+  bench::Timing timing("table2");
   bench::print_header(
       "Table II - normalized utilization over the active window "
       "(placement #1)",
@@ -16,12 +18,14 @@ int main() {
       "(TLs-RR similar)");
 
   exp::ExperimentConfig c = bench::paper_config();
-  exp::ExperimentResult fifo =
-      exp::run_experiment(exp::with_policy(c, core::PolicyKind::kFifo));
-  exp::ExperimentResult one =
-      exp::run_experiment(exp::with_policy(c, core::PolicyKind::kTlsOne));
-  exp::ExperimentResult rr =
-      exp::run_experiment(exp::with_policy(c, core::PolicyKind::kTlsRR));
+  std::vector<exp::ExperimentResult> results = bench::run_all(
+      {exp::with_policy(c, core::PolicyKind::kFifo),
+       exp::with_policy(c, core::PolicyKind::kTlsOne),
+       exp::with_policy(c, core::PolicyKind::kTlsRR)},
+      &timing);
+  const exp::ExperimentResult& fifo = results[0];
+  const exp::ExperimentResult& one = results[1];
+  const exp::ExperimentResult& rr = results[2];
 
   auto ratio = [](double v, double base) { return base > 0 ? v / base : 0.0; };
 

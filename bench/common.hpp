@@ -1,19 +1,30 @@
 // Shared helpers for the figure/table reproduction harnesses.
 //
-// Scale knobs (environment variables):
-//   TLS_BENCH_ITERS  iterations per job   (default 60; paper: 1500)
-//   TLS_BENCH_SEED   base RNG seed        (default 1)
+// Scale knobs (environment variables, or the matching command-line flag):
+//   TLS_BENCH_ITERS  / --iters N   iterations per job (default 60; paper: 1500)
+//   TLS_BENCH_SEED   / --seed N    base RNG seed      (default 1)
+//   TLS_BENCH_JOBS   / --jobs N    worker threads for independent runs
+//                                  (default 0 = hardware concurrency; results
+//                                  are byte-identical at any thread count)
+//   TLS_CACHE_DIR                  result-cache directory (unset = off);
+//                                  re-running an unchanged bench is near-instant
+//   TLS_BENCH_PROGRESS             1 = per-run progress/ETA lines on stderr
+//   TLS_BENCH_JSON_DIR             where BENCH_<name>.json timing files land
+//                                  (default: current directory)
 //
 // Absolute times scale with TLS_BENCH_ITERS; the ratios the paper reports
 // stabilize after a few tens of iterations.
 #pragma once
 
+#include <chrono>  // host wall timing only — bench/ is outside the src/ lint
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <vector>
 
 #include "exp/experiment.hpp"
 #include "metrics/report.hpp"
+#include "runtime/runner.hpp"
 
 namespace tls::bench {
 
@@ -26,6 +37,30 @@ inline long env_long(const char* name, long fallback) {
 inline long bench_iters() { return env_long("TLS_BENCH_ITERS", 60); }
 inline std::uint64_t bench_seed() {
   return static_cast<std::uint64_t>(env_long("TLS_BENCH_SEED", 1));
+}
+/// Requested worker-thread count; 0 = auto (TLS_JOBS / hardware).
+inline long bench_jobs() { return env_long("TLS_BENCH_JOBS", 0); }
+/// The thread count a bench will actually use.
+inline long resolved_jobs() {
+  long jobs = bench_jobs();
+  return jobs > 0 ? jobs : tls::runtime::default_jobs();
+}
+
+/// Maps `--iters/--seed/--jobs N` flags onto the TLS_BENCH_* environment
+/// variables, so both spellings behave identically everywhere downstream.
+/// Call first thing in every bench main().
+inline void init(int argc, char** argv) {
+  for (int i = 1; i + 1 < argc; ++i) {
+    std::string flag = argv[i];
+    const char* value = argv[i + 1];
+    if (flag == "--iters") {
+      ::setenv("TLS_BENCH_ITERS", value, 1);
+    } else if (flag == "--seed") {
+      ::setenv("TLS_BENCH_SEED", value, 1);
+    } else if (flag == "--jobs") {
+      ::setenv("TLS_BENCH_JOBS", value, 1);
+    }
+  }
 }
 
 /// The paper's testbed configuration: 21 hosts, 21 concurrent ResNet-32
@@ -45,13 +80,87 @@ inline exp::ExperimentConfig paper_config() {
   return c;
 }
 
+/// Machine-readable per-bench timing: construct at the top of main(),
+/// count simulated runs via add_runs(); the destructor writes
+//  $TLS_BENCH_JSON_DIR/BENCH_<name>.json so the perf trajectory of every
+/// bench is tracked across revisions.
+class Timing {
+ public:
+  explicit Timing(std::string name)
+      : name_(std::move(name)), start_(std::chrono::steady_clock::now()) {}
+
+  Timing(const Timing&) = delete;
+  Timing& operator=(const Timing&) = delete;
+
+  void add_runs(long runs) { runs_ += runs; }
+  void add_cache_hits(long hits) { cache_hits_ += hits; }
+
+  ~Timing() {
+    double wall_s =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                      start_)
+            .count();
+    const char* dir = std::getenv("TLS_BENCH_JSON_DIR");
+    std::string path = std::string(dir != nullptr && *dir != '\0' ? dir : ".") +
+                       "/BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return;  // timing is best-effort, never fails a bench
+    std::fprintf(f,
+                 "{\n"
+                 "  \"bench\": \"%s\",\n"
+                 "  \"wall_s\": %.6f,\n"
+                 "  \"runs\": %lld,\n"
+                 "  \"cache_hits\": %lld,\n"
+                 "  \"jobs\": %lld,\n"
+                 "  \"iters\": %lld,\n"
+                 "  \"seed\": %llu\n"
+                 "}\n",
+                 name_.c_str(), wall_s, static_cast<long long>(runs_),
+                 static_cast<long long>(cache_hits_),
+                 static_cast<long long>(resolved_jobs()),
+                 static_cast<long long>(bench_iters()),
+                 static_cast<unsigned long long>(bench_seed()));
+    std::fclose(f);
+  }
+
+ private:
+  std::string name_;
+  std::chrono::steady_clock::time_point start_;
+  long runs_ = 0;
+  long cache_hits_ = 0;
+};
+
+/// Fans `configs` across the tls::runtime pool (TLS_BENCH_JOBS threads,
+/// TLS_CACHE_DIR cache) and returns results in submission order — the
+/// parallel output is byte-identical to a serial loop.
+inline std::vector<exp::ExperimentResult> run_all(
+    const std::vector<exp::ExperimentConfig>& configs,
+    Timing* timing = nullptr) {
+  runtime::RunPlan plan;
+  for (std::size_t i = 0; i < configs.size(); ++i) {
+    plan.add("run" + std::to_string(i), configs[i]);
+  }
+  runtime::RunOptions options;  // cache_dir defaults from $TLS_CACHE_DIR
+  options.jobs = static_cast<int>(bench_jobs());
+  options.progress = env_long("TLS_BENCH_PROGRESS", 0) != 0;
+  runtime::RunReport report = runtime::run_plan(plan, options);
+  if (timing != nullptr) {
+    timing->add_runs(static_cast<long>(configs.size()));
+    timing->add_cache_hits(static_cast<long>(report.cache_hits));
+  }
+  return std::move(report.results);
+}
+
 inline void print_header(const char* experiment, const char* paper_claim) {
   std::printf("==============================================================\n");
   std::printf("%s\n", experiment);
   std::printf("Paper: %s\n", paper_claim);
-  std::printf("Iterations/job: %ld (paper: 1500), seed: %llu\n",
-              bench_iters(),
-              static_cast<unsigned long long>(bench_seed()));
+  // Format audit: long long / unsigned long long with matching casts —
+  // long-vs-int64 specifier mismatches here once broke 32-bit builds.
+  std::printf("Iterations/job: %lld (paper: 1500), seed: %llu, jobs: %lld\n",
+              static_cast<long long>(bench_iters()),
+              static_cast<unsigned long long>(bench_seed()),
+              static_cast<long long>(resolved_jobs()));
   std::printf("==============================================================\n\n");
 }
 

@@ -6,6 +6,7 @@
 #include "exp/experiment.hpp"
 #include "exp/export.hpp"
 #include "metrics/report.hpp"
+#include "runtime/runner.hpp"
 
 namespace tls::exp {
 
@@ -76,6 +77,13 @@ flags (defaults = the paper's testbed):
   --strategy arrival|random|smallest (arrival)
   --bands N (6) --interval-s X (10) --link-gbps X (10)
   --replicas N (1) --background --csv --export-prefix PATH
+
+execution flags (host-side; results are byte-identical at any thread count):
+  --threads N      worker threads for independent runs
+                   (0 = $TLS_JOBS or hardware concurrency; 1 = serial)
+  --cache DIR      content-addressed result cache (default: $TLS_CACHE_DIR;
+                   unset = off) --no-cache forces it off
+  --progress       per-run progress/ETA lines on stderr
 )";
 
 bool parse_policy(const std::string& s, core::PolicyKind* out) {
@@ -178,6 +186,24 @@ bool build_config(const CliArgs& args, ExperimentConfig* config,
   return true;
 }
 
+/// Host-execution options (threads / cache / progress) from flags; false
+/// with a message on a malformed value.
+bool build_run_options(const CliArgs& args, runtime::RunOptions* options,
+                       std::string* error) {
+  std::string threads = args.get("threads", "0");
+  char* end = nullptr;
+  long parsed = std::strtol(threads.c_str(), &end, 10);
+  if (end == nullptr || *end != '\0' || parsed < 0 || parsed > 4096) {
+    *error = "bad value for --threads: '" + threads + "'";
+    return false;
+  }
+  options->jobs = static_cast<int>(parsed);
+  if (args.has("cache")) options->cache_dir = args.get("cache");
+  if (args.has("no-cache")) options->cache_dir.clear();
+  options->progress = args.has("progress");
+  return true;
+}
+
 void emit(const metrics::Table& table, bool csv, std::ostream& out) {
   out << (csv ? table.csv() : table.str()) << "\n";
 }
@@ -193,10 +219,14 @@ void add_result_row(metrics::Table* table, const ExperimentResult& r,
 }
 
 int cmd_run(const CliArgs& args, const ExperimentConfig& config,
-            std::ostream& out, std::ostream& err) {
+            const runtime::RunOptions& options, std::ostream& out,
+            std::ostream& err) {
   long replicas = std::strtol(args.get("replicas", "1").c_str(), nullptr, 10);
   if (replicas < 1) replicas = 1;
-  auto runs = run_replicated(config, static_cast<int>(replicas));
+  runtime::RunReport report = runtime::run_plan(
+      runtime::RunPlan::replicated(config, static_cast<int>(replicas)),
+      options);
+  std::vector<ExperimentResult>& runs = report.results;
   metrics::Table table({"policy", "avg JCT (s)", "min", "max", "norm",
                         "barrier wait (ms)", "wait var (ms^2)", "tc cmds"});
   for (const auto& r : runs) add_result_row(&table, r, 1.0);
@@ -223,34 +253,39 @@ int cmd_run(const CliArgs& args, const ExperimentConfig& config,
   return 0;
 }
 
-int cmd_compare(const CliArgs& args, ExperimentConfig config,
-                std::ostream& out) {
+int cmd_compare(const CliArgs& args, const ExperimentConfig& config,
+                const runtime::RunOptions& options, std::ostream& out) {
   metrics::Table table({"policy", "avg JCT (s)", "min", "max", "norm",
                         "barrier wait (ms)", "wait var (ms^2)", "tc cmds"});
-  ExperimentResult fifo;
-  for (auto policy : {core::PolicyKind::kFifo, core::PolicyKind::kTlsOne,
-                      core::PolicyKind::kTlsRR}) {
-    ExperimentResult r = run_experiment(with_policy(config, policy));
-    if (policy == core::PolicyKind::kFifo) fifo = r;
+  // Plan order is FIFO, TLs-One, TLs-RR; FIFO (index 0) is the baseline.
+  runtime::RunReport report =
+      runtime::run_plan(runtime::RunPlan::policy_comparison(config), options);
+  const ExperimentResult& fifo = report.results.front();
+  for (const ExperimentResult& r : report.results) {
     add_result_row(&table, r, avg_normalized_jct(r, fifo));
   }
   emit(table, args.has("csv"), out);
   return 0;
 }
 
-int cmd_sweep_placement(const CliArgs& args, ExperimentConfig config,
+int cmd_sweep_placement(const CliArgs& args, const ExperimentConfig& config,
+                        const runtime::RunOptions& options,
                         std::ostream& out) {
   metrics::Table table({"placement", "FIFO avg JCT (s)", "TLs-One norm",
                         "TLs-RR norm"});
-  for (int index = 1; index <= 8; ++index) {
-    config.placement = cluster::table1(index, config.workload.num_jobs);
-    ExperimentResult fifo =
-        run_experiment(with_policy(config, core::PolicyKind::kFifo));
-    ExperimentResult one =
-        run_experiment(with_policy(config, core::PolicyKind::kTlsOne));
-    ExperimentResult rr =
-        run_experiment(with_policy(config, core::PolicyKind::kTlsRR));
-    table.add_row({"#" + std::to_string(index), metrics::fmt(fifo.avg_jct_s),
+  const std::vector<int> indices = {1, 2, 3, 4, 5, 6, 7, 8};
+  runtime::RunReport report = runtime::run_plan(
+      runtime::RunPlan::placement_sweep(config, indices,
+                                        runtime::RunPlan::default_policies()),
+      options);
+  // Row-major: results[3*i + {0,1,2}] = placement indices[i] under
+  // {FIFO, TLs-One, TLs-RR}.
+  for (std::size_t i = 0; i < indices.size(); ++i) {
+    const ExperimentResult& fifo = report.results[3 * i];
+    const ExperimentResult& one = report.results[3 * i + 1];
+    const ExperimentResult& rr = report.results[3 * i + 2];
+    table.add_row({"#" + std::to_string(indices[i]),
+                   metrics::fmt(fifo.avg_jct_s),
                    metrics::fmt(avg_normalized_jct(one, fifo), 3),
                    metrics::fmt(avg_normalized_jct(rr, fifo), 3)});
   }
@@ -258,19 +293,20 @@ int cmd_sweep_placement(const CliArgs& args, ExperimentConfig config,
   return 0;
 }
 
-int cmd_sweep_batch(const CliArgs& args, ExperimentConfig config,
-                    std::ostream& out) {
+int cmd_sweep_batch(const CliArgs& args, const ExperimentConfig& config,
+                    const runtime::RunOptions& options, std::ostream& out) {
   metrics::Table table({"batch", "FIFO avg JCT (s)", "TLs-One norm",
                         "TLs-RR norm"});
-  for (int batch : {1, 2, 4, 8, 16}) {
-    config.workload.local_batch_size = batch;
-    ExperimentResult fifo =
-        run_experiment(with_policy(config, core::PolicyKind::kFifo));
-    ExperimentResult one =
-        run_experiment(with_policy(config, core::PolicyKind::kTlsOne));
-    ExperimentResult rr =
-        run_experiment(with_policy(config, core::PolicyKind::kTlsRR));
-    table.add_row({std::to_string(batch), metrics::fmt(fifo.avg_jct_s),
+  const std::vector<int> batches = {1, 2, 4, 8, 16};
+  runtime::RunReport report = runtime::run_plan(
+      runtime::RunPlan::batch_sweep(config, batches,
+                                    runtime::RunPlan::default_policies()),
+      options);
+  for (std::size_t i = 0; i < batches.size(); ++i) {
+    const ExperimentResult& fifo = report.results[3 * i];
+    const ExperimentResult& one = report.results[3 * i + 1];
+    const ExperimentResult& rr = report.results[3 * i + 2];
+    table.add_row({std::to_string(batches[i]), metrics::fmt(fifo.avg_jct_s),
                    metrics::fmt(avg_normalized_jct(one, fifo), 3),
                    metrics::fmt(avg_normalized_jct(rr, fifo), 3)});
   }
@@ -300,13 +336,20 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     err << "tlsim: " << error << "\n";
     return 2;
   }
-
-  if (command == "run") return cmd_run(parsed, config, out, err);
-  if (command == "compare") return cmd_compare(parsed, config, out);
-  if (command == "sweep-placement") {
-    return cmd_sweep_placement(parsed, config, out);
+  runtime::RunOptions options;
+  if (!build_run_options(parsed, &options, &error)) {
+    err << "tlsim: " << error << "\n";
+    return 2;
   }
-  if (command == "sweep-batch") return cmd_sweep_batch(parsed, config, out);
+
+  if (command == "run") return cmd_run(parsed, config, options, out, err);
+  if (command == "compare") return cmd_compare(parsed, config, options, out);
+  if (command == "sweep-placement") {
+    return cmd_sweep_placement(parsed, config, options, out);
+  }
+  if (command == "sweep-batch") {
+    return cmd_sweep_batch(parsed, config, options, out);
+  }
 
   err << "tlsim: unknown command '" << command << "'\n" << kUsage;
   return 2;

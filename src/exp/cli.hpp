@@ -14,6 +14,12 @@
 //   --strategy arrival|random|smallest (arrival)
 //   --bands N (6) --interval-s X (10) --link-gbps X (10)
 //   --replicas N (1) --background --csv
+//
+// Host-execution flags (tls::runtime; results are byte-identical at any
+// thread count):
+//   --threads N (0 = $TLS_JOBS or hardware concurrency)
+//   --cache DIR | --no-cache (default: $TLS_CACHE_DIR, unset = off)
+//   --progress
 #pragma once
 
 #include <iosfwd>

@@ -193,19 +193,6 @@ ExperimentConfig with_policy(ExperimentConfig base, core::PolicyKind policy) {
   return base;
 }
 
-std::vector<ExperimentResult> run_replicated(const ExperimentConfig& config,
-                                             int replicas) {
-  if (replicas < 1) throw std::invalid_argument("replicas < 1");
-  std::vector<ExperimentResult> runs;
-  runs.reserve(static_cast<std::size_t>(replicas));
-  for (int i = 0; i < replicas; ++i) {
-    ExperimentConfig c = config;
-    c.seed = config.seed + static_cast<std::uint64_t>(i);
-    runs.push_back(run_experiment(c));
-  }
-  return runs;
-}
-
 metrics::Summary jct_across(const std::vector<ExperimentResult>& runs) {
   std::vector<double> v;
   v.reserve(runs.size());

@@ -119,8 +119,15 @@ double avg_normalized_jct(const ExperimentResult& policy,
 ExperimentConfig with_policy(ExperimentConfig base, core::PolicyKind policy);
 
 /// Runs `replicas` independent repetitions (seeds config.seed, +1, ...).
+/// Fanned across the tls::runtime thread pool ($TLS_JOBS / hardware
+/// concurrency; $TLS_CACHE_DIR enables the result cache); results are
+/// ordered by replica index, byte-identical to a serial loop.
 std::vector<ExperimentResult> run_replicated(const ExperimentConfig& config,
                                              int replicas);
+
+/// Runs `config` under FIFO, TLs-One, and TLs-RR (in that order, FIFO
+/// first as the normalization baseline), in parallel via tls::runtime.
+std::vector<ExperimentResult> compare(const ExperimentConfig& config);
 
 /// Summary of avg-JCT across replicated runs (mean/stddev/min/max).
 metrics::Summary jct_across(const std::vector<ExperimentResult>& runs);

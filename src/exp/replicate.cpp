@@ -1,0 +1,25 @@
+// Replicated and comparative runs, fanned across the tls::runtime pool.
+// Lives outside experiment.cpp so tls_exp_core (which tls_runtime links)
+// stays free of any runtime dependency.
+#include <stdexcept>
+
+#include "exp/experiment.hpp"
+#include "runtime/runner.hpp"
+
+namespace tls::exp {
+
+std::vector<ExperimentResult> run_replicated(const ExperimentConfig& config,
+                                             int replicas) {
+  if (replicas < 1) throw std::invalid_argument("replicas < 1");
+  runtime::RunReport report =
+      runtime::run_plan(runtime::RunPlan::replicated(config, replicas));
+  return std::move(report.results);
+}
+
+std::vector<ExperimentResult> compare(const ExperimentConfig& config) {
+  runtime::RunReport report =
+      runtime::run_plan(runtime::RunPlan::policy_comparison(config));
+  return std::move(report.results);
+}
+
+}  // namespace tls::exp

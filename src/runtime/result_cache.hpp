@@ -1,0 +1,83 @@
+// Content-addressed on-disk cache of ExperimentResults.
+//
+// Key = FNV-1a over (code-version salt + the canonicalized
+// ExperimentConfig). Two runs of an unchanged binary on an unchanged
+// config hit the same file, so re-running a sweep whose inputs did not
+// change is near-instant; any config field change — seed, placement,
+// policy, fabric knob — produces a different key and a clean miss.
+//
+// Safety properties:
+//  * The cache file stores the full canonical config and is compared on
+//    load, so a 64-bit hash collision degrades to a miss, never a wrong
+//    result.
+//  * Doubles are serialized as C99 hex-floats (%a), which round-trip
+//    exactly: a cache hit reproduces the result byte-for-byte through the
+//    CSV/JSON exporters.
+//  * Stores write to a unique temp file and rename() into place, so
+//    concurrent writers (pool workers, parallel bench processes) never
+//    expose a torn file.
+//  * The salt defaults to the git revision captured at CMake configure
+//    time (TLS_CODE_VERSION), so results produced by different code
+//    versions never cross-contaminate. Delete the cache directory to
+//    reclaim space at any time.
+#pragma once
+
+#include <cstdint>
+#include <filesystem>
+#include <optional>
+#include <string>
+#include <string_view>
+
+#include "exp/experiment.hpp"
+
+namespace tls::runtime {
+
+/// Deterministic, exhaustive serialization of every ExperimentConfig field
+/// (nested structs included). Keep in lockstep with ExperimentConfig: a
+/// field missing here would let two different experiments share a cache
+/// slot. The kResultSchema version below must be bumped on any change.
+std::string canonical_config(const exp::ExperimentConfig& config);
+
+/// 64-bit FNV-1a.
+std::uint64_t fnv1a64(std::string_view bytes);
+
+/// Salt mixed into every cache key: the git revision baked in at configure
+/// time ("unversioned" outside a git checkout).
+std::string code_version_salt();
+
+/// Text serialization of a full ExperimentResult (exact double round-trip
+/// via hex-floats). Exposed for tests.
+std::string encode_result(const exp::ExperimentResult& result);
+
+/// Parses encode_result output; false on malformed/truncated input.
+bool decode_result(const std::string& text, exp::ExperimentResult* out);
+
+class ResultCache {
+ public:
+  /// `dir` is created lazily on the first store.
+  explicit ResultCache(std::filesystem::path dir,
+                       std::string salt = code_version_salt());
+
+  const std::filesystem::path& dir() const { return dir_; }
+
+  /// Hex cache key of `config` under this cache's salt.
+  std::string key(const exp::ExperimentConfig& config) const;
+
+  /// Cached result, or nullopt on miss / salt mismatch / config mismatch /
+  /// unparsable file.
+  std::optional<exp::ExperimentResult> load(
+      const exp::ExperimentConfig& config) const;
+
+  /// Atomically persists `result`; false (never throws) on I/O failure —
+  /// a broken cache disk degrades to rerunning, not to a crashed sweep.
+  bool store(const exp::ExperimentConfig& config,
+             const exp::ExperimentResult& result) const;
+
+ private:
+  std::filesystem::path path_for(const std::string& key) const;
+
+  std::filesystem::path dir_;
+  std::string salt_;
+};
+
+}  // namespace tls::runtime

@@ -1,0 +1,223 @@
+#include "runtime/runner.hpp"
+
+#include <chrono>  // host wall clock for progress/ETA only; see allowlist
+#include <cstdio>
+#include <cstdlib>
+#include <exception>
+#include <iostream>
+#include <memory>
+#include <mutex>
+
+#include "runtime/result_cache.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace tls::runtime {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point t0) {
+  return std::chrono::duration<double>(Clock::now() - t0).count();
+}
+
+/// Serialized progress/ETA lines; completion order is allowed to show here
+/// (it is the one place parallel nondeterminism is visible), results never
+/// reorder.
+class Progress {
+ public:
+  Progress(std::size_t total, bool enabled, std::ostream* stream)
+      : total_(total),
+        enabled_(enabled),
+        stream_(stream != nullptr ? stream : &std::cerr),
+        start_(Clock::now()) {}
+
+  void tick(const std::string& label, bool cached) {
+    if (!enabled_) return;
+    std::lock_guard<std::mutex> lock(mu_);
+    ++done_;
+    double elapsed = seconds_since(start_);
+    char line[160];
+    if (cached) {
+      std::snprintf(line, sizeof(line), "[tls::runtime %zu/%zu] %s (cached)\n",
+                    done_, total_, label.c_str());
+    } else {
+      double eta = done_ > 0
+                       ? elapsed / static_cast<double>(done_) *
+                             static_cast<double>(total_ - done_)
+                       : 0.0;
+      std::snprintf(line, sizeof(line),
+                    "[tls::runtime %zu/%zu] %s  elapsed %.1fs eta %.1fs\n",
+                    done_, total_, label.c_str(), elapsed, eta);
+    }
+    (*stream_) << line << std::flush;
+  }
+
+ private:
+  std::size_t total_;
+  bool enabled_;
+  std::ostream* stream_;
+  Clock::time_point start_;
+  std::mutex mu_;
+  std::size_t done_ = 0;
+};
+
+}  // namespace
+
+void RunPlan::add(std::string label, exp::ExperimentConfig config) {
+  entries.push_back(Entry{std::move(label), std::move(config)});
+}
+
+std::vector<core::PolicyKind> RunPlan::default_policies() {
+  return {core::PolicyKind::kFifo, core::PolicyKind::kTlsOne,
+          core::PolicyKind::kTlsRR};
+}
+
+RunPlan RunPlan::replicated(const exp::ExperimentConfig& base, int replicas) {
+  RunPlan plan;
+  for (int i = 0; i < replicas; ++i) {
+    exp::ExperimentConfig c = base;
+    c.seed = base.seed + static_cast<std::uint64_t>(i);
+    plan.add("seed" + std::to_string(c.seed), std::move(c));
+  }
+  return plan;
+}
+
+RunPlan RunPlan::policy_comparison(
+    const exp::ExperimentConfig& base,
+    const std::vector<core::PolicyKind>& policies) {
+  RunPlan plan;
+  for (core::PolicyKind policy : policies) {
+    plan.add(core::to_string(policy), exp::with_policy(base, policy));
+  }
+  return plan;
+}
+
+RunPlan RunPlan::placement_sweep(
+    const exp::ExperimentConfig& base, const std::vector<int>& table1_indices,
+    const std::vector<core::PolicyKind>& policies) {
+  RunPlan plan;
+  for (int index : table1_indices) {
+    exp::ExperimentConfig c = base;
+    c.placement = cluster::table1(index, base.workload.num_jobs);
+    for (core::PolicyKind policy : policies) {
+      plan.add("p" + std::to_string(index) + "/" + core::to_string(policy),
+               exp::with_policy(c, policy));
+    }
+  }
+  return plan;
+}
+
+RunPlan RunPlan::batch_sweep(const exp::ExperimentConfig& base,
+                             const std::vector<int>& batch_sizes,
+                             const std::vector<core::PolicyKind>& policies) {
+  RunPlan plan;
+  for (int batch : batch_sizes) {
+    exp::ExperimentConfig c = base;
+    c.workload.local_batch_size = batch;
+    for (core::PolicyKind policy : policies) {
+      plan.add("b" + std::to_string(batch) + "/" + core::to_string(policy),
+               exp::with_policy(c, policy));
+    }
+  }
+  return plan;
+}
+
+int default_jobs() {
+  const char* env = std::getenv("TLS_JOBS");
+  if (env != nullptr && *env != '\0') {
+    long v = std::atol(env);
+    if (v >= 1) return static_cast<int>(v);
+  }
+  return ThreadPool::hardware_threads();
+}
+
+std::string default_cache_dir() {
+  const char* env = std::getenv("TLS_CACHE_DIR");
+  return env != nullptr ? env : "";
+}
+
+RunSet::RunSet(RunOptions options) : options_(std::move(options)) {}
+
+RunReport RunSet::run(const RunPlan& plan) {
+  Clock::time_point t0 = Clock::now();
+  const std::size_t n = plan.entries.size();
+
+  RunReport report;
+  report.results.resize(n);
+  report.labels.reserve(n);
+  for (const RunPlan::Entry& e : plan.entries) report.labels.push_back(e.label);
+
+  std::unique_ptr<ResultCache> cache;
+  if (!options_.cache_dir.empty()) {
+    cache = std::make_unique<ResultCache>(options_.cache_dir);
+  }
+
+  Progress progress(n, options_.progress, options_.progress_stream);
+
+  // Cache pass: fill hits in place, collect the misses to execute.
+  std::vector<std::size_t> misses;
+  misses.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    if (cache != nullptr) {
+      if (std::optional<exp::ExperimentResult> hit =
+              cache->load(plan.entries[i].config)) {
+        report.results[i] = std::move(*hit);
+        ++report.cache_hits;
+        progress.tick(plan.entries[i].label, /*cached=*/true);
+        continue;
+      }
+    }
+    misses.push_back(i);
+  }
+
+  int jobs = options_.jobs > 0 ? options_.jobs : default_jobs();
+  if (jobs < 1) jobs = 1;
+  if (static_cast<std::size_t>(jobs) > misses.size() && !misses.empty()) {
+    jobs = static_cast<int>(misses.size());
+  }
+  report.jobs_used = misses.empty() ? 1 : jobs;
+
+  std::mutex state_mu;  // first_error + cache_stores
+  std::exception_ptr first_error;
+  std::size_t stores = 0;
+
+  // Each worker writes only results[i] for its own i, so result slots need
+  // no lock; everything shared is guarded or internally synchronized.
+  auto run_one = [&](std::size_t i) {
+    const RunPlan::Entry& entry = plan.entries[i];
+    try {
+      exp::ExperimentResult result = exp::run_experiment(entry.config);
+      if (cache != nullptr && cache->store(entry.config, result)) {
+        std::lock_guard<std::mutex> lock(state_mu);
+        ++stores;
+      }
+      report.results[i] = std::move(result);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(state_mu);
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+    progress.tick(entry.label, /*cached=*/false);
+  };
+
+  if (report.jobs_used <= 1) {
+    for (std::size_t i : misses) run_one(i);
+  } else {
+    ThreadPool pool(report.jobs_used);
+    for (std::size_t i : misses) {
+      pool.submit([&run_one, i] { run_one(i); });
+    }
+    pool.wait_idle();
+  }
+
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+  report.cache_stores = stores;
+  report.wall_s = seconds_since(t0);
+  return report;
+}
+
+RunReport run_plan(const RunPlan& plan, RunOptions options) {
+  return RunSet(std::move(options)).run(plan);
+}
+
+}  // namespace tls::runtime

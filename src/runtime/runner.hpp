@@ -1,0 +1,110 @@
+// tls::runtime — parallel experiment execution engine.
+//
+// A RunPlan is an ordered list of labelled, fully independent
+// ExperimentConfigs (seed replicas, placement sweeps, policy comparisons,
+// batch sweeps). RunSet fans the plan's entries across a work-stealing
+// thread pool and returns results **keyed by run index, never by
+// completion order**, so the output of a parallel run is byte-identical
+// to a serial one — the repo-wide determinism contract survives
+// parallelism untouched (witnessed by tests/runtime/runner_test.cpp).
+//
+// Each run is checked against the content-addressed ResultCache first
+// (when a cache directory is configured), so re-running an unchanged
+// sweep is near-instant.
+#pragma once
+
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace tls::runtime {
+
+struct RunPlan {
+  struct Entry {
+    std::string label;  ///< for progress lines, e.g. "p3/tls-rr"
+    exp::ExperimentConfig config;
+  };
+  std::vector<Entry> entries;
+
+  void add(std::string label, exp::ExperimentConfig config);
+  std::size_t size() const { return entries.size(); }
+  bool empty() const { return entries.empty(); }
+
+  /// `replicas` copies of `base` seeded base.seed, +1, ... (the
+  /// exp::run_replicated contract).
+  static RunPlan replicated(const exp::ExperimentConfig& base, int replicas);
+
+  /// One run of `base` per policy, in the given order (default: FIFO,
+  /// TLs-One, TLs-RR — FIFO first so it is the normalization baseline).
+  static RunPlan policy_comparison(
+      const exp::ExperimentConfig& base,
+      const std::vector<core::PolicyKind>& policies = default_policies());
+
+  /// Row-major placements × policies: entry i*|policies|+j is Table I
+  /// placement `table1_indices[i]` under `policies[j]`.
+  static RunPlan placement_sweep(const exp::ExperimentConfig& base,
+                                 const std::vector<int>& table1_indices,
+                                 const std::vector<core::PolicyKind>& policies);
+
+  /// Row-major batch sizes × policies, same indexing as placement_sweep.
+  static RunPlan batch_sweep(const exp::ExperimentConfig& base,
+                             const std::vector<int>& batch_sizes,
+                             const std::vector<core::PolicyKind>& policies);
+
+  static std::vector<core::PolicyKind> default_policies();
+};
+
+/// Worker-thread count when RunOptions::jobs is 0: $TLS_JOBS when set and
+/// positive, else std::thread::hardware_concurrency.
+int default_jobs();
+
+/// Cache directory when RunOptions::cache_dir is untouched: $TLS_CACHE_DIR
+/// when set, else "" (caching off).
+std::string default_cache_dir();
+
+struct RunOptions {
+  /// Worker threads; 0 = default_jobs(). 1 runs inline on the caller's
+  /// thread with no pool at all.
+  int jobs = 0;
+  /// Result-cache directory; empty disables caching. Defaults to
+  /// $TLS_CACHE_DIR so any caller can opt a whole process in.
+  std::string cache_dir = default_cache_dir();
+  /// Emit one progress/ETA line per completed run.
+  bool progress = false;
+  /// Progress destination; nullptr = std::cerr.
+  std::ostream* progress_stream = nullptr;
+};
+
+struct RunReport {
+  /// results[i] corresponds to plan.entries[i], regardless of completion
+  /// order or cache hits.
+  std::vector<exp::ExperimentResult> results;
+  std::vector<std::string> labels;
+  int jobs_used = 1;
+  std::size_t cache_hits = 0;
+  std::size_t cache_stores = 0;
+  /// Host wall-clock of the whole run (the only wall-clock quantity this
+  /// repo reports; simulation time is unaffected).
+  double wall_s = 0;
+};
+
+class RunSet {
+ public:
+  explicit RunSet(RunOptions options = {});
+
+  /// Executes every entry (cache-first), rethrowing the first worker
+  /// exception after all in-flight runs drain.
+  RunReport run(const RunPlan& plan);
+
+  const RunOptions& options() const { return options_; }
+
+ private:
+  RunOptions options_;
+};
+
+/// One-shot convenience wrapper around RunSet.
+RunReport run_plan(const RunPlan& plan, RunOptions options = {});
+
+}  // namespace tls::runtime

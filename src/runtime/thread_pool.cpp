@@ -1,0 +1,106 @@
+#include "runtime/thread_pool.hpp"
+
+#include "simcore/check.hpp"
+
+namespace tls::runtime {
+
+ThreadPool::ThreadPool(int threads) {
+  if (threads < 1) threads = 1;
+  queues_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    queues_.push_back(std::make_unique<WorkerQueue>());
+  }
+  workers_.reserve(static_cast<std::size_t>(threads));
+  for (int i = 0; i < threads; ++i) {
+    workers_.emplace_back(
+        [this, i] { worker_loop(static_cast<std::size_t>(i)); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  work_cv_.notify_all();
+  for (std::thread& w : workers_) w.join();
+}
+
+void ThreadPool::submit(std::function<void()> task) {
+  TLS_CHECK(task != nullptr, "ThreadPool::submit: empty task");
+  std::size_t target;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    target = next_queue_++ % queues_.size();
+  }
+  {
+    std::lock_guard<std::mutex> lock(queues_[target]->mu);
+    queues_[target]->tasks.push_back(std::move(task));
+  }
+  {
+    // The task must be visible in its deque before the claim counter says
+    // so, or take_task could spin on an empty pool.
+    std::lock_guard<std::mutex> lock(mu_);
+    ++queued_;
+    ++pending_;
+  }
+  work_cv_.notify_one();
+}
+
+void ThreadPool::wait_idle() {
+  std::unique_lock<std::mutex> lock(mu_);
+  idle_cv_.wait(lock, [this] { return pending_ == 0; });
+}
+
+int ThreadPool::hardware_threads() {
+  unsigned n = std::thread::hardware_concurrency();
+  return n == 0 ? 1 : static_cast<int>(n);
+}
+
+std::function<void()> ThreadPool::take_task(std::size_t self) {
+  // The caller decremented `queued_` under mu_, claiming one task; the sum
+  // of deque sizes is at least the number of outstanding claims, so the
+  // scan below terminates (tasks are only removed by claim holders and are
+  // never migrated between deques).
+  for (;;) {
+    {
+      WorkerQueue& own = *queues_[self];
+      std::lock_guard<std::mutex> lock(own.mu);
+      if (!own.tasks.empty()) {
+        std::function<void()> task = std::move(own.tasks.back());
+        own.tasks.pop_back();
+        return task;
+      }
+    }
+    for (std::size_t k = 1; k < queues_.size(); ++k) {
+      WorkerQueue& victim = *queues_[(self + k) % queues_.size()];
+      std::lock_guard<std::mutex> lock(victim.mu);
+      if (!victim.tasks.empty()) {
+        std::function<void()> task = std::move(victim.tasks.front());
+        victim.tasks.pop_front();
+        return task;
+      }
+    }
+    std::this_thread::yield();
+  }
+}
+
+void ThreadPool::worker_loop(std::size_t self) {
+  for (;;) {
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      work_cv_.wait(lock, [this] { return stop_ || queued_ > 0; });
+      if (queued_ == 0) return;  // stop_ set and nothing left to run
+      --queued_;
+    }
+    std::function<void()> task = take_task(self);
+    task();
+    {
+      std::lock_guard<std::mutex> lock(mu_);
+      --pending_;
+      if (pending_ == 0) idle_cv_.notify_all();
+    }
+  }
+}
+
+}  // namespace tls::runtime

@@ -1,0 +1,76 @@
+// Work-stealing thread pool for the experiment runtime.
+//
+// This is the ONLY module in src/ allowed to touch host threading
+// primitives (enforced by the `threading-outside-runtime` lint rule): the
+// simulator core stays single-threaded-deterministic, and parallelism is
+// applied strictly *between* independent, fully-seeded experiment runs.
+//
+// Shape: one deque per worker. submit() distributes tasks round-robin;
+// a worker pops its own deque LIFO (cache-warm) and steals FIFO from the
+// other workers when its own deque is empty, so a burst of long runs
+// submitted to one queue still spreads across all cores.
+#pragma once
+
+#include <condition_variable>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace tls::runtime {
+
+class ThreadPool {
+ public:
+  /// Spawns `threads` workers (values < 1 are clamped to 1).
+  explicit ThreadPool(int threads);
+
+  /// Drains every already-submitted task, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Enqueues a task. Tasks must not throw (wrap with your own try/catch);
+  /// an escaping exception would terminate the process.
+  void submit(std::function<void()> task);
+
+  /// Blocks until every submitted task has finished. The pool is reusable
+  /// afterwards.
+  void wait_idle();
+
+  int size() const { return static_cast<int>(workers_.size()); }
+
+  /// std::thread::hardware_concurrency with the zero-means-unknown case
+  /// mapped to 1.
+  static int hardware_threads();
+
+ private:
+  /// Per-worker task deque; `mu` is held only for push/pop, never while a
+  /// task runs.
+  struct WorkerQueue {
+    std::mutex mu;
+    std::deque<std::function<void()>> tasks;
+  };
+
+  void worker_loop(std::size_t self);
+
+  /// Pops from own deque (back) or steals from another (front). Called
+  /// only while holding a claim on one queued task, so it retries until a
+  /// task is found.
+  std::function<void()> take_task(std::size_t self);
+
+  std::vector<std::unique_ptr<WorkerQueue>> queues_;
+  std::vector<std::thread> workers_;
+
+  std::mutex mu_;  // guards the counters below
+  std::condition_variable work_cv_;
+  std::condition_variable idle_cv_;
+  std::size_t queued_ = 0;   // submitted, not yet claimed by a worker
+  std::size_t pending_ = 0;  // submitted, not yet finished
+  std::size_t next_queue_ = 0;
+  bool stop_ = false;
+};
+
+}  // namespace tls::runtime

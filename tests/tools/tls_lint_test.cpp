@@ -141,6 +141,53 @@ TEST(TlsLint, AllowsOrderedFloatTimeMath) {
   EXPECT_FALSE(has_rule(findings, "float-time-compare"));
 }
 
+TEST(TlsLint, CatchesThreadingOutsideRuntime) {
+  auto f1 = lint_source("net/bad.cpp", "std::thread t([] {});\n");
+  EXPECT_TRUE(has_rule(f1, "threading-outside-runtime"));
+  auto f2 = lint_source("simcore/bad.cpp", "std::mutex mu_;\n");
+  EXPECT_TRUE(has_rule(f2, "threading-outside-runtime"));
+  auto f3 = lint_source("tensorlights/bad.cpp",
+                        "std::atomic<int> pending_{0};\n");
+  EXPECT_TRUE(has_rule(f3, "threading-outside-runtime"));
+  auto f4 = lint_source("net/bad.cpp", "#include <thread>\nint x;\n");
+  ASSERT_TRUE(has_rule(f4, "threading-outside-runtime"));
+  EXPECT_EQ(line_of(f4, "threading-outside-runtime"), 1);
+}
+
+TEST(TlsLint, RuntimeDirIsExemptFromThreadingRule) {
+  std::string src =
+      "#include <mutex>\n"
+      "#include <thread>\n"
+      "std::mutex mu_;\n"
+      "std::vector<std::thread> workers_;\n";
+  auto findings = lint_source("runtime/thread_pool.hpp", src);
+  EXPECT_FALSE(has_rule(findings, "threading-outside-runtime"))
+      << format_findings(findings);
+}
+
+TEST(TlsLint, DoesNotFlagThreadLikeIdentifiers) {
+  // Unqualified words and non-std qualifications are not threading
+  // primitives; neither are longer identifiers containing a banned stem.
+  std::string src =
+      "int thread = 3;\n"
+      "tls::sim::FutureEvent future;\n"
+      "int hardware_threads = my::thread::count();\n"
+      "bool async = spec.async_mode;\n"
+      "int std_mutex_count = 0;\n";
+  auto findings = lint_source("net/good.cpp", src);
+  EXPECT_FALSE(has_rule(findings, "threading-outside-runtime"))
+      << format_findings(findings);
+}
+
+TEST(TlsLint, AllowlistSilencesThreadingRule) {
+  Finding f{"metrics/sampler.cpp", 7, "threading-outside-runtime", "msg"};
+  auto entries =
+      parse_allowlist("metrics/sampler.cpp:threading-outside-runtime\n");
+  EXPECT_TRUE(is_allowed(f, entries));
+  Finding other{"metrics/sampler.cpp", 7, "wall-clock", "msg"};
+  EXPECT_FALSE(is_allowed(other, entries));
+}
+
 TEST(TlsLint, CatchesMissingPragmaOnce) {
   auto findings = lint_source("net/bad.hpp", "struct X {};\n");
   ASSERT_TRUE(has_rule(findings, "missing-pragma-once"));

@@ -9,22 +9,28 @@ cd "$root"
 
 jobs="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/3] debug-asan: build + ctest (AddressSanitizer, recover=off)"
+echo "==> [1/4] debug-asan: build + ctest (AddressSanitizer, recover=off)"
 cmake --preset debug-asan
 cmake --build --preset debug-asan -j "$jobs"
 ctest --preset debug-asan -j "$jobs"
 
-echo "==> [2/3] determinism lint over src/"
+echo "==> [2/4] determinism lint over src/"
 ./build-asan/tools/tls_lint src --allowlist tools/tls_lint_allow.txt
 
 if command -v clang-tidy >/dev/null 2>&1; then
-  echo "==> [2b/3] clang-tidy (.clang-tidy profile)"
+  echo "==> [2b/4] clang-tidy (.clang-tidy profile)"
   clang-tidy -p build-asan src/simcore/*.cpp src/net/*.cpp tools/*.cpp
 else
-  echo "==> [2b/3] clang-tidy not installed; skipping (profile: .clang-tidy)"
+  echo "==> [2b/4] clang-tidy not installed; skipping (profile: .clang-tidy)"
 fi
 
-echo "==> [3/3] ci preset: RelWithDebInfo + TLS_WERROR=ON, tier-1 ctest"
+echo "==> [3/4] debug-tsan: tls::runtime pool/runner under ThreadSanitizer"
+cmake --preset debug-tsan
+cmake --build --preset debug-tsan -j "$jobs" --target test_runtime
+(cd build-tsan && ctest -R '^(ThreadPool|Runner|ResultCache|Fnv1a64|CanonicalConfig)' \
+  --output-on-failure -j "$jobs")
+
+echo "==> [4/4] ci preset: RelWithDebInfo + TLS_WERROR=ON, tier-1 ctest"
 cmake --preset ci
 cmake --build --preset ci -j "$jobs"
 ctest --preset ci -j "$jobs"

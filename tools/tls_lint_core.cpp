@@ -66,6 +66,16 @@ bool in_hot_path_dir(const std::string& rel_path) {
   return false;
 }
 
+/// runtime/ is the one sanctioned home of threading primitives: it runs
+/// whole (independently seeded, internally single-threaded) simulations in
+/// parallel, never threads inside one simulation.
+bool in_runtime_dir(const std::string& rel_path) {
+  for (const std::string& seg : split_path(rel_path)) {
+    if (seg == "runtime") return true;
+  }
+  return false;
+}
+
 /// src/simcore/rng.* is the one sanctioned home of raw generator machinery.
 bool is_rng_module(const std::string& rel_path) {
   std::vector<std::string> segs = split_path(rel_path);
@@ -232,6 +242,7 @@ std::vector<Finding> lint_source(
 
   const bool hot = in_hot_path_dir(rel_path);
   const bool rng_ok = is_rng_module(rel_path);
+  const bool threads_ok = in_runtime_dir(rel_path);
 
   static const char* kWallClockTokens[] = {
       "system_clock", "steady_clock", "high_resolution_clock", "gettimeofday",
@@ -242,6 +253,19 @@ std::vector<Finding> lint_source(
                                      "ranlux48", "knuth_b", "drand48",
                                      "lrand48", "random_shuffle"};
   static const char* kRngCalls[] = {"rand", "srand"};
+  // Matched only as std::-qualified names: bare words like "thread" or
+  // "future" are too common as local identifiers.
+  static const char* kThreadingTypes[] = {
+      "thread", "jthread", "mutex", "timed_mutex", "recursive_mutex",
+      "recursive_timed_mutex", "shared_mutex", "shared_timed_mutex",
+      "condition_variable", "condition_variable_any", "atomic", "atomic_flag",
+      "future", "shared_future", "promise", "async", "lock_guard",
+      "unique_lock", "scoped_lock", "shared_lock", "call_once", "once_flag",
+      "counting_semaphore", "binary_semaphore", "latch", "barrier"};
+  static const char* kThreadingHeaders[] = {
+      "<thread>", "<mutex>", "<shared_mutex>", "<condition_variable>",
+      "<atomic>", "<future>", "<semaphore>", "<latch>", "<barrier>",
+      "<stop_token>"};
 
   for (std::size_t li = 0; li < lines.size(); ++li) {
     const std::string& line = lines[li];
@@ -289,6 +313,40 @@ std::vector<Finding> lint_source(
             break;
           }
           pos += call.size();
+        }
+      }
+    }
+
+    // --- threading-outside-runtime ---
+    if (!threads_ok) {
+      for (const char* tok : kThreadingTypes) {
+        // All whole-word occurrences, accepted only when std::-qualified.
+        std::string t(tok);
+        std::size_t pos = 0;
+        bool hit = false;
+        while (!hit && (pos = line.find(t, pos)) != std::string::npos) {
+          std::size_t end = pos + t.size();
+          bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+          bool qualified =
+              pos >= 5 && line.compare(pos - 5, 5, "std::") == 0 &&
+              (pos == 5 || !is_ident_char(line[pos - 6]));
+          if (right_ok && qualified) hit = true;
+          pos = end;
+        }
+        if (hit) {
+          add(lineno, "threading-outside-runtime",
+              std::string("threading primitive 'std::") + tok +
+                  "' — the simulator core is single-threaded by contract; "
+                  "only tls::runtime may spawn or synchronize threads");
+        }
+      }
+      if (line.find("#include") != std::string::npos) {
+        for (const char* hdr : kThreadingHeaders) {
+          if (line.find(hdr) != std::string::npos) {
+            add(lineno, "threading-outside-runtime",
+                std::string("include of ") + hdr +
+                    " — threading machinery belongs under runtime/ only");
+          }
         }
       }
     }

@@ -26,6 +26,15 @@
 //                       float-cast simulation times; compare integer
 //                       sim::Time values instead.
 //   missing-pragma-once a header without #pragma once.
+//   threading-outside-runtime
+//                       std::thread/mutex/atomic/condition_variable/future
+//                       machinery (or including their headers) anywhere
+//                       except under a runtime/ directory. The simulator
+//                       core is single-threaded by contract — determinism
+//                       comes from one event loop, one RNG stream per
+//                       consumer, and no cross-thread interleavings;
+//                       tls::runtime is the one sanctioned place that fans
+//                       whole simulations across threads.
 //
 // Comments and string literals are stripped before matching, so documenting
 // a banned pattern is fine. The scanner is line-based and intentionally
