@@ -5,6 +5,8 @@
 #include <stdexcept>
 #include <string>
 
+#include "obs/trace.hpp"
+
 namespace tls::dl {
 
 JobRuntime::JobRuntime(sim::Simulator& simulator, net::Fabric& fabric,
@@ -108,13 +110,24 @@ void JobRuntime::on_model_shard_received(int worker) {
 
   // Exiting the previous barrier (if the worker was blocked in one).
   if (barrier_enter_[wi] >= 0) {
-    double wait_s = sim::to_seconds(sim_.now() - barrier_enter_[wi]);
+    sim::Time wait = sim_.now() - barrier_enter_[wi];
+    double wait_s = sim::to_seconds(wait);
     barrier_enter_[wi] = -1;
+    if (TLS_OBS_ACTIVE(sim_.tracer())) {
+      sim_.tracer()->barrier_release(sim_.now(), spec_.job_id, worker, wait);
+    }
     if (spec_.mode == TrainingMode::kSync) {
       pending_waits_[wi] = wait_s;
       ++waits_exited_;
       if (waits_exited_ == spec_.num_workers) {
         barrier_log_.record(iteration_ - 1, pending_waits_);
+        if (TLS_OBS_ACTIVE(sim_.tracer())) {
+          auto [lo, hi] = std::minmax_element(pending_waits_.begin(),
+                                              pending_waits_.end());
+          sim_.tracer()->straggler_lag(sim_.now(), spec_.job_id,
+                                       iteration_ - 1,
+                                       sim::from_seconds(*hi - *lo));
+        }
         waits_exited_ = 0;
       }
     } else {
@@ -142,6 +155,9 @@ void JobRuntime::on_compute_done(int worker) {
   auto wi = static_cast<std::size_t>(worker);
   ++local_steps_[wi];
   barrier_enter_[wi] = sim_.now();
+  if (TLS_OBS_ACTIVE(sim_.tracer())) {
+    sim_.tracer()->barrier_enter(sim_.now(), spec_.job_id, worker);
+  }
 
   for (int p = 0; p < spec_.num_ps; ++p) {
     net::FlowSpec flow;

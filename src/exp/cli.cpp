@@ -84,6 +84,14 @@ execution flags (host-side; results are byte-identical at any thread count):
   --cache DIR      content-addressed result cache (default: $TLS_CACHE_DIR;
                    unset = off) --no-cache forces it off
   --progress       per-run progress/ETA lines on stderr
+
+observability flags (artifacts never change results; multi-run commands
+derive per-run paths, e.g. trace.json -> trace.run-label.json):
+  --trace PATH         Chrome trace-event JSON (Perfetto/chrome://tracing)
+  --trace-csv PATH     same events in compact CSV form
+  --trace-filter CATS  comma list of chunk,qdisc,htb,rotation,barrier,
+                       straggler,sample; or all (default) / none
+  --metrics PATH       long-format metrics timeseries CSV
 )";
 
 bool parse_policy(const std::string& s, core::PolicyKind* out) {
@@ -182,6 +190,15 @@ bool build_config(const CliArgs& args, ExperimentConfig* config,
   // The prio data plane allows more bands than htb's 8 priority levels.
   if (config->controller.max_bands > 8) {
     config->controller.data_plane = core::DataPlane::kPrio;
+  }
+
+  config->obs.trace_path = args.get("trace");
+  config->obs.trace_csv_path = args.get("trace-csv");
+  config->obs.metrics_path = args.get("metrics");
+  std::string filter = args.get("trace-filter");
+  if (!filter.empty() &&
+      !obs::parse_categories(filter, &config->obs.trace_categories, error)) {
+    return false;
   }
   return true;
 }

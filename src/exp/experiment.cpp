@@ -6,7 +6,10 @@
 #include <stdexcept>
 
 #include "cluster/launcher.hpp"
+#include "exp/export.hpp"
 #include "metrics/util_sampler.hpp"
+#include "obs/export.hpp"
+#include "obs/metrics_registry.hpp"
 #include "simcore/simulator.hpp"
 #include "tc/tc.hpp"
 #include "tensorlights/controller.hpp"
@@ -19,13 +22,29 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
 
   sim::Simulator simulator(config.seed);
+
+  // Observability attaches before any component is built so every port and
+  // qdisc picks the tracer up at wiring time.
+  std::unique_ptr<obs::Registry> registry;
+  std::unique_ptr<obs::Tracer> tracer;
+  if (config.obs.any()) {
+    tracer = std::make_unique<obs::Tracer>(config.obs.trace_categories);
+    tracer->set_max_events(config.obs.max_events);
+    if (!config.obs.metrics_path.empty()) {
+      registry = std::make_unique<obs::Registry>();
+      tracer->set_registry(registry.get());
+    }
+    simulator.set_tracer(tracer.get());
+  }
+
   net::FabricConfig fabric_config = config.fabric;
   fabric_config.num_hosts = config.num_hosts;
   net::Fabric fabric(simulator, fabric_config);
   tc::TrafficControl control(fabric);
   core::Controller controller(simulator, control, config.controller);
   metrics::BusyAccumulator busy(config.num_hosts);
-  metrics::NicSampler nic(simulator, fabric, config.nic_sample_period);
+  metrics::NicSampler nic(simulator, fabric, config.nic_sample_period,
+                          registry.get());
 
   std::unique_ptr<workload::BackgroundTraffic> background;
   if (config.background) {
@@ -58,6 +77,31 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   cluster::LaunchConfig launch;
   launch.stagger = config.stagger;
   launcher.launch_all(std::move(specs), std::move(placements), launch);
+
+  // Periodic gauge sampling on the simulation clock: per-host egress queue
+  // depth and per-job iteration lag behind the front-runner.
+  std::unique_ptr<sim::PeriodicTimer> obs_sampler;
+  if (tracer && config.obs.sample_period > 0) {
+    obs_sampler = std::make_unique<sim::PeriodicTimer>(
+        simulator, config.obs.sample_period, [&] {
+          for (net::HostId h = 0; h < config.num_hosts; ++h) {
+            tracer->gauge_sample(
+                simulator.now(), "egress_backlog_bytes", h, -1,
+                static_cast<double>(fabric.egress(h).qdisc().backlog_bytes()));
+          }
+          std::int64_t lead = 0;
+          for (const auto& job : launcher.jobs()) {
+            lead = std::max(lead, job->iteration());
+          }
+          for (const auto& job : launcher.jobs()) {
+            tracer->gauge_sample(
+                simulator.now(), "job_iteration_lag", -1,
+                job->spec().job_id,
+                static_cast<double>(lead - job->iteration()));
+          }
+        });
+    obs_sampler->start();
+  }
 
   // The NIC sampler and the TLs-RR rotation timer re-arm forever, so the
   // event queue never drains; run in slices until the workload completes.
@@ -161,6 +205,28 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     result.cpu_util_worker_hosts = n_wk ? cpu_wk / n_wk : 0;
     result.nic_in_util = nic_in / config.num_hosts;
     result.nic_out_util = nic_out / config.num_hosts;
+  }
+
+  // Artifact writing happens last so a short run that threw earlier leaves
+  // no partial files behind.
+  if (tracer) {
+    if (obs_sampler) obs_sampler->stop();
+    std::string err;
+    if (!config.obs.trace_path.empty() &&
+        !write_file(config.obs.trace_path, obs::chrome_trace_json(*tracer),
+                    &err)) {
+      throw std::runtime_error("trace export failed: " + err);
+    }
+    if (!config.obs.trace_csv_path.empty() &&
+        !write_file(config.obs.trace_csv_path, obs::trace_csv(*tracer),
+                    &err)) {
+      throw std::runtime_error("trace CSV export failed: " + err);
+    }
+    if (registry && !config.obs.metrics_path.empty() &&
+        !write_file(config.obs.metrics_path,
+                    registry->timeseries_csv(simulator.now()), &err)) {
+      throw std::runtime_error("metrics export failed: " + err);
+    }
   }
   return result;
 }

@@ -9,12 +9,37 @@
 #include "cluster/placement.hpp"
 #include "metrics/stats.hpp"
 #include "net/fabric.hpp"
+#include "obs/trace.hpp"
 #include "tensorlights/coordinator.hpp"
 #include "tensorlights/policy.hpp"
 #include "workload/background.hpp"
 #include "workload/gridsearch.hpp"
 
 namespace tls::exp {
+
+/// Observability artifact selection for one experiment. All paths empty
+/// (the default) means no Tracer is attached and the simulation pays only
+/// a null-pointer check per emission site. Artifacts never influence the
+/// ExperimentResult, so the result cache deliberately ignores this struct.
+struct ObsOptions {
+  /// Chrome trace-event JSON output (Perfetto/chrome://tracing).
+  std::string trace_path;
+  /// Compact CSV rendering of the same events.
+  std::string trace_csv_path;
+  /// Category bitmask for the event log (obs::parse_categories).
+  std::uint32_t trace_categories = obs::kAllCats;
+  /// Tidy long-format metrics timeseries CSV.
+  std::string metrics_path;
+  /// Period of the queue-depth / iteration-lag gauge sampler.
+  sim::Time sample_period = 100 * sim::kMillisecond;
+  /// Event-log cap guarding memory on big sweeps (0 = unlimited).
+  std::size_t max_events = 0;
+
+  bool any() const {
+    return !trace_path.empty() || !trace_csv_path.empty() ||
+           !metrics_path.empty();
+  }
+};
 
 struct ExperimentConfig {
   /// Cluster geometry (fabric.num_hosts is overridden by num_hosts).
@@ -52,6 +77,10 @@ struct ExperimentConfig {
 
   /// Hard simulated-time cap (guards against configuration mistakes).
   sim::Time time_limit = 48L * 3600 * sim::kSecond;
+
+  /// Trace/metrics artifacts (inert by default; excluded from result
+  /// caching — see runtime/result_cache.cpp canonical_config).
+  ObsOptions obs{};
 };
 
 struct JobResult {

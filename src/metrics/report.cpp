@@ -44,10 +44,24 @@ std::string Table::str() const {
 
 std::string Table::csv() const {
   std::ostringstream os;
+  // RFC 4180: cells containing a comma, quote, or newline are quoted, with
+  // embedded quotes doubled; everything else passes through untouched.
+  auto emit_cell = [&](const std::string& cell) {
+    if (cell.find_first_of(",\"\r\n") == std::string::npos) {
+      os << cell;
+      return;
+    }
+    os << '"';
+    for (char ch : cell) {
+      if (ch == '"') os << '"';
+      os << ch;
+    }
+    os << '"';
+  };
   auto emit = [&](const std::vector<std::string>& row) {
     for (std::size_t c = 0; c < row.size(); ++c) {
       if (c) os << ',';
-      os << row[c];
+      emit_cell(row[c]);
     }
     os << '\n';
   };

@@ -39,9 +39,10 @@ std::size_t BusyAccumulator::interval_count(net::HostId host) const {
 }
 
 NicSampler::NicSampler(sim::Simulator& simulator, net::Fabric& fabric,
-                       sim::Time period)
+                       sim::Time period, obs::Registry* registry)
     : sim_(simulator),
       fabric_(fabric),
+      registry_(registry),
       per_host_(static_cast<std::size_t>(fabric.num_hosts())),
       timer_(simulator, period, [this] { sample(); }) {
   sample();  // baseline snapshot at the current time
@@ -54,6 +55,12 @@ void NicSampler::sample() {
     s.at = sim_.now();
     s.tx = fabric_.egress(h).counters().bytes;
     s.rx = fabric_.ingress(h).counters().bytes;
+    if (registry_ != nullptr) {
+      registry_->record(s.at, "nic_tx_bytes", h, -1, -1,
+                        static_cast<double>(s.tx));
+      registry_->record(s.at, "nic_rx_bytes", h, -1, -1,
+                        static_cast<double>(s.rx));
+    }
     per_host_[static_cast<std::size_t>(h)].push_back(s);
   }
 }

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "net/fabric.hpp"
+#include "obs/metrics_registry.hpp"
 #include "simcore/simulator.hpp"
 
 namespace tls::metrics {
@@ -52,8 +53,12 @@ struct NicSample {
 /// Periodically snapshots every host's NIC counters (the ifstat analog).
 class NicSampler {
  public:
-  /// Starts sampling immediately and then every `period`.
-  NicSampler(sim::Simulator& simulator, net::Fabric& fabric, sim::Time period);
+  /// Starts sampling immediately and then every `period`. When `registry`
+  /// is non-null every snapshot is mirrored into the obs timeseries as
+  /// nic_tx_bytes / nic_rx_bytes points, so the ifstat analog and the
+  /// metrics export share one sampling clock.
+  NicSampler(sim::Simulator& simulator, net::Fabric& fabric, sim::Time period,
+             obs::Registry* registry = nullptr);
 
   /// Average utilization in [0,1] of host's direction over [w_begin,
   /// w_end], computed from the snapshots closest to the window edges.
@@ -69,6 +74,7 @@ class NicSampler {
 
   sim::Simulator& sim_;
   net::Fabric& fabric_;
+  obs::Registry* registry_;
   std::vector<std::vector<NicSample>> per_host_;
   sim::PeriodicTimer timer_;
 };

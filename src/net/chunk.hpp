@@ -11,6 +11,7 @@
 #include <string>
 
 #include "net/units.hpp"
+#include "simcore/time.hpp"
 
 namespace tls::net {
 
@@ -57,6 +58,10 @@ struct Chunk {
   /// Application kind, for priomap-style disciplines (pfifo_fast) and
   /// instrumentation.
   FlowKind kind = FlowKind::kBulk;
+  /// Simulation time the chunk entered the egress qdisc (stamped by
+  /// EgressPort::submit); queue-wait and HOL-blocking metrics derive from
+  /// dequeue-time minus this.
+  sim::Time enqueued_at = 0;
 };
 
 }  // namespace tls::net

@@ -20,6 +20,7 @@ Fabric::Fabric(sim::Simulator& simulator, const FabricConfig& config)
     egress_.push_back(std::make_unique<EgressPort>(
         sim_, config_.link_rate,
         [this, h](const Chunk& c) { on_transmit(h, c); }));
+    egress_.back()->set_host(h);
     ingress_.push_back(std::make_unique<IngressPort>(
         sim_, config_.link_rate, [this](const Chunk& c) { on_delivered(c); }));
   }

@@ -5,6 +5,7 @@
 #include <limits>
 #include <sstream>
 
+#include "obs/trace.hpp"
 #include "simcore/time.hpp"
 
 namespace tls::net {
@@ -174,6 +175,7 @@ DequeueResult HtbQdisc::dequeue(sim::Time now) {
     sim::Time retry = now + std::max<sim::Time>(sim::from_seconds(wait_s), 1);
     TLS_CHECK(retry > now, "htb retry time not in the future: retry=", retry,
               " now=", now);
+    if (TLS_OBS_ACTIVE(obs_)) obs_->overlimit(now, obs_host_, retry);
     return DequeueResult::wait_until(retry);
   }
 
@@ -196,6 +198,11 @@ DequeueResult HtbQdisc::dequeue(sim::Time now) {
   } else {
     ++stats_.yellow_sends;
     ++best->stats.yellow_sends;
+  }
+  if (TLS_OBS_ACTIVE(obs_)) {
+    obs_->htb_send(now, obs_host_,
+                   static_cast<std::int32_t>(best->cfg.minor), chunk->size,
+                   best_mode != Mode::kGreen);
   }
   ledger_.dequeued += chunk->size;
   TLS_DCHECK(ledger_.balanced(backlog_bytes()), "htb ledger imbalance: in=",

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/trace.hpp"
+
 namespace tls::net {
 
 int PfifoFastQdisc::priomap(FlowKind kind) {
@@ -25,12 +27,13 @@ void PfifoFastQdisc::enqueue(const Chunk& chunk) {
              "pfifo_fast ledger imbalance after enqueue");
 }
 
-DequeueResult PfifoFastQdisc::dequeue(sim::Time /*now*/) {
+DequeueResult PfifoFastQdisc::dequeue(sim::Time now) {
   for (int b = 0; b < kBands; ++b) {
     auto& band = bands_[static_cast<std::size_t>(b)];
     if (band.empty()) continue;
     Chunk c = band.front();
     band.pop_front();
+    if (TLS_OBS_ACTIVE(obs_)) obs_->band_service(now, obs_host_, b, c.size);
     band_bytes_[static_cast<std::size_t>(b)] -= c.size;
     TLS_CHECK(band_bytes_[static_cast<std::size_t>(b)] >= 0,
               "pfifo_fast band ", b, " backlog went negative");

@@ -2,6 +2,8 @@
 
 #include <sstream>
 
+#include "obs/trace.hpp"
+
 namespace tls::net {
 
 void PfifoQdisc::enqueue(const Chunk& chunk) {
@@ -23,10 +25,11 @@ void PfifoQdisc::drain(std::vector<Chunk>& out) {
   TLS_DCHECK(ledger_.balanced(backlog_bytes_), "pfifo ledger imbalance after drain");
 }
 
-DequeueResult PfifoQdisc::dequeue(sim::Time /*now*/) {
+DequeueResult PfifoQdisc::dequeue(sim::Time now) {
   if (queue_.empty()) return DequeueResult::idle();
   Chunk c = queue_.front();
   queue_.pop_front();
+  if (TLS_OBS_ACTIVE(obs_)) obs_->band_service(now, obs_host_, 0, c.size);
   backlog_bytes_ -= c.size;
   TLS_CHECK(backlog_bytes_ >= 0, "pfifo backlog went negative: ",
             backlog_bytes_);

@@ -4,6 +4,7 @@
 #include <utility>
 
 #include "net/pfifo_qdisc.hpp"
+#include "obs/trace.hpp"
 #include "simcore/check.hpp"
 
 namespace tls::net {
@@ -22,7 +23,12 @@ void EgressPort::submit(Chunk chunk, const FlowSpec& spec) {
   TLS_CHECK(chunk.size >= 0, "egress submit of negative-size chunk: ",
             chunk.size);
   chunk.band = classifier_.classify(spec);
+  chunk.enqueued_at = sim_.now();
   submitted_bytes_ += chunk.size;
+  if (TLS_OBS_ACTIVE(sim_.tracer())) {
+    sim_.tracer()->chunk_enqueue(sim_.now(), host_, chunk.band, chunk.flow,
+                                 chunk.size);
+  }
   qdisc_->enqueue(chunk);
   counters_.peak_backlog_bytes =
       std::max(counters_.peak_backlog_bytes, qdisc_->backlog_bytes());
@@ -41,6 +47,7 @@ void EgressPort::set_qdisc(std::unique_ptr<Qdisc> qdisc) {
   Bytes before = qdisc_->backlog_bytes();
   qdisc_->drain(backlog);
   qdisc_ = std::move(qdisc);
+  qdisc_->set_obs(sim_.tracer(), host_);
   for (const Chunk& c : backlog) qdisc_->enqueue(c);
   TLS_DCHECK(qdisc_->backlog_bytes() == before,
              "qdisc replacement lost bytes: before=", before, " after=",
@@ -59,6 +66,11 @@ void EgressPort::kick() {
       }
       busy_ = true;
       Chunk chunk = r.chunk;
+      if (TLS_OBS_ACTIVE(sim_.tracer())) {
+        sim_.tracer()->chunk_dequeue(sim_.now(), host_, chunk.band,
+                                     chunk.flow, chunk.size,
+                                     sim_.now() - chunk.enqueued_at);
+      }
       in_flight_bytes_ += chunk.size;
       sim_.schedule_after(transmit_time(chunk.size, rate_),
                           [this, chunk] { finish_transmit(chunk); });
@@ -79,6 +91,11 @@ void EgressPort::kick() {
     case DequeueResult::Kind::kIdle:
       break;
   }
+}
+
+void EgressPort::set_host(HostId host) {
+  host_ = host;
+  qdisc_->set_obs(sim_.tracer(), host_);
 }
 
 void EgressPort::finish_transmit(const Chunk& chunk) {

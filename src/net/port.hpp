@@ -56,10 +56,17 @@ class EgressPort {
   /// applier calls this after reconfiguration).
   void kick();
 
+  /// Declares which host this port serves (trace track identity) and
+  /// propagates the simulator's tracer into the installed qdisc. Called by
+  /// the Fabric at wiring time; a port left unwired traces as host -1.
+  void set_host(HostId host);
+  HostId host() const { return host_; }
+
  private:
   void finish_transmit(const Chunk& chunk);
 
   sim::Simulator& sim_;
+  HostId host_ = -1;
   Rate rate_;
   TransmitDone on_transmit_;
   std::unique_ptr<Qdisc> qdisc_;

@@ -4,6 +4,8 @@
 #include <cassert>
 #include <sstream>
 
+#include "obs/trace.hpp"
+
 namespace tls::net {
 
 PrioQdisc::PrioQdisc(int bands, Bytes quantum) {
@@ -25,13 +27,17 @@ void PrioQdisc::enqueue(const Chunk& chunk) {
              "prio ledger imbalance after enqueue");
 }
 
-DequeueResult PrioQdisc::dequeue(sim::Time /*now*/) {
+DequeueResult PrioQdisc::dequeue(sim::Time now) {
   for (std::size_t b = 0; b < bands_.size(); ++b) {
     if (auto c = bands_[b].dequeue()) {
       stats_.bytes_sent += c->size;
       ++stats_.chunks_sent;
       band_stats_[b].bytes_sent += c->size;
       ++band_stats_[b].chunks_sent;
+      if (TLS_OBS_ACTIVE(obs_)) {
+        obs_->band_service(now, obs_host_, static_cast<std::int32_t>(b),
+                           c->size);
+      }
       ledger_.dequeued += c->size;
       TLS_DCHECK(ledger_.balanced(backlog_bytes()),
                  "prio ledger imbalance: in=", ledger_.enqueued, " out=",

@@ -14,6 +14,10 @@
 #include "simcore/check.hpp"
 #include "simcore/time.hpp"
 
+namespace tls::obs {
+class Tracer;
+}  // namespace tls::obs
+
 namespace tls::net {
 
 /// Cumulative service counters of a qdisc (or one of its classes/bands),
@@ -100,6 +104,19 @@ class Qdisc {
   virtual std::string kind() const = 0;
 
   bool empty() const { return backlog_chunks() == 0; }
+
+  /// Attaches the observability sink and the host this qdisc serves.
+  /// Implementations emit discipline-level events (band service, htb
+  /// green/yellow, overlimit) through `obs_` when non-null; the EgressPort
+  /// propagates this on installation and qdisc replacement.
+  void set_obs(obs::Tracer* tracer, std::int32_t host) {
+    obs_ = tracer;
+    obs_host_ = host;
+  }
+
+ protected:
+  obs::Tracer* obs_ = nullptr;
+  std::int32_t obs_host_ = -1;
 };
 
 }  // namespace tls::net

@@ -5,6 +5,8 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
+
 namespace tls::net {
 
 TbfQdisc::TbfQdisc(const TbfConfig& config)
@@ -36,7 +38,9 @@ DequeueResult TbfQdisc::dequeue(sim::Time now) {
   if (tokens_ < 0) {
     ++stats_.overlimits;
     sim::Time wait = sim::from_seconds(-tokens_ / config_.rate);
-    return DequeueResult::wait_until(now + std::max<sim::Time>(wait, 1));
+    sim::Time retry = now + std::max<sim::Time>(wait, 1);
+    if (TLS_OBS_ACTIVE(obs_)) obs_->overlimit(now, obs_host_, retry);
+    return DequeueResult::wait_until(retry);
   }
   Chunk c = queue_.front();
   queue_.pop_front();

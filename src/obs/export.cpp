@@ -1,0 +1,216 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+#include <vector>
+
+namespace tls::obs {
+
+namespace {
+
+// Synthetic process ids grouping Perfetto tracks. Host NIC tracks live
+// under kNetPid (tid = host id), per-job tracks under kJobsPid (tid = job
+// id), controller activity under kCtrlPid.
+constexpr int kNetPid = 1;
+constexpr int kJobsPid = 2;
+constexpr int kCtrlPid = 3;
+
+/// Nanoseconds rendered as microseconds with exactly three decimals —
+/// integer math only, so the same event always produces the same bytes.
+std::string ts_us(sim::Time ns) {
+  if (ns < 0) ns = 0;
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%lld.%03lld",
+                static_cast<long long>(ns / 1000),
+                static_cast<long long>(ns % 1000));
+  return buf;
+}
+
+struct Track {
+  int pid = kNetPid;
+  int tid = 0;
+};
+
+/// Which Perfetto track an event renders on.
+Track track_for(const TraceEvent& e) {
+  switch (e.kind) {
+    case EventKind::kChunkEnqueue:
+    case EventKind::kChunkDequeue:
+    case EventKind::kBandService:
+    case EventKind::kHtbGreen:
+    case EventKind::kHtbYellow:
+    case EventKind::kOverlimit:
+      return Track{kNetPid, e.host < 0 ? 0 : e.host};
+    case EventKind::kBarrierEnter:
+    case EventKind::kBarrierRelease:
+    case EventKind::kStragglerLag:
+      return Track{kJobsPid, e.job < 0 ? 0 : e.job};
+    case EventKind::kRotation:
+    case EventKind::kBandAssign:
+      return Track{kCtrlPid, 0};
+    case EventKind::kGaugeSample:
+      if (e.job >= 0) return Track{kJobsPid, e.job};
+      return Track{kNetPid, e.host < 0 ? 0 : e.host};
+  }
+  return Track{kCtrlPid, 0};
+}
+
+void append_common(std::ostringstream& os, const TraceEvent& e,
+                   const Track& t, const char* ph) {
+  os << "{\"name\":\"" << to_string(e.kind) << "\",\"cat\":\""
+     << to_string(e.cat) << "\",\"ph\":\"" << ph << "\",\"ts\":" << ts_us(e.at)
+     << ",\"pid\":" << t.pid << ",\"tid\":" << t.tid;
+}
+
+void append_args(std::ostringstream& os, const TraceEvent& e) {
+  os << ",\"args\":{";
+  bool first = true;
+  auto arg = [&](const char* key, std::int64_t v) {
+    if (!first) os << ',';
+    first = false;
+    os << '"' << key << "\":" << v;
+  };
+  if (e.band >= 0) arg("band", e.band);
+  if (e.flow != 0) arg("flow", e.flow);
+  if (e.bytes != 0) arg("bytes", e.bytes);
+  switch (e.kind) {
+    case EventKind::kChunkDequeue:
+      arg("queue_wait_ns", e.a);
+      break;
+    case EventKind::kOverlimit:
+      arg("retry_at_ns", e.a);
+      break;
+    case EventKind::kRotation:
+      arg("offset", e.a);
+      break;
+    case EventKind::kBandAssign:
+      arg("job", e.job);
+      break;
+    case EventKind::kBarrierEnter:
+    case EventKind::kBarrierRelease:
+      arg("worker", e.a);
+      break;
+    case EventKind::kStragglerLag:
+      arg("iteration", e.a);
+      arg("lag_ns", e.b);
+      break;
+    case EventKind::kGaugeSample:
+      arg("value", e.a);
+      break;
+    default:
+      break;
+  }
+  os << '}';
+}
+
+void append_metadata(std::ostringstream& os, int pid, int tid,
+                     const char* which, const std::string& name, bool* first) {
+  if (!*first) os << ",\n";
+  *first = false;
+  os << "{\"name\":\"" << which << "\",\"ph\":\"M\",\"pid\":" << pid;
+  if (tid >= 0) os << ",\"tid\":" << tid;
+  os << ",\"args\":{\"name\":\"" << name << "\"}}";
+}
+
+}  // namespace
+
+const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kChunkEnqueue: return "chunk_enqueue";
+    case EventKind::kChunkDequeue: return "chunk_dequeue";
+    case EventKind::kBandService: return "band_service";
+    case EventKind::kHtbGreen: return "htb_green";
+    case EventKind::kHtbYellow: return "htb_yellow";
+    case EventKind::kOverlimit: return "overlimit";
+    case EventKind::kRotation: return "rotation";
+    case EventKind::kBandAssign: return "band_assign";
+    case EventKind::kBarrierEnter: return "barrier_enter";
+    case EventKind::kBarrierRelease: return "barrier_release";
+    case EventKind::kStragglerLag: return "straggler_lag";
+    case EventKind::kGaugeSample: return "gauge_sample";
+  }
+  return "?";
+}
+
+std::string chrome_trace_json(const Tracer& tracer) {
+  const std::vector<TraceEvent>& events = tracer.events();
+
+  // Collect the tracks actually used so metadata stays minimal and ordered.
+  std::vector<int> hosts;
+  std::vector<int> jobs;
+  bool ctrl = false;
+  for (const TraceEvent& e : events) {
+    Track t = track_for(e);
+    if (t.pid == kNetPid) {
+      hosts.push_back(t.tid);
+    } else if (t.pid == kJobsPid) {
+      jobs.push_back(t.tid);
+    } else {
+      ctrl = true;
+    }
+  }
+  auto uniq = [](std::vector<int>& v) {
+    std::sort(v.begin(), v.end());
+    v.erase(std::unique(v.begin(), v.end()), v.end());
+  };
+  uniq(hosts);
+  uniq(jobs);
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[\n";
+  bool first = true;
+  if (!hosts.empty()) {
+    append_metadata(os, kNetPid, -1, "process_name", "net", &first);
+    for (int h : hosts) {
+      append_metadata(os, kNetPid, h, "thread_name",
+                      "host " + std::to_string(h) + " nic", &first);
+    }
+  }
+  if (!jobs.empty()) {
+    append_metadata(os, kJobsPid, -1, "process_name", "jobs", &first);
+    for (int j : jobs) {
+      append_metadata(os, kJobsPid, j, "thread_name",
+                      "job " + std::to_string(j), &first);
+    }
+  }
+  if (ctrl) {
+    append_metadata(os, kCtrlPid, -1, "process_name", "tensorlights", &first);
+    append_metadata(os, kCtrlPid, 0, "thread_name", "controller", &first);
+  }
+
+  for (const TraceEvent& e : events) {
+    if (!first) os << ",\n";
+    first = false;
+    Track t = track_for(e);
+    if (e.kind == EventKind::kBarrierRelease && e.dur > 0) {
+      // Render the barrier wait as a duration span ending at release time.
+      TraceEvent span = e;
+      span.at = e.at - e.dur;
+      append_common(os, span, t, "X");
+      os << ",\"dur\":" << ts_us(e.dur);
+      append_args(os, e);
+      os << '}';
+      continue;
+    }
+    append_common(os, e, t, "i");
+    os << ",\"s\":\"t\"";
+    append_args(os, e);
+    os << '}';
+  }
+  os << "\n],\"displayTimeUnit\":\"ms\"}\n";
+  return os.str();
+}
+
+std::string trace_csv(const Tracer& tracer) {
+  std::ostringstream os;
+  os << "at_ns,kind,cat,host,job,band,flow,bytes,a,b,dur_ns\n";
+  for (const TraceEvent& e : tracer.events()) {
+    os << e.at << ',' << to_string(e.kind) << ',' << to_string(e.cat) << ','
+       << e.host << ',' << e.job << ',' << e.band << ',' << e.flow << ','
+       << e.bytes << ',' << e.a << ',' << e.b << ',' << e.dur << '\n';
+  }
+  return os.str();
+}
+
+}  // namespace tls::obs

@@ -1,0 +1,285 @@
+#include "obs/trace.hpp"
+
+#include "obs/metrics_registry.hpp"
+
+namespace tls::obs {
+
+namespace {
+
+struct CatName {
+  Cat cat;
+  const char* name;
+};
+
+// Ordered to match the Cat bit layout; also the canonical listing order in
+// error messages and docs.
+constexpr CatName kCatNames[] = {
+    {Cat::kChunk, "chunk"},        {Cat::kQdisc, "qdisc"},
+    {Cat::kHtb, "htb"},            {Cat::kRotation, "rotation"},
+    {Cat::kBarrier, "barrier"},    {Cat::kStraggler, "straggler"},
+    {Cat::kSample, "sample"},
+};
+
+}  // namespace
+
+const char* to_string(Cat cat) {
+  for (const CatName& cn : kCatNames) {
+    if (cn.cat == cat) return cn.name;
+  }
+  return "?";
+}
+
+bool parse_categories(const std::string& text, std::uint32_t* mask,
+                      std::string* error) {
+  std::uint32_t out = 0;
+  std::size_t start = 0;
+  bool saw_token = false;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    std::size_t end = comma == std::string::npos ? text.size() : comma;
+    std::string tok = text.substr(start, end - start);
+    // Trim surrounding spaces.
+    while (!tok.empty() && tok.front() == ' ') tok.erase(tok.begin());
+    while (!tok.empty() && tok.back() == ' ') tok.pop_back();
+    if (!tok.empty()) {
+      saw_token = true;
+      if (tok == "all") {
+        out |= kAllCats;
+      } else if (tok == "none") {
+        // Explicitly contributes no bits; lets "--trace-filter none" mean
+        // "trace file requested but empty" for overhead measurement.
+      } else {
+        bool found = false;
+        for (const CatName& cn : kCatNames) {
+          if (tok == cn.name) {
+            out |= static_cast<std::uint32_t>(cn.cat);
+            found = true;
+            break;
+          }
+        }
+        if (!found) {
+          if (error != nullptr) {
+            std::string known;
+            for (const CatName& cn : kCatNames) {
+              if (!known.empty()) known += ",";
+              known += cn.name;
+            }
+            *error = "unknown trace category '" + tok + "' (expected all, none, or a comma list of " + known + ")";
+          }
+          return false;
+        }
+      }
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (!saw_token) {
+    if (error != nullptr) *error = "empty trace category filter";
+    return false;
+  }
+  *mask = out;
+  return true;
+}
+
+void Tracer::push(const TraceEvent& e) {
+  if (max_events_ != 0 && events_.size() >= max_events_) {
+    ++dropped_;
+    return;
+  }
+  events_.push_back(e);
+}
+
+void Tracer::chunk_enqueue(sim::Time at, std::int32_t host, std::int32_t band,
+                           std::int64_t flow, std::int64_t bytes) {
+  if (registry_ != nullptr) {
+    registry_->counter("chunks_enqueued", host, -1, band).add(1);
+  }
+  if (!enabled(Cat::kChunk)) return;
+  TraceEvent e;
+  e.at = at;
+  e.kind = EventKind::kChunkEnqueue;
+  e.cat = Cat::kChunk;
+  e.host = host;
+  e.band = band;
+  e.flow = flow;
+  e.bytes = bytes;
+  push(e);
+}
+
+void Tracer::chunk_dequeue(sim::Time at, std::int32_t host, std::int32_t band,
+                           std::int64_t flow, std::int64_t bytes,
+                           sim::Time queue_wait) {
+  if (registry_ != nullptr) {
+    registry_->counter("bytes_drained", host, -1, band).add(bytes);
+    registry_->histogram("queue_wait_ns", host, -1, band).record(queue_wait);
+  }
+  if (!enabled(Cat::kChunk)) return;
+  TraceEvent e;
+  e.at = at;
+  e.kind = EventKind::kChunkDequeue;
+  e.cat = Cat::kChunk;
+  e.host = host;
+  e.band = band;
+  e.flow = flow;
+  e.bytes = bytes;
+  e.a = queue_wait;
+  push(e);
+}
+
+void Tracer::band_service(sim::Time at, std::int32_t host, std::int32_t band,
+                          std::int64_t bytes) {
+  if (registry_ != nullptr) {
+    registry_->counter("band_services", host, -1, band).add(1);
+  }
+  if (!enabled(Cat::kQdisc)) return;
+  TraceEvent e;
+  e.at = at;
+  e.kind = EventKind::kBandService;
+  e.cat = Cat::kQdisc;
+  e.host = host;
+  e.band = band;
+  e.bytes = bytes;
+  push(e);
+}
+
+void Tracer::htb_send(sim::Time at, std::int32_t host, std::int32_t band,
+                      std::int64_t bytes, bool borrowed) {
+  if (registry_ != nullptr) {
+    registry_->counter(borrowed ? "htb_yellow_bytes" : "htb_green_bytes",
+                       host, -1, band)
+        .add(bytes);
+  }
+  if (!enabled(Cat::kHtb)) return;
+  TraceEvent e;
+  e.at = at;
+  e.kind = borrowed ? EventKind::kHtbYellow : EventKind::kHtbGreen;
+  e.cat = Cat::kHtb;
+  e.host = host;
+  e.band = band;
+  e.bytes = bytes;
+  push(e);
+}
+
+void Tracer::overlimit(sim::Time at, std::int32_t host, sim::Time retry_at) {
+  if (registry_ != nullptr) {
+    registry_->counter("overlimits", host, -1, -1).add(1);
+    registry_->histogram("overlimit_stall_ns", host, -1, -1)
+        .record(retry_at > at ? retry_at - at : 0);
+  }
+  if (!enabled(Cat::kHtb)) return;
+  TraceEvent e;
+  e.at = at;
+  e.kind = EventKind::kOverlimit;
+  e.cat = Cat::kHtb;
+  e.host = host;
+  e.a = retry_at;
+  push(e);
+}
+
+void Tracer::rotation(sim::Time at, std::int64_t offset) {
+  if (registry_ != nullptr) {
+    registry_->counter("rotations", -1, -1, -1).add(1);
+  }
+  if (!enabled(Cat::kRotation)) return;
+  TraceEvent e;
+  e.at = at;
+  e.kind = EventKind::kRotation;
+  e.cat = Cat::kRotation;
+  e.a = offset;
+  push(e);
+}
+
+void Tracer::band_assign(sim::Time at, std::int32_t host, std::int32_t job,
+                         std::int32_t band) {
+  if (registry_ != nullptr) {
+    registry_->counter("band_assigns", host, job, band).add(1);
+  }
+  if (!enabled(Cat::kRotation)) return;
+  TraceEvent e;
+  e.at = at;
+  e.kind = EventKind::kBandAssign;
+  e.cat = Cat::kRotation;
+  e.host = host;
+  e.job = job;
+  e.band = band;
+  push(e);
+}
+
+void Tracer::barrier_enter(sim::Time at, std::int32_t job,
+                           std::int32_t worker) {
+  if (!enabled(Cat::kBarrier)) return;
+  TraceEvent e;
+  e.at = at;
+  e.kind = EventKind::kBarrierEnter;
+  e.cat = Cat::kBarrier;
+  e.job = job;
+  e.a = worker;
+  push(e);
+}
+
+void Tracer::barrier_release(sim::Time at, std::int32_t job,
+                             std::int32_t worker, sim::Time wait) {
+  if (registry_ != nullptr) {
+    registry_->histogram("barrier_wait_ns", -1, job, -1).record(wait);
+  }
+  if (!enabled(Cat::kBarrier)) return;
+  TraceEvent e;
+  e.at = at;
+  e.kind = EventKind::kBarrierRelease;
+  e.cat = Cat::kBarrier;
+  e.job = job;
+  e.a = worker;
+  e.dur = wait;
+  push(e);
+}
+
+void Tracer::straggler_lag(sim::Time at, std::int32_t job,
+                           std::int64_t iteration, sim::Time lag) {
+  if (registry_ != nullptr) {
+    registry_->histogram("straggler_lag_ns", -1, job, -1).record(lag);
+  }
+  if (!enabled(Cat::kStraggler)) return;
+  TraceEvent e;
+  e.at = at;
+  e.kind = EventKind::kStragglerLag;
+  e.cat = Cat::kStraggler;
+  e.job = job;
+  e.a = iteration;
+  e.b = lag;
+  push(e);
+}
+
+void Tracer::gauge_sample(sim::Time at, const std::string& name,
+                          std::int32_t host, std::int32_t job, double value) {
+  if (registry_ != nullptr) {
+    registry_->gauge(name, host, job, -1).set(value);
+    registry_->record(at, name, host, job, -1, value);
+  }
+  if (!enabled(Cat::kSample)) return;
+  TraceEvent e;
+  e.at = at;
+  e.kind = EventKind::kGaugeSample;
+  e.cat = Cat::kSample;
+  e.host = host;
+  e.job = job;
+  // The sampled value, truncated; the registry keeps full precision.
+  e.a = static_cast<std::int64_t>(value);
+  push(e);
+}
+
+std::string per_run_path(const std::string& base, const std::string& label) {
+  if (base.empty() || label.empty()) return base;
+  std::string safe = label;
+  for (char& c : safe) {
+    if (c == '/' || c == '\\' || c == ' ') c = '-';
+  }
+  std::size_t slash = base.find_last_of('/');
+  std::size_t dot = base.find_last_of('.');
+  if (dot == std::string::npos ||
+      (slash != std::string::npos && dot < slash)) {
+    return base + "." + safe;
+  }
+  return base.substr(0, dot) + "." + safe + base.substr(dot);
+}
+
+}  // namespace tls::obs

@@ -1,0 +1,165 @@
+// tls::obs — structured simulation tracing.
+//
+// A Tracer is the per-simulation observability sink: typed trace events
+// (chunk enqueue/dequeue, qdisc band service, htb green/yellow borrowing,
+// TLs-RR rotations, barrier enter/release, straggler-lag samples) plus an
+// optional metrics Registry the same emission sites feed. Components reach
+// it through Simulator::tracer() — a single pointer load — so a run with no
+// tracer attached pays one null check per emission site, and building with
+// -DTLS_OBS=OFF compiles the sites out entirely (TLS_OBS_DISABLED).
+//
+// Determinism contract (DESIGN.md "Observability"): every event is stamped
+// with *simulation* time passed in by the emitter, events are appended in
+// emission order by the single-threaded event loop, and the exporters
+// format integers only — so trace files are byte-identical across repeated
+// seeded runs and across serial vs parallel (tls::runtime) execution.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "simcore/time.hpp"
+
+namespace tls::obs {
+
+class Registry;
+
+/// Event categories, usable as a bitmask filter (--trace-filter).
+enum class Cat : std::uint32_t {
+  kChunk = 1u << 0,      ///< chunk enqueue/dequeue at a host egress NIC
+  kQdisc = 1u << 1,      ///< discipline-level band service decisions
+  kHtb = 1u << 2,        ///< htb green/yellow sends and overlimit stalls
+  kRotation = 1u << 3,   ///< TLs-RR rotations and per-job band assignment
+  kBarrier = 1u << 4,    ///< synchronous-barrier enter/release spans
+  kStraggler = 1u << 5,  ///< per-iteration straggler-lag samples
+  kSample = 1u << 6,     ///< periodic gauge samples (queue depth, lag)
+};
+
+/// Every category enabled.
+inline constexpr std::uint32_t kAllCats = 0x7f;
+
+/// Stable lower-case name of a category ("chunk", "htb", ...).
+const char* to_string(Cat cat);
+
+/// Parses a category filter: comma-separated names, "all", or "none".
+/// Returns false and sets *error on an unknown name.
+bool parse_categories(const std::string& text, std::uint32_t* mask,
+                      std::string* error);
+
+/// What happened. Order is part of the trace-CSV schema; append only.
+enum class EventKind : std::uint8_t {
+  kChunkEnqueue = 0,   ///< chunk admitted to an egress qdisc
+  kChunkDequeue = 1,   ///< chunk picked for the wire (a = queue wait ns)
+  kBandService = 2,    ///< discipline served `band` (prio/pfifo/pfifo_fast)
+  kHtbGreen = 3,       ///< htb sent at assured rate
+  kHtbYellow = 4,      ///< htb sent by borrowing from the root (yellow)
+  kOverlimit = 5,      ///< rate limiter stalled the port (a = retry time ns)
+  kRotation = 6,       ///< TLs-RR rotation tick (a = rotation offset)
+  kBandAssign = 7,     ///< controller steered `job` into `band` on `host`
+  kBarrierEnter = 8,   ///< worker (a) entered the barrier
+  kBarrierRelease = 9, ///< worker (a) exited; dur = wait span
+  kStragglerLag = 10,  ///< iteration (a) wait spread max-min (b = lag ns)
+  kGaugeSample = 11,   ///< periodic sample (a = value), named via band/b
+};
+
+/// One fixed-size trace record. Field meaning depends on `kind`; `a` and
+/// `b` are kind-specific payloads documented on EventKind.
+struct TraceEvent {
+  sim::Time at = 0;
+  EventKind kind = EventKind::kChunkEnqueue;
+  Cat cat = Cat::kChunk;
+  std::int32_t host = -1;
+  std::int32_t job = -1;
+  std::int32_t band = -1;
+  std::int64_t flow = 0;
+  std::int64_t bytes = 0;
+  std::int64_t a = 0;
+  std::int64_t b = 0;
+  sim::Time dur = 0;
+};
+
+/// Per-simulation observability sink: an append-only event log behind a
+/// category mask, plus an optional metrics Registry fed by the same typed
+/// emission methods. Single-threaded by contract, like everything else
+/// inside one simulation.
+class Tracer {
+ public:
+  explicit Tracer(std::uint32_t categories = kAllCats) : mask_(categories) {}
+
+  Tracer(const Tracer&) = delete;
+  Tracer& operator=(const Tracer&) = delete;
+
+  /// True when `cat` events are being recorded.
+  bool enabled(Cat cat) const {
+    return (mask_ & static_cast<std::uint32_t>(cat)) != 0;
+  }
+  /// True when any emission site has work to do (events or metrics).
+  bool active() const { return mask_ != 0 || registry_ != nullptr; }
+
+  std::uint32_t categories() const { return mask_; }
+  void set_categories(std::uint32_t mask) { mask_ = mask; }
+
+  /// Attaches a metrics registry; emission sites then update counters and
+  /// histograms even for categories filtered out of the event log.
+  void set_registry(Registry* registry) { registry_ = registry; }
+  Registry* registry() const { return registry_; }
+
+  /// Caps the event log (0 = unlimited). Events past the cap are counted
+  /// in dropped() instead of stored, so a runaway trace degrades instead
+  /// of exhausting memory.
+  void set_max_events(std::size_t cap) { max_events_ = cap; }
+  std::uint64_t dropped() const { return dropped_; }
+
+  const std::vector<TraceEvent>& events() const { return events_; }
+  std::size_t size() const { return events_.size(); }
+
+  // --- typed emission sites (hot path: check enabled() before calling) ---
+
+  void chunk_enqueue(sim::Time at, std::int32_t host, std::int32_t band,
+                     std::int64_t flow, std::int64_t bytes);
+  void chunk_dequeue(sim::Time at, std::int32_t host, std::int32_t band,
+                     std::int64_t flow, std::int64_t bytes,
+                     sim::Time queue_wait);
+  void band_service(sim::Time at, std::int32_t host, std::int32_t band,
+                    std::int64_t bytes);
+  void htb_send(sim::Time at, std::int32_t host, std::int32_t band,
+                std::int64_t bytes, bool borrowed);
+  void overlimit(sim::Time at, std::int32_t host, sim::Time retry_at);
+  void rotation(sim::Time at, std::int64_t offset);
+  void band_assign(sim::Time at, std::int32_t host, std::int32_t job,
+                   std::int32_t band);
+  void barrier_enter(sim::Time at, std::int32_t job, std::int32_t worker);
+  void barrier_release(sim::Time at, std::int32_t job, std::int32_t worker,
+                       sim::Time wait);
+  void straggler_lag(sim::Time at, std::int32_t job, std::int64_t iteration,
+                     sim::Time lag);
+  /// Periodic gauge sample; also recorded as a registry timeseries point
+  /// under `name` when a registry is attached.
+  void gauge_sample(sim::Time at, const std::string& name, std::int32_t host,
+                    std::int32_t job, double value);
+
+ private:
+  void push(const TraceEvent& e);
+
+  std::uint32_t mask_;
+  Registry* registry_ = nullptr;
+  std::size_t max_events_ = 0;
+  std::uint64_t dropped_ = 0;
+  std::vector<TraceEvent> events_;
+};
+
+/// Derives a per-run artifact path by inserting `.label` before the final
+/// extension ("out/t.json", "seed3" -> "out/t.seed3.json"; '/' in labels
+/// becomes '-' so sweep labels like "p3/tls-rr" stay single files).
+std::string per_run_path(const std::string& base, const std::string& label);
+
+}  // namespace tls::obs
+
+// Emission-site guard: evaluates to false (and lets the compiler drop the
+// branch) when observability is compiled out with -DTLS_OBS=OFF.
+#if defined(TLS_OBS_DISABLED)
+#define TLS_OBS_ACTIVE(tracer) false
+#else
+#define TLS_OBS_ACTIVE(tracer) ((tracer) != nullptr && (tracer)->active())
+#endif

@@ -125,6 +125,10 @@ bool decode_summary(Reader* r, const char* name, metrics::Summary* s) {
 
 }  // namespace
 
+// ExperimentConfig::obs is deliberately absent from the encoding:
+// observability artifacts never influence the simulation result, and
+// RunSet bypasses the cache for obs-enabled runs (a hit would skip the
+// artifact writes).
 std::string canonical_config(const exp::ExperimentConfig& c) {
   Writer w;
   w.kv("schema", kResultSchema);

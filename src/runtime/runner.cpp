@@ -8,6 +8,7 @@
 #include <memory>
 #include <mutex>
 
+#include "obs/trace.hpp"
 #include "runtime/result_cache.hpp"
 #include "runtime/thread_pool.hpp"
 
@@ -153,15 +154,33 @@ RunReport RunSet::run(const RunPlan& plan) {
     cache = std::make_unique<ResultCache>(options_.cache_dir);
   }
 
+  // Multi-entry plans derive per-run artifact paths (trace.json ->
+  // trace.<label>.json) so parallel runs never share an output file; a
+  // single-entry plan keeps the caller's exact paths.
+  std::vector<exp::ExperimentConfig> configs;
+  configs.reserve(n);
+  for (const RunPlan::Entry& e : plan.entries) {
+    exp::ExperimentConfig c = e.config;
+    if (n > 1 && c.obs.any()) {
+      c.obs.trace_path = obs::per_run_path(c.obs.trace_path, e.label);
+      c.obs.trace_csv_path = obs::per_run_path(c.obs.trace_csv_path, e.label);
+      c.obs.metrics_path = obs::per_run_path(c.obs.metrics_path, e.label);
+    }
+    configs.push_back(std::move(c));
+  }
+
   Progress progress(n, options_.progress, options_.progress_stream);
 
-  // Cache pass: fill hits in place, collect the misses to execute.
+  // Cache pass: fill hits in place, collect the misses to execute. Runs
+  // that emit observability artifacts bypass the cache entirely — a hit
+  // would return the result without ever writing the trace/metrics files
+  // (the cache key deliberately ignores obs options).
   std::vector<std::size_t> misses;
   misses.reserve(n);
   for (std::size_t i = 0; i < n; ++i) {
-    if (cache != nullptr) {
+    if (cache != nullptr && !configs[i].obs.any()) {
       if (std::optional<exp::ExperimentResult> hit =
-              cache->load(plan.entries[i].config)) {
+              cache->load(configs[i])) {
         report.results[i] = std::move(*hit);
         ++report.cache_hits;
         progress.tick(plan.entries[i].label, /*cached=*/true);
@@ -187,8 +206,9 @@ RunReport RunSet::run(const RunPlan& plan) {
   auto run_one = [&](std::size_t i) {
     const RunPlan::Entry& entry = plan.entries[i];
     try {
-      exp::ExperimentResult result = exp::run_experiment(entry.config);
-      if (cache != nullptr && cache->store(entry.config, result)) {
+      exp::ExperimentResult result = exp::run_experiment(configs[i]);
+      if (cache != nullptr && !configs[i].obs.any() &&
+          cache->store(configs[i], result)) {
         std::lock_guard<std::mutex> lock(state_mu);
         ++stores;
       }

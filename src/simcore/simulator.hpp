@@ -13,6 +13,10 @@
 #include "simcore/rng.hpp"
 #include "simcore/time.hpp"
 
+namespace tls::obs {
+class Tracer;
+}  // namespace tls::obs
+
 namespace tls::sim {
 
 /// Discrete-event simulation driver.
@@ -61,11 +65,19 @@ class Simulator {
   /// feedback loops in tests). 0 disables the cap (default).
   void set_event_limit(std::uint64_t limit) { event_limit_ = limit; }
 
+  /// Observability hook. The simulator only carries the pointer (forward
+  /// declaration — no dependency on src/obs); components fetch it at
+  /// construction/wiring time and guard every emission with
+  /// TLS_OBS_ACTIVE. Null (the default) means "no observability".
+  obs::Tracer* tracer() const { return tracer_; }
+  void set_tracer(obs::Tracer* tracer) { tracer_ = tracer; }
+
  private:
   EventQueue queue_;
   Time now_ = 0;
   std::uint64_t dispatched_ = 0;
   std::uint64_t event_limit_ = 0;
+  obs::Tracer* tracer_ = nullptr;
   Rng rng_;
 };
 

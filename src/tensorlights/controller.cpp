@@ -6,6 +6,7 @@
 #include <sstream>
 #include <stdexcept>
 
+#include "obs/trace.hpp"
 #include "simcore/log.hpp"
 
 namespace tls::core {
@@ -210,6 +211,9 @@ void Controller::install_filters(net::HostId host) {
     const ManagedJob& job = state.jobs[static_cast<std::size_t>(i)];
     int band = band_for_rank(ranks[static_cast<std::size_t>(i)], n,
                              config_.max_bands);
+    if (TLS_OBS_ACTIVE(sim_.tracer())) {
+      sim_.tracer()->band_assign(sim_.now(), host, job.job_id, band);
+    }
     for (const ManagedShard& shard : job.shards) {
       std::ostringstream cmd;
       cmd << "tc filter add dev " << dev << " parent 1: pref "
@@ -245,6 +249,10 @@ void Controller::install_gradient_filters() {
 void Controller::rotate() {
   ++rotation_offset_;
   ++rotations_;
+  if (TLS_OBS_ACTIVE(sim_.tracer())) {
+    sim_.tracer()->rotation(sim_.now(),
+                            static_cast<std::int64_t>(rotation_offset_));
+  }
   for (const auto& [host, state] : hosts_) {
     // Only hosts with actual contention need re-ranking; single-PS hosts
     // keep their lone filter (the paper limits tc churn the same way).

@@ -31,6 +31,24 @@ TEST(Table, CsvOutput) {
   EXPECT_EQ(t.csv(), "x,y\n1,2\n3,4\n");
 }
 
+TEST(Table, CsvQuotesSpecialCells) {
+  // RFC 4180: commas, quotes, and newlines force quoting; embedded quotes
+  // double. Plain cells stay unquoted.
+  Table t({"label", "note"});
+  t.add_row({"p3/tls-rr", "mean, of 5 runs"});
+  t.add_row({"say \"hi\"", "line1\nline2"});
+  EXPECT_EQ(t.csv(),
+            "label,note\n"
+            "p3/tls-rr,\"mean, of 5 runs\"\n"
+            "\"say \"\"hi\"\"\",\"line1\nline2\"\n");
+}
+
+TEST(Table, CsvQuotesHeaderCells) {
+  Table t({"a,b", "c"});
+  t.add_row({"1", "2"});
+  EXPECT_EQ(t.csv(), "\"a,b\",c\n1,2\n");
+}
+
 TEST(Table, StreamOperator) {
   Table t({"h"});
   t.add_row({"v"});

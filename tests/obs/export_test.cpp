@@ -1,0 +1,101 @@
+// Exporter unit tests: exact Chrome trace-event JSON and trace CSV for a
+// hand-built event sequence. These pin the byte-level format — the
+// integration golden test then pins a whole simulated scenario.
+#include "obs/export.hpp"
+
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "obs/trace.hpp"
+
+namespace tls::obs {
+namespace {
+
+TEST(ChromeTrace, EmptyTracerIsStillValidDocument) {
+  Tracer t;
+  EXPECT_EQ(chrome_trace_json(t),
+            "{\"traceEvents\":[\n\n],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+TEST(ChromeTrace, RendersTracksInstantsAndSpansExactly) {
+  Tracer t;
+  t.chunk_enqueue(1500, 0, 1, 42, 1000);
+  t.chunk_dequeue(2500, 0, 1, 42, 1000, 1000);
+  // A 2 ms barrier wait ending at t=5 ms renders as an "X" span starting
+  // at the enter time.
+  t.barrier_release(5'000'000, 1, 0, 2'000'000);
+  t.rotation(7000, 2);
+  EXPECT_EQ(
+      chrome_trace_json(t),
+      "{\"traceEvents\":[\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":1,"
+      "\"args\":{\"name\":\"net\"}},\n"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"host 0 nic\"}},\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":2,"
+      "\"args\":{\"name\":\"jobs\"}},\n"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":2,\"tid\":1,"
+      "\"args\":{\"name\":\"job 1\"}},\n"
+      "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":3,"
+      "\"args\":{\"name\":\"tensorlights\"}},\n"
+      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":3,\"tid\":0,"
+      "\"args\":{\"name\":\"controller\"}},\n"
+      "{\"name\":\"chunk_enqueue\",\"cat\":\"chunk\",\"ph\":\"i\","
+      "\"ts\":1.500,\"pid\":1,\"tid\":0,\"s\":\"t\","
+      "\"args\":{\"band\":1,\"flow\":42,\"bytes\":1000}},\n"
+      "{\"name\":\"chunk_dequeue\",\"cat\":\"chunk\",\"ph\":\"i\","
+      "\"ts\":2.500,\"pid\":1,\"tid\":0,\"s\":\"t\","
+      "\"args\":{\"band\":1,\"flow\":42,\"bytes\":1000,"
+      "\"queue_wait_ns\":1000}},\n"
+      "{\"name\":\"barrier_release\",\"cat\":\"barrier\",\"ph\":\"X\","
+      "\"ts\":3000.000,\"pid\":2,\"tid\":1,\"dur\":2000.000,"
+      "\"args\":{\"worker\":0}},\n"
+      "{\"name\":\"rotation\",\"cat\":\"rotation\",\"ph\":\"i\","
+      "\"ts\":7.000,\"pid\":3,\"tid\":0,\"s\":\"t\","
+      "\"args\":{\"offset\":2}}\n"
+      "],\"displayTimeUnit\":\"ms\"}\n");
+}
+
+TEST(ChromeTrace, MetadataCoversOnlyUsedTracks) {
+  Tracer t;
+  t.band_service(100, 3, 0, 512);
+  std::string json = chrome_trace_json(t);
+  // Host 3's NIC track is named; no jobs or controller metadata appears.
+  EXPECT_NE(json.find("\"host 3 nic\""), std::string::npos);
+  EXPECT_EQ(json.find("\"jobs\""), std::string::npos);
+  EXPECT_EQ(json.find("\"tensorlights\""), std::string::npos);
+}
+
+TEST(ChromeTrace, GaugeSamplesPickJobTrackWhenJobScoped) {
+  Tracer t;
+  t.gauge_sample(1000, "job_iteration_lag", -1, 5, 2.0);
+  t.gauge_sample(1000, "egress_backlog_bytes", 2, -1, 300.5);
+  std::string json = chrome_trace_json(t);
+  EXPECT_NE(json.find("\"job 5\""), std::string::npos);
+  EXPECT_NE(json.find("\"host 2 nic\""), std::string::npos);
+  // The instant carries the truncated value; the registry keeps precision.
+  EXPECT_NE(json.find("\"value\":300"), std::string::npos);
+}
+
+TEST(TraceCsv, RendersEveryFieldExactly) {
+  Tracer t;
+  t.chunk_enqueue(1500, 0, 1, 42, 1000);
+  t.chunk_dequeue(2500, 0, 1, 42, 1000, 1000);
+  t.barrier_release(5'000'000, 1, 0, 2'000'000);
+  t.rotation(7000, 2);
+  EXPECT_EQ(trace_csv(t),
+            "at_ns,kind,cat,host,job,band,flow,bytes,a,b,dur_ns\n"
+            "1500,chunk_enqueue,chunk,0,-1,1,42,1000,0,0,0\n"
+            "2500,chunk_dequeue,chunk,0,-1,1,42,1000,1000,0,0\n"
+            "5000000,barrier_release,barrier,-1,1,-1,0,0,0,0,2000000\n"
+            "7000,rotation,rotation,-1,-1,-1,0,0,2,0,0\n");
+}
+
+TEST(TraceCsv, EmptyTracerIsHeaderOnly) {
+  Tracer t;
+  EXPECT_EQ(trace_csv(t), "at_ns,kind,cat,host,job,band,flow,bytes,a,b,dur_ns\n");
+}
+
+}  // namespace
+}  // namespace tls::obs

@@ -1,0 +1,129 @@
+// Unit tests for the tls::obs trace layer: category parsing and filtering,
+// the event-log cap, tracer/registry coupling, and per-run artifact path
+// derivation used by tls::runtime sweeps.
+#include "obs/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include "obs/metrics_registry.hpp"
+
+namespace tls::obs {
+namespace {
+
+TEST(ParseCategories, AcceptsNamesAllAndNone) {
+  std::uint32_t mask = 0;
+  std::string err;
+  ASSERT_TRUE(parse_categories("all", &mask, &err));
+  EXPECT_EQ(mask, kAllCats);
+  ASSERT_TRUE(parse_categories("none", &mask, &err));
+  EXPECT_EQ(mask, 0u);
+  ASSERT_TRUE(parse_categories("chunk,htb", &mask, &err));
+  EXPECT_EQ(mask, static_cast<std::uint32_t>(Cat::kChunk) |
+                      static_cast<std::uint32_t>(Cat::kHtb));
+  // Spaces around tokens are shell-quoting artifacts; tolerate them.
+  ASSERT_TRUE(parse_categories(" barrier , sample ", &mask, &err));
+  EXPECT_EQ(mask, static_cast<std::uint32_t>(Cat::kBarrier) |
+                      static_cast<std::uint32_t>(Cat::kSample));
+}
+
+TEST(ParseCategories, RejectsUnknownAndEmpty) {
+  std::uint32_t mask = 0;
+  std::string err;
+  EXPECT_FALSE(parse_categories("qdsic", &mask, &err));
+  EXPECT_NE(err.find("qdsic"), std::string::npos);
+  // The error lists the known names so the CLI message is self-serve.
+  EXPECT_NE(err.find("rotation"), std::string::npos);
+  err.clear();
+  EXPECT_FALSE(parse_categories("", &mask, &err));
+  EXPECT_FALSE(err.empty());
+  EXPECT_FALSE(parse_categories(" , ,", &mask, &err));
+}
+
+TEST(ParseCategories, EveryCatRoundTripsThroughItsName) {
+  for (Cat cat : {Cat::kChunk, Cat::kQdisc, Cat::kHtb, Cat::kRotation,
+                  Cat::kBarrier, Cat::kStraggler, Cat::kSample}) {
+    std::uint32_t mask = 0;
+    ASSERT_TRUE(parse_categories(to_string(cat), &mask, nullptr));
+    EXPECT_EQ(mask, static_cast<std::uint32_t>(cat)) << to_string(cat);
+  }
+}
+
+TEST(Tracer, MaskFiltersEventLog) {
+  Tracer t(static_cast<std::uint32_t>(Cat::kBarrier));
+  t.chunk_enqueue(10, 0, 1, 42, 1000);  // filtered out
+  t.barrier_enter(20, 3, 1);            // recorded
+  ASSERT_EQ(t.size(), 1u);
+  EXPECT_EQ(t.events()[0].kind, EventKind::kBarrierEnter);
+  EXPECT_EQ(t.events()[0].at, 20);
+  EXPECT_EQ(t.events()[0].job, 3);
+  EXPECT_EQ(t.events()[0].a, 1);  // worker id rides in `a`
+}
+
+TEST(Tracer, InactiveWhenMaskEmptyAndNoRegistry) {
+  Tracer t(0);
+  EXPECT_FALSE(t.active());
+  // Attaching a registry re-activates emission even with the event log off:
+  // --metrics without --trace still needs counters updated.
+  Registry r;
+  t.set_registry(&r);
+  EXPECT_TRUE(t.active());
+}
+
+TEST(Tracer, RegistryFedEvenForFilteredCategories) {
+  Tracer t(0);
+  Registry r;
+  t.set_registry(&r);
+  t.chunk_dequeue(50, 2, 0, 7, 4096, 30);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(r.counters().at(MetricKey{"bytes_drained", 2, -1, 0}).value(),
+            4096);
+  EXPECT_EQ(r.histograms().at(MetricKey{"queue_wait_ns", 2, -1, 0}).count(),
+            1);
+}
+
+TEST(Tracer, HtbSendSplitsGreenAndYellow) {
+  Tracer t;
+  Registry r;
+  t.set_registry(&r);
+  t.htb_send(1, 0, 2, 100, /*borrowed=*/false);
+  t.htb_send(2, 0, 2, 250, /*borrowed=*/true);
+  ASSERT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.events()[0].kind, EventKind::kHtbGreen);
+  EXPECT_EQ(t.events()[1].kind, EventKind::kHtbYellow);
+  EXPECT_EQ(r.counters().at(MetricKey{"htb_green_bytes", 0, -1, 2}).value(),
+            100);
+  EXPECT_EQ(r.counters().at(MetricKey{"htb_yellow_bytes", 0, -1, 2}).value(),
+            250);
+}
+
+TEST(Tracer, EventCapCountsDrops) {
+  Tracer t;
+  t.set_max_events(2);
+  t.rotation(1, 0);
+  t.rotation(2, 1);
+  t.rotation(3, 2);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.dropped(), 1u);
+}
+
+TEST(PerRunPath, InsertsLabelBeforeExtension) {
+  EXPECT_EQ(per_run_path("out/trace.json", "seed3"), "out/trace.seed3.json");
+  EXPECT_EQ(per_run_path("metrics.csv", "fifo"), "metrics.fifo.csv");
+}
+
+TEST(PerRunPath, SanitizesLabelSeparators) {
+  // Sweep labels like "p3/tls-rr" must stay a single file, not a subdir.
+  EXPECT_EQ(per_run_path("out/t.json", "p3/tls-rr"), "out/t.p3-tls-rr.json");
+  EXPECT_EQ(per_run_path("t.json", "a b\\c"), "t.a-b-c.json");
+}
+
+TEST(PerRunPath, HandlesExtensionlessAndDottedDirs) {
+  EXPECT_EQ(per_run_path("out/trace", "x"), "out/trace.x");
+  // The dot in a directory name is not an extension.
+  EXPECT_EQ(per_run_path("out.d/trace", "x"), "out.d/trace.x");
+  EXPECT_EQ(per_run_path("", "x"), "");
+  EXPECT_EQ(per_run_path("t.json", ""), "t.json");
+}
+
+}  // namespace
+}  // namespace tls::obs

@@ -106,6 +106,27 @@ TEST(TlsLint, CatchesBeginIterationViaCompanionHeaderDecl) {
   EXPECT_TRUE(has_rule(findings, "unordered-iteration"));
 }
 
+TEST(TlsLint, ObsDirIsHotPathForUnorderedIteration) {
+  // Exporter iteration order feeds byte-identical trace/metrics files, so
+  // src/obs gets the same scrutiny as the simulator hot paths.
+  std::string src =
+      "std::unordered_map<int, long> counters_;\n"
+      "void dump() {\n"
+      "  for (auto& [k, v] : counters_) { emit(k, v); }\n"
+      "}\n";
+  auto findings = lint_source("obs/bad.cpp", src);
+  ASSERT_TRUE(has_rule(findings, "unordered-iteration"))
+      << format_findings(findings);
+  EXPECT_EQ(line_of(findings, "unordered-iteration"), 3);
+  // Nested path form, and .begin() via a companion-header declaration.
+  auto nested = lint_source("src/obs/bad.cpp", src);
+  EXPECT_TRUE(has_rule(nested, "unordered-iteration"));
+  auto begin = lint_source(
+      "obs/bad.cpp", "void f() { auto it = counters_.begin(); use(it); }\n",
+      {"counters_"});
+  EXPECT_TRUE(has_rule(begin, "unordered-iteration"));
+}
+
 TEST(TlsLint, AllowsUnorderedIterationOutsideHotPaths) {
   std::string src =
       "std::unordered_map<int, int> index_;\n"

@@ -24,6 +24,30 @@ else
   echo "==> [2b/4] clang-tidy not installed; skipping (profile: .clang-tidy)"
 fi
 
+echo "==> [2c/4] trace smoke: tlsim --trace/--metrics under ASan"
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+./build-asan/tools/tlsim run --hosts 4 --jobs 4 --workers 3 --iters 2 \
+  --placement 1 --policy tls-rr --seed 5 \
+  --trace "$smoke_dir/trace.json" --trace-csv "$smoke_dir/trace.csv" \
+  --metrics "$smoke_dir/metrics.csv" >/dev/null
+for f in trace.json trace.csv metrics.csv; do
+  [ -s "$smoke_dir/$f" ] || { echo "missing obs artifact $f"; exit 1; }
+done
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$smoke_dir/trace.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    doc = json.load(f)
+events = doc["traceEvents"]
+assert events, "trace has no events"
+assert all("ph" in e and "pid" in e for e in events), "malformed event"
+print(f"trace OK: {len(events)} events")
+PYEOF
+else
+  echo "python3 not installed; skipping trace JSON well-formedness check"
+fi
+
 echo "==> [3/4] debug-tsan: tls::runtime pool/runner under ThreadSanitizer"
 cmake --preset debug-tsan
 cmake --build --preset debug-tsan -j "$jobs" --target test_runtime

@@ -58,10 +58,14 @@ std::vector<std::string> split_path(const std::string& path) {
   return segs;
 }
 
-/// Hot-path scoping for the unordered-iteration rule.
+/// Hot-path scoping for the unordered-iteration rule. obs/ is included
+/// because export iteration order feeds byte-identical trace/metrics files.
 bool in_hot_path_dir(const std::string& rel_path) {
   for (const std::string& seg : split_path(rel_path)) {
-    if (seg == "net" || seg == "simcore" || seg == "tensorlights") return true;
+    if (seg == "net" || seg == "simcore" || seg == "tensorlights" ||
+        seg == "obs") {
+      return true;
+    }
   }
   return false;
 }

@@ -19,9 +19,11 @@
 //   unordered-iteration range-for or .begin() iteration over a member
 //                       declared as std::unordered_map/unordered_set in the
 //                       hot-path directories (src/net, src/simcore,
-//                       src/tensorlights). Hash-order is not stable across
-//                       libstdc++ versions or pointer layouts; iterate a
-//                       sorted structure or an explicit order instead.
+//                       src/tensorlights, src/obs). Hash-order is not stable
+//                       across libstdc++ versions or pointer layouts; iterate
+//                       a sorted structure or an explicit order instead.
+//                       src/obs is hot-path because exporter iteration order
+//                       is what makes trace/metrics files byte-identical.
 //   float-time-compare  exact ==/!= comparison of to_seconds() results or
 //                       float-cast simulation times; compare integer
 //                       sim::Time values instead.
