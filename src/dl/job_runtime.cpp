@@ -90,6 +90,10 @@ void JobRuntime::send_shard_to(int ps, int worker) {
   flow.dst_port = worker_port(worker);
   flow.job_id = spec_.job_id;
   flow.kind = net::FlowKind::kModelUpdate;
+  // The broadcast that releases barrier k leaves after shard `ps` finished
+  // aggregating iteration k, i.e. after ps_iterations_ advanced to k+1; the
+  // startup broadcast (ps_iterations_ == 0) tags -1.
+  flow.iteration = ps_iterations_[static_cast<std::size_t>(ps)] - 1;
   fabric_.start_flow(flow, [this, ps, worker](const net::FlowRecord&) {
     // Burst-completion accounting runs even after the job finishes, so a
     // coordinated slot is always returned.
@@ -114,7 +118,8 @@ void JobRuntime::on_model_shard_received(int worker) {
     double wait_s = sim::to_seconds(wait);
     barrier_enter_[wi] = -1;
     if (TLS_OBS_ACTIVE(sim_.tracer())) {
-      sim_.tracer()->barrier_release(sim_.now(), spec_.job_id, worker, wait);
+      sim_.tracer()->barrier_release(sim_.now(), spec_.job_id, worker,
+                                     local_steps_[wi] - 1, wait);
     }
     if (spec_.mode == TrainingMode::kSync) {
       pending_waits_[wi] = wait_s;
@@ -145,6 +150,11 @@ void JobRuntime::start_compute(int worker) {
   sim::Time compute =
       sim::from_seconds(sim::to_seconds(spec_.base_step_time()) * noise);
   if (compute < 1) compute = 1;
+  if (TLS_OBS_ACTIVE(sim_.tracer())) {
+    sim_.tracer()->worker_compute(sim_.now(), placement_.worker_hosts[wi],
+                                  spec_.job_id, worker, local_steps_[wi],
+                                  compute);
+  }
   mark_busy(placement_.worker_hosts[wi], sim_.now(), sim_.now() + compute);
   worker_busy_[wi] += compute;
   sim_.schedule_after(compute, [this, worker] { on_compute_done(worker); });
@@ -156,7 +166,8 @@ void JobRuntime::on_compute_done(int worker) {
   ++local_steps_[wi];
   barrier_enter_[wi] = sim_.now();
   if (TLS_OBS_ACTIVE(sim_.tracer())) {
-    sim_.tracer()->barrier_enter(sim_.now(), spec_.job_id, worker);
+    sim_.tracer()->barrier_enter(sim_.now(), spec_.job_id, worker,
+                                 local_steps_[wi] - 1);
   }
 
   for (int p = 0; p < spec_.num_ps; ++p) {
@@ -168,6 +179,7 @@ void JobRuntime::on_compute_done(int worker) {
     flow.dst_port = spec_.ps_shard_port(p);
     flow.job_id = spec_.job_id;
     flow.kind = net::FlowKind::kGradientUpdate;
+    flow.iteration = local_steps_[wi] - 1;
     fabric_.start_flow(flow, [this, p, worker](const net::FlowRecord&) {
       if (spec_.mode == TrainingMode::kSync) {
         on_gradient_received(p);
@@ -175,6 +187,13 @@ void JobRuntime::on_compute_done(int worker) {
         // Async single-PS path: reply to this worker alone.
         if (finished_) return;
         sim::Time agg = spec_.ps_aggregate_per_worker;
+        if (TLS_OBS_ACTIVE(sim_.tracer())) {
+          // Async has no shared barrier; tag the span with the worker's
+          // local step instead of a sync iteration.
+          sim_.tracer()->ps_aggregate(
+              sim_.now(), placement_.ps_shard_host(0), spec_.job_id, 0,
+              local_steps_[static_cast<std::size_t>(worker)] - 1, agg);
+        }
         mark_busy(placement_.ps_shard_host(0), sim_.now(), sim_.now() + agg);
         ps_busy_ += agg;
         ++global_step_;
@@ -199,6 +218,10 @@ void JobRuntime::on_gradient_received(int ps) {
   // Aggregation work is sharded across PSes.
   sim::Time agg = spec_.ps_aggregate_per_worker * spec_.num_workers /
                   spec_.num_ps;
+  if (TLS_OBS_ACTIVE(sim_.tracer())) {
+    sim_.tracer()->ps_aggregate(sim_.now(), placement_.ps_shard_host(ps),
+                                spec_.job_id, ps, ps_iterations_[pi], agg);
+  }
   mark_busy(placement_.ps_shard_host(ps), sim_.now(), sim_.now() + agg);
   ps_busy_ += agg;
   sim_.schedule_after(agg, [this, ps] { complete_shard_barrier(ps); });

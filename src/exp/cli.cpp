@@ -90,8 +90,13 @@ derive per-run paths, e.g. trace.json -> trace.run-label.json):
   --trace PATH         Chrome trace-event JSON (Perfetto/chrome://tracing)
   --trace-csv PATH     same events in compact CSV form
   --trace-filter CATS  comma list of chunk,qdisc,htb,rotation,barrier,
-                       straggler,sample; or all (default) / none
+                       straggler,sample,flow,ingress,compute; or
+                       all (default) / none
   --metrics PATH       long-format metrics timeseries CSV
+  --report PATH        straggler-attribution report (critical-path
+                       decomposition + contention blame; tlsreport text)
+  --report-csv PATH    same report as tidy long CSV
+  --report-json PATH   same report as tlsreport-v1 JSON
 )";
 
 bool parse_policy(const std::string& s, core::PolicyKind* out) {
@@ -195,6 +200,9 @@ bool build_config(const CliArgs& args, ExperimentConfig* config,
   config->obs.trace_path = args.get("trace");
   config->obs.trace_csv_path = args.get("trace-csv");
   config->obs.metrics_path = args.get("metrics");
+  config->obs.report_path = args.get("report");
+  config->obs.report_csv_path = args.get("report-csv");
+  config->obs.report_json_path = args.get("report-json");
   std::string filter = args.get("trace-filter");
   if (!filter.empty() &&
       !obs::parse_categories(filter, &config->obs.trace_categories, error)) {

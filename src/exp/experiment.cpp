@@ -8,6 +8,7 @@
 #include "cluster/launcher.hpp"
 #include "exp/export.hpp"
 #include "metrics/util_sampler.hpp"
+#include "obs/analysis.hpp"
 #include "obs/export.hpp"
 #include "obs/metrics_registry.hpp"
 #include "simcore/simulator.hpp"
@@ -28,7 +29,11 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   std::unique_ptr<obs::Registry> registry;
   std::unique_ptr<obs::Tracer> tracer;
   if (config.obs.any()) {
-    tracer = std::make_unique<obs::Tracer>(config.obs.trace_categories);
+    std::uint32_t cats = config.obs.trace_categories;
+    // The attribution report needs the causal-event categories regardless
+    // of how narrow the user's --trace-filter is.
+    if (config.obs.report_any()) cats |= obs::kAnalysisCats;
+    tracer = std::make_unique<obs::Tracer>(cats);
     tracer->set_max_events(config.obs.max_events);
     if (!config.obs.metrics_path.empty()) {
       registry = std::make_unique<obs::Registry>();
@@ -226,6 +231,24 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
         !write_file(config.obs.metrics_path,
                     registry->timeseries_csv(simulator.now()), &err)) {
       throw std::runtime_error("metrics export failed: " + err);
+    }
+    if (config.obs.report_any()) {
+      obs::RunReport report = obs::analyze(tracer->events());
+      if (!config.obs.report_path.empty() &&
+          !write_file(config.obs.report_path, obs::report_text(report),
+                      &err)) {
+        throw std::runtime_error("report export failed: " + err);
+      }
+      if (!config.obs.report_csv_path.empty() &&
+          !write_file(config.obs.report_csv_path, obs::report_csv(report),
+                      &err)) {
+        throw std::runtime_error("report CSV export failed: " + err);
+      }
+      if (!config.obs.report_json_path.empty() &&
+          !write_file(config.obs.report_json_path, obs::report_json(report),
+                      &err)) {
+        throw std::runtime_error("report JSON export failed: " + err);
+      }
     }
   }
   return result;

@@ -30,14 +30,25 @@ struct ObsOptions {
   std::uint32_t trace_categories = obs::kAllCats;
   /// Tidy long-format metrics timeseries CSV.
   std::string metrics_path;
+  /// Straggler-attribution report (obs::analysis) in its three renderings.
+  /// Requesting any of them forces the kAnalysisCats categories into the
+  /// tracer mask, so the report never silently degrades because of a
+  /// narrow --trace-filter.
+  std::string report_path;       ///< human-readable text
+  std::string report_csv_path;   ///< tidy long CSV
+  std::string report_json_path;  ///< tlsreport-v1 JSON
   /// Period of the queue-depth / iteration-lag gauge sampler.
   sim::Time sample_period = 100 * sim::kMillisecond;
   /// Event-log cap guarding memory on big sweeps (0 = unlimited).
   std::size_t max_events = 0;
 
+  bool report_any() const {
+    return !report_path.empty() || !report_csv_path.empty() ||
+           !report_json_path.empty();
+  }
   bool any() const {
     return !trace_path.empty() || !trace_csv_path.empty() ||
-           !metrics_path.empty();
+           !metrics_path.empty() || report_any();
   }
 };
 

@@ -38,6 +38,11 @@ struct FlowSpec {
   /// Owning job, or -1 for non-job traffic.
   std::int32_t job_id = -1;
   FlowKind kind = FlowKind::kBulk;
+  /// Synchronous-barrier iteration this transfer serves (-1 = startup or
+  /// non-barrier traffic). Purely observational: stamped by the workload
+  /// onto flow/chunk trace events so obs::analysis can attribute each
+  /// chunk to the iteration whose barrier it gates.
+  std::int64_t iteration = -1;
   /// Base service weight inside a band (multiplied by the fabric's
   /// per-flow TCP-unfairness noise).
   double weight = 1.0;
@@ -55,6 +60,9 @@ struct Chunk {
   double weight = 1.0;
   /// Destination host, denormalized for the egress->ingress handoff.
   HostId dst = -1;
+  /// Owning job, denormalized from the flow spec for trace attribution
+  /// (-1 = background/non-job traffic).
+  std::int32_t job = -1;
   /// Application kind, for priomap-style disciplines (pfifo_fast) and
   /// instrumentation.
   FlowKind kind = FlowKind::kBulk;

@@ -6,6 +6,8 @@
 #include <stdexcept>
 #include <utility>
 
+#include "obs/trace.hpp"
+
 namespace tls::net {
 
 Fabric::Fabric(sim::Simulator& simulator, const FabricConfig& config)
@@ -23,6 +25,7 @@ Fabric::Fabric(sim::Simulator& simulator, const FabricConfig& config)
     egress_.back()->set_host(h);
     ingress_.push_back(std::make_unique<IngressPort>(
         sim_, config_.link_rate, [this](const Chunk& c) { on_delivered(c); }));
+    ingress_.back()->set_host(h);
   }
 }
 
@@ -53,10 +56,22 @@ FlowId Fabric::start_flow(const FlowSpec& spec, FlowCallback on_complete) {
   if (spec.bytes < 0) throw std::invalid_argument("negative flow size");
 
   FlowId id = next_flow_id_++;
+  if (TLS_OBS_ACTIVE(sim_.tracer())) {
+    sim_.tracer()->flow_start(sim_.now(), spec.src, spec.dst, spec.job_id,
+                              static_cast<std::int32_t>(spec.kind),
+                              static_cast<std::int64_t>(id), spec.bytes,
+                              spec.iteration);
+  }
   if (spec.bytes == 0) {
     // Degenerate flow: deliver "instantly" but asynchronously, preserving
     // the invariant that callbacks never run inside start_flow.
     FlowRecord rec{id, spec, sim_.now(), sim_.now()};
+    if (TLS_OBS_ACTIVE(sim_.tracer())) {
+      sim_.tracer()->flow_end(sim_.now(), spec.src, spec.dst, spec.job_id,
+                              static_cast<std::int32_t>(spec.kind),
+                              static_cast<std::int64_t>(id), spec.bytes,
+                              spec.iteration, 0);
+    }
     sim_.schedule_after(0, [cb = std::move(on_complete), rec] { cb(rec); });
     ++completed_flows_;
     return id;
@@ -96,6 +111,7 @@ void Fabric::admit(FlowId id, FlowState& flow) {
     chunk.last = (flow.next_index + 1 == flow.chunks_total);
     chunk.weight = flow.noisy_weight;
     chunk.dst = flow.spec.dst;
+    chunk.job = flow.spec.job_id;
     chunk.kind = flow.spec.kind;
     ++flow.next_index;
     egress(flow.spec.src).submit(chunk, flow.spec);
@@ -119,6 +135,14 @@ void Fabric::on_delivered(const Chunk& chunk) {
     FlowCallback cb = std::move(flow.on_complete);
     flows_.erase(it);
     ++completed_flows_;
+    if (TLS_OBS_ACTIVE(sim_.tracer())) {
+      sim_.tracer()->flow_end(sim_.now(), rec.spec.src, rec.spec.dst,
+                              rec.spec.job_id,
+                              static_cast<std::int32_t>(rec.spec.kind),
+                              static_cast<std::int64_t>(rec.id),
+                              rec.spec.bytes, rec.spec.iteration,
+                              rec.end - rec.start);
+    }
     if (cb) cb(rec);
     return;
   }

@@ -26,8 +26,9 @@ void EgressPort::submit(Chunk chunk, const FlowSpec& spec) {
   chunk.enqueued_at = sim_.now();
   submitted_bytes_ += chunk.size;
   if (TLS_OBS_ACTIVE(sim_.tracer())) {
-    sim_.tracer()->chunk_enqueue(sim_.now(), host_, chunk.band, chunk.flow,
-                                 chunk.size);
+    sim_.tracer()->chunk_enqueue(sim_.now(), host_, chunk.job, chunk.band,
+                                 static_cast<std::int64_t>(chunk.flow),
+                                 chunk.index, chunk.size);
   }
   qdisc_->enqueue(chunk);
   counters_.peak_backlog_bytes =
@@ -67,8 +68,9 @@ void EgressPort::kick() {
       busy_ = true;
       Chunk chunk = r.chunk;
       if (TLS_OBS_ACTIVE(sim_.tracer())) {
-        sim_.tracer()->chunk_dequeue(sim_.now(), host_, chunk.band,
-                                     chunk.flow, chunk.size,
+        sim_.tracer()->chunk_dequeue(sim_.now(), host_, chunk.job, chunk.band,
+                                     static_cast<std::int64_t>(chunk.flow),
+                                     chunk.index, chunk.size,
                                      sim_.now() - chunk.enqueued_at);
       }
       in_flight_bytes_ += chunk.size;
@@ -125,7 +127,13 @@ IngressPort::IngressPort(sim::Simulator& simulator, Rate rate,
 void IngressPort::arrive(const Chunk& chunk) {
   TLS_CHECK(chunk.size >= 0, "ingress arrival of negative-size chunk: ",
             chunk.size);
+  if (TLS_OBS_ACTIVE(sim_.tracer())) {
+    sim_.tracer()->ingress_arrive(sim_.now(), host_, chunk.job, chunk.band,
+                                  static_cast<std::int64_t>(chunk.flow),
+                                  chunk.index, chunk.size);
+  }
   queue_.push_back(chunk);
+  arrivals_.push_back(sim_.now());
   backlog_bytes_ += chunk.size;
   counters_.peak_backlog_bytes =
       std::max(counters_.peak_backlog_bytes, backlog_bytes_);
@@ -140,12 +148,22 @@ void IngressPort::serve_next() {
   busy_ = true;
   Chunk chunk = queue_.front();
   queue_.pop_front();
+  sim::Time arrived_at = arrivals_.front();
+  arrivals_.pop_front();
   backlog_bytes_ -= chunk.size;
   TLS_CHECK(backlog_bytes_ >= 0, "ingress backlog went negative: ",
             backlog_bytes_);
-  sim_.schedule_after(transmit_time(chunk.size, rate_), [this, chunk] {
+  sim::Time wait = sim_.now() - arrived_at;
+  sim_.schedule_after(transmit_time(chunk.size, rate_),
+                      [this, chunk, arrived_at, wait] {
     counters_.bytes += chunk.size;
     ++counters_.chunks;
+    if (TLS_OBS_ACTIVE(sim_.tracer())) {
+      sim_.tracer()->ingress_deliver(sim_.now(), host_, chunk.job, chunk.band,
+                                     static_cast<std::int64_t>(chunk.flow),
+                                     chunk.index, chunk.size, wait,
+                                     sim_.now() - arrived_at);
+    }
     on_delivered_(chunk);
     serve_next();
   });

@@ -99,13 +99,22 @@ class IngressPort {
   Bytes backlog_bytes() const { return backlog_bytes_; }
   const PortCounters& counters() const { return counters_; }
 
+  /// Declares which host this port serves (trace track identity). Called
+  /// by the Fabric at wiring time; a port left unwired traces as host -1.
+  void set_host(HostId host) { host_ = host; }
+  HostId host() const { return host_; }
+
  private:
   void serve_next();
 
   sim::Simulator& sim_;
+  HostId host_ = -1;
   Rate rate_;
   Delivered on_delivered_;
   std::deque<Chunk> queue_;
+  /// Arrival instant of each queued chunk, parallel to queue_; fan-in wait
+  /// and residence trace fields derive from these.
+  std::deque<sim::Time> arrivals_;
   Bytes backlog_bytes_ = 0;
   bool busy_ = false;
   PortCounters counters_;

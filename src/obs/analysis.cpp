@@ -1,0 +1,677 @@
+#include "obs/analysis.hpp"
+
+#include <algorithm>
+#include <map>
+#include <sstream>
+#include <tuple>
+
+namespace tls::obs {
+
+namespace {
+
+// net::FlowKind ordinals as stamped into flow events' `band` field; the
+// analysis must not depend on net/ (it also runs on offline CSVs), so the
+// two ordinals it interprets are pinned here and guarded by a test.
+constexpr std::int32_t kModelUpdateKind = 0;
+constexpr std::int32_t kGradientUpdateKind = 1;
+
+/// Per-chunk trace times gathered from the four chunk/ingress events.
+/// Missing stages stay -1 (category filtered out or chunk still in flight
+/// at end of trace).
+struct ChunkTrace {
+  sim::Time enq_at = -1;
+  sim::Time deq_at = -1;
+  sim::Time arr_at = -1;
+  sim::Time del_at = -1;
+  std::size_t enq_idx = 0;  ///< log position of the enqueue event
+  std::size_t deq_idx = 0;  ///< log position of the dequeue event
+  std::int32_t egress_host = -1;
+  std::int32_t band = -1;
+  std::int64_t bytes = 0;
+};
+
+struct FlowTrace {
+  std::int32_t src = -1;
+  std::int32_t dst = -1;
+  std::int32_t job = -1;
+  std::int32_t kind = -1;  ///< FlowKind ordinal
+  std::int64_t iteration = -1;
+  sim::Time start_at = -1;
+  sim::Time end_at = -1;
+  std::map<std::int64_t, ChunkTrace> chunks;        ///< by chunk index
+  std::map<sim::Time, std::int64_t> index_by_deliver;  ///< deliver -> index
+};
+
+struct Span {
+  sim::Time begin = 0;
+  sim::Time end = 0;
+  std::int32_t actor = -1;  ///< worker or shard id
+};
+
+struct Release {
+  sim::Time at = 0;
+  sim::Time wait = 0;
+  std::int32_t worker = -1;
+};
+
+/// Everything analyze() needs, indexed once in a single pass over the log.
+struct Index {
+  std::map<std::int64_t, FlowTrace> flows;  ///< by flow id
+  /// (job, kind, dst host, end time) -> flow id, last in log order wins.
+  std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t, sim::Time>,
+           std::int64_t>
+      flow_by_end;
+  /// (job, worker) -> host, from worker_compute emission sites.
+  std::map<std::pair<std::int32_t, std::int32_t>, std::int32_t> worker_host;
+  /// (job, host) -> compute/aggregation spans ending at key time.
+  std::map<std::tuple<std::int32_t, std::int32_t, sim::Time>, Span>
+      compute_by_end;
+  std::map<std::tuple<std::int32_t, std::int32_t, sim::Time>, Span>
+      agg_by_end;
+  /// (job, iteration) -> barrier releases in log order.
+  std::map<std::pair<std::int32_t, std::int64_t>, std::vector<Release>>
+      releases;
+};
+
+Index build_index(const std::vector<TraceEvent>& events) {
+  Index ix;
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    const TraceEvent& e = events[i];
+    switch (e.kind) {
+      case EventKind::kFlowStart: {
+        FlowTrace& f = ix.flows[e.flow];
+        f.src = e.host;
+        f.dst = static_cast<std::int32_t>(e.a);
+        f.job = e.job;
+        f.kind = e.band;
+        f.iteration = e.b;
+        f.start_at = e.at;
+        break;
+      }
+      case EventKind::kFlowEnd: {
+        FlowTrace& f = ix.flows[e.flow];
+        if (f.start_at < 0) {  // end without start (filtered/truncated)
+          f.src = e.host;
+          f.dst = static_cast<std::int32_t>(e.a);
+          f.job = e.job;
+          f.kind = e.band;
+          f.iteration = e.b;
+          f.start_at = e.at - e.dur;
+        }
+        f.end_at = e.at;
+        ix.flow_by_end[{e.job, e.band, static_cast<std::int32_t>(e.a),
+                        e.at}] = e.flow;
+        break;
+      }
+      case EventKind::kChunkEnqueue: {
+        ChunkTrace& c = ix.flows[e.flow].chunks[e.b];
+        c.enq_at = e.at;
+        c.enq_idx = i;
+        c.egress_host = e.host;
+        c.band = e.band;
+        c.bytes = e.bytes;
+        break;
+      }
+      case EventKind::kChunkDequeue: {
+        ChunkTrace& c = ix.flows[e.flow].chunks[e.b];
+        c.deq_at = e.at;
+        c.deq_idx = i;
+        c.egress_host = e.host;
+        c.band = e.band;
+        c.bytes = e.bytes;
+        break;
+      }
+      case EventKind::kIngressArrive: {
+        ix.flows[e.flow].chunks[e.b].arr_at = e.at;
+        break;
+      }
+      case EventKind::kIngressDeliver: {
+        FlowTrace& f = ix.flows[e.flow];
+        f.chunks[e.b].del_at = e.at;
+        f.index_by_deliver[e.at] = e.b;
+        break;
+      }
+      case EventKind::kWorkerCompute: {
+        ix.worker_host[{e.job, static_cast<std::int32_t>(e.a)}] = e.host;
+        ix.compute_by_end[{e.job, e.host, e.at + e.dur}] =
+            Span{e.at, e.at + e.dur, static_cast<std::int32_t>(e.a)};
+        break;
+      }
+      case EventKind::kPsAggregate: {
+        ix.agg_by_end[{e.job, e.host, e.at + e.dur}] =
+            Span{e.at, e.at + e.dur, static_cast<std::int32_t>(e.a)};
+        break;
+      }
+      case EventKind::kBarrierRelease: {
+        ix.releases[{e.job, e.b}].push_back(
+            Release{e.at, e.dur, static_cast<std::int32_t>(e.a)});
+        break;
+      }
+      default:
+        break;
+    }
+  }
+  return ix;
+}
+
+/// An egress-queueing interval on the critical path, remembered so the
+/// blame pass can scan the log window (enq_idx, deq_idx).
+struct QueueVisit {
+  std::int32_t host = -1;
+  std::int64_t victim_flow = 0;
+  std::size_t enq_idx = 0;
+  std::size_t deq_idx = 0;
+};
+
+/// Collects backward-ordered segments; clamps every interval to >= lo and
+/// coalesces nothing (renderers aggregate by kind).
+class SegmentSink {
+ public:
+  explicit SegmentSink(sim::Time lo) : lo_(lo) {}
+
+  void add(SegmentKind kind, sim::Time begin, sim::Time end,
+           std::int32_t host, std::int64_t flow) {
+    begin = std::max(begin, lo_);
+    end = std::max(end, lo_);
+    if (end <= begin) return;
+    segs_.push_back(PathSegment{kind, begin, end, host, flow});
+  }
+
+  /// Segments in forward time order.
+  std::vector<PathSegment> take() {
+    std::reverse(segs_.begin(), segs_.end());
+    return std::move(segs_);
+  }
+
+ private:
+  sim::Time lo_;
+  std::vector<PathSegment> segs_;
+};
+
+/// Decomposes the critical flow's span [start, end] into the backward
+/// chunk chain: the last-delivered chunk's fan-in / wire / egress-queue
+/// intervals, then (recursively) the chunk whose delivery admitted it,
+/// until the chain reaches the flow start. The transport admits follow-up
+/// chunks at the exact delivery instant of earlier ones, so the chain
+/// tiles the span with no gaps; anything unattributable (no chunk events,
+/// zero-byte flow) lands in `other`.
+void decompose_flow(const FlowTrace& f, sim::Time lo, SegmentSink& sink,
+                    std::vector<QueueVisit>& visits, std::int64_t flow_id) {
+  sim::Time cursor = f.end_at;
+  // Last chunk: the one delivered at flow end.
+  const ChunkTrace* c = nullptr;
+  if (!f.index_by_deliver.empty()) {
+    auto last = std::prev(f.index_by_deliver.end());
+    c = &f.chunks.at(last->second);
+  }
+  while (c != nullptr && cursor > lo) {
+    if (c->arr_at < 0 || c->deq_at < 0 || c->enq_at < 0 || c->del_at < 0) {
+      break;  // partial chunk record; leave the remainder to `other`
+    }
+    sink.add(SegmentKind::kFanIn, c->arr_at, cursor, f.dst, flow_id);
+    sink.add(SegmentKind::kSerialization, c->deq_at, c->arr_at, f.src,
+             flow_id);
+    sink.add(SegmentKind::kEgressQueue, c->enq_at, c->deq_at, f.src, flow_id);
+    if (c->deq_at > c->enq_at && c->deq_at > lo) {
+      visits.push_back(
+          QueueVisit{c->egress_host, flow_id, c->enq_idx, c->deq_idx});
+    }
+    cursor = c->enq_at;
+    if (cursor <= f.start_at || cursor <= lo) break;
+    // The chunk was admitted by the delivery of an earlier chunk at the
+    // same instant; follow it.
+    auto it = f.index_by_deliver.find(cursor);
+    if (it == f.index_by_deliver.end()) break;
+    c = &f.chunks.at(it->second);
+  }
+  // Gap between flow start and where the chunk chain bottomed out (missing
+  // chunk data, truncated trace): unattributable.
+  if (cursor > f.start_at) {
+    sink.add(SegmentKind::kOther, std::max(f.start_at, lo), cursor, f.src,
+             flow_id);
+  }
+}
+
+/// Walks the backward causal chain for one barrier window [lo, release],
+/// alternating transfer and compute links per the PS state machine:
+/// model flow <- aggregation <- gradient flow <- worker compute <- model
+/// flow of the previous iteration <- ... Every link ends exactly where the
+/// next begins (same-instant callbacks in the simulator), so the segments
+/// tile the window; when a link cannot be found the remainder is `other`.
+void walk_critical_path(const Index& ix, std::int32_t job, sim::Time lo,
+                        sim::Time release_at, std::int32_t release_host,
+                        SegmentSink& sink, std::vector<QueueVisit>& visits) {
+  enum class Phase { kModelFlow, kAggregate, kGradientFlow, kCompute };
+  Phase phase = Phase::kModelFlow;
+  std::int32_t host = release_host;
+  sim::Time cursor = release_at;
+  // The chain shortens cursor by >= 1 ns per full cycle; the bound only
+  // guards against malformed (hand-edited) traces.
+  for (int steps = 0; cursor > lo && steps < 1 << 20; ++steps) {
+    switch (phase) {
+      case Phase::kModelFlow: {
+        auto it = ix.flow_by_end.find({job, kModelUpdateKind, host, cursor});
+        if (it == ix.flow_by_end.end()) {
+          sink.add(SegmentKind::kOther, lo, cursor, host, 0);
+          return;
+        }
+        const FlowTrace& f = ix.flows.at(it->second);
+        decompose_flow(f, lo, sink, visits, it->second);
+        host = f.src;
+        cursor = std::max(f.start_at, lo);
+        phase = Phase::kAggregate;
+        break;
+      }
+      case Phase::kAggregate: {
+        // Greatest aggregation span at this host ending at or before the
+        // flow start; the gap between its end and the flow start is the
+        // coordination wait (transmission gate).
+        auto it = ix.agg_by_end.upper_bound({job, host, cursor});
+        if (it == ix.agg_by_end.begin()) {
+          sink.add(SegmentKind::kOther, lo, cursor, host, 0);
+          return;
+        }
+        --it;
+        if (std::get<0>(it->first) != job || std::get<1>(it->first) != host) {
+          sink.add(SegmentKind::kOther, lo, cursor, host, 0);
+          return;
+        }
+        const Span& agg = it->second;
+        sink.add(SegmentKind::kOther, agg.end, cursor, host, 0);
+        sink.add(SegmentKind::kCompute, agg.begin, std::min(agg.end, cursor),
+                 host, 0);
+        cursor = std::max(agg.begin, lo);
+        phase = Phase::kGradientFlow;
+        break;
+      }
+      case Phase::kGradientFlow: {
+        // Aggregation starts the instant the last gradient lands.
+        auto it =
+            ix.flow_by_end.find({job, kGradientUpdateKind, host, cursor});
+        if (it == ix.flow_by_end.end()) {
+          sink.add(SegmentKind::kOther, lo, cursor, host, 0);
+          return;
+        }
+        const FlowTrace& f = ix.flows.at(it->second);
+        decompose_flow(f, lo, sink, visits, it->second);
+        host = f.src;
+        cursor = std::max(f.start_at, lo);
+        phase = Phase::kCompute;
+        break;
+      }
+      case Phase::kCompute: {
+        // Gradient flows leave at the exact compute-done instant.
+        auto it = ix.compute_by_end.find({job, host, cursor});
+        if (it == ix.compute_by_end.end()) {
+          sink.add(SegmentKind::kOther, lo, cursor, host, 0);
+          return;
+        }
+        const Span& cs = it->second;
+        sink.add(SegmentKind::kCompute, cs.begin, cursor, host, 0);
+        cursor = std::max(cs.begin, lo);
+        // Compute started when the previous iteration's model update
+        // finished arriving at this worker host.
+        phase = Phase::kModelFlow;
+        break;
+      }
+    }
+  }
+  if (cursor > lo) sink.add(SegmentKind::kOther, lo, cursor, host, 0);
+}
+
+void accumulate(IterationReport& r) {
+  for (const PathSegment& s : r.segments) {
+    sim::Time len = s.end - s.begin;
+    switch (s.kind) {
+      case SegmentKind::kCompute: r.compute_ns += len; break;
+      case SegmentKind::kEgressQueue: r.egress_queue_ns += len; break;
+      case SegmentKind::kSerialization: r.serialization_ns += len; break;
+      case SegmentKind::kFanIn: r.fan_in_ns += len; break;
+      case SegmentKind::kOther: r.other_ns += len; break;
+    }
+  }
+}
+
+}  // namespace
+
+const char* to_string(SegmentKind kind) {
+  switch (kind) {
+    case SegmentKind::kCompute: return "compute";
+    case SegmentKind::kEgressQueue: return "egress_queue";
+    case SegmentKind::kSerialization: return "serialization";
+    case SegmentKind::kFanIn: return "fan_in";
+    case SegmentKind::kOther: return "other";
+  }
+  return "?";
+}
+
+RunReport analyze(const std::vector<TraceEvent>& events) {
+  Index ix = build_index(events);
+  RunReport report;
+  std::map<std::int32_t, JobSummary> jobs;
+
+  for (const auto& [key, rels] : ix.releases) {
+    auto [job, iteration] = key;
+    if (iteration < 0) continue;
+    // Critical worker: largest wait; first in log order breaks ties.
+    const Release* crit = &rels.front();
+    for (const Release& r : rels) {
+      if (r.wait > crit->wait) crit = &r;
+    }
+
+    IterationReport r;
+    r.job = job;
+    r.iteration = iteration;
+    r.critical_worker = crit->worker;
+    r.release_at = crit->at;
+    r.barrier_wait = crit->wait;
+    r.enter_at = crit->at - crit->wait;
+
+    std::int32_t worker_host = -1;
+    auto wh = ix.worker_host.find({job, crit->worker});
+    if (wh != ix.worker_host.end()) worker_host = wh->second;
+
+    SegmentSink sink(r.enter_at);
+    std::vector<QueueVisit> visits;
+    if (worker_host >= 0) {
+      walk_critical_path(ix, job, r.enter_at, r.release_at, worker_host, sink,
+                         visits);
+    } else {
+      sink.add(SegmentKind::kOther, r.enter_at, r.release_at, -1, 0);
+    }
+    r.segments = sink.take();
+    accumulate(r);
+
+    // Blame pass: log-order window scan per queueing visit.
+    std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t>,
+             std::int64_t>
+        blame;
+    for (const QueueVisit& v : visits) {
+      for (std::size_t i = v.enq_idx + 1; i < v.deq_idx; ++i) {
+        const TraceEvent& e = events[i];
+        if (e.kind != EventKind::kChunkDequeue) continue;
+        if (e.host != v.host) continue;
+        if (e.flow == v.victim_flow) continue;  // own pipeline, not blame
+        blame[{e.host, e.job, e.band}] += e.bytes;
+      }
+    }
+    for (const auto& [bk, bytes] : blame) {
+      r.blame.push_back(BlameEntry{std::get<0>(bk), std::get<1>(bk),
+                                   std::get<2>(bk), bytes});
+    }
+
+    JobSummary& js = jobs[job];
+    js.job = job;
+    ++js.iterations;
+    js.total_wait_ns += r.barrier_wait;
+    js.compute_ns += r.compute_ns;
+    js.egress_queue_ns += r.egress_queue_ns;
+    js.serialization_ns += r.serialization_ns;
+    js.fan_in_ns += r.fan_in_ns;
+    js.other_ns += r.other_ns;
+    for (const BlameEntry& b : r.blame) {
+      if (b.culprit_job == job) {
+        js.self_blame_bytes += b.bytes;
+      } else {
+        js.cross_job_blame_bytes += b.bytes;
+      }
+    }
+    report.iterations.push_back(std::move(r));
+  }
+
+  for (const auto& [job, js] : jobs) {
+    (void)job;
+    report.jobs.push_back(js);
+  }
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// Renderers. Integer formatting only: every value is an int64 rendered with
+// operator<<, so byte-identical output is free.
+
+namespace {
+
+/// Integer percentage of part in whole (0 when whole is 0).
+std::int64_t pct(sim::Time part, sim::Time whole) {
+  return whole > 0 ? part * 100 / whole : 0;
+}
+
+void append_iteration_row(std::ostringstream& os, const IterationReport& r) {
+  os << "  iter " << r.iteration << " worker " << r.critical_worker
+     << ": wait " << r.barrier_wait << " ns = compute " << r.compute_ns
+     << " + egress_queue " << r.egress_queue_ns << " + serialization "
+     << r.serialization_ns << " + fan_in " << r.fan_in_ns << " + other "
+     << r.other_ns << "\n";
+  for (const BlameEntry& b : r.blame) {
+    os << "    blame host " << b.host << ": job " << b.culprit_job
+       << " band " << b.culprit_band << " drained " << b.bytes
+       << " bytes ahead\n";
+  }
+}
+
+}  // namespace
+
+std::string report_text(const RunReport& report) {
+  std::ostringstream os;
+  os << "tlsreport: per-iteration critical-path attribution\n";
+  os << "jobs " << report.jobs.size() << ", iterations "
+     << report.iterations.size() << "\n";
+  for (const JobSummary& js : report.jobs) {
+    os << "\njob " << js.job << " (" << js.iterations << " iterations)\n";
+    for (const IterationReport& r : report.iterations) {
+      if (r.job == js.job) append_iteration_row(os, r);
+    }
+    os << "  total wait " << js.total_wait_ns << " ns: compute "
+       << js.compute_ns << " (" << pct(js.compute_ns, js.total_wait_ns)
+       << "%), egress_queue " << js.egress_queue_ns << " ("
+       << pct(js.egress_queue_ns, js.total_wait_ns) << "%), serialization "
+       << js.serialization_ns << " ("
+       << pct(js.serialization_ns, js.total_wait_ns) << "%), fan_in "
+       << js.fan_in_ns << " (" << pct(js.fan_in_ns, js.total_wait_ns)
+       << "%), other " << js.other_ns << " ("
+       << pct(js.other_ns, js.total_wait_ns) << "%)\n";
+    os << "  blame: cross-job " << js.cross_job_blame_bytes
+       << " bytes, self " << js.self_blame_bytes << " bytes\n";
+  }
+  return os.str();
+}
+
+std::string report_csv(const RunReport& report) {
+  std::ostringstream os;
+  os << "job,iteration,critical_worker,record,host,culprit_job,culprit_band,"
+        "metric,value\n";
+  auto seg_row = [&os](const IterationReport& r, const char* metric,
+                       sim::Time v) {
+    os << r.job << ',' << r.iteration << ',' << r.critical_worker
+       << ",segment,-1,-1,-1," << metric << ',' << v << '\n';
+  };
+  for (const IterationReport& r : report.iterations) {
+    seg_row(r, "barrier_wait_ns", r.barrier_wait);
+    seg_row(r, "compute_ns", r.compute_ns);
+    seg_row(r, "egress_queue_ns", r.egress_queue_ns);
+    seg_row(r, "serialization_ns", r.serialization_ns);
+    seg_row(r, "fan_in_ns", r.fan_in_ns);
+    seg_row(r, "other_ns", r.other_ns);
+    for (const BlameEntry& b : r.blame) {
+      os << r.job << ',' << r.iteration << ',' << r.critical_worker
+         << ",blame," << b.host << ',' << b.culprit_job << ','
+         << b.culprit_band << ",blame_bytes," << b.bytes << '\n';
+    }
+  }
+  return os.str();
+}
+
+std::string report_json(const RunReport& report) {
+  std::ostringstream os;
+  os << "{\"schema\":\"tlsreport-v1\",\"jobs\":[";
+  bool first_job = true;
+  for (const JobSummary& js : report.jobs) {
+    if (!first_job) os << ',';
+    first_job = false;
+    os << "{\"job\":" << js.job << ",\"iterations\":" << js.iterations
+       << ",\"total_wait_ns\":" << js.total_wait_ns
+       << ",\"compute_ns\":" << js.compute_ns
+       << ",\"egress_queue_ns\":" << js.egress_queue_ns
+       << ",\"serialization_ns\":" << js.serialization_ns
+       << ",\"fan_in_ns\":" << js.fan_in_ns
+       << ",\"other_ns\":" << js.other_ns
+       << ",\"cross_job_blame_bytes\":" << js.cross_job_blame_bytes
+       << ",\"self_blame_bytes\":" << js.self_blame_bytes
+       << ",\"per_iteration\":[";
+    bool first_iter = true;
+    for (const IterationReport& r : report.iterations) {
+      if (r.job != js.job) continue;
+      if (!first_iter) os << ',';
+      first_iter = false;
+      os << "{\"iteration\":" << r.iteration
+         << ",\"critical_worker\":" << r.critical_worker
+         << ",\"enter_ns\":" << r.enter_at
+         << ",\"release_ns\":" << r.release_at
+         << ",\"wait_ns\":" << r.barrier_wait
+         << ",\"compute_ns\":" << r.compute_ns
+         << ",\"egress_queue_ns\":" << r.egress_queue_ns
+         << ",\"serialization_ns\":" << r.serialization_ns
+         << ",\"fan_in_ns\":" << r.fan_in_ns
+         << ",\"other_ns\":" << r.other_ns << ",\"blame\":[";
+      bool first_blame = true;
+      for (const BlameEntry& b : r.blame) {
+        if (!first_blame) os << ',';
+        first_blame = false;
+        os << "{\"host\":" << b.host << ",\"culprit_job\":" << b.culprit_job
+           << ",\"culprit_band\":" << b.culprit_band
+           << ",\"bytes\":" << b.bytes << '}';
+      }
+      os << "]}";
+    }
+    os << "]}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+DiffReport diff_reports(const RunReport& a, const RunReport& b,
+                        const std::string& label_a,
+                        const std::string& label_b) {
+  DiffReport d;
+  d.label_a = label_a;
+  d.label_b = label_b;
+
+  std::map<std::pair<std::int32_t, std::int64_t>, DiffRow> rows;
+  auto fold = [&rows](const RunReport& r, bool is_a) {
+    for (const IterationReport& it : r.iterations) {
+      DiffRow& row = rows[{it.job, it.iteration}];
+      row.job = it.job;
+      row.iteration = it.iteration;
+      std::int64_t cross = 0;
+      for (const BlameEntry& bl : it.blame) {
+        if (bl.culprit_job != it.job) cross += bl.bytes;
+      }
+      if (is_a) {
+        row.wait_a = it.barrier_wait;
+        row.cross_blame_a = cross;
+      } else {
+        row.wait_b = it.barrier_wait;
+        row.cross_blame_b = cross;
+      }
+    }
+  };
+  fold(a, true);
+  fold(b, false);
+  for (const auto& [key, row] : rows) {
+    (void)key;
+    d.rows.push_back(row);
+  }
+
+  std::map<std::int32_t, JobDiff> jobs;
+  for (const JobSummary& js : a.jobs) {
+    JobDiff& jd = jobs[js.job];
+    jd.job = js.job;
+    jd.total_wait_a = js.total_wait_ns;
+    jd.cross_blame_a = js.cross_job_blame_bytes;
+  }
+  for (const JobSummary& js : b.jobs) {
+    JobDiff& jd = jobs[js.job];
+    jd.job = js.job;
+    jd.total_wait_b = js.total_wait_ns;
+    jd.cross_blame_b = js.cross_job_blame_bytes;
+  }
+  for (const auto& [job, jd] : jobs) {
+    (void)job;
+    d.jobs.push_back(jd);
+  }
+  return d;
+}
+
+std::string diff_text(const DiffReport& diff) {
+  std::ostringstream os;
+  os << "tlsreport diff: A=" << diff.label_a << " B=" << diff.label_b << "\n";
+  for (const JobDiff& jd : diff.jobs) {
+    os << "\njob " << jd.job << "\n";
+    for (const DiffRow& r : diff.rows) {
+      if (r.job != jd.job) continue;
+      os << "  iter " << r.iteration << ": wait " << r.wait_a << " -> "
+         << r.wait_b << " ns (delta " << (r.wait_b - r.wait_a)
+         << "), cross-job blame " << r.cross_blame_a << " -> "
+         << r.cross_blame_b << " bytes\n";
+    }
+    os << "  totals: wait " << jd.total_wait_a << " -> " << jd.total_wait_b
+       << " ns (delta " << (jd.total_wait_b - jd.total_wait_a)
+       << "), cross-job blame " << jd.cross_blame_a << " -> "
+       << jd.cross_blame_b << " bytes";
+    if (jd.cross_blame_a > 0 && jd.cross_blame_b == 0) {
+      os << " [queueing-behind-other-jobs eliminated]";
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+std::string diff_csv(const DiffReport& diff) {
+  std::ostringstream os;
+  os << "job,iteration,metric,a,b\n";
+  for (const DiffRow& r : diff.rows) {
+    os << r.job << ',' << r.iteration << ",wait_ns," << r.wait_a << ','
+       << r.wait_b << '\n';
+    os << r.job << ',' << r.iteration << ",cross_job_blame_bytes,"
+       << r.cross_blame_a << ',' << r.cross_blame_b << '\n';
+  }
+  for (const JobDiff& jd : diff.jobs) {
+    os << jd.job << ",-1,total_wait_ns," << jd.total_wait_a << ','
+       << jd.total_wait_b << '\n';
+    os << jd.job << ",-1,cross_job_blame_bytes," << jd.cross_blame_a << ','
+       << jd.cross_blame_b << '\n';
+  }
+  return os.str();
+}
+
+std::string diff_json(const DiffReport& diff) {
+  std::ostringstream os;
+  os << "{\"schema\":\"tlsreport-diff-v1\",\"a\":\"" << diff.label_a
+     << "\",\"b\":\"" << diff.label_b << "\",\"jobs\":[";
+  bool first_job = true;
+  for (const JobDiff& jd : diff.jobs) {
+    if (!first_job) os << ',';
+    first_job = false;
+    os << "{\"job\":" << jd.job << ",\"total_wait_ns_a\":" << jd.total_wait_a
+       << ",\"total_wait_ns_b\":" << jd.total_wait_b
+       << ",\"cross_job_blame_bytes_a\":" << jd.cross_blame_a
+       << ",\"cross_job_blame_bytes_b\":" << jd.cross_blame_b
+       << ",\"per_iteration\":[";
+    bool first_row = true;
+    for (const DiffRow& r : diff.rows) {
+      if (r.job != jd.job) continue;
+      if (!first_row) os << ',';
+      first_row = false;
+      os << "{\"iteration\":" << r.iteration << ",\"wait_ns_a\":" << r.wait_a
+         << ",\"wait_ns_b\":" << r.wait_b
+         << ",\"cross_job_blame_bytes_a\":" << r.cross_blame_a
+         << ",\"cross_job_blame_bytes_b\":" << r.cross_blame_b << '}';
+    }
+    os << "]}";
+  }
+  os << "]}\n";
+  return os.str();
+}
+
+}  // namespace tls::obs

@@ -1,0 +1,168 @@
+// tls::obs::analysis — post-hoc straggler root-cause attribution.
+//
+// Consumes a simulation's trace event stream (in-memory Tracer or a trace
+// CSV re-read through obs/reader.hpp) and reconstructs, per job per
+// synchronous iteration:
+//
+//   (a) the critical path of the barrier: starting from the worker with
+//       the largest barrier wait, the backward causal chain
+//         barrier release <- critical model-update flow <- PS aggregation
+//         <- last gradient flow <- straggler compute <- (previous
+//         iteration's model flow ...)
+//       decomposed into contiguous integer-ns segments — compute (worker
+//       step + PS aggregation), host-egress queueing, serialization
+//       (wire + switch), receiver fan-in (ingress queue + receive
+//       serialization), and `other` (coordination gaps, e.g. transmission
+//       gate waits). Segments partition [barrier enter, barrier release]
+//       exactly: their lengths always sum to the barrier wait.
+//
+//   (b) a contention blame matrix: for every egress-queueing segment on
+//       the critical path, the bytes each competing (job, band) drained
+//       ahead of the blamed chunk at that host. "Ahead" is log-order: a
+//       chunk_dequeue event positioned after the blamed chunk's enqueue
+//       and before its dequeue in the trace. The chunk already in service
+//       when the victim arrived was dequeued earlier in the log, so the
+//       non-preempted in-service chunk is naturally excluded.
+//
+//   (c) policy diff reports: two runs of the same scenario under
+//       different disciplines (e.g. FIFO vs TLs-One), aligned per
+//       (job, iteration), certifying whether priority bands removed the
+//       queueing-behind-other-jobs blame for the prioritized job.
+//
+// Everything is integer arithmetic on trace timestamps, iterated in
+// deterministic (std::map / log) order, and rendered with fixed integer
+// formatting — reports are byte-identical across repeated seeded runs and
+// serial-vs-parallel RunSets (the golden-report test pins this).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace tls::obs {
+
+/// What a critical-path segment's time was spent on.
+enum class SegmentKind : std::uint8_t {
+  kCompute = 0,        ///< worker step or PS aggregation span
+  kEgressQueue = 1,    ///< queued in a host egress qdisc
+  kSerialization = 2,  ///< on the wire + switch traversal
+  kFanIn = 3,          ///< destination ingress queue + receive serialization
+  kOther = 4,          ///< coordination gaps (gate waits, unattributed)
+};
+
+/// Stable lower-snake name ("compute", "egress_queue", ...).
+const char* to_string(SegmentKind kind);
+
+/// One contiguous slice of a barrier's critical path. Segments are emitted
+/// in increasing time order and tile [enter, release] with no gaps.
+struct PathSegment {
+  SegmentKind kind = SegmentKind::kOther;
+  sim::Time begin = 0;
+  sim::Time end = 0;
+  /// Host where the time accrued (-1 when not host-specific).
+  std::int32_t host = -1;
+  /// Flow the segment belongs to (0 for compute/other segments).
+  std::int64_t flow = 0;
+};
+
+/// Bytes a competing (job, band) drained ahead of the victim job's
+/// critical-path chunks at one host's egress qdisc.
+struct BlameEntry {
+  std::int32_t host = -1;
+  std::int32_t culprit_job = -1;
+  std::int32_t culprit_band = -1;
+  std::int64_t bytes = 0;
+};
+
+/// Attribution for one (job, iteration) barrier.
+struct IterationReport {
+  std::int32_t job = -1;
+  std::int64_t iteration = -1;
+  /// Worker with the largest barrier wait; its window is decomposed.
+  std::int32_t critical_worker = -1;
+  sim::Time enter_at = 0;
+  sim::Time release_at = 0;
+  sim::Time barrier_wait = 0;
+  // Per-kind totals; these five always sum exactly to barrier_wait.
+  sim::Time compute_ns = 0;
+  sim::Time egress_queue_ns = 0;
+  sim::Time serialization_ns = 0;
+  sim::Time fan_in_ns = 0;
+  sim::Time other_ns = 0;
+  std::vector<PathSegment> segments;  ///< time order, tiling [enter, release]
+  std::vector<BlameEntry> blame;      ///< sorted by (host, job, band)
+};
+
+/// Whole-run rollup for one job.
+struct JobSummary {
+  std::int32_t job = -1;
+  std::int64_t iterations = 0;
+  sim::Time total_wait_ns = 0;
+  sim::Time compute_ns = 0;
+  sim::Time egress_queue_ns = 0;
+  sim::Time serialization_ns = 0;
+  sim::Time fan_in_ns = 0;
+  sim::Time other_ns = 0;
+  /// Blame bytes from other jobs vs the job's own traffic.
+  std::int64_t cross_job_blame_bytes = 0;
+  std::int64_t self_blame_bytes = 0;
+};
+
+/// Full attribution report for one run.
+struct RunReport {
+  std::vector<IterationReport> iterations;  ///< sorted by (job, iteration)
+  std::vector<JobSummary> jobs;             ///< sorted by job
+};
+
+/// Builds the attribution report from a trace event stream. Requires the
+/// kAnalysisCats categories (chunk, barrier, flow, ingress, compute); with
+/// fewer categories the analysis degrades gracefully — unattributable time
+/// lands in the `other` bucket instead of failing.
+RunReport analyze(const std::vector<TraceEvent>& events);
+
+/// Human-readable report (per-iteration table + per-job rollup).
+std::string report_text(const RunReport& report);
+/// Tidy long CSV: one row per segment total and per blame cell.
+std::string report_csv(const RunReport& report);
+/// JSON document ("tlsreport-v1" schema), integers only.
+std::string report_json(const RunReport& report);
+
+/// One aligned (job, iteration) comparison row. A value of -1 for a wait
+/// means that run had no such iteration.
+struct DiffRow {
+  std::int32_t job = -1;
+  std::int64_t iteration = -1;
+  sim::Time wait_a = -1;
+  sim::Time wait_b = -1;
+  std::int64_t cross_blame_a = 0;
+  std::int64_t cross_blame_b = 0;
+};
+
+/// Per-job totals of the two runs side by side.
+struct JobDiff {
+  std::int32_t job = -1;
+  sim::Time total_wait_a = 0;
+  sim::Time total_wait_b = 0;
+  std::int64_t cross_blame_a = 0;
+  std::int64_t cross_blame_b = 0;
+};
+
+/// Aligned comparison of two runs of the same scenario.
+struct DiffReport {
+  std::string label_a;
+  std::string label_b;
+  std::vector<DiffRow> rows;   ///< sorted by (job, iteration)
+  std::vector<JobDiff> jobs;   ///< sorted by job
+};
+
+DiffReport diff_reports(const RunReport& a, const RunReport& b,
+                        const std::string& label_a,
+                        const std::string& label_b);
+
+std::string diff_text(const DiffReport& diff);
+std::string diff_csv(const DiffReport& diff);
+std::string diff_json(const DiffReport& diff);
+
+}  // namespace tls::obs

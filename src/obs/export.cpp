@@ -41,11 +41,19 @@ Track track_for(const TraceEvent& e) {
     case EventKind::kHtbGreen:
     case EventKind::kHtbYellow:
     case EventKind::kOverlimit:
+    case EventKind::kIngressArrive:
+    case EventKind::kIngressDeliver:
       return Track{kNetPid, e.host < 0 ? 0 : e.host};
     case EventKind::kBarrierEnter:
     case EventKind::kBarrierRelease:
     case EventKind::kStragglerLag:
+    case EventKind::kWorkerCompute:
+    case EventKind::kPsAggregate:
       return Track{kJobsPid, e.job < 0 ? 0 : e.job};
+    case EventKind::kFlowStart:
+    case EventKind::kFlowEnd:
+      if (e.job >= 0) return Track{kJobsPid, e.job};
+      return Track{kNetPid, e.host < 0 ? 0 : e.host};
     case EventKind::kRotation:
     case EventKind::kBandAssign:
       return Track{kCtrlPid, 0};
@@ -71,12 +79,40 @@ void append_args(std::ostringstream& os, const TraceEvent& e) {
     first = false;
     os << '"' << key << "\":" << v;
   };
-  if (e.band >= 0) arg("band", e.band);
+  // Flow events reuse the band field for the FlowKind ordinal; render it
+  // under its real meaning instead of a misleading "band".
+  bool flow_event =
+      e.kind == EventKind::kFlowStart || e.kind == EventKind::kFlowEnd;
+  if (e.band >= 0 && !flow_event) arg("band", e.band);
   if (e.flow != 0) arg("flow", e.flow);
   if (e.bytes != 0) arg("bytes", e.bytes);
   switch (e.kind) {
     case EventKind::kChunkDequeue:
+      arg("index", e.b);
       arg("queue_wait_ns", e.a);
+      break;
+    case EventKind::kChunkEnqueue:
+    case EventKind::kIngressArrive:
+      arg("index", e.b);
+      break;
+    case EventKind::kIngressDeliver:
+      arg("index", e.b);
+      arg("fan_in_wait_ns", e.a);
+      break;
+    case EventKind::kFlowStart:
+    case EventKind::kFlowEnd:
+      arg("kind", e.band);
+      arg("src", e.host);
+      arg("dst", e.a);
+      arg("iteration", e.b);
+      break;
+    case EventKind::kWorkerCompute:
+      arg("worker", e.a);
+      arg("iteration", e.b);
+      break;
+    case EventKind::kPsAggregate:
+      arg("shard", e.a);
+      arg("iteration", e.b);
       break;
     case EventKind::kOverlimit:
       arg("retry_at_ns", e.a);
@@ -90,6 +126,7 @@ void append_args(std::ostringstream& os, const TraceEvent& e) {
     case EventKind::kBarrierEnter:
     case EventKind::kBarrierRelease:
       arg("worker", e.a);
+      arg("iteration", e.b);
       break;
     case EventKind::kStragglerLag:
       arg("iteration", e.a);
@@ -129,6 +166,12 @@ const char* to_string(EventKind kind) {
     case EventKind::kBarrierRelease: return "barrier_release";
     case EventKind::kStragglerLag: return "straggler_lag";
     case EventKind::kGaugeSample: return "gauge_sample";
+    case EventKind::kFlowStart: return "flow_start";
+    case EventKind::kFlowEnd: return "flow_end";
+    case EventKind::kIngressArrive: return "ingress_arrive";
+    case EventKind::kIngressDeliver: return "ingress_deliver";
+    case EventKind::kWorkerCompute: return "worker_compute";
+    case EventKind::kPsAggregate: return "ps_aggregate";
   }
   return "?";
 }
@@ -188,6 +231,16 @@ std::string chrome_trace_json(const Tracer& tracer) {
       TraceEvent span = e;
       span.at = e.at - e.dur;
       append_common(os, span, t, "X");
+      os << ",\"dur\":" << ts_us(e.dur);
+      append_args(os, e);
+      os << '}';
+      continue;
+    }
+    if ((e.kind == EventKind::kWorkerCompute ||
+         e.kind == EventKind::kPsAggregate) &&
+        e.dur > 0) {
+      // Compute spans are stamped at their start with the duration known.
+      append_common(os, e, t, "X");
       os << ",\"dur\":" << ts_us(e.dur);
       append_args(os, e);
       os << '}';

@@ -1,0 +1,122 @@
+#include "obs/reader.hpp"
+
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+#include "obs/export.hpp"
+
+namespace tls::obs {
+
+namespace {
+
+constexpr const char* kHeader = "at_ns,kind,cat,host,job,band,flow,bytes,a,b,dur_ns";
+
+bool kind_from_string(const std::string& name, EventKind* out) {
+  for (int k = 0; k <= static_cast<int>(EventKind::kPsAggregate); ++k) {
+    EventKind kind = static_cast<EventKind>(k);
+    if (name == to_string(kind)) {
+      *out = kind;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool cat_from_string(const std::string& name, Cat* out) {
+  for (std::uint32_t bit = 1; bit <= kAllCats; bit <<= 1) {
+    Cat cat = static_cast<Cat>(bit);
+    if (name == to_string(cat)) {
+      *out = cat;
+      return true;
+    }
+  }
+  return false;
+}
+
+bool parse_i64(const std::string& tok, std::int64_t* out) {
+  if (tok.empty()) return false;
+  char* end = nullptr;
+  *out = std::strtoll(tok.c_str(), &end, 10);
+  return end != nullptr && *end == '\0';
+}
+
+}  // namespace
+
+bool read_trace_csv(std::istream& in, std::vector<TraceEvent>* out,
+                    std::string* error) {
+  std::string line;
+  if (!std::getline(in, line) || line != kHeader) {
+    if (error != nullptr) {
+      *error = "not a trace CSV (expected header '" + std::string(kHeader) +
+               "', got '" + line + "')";
+    }
+    return false;
+  }
+  int lineno = 1;
+  while (std::getline(in, line)) {
+    ++lineno;
+    if (line.empty()) continue;
+    std::vector<std::string> cols;
+    std::size_t start = 0;
+    for (;;) {
+      std::size_t comma = line.find(',', start);
+      if (comma == std::string::npos) {
+        cols.push_back(line.substr(start));
+        break;
+      }
+      cols.push_back(line.substr(start, comma - start));
+      start = comma + 1;
+    }
+    if (cols.size() != 11) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(lineno) + ": expected 11 columns, got " +
+                 std::to_string(cols.size());
+      }
+      return false;
+    }
+    TraceEvent e;
+    std::int64_t v = 0;
+    bool ok = parse_i64(cols[0], &v);
+    e.at = v;
+    ok = ok && kind_from_string(cols[1], &e.kind);
+    ok = ok && cat_from_string(cols[2], &e.cat);
+    ok = ok && parse_i64(cols[3], &v);
+    e.host = static_cast<std::int32_t>(v);
+    ok = ok && parse_i64(cols[4], &v);
+    e.job = static_cast<std::int32_t>(v);
+    ok = ok && parse_i64(cols[5], &v);
+    e.band = static_cast<std::int32_t>(v);
+    ok = ok && parse_i64(cols[6], &e.flow);
+    ok = ok && parse_i64(cols[7], &e.bytes);
+    ok = ok && parse_i64(cols[8], &e.a);
+    ok = ok && parse_i64(cols[9], &e.b);
+    ok = ok && parse_i64(cols[10], &v);
+    e.dur = v;
+    if (!ok) {
+      if (error != nullptr) {
+        *error = "line " + std::to_string(lineno) + ": malformed row '" + line + "'";
+      }
+      return false;
+    }
+    out->push_back(e);
+  }
+  return true;
+}
+
+bool read_trace_csv_file(const std::string& path,
+                         std::vector<TraceEvent>* out, std::string* error) {
+  std::ifstream in(path);
+  if (!in) {
+    if (error != nullptr) *error = "cannot open trace CSV: " + path;
+    return false;
+  }
+  std::string inner;
+  if (!read_trace_csv(in, out, &inner)) {
+    if (error != nullptr) *error = path + ": " + inner;
+    return false;
+  }
+  return true;
+}
+
+}  // namespace tls::obs

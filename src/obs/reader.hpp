@@ -1,0 +1,25 @@
+// Offline trace ingestion: parses the trace CSV written by
+// obs::trace_csv() back into TraceEvents, so tlsreport can analyze runs
+// after the fact (the CSV is the lossless on-disk form of the event log).
+#pragma once
+
+#include <istream>
+#include <string>
+#include <vector>
+
+#include "obs/trace.hpp"
+
+namespace tls::obs {
+
+/// Parses a trace CSV stream (header + one row per event). Returns false
+/// and sets *error (file:line-style message) on malformed input; events
+/// parsed before the error are left in *out.
+bool read_trace_csv(std::istream& in, std::vector<TraceEvent>* out,
+                    std::string* error);
+
+/// Convenience wrapper opening `path`; false with *error when the file
+/// cannot be opened or parsed.
+bool read_trace_csv_file(const std::string& path,
+                         std::vector<TraceEvent>* out, std::string* error);
+
+}  // namespace tls::obs

@@ -1,0 +1,142 @@
+#include "obs/report_cli.hpp"
+
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "obs/analysis.hpp"
+#include "obs/reader.hpp"
+
+namespace tls::obs {
+
+namespace {
+
+constexpr const char* kUsage =
+    "usage: tlsreport <trace.csv> [--csv PATH] [--json PATH] [--quiet]\n"
+    "       tlsreport --diff <a.csv> <b.csv> [--label-a NAME] "
+    "[--label-b NAME]\n"
+    "                 [--csv PATH] [--json PATH] [--quiet]\n"
+    "\n"
+    "Post-hoc straggler attribution from a tlsim trace CSV (--trace-csv):\n"
+    "per-iteration critical-path decomposition and contention blame, or an\n"
+    "aligned two-run policy diff. Text goes to stdout; --csv/--json write\n"
+    "the machine-readable forms.\n";
+
+bool write_file(const std::string& path, const std::string& content,
+                std::ostream& err) {
+  std::ofstream out(path, std::ios::binary);
+  if (!out) {
+    err << "tlsreport: cannot write " << path << "\n";
+    return false;
+  }
+  out << content;
+  return true;
+}
+
+/// Derives a short run label from a path: basename without extension.
+std::string label_from_path(const std::string& path) {
+  std::size_t slash = path.find_last_of("/\\");
+  std::string base =
+      slash == std::string::npos ? path : path.substr(slash + 1);
+  std::size_t dot = base.find_last_of('.');
+  return dot == std::string::npos ? base : base.substr(0, dot);
+}
+
+}  // namespace
+
+int run_report_cli(int argc, const char* const* argv, std::ostream& out,
+                   std::ostream& err) {
+  bool diff_mode = false;
+  bool quiet = false;
+  std::string csv_path;
+  std::string json_path;
+  std::string label_a;
+  std::string label_b;
+  std::vector<std::string> inputs;
+
+  auto need_value = [&](int& i, const char* flag) -> const char* {
+    if (i + 1 >= argc) {
+      err << "tlsreport: " << flag << " requires a value\n" << kUsage;
+      return nullptr;
+    }
+    return argv[++i];
+  };
+
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg == "--diff") {
+      diff_mode = true;
+    } else if (arg == "--quiet") {
+      quiet = true;
+    } else if (arg == "--csv") {
+      const char* v = need_value(i, "--csv");
+      if (v == nullptr) return 2;
+      csv_path = v;
+    } else if (arg == "--json") {
+      const char* v = need_value(i, "--json");
+      if (v == nullptr) return 2;
+      json_path = v;
+    } else if (arg == "--label-a") {
+      const char* v = need_value(i, "--label-a");
+      if (v == nullptr) return 2;
+      label_a = v;
+    } else if (arg == "--label-b") {
+      const char* v = need_value(i, "--label-b");
+      if (v == nullptr) return 2;
+      label_b = v;
+    } else if (arg == "--help" || arg == "-h") {
+      out << kUsage;
+      return 0;
+    } else if (!arg.empty() && arg[0] == '-') {
+      err << "tlsreport: unknown flag " << arg << "\n" << kUsage;
+      return 2;
+    } else {
+      inputs.push_back(arg);
+    }
+  }
+
+  std::size_t expected = diff_mode ? 2u : 1u;
+  if (inputs.size() != expected) {
+    err << "tlsreport: expected " << expected << " trace CSV path"
+        << (expected == 1 ? "" : "s") << ", got " << inputs.size() << "\n"
+        << kUsage;
+    return 2;
+  }
+
+  std::vector<RunReport> reports;
+  for (const std::string& path : inputs) {
+    std::vector<TraceEvent> events;
+    std::string error;
+    if (!read_trace_csv_file(path, &events, &error)) {
+      err << "tlsreport: " << error << "\n";
+      return 2;
+    }
+    reports.push_back(analyze(events));
+  }
+
+  if (diff_mode) {
+    if (label_a.empty()) label_a = label_from_path(inputs[0]);
+    if (label_b.empty()) label_b = label_from_path(inputs[1]);
+    DiffReport d = diff_reports(reports[0], reports[1], label_a, label_b);
+    if (!quiet) out << diff_text(d);
+    if (!csv_path.empty() && !write_file(csv_path, diff_csv(d), err)) {
+      return 2;
+    }
+    if (!json_path.empty() && !write_file(json_path, diff_json(d), err)) {
+      return 2;
+    }
+    return 0;
+  }
+
+  const RunReport& r = reports[0];
+  if (!quiet) out << report_text(r);
+  if (!csv_path.empty() && !write_file(csv_path, report_csv(r), err)) {
+    return 2;
+  }
+  if (!json_path.empty() && !write_file(json_path, report_json(r), err)) {
+    return 2;
+  }
+  return 0;
+}
+
+}  // namespace tls::obs

@@ -1,0 +1,22 @@
+// Command-line core of the `tlsreport` tool, kept in the library so tests
+// drive it without spawning processes. The tools/tlsreport.cpp main is a
+// two-line trampoline into run_report_cli().
+//
+// Usage:
+//   tlsreport <trace.csv> [--csv PATH] [--json PATH] [--quiet]
+//   tlsreport --diff <a.csv> <b.csv> [--label-a NAME] [--label-b NAME]
+//             [--csv PATH] [--json PATH] [--quiet]
+//
+// Analyzes one run's trace CSV (or compares two) and prints the text
+// report to `out`; --csv/--json additionally write the machine-readable
+// forms. Exit codes: 0 success, 2 usage/input error.
+#pragma once
+
+#include <ostream>
+
+namespace tls::obs {
+
+int run_report_cli(int argc, const char* const* argv, std::ostream& out,
+                   std::ostream& err);
+
+}  // namespace tls::obs

@@ -17,7 +17,8 @@ constexpr CatName kCatNames[] = {
     {Cat::kChunk, "chunk"},        {Cat::kQdisc, "qdisc"},
     {Cat::kHtb, "htb"},            {Cat::kRotation, "rotation"},
     {Cat::kBarrier, "barrier"},    {Cat::kStraggler, "straggler"},
-    {Cat::kSample, "sample"},
+    {Cat::kSample, "sample"},      {Cat::kFlow, "flow"},
+    {Cat::kIngress, "ingress"},    {Cat::kCompute, "compute"},
 };
 
 }  // namespace
@@ -89,8 +90,9 @@ void Tracer::push(const TraceEvent& e) {
   events_.push_back(e);
 }
 
-void Tracer::chunk_enqueue(sim::Time at, std::int32_t host, std::int32_t band,
-                           std::int64_t flow, std::int64_t bytes) {
+void Tracer::chunk_enqueue(sim::Time at, std::int32_t host, std::int32_t job,
+                           std::int32_t band, std::int64_t flow,
+                           std::int64_t index, std::int64_t bytes) {
   if (registry_ != nullptr) {
     registry_->counter("chunks_enqueued", host, -1, band).add(1);
   }
@@ -100,14 +102,17 @@ void Tracer::chunk_enqueue(sim::Time at, std::int32_t host, std::int32_t band,
   e.kind = EventKind::kChunkEnqueue;
   e.cat = Cat::kChunk;
   e.host = host;
+  e.job = job;
   e.band = band;
   e.flow = flow;
   e.bytes = bytes;
+  e.b = index;
   push(e);
 }
 
-void Tracer::chunk_dequeue(sim::Time at, std::int32_t host, std::int32_t band,
-                           std::int64_t flow, std::int64_t bytes,
+void Tracer::chunk_dequeue(sim::Time at, std::int32_t host, std::int32_t job,
+                           std::int32_t band, std::int64_t flow,
+                           std::int64_t index, std::int64_t bytes,
                            sim::Time queue_wait) {
   if (registry_ != nullptr) {
     registry_->counter("bytes_drained", host, -1, band).add(bytes);
@@ -119,10 +124,12 @@ void Tracer::chunk_dequeue(sim::Time at, std::int32_t host, std::int32_t band,
   e.kind = EventKind::kChunkDequeue;
   e.cat = Cat::kChunk;
   e.host = host;
+  e.job = job;
   e.band = band;
   e.flow = flow;
   e.bytes = bytes;
   e.a = queue_wait;
+  e.b = index;
   push(e);
 }
 
@@ -206,7 +213,7 @@ void Tracer::band_assign(sim::Time at, std::int32_t host, std::int32_t job,
 }
 
 void Tracer::barrier_enter(sim::Time at, std::int32_t job,
-                           std::int32_t worker) {
+                           std::int32_t worker, std::int64_t iteration) {
   if (!enabled(Cat::kBarrier)) return;
   TraceEvent e;
   e.at = at;
@@ -214,11 +221,13 @@ void Tracer::barrier_enter(sim::Time at, std::int32_t job,
   e.cat = Cat::kBarrier;
   e.job = job;
   e.a = worker;
+  e.b = iteration;
   push(e);
 }
 
 void Tracer::barrier_release(sim::Time at, std::int32_t job,
-                             std::int32_t worker, sim::Time wait) {
+                             std::int32_t worker, std::int64_t iteration,
+                             sim::Time wait) {
   if (registry_ != nullptr) {
     registry_->histogram("barrier_wait_ns", -1, job, -1).record(wait);
   }
@@ -229,7 +238,132 @@ void Tracer::barrier_release(sim::Time at, std::int32_t job,
   e.cat = Cat::kBarrier;
   e.job = job;
   e.a = worker;
+  e.b = iteration;
   e.dur = wait;
+  push(e);
+}
+
+void Tracer::flow_start(sim::Time at, std::int32_t src, std::int32_t dst,
+                        std::int32_t job, std::int32_t kind_ordinal,
+                        std::int64_t flow, std::int64_t bytes,
+                        std::int64_t iteration) {
+  if (registry_ != nullptr) {
+    registry_->counter("flows_started", src, job, -1).add(1);
+  }
+  if (!enabled(Cat::kFlow)) return;
+  TraceEvent e;
+  e.at = at;
+  e.kind = EventKind::kFlowStart;
+  e.cat = Cat::kFlow;
+  e.host = src;
+  e.job = job;
+  e.band = kind_ordinal;
+  e.flow = flow;
+  e.bytes = bytes;
+  e.a = dst;
+  e.b = iteration;
+  push(e);
+}
+
+void Tracer::flow_end(sim::Time at, std::int32_t src, std::int32_t dst,
+                      std::int32_t job, std::int32_t kind_ordinal,
+                      std::int64_t flow, std::int64_t bytes,
+                      std::int64_t iteration, sim::Time elapsed) {
+  if (registry_ != nullptr) {
+    registry_->counter("flows_completed", src, job, -1).add(1);
+    registry_->histogram("flow_completion_ns", src, job, -1).record(elapsed);
+  }
+  if (!enabled(Cat::kFlow)) return;
+  TraceEvent e;
+  e.at = at;
+  e.kind = EventKind::kFlowEnd;
+  e.cat = Cat::kFlow;
+  e.host = src;
+  e.job = job;
+  e.band = kind_ordinal;
+  e.flow = flow;
+  e.bytes = bytes;
+  e.a = dst;
+  e.b = iteration;
+  e.dur = elapsed;
+  push(e);
+}
+
+void Tracer::ingress_arrive(sim::Time at, std::int32_t host, std::int32_t job,
+                            std::int32_t band, std::int64_t flow,
+                            std::int64_t index, std::int64_t bytes) {
+  if (!enabled(Cat::kIngress)) return;
+  TraceEvent e;
+  e.at = at;
+  e.kind = EventKind::kIngressArrive;
+  e.cat = Cat::kIngress;
+  e.host = host;
+  e.job = job;
+  e.band = band;
+  e.flow = flow;
+  e.bytes = bytes;
+  e.b = index;
+  push(e);
+}
+
+void Tracer::ingress_deliver(sim::Time at, std::int32_t host, std::int32_t job,
+                             std::int32_t band, std::int64_t flow,
+                             std::int64_t index, std::int64_t bytes,
+                             sim::Time wait, sim::Time residence) {
+  if (registry_ != nullptr) {
+    registry_->histogram("ingress_wait_ns", host, -1, -1).record(wait);
+  }
+  if (!enabled(Cat::kIngress)) return;
+  TraceEvent e;
+  e.at = at;
+  e.kind = EventKind::kIngressDeliver;
+  e.cat = Cat::kIngress;
+  e.host = host;
+  e.job = job;
+  e.band = band;
+  e.flow = flow;
+  e.bytes = bytes;
+  e.a = wait;
+  e.b = index;
+  e.dur = residence;
+  push(e);
+}
+
+void Tracer::worker_compute(sim::Time at, std::int32_t host, std::int32_t job,
+                            std::int32_t worker, std::int64_t iteration,
+                            sim::Time duration) {
+  if (registry_ != nullptr) {
+    registry_->histogram("worker_compute_ns", host, job, -1).record(duration);
+  }
+  if (!enabled(Cat::kCompute)) return;
+  TraceEvent e;
+  e.at = at;
+  e.kind = EventKind::kWorkerCompute;
+  e.cat = Cat::kCompute;
+  e.host = host;
+  e.job = job;
+  e.a = worker;
+  e.b = iteration;
+  e.dur = duration;
+  push(e);
+}
+
+void Tracer::ps_aggregate(sim::Time at, std::int32_t host, std::int32_t job,
+                          std::int32_t shard, std::int64_t iteration,
+                          sim::Time duration) {
+  if (registry_ != nullptr) {
+    registry_->histogram("ps_aggregate_ns", host, job, -1).record(duration);
+  }
+  if (!enabled(Cat::kCompute)) return;
+  TraceEvent e;
+  e.at = at;
+  e.kind = EventKind::kPsAggregate;
+  e.cat = Cat::kCompute;
+  e.host = host;
+  e.job = job;
+  e.a = shard;
+  e.b = iteration;
+  e.dur = duration;
   push(e);
 }
 

@@ -34,10 +34,22 @@ enum class Cat : std::uint32_t {
   kBarrier = 1u << 4,    ///< synchronous-barrier enter/release spans
   kStraggler = 1u << 5,  ///< per-iteration straggler-lag samples
   kSample = 1u << 6,     ///< periodic gauge samples (queue depth, lag)
+  kFlow = 1u << 7,       ///< application flow start/end (causal linkage)
+  kIngress = 1u << 8,    ///< chunk arrive/deliver at a host ingress NIC
+  kCompute = 1u << 9,    ///< worker compute steps and PS aggregation spans
 };
 
 /// Every category enabled.
-inline constexpr std::uint32_t kAllCats = 0x7f;
+inline constexpr std::uint32_t kAllCats = 0x3ff;
+
+/// The categories obs::analysis needs to reconstruct critical paths and
+/// blame matrices (chunk, barrier, flow, ingress, compute).
+inline constexpr std::uint32_t kAnalysisCats =
+    static_cast<std::uint32_t>(Cat::kChunk) |
+    static_cast<std::uint32_t>(Cat::kBarrier) |
+    static_cast<std::uint32_t>(Cat::kFlow) |
+    static_cast<std::uint32_t>(Cat::kIngress) |
+    static_cast<std::uint32_t>(Cat::kCompute);
 
 /// Stable lower-case name of a category ("chunk", "htb", ...).
 const char* to_string(Cat cat);
@@ -57,10 +69,18 @@ enum class EventKind : std::uint8_t {
   kOverlimit = 5,      ///< rate limiter stalled the port (a = retry time ns)
   kRotation = 6,       ///< TLs-RR rotation tick (a = rotation offset)
   kBandAssign = 7,     ///< controller steered `job` into `band` on `host`
-  kBarrierEnter = 8,   ///< worker (a) entered the barrier
-  kBarrierRelease = 9, ///< worker (a) exited; dur = wait span
+  kBarrierEnter = 8,   ///< worker (a) entered the barrier (b = iteration)
+  kBarrierRelease = 9, ///< worker (a) exited; dur = wait (b = iteration)
   kStragglerLag = 10,  ///< iteration (a) wait spread max-min (b = lag ns)
   kGaugeSample = 11,   ///< periodic sample (a = value), named via band/b
+  // Causal-attribution events (obs::analysis). For flow events `band`
+  // carries the FlowKind ordinal — flows have no band; chunks do.
+  kFlowStart = 12,      ///< flow admitted (host = src, a = dst, b = iteration)
+  kFlowEnd = 13,        ///< last byte delivered (dur = flow completion time)
+  kIngressArrive = 14,  ///< chunk reached the destination ingress queue
+  kIngressDeliver = 15, ///< chunk delivered (a = fan-in wait, dur = residence)
+  kWorkerCompute = 16,  ///< local step span (a = worker, b = iteration)
+  kPsAggregate = 17,    ///< PS aggregation span (a = shard, b = iteration)
 };
 
 /// One fixed-size trace record. Field meaning depends on `kind`; `a` and
@@ -116,11 +136,16 @@ class Tracer {
 
   // --- typed emission sites (hot path: check enabled() before calling) ---
 
-  void chunk_enqueue(sim::Time at, std::int32_t host, std::int32_t band,
-                     std::int64_t flow, std::int64_t bytes);
-  void chunk_dequeue(sim::Time at, std::int32_t host, std::int32_t band,
-                     std::int64_t flow, std::int64_t bytes,
-                     sim::Time queue_wait);
+  /// Chunk admission/service at a host egress qdisc. `job` is the owning
+  /// job (-1 for background traffic) and `index` the chunk's position in
+  /// its flow — together they give the analysis layer an exact chunk
+  /// identity ((flow, index)) and a "who delayed whom" job axis.
+  void chunk_enqueue(sim::Time at, std::int32_t host, std::int32_t job,
+                     std::int32_t band, std::int64_t flow, std::int64_t index,
+                     std::int64_t bytes);
+  void chunk_dequeue(sim::Time at, std::int32_t host, std::int32_t job,
+                     std::int32_t band, std::int64_t flow, std::int64_t index,
+                     std::int64_t bytes, sim::Time queue_wait);
   void band_service(sim::Time at, std::int32_t host, std::int32_t band,
                     std::int64_t bytes);
   void htb_send(sim::Time at, std::int32_t host, std::int32_t band,
@@ -129,9 +154,39 @@ class Tracer {
   void rotation(sim::Time at, std::int64_t offset);
   void band_assign(sim::Time at, std::int32_t host, std::int32_t job,
                    std::int32_t band);
-  void barrier_enter(sim::Time at, std::int32_t job, std::int32_t worker);
+  void barrier_enter(sim::Time at, std::int32_t job, std::int32_t worker,
+                     std::int64_t iteration);
   void barrier_release(sim::Time at, std::int32_t job, std::int32_t worker,
-                       sim::Time wait);
+                       std::int64_t iteration, sim::Time wait);
+  /// Flow lifecycle, the causal spine linking chunks to jobs/iterations.
+  /// `kind_ordinal` is the net::FlowKind value; `iteration` tags which
+  /// synchronous barrier the transfer serves (-1 = startup/non-barrier).
+  void flow_start(sim::Time at, std::int32_t src, std::int32_t dst,
+                  std::int32_t job, std::int32_t kind_ordinal,
+                  std::int64_t flow, std::int64_t bytes,
+                  std::int64_t iteration);
+  void flow_end(sim::Time at, std::int32_t src, std::int32_t dst,
+                std::int32_t job, std::int32_t kind_ordinal,
+                std::int64_t flow, std::int64_t bytes, std::int64_t iteration,
+                sim::Time elapsed);
+  /// Receive-side fan-in: chunk joins the destination ingress FIFO, and
+  /// its delivery (`wait` = time queued behind other arrivals, `residence`
+  /// = wait + receive serialization).
+  void ingress_arrive(sim::Time at, std::int32_t host, std::int32_t job,
+                      std::int32_t band, std::int64_t flow, std::int64_t index,
+                      std::int64_t bytes);
+  void ingress_deliver(sim::Time at, std::int32_t host, std::int32_t job,
+                       std::int32_t band, std::int64_t flow,
+                       std::int64_t index, std::int64_t bytes, sim::Time wait,
+                       sim::Time residence);
+  /// Compute spans, emitted at span start with the full duration (the
+  /// simulator schedules compute atomically, so the end is already known).
+  void worker_compute(sim::Time at, std::int32_t host, std::int32_t job,
+                      std::int32_t worker, std::int64_t iteration,
+                      sim::Time duration);
+  void ps_aggregate(sim::Time at, std::int32_t host, std::int32_t job,
+                    std::int32_t shard, std::int64_t iteration,
+                    sim::Time duration);
   void straggler_lag(sim::Time at, std::int32_t job, std::int64_t iteration,
                      sim::Time lag);
   /// Periodic gauge sample; also recorded as a registry timeseries point

@@ -165,6 +165,11 @@ RunReport RunSet::run(const RunPlan& plan) {
       c.obs.trace_path = obs::per_run_path(c.obs.trace_path, e.label);
       c.obs.trace_csv_path = obs::per_run_path(c.obs.trace_csv_path, e.label);
       c.obs.metrics_path = obs::per_run_path(c.obs.metrics_path, e.label);
+      c.obs.report_path = obs::per_run_path(c.obs.report_path, e.label);
+      c.obs.report_csv_path =
+          obs::per_run_path(c.obs.report_csv_path, e.label);
+      c.obs.report_json_path =
+          obs::per_run_path(c.obs.report_json_path, e.label);
     }
     configs.push_back(std::move(c));
   }

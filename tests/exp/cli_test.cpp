@@ -146,6 +146,56 @@ TEST(Cli, ExportToBadPathFails) {
   EXPECT_NE(r.err.find("export failed"), std::string::npos);
 }
 
+TEST(Cli, TraceFilterUnknownCategoryRejected) {
+  CliRun r = cli({"run", SMALL, "--trace-filter", "chunk,bogus"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("bogus"), std::string::npos) << r.err;
+  // The error lists every valid category so the user can self-serve.
+  for (const char* name : {"chunk", "qdisc", "htb", "rotation", "barrier",
+                           "straggler", "sample", "flow", "ingress",
+                           "compute"}) {
+    EXPECT_NE(r.err.find(name), std::string::npos) << name << ": " << r.err;
+  }
+}
+
+TEST(Cli, ReportFlagsWriteAttributionArtifacts) {
+  std::string prefix = ::testing::TempDir() + "/tlsim_cli_report";
+  CliRun r = cli({"run", SMALL, "--policy", "fifo",
+                  "--report", prefix + ".txt",
+                  "--report-csv", prefix + ".csv",
+                  "--report-json", prefix + ".json"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::ifstream text(prefix + ".txt");
+  std::string first_line;
+  std::getline(text, first_line);
+  EXPECT_NE(first_line.find("tlsreport:"), std::string::npos);
+  std::ifstream csv(prefix + ".csv");
+  std::getline(csv, first_line);
+  EXPECT_NE(first_line.find("job,iteration"), std::string::npos);
+  std::ifstream json(prefix + ".json");
+  std::getline(json, first_line);
+  EXPECT_NE(first_line.find("\"schema\":\"tlsreport-v1\""), std::string::npos);
+  for (const char* suffix : {".txt", ".csv", ".json"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST(Cli, ReportWorksWithNarrowTraceFilter) {
+  // --report forces the analysis categories even when --trace-filter would
+  // exclude them; the report must not silently degrade to all-`other`.
+  std::string path = ::testing::TempDir() + "/tlsim_cli_report_narrow.txt";
+  CliRun r = cli({"run", SMALL, "--policy", "fifo", "--trace-filter", "none",
+                  "--report", path});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::ifstream in(path);
+  std::stringstream buf;
+  buf << in.rdbuf();
+  // Degraded analysis would attribute zero compute to every job's rollup.
+  EXPECT_NE(buf.str().find("total wait"), std::string::npos);
+  EXPECT_EQ(buf.str().find("compute 0 ("), std::string::npos) << buf.str();
+  std::remove(path.c_str());
+}
+
 TEST(Cli, SweepBatchRuns) {
   CliRun r = cli({"sweep-batch", "--hosts", "5", "--jobs", "4", "--workers",
                   "4", "--iters", "3", "--link-gbps", "2.5", "--csv"});

@@ -1,0 +1,348 @@
+// obs::analysis unit tests on hand-built event streams with fully
+// hand-computed expectations: critical-path decomposition, exact
+// conservation, blame-window semantics, graceful degradation on partial
+// traces, the trace-CSV reader round trip, and the FlowKind-ordinal pin.
+#include "obs/analysis.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "net/chunk.hpp"
+#include "obs/export.hpp"
+#include "obs/reader.hpp"
+#include "obs/trace.hpp"
+
+namespace tls::obs {
+namespace {
+
+// The analysis pins FlowKind ordinals (model=0, gradient=1) so it can run
+// on offline CSVs without linking net/. If this enum is ever reordered,
+// analysis.cpp must follow.
+TEST(AnalysisContract, FlowKindOrdinalsPinned) {
+  EXPECT_EQ(static_cast<int>(net::FlowKind::kModelUpdate), 0);
+  EXPECT_EQ(static_cast<int>(net::FlowKind::kGradientUpdate), 1);
+}
+
+TEST(AnalysisContract, SegmentKindNames) {
+  EXPECT_STREQ(to_string(SegmentKind::kCompute), "compute");
+  EXPECT_STREQ(to_string(SegmentKind::kEgressQueue), "egress_queue");
+  EXPECT_STREQ(to_string(SegmentKind::kSerialization), "serialization");
+  EXPECT_STREQ(to_string(SegmentKind::kFanIn), "fan_in");
+  EXPECT_STREQ(to_string(SegmentKind::kOther), "other");
+}
+
+/// One complete synchronous iteration of a 1-worker job, emitted in the
+/// order the simulator would: compute on host 1, gradient flow 101 to the
+/// PS on host 0, aggregation, model flow 100 back, barrier release. Extra
+/// foreign dequeues land inside flow 100's egress-queue window to exercise
+/// every blame inclusion/exclusion rule.
+///
+/// Timeline (ns):              1000      1100 1150  1250 1300 1400 1600 1800 2000
+///   barrier [enter.....................................................release]
+///   compute  [900 (clamped to enter)..1100]
+///   gradient flow 101:             enq--deq--arr--del
+///   PS aggregation:                              [1300..1400]
+///   model flow 100:                                    enq....deq..arr..del
+void emit_one_iteration(Tracer& t) {
+  t.worker_compute(900, /*host=*/1, /*job=*/0, /*worker=*/0, /*iteration=*/0,
+                   /*duration=*/200);
+  t.barrier_enter(1000, /*job=*/0, /*worker=*/0, /*iteration=*/0);
+  t.flow_start(1100, /*src=*/1, /*dst=*/0, /*job=*/0, /*kind_ordinal=*/1,
+               /*flow=*/101, /*bytes=*/5000, /*iteration=*/0);
+  t.chunk_enqueue(1100, /*host=*/1, /*job=*/0, /*band=*/0, /*flow=*/101,
+                  /*index=*/0, /*bytes=*/5000);
+  t.chunk_dequeue(1150, 1, 0, 0, 101, 0, 5000, /*queue_wait=*/50);
+  t.ingress_arrive(1250, /*host=*/0, 0, 0, 101, 0, 5000);
+  t.ingress_deliver(1300, 0, 0, 0, 101, 0, 5000, /*wait=*/0, /*residence=*/50);
+  t.flow_end(1300, 1, 0, 0, 1, 101, 5000, 0, /*elapsed=*/200);
+  t.ps_aggregate(1300, /*host=*/0, /*job=*/0, /*shard=*/0, /*iteration=*/0,
+                 /*duration=*/100);
+  t.flow_start(1400, /*src=*/0, /*dst=*/1, 0, /*kind_ordinal=*/0, /*flow=*/100,
+               6000, 0);
+  t.chunk_enqueue(1400, /*host=*/0, 0, 0, 100, 0, 6000);
+  // Inside flow 100's egress-queue log window (enqueue..dequeue):
+  t.chunk_dequeue(1450, 0, /*job=*/1, /*band=*/2, /*flow=*/999, 0, 7777, 0);
+  t.chunk_dequeue(1500, /*host=*/1, 1, 2, 998, 0, 1111, 0);  // other host
+  t.chunk_dequeue(1520, 0, /*job=*/0, 0, /*flow=*/555, 0, 3333, 0);  // self
+  t.chunk_dequeue(1540, 0, 0, 0, /*flow=*/100, 1, 500, 0);  // own pipeline
+  t.chunk_dequeue(1600, 0, 0, 0, 100, 0, 6000, /*queue_wait=*/200);
+  // After the victim's dequeue: outside the window.
+  t.chunk_dequeue(1650, 0, 1, 2, /*flow=*/997, 0, 2222, 0);
+  t.ingress_arrive(1800, /*host=*/1, 0, 0, 100, 0, 6000);
+  t.ingress_deliver(2000, 1, 0, 0, 100, 0, 6000, 0, /*residence=*/200);
+  t.flow_end(2000, 0, 1, 0, 0, 100, 6000, 0, /*elapsed=*/600);
+  t.barrier_release(2000, 0, 0, 0, /*wait=*/1000);
+}
+
+std::vector<TraceEvent> one_iteration_trace() {
+  Tracer t;
+  emit_one_iteration(t);
+  return t.events();
+}
+
+TEST(Analysis, DecomposesOneIterationExactly) {
+  RunReport report = analyze(one_iteration_trace());
+  ASSERT_EQ(report.iterations.size(), 1u);
+  const IterationReport& r = report.iterations[0];
+  EXPECT_EQ(r.job, 0);
+  EXPECT_EQ(r.iteration, 0);
+  EXPECT_EQ(r.critical_worker, 0);
+  EXPECT_EQ(r.enter_at, 1000);
+  EXPECT_EQ(r.release_at, 2000);
+  EXPECT_EQ(r.barrier_wait, 1000);
+
+  // Hand-computed decomposition: worker compute clamped to the barrier
+  // window [1000,1100], gradient chunk 50+100+50, aggregation 100, model
+  // chunk 200+200+200.
+  EXPECT_EQ(r.compute_ns, 200);
+  EXPECT_EQ(r.egress_queue_ns, 250);
+  EXPECT_EQ(r.serialization_ns, 300);
+  EXPECT_EQ(r.fan_in_ns, 250);
+  EXPECT_EQ(r.other_ns, 0);
+  EXPECT_EQ(r.compute_ns + r.egress_queue_ns + r.serialization_ns +
+                r.fan_in_ns + r.other_ns,
+            r.barrier_wait);
+
+  // Segments tile [enter, release] in forward time order with no gaps.
+  ASSERT_EQ(r.segments.size(), 8u);
+  EXPECT_EQ(r.segments.front().begin, r.enter_at);
+  EXPECT_EQ(r.segments.back().end, r.release_at);
+  for (std::size_t i = 1; i < r.segments.size(); ++i) {
+    EXPECT_EQ(r.segments[i - 1].end, r.segments[i].begin) << "gap at " << i;
+  }
+  EXPECT_EQ(r.segments[0].kind, SegmentKind::kCompute);        // worker step
+  EXPECT_EQ(r.segments[1].kind, SegmentKind::kEgressQueue);    // gradient
+  EXPECT_EQ(r.segments[2].kind, SegmentKind::kSerialization);
+  EXPECT_EQ(r.segments[3].kind, SegmentKind::kFanIn);
+  EXPECT_EQ(r.segments[4].kind, SegmentKind::kCompute);        // aggregation
+  EXPECT_EQ(r.segments[5].kind, SegmentKind::kEgressQueue);    // model
+  EXPECT_EQ(r.segments[6].kind, SegmentKind::kSerialization);
+  EXPECT_EQ(r.segments[7].kind, SegmentKind::kFanIn);
+  EXPECT_EQ(r.segments[5].host, 0);    // model flow queues at the PS host
+  EXPECT_EQ(r.segments[5].flow, 100);
+}
+
+TEST(Analysis, BlameWindowCountsForeignDequeuesOnly) {
+  RunReport report = analyze(one_iteration_trace());
+  ASSERT_EQ(report.iterations.size(), 1u);
+  const IterationReport& r = report.iterations[0];
+
+  // In flow 100's window: flow 999 (job 1) and flow 555 (job 0) at host 0
+  // count; the other-host, own-pipeline, and outside-window dequeues do
+  // not. Entries are sorted by (host, culprit job, culprit band).
+  ASSERT_EQ(r.blame.size(), 2u);
+  EXPECT_EQ(r.blame[0].host, 0);
+  EXPECT_EQ(r.blame[0].culprit_job, 0);
+  EXPECT_EQ(r.blame[0].culprit_band, 0);
+  EXPECT_EQ(r.blame[0].bytes, 3333);
+  EXPECT_EQ(r.blame[1].host, 0);
+  EXPECT_EQ(r.blame[1].culprit_job, 1);
+  EXPECT_EQ(r.blame[1].culprit_band, 2);
+  EXPECT_EQ(r.blame[1].bytes, 7777);
+
+  ASSERT_EQ(report.jobs.size(), 1u);
+  EXPECT_EQ(report.jobs[0].cross_job_blame_bytes, 7777);
+  EXPECT_EQ(report.jobs[0].self_blame_bytes, 3333);
+  EXPECT_EQ(report.jobs[0].total_wait_ns, 1000);
+  EXPECT_EQ(report.jobs[0].iterations, 1);
+}
+
+TEST(Analysis, BareBarrierEventsFallToOther) {
+  // No compute/flow events at all: the whole window is unattributable and
+  // must land in `other` — never dropped, never crashing.
+  Tracer t;
+  t.barrier_enter(700, 0, 0, 0);
+  t.barrier_release(1000, 0, /*worker=*/0, 0, /*wait=*/300);
+  RunReport report = analyze(t.events());
+  ASSERT_EQ(report.iterations.size(), 1u);
+  const IterationReport& r = report.iterations[0];
+  EXPECT_EQ(r.other_ns, 300);
+  EXPECT_EQ(r.other_ns, r.barrier_wait);
+  ASSERT_EQ(r.segments.size(), 1u);
+  EXPECT_EQ(r.segments[0].kind, SegmentKind::kOther);
+  EXPECT_TRUE(r.blame.empty());
+}
+
+TEST(Analysis, CriticalWorkerIsLargestWaitFirstInLogOnTies) {
+  Tracer t;
+  t.barrier_release(1000, 0, /*worker=*/0, 0, /*wait=*/100);
+  t.barrier_release(1000, 0, /*worker=*/1, 0, /*wait=*/300);
+  t.barrier_release(2000, 0, /*worker=*/2, 1, /*wait=*/250);
+  t.barrier_release(2000, 0, /*worker=*/3, 1, /*wait=*/250);
+  RunReport report = analyze(t.events());
+  ASSERT_EQ(report.iterations.size(), 2u);
+  EXPECT_EQ(report.iterations[0].critical_worker, 1);  // strictly larger
+  EXPECT_EQ(report.iterations[0].barrier_wait, 300);
+  EXPECT_EQ(report.iterations[1].critical_worker, 2);  // tie: log order
+}
+
+TEST(Analysis, StartupBroadcastIterationIsSkipped) {
+  // iteration -1 tags the startup model broadcast; it is not a barrier.
+  Tracer t;
+  t.barrier_release(500, 0, 0, /*iteration=*/-1, 100);
+  RunReport report = analyze(t.events());
+  EXPECT_TRUE(report.iterations.empty());
+  EXPECT_TRUE(report.jobs.empty());
+}
+
+TEST(Analysis, EmptyTraceYieldsEmptyReport) {
+  RunReport report = analyze({});
+  EXPECT_TRUE(report.iterations.empty());
+  EXPECT_TRUE(report.jobs.empty());
+  EXPECT_NE(report_text(report).find("jobs 0, iterations 0"),
+            std::string::npos);
+}
+
+TEST(AnalysisRenderers, TextCsvJsonAgreeOnTotals) {
+  RunReport report = analyze(one_iteration_trace());
+  std::string text = report_text(report);
+  EXPECT_NE(text.find("wait 1000 ns = compute 200 + egress_queue 250 + "
+                      "serialization 300 + fan_in 250 + other 0"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("blame host 0: job 1 band 2 drained 7777 bytes ahead"),
+            std::string::npos);
+
+  std::string csv = report_csv(report);
+  EXPECT_NE(csv.find("job,iteration,critical_worker,record,host,culprit_job,"
+                     "culprit_band,metric,value\n"),
+            std::string::npos);
+  EXPECT_NE(csv.find("0,0,0,segment,-1,-1,-1,barrier_wait_ns,1000"),
+            std::string::npos);
+  EXPECT_NE(csv.find("0,0,0,blame,0,1,2,blame_bytes,7777"), std::string::npos);
+
+  std::string json = report_json(report);
+  EXPECT_NE(json.find("\"schema\":\"tlsreport-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"cross_job_blame_bytes\":7777"), std::string::npos);
+  EXPECT_NE(json.find("\"self_blame_bytes\":3333"), std::string::npos);
+  // Integer-only output: a float would break byte-identical determinism.
+  EXPECT_EQ(json.find('.'), std::string::npos);
+}
+
+TEST(AnalysisReader, TraceCsvRoundTripsEveryField) {
+  Tracer t;
+  emit_one_iteration(t);
+  const std::vector<TraceEvent>& events = t.events();
+  std::istringstream in(trace_csv(t));
+  std::vector<TraceEvent> parsed;
+  std::string error;
+  ASSERT_TRUE(read_trace_csv(in, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.size(), events.size());
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(parsed[i].at, events[i].at) << i;
+    EXPECT_EQ(parsed[i].kind, events[i].kind) << i;
+    EXPECT_EQ(parsed[i].cat, events[i].cat) << i;
+    EXPECT_EQ(parsed[i].host, events[i].host) << i;
+    EXPECT_EQ(parsed[i].job, events[i].job) << i;
+    EXPECT_EQ(parsed[i].band, events[i].band) << i;
+    EXPECT_EQ(parsed[i].flow, events[i].flow) << i;
+    EXPECT_EQ(parsed[i].bytes, events[i].bytes) << i;
+    EXPECT_EQ(parsed[i].a, events[i].a) << i;
+    EXPECT_EQ(parsed[i].b, events[i].b) << i;
+    EXPECT_EQ(parsed[i].dur, events[i].dur) << i;
+  }
+  // The round trip is lossless for the analysis too.
+  EXPECT_EQ(report_text(analyze(parsed)), report_text(analyze(events)));
+}
+
+TEST(AnalysisReader, RejectsWrongHeader) {
+  std::istringstream in("time,stuff\n1,2\n");
+  std::vector<TraceEvent> out;
+  std::string error;
+  EXPECT_FALSE(read_trace_csv(in, &out, &error));
+  EXPECT_NE(error.find("header"), std::string::npos) << error;
+}
+
+TEST(AnalysisReader, RejectsMalformedRowWithLineNumber) {
+  std::istringstream in(
+      "at_ns,kind,cat,host,job,band,flow,bytes,a,b,dur_ns\n"
+      "10,chunk_enqueue,chunk,0,0,0,1,100,0,0,0\n"
+      "20,not_a_kind,chunk,0,0,0,1,100,0,0,0\n");
+  std::vector<TraceEvent> out;
+  std::string error;
+  EXPECT_FALSE(read_trace_csv(in, &out, &error));
+  EXPECT_NE(error.find("line 3"), std::string::npos) << error;
+  EXPECT_EQ(out.size(), 1u);  // rows before the error are kept
+}
+
+TEST(AnalysisReader, RejectsShortRow) {
+  std::istringstream in(
+      "at_ns,kind,cat,host,job,band,flow,bytes,a,b,dur_ns\n"
+      "10,chunk_enqueue,chunk\n");
+  std::vector<TraceEvent> out;
+  std::string error;
+  EXPECT_FALSE(read_trace_csv(in, &out, &error));
+  EXPECT_NE(error.find("11 columns"), std::string::npos) << error;
+}
+
+TEST(AnalysisReader, MissingFileReportsPath) {
+  std::vector<TraceEvent> out;
+  std::string error;
+  EXPECT_FALSE(
+      read_trace_csv_file("/nonexistent-dir-xyz/trace.csv", &out, &error));
+  EXPECT_NE(error.find("/nonexistent-dir-xyz/trace.csv"), std::string::npos);
+}
+
+RunReport report_with(std::int32_t job, std::int64_t iteration,
+                      sim::Time wait, std::int64_t cross_bytes) {
+  RunReport r;
+  IterationReport it;
+  it.job = job;
+  it.iteration = iteration;
+  it.barrier_wait = wait;
+  if (cross_bytes > 0) {
+    it.blame.push_back(BlameEntry{0, job + 1, 0, cross_bytes});
+  }
+  r.iterations.push_back(it);
+  JobSummary js;
+  js.job = job;
+  js.iterations = 1;
+  js.total_wait_ns = wait;
+  js.cross_job_blame_bytes = cross_bytes;
+  r.jobs.push_back(js);
+  return r;
+}
+
+TEST(AnalysisDiff, AlignsRowsAndFlagsMissingIterations) {
+  RunReport a = report_with(0, 0, 500, 100);
+  RunReport b = report_with(0, 1, 400, 0);  // different iteration
+  DiffReport d = diff_reports(a, b, "fifo", "tls-one");
+  EXPECT_EQ(d.label_a, "fifo");
+  EXPECT_EQ(d.label_b, "tls-one");
+  ASSERT_EQ(d.rows.size(), 2u);
+  EXPECT_EQ(d.rows[0].iteration, 0);
+  EXPECT_EQ(d.rows[0].wait_a, 500);
+  EXPECT_EQ(d.rows[0].wait_b, -1);  // missing on the B side
+  EXPECT_EQ(d.rows[1].iteration, 1);
+  EXPECT_EQ(d.rows[1].wait_a, -1);
+  EXPECT_EQ(d.rows[1].wait_b, 400);
+}
+
+TEST(AnalysisDiff, CertifiesCrossJobBlameElimination) {
+  DiffReport d = diff_reports(report_with(0, 0, 500, 4096),
+                              report_with(0, 0, 300, 0), "fifo", "tls-one");
+  ASSERT_EQ(d.jobs.size(), 1u);
+  EXPECT_EQ(d.jobs[0].cross_blame_a, 4096);
+  EXPECT_EQ(d.jobs[0].cross_blame_b, 0);
+  std::string text = diff_text(d);
+  EXPECT_NE(text.find("[queueing-behind-other-jobs eliminated]"),
+            std::string::npos)
+      << text;
+  // The tag only fires when blame actually went to zero.
+  DiffReport still = diff_reports(report_with(0, 0, 500, 4096),
+                                  report_with(0, 0, 300, 64), "a", "b");
+  EXPECT_EQ(diff_text(still).find("eliminated"), std::string::npos);
+
+  std::string json = diff_json(d);
+  EXPECT_NE(json.find("\"schema\":\"tlsreport-diff-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"cross_job_blame_bytes_a\":4096"), std::string::npos);
+  std::string csv = diff_csv(d);
+  EXPECT_NE(csv.find("job,iteration,metric,a,b\n"), std::string::npos);
+  EXPECT_NE(csv.find("0,-1,cross_job_blame_bytes,4096,0"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace tls::obs

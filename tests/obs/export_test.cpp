@@ -20,11 +20,11 @@ TEST(ChromeTrace, EmptyTracerIsStillValidDocument) {
 
 TEST(ChromeTrace, RendersTracksInstantsAndSpansExactly) {
   Tracer t;
-  t.chunk_enqueue(1500, 0, 1, 42, 1000);
-  t.chunk_dequeue(2500, 0, 1, 42, 1000, 1000);
+  t.chunk_enqueue(1500, 0, 3, 1, 42, 7, 1000);
+  t.chunk_dequeue(2500, 0, 3, 1, 42, 7, 1000, 1000);
   // A 2 ms barrier wait ending at t=5 ms renders as an "X" span starting
   // at the enter time.
-  t.barrier_release(5'000'000, 1, 0, 2'000'000);
+  t.barrier_release(5'000'000, 1, 0, 4, 2'000'000);
   t.rotation(7000, 2);
   EXPECT_EQ(
       chrome_trace_json(t),
@@ -43,14 +43,14 @@ TEST(ChromeTrace, RendersTracksInstantsAndSpansExactly) {
       "\"args\":{\"name\":\"controller\"}},\n"
       "{\"name\":\"chunk_enqueue\",\"cat\":\"chunk\",\"ph\":\"i\","
       "\"ts\":1.500,\"pid\":1,\"tid\":0,\"s\":\"t\","
-      "\"args\":{\"band\":1,\"flow\":42,\"bytes\":1000}},\n"
+      "\"args\":{\"band\":1,\"flow\":42,\"bytes\":1000,\"index\":7}},\n"
       "{\"name\":\"chunk_dequeue\",\"cat\":\"chunk\",\"ph\":\"i\","
       "\"ts\":2.500,\"pid\":1,\"tid\":0,\"s\":\"t\","
-      "\"args\":{\"band\":1,\"flow\":42,\"bytes\":1000,"
+      "\"args\":{\"band\":1,\"flow\":42,\"bytes\":1000,\"index\":7,"
       "\"queue_wait_ns\":1000}},\n"
       "{\"name\":\"barrier_release\",\"cat\":\"barrier\",\"ph\":\"X\","
       "\"ts\":3000.000,\"pid\":2,\"tid\":1,\"dur\":2000.000,"
-      "\"args\":{\"worker\":0}},\n"
+      "\"args\":{\"worker\":0,\"iteration\":4}},\n"
       "{\"name\":\"rotation\",\"cat\":\"rotation\",\"ph\":\"i\","
       "\"ts\":7.000,\"pid\":3,\"tid\":0,\"s\":\"t\","
       "\"args\":{\"offset\":2}}\n"
@@ -80,15 +80,15 @@ TEST(ChromeTrace, GaugeSamplesPickJobTrackWhenJobScoped) {
 
 TEST(TraceCsv, RendersEveryFieldExactly) {
   Tracer t;
-  t.chunk_enqueue(1500, 0, 1, 42, 1000);
-  t.chunk_dequeue(2500, 0, 1, 42, 1000, 1000);
-  t.barrier_release(5'000'000, 1, 0, 2'000'000);
+  t.chunk_enqueue(1500, 0, 3, 1, 42, 7, 1000);
+  t.chunk_dequeue(2500, 0, 3, 1, 42, 7, 1000, 1000);
+  t.barrier_release(5'000'000, 1, 0, 4, 2'000'000);
   t.rotation(7000, 2);
   EXPECT_EQ(trace_csv(t),
             "at_ns,kind,cat,host,job,band,flow,bytes,a,b,dur_ns\n"
-            "1500,chunk_enqueue,chunk,0,-1,1,42,1000,0,0,0\n"
-            "2500,chunk_dequeue,chunk,0,-1,1,42,1000,1000,0,0\n"
-            "5000000,barrier_release,barrier,-1,1,-1,0,0,0,0,2000000\n"
+            "1500,chunk_enqueue,chunk,0,3,1,42,1000,0,7,0\n"
+            "2500,chunk_dequeue,chunk,0,3,1,42,1000,1000,7,0\n"
+            "5000000,barrier_release,barrier,-1,1,-1,0,0,0,4,2000000\n"
             "7000,rotation,rotation,-1,-1,-1,0,0,2,0,0\n");
 }
 

@@ -41,7 +41,8 @@ TEST(ParseCategories, RejectsUnknownAndEmpty) {
 
 TEST(ParseCategories, EveryCatRoundTripsThroughItsName) {
   for (Cat cat : {Cat::kChunk, Cat::kQdisc, Cat::kHtb, Cat::kRotation,
-                  Cat::kBarrier, Cat::kStraggler, Cat::kSample}) {
+                  Cat::kBarrier, Cat::kStraggler, Cat::kSample, Cat::kFlow,
+                  Cat::kIngress, Cat::kCompute}) {
     std::uint32_t mask = 0;
     ASSERT_TRUE(parse_categories(to_string(cat), &mask, nullptr));
     EXPECT_EQ(mask, static_cast<std::uint32_t>(cat)) << to_string(cat);
@@ -50,13 +51,14 @@ TEST(ParseCategories, EveryCatRoundTripsThroughItsName) {
 
 TEST(Tracer, MaskFiltersEventLog) {
   Tracer t(static_cast<std::uint32_t>(Cat::kBarrier));
-  t.chunk_enqueue(10, 0, 1, 42, 1000);  // filtered out
-  t.barrier_enter(20, 3, 1);            // recorded
+  t.chunk_enqueue(10, 0, -1, 1, 42, 0, 1000);  // filtered out
+  t.barrier_enter(20, 3, 1, 5);                // recorded
   ASSERT_EQ(t.size(), 1u);
   EXPECT_EQ(t.events()[0].kind, EventKind::kBarrierEnter);
   EXPECT_EQ(t.events()[0].at, 20);
   EXPECT_EQ(t.events()[0].job, 3);
   EXPECT_EQ(t.events()[0].a, 1);  // worker id rides in `a`
+  EXPECT_EQ(t.events()[0].b, 5);  // iteration rides in `b`
 }
 
 TEST(Tracer, InactiveWhenMaskEmptyAndNoRegistry) {
@@ -73,7 +75,7 @@ TEST(Tracer, RegistryFedEvenForFilteredCategories) {
   Tracer t(0);
   Registry r;
   t.set_registry(&r);
-  t.chunk_dequeue(50, 2, 0, 7, 4096, 30);
+  t.chunk_dequeue(50, 2, -1, 0, 7, 0, 4096, 30);
   EXPECT_EQ(t.size(), 0u);
   EXPECT_EQ(r.counters().at(MetricKey{"bytes_drained", 2, -1, 0}).value(),
             4096);
@@ -123,6 +125,25 @@ TEST(PerRunPath, HandlesExtensionlessAndDottedDirs) {
   EXPECT_EQ(per_run_path("out.d/trace", "x"), "out.d/trace.x");
   EXPECT_EQ(per_run_path("", "x"), "");
   EXPECT_EQ(per_run_path("t.json", ""), "t.json");
+}
+
+TEST(PerRunPath, IdenticalLabelsCollideByDesign) {
+  // Two RunPlan entries with the same label map to the same artifact path:
+  // last writer wins, exactly like running tlsim twice with --trace to the
+  // same file. Callers wanting distinct files must use distinct labels.
+  EXPECT_EQ(per_run_path("out/t.json", "fifo"),
+            per_run_path("out/t.json", "fifo"));
+  // Sanitization can also induce collisions: labels differing only in the
+  // separator character land on the same file.
+  EXPECT_EQ(per_run_path("out/t.json", "p3/fifo"),
+            per_run_path("out/t.json", "p3 fifo"));
+}
+
+TEST(PerRunPath, EmptyLabelLeavesBaseUntouched) {
+  // A single-entry RunSet has no label; the artifact keeps its plain path
+  // (no trailing dot, no mangling), extension or not.
+  EXPECT_EQ(per_run_path("out/trace.json", ""), "out/trace.json");
+  EXPECT_EQ(per_run_path("out/trace", ""), "out/trace");
 }
 
 }  // namespace

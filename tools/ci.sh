@@ -48,6 +48,35 @@ else
   echo "python3 not installed; skipping trace JSON well-formedness check"
 fi
 
+echo "==> [2d/4] tlsreport smoke: attribution report + diff under ASan"
+for pol in fifo tls-one; do
+  ./build-asan/tools/tlsim run --hosts 3 --jobs 2 --workers 2 --iters 2 \
+    --placement 1 --policy "$pol" --seed 5 \
+    --trace-csv "$smoke_dir/$pol.csv" \
+    --report "$smoke_dir/$pol.txt" --report-json "$smoke_dir/$pol.json" \
+    >/dev/null
+done
+./build-asan/tools/tlsreport "$smoke_dir/fifo.csv" --quiet \
+  --json "$smoke_dir/fifo-offline.json"
+cmp "$smoke_dir/fifo.json" "$smoke_dir/fifo-offline.json" \
+  || { echo "offline tlsreport diverges from in-process report"; exit 1; }
+./build-asan/tools/tlsreport --diff "$smoke_dir/fifo.csv" \
+  "$smoke_dir/tls-one.csv" --json "$smoke_dir/diff.json" >/dev/null
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$smoke_dir/fifo.json" "$smoke_dir/diff.json" <<'PYEOF'
+import json, sys
+report = json.load(open(sys.argv[1]))
+assert report["schema"] == "tlsreport-v1", report.get("schema")
+assert report["jobs"], "report has no job rollups"
+diff = json.load(open(sys.argv[2]))
+assert diff["schema"] == "tlsreport-diff-v1", diff.get("schema")
+print(f"tlsreport OK: {len(report['jobs'])} jobs, "
+      f"{len(diff['jobs'])} diffed")
+PYEOF
+else
+  echo "python3 not installed; skipping report JSON well-formedness check"
+fi
+
 echo "==> [3/4] debug-tsan: tls::runtime pool/runner under ThreadSanitizer"
 cmake --preset debug-tsan
 cmake --build --preset debug-tsan -j "$jobs" --target test_runtime

@@ -1,0 +1,10 @@
+// tlsreport — post-hoc straggler root-cause attribution for tlsim traces.
+// All logic lives in obs::run_report_cli (src/obs/report_cli.cpp) so the
+// test suite exercises it in-process.
+#include <iostream>
+
+#include "obs/report_cli.hpp"
+
+int main(int argc, char** argv) {
+  return tls::obs::run_report_cli(argc, argv, std::cout, std::cerr);
+}
