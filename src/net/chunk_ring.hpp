@@ -1,0 +1,221 @@
+// Struct-of-arrays ring buffer for queued chunks.
+//
+// Every queueing point in the network substrate (qdisc bands, WDRR flow
+// queues, the ingress FIFO) used to hold std::deque<Chunk>: ~64-byte
+// records scattered across deque nodes, fully loaded even when a scheduler
+// only needs one field to make its decision. ChunkRing stores each Chunk
+// field in its own parallel lane inside a single arena allocation, so
+//   - enqueue/dequeue touch contiguous memory (one allocation per ring,
+//     power-of-two growth, no per-node churn),
+//   - hot scheduling peeks (front_size(), front_stamp()) read one lane
+//     without materializing the whole record, and
+//   - an extra Time lane carries queue-point-local state (the ingress
+//     arrival instant) without a second parallel container to keep in sync.
+//
+// Service order is strict FIFO, identical to the deques this replaces; the
+// container has no time, RNG, or iteration-order dependence, so swapping it
+// in is byte-identical by construction.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <new>
+#include <vector>
+
+#include "net/chunk.hpp"
+#include "simcore/check.hpp"
+
+namespace tls::net {
+
+class ChunkRing {
+ public:
+  ChunkRing() = default;
+  ~ChunkRing() { ::operator delete(arena_); }
+
+  ChunkRing(const ChunkRing&) = delete;
+  ChunkRing& operator=(const ChunkRing&) = delete;
+
+  ChunkRing(ChunkRing&& o) noexcept { move_from(o); }
+  ChunkRing& operator=(ChunkRing&& o) noexcept {
+    if (this != &o) {
+      ::operator delete(arena_);
+      move_from(o);
+    }
+    return *this;
+  }
+
+  bool empty() const { return size_ == 0; }
+  std::size_t size() const { return size_; }
+
+  /// Appends `c`; `stamp` is an optional queue-point-local time (the
+  /// ingress FIFO stores the arrival instant here).
+  void push_back(const Chunk& c, sim::Time stamp = 0) {
+    if (size_ == capacity_) grow();
+    std::size_t i = (head_ + size_) & (capacity_ - 1);
+    flow_[i] = c.flow;
+    size_b_[i] = c.size;
+    enqueued_at_[i] = c.enqueued_at;
+    stamp_[i] = stamp;
+    weight_[i] = c.weight;
+    index_[i] = c.index;
+    band_[i] = c.band;
+    dst_[i] = c.dst;
+    job_[i] = c.job;
+    last_[i] = c.last ? 1 : 0;
+    kind_[i] = static_cast<std::uint8_t>(c.kind);
+    ++size_;
+  }
+
+  /// Materializes the front chunk.
+  Chunk front() const { return at(0); }
+
+  /// Front-field peeks: one lane load, no record materialization.
+  Bytes front_size() const {
+    TLS_DCHECK(size_ > 0, "front_size() on an empty ChunkRing");
+    return size_b_[head_];
+  }
+  sim::Time front_stamp() const {
+    TLS_DCHECK(size_ > 0, "front_stamp() on an empty ChunkRing");
+    return stamp_[head_];
+  }
+
+  void pop_front() {
+    TLS_DCHECK(size_ > 0, "pop_front() on an empty ChunkRing");
+    head_ = (head_ + 1) & (capacity_ - 1);
+    --size_;
+  }
+
+  /// front() + pop_front() in one call.
+  Chunk take_front() {
+    Chunk c = front();
+    pop_front();
+    return c;
+  }
+
+  void clear() {
+    head_ = 0;
+    size_ = 0;
+  }
+
+  /// Appends all queued chunks to `out` in service order (drain support).
+  void append_to(std::vector<Chunk>& out) const {
+    out.reserve(out.size() + size_);
+    for (std::size_t k = 0; k < size_; ++k) out.push_back(at(k));
+  }
+
+ private:
+  static constexpr std::size_t kInitialCapacity = 16;
+
+  Chunk at(std::size_t k) const {
+    TLS_DCHECK(k < size_, "ChunkRing index out of range: ", k);
+    std::size_t i = (head_ + k) & (capacity_ - 1);
+    Chunk c;
+    c.flow = flow_[i];
+    c.size = size_b_[i];
+    c.enqueued_at = enqueued_at_[i];
+    c.weight = weight_[i];
+    c.index = index_[i];
+    c.band = band_[i];
+    c.dst = dst_[i];
+    c.job = job_[i];
+    c.last = last_[i] != 0;
+    c.kind = static_cast<FlowKind>(kind_[i]);
+    return c;
+  }
+
+  /// Bytes needed for all lanes at `cap` slots; 8-byte lanes lead so every
+  /// lane start is naturally aligned.
+  static std::size_t arena_bytes(std::size_t cap) {
+    return cap * (sizeof(FlowId) + sizeof(Bytes) + 2 * sizeof(sim::Time) +
+                  sizeof(double) + 3 * sizeof(std::int32_t) +
+                  sizeof(std::uint32_t) + 2 * sizeof(std::uint8_t));
+  }
+
+  /// Points the lane pointers into `arena` laid out for `cap` slots.
+  void bind_lanes(std::byte* arena, std::size_t cap) {
+    std::byte* p = arena;
+    auto lane = [&p](std::size_t bytes) {
+      std::byte* s = p;
+      p += bytes;
+      return s;
+    };
+    flow_ = reinterpret_cast<FlowId*>(lane(cap * sizeof(FlowId)));
+    size_b_ = reinterpret_cast<Bytes*>(lane(cap * sizeof(Bytes)));
+    enqueued_at_ = reinterpret_cast<sim::Time*>(lane(cap * sizeof(sim::Time)));
+    stamp_ = reinterpret_cast<sim::Time*>(lane(cap * sizeof(sim::Time)));
+    weight_ = reinterpret_cast<double*>(lane(cap * sizeof(double)));
+    index_ = reinterpret_cast<std::uint32_t*>(
+        lane(cap * sizeof(std::uint32_t)));
+    band_ = reinterpret_cast<std::int32_t*>(lane(cap * sizeof(std::int32_t)));
+    dst_ = reinterpret_cast<std::int32_t*>(lane(cap * sizeof(std::int32_t)));
+    job_ = reinterpret_cast<std::int32_t*>(lane(cap * sizeof(std::int32_t)));
+    last_ = reinterpret_cast<std::uint8_t*>(lane(cap * sizeof(std::uint8_t)));
+    kind_ = reinterpret_cast<std::uint8_t*>(lane(cap * sizeof(std::uint8_t)));
+  }
+
+  void grow() {
+    std::size_t new_cap = capacity_ == 0 ? kInitialCapacity : capacity_ * 2;
+    std::byte* arena =
+        static_cast<std::byte*>(::operator new(arena_bytes(new_cap)));
+    ChunkRing old;
+    old.arena_ = arena_;
+    old.capacity_ = capacity_;
+    old.head_ = head_;
+    old.size_ = size_;
+    if (capacity_ != 0) old.bind_lanes(arena_, capacity_);
+    arena_ = arena;
+    capacity_ = new_cap;
+    head_ = 0;
+    size_ = 0;
+    bind_lanes(arena, new_cap);
+    for (std::size_t k = 0; k < old.size_; ++k) push_back(old.at(k));
+    // Restore the stamp lane, which at() does not carry.
+    for (std::size_t k = 0; k < old.size_; ++k) {
+      stamp_[k] = old.stamp_[(old.head_ + k) & (old.capacity_ - 1)];
+    }
+    // old's destructor frees the previous arena.
+  }
+
+  void move_from(ChunkRing& o) {
+    arena_ = o.arena_;
+    capacity_ = o.capacity_;
+    head_ = o.head_;
+    size_ = o.size_;
+    flow_ = o.flow_;
+    size_b_ = o.size_b_;
+    enqueued_at_ = o.enqueued_at_;
+    stamp_ = o.stamp_;
+    weight_ = o.weight_;
+    index_ = o.index_;
+    band_ = o.band_;
+    dst_ = o.dst_;
+    job_ = o.job_;
+    last_ = o.last_;
+    kind_ = o.kind_;
+    o.arena_ = nullptr;
+    o.capacity_ = 0;
+    o.head_ = 0;
+    o.size_ = 0;
+  }
+
+  std::byte* arena_ = nullptr;
+  std::size_t capacity_ = 0;  // power of two (or 0 before first push)
+  std::size_t head_ = 0;
+  std::size_t size_ = 0;
+
+  // SoA lanes inside arena_ (8-byte lanes first for natural alignment).
+  FlowId* flow_ = nullptr;
+  Bytes* size_b_ = nullptr;
+  sim::Time* enqueued_at_ = nullptr;
+  sim::Time* stamp_ = nullptr;
+  double* weight_ = nullptr;
+  std::uint32_t* index_ = nullptr;
+  std::int32_t* band_ = nullptr;
+  std::int32_t* dst_ = nullptr;
+  std::int32_t* job_ = nullptr;
+  std::uint8_t* last_ = nullptr;
+  std::uint8_t* kind_ = nullptr;
+};
+
+}  // namespace tls::net

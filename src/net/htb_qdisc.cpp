@@ -120,8 +120,7 @@ DequeueResult HtbQdisc::dequeue(sim::Time now) {
   // Direct (unclassified) traffic bypasses shaping entirely, like htb's
   // direct queue.
   if (!direct_.empty()) {
-    Chunk c = direct_.front();
-    direct_.pop_front();
+    Chunk c = direct_.take_front();
     direct_bytes_ -= c.size;
     TLS_CHECK(direct_bytes_ >= 0, "htb direct backlog went negative: ",
               direct_bytes_);
@@ -212,7 +211,7 @@ DequeueResult HtbQdisc::dequeue(sim::Time now) {
 }
 
 void HtbQdisc::drain(std::vector<Chunk>& out) {
-  out.insert(out.end(), direct_.begin(), direct_.end());
+  direct_.append_to(out);
   direct_.clear();
   ledger_.drained += direct_bytes_;
   direct_bytes_ = 0;

@@ -13,11 +13,11 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <map>
 #include <optional>
 #include <string>
 
+#include "net/chunk_ring.hpp"
 #include "net/qdisc.hpp"
 #include "net/wdrr.hpp"
 
@@ -113,7 +113,7 @@ class HtbQdisc final : public Qdisc {
 
   // Ordered map => deterministic iteration, stable tie-breaking.
   std::map<std::uint32_t, LeafClass> classes_;
-  std::deque<Chunk> direct_;  // unclassified, unshaped
+  ChunkRing direct_;  // unclassified, unshaped
   Bytes direct_bytes_ = 0;
   QdiscStats stats_;
   ByteLedger ledger_;

@@ -31,8 +31,7 @@ DequeueResult PfifoFastQdisc::dequeue(sim::Time now) {
   for (int b = 0; b < kBands; ++b) {
     auto& band = bands_[static_cast<std::size_t>(b)];
     if (band.empty()) continue;
-    Chunk c = band.front();
-    band.pop_front();
+    Chunk c = band.take_front();
     if (TLS_OBS_ACTIVE(obs_)) obs_->band_service(now, obs_host_, b, c.size);
     band_bytes_[static_cast<std::size_t>(b)] -= c.size;
     TLS_CHECK(band_bytes_[static_cast<std::size_t>(b)] >= 0,
@@ -60,7 +59,7 @@ std::size_t PfifoFastQdisc::backlog_chunks() const {
 void PfifoFastQdisc::drain(std::vector<Chunk>& out) {
   for (int b = 0; b < kBands; ++b) {
     auto& band = bands_[static_cast<std::size_t>(b)];
-    out.insert(out.end(), band.begin(), band.end());
+    band.append_to(out);
     band.clear();
     ledger_.drained += band_bytes_[static_cast<std::size_t>(b)];
     band_bytes_[static_cast<std::size_t>(b)] = 0;

@@ -8,8 +8,8 @@
 #pragma once
 
 #include <array>
-#include <deque>
 
+#include "net/chunk_ring.hpp"
 #include "net/qdisc.hpp"
 
 namespace tls::net {
@@ -37,7 +37,7 @@ class PfifoFastQdisc final : public Qdisc {
   }
 
  private:
-  std::array<std::deque<Chunk>, kBands> bands_;
+  std::array<ChunkRing, kBands> bands_;
   std::array<Bytes, kBands> band_bytes_{0, 0, 0};
   QdiscStats stats_;
   ByteLedger ledger_;

@@ -18,7 +18,7 @@ void PfifoQdisc::enqueue(const Chunk& chunk) {
 }
 
 void PfifoQdisc::drain(std::vector<Chunk>& out) {
-  out.insert(out.end(), queue_.begin(), queue_.end());
+  queue_.append_to(out);
   queue_.clear();
   ledger_.drained += backlog_bytes_;
   backlog_bytes_ = 0;
@@ -27,8 +27,7 @@ void PfifoQdisc::drain(std::vector<Chunk>& out) {
 
 DequeueResult PfifoQdisc::dequeue(sim::Time now) {
   if (queue_.empty()) return DequeueResult::idle();
-  Chunk c = queue_.front();
-  queue_.pop_front();
+  Chunk c = queue_.take_front();
   if (TLS_OBS_ACTIVE(obs_)) obs_->band_service(now, obs_host_, 0, c.size);
   backlog_bytes_ -= c.size;
   TLS_CHECK(backlog_bytes_ >= 0, "pfifo backlog went negative: ",
@@ -40,6 +39,28 @@ DequeueResult PfifoQdisc::dequeue(sim::Time now) {
              ledger_.enqueued, " out=", ledger_.dequeued, " drained=",
              ledger_.drained, " backlog=", backlog_bytes_);
   return DequeueResult::of(c);
+}
+
+std::size_t PfifoQdisc::dequeue_batch(sim::Time now, std::size_t max_chunks,
+                                      ChunkRing& out) {
+  std::size_t n = 0;
+  while (n < max_chunks && !queue_.empty()) {
+    Chunk c = queue_.take_front();
+    if (TLS_OBS_ACTIVE(obs_)) obs_->band_service(now, obs_host_, 0, c.size);
+    backlog_bytes_ -= c.size;
+    stats_.bytes_sent += c.size;
+    ++stats_.chunks_sent;
+    ledger_.dequeued += c.size;
+    out.push_back(c);
+    ++n;
+  }
+  TLS_CHECK(backlog_bytes_ >= 0, "pfifo backlog went negative: ",
+            backlog_bytes_);
+  TLS_DCHECK(ledger_.balanced(backlog_bytes_),
+             "pfifo ledger imbalance after batch dequeue: in=",
+             ledger_.enqueued, " out=", ledger_.dequeued, " drained=",
+             ledger_.drained, " backlog=", backlog_bytes_);
+  return n;
 }
 
 std::string PfifoQdisc::stats_text() const {

@@ -6,8 +6,7 @@
 // qdisc. Lossless (no tail drop); see DESIGN.md §4.
 #pragma once
 
-#include <deque>
-
+#include "net/chunk_ring.hpp"
 #include "net/qdisc.hpp"
 
 namespace tls::net {
@@ -25,8 +24,14 @@ class PfifoQdisc final : public Qdisc {
   const QdiscStats& stats() const override { return stats_; }
   std::string stats_text() const override;
 
+  /// Strict FIFO: nothing enqueued later can displace the current head, so
+  /// the port may batch-stage the backlog.
+  bool fifo_stable() const override { return true; }
+  std::size_t dequeue_batch(sim::Time now, std::size_t max_chunks,
+                            ChunkRing& out) override;
+
  private:
-  std::deque<Chunk> queue_;
+  ChunkRing queue_;
   Bytes backlog_bytes_ = 0;
   QdiscStats stats_;
   ByteLedger ledger_;

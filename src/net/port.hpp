@@ -3,10 +3,10 @@
 #pragma once
 
 #include <cstdint>
-#include <deque>
 #include <functional>
 #include <memory>
 
+#include "net/chunk_ring.hpp"
 #include "net/classifier.hpp"
 #include "net/qdisc.hpp"
 #include "simcore/simulator.hpp"
@@ -62,8 +62,29 @@ class EgressPort {
   void set_host(HostId host);
   HostId host() const { return host_; }
 
+  /// Fast-forward telemetry: chunks served from the staging lane without a
+  /// qdisc poll, vs direct dequeue polls (including idle ones). The hit
+  /// rate promotions/(promotions+polls) measures how much of the drain the
+  /// port fast-forwarded.
+  std::uint64_t ff_promotions() const { return ff_promotions_; }
+  std::uint64_t ff_polls() const { return ff_polls_; }
+  /// Bytes parked in the staging lane (already dequeued from the qdisc,
+  /// not yet on the wire).
+  Bytes staged_bytes() const { return staged_bytes_; }
+
  private:
+  // Chunks batch-staged per qdisc pull; bounds how far ahead of the wire
+  // the port dequeues, so a qdisc swap never migrates a long staged tail.
+  static constexpr std::size_t kStageBatch = 64;
+
   void finish_transmit(const Chunk& chunk);
+  /// Puts `chunk` on the wire now. Single point through which both the
+  /// staged fast path and the poll path start a transmission.
+  void start_transmit(const Chunk& chunk);
+  /// Refills the staging lane from the qdisc when fast-forwarding is safe:
+  /// the discipline is fifo-stable and no tracer needs per-chunk dequeue
+  /// events at their poll instants.
+  void maybe_stage();
 
   sim::Simulator& sim_;
   HostId host_ = -1;
@@ -75,8 +96,17 @@ class EgressPort {
   bool retry_armed_ = false;
   sim::EventId retry_event_{};
   PortCounters counters_;
+  // Fast-forward staging lane: chunks already dequeued from a fifo-stable
+  // qdisc in one batch, served in order without further polls. Promotion
+  // happens inside kick() exactly where the poll path would schedule, so
+  // the event schedule order is identical to poll-per-chunk.
+  ChunkRing staged_;
+  Bytes staged_bytes_ = 0;
+  std::uint64_t ff_promotions_ = 0;
+  std::uint64_t ff_polls_ = 0;
   // Byte-conservation bookkeeping: everything submitted is either already
-  // transmitted (counters_.bytes), in flight on the wire, or still queued.
+  // transmitted (counters_.bytes), in flight on the wire, staged, or still
+  // queued in the qdisc.
   Bytes submitted_bytes_ = 0;
   Bytes in_flight_bytes_ = 0;
 };
@@ -111,10 +141,10 @@ class IngressPort {
   HostId host_ = -1;
   Rate rate_;
   Delivered on_delivered_;
-  std::deque<Chunk> queue_;
-  /// Arrival instant of each queued chunk, parallel to queue_; fan-in wait
-  /// and residence trace fields derive from these.
-  std::deque<sim::Time> arrivals_;
+  /// FIFO of waiting chunks; the ring's stamp lane records each chunk's
+  /// arrival instant (fan-in wait and residence trace fields derive from
+  /// it), replacing a second parallel deque.
+  ChunkRing queue_;
   Bytes backlog_bytes_ = 0;
   bool busy_ = false;
   PortCounters counters_;

@@ -42,8 +42,7 @@ DequeueResult TbfQdisc::dequeue(sim::Time now) {
     if (TLS_OBS_ACTIVE(obs_)) obs_->overlimit(now, obs_host_, retry);
     return DequeueResult::wait_until(retry);
   }
-  Chunk c = queue_.front();
-  queue_.pop_front();
+  Chunk c = queue_.take_front();
   backlog_bytes_ -= c.size;
   TLS_CHECK(backlog_bytes_ >= 0, "tbf backlog went negative: ",
             backlog_bytes_);
@@ -58,7 +57,7 @@ DequeueResult TbfQdisc::dequeue(sim::Time now) {
 }
 
 void TbfQdisc::drain(std::vector<Chunk>& out) {
-  out.insert(out.end(), queue_.begin(), queue_.end());
+  queue_.append_to(out);
   queue_.clear();
   ledger_.drained += backlog_bytes_;
   backlog_bytes_ = 0;

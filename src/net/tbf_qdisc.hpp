@@ -5,8 +5,7 @@
 // overdraws it by its size, matching the htb leaf semantics.
 #pragma once
 
-#include <deque>
-
+#include "net/chunk_ring.hpp"
 #include "net/qdisc.hpp"
 
 namespace tls::net {
@@ -33,7 +32,7 @@ class TbfQdisc final : public Qdisc {
 
  private:
   TbfConfig config_;
-  std::deque<Chunk> queue_;
+  ChunkRing queue_;
   Bytes backlog_bytes_ = 0;
   double tokens_;
   sim::Time last_refill_ = 0;

@@ -44,16 +44,16 @@ std::optional<Chunk> WdrrBand::dequeue() {
     FlowQueue& fq = it->second;
     TLS_CHECK(!fq.chunks.empty(), "wdrr: active flow ", fid,
               " has an empty queue");
-    const Chunk& head = fq.chunks.front();
-    if (fq.deficit < head.size) {
+    // One-lane peek: the DRR decision needs only the head chunk's size.
+    const Bytes head_size = fq.chunks.front_size();
+    if (fq.deficit < head_size) {
       fq.deficit += static_cast<Bytes>(static_cast<double>(quantum_) * fq.weight);
       active_.pop_front();
       active_.push_back(fid);
       continue;
     }
-    Chunk served = head;
+    Chunk served = fq.chunks.take_front();
     fq.deficit -= served.size;
-    fq.chunks.pop_front();
     backlog_bytes_ -= served.size;
     --backlog_chunks_;
     TLS_CHECK(backlog_bytes_ >= 0, "wdrr backlog went negative: ",

@@ -12,6 +12,7 @@
 #include <unordered_map>
 
 #include "net/chunk.hpp"
+#include "net/chunk_ring.hpp"
 
 namespace tls::net {
 
@@ -23,6 +24,12 @@ class WdrrBand {
   /// it should be at least the common chunk size or DRR degenerates into
   /// multi-round spinning.
   explicit WdrrBand(Bytes quantum = 128 * kKiB);
+
+  // Move-only: the per-flow ChunkRings own arena allocations.
+  WdrrBand(WdrrBand&&) = default;
+  WdrrBand& operator=(WdrrBand&&) = default;
+  WdrrBand(const WdrrBand&) = delete;
+  WdrrBand& operator=(const WdrrBand&) = delete;
 
   void enqueue(const Chunk& chunk);
 
@@ -41,7 +48,7 @@ class WdrrBand {
 
  private:
   struct FlowQueue {
-    std::deque<Chunk> chunks;
+    ChunkRing chunks;
     double weight = 1.0;
     Bytes deficit = 0;
     bool in_round = false;  // currently on the active list

@@ -48,6 +48,14 @@ void ThreadPool::submit(std::function<void()> task) {
 }
 
 void ThreadPool::wait_idle() {
+  // Wakeup-ordering audit: `pending_` is incremented under mu_ *before*
+  // submit() returns and decremented under mu_ only *after* the task body
+  // finished, and the 0-crossing notifies idle_cv_ while holding mu_. The
+  // predicate is therefore never stale at wakeup: wait_idle() cannot
+  // return while a submitted task is still queued or executing, and a
+  // notify between the predicate check and the wait re-arm is impossible
+  // because both happen under mu_. Rapid submit/wait_idle cycles are
+  // exercised under TSan by ThreadPool.RapidSubmitWaitIdleCycles.
   std::unique_lock<std::mutex> lock(mu_);
   idle_cv_.wait(lock, [this] { return pending_ == 0; });
 }

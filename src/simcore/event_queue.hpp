@@ -1,10 +1,22 @@
 // Pending-event set for the discrete-event simulator.
 //
-// A binary heap keyed on (time, sequence number). The sequence number makes
-// ordering of simultaneous events deterministic (FIFO by scheduling order),
-// which in turn makes whole experiments reproducible. Events can be
-// cancelled in O(1) amortized via tombstoning: cancellation marks the entry
-// dead and it is skipped at pop time.
+// A two-tier calendar queue keyed on (time, sequence number). The sequence
+// number makes ordering of simultaneous events deterministic (FIFO by
+// scheduling order), which in turn makes whole experiments reproducible.
+//
+// Structure: a flat window of fixed-count, adaptive-width time buckets
+// covers the near future; events beyond the window land in a binary-heap
+// overflow tier and migrate into buckets when the window re-anchors. Each
+// bucket is a sorted vector consumed through a head cursor, so the common
+// short-horizon schedule (a transmit completion a few microseconds out)
+// is an O(1) append and never touches the heap. The pop order is exactly
+// ascending (time, seq) — byte-identical to the binary heap this replaced.
+//
+// Cancellation is O(1): every event's liveness lives in a dense
+// seq-indexed state table (pending / fired / cancelled), so cancel() is a
+// table write and cancelled entries are skipped as tombstones when the
+// consuming cursor reaches them. The table's dead prefix is trimmed in
+// amortized O(1) as events retire.
 #pragma once
 
 #include <cstdint>
@@ -22,10 +34,25 @@ struct EventId {
   friend bool operator==(const EventId&, const EventId&) = default;
 };
 
-/// Min-heap of timed callbacks with stable ordering and O(1) cancellation.
+/// Calendar queue of timed callbacks with stable ordering and O(1)
+/// cancellation.
 class EventQueue {
  public:
   using Callback = std::function<void()>;
+
+  /// Internal activity counters; bench_simcore and the obs wiring read
+  /// these to publish events/sec and tier behavior.
+  struct Stats {
+    std::uint64_t scheduled = 0;
+    std::uint64_t cancelled = 0;
+    std::uint64_t popped = 0;
+    /// Cancelled entries physically discarded by the consuming cursor.
+    std::uint64_t tombstones_skipped = 0;
+    /// Entries migrated overflow-heap -> calendar window.
+    std::uint64_t overflow_pulls = 0;
+    /// Window re-anchors (calendar exhausted, refilled from overflow).
+    std::uint64_t window_jumps = 0;
+  };
 
   EventQueue() = default;
   EventQueue(const EventQueue&) = delete;
@@ -35,9 +62,9 @@ class EventQueue {
   /// cancel(). Events at equal times fire in scheduling order.
   EventId schedule(Time at, Callback cb);
 
-  /// Cancels a previously scheduled event. Returns true if the event was
-  /// still pending (and is now guaranteed not to fire), false if it already
-  /// fired or was already cancelled.
+  /// Cancels a previously scheduled event in O(1). Returns true if the
+  /// event was still pending (and is now guaranteed not to fire), false if
+  /// it already fired, was already cancelled, or predates clear().
   bool cancel(EventId id);
 
   /// True when no live events remain.
@@ -53,27 +80,94 @@ class EventQueue {
   /// The returned pair is (time, callback).
   std::pair<Time, Callback> pop();
 
-  /// Drops everything, firing nothing.
+  /// Drops everything, firing nothing. EventIds issued before clear()
+  /// become stale: cancelling one returns false and can never affect an
+  /// event scheduled afterwards.
   void clear();
+
+  const Stats& stats() const { return stats_; }
 
  private:
   struct Entry {
     Time at;
     std::uint64_t seq;
     Callback cb;
-    bool operator>(const Entry& o) const {
-      return at != o.at ? at > o.at : seq > o.seq;
-    }
+  };
+  /// Strict total order: (at, seq). seq is unique, so no ties.
+  static bool entry_less(const Entry& a, const Entry& b) {
+    return a.at != b.at ? a.at < b.at : a.seq < b.seq;
+  }
+
+  /// One calendar bucket: entries in [head, v.size()) pending, slots
+  /// before head consumed. Out-of-order arrivals only set `dirty`; the
+  /// pending range is sorted by (at, seq) lazily when the consuming
+  /// cursor first reaches the bucket, so a burst of non-monotone
+  /// schedules into one bucket costs one O(k log k) sort instead of k
+  /// O(k) sorted inserts.
+  struct Bucket {
+    std::vector<Entry> v;
+    std::size_t head = 0;
+    bool dirty = false;
   };
 
-  // Pops cancelled entries off the top of the heap.
-  void skim();
-  bool is_cancelled(std::uint64_t seq) const;
+  // Per-event liveness states in state_.
+  enum : std::uint8_t { kPending = 0, kFired = 1, kCancelled = 2 };
 
-  std::vector<Entry> heap_;
-  std::vector<std::uint64_t> cancelled_;  // sorted-insert small set
+  static constexpr std::size_t kBuckets = 512;  // power of two
+  static constexpr std::size_t kBitmapWords = kBuckets / 64;
+  static constexpr Time kDefaultWidth = 1 << 12;  // ~4us at ns resolution
+  static constexpr Time kMaxWidth = Time(1) << 42;
+  static constexpr std::size_t kWidthSample = 16;
+  static constexpr std::size_t kStateTrimMin = 4096;
+  /// Pending-range size at which a bucket is too dense for the current
+  /// width and the calendar re-anchors with a narrower geometry.
+  static constexpr std::size_t kDenseBucket = 64;
+
+  Time window_end() const;
+  void push_bucket(std::size_t idx, Entry&& e);
+  void insert_entry(Entry&& e);
+  Entry pop_overflow();
+  /// Re-anchors the window at the overflow minimum, adapts the bucket
+  /// width to the observed head spacing, and migrates in-window entries.
+  void refill_window();
+  /// Spills every calendar entry into the overflow heap and re-anchors
+  /// with a freshly estimated width. Called when one bucket turns dense
+  /// relative to the current geometry; without it, a stream of
+  /// out-of-order inserts into the cursor bucket would re-sort an
+  /// ever-growing range on every pop.
+  void rebucket();
+  /// Positions (cur_, head) on the earliest physical entry, refilling from
+  /// overflow as needed. Requires a physical entry to exist.
+  Entry* peek_physical();
+  /// Consumes the entry peek_physical() returned.
+  void drop_front();
+  /// Positions on the earliest *live* entry, discarding tombstones.
+  Entry* next_live();
+  std::uint8_t& state_of(std::uint64_t seq);
+  void maybe_trim_state();
+
+  // --- liveness table: state_[seq - state_base_], dense and trimmed ---
+  std::vector<std::uint8_t> state_;
+  std::uint64_t state_base_ = 1;
+  std::size_t state_scan_ = 0;  // dead-prefix scan cursor
+
+  // --- calendar window ---
+  std::vector<Bucket> buckets_{kBuckets};
+  std::uint64_t occupied_[kBitmapWords] = {};
+  Time window_start_ = 0;
+  Time width_ = kDefaultWidth;
+  /// One-shot upper bound on the next refill's width estimate, armed by
+  /// rebucket() to guarantee the geometry narrows. kMaxWidth = unarmed.
+  Time width_cap_ = kMaxWidth;
+  std::size_t cur_ = 0;        // lowest possibly-occupied bucket
+  std::size_t cal_count_ = 0;  // physical entries in buckets
+
+  // --- overflow tier: min-heap on (at, seq) ---
+  std::vector<Entry> overflow_;
+
   std::uint64_t next_seq_ = 1;
   std::size_t live_ = 0;
+  Stats stats_;
   // Time of the last popped event; pops must never go backwards or the
   // simulation clock (and therefore every derived metric) is corrupt.
   Time last_pop_time_ = kTimeMin;

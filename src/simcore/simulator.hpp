@@ -57,6 +57,11 @@ class Simulator {
   /// Total events dispatched since construction.
   std::uint64_t dispatched() const { return dispatched_; }
 
+  /// Event-queue activity counters (schedules, cancels, tombstone skips,
+  /// calendar tier migrations); bench_simcore and the end-of-run obs
+  /// export read these.
+  const EventQueue::Stats& queue_stats() const { return queue_.stats(); }
+
   /// Root random generator. Components should fork() child streams with
   /// stable labels rather than drawing from this directly.
   Rng& rng() { return rng_; }

@@ -111,5 +111,47 @@ TEST(ThreadPool, HardwareThreadsIsPositive) {
   EXPECT_GE(ThreadPool::hardware_threads(), 1);
 }
 
+TEST(ThreadPool, RapidSubmitWaitIdleCycles) {
+  // Stress the wait_idle wakeup ordering: many tiny submit/barrier cycles
+  // from the same thread must each observe every task of their own cycle
+  // complete — wait_idle() may never return while work is queued or
+  // running. Under the debug-tsan preset this doubles as the race witness
+  // for the pending_/idle_cv_ handshake.
+  ThreadPool pool(4);
+  std::atomic<int> done{0};
+  int expected = 0;
+  for (int cycle = 0; cycle < 300; ++cycle) {
+    int tasks = 1 + cycle % 4;
+    for (int t = 0; t < tasks; ++t) {
+      pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+    }
+    expected += tasks;
+    pool.wait_idle();
+    ASSERT_EQ(done.load(), expected) << "wait_idle returned early in cycle "
+                                     << cycle;
+  }
+}
+
+TEST(ThreadPool, ConcurrentWaitersAllRelease) {
+  // Several threads blocked in wait_idle() must all wake on the same
+  // 0-crossing (idle_cv_ is notified with notify_all under the mutex).
+  ThreadPool pool(2);
+  std::atomic<int> done{0};
+  for (int t = 0; t < 32; ++t) {
+    pool.submit([&done] { done.fetch_add(1, std::memory_order_relaxed); });
+  }
+  std::vector<std::thread> waiters;
+  std::atomic<int> released{0};
+  for (int w = 0; w < 4; ++w) {
+    waiters.emplace_back([&] {
+      pool.wait_idle();
+      EXPECT_EQ(done.load(), 32);
+      released.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
+  for (std::thread& w : waiters) w.join();
+  EXPECT_EQ(released.load(), 4);
+}
+
 }  // namespace
 }  // namespace tls::runtime

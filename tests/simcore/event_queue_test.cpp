@@ -2,10 +2,23 @@
 
 #include <gtest/gtest.h>
 
+#include <chrono>
+#include <cstdint>
+#include <set>
+#include <utility>
 #include <vector>
 
 namespace tls::sim {
 namespace {
+
+/// Deterministic 64-bit LCG for property tests (no std RNG, fixed streams).
+struct Lcg {
+  std::uint64_t s;
+  std::uint64_t next() {
+    s = s * 6364136223846793005ull + 1442695040888963407ull;
+    return s >> 33;
+  }
+};
 
 TEST(EventQueue, StartsEmpty) {
   EventQueue q;
@@ -119,6 +132,230 @@ TEST(EventQueue, ManyInterleavedScheduleCancelPop) {
   while (!q.empty()) q.pop().second();
   EXPECT_EQ(fired + cancelled, 100);
   EXPECT_EQ(cancelled, 34);
+}
+
+TEST(EventQueue, CancelAfterClearReturnsFalse) {
+  EventQueue q;
+  EventId stale = q.schedule(10, [] {});
+  q.clear();
+  EXPECT_FALSE(q.cancel(stale));
+  // A handle issued before clear() must never touch an event scheduled
+  // after it, even though the post-clear event is the queue's only entry.
+  bool fired = false;
+  q.schedule(5, [&] { fired = true; });
+  EXPECT_FALSE(q.cancel(stale));
+  EXPECT_EQ(q.size(), 1u);
+  q.pop().second();
+  EXPECT_TRUE(fired);
+}
+
+TEST(EventQueue, DoubleCancelAcrossClearStaysFalse) {
+  EventQueue q;
+  EventId id = q.schedule(10, [] {});
+  EXPECT_TRUE(q.cancel(id));
+  EXPECT_FALSE(q.cancel(id));
+  q.clear();
+  EXPECT_FALSE(q.cancel(id));
+}
+
+TEST(EventQueue, StatsCountActivity) {
+  EventQueue q;
+  EventId a = q.schedule(1, [] {});
+  q.schedule(2, [] {});
+  q.schedule(3, [] {});
+  q.cancel(a);
+  q.pop();
+  q.pop();
+  EXPECT_EQ(q.stats().scheduled, 3u);
+  EXPECT_EQ(q.stats().cancelled, 1u);
+  EXPECT_EQ(q.stats().popped, 2u);
+}
+
+TEST(EventQueue, EqualTimesFireInSchedulingOrderAcrossBucketBoundaries) {
+  // Property: simultaneous events fire in scheduling order no matter where
+  // their time lands in the calendar geometry. The times here are aligned
+  // to multiples of 4096 (the default bucket width) out to ~2^26, so they
+  // sit exactly on bucket edges, far beyond the initial window (forcing
+  // overflow-tier migration and window re-anchoring), and collide freely.
+  EventQueue q;
+  Lcg rng{12345};
+  std::vector<std::pair<Time, int>> fired;
+  int k = 0;
+  for (int rep = 0; rep < 500; ++rep) {
+    Time t = static_cast<Time>(rng.next() % 16384) * 4096;
+    // Two coincident events per draw; repeated draws of the same t pile
+    // more on, all of which must preserve global scheduling order.
+    for (int dup = 0; dup < 2; ++dup) {
+      int token = k++;
+      q.schedule(t, [&fired, t, token] { fired.emplace_back(t, token); });
+    }
+  }
+  while (!q.empty()) q.pop().second();
+  ASSERT_EQ(fired.size(), static_cast<std::size_t>(k));
+  for (std::size_t i = 1; i < fired.size(); ++i) {
+    EXPECT_LE(fired[i - 1].first, fired[i].first);
+    if (fired[i - 1].first == fired[i].first) {
+      EXPECT_LT(fired[i - 1].second, fired[i].second)
+          << "equal-time events fired out of scheduling order at t="
+          << fired[i].first;
+    }
+  }
+}
+
+TEST(EventQueue, MatchesReferenceModelUnderRandomMix) {
+  // Differential test against a trivially-correct reference: an ordered
+  // set of (time, token) pairs. Every schedule/cancel/pop result — cancel
+  // return values, pop order, peek_time, size — must agree exactly.
+  EventQueue q;
+  Lcg rng{99};
+  struct Ref {
+    Time at;
+    bool live;
+    EventId id;
+  };
+  std::vector<Ref> all;
+  std::set<std::pair<Time, std::size_t>> pending;
+  std::size_t fired_token = 0;
+  bool fired_flag = false;
+  Time horizon = 0;
+  for (int op = 0; op < 20000; ++op) {
+    std::uint64_t r = rng.next() % 100;
+    if (r < 50 || pending.empty()) {
+      Time t = horizon + static_cast<Time>(rng.next() % (1u << 20));
+      std::size_t token = all.size();
+      EventId id = q.schedule(t, [&fired_flag, &fired_token, token] {
+        fired_flag = true;
+        fired_token = token;
+      });
+      all.push_back({t, true, id});
+      pending.insert({t, token});
+    } else if (r < 75) {
+      std::size_t token = rng.next() % all.size();
+      bool expect = all[token].live;
+      EXPECT_EQ(q.cancel(all[token].id), expect);
+      if (expect) {
+        all[token].live = false;
+        pending.erase({all[token].at, token});
+      }
+    } else {
+      auto it = pending.begin();
+      ASSERT_EQ(q.peek_time(), it->first);
+      fired_flag = false;
+      auto [t, cb] = q.pop();
+      cb();
+      ASSERT_TRUE(fired_flag);
+      ASSERT_EQ(t, it->first);
+      ASSERT_EQ(fired_token, it->second);
+      all[it->second].live = false;
+      horizon = t;
+      pending.erase(it);
+    }
+    ASSERT_EQ(q.size(), pending.size());
+  }
+}
+
+TEST(EventQueue, DenseBurstsAcrossSparseGapsMatchReference) {
+  // Regression for the rebucket width cap: a burst of >64 near-coincident
+  // events inside one bucket forces the calendar to narrow its geometry
+  // mid-window; inserts arriving after the narrowing must still interleave
+  // correctly with entries bucketed under the old width. Alternates dense
+  // bursts, far-future singletons, and pops, checking every pop against an
+  // ordered-set reference.
+  EventQueue q;
+  Lcg rng{4242};
+  std::set<std::pair<Time, std::size_t>> pending;
+  std::size_t token = 0;
+  std::size_t fired_token = 0;
+  Time horizon = 0;
+  auto sched = [&](Time t) {
+    std::size_t tok = token++;
+    q.schedule(t, [&fired_token, tok] { fired_token = tok; });
+    pending.insert({t, tok});
+  };
+  for (int round = 0; round < 200; ++round) {
+    std::uint64_t roll = rng.next() % 3;
+    if (roll == 0) {
+      // Dense burst: 100 events within a 512-tick span — far denser than
+      // any sane bucket width once the queue has seen sparse gaps.
+      Time base = horizon + static_cast<Time>(rng.next() % 1024);
+      for (int i = 0; i < 100; ++i) {
+        sched(base + static_cast<Time>(rng.next() % 512));
+      }
+    } else if (roll == 1) {
+      // Sparse far-future singleton, widening the observed spacing.
+      sched(horizon + static_cast<Time>(1 << 22) +
+            static_cast<Time>(rng.next() % (1u << 24)));
+    } else {
+      for (int i = 0; i < 40 && !pending.empty(); ++i) {
+        auto it = pending.begin();
+        auto [t, cb] = q.pop();
+        cb();
+        ASSERT_EQ(t, it->first);
+        ASSERT_EQ(fired_token, it->second);
+        horizon = t;
+        pending.erase(it);
+      }
+    }
+    ASSERT_EQ(q.size(), pending.size());
+  }
+  while (!pending.empty()) {
+    auto it = pending.begin();
+    auto [t, cb] = q.pop();
+    cb();
+    ASSERT_EQ(t, it->first);
+    ASSERT_EQ(fired_token, it->second);
+    pending.erase(it);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, MillionScheduleCancelSubQuadratic) {
+  // The seed binary-heap queue cancelled with an O(n) heap scan; a million
+  // schedule+cancel pairs against a large pending set would take hours.
+  // The liveness-table queue must finish well inside the CI budget, with
+  // every handle answering exactly once.
+  auto wall_start = std::chrono::steady_clock::now();
+  EventQueue q;
+  constexpr std::size_t kN = 1'000'000;
+  Lcg rng{7};
+  std::vector<EventId> ids;
+  ids.reserve(kN);
+  for (std::size_t i = 0; i < kN; ++i) {
+    ids.push_back(q.schedule(static_cast<Time>(rng.next() % (1u << 30)),
+                             [] {}));
+  }
+  // First cancel of every even handle must succeed, the second must not.
+  std::size_t bad = 0;
+  for (std::size_t i = 0; i < kN; i += 2) {
+    if (!q.cancel(ids[i])) ++bad;
+  }
+  for (std::size_t i = 0; i < kN; i += 2) {
+    if (q.cancel(ids[i])) ++bad;
+  }
+  EXPECT_EQ(bad, 0u);
+  EXPECT_EQ(q.size(), kN / 2);
+  // Survivors pop in nondecreasing time order and their handles die.
+  Time last = kTimeMin;
+  std::size_t popped = 0;
+  while (!q.empty()) {
+    auto [t, cb] = q.pop();
+    if (t < last) ++bad;
+    last = t;
+    ++popped;
+  }
+  EXPECT_EQ(bad, 0u);
+  EXPECT_EQ(popped, kN / 2);
+  for (std::size_t i = 1; i < kN; i += 200'001) {
+    EXPECT_FALSE(q.cancel(ids[i]));
+  }
+  EXPECT_EQ(q.stats().scheduled, kN);
+  EXPECT_EQ(q.stats().cancelled, kN / 2);
+  double secs = std::chrono::duration<double>(
+                    std::chrono::steady_clock::now() - wall_start)
+                    .count();
+  // Generous even for sanitizer builds on one core; the quadratic seed
+  // behavior would overshoot this by orders of magnitude.
+  EXPECT_LT(secs, 120.0);
 }
 
 }  // namespace

@@ -77,6 +77,13 @@ else
   echo "python3 not installed; skipping report JSON well-formedness check"
 fi
 
+echo "==> [2e/4] bench_simcore smoke: queue mixes + fabric drain under ASan"
+cmake --build --preset debug-asan -j "$jobs" --target bench_simcore
+env TLS_BENCH_SIMCORE_OPS=2000 TLS_BENCH_SIMCORE_HOSTS=64 TLS_BENCH_ITERS=2 \
+  TLS_BENCH_JSON_DIR="$smoke_dir" ./build-asan/bench/bench_simcore >/dev/null
+[ -s "$smoke_dir/BENCH_simcore.json" ] \
+  || { echo "missing BENCH_simcore.json"; exit 1; }
+
 echo "==> [3/4] debug-tsan: tls::runtime pool/runner under ThreadSanitizer"
 cmake --preset debug-tsan
 cmake --build --preset debug-tsan -j "$jobs" --target test_runtime
