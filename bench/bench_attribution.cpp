@@ -44,14 +44,14 @@ Attribution attribute(const tls::exp::ExperimentConfig& base,
     return out;
   }
   obs::RunReport report = obs::analyze(events);
-  sim::Time wait = 0, queue = 0;
+  sim::Time wait = tls::sim::Time{0}, queue = tls::sim::Time{0};
   for (const obs::JobSummary& js : report.jobs) {
     wait += js.total_wait_ns;
     queue += js.egress_queue_ns;
     out.cross_bytes_total += js.cross_job_blame_bytes;
     if (js.job == 0) out.cross_bytes_job0 = js.cross_job_blame_bytes;
   }
-  out.queue_pct = wait > 0 ? static_cast<long>(queue * 100 / wait) : 0;
+  out.queue_pct = wait > tls::sim::Time{0 ? static_cast<long>(queue * 100 / wait) : 0};
   return out;
 }
 

@@ -24,7 +24,7 @@ struct BurstResult {
 
 /// Runs one two-job burst with the given tc setup applied beforehand.
 BurstResult run_burst(const std::vector<std::string>& tc_commands,
-                      sim::Time second_job_offset = 0) {
+                      sim::Time second_job_offset = sim::Time{0}) {
   sim::Simulator simulator(7);
   net::FabricConfig fc;
   fc.num_hosts = 5;
@@ -42,8 +42,8 @@ BurstResult run_burst(const std::vector<std::string>& tc_commands,
   auto start_job = [&](int job, std::uint16_t port) {
     for (int w = 0; w < 4; ++w) {
       net::FlowSpec f;
-      f.src = 0;
-      f.dst = 1 + w;
+      f.src = tls::net::HostId{0};
+      f.dst = tls::net::HostId{1 + w};
       f.bytes = dl::zoo::resnet32_cifar10().update_bytes();
       f.src_port = port;
       f.job_id = job;

@@ -18,11 +18,11 @@ using namespace tls;
 
 void BM_EventQueueScheduleAndPop(benchmark::State& state) {
   sim::EventQueue q;
-  sim::Time t = 0;
+  sim::Time t = tls::sim::Time{0};
   for (auto _ : state) {
-    for (int i = 0; i < 64; ++i) q.schedule(t + (i * 37) % 1000, [] {});
+    for (int i = 0; i < 64; ++i) q.schedule(t + tls::sim::Time{(i * 37) % 1000}, [] {});
     while (!q.empty()) q.pop();
-    t += 1000;
+    t += tls::sim::Time{1000};
   }
   state.SetItemsProcessed(state.iterations() * 64);
 }
@@ -47,8 +47,8 @@ net::Chunk chunk_for(net::FlowId f, net::BandId band) {
 void BM_PfifoEnqueueDequeue(benchmark::State& state) {
   net::PfifoQdisc q;
   for (auto _ : state) {
-    for (net::FlowId f = 0; f < 32; ++f) q.enqueue(chunk_for(f, 0));
-    while (!q.empty()) benchmark::DoNotOptimize(q.dequeue(0));
+    for (net::FlowId f = 0; f < 32; ++f) q.enqueue(chunk_for(f, tls::net::BandId{0}));
+    while (!q.empty()) benchmark::DoNotOptimize(q.dequeue(tls::sim::Time{0}));
   }
   state.SetItemsProcessed(state.iterations() * 32);
 }
@@ -60,7 +60,7 @@ void BM_PrioEnqueueDequeue(benchmark::State& state) {
     for (net::FlowId f = 0; f < 32; ++f) {
       q.enqueue(chunk_for(f, static_cast<net::BandId>(f % 6)));
     }
-    while (!q.empty()) benchmark::DoNotOptimize(q.dequeue(0));
+    while (!q.empty()) benchmark::DoNotOptimize(q.dequeue(tls::sim::Time{0}));
   }
   state.SetItemsProcessed(state.iterations() * 32);
 }
@@ -76,7 +76,7 @@ void BM_HtbEnqueueDequeue(benchmark::State& state) {
     cfg.prio = static_cast<int>(minor - 1);
     q.add_class(cfg);
   }
-  sim::Time now = 0;
+  sim::Time now = tls::sim::Time{0};
   for (auto _ : state) {
     for (net::FlowId f = 0; f < 32; ++f) {
       q.enqueue(chunk_for(f, static_cast<net::BandId>(1 + f % 6)));
@@ -100,7 +100,7 @@ void BM_ClassifierLookup(benchmark::State& state) {
     net::FilterRule rule;
     rule.pref = 1000 + i;
     rule.src_port = static_cast<std::uint16_t>(5000 + 64 * i);
-    rule.target_band = i % 6;
+    rule.target_band = tls::net::BandId{i % 6};
     c.upsert(rule);
   }
   net::FlowSpec spec;
@@ -129,9 +129,9 @@ void BM_FabricBroadcastRound(benchmark::State& state) {
     int remaining = 20;
     for (int w = 0; w < 20; ++w) {
       net::FlowSpec f;
-      f.src = 0;
-      f.dst = 1 + w;
-      f.bytes = 1'868'776;
+      f.src = tls::net::HostId{0};
+      f.dst = tls::net::HostId{1 + w};
+      f.bytes = tls::net::Bytes{1'868'776};
       fabric.start_flow(f, [&remaining](const net::FlowRecord&) { --remaining; });
     }
     simulator.run();

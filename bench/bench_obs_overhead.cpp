@@ -65,7 +65,7 @@ int main(int argc, char** argv) {
     // the tracer is attached yet inert, the --trace-filter none path.
     c.obs.trace_path = out_dir + "/disabled.json";
     c.obs.trace_categories = 0;
-    c.obs.sample_period = 0;
+    c.obs.sample_period = tls::sim::Time{0};
   });
   double enabled_s = timed_sweep([&](exp::ExperimentConfig& c, int) {
     c.obs.trace_path = out_dir + "/trace.json";

@@ -146,7 +146,7 @@ MixResult run_fifo_mix(std::size_t n) {
   Lcg rng{11};
   MixResult r;
   double t0 = now_s();
-  Time horizon = 0;
+  Time horizon = tls::sim::Time{0};
   for (std::size_t i = 0; i < n; ++i) {
     q.schedule(horizon + static_cast<Time>(rng.next() % 4096), [] {});
     if (i % 2 == 1) {
@@ -189,7 +189,7 @@ MixResult run_mixed_horizon(std::size_t n) {
   std::vector<decltype(q.schedule(Time{0}, [] {}))> ids;
   MixResult r;
   double t0 = now_s();
-  Time horizon = 0;
+  Time horizon = tls::sim::Time{0};
   for (std::size_t op = 0; op < n; ++op) {
     std::uint64_t roll = rng.next() % 100;
     if (roll < 50 || q.empty()) {
@@ -231,8 +231,8 @@ DrainResult run_drain(int hosts, tls::net::Bytes bytes_per_flow) {
   std::uint64_t completed = 0;
   for (int h = 0; h < hosts; ++h) {
     tls::net::FlowSpec spec;
-    spec.src = h;
-    spec.dst = (h + hosts / 2 + 1) % hosts;
+    spec.src = tls::net::HostId{h};
+    spec.dst = tls::net::HostId{(h + hosts / 2 + 1) % hosts};
     spec.bytes = bytes_per_flow;
     fabric.start_flow(spec, [&completed](const tls::net::FlowRecord&) {
       ++completed;
@@ -250,8 +250,8 @@ DrainResult run_drain(int hosts, tls::net::Bytes bytes_per_flow) {
   std::uint64_t promotions = 0;
   std::uint64_t polls = 0;
   for (int h = 0; h < hosts; ++h) {
-    promotions += fabric.egress(h).ff_promotions();
-    polls += fabric.egress(h).ff_polls();
+    promotions += fabric.egress(tls::net::HostId{h}).ff_promotions();
+    polls += fabric.egress(tls::net::HostId{h}).ff_polls();
   }
   if (promotions + polls > 0) {
     r.ff_hit_rate = static_cast<double>(promotions) /
@@ -344,7 +344,7 @@ int main(int argc, char** argv) {
                                                     1000));
   tls::net::Bytes bytes_per_flow =
       64 * tls::net::kKiB *
-      static_cast<tls::net::Bytes>(tls::bench::bench_iters());
+      static_cast<std::int64_t>(tls::bench::bench_iters());
   DrainResult drain = run_drain(hosts, bytes_per_flow);
   std::printf(
       "\n%d-host drain: %llu flows, %llu sim events in %.2fs "

@@ -45,8 +45,8 @@ void run_act(const std::string& title,
   double done[2] = {0, 0};
   for (int i = 0; i < 2; ++i) {
     net::FlowSpec f;
-    f.src = 0;
-    f.dst = 1 + i;
+    f.src = tls::net::HostId{0};
+    f.dst = tls::net::HostId{1 + i};
     f.bytes = 8 * net::kMiB;
     f.src_port = static_cast<std::uint16_t>(7000 + 100 * i);
     fabric.start_flow(f, [&done, i](const net::FlowRecord& r) {

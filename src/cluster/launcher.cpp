@@ -40,7 +40,7 @@ void Launcher::launch_all(std::vector<dl::JobSpec> specs,
     if (gate_ != nullptr) jobs_.back()->set_transmission_gate(gate_);
   }
   for (std::size_t i = 0; i < jobs_.size(); ++i) {
-    sim_.schedule_after(static_cast<sim::Time>(i) * config.stagger,
+    sim_.schedule_after(config.stagger * static_cast<std::int64_t>(i),
                         [this, i] { launch_one(i); });
   }
 }

@@ -79,7 +79,7 @@ std::vector<dl::JobPlacement> assign_tasks_sharded(const PsPlacement& placement,
     jp.ps_hosts.clear();
     for (int p = 0; p < num_ps; ++p) {
       jp.ps_hosts.push_back(
-          static_cast<net::HostId>((jp.ps_host + p) % num_hosts));
+          net::HostId{(jp.ps_host.idx() + p) % num_hosts});
     }
   }
   return jobs;
@@ -97,7 +97,7 @@ std::vector<dl::JobPlacement> assign_tasks(const PsPlacement& placement,
   std::vector<dl::JobPlacement> jobs;
   jobs.reserve(static_cast<std::size_t>(placement.total_jobs()));
   for (int group = 0; group < placement.num_groups(); ++group) {
-    net::HostId ps_host = static_cast<net::HostId>(group);
+    net::HostId ps_host{group};
     for (int j = 0; j < placement.group_sizes[static_cast<std::size_t>(group)];
          ++j) {
       dl::JobPlacement jp;
@@ -105,8 +105,7 @@ std::vector<dl::JobPlacement> assign_tasks(const PsPlacement& placement,
       jp.worker_hosts.reserve(static_cast<std::size_t>(workers_per_job));
       for (int w = 0; w < workers_per_job; ++w) {
         // Walk hosts after the PS host, skipping the PS host itself.
-        net::HostId h = static_cast<net::HostId>(
-            (ps_host + 1 + w) % num_hosts);
+        net::HostId h{(ps_host.idx() + 1 + w) % num_hosts};
         jp.worker_hosts.push_back(h);
       }
       jobs.push_back(std::move(jp));

@@ -23,10 +23,10 @@ OnlineScheduler::OnlineScheduler(int num_hosts, SchedulerPolicy policy)
 }
 
 net::HostId OnlineScheduler::pick_ps_host() const {
-  net::HostId best = 0;
-  for (net::HostId h = 1; h < num_hosts(); ++h) {
-    auto hi = static_cast<std::size_t>(h);
-    auto bi = static_cast<std::size_t>(best);
+  net::HostId best{0};
+  for (net::HostId h{1}; h < net::HostId{num_hosts()}; ++h) {
+    auto hi = static_cast<std::size_t>(h.idx());
+    auto bi = static_cast<std::size_t>(best.idx());
     bool better;
     if (policy_ == SchedulerPolicy::kPsAware) {
       better = std::tie(ps_[hi], tasks_[hi]) < std::tie(ps_[bi], tasks_[bi]);
@@ -48,16 +48,16 @@ dl::JobPlacement OnlineScheduler::place(const dl::JobSpec& spec) {
     net::HostId host = pick_ps_host();
     if (p == 0) placement.ps_host = host;
     if (spec.num_ps > 1) placement.ps_hosts.push_back(host);
-    ++ps_[static_cast<std::size_t>(host)];
-    ++tasks_[static_cast<std::size_t>(host)];
+    ++ps_[static_cast<std::size_t>(host.idx())];
+    ++tasks_[static_cast<std::size_t>(host.idx())];
   }
   // Workers: one per least-loaded host, excluding the first PS host (the
   // paper's layout keeps the PS's own host free of this job's workers).
   std::vector<net::HostId> order(static_cast<std::size_t>(num_hosts()));
-  std::iota(order.begin(), order.end(), 0);
+  std::iota(order.begin(), order.end(), net::HostId{0});
   std::stable_sort(order.begin(), order.end(), [&](net::HostId a, net::HostId b) {
-    return tasks_[static_cast<std::size_t>(a)] <
-           tasks_[static_cast<std::size_t>(b)];
+    return tasks_[static_cast<std::size_t>(a.idx())] <
+           tasks_[static_cast<std::size_t>(b.idx())];
   });
   for (net::HostId h : order) {
     if (h == placement.ps_host) continue;
@@ -65,7 +65,7 @@ dl::JobPlacement OnlineScheduler::place(const dl::JobSpec& spec) {
       break;
     }
     placement.worker_hosts.push_back(h);
-    ++tasks_[static_cast<std::size_t>(h)];
+    ++tasks_[static_cast<std::size_t>(h.idx())];
   }
   return placement;
 }
@@ -73,21 +73,21 @@ dl::JobPlacement OnlineScheduler::place(const dl::JobSpec& spec) {
 void OnlineScheduler::remove(const dl::JobSpec& spec,
                              const dl::JobPlacement& placement) {
   for (int p = 0; p < spec.num_ps; ++p) {
-    auto hi = static_cast<std::size_t>(placement.ps_shard_host(p));
+    auto hi = static_cast<std::size_t>(placement.ps_shard_host(p).idx());
     --ps_[hi];
     --tasks_[hi];
   }
   for (net::HostId h : placement.worker_hosts) {
-    --tasks_[static_cast<std::size_t>(h)];
+    --tasks_[static_cast<std::size_t>(h.idx())];
   }
 }
 
 int OnlineScheduler::ps_count(net::HostId host) const {
-  return ps_.at(static_cast<std::size_t>(host));
+  return ps_.at(static_cast<std::size_t>(host.idx()));
 }
 
 int OnlineScheduler::task_count(net::HostId host) const {
-  return tasks_.at(static_cast<std::size_t>(host));
+  return tasks_.at(static_cast<std::size_t>(host.idx()));
 }
 
 int OnlineScheduler::max_ps_colocation() const {

@@ -46,7 +46,7 @@ struct JobSpec {
   }
   /// Bytes of one shard's model (or gradient) update to one worker.
   net::Bytes shard_bytes() const {
-    return (model.update_bytes() + num_ps - 1) / num_ps;
+    return (model.update_bytes() + net::Bytes{num_ps - 1}) / num_ps;
   }
 
   /// Expected (noise-free) compute time of one local step.
@@ -66,7 +66,7 @@ struct JobSpec {
 /// host per shard in ps_hosts; single-PS jobs may leave ps_hosts empty and
 /// use ps_host alone.
 struct JobPlacement {
-  net::HostId ps_host = 0;
+  net::HostId ps_host{0};
   std::vector<net::HostId> ps_hosts;  // per shard; empty => {ps_host}
   std::vector<net::HostId> worker_hosts;
 

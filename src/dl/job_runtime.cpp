@@ -36,9 +36,11 @@ JobRuntime::JobRuntime(sim::Simulator& simulator, net::Fabric& fabric,
   iterations_needed_ = spec_.sync_iterations();
   local_steps_.assign(static_cast<std::size_t>(spec_.num_workers), 0);
   shards_received_.assign(static_cast<std::size_t>(spec_.num_workers), 0);
-  barrier_enter_.assign(static_cast<std::size_t>(spec_.num_workers), -1);
+  barrier_enter_.assign(static_cast<std::size_t>(spec_.num_workers),
+                        sim::Time{-1});
   pending_waits_.assign(static_cast<std::size_t>(spec_.num_workers), 0.0);
-  worker_busy_.assign(static_cast<std::size_t>(spec_.num_workers), 0);
+  worker_busy_.assign(static_cast<std::size_t>(spec_.num_workers),
+                      sim::Time{});
   ps_gradients_pending_.assign(static_cast<std::size_t>(spec_.num_ps), 0);
   ps_iterations_.assign(static_cast<std::size_t>(spec_.num_ps), 0);
   burst_outstanding_.assign(static_cast<std::size_t>(spec_.num_ps), 0);
@@ -113,10 +115,10 @@ void JobRuntime::on_model_shard_received(int worker) {
   shards_received_[wi] = 0;
 
   // Exiting the previous barrier (if the worker was blocked in one).
-  if (barrier_enter_[wi] >= 0) {
+  if (barrier_enter_[wi] >= sim::Time{0}) {
     sim::Time wait = sim_.now() - barrier_enter_[wi];
     double wait_s = sim::to_seconds(wait);
-    barrier_enter_[wi] = -1;
+    barrier_enter_[wi] = sim::Time{-1};
     if (TLS_OBS_ACTIVE(sim_.tracer())) {
       sim_.tracer()->barrier_release(sim_.now(), spec_.job_id, worker,
                                      local_steps_[wi] - 1, wait);
@@ -149,7 +151,7 @@ void JobRuntime::start_compute(int worker) {
   double noise = rng_.lognormal_median(1.0, spec_.compute_sigma);
   sim::Time compute =
       sim::from_seconds(sim::to_seconds(spec_.base_step_time()) * noise);
-  if (compute < 1) compute = 1;
+  if (compute < sim::Time{1}) compute = sim::Time{1};
   if (TLS_OBS_ACTIVE(sim_.tracer())) {
     sim_.tracer()->worker_compute(sim_.now(), placement_.worker_hosts[wi],
                                   spec_.job_id, worker, local_steps_[wi],

@@ -89,8 +89,8 @@ class JobRuntime {
 
   bool started_ = false;
   bool finished_ = false;
-  sim::Time start_time_ = 0;
-  sim::Time finish_time_ = 0;
+  sim::Time start_time_{};
+  sim::Time finish_time_{};
   std::int64_t global_step_ = 0;
   std::int64_t iteration_ = 0;  // completed sync iterations (slowest shard)
   std::int64_t iterations_needed_ = 0;
@@ -107,7 +107,7 @@ class JobRuntime {
   std::vector<int> ps_gradients_pending_;
   std::vector<std::int64_t> ps_iterations_;
   std::vector<int> burst_outstanding_;  // undelivered model flows per shard
-  sim::Time ps_busy_ = 0;
+  sim::Time ps_busy_{};
   TransmissionGate* gate_ = nullptr;
 
   BarrierLog barrier_log_;

@@ -16,7 +16,7 @@ struct ModelSpec {
   /// Number of trainable parameters.
   std::int64_t parameters = 0;
   /// Bytes of one model update == one gradient update (fp32 parameters).
-  net::Bytes update_bytes() const { return parameters * 4; }
+  net::Bytes update_bytes() const { return net::Bytes{parameters * 4}; }
   /// Per-sample forward+backward time on a testbed-class CPU worker, in
   /// milliseconds. Calibrated so the paper's ResNet-32 batch-4 iteration
   /// lands in its measured ~1-2 s regime.

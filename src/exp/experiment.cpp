@@ -86,13 +86,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   // Periodic gauge sampling on the simulation clock: per-host egress queue
   // depth and per-job iteration lag behind the front-runner.
   std::unique_ptr<sim::PeriodicTimer> obs_sampler;
-  if (tracer && config.obs.sample_period > 0) {
+  if (tracer && config.obs.sample_period > sim::Time{0}) {
     obs_sampler = std::make_unique<sim::PeriodicTimer>(
         simulator, config.obs.sample_period, [&] {
-          for (net::HostId h = 0; h < config.num_hosts; ++h) {
+          for (net::HostId h{0}; h < net::HostId{config.num_hosts}; ++h) {
             tracer->gauge_sample(
                 simulator.now(), "egress_backlog_bytes", h, -1,
-                static_cast<double>(fabric.egress(h).qdisc().backlog_bytes()));
+                net::to_double(fabric.egress(h).qdisc().backlog_bytes()));
           }
           std::int64_t lead = 0;
           for (const auto& job : launcher.jobs()) {
@@ -100,7 +100,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           }
           for (const auto& job : launcher.jobs()) {
             tracer->gauge_sample(
-                simulator.now(), "job_iteration_lag", -1,
+                simulator.now(), "job_iteration_lag", net::kNoHost,
                 job->spec().job_id,
                 static_cast<double>(lead - job->iteration()));
           }
@@ -134,7 +134,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
   }
 
   sim::Time last_launch =
-      static_cast<sim::Time>(launcher.jobs().size() - 1) * config.stagger;
+      config.stagger * static_cast<std::int64_t>(launcher.jobs().size() - 1);
   sim::Time first_finish = sim::kTimeMax;
 
   std::vector<double> jcts;
@@ -173,12 +173,14 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     sim::Time span = first_finish - last_launch;
     result.active_window_begin =
         last_launch +
-        static_cast<sim::Time>(config.active_window_begin_frac *
-                               static_cast<double>(span));
+        sim::Time{static_cast<std::int64_t>(
+            config.active_window_begin_frac *
+            static_cast<double>(sim::to_nanos(span)))};
     result.active_window_end =
         last_launch +
-        static_cast<sim::Time>(config.active_window_end_frac *
-                               static_cast<double>(span));
+        sim::Time{static_cast<std::int64_t>(
+            config.active_window_end_frac *
+            static_cast<double>(sim::to_nanos(span)))};
 
     std::set<net::HostId> ps_hosts;
     for (const auto& job : launcher.jobs()) {
@@ -188,7 +190,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     }
     double cpu_ps = 0, cpu_wk = 0, nic_in = 0, nic_out = 0;
     int n_ps = 0, n_wk = 0;
-    for (net::HostId h = 0; h < config.num_hosts; ++h) {
+    for (net::HostId h{0}; h < net::HostId{config.num_hosts}; ++h) {
       double cpu = busy.cpu_utilization(h, result.active_window_begin,
                                         result.active_window_end,
                                         config.cores_per_host);
@@ -228,7 +230,7 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     add("eventq_window_jumps", qs.window_jumps);
     std::uint64_t promotions = 0;
     std::uint64_t polls = 0;
-    for (net::HostId h = 0; h < config.num_hosts; ++h) {
+    for (net::HostId h{0}; h < net::HostId{config.num_hosts}; ++h) {
       promotions += fabric.egress(h).ff_promotions();
       polls += fabric.egress(h).ff_polls();
     }

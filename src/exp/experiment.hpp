@@ -122,8 +122,8 @@ struct ExperimentResult {
   double nic_in_util = 0;   // averaged over all hosts
   double nic_out_util = 0;
 
-  sim::Time active_window_begin = 0;
-  sim::Time active_window_end = 0;
+  sim::Time active_window_begin{};
+  sim::Time active_window_end{};
 
   /// Count of tc commands successfully applied (0 under FIFO).
   std::uint64_t tc_commands = 0;
@@ -158,16 +158,9 @@ double avg_normalized_jct(const ExperimentResult& policy,
 /// Convenience: a copy of `base` with the given policy installed.
 ExperimentConfig with_policy(ExperimentConfig base, core::PolicyKind policy);
 
-/// Runs `replicas` independent repetitions (seeds config.seed, +1, ...).
-/// Fanned across the tls::runtime thread pool ($TLS_JOBS / hardware
-/// concurrency; $TLS_CACHE_DIR enables the result cache); results are
-/// ordered by replica index, byte-identical to a serial loop.
-std::vector<ExperimentResult> run_replicated(const ExperimentConfig& config,
-                                             int replicas);
-
-/// Runs `config` under FIFO, TLs-One, and TLs-RR (in that order, FIFO
-/// first as the normalization baseline), in parallel via tls::runtime.
-std::vector<ExperimentResult> compare(const ExperimentConfig& config);
+// Replicated and comparative drivers (run_replicated, compare) live in
+// runtime/replicate.hpp: they fan out across the tls::runtime thread pool,
+// and exp must stay below runtime in the include-layer DAG.
 
 /// Summary of avg-JCT across replicated runs (mean/stddev/min/max).
 metrics::Summary jct_across(const std::vector<ExperimentResult>& runs);

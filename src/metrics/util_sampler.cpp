@@ -11,13 +11,13 @@ BusyAccumulator::BusyAccumulator(int num_hosts)
 
 void BusyAccumulator::add(net::HostId host, sim::Time begin, sim::Time end) {
   assert(end >= begin);
-  per_host_.at(static_cast<std::size_t>(host)).push_back({begin, end});
+  per_host_.at(static_cast<std::size_t>(host.idx())).push_back({begin, end});
 }
 
 double BusyAccumulator::busy_seconds_in(net::HostId host, sim::Time w_begin,
                                         sim::Time w_end) const {
   double total = 0;
-  for (const Interval& iv : per_host_.at(static_cast<std::size_t>(host))) {
+  for (const Interval& iv : per_host_.at(static_cast<std::size_t>(host.idx()))) {
     sim::Time lo = std::max(iv.begin, w_begin);
     sim::Time hi = std::min(iv.end, w_end);
     if (hi > lo) total += sim::to_seconds(hi - lo);
@@ -35,7 +35,7 @@ double BusyAccumulator::cpu_utilization(net::HostId host, sim::Time w_begin,
 }
 
 std::size_t BusyAccumulator::interval_count(net::HostId host) const {
-  return per_host_.at(static_cast<std::size_t>(host)).size();
+  return per_host_.at(static_cast<std::size_t>(host.idx())).size();
 }
 
 NicSampler::NicSampler(sim::Simulator& simulator, net::Fabric& fabric,
@@ -50,27 +50,30 @@ NicSampler::NicSampler(sim::Simulator& simulator, net::Fabric& fabric,
 }
 
 void NicSampler::sample() {
-  for (net::HostId h = 0; h < fabric_.num_hosts(); ++h) {
+  for (net::HostId h{0}; h < net::HostId{fabric_.num_hosts()}; ++h) {
     NicSample s;
     s.at = sim_.now();
     s.tx = fabric_.egress(h).counters().bytes;
     s.rx = fabric_.ingress(h).counters().bytes;
     if (registry_ != nullptr) {
-      registry_->record(s.at, "nic_tx_bytes", h, -1, -1,
-                        static_cast<double>(s.tx));
-      registry_->record(s.at, "nic_rx_bytes", h, -1, -1,
-                        static_cast<double>(s.rx));
+      registry_->record(s.at, "nic_tx_bytes", h.idx(), -1, -1,
+                        net::to_double(s.tx));
+      registry_->record(s.at, "nic_rx_bytes", h.idx(), -1, -1,
+                        net::to_double(s.rx));
     }
-    per_host_[static_cast<std::size_t>(h)].push_back(s);
+    per_host_[static_cast<std::size_t>(h.idx())].push_back(s);
   }
 }
 
 const NicSample* NicSampler::nearest(net::HostId host, sim::Time t) const {
-  const auto& v = per_host_.at(static_cast<std::size_t>(host));
+  const auto& v = per_host_.at(static_cast<std::size_t>(host.idx()));
   if (v.empty()) return nullptr;
   const NicSample* best = &v.front();
   for (const NicSample& s : v) {
-    if (std::llabs(s.at - t) < std::llabs(best->at - t)) best = &s;
+    if (std::llabs(sim::to_nanos(s.at - t)) <
+        std::llabs(sim::to_nanos(best->at - t))) {
+      best = &s;
+    }
   }
   return best;
 }
@@ -82,13 +85,13 @@ double NicSampler::utilization(net::HostId host, bool outbound,
   if (a == nullptr || b == nullptr || b->at <= a->at) return 0;
   net::Bytes delta = outbound ? (b->tx - a->tx) : (b->rx - a->rx);
   double seconds = sim::to_seconds(b->at - a->at);
-  double rate = outbound ? fabric_.egress(host).rate()
-                         : fabric_.ingress(host).rate();
-  return static_cast<double>(delta) / (rate * seconds);
+  net::Rate rate = outbound ? fabric_.egress(host).rate()
+                            : fabric_.ingress(host).rate();
+  return net::to_double(delta) / net::bytes_in(rate, seconds);
 }
 
 const std::vector<NicSample>& NicSampler::series(net::HostId host) const {
-  return per_host_.at(static_cast<std::size_t>(host));
+  return per_host_.at(static_cast<std::size_t>(host.idx()));
 }
 
 }  // namespace tls::metrics

@@ -45,9 +45,9 @@ class BusyAccumulator {
 
 /// One snapshot of a host NIC's cumulative counters.
 struct NicSample {
-  sim::Time at = 0;
-  net::Bytes tx = 0;
-  net::Bytes rx = 0;
+  sim::Time at{};
+  net::Bytes tx{};
+  net::Bytes rx{};
 };
 
 /// Periodically snapshots every host's NIC counters (the ifstat analog).

@@ -28,9 +28,9 @@ const char* to_string(FlowKind kind);
 
 /// Immutable description of a transfer, fixed at start_flow() time.
 struct FlowSpec {
-  HostId src = -1;
-  HostId dst = -1;
-  Bytes bytes = 0;
+  HostId src = kNoHost;
+  HostId dst = kNoHost;
+  Bytes bytes{};
   /// TCP-ish endpoint ports. In the PS architecture the PS port is stable
   /// for the job's lifetime, which is exactly what tc filters match on.
   std::uint16_t src_port = 0;
@@ -51,15 +51,15 @@ struct FlowSpec {
 /// One schedulable segment of a flow.
 struct Chunk {
   FlowId flow = 0;
-  Bytes size = 0;
+  Bytes size{};
   std::uint32_t index = 0;
   bool last = false;
   /// Band/class assigned by the egress classifier at admission time.
-  BandId band = 0;
+  BandId band{0};
   /// Service weight inherited from the flow (with noise applied).
   double weight = 1.0;
   /// Destination host, denormalized for the egress->ingress handoff.
-  HostId dst = -1;
+  HostId dst = kNoHost;
   /// Owning job, denormalized from the flow spec for trace attribution
   /// (-1 = background/non-job traffic).
   std::int32_t job = -1;
@@ -69,7 +69,7 @@ struct Chunk {
   /// Simulation time the chunk entered the egress qdisc (stamped by
   /// EgressPort::submit); queue-wait and HOL-blocking metrics derive from
   /// dequeue-time minus this.
-  sim::Time enqueued_at = 0;
+  sim::Time enqueued_at{};
 };
 
 }  // namespace tls::net

@@ -50,7 +50,7 @@ class ChunkRing {
 
   /// Appends `c`; `stamp` is an optional queue-point-local time (the
   /// ingress FIFO stores the arrival instant here).
-  void push_back(const Chunk& c, sim::Time stamp = 0) {
+  void push_back(const Chunk& c, sim::Time stamp = sim::Time{}) {
     if (size_ == capacity_) grow();
     std::size_t i = (head_ + size_) & (capacity_ - 1);
     flow_[i] = c.flow;
@@ -128,8 +128,9 @@ class ChunkRing {
   /// lane start is naturally aligned.
   static std::size_t arena_bytes(std::size_t cap) {
     return cap * (sizeof(FlowId) + sizeof(Bytes) + 2 * sizeof(sim::Time) +
-                  sizeof(double) + 3 * sizeof(std::int32_t) +
-                  sizeof(std::uint32_t) + 2 * sizeof(std::uint8_t));
+                  sizeof(double) + sizeof(BandId) + sizeof(HostId) +
+                  sizeof(std::int32_t) + sizeof(std::uint32_t) +
+                  2 * sizeof(std::uint8_t));
   }
 
   /// Points the lane pointers into `arena` laid out for `cap` slots.
@@ -147,8 +148,8 @@ class ChunkRing {
     weight_ = reinterpret_cast<double*>(lane(cap * sizeof(double)));
     index_ = reinterpret_cast<std::uint32_t*>(
         lane(cap * sizeof(std::uint32_t)));
-    band_ = reinterpret_cast<std::int32_t*>(lane(cap * sizeof(std::int32_t)));
-    dst_ = reinterpret_cast<std::int32_t*>(lane(cap * sizeof(std::int32_t)));
+    band_ = reinterpret_cast<BandId*>(lane(cap * sizeof(BandId)));
+    dst_ = reinterpret_cast<HostId*>(lane(cap * sizeof(HostId)));
     job_ = reinterpret_cast<std::int32_t*>(lane(cap * sizeof(std::int32_t)));
     last_ = reinterpret_cast<std::uint8_t*>(lane(cap * sizeof(std::uint8_t)));
     kind_ = reinterpret_cast<std::uint8_t*>(lane(cap * sizeof(std::uint8_t)));
@@ -211,8 +212,8 @@ class ChunkRing {
   sim::Time* stamp_ = nullptr;
   double* weight_ = nullptr;
   std::uint32_t* index_ = nullptr;
-  std::int32_t* band_ = nullptr;
-  std::int32_t* dst_ = nullptr;
+  BandId* band_ = nullptr;
+  HostId* dst_ = nullptr;
   std::int32_t* job_ = nullptr;
   std::uint8_t* last_ = nullptr;
   std::uint8_t* kind_ = nullptr;

@@ -25,7 +25,7 @@ struct FilterRule {
   std::optional<std::int32_t> job_id;
   std::optional<FlowKind> kind;
   /// Band (prio) or classid minor (htb) the matched traffic maps to.
-  BandId target_band = 0;
+  BandId target_band{0};
 
   bool matches(const FlowSpec& spec) const;
 };
@@ -54,7 +54,7 @@ class Classifier {
 
  private:
   std::vector<FilterRule> rules_;  // kept sorted by pref
-  BandId default_band_ = 0;
+  BandId default_band_{0};
 };
 
 }  // namespace tls::net

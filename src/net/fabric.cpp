@@ -13,12 +13,12 @@ namespace tls::net {
 Fabric::Fabric(sim::Simulator& simulator, const FabricConfig& config)
     : sim_(simulator), config_(config), rng_(simulator.rng().fork("fabric")) {
   if (config_.num_hosts < 1) throw std::invalid_argument("num_hosts < 1");
-  if (config_.link_rate <= 0) throw std::invalid_argument("link_rate <= 0");
-  if (config_.chunk_size <= 0) throw std::invalid_argument("chunk_size <= 0");
+  if (config_.link_rate <= Rate{0.0}) throw std::invalid_argument("link_rate <= 0");
+  if (config_.chunk_size <= Bytes{0}) throw std::invalid_argument("chunk_size <= 0");
   if (config_.flow_window < 1) throw std::invalid_argument("flow_window < 1");
   egress_.reserve(static_cast<std::size_t>(config_.num_hosts));
   ingress_.reserve(static_cast<std::size_t>(config_.num_hosts));
-  for (HostId h = 0; h < config_.num_hosts; ++h) {
+  for (HostId h{0}; h < HostId{config_.num_hosts}; ++h) {
     egress_.push_back(std::make_unique<EgressPort>(
         sim_, config_.link_rate,
         [this, h](const Chunk& c) { on_transmit(h, c); }));
@@ -30,30 +30,31 @@ Fabric::Fabric(sim::Simulator& simulator, const FabricConfig& config)
 }
 
 EgressPort& Fabric::egress(HostId host) {
-  return *egress_.at(static_cast<std::size_t>(host));
+  return *egress_.at(static_cast<std::size_t>(host.idx()));
 }
 const EgressPort& Fabric::egress(HostId host) const {
-  return *egress_.at(static_cast<std::size_t>(host));
+  return *egress_.at(static_cast<std::size_t>(host.idx()));
 }
 IngressPort& Fabric::ingress(HostId host) {
-  return *ingress_.at(static_cast<std::size_t>(host));
+  return *ingress_.at(static_cast<std::size_t>(host.idx()));
 }
 const IngressPort& Fabric::ingress(HostId host) const {
-  return *ingress_.at(static_cast<std::size_t>(host));
+  return *ingress_.at(static_cast<std::size_t>(host.idx()));
 }
 
 Bytes Fabric::chunk_bytes(const FlowState& flow, std::uint32_t index) const {
   Bytes remaining = flow.wire_bytes -
-                    static_cast<Bytes>(index) * config_.chunk_size;
+                    config_.chunk_size * static_cast<std::int64_t>(index);
   return std::min(remaining, config_.chunk_size);
 }
 
 FlowId Fabric::start_flow(const FlowSpec& spec, FlowCallback on_complete) {
-  if (spec.src < 0 || spec.src >= config_.num_hosts ||
-      spec.dst < 0 || spec.dst >= config_.num_hosts) {
+  HostId hosts_end{config_.num_hosts};
+  if (spec.src < HostId{0} || spec.src >= hosts_end ||
+      spec.dst < HostId{0} || spec.dst >= hosts_end) {
     throw std::invalid_argument("flow endpoints out of range");
   }
-  if (spec.bytes < 0) throw std::invalid_argument("negative flow size");
+  if (spec.bytes < Bytes{0}) throw std::invalid_argument("negative flow size");
 
   FlowId id = next_flow_id_++;
   if (TLS_OBS_ACTIVE(sim_.tracer())) {
@@ -62,7 +63,7 @@ FlowId Fabric::start_flow(const FlowSpec& spec, FlowCallback on_complete) {
                               static_cast<std::int64_t>(id), spec.bytes,
                               spec.iteration);
   }
-  if (spec.bytes == 0) {
+  if (spec.bytes == Bytes{0}) {
     // Degenerate flow: deliver "instantly" but asynchronously, preserving
     // the invariant that callbacks never run inside start_flow.
     FlowRecord rec{id, spec, sim_.now(), sim_.now()};
@@ -70,9 +71,10 @@ FlowId Fabric::start_flow(const FlowSpec& spec, FlowCallback on_complete) {
       sim_.tracer()->flow_end(sim_.now(), spec.src, spec.dst, spec.job_id,
                               static_cast<std::int32_t>(spec.kind),
                               static_cast<std::int64_t>(id), spec.bytes,
-                              spec.iteration, 0);
+                              spec.iteration, sim::Time{0});
     }
-    sim_.schedule_after(0, [cb = std::move(on_complete), rec] { cb(rec); });
+    sim_.schedule_after(sim::Time{0},
+                        [cb = std::move(on_complete), rec] { cb(rec); });
     ++completed_flows_;
     return id;
   }
@@ -88,11 +90,11 @@ FlowId Fabric::start_flow(const FlowSpec& spec, FlowCallback on_complete) {
       static_cast<int>(std::lround(config_.flow_window * flow.noisy_weight)),
       1, 4 * config_.flow_window);
   // The scheduler moves wire bytes: payload inflated by transport overhead.
-  flow.wire_bytes = std::max<Bytes>(
-      1, static_cast<Bytes>(std::llround(static_cast<double>(spec.bytes) *
-                                         config_.protocol_overhead)));
+  flow.wire_bytes = std::max(
+      Bytes{1},
+      Bytes{std::llround(to_double(spec.bytes) * config_.protocol_overhead)});
   flow.chunks_total = static_cast<std::uint32_t>(
-      (flow.wire_bytes + config_.chunk_size - 1) / config_.chunk_size);
+      (flow.wire_bytes + config_.chunk_size - Bytes{1}) / config_.chunk_size);
   flow.start = sim_.now();
   auto [it, inserted] = flows_.emplace(id, std::move(flow));
   assert(inserted);

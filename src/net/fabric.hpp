@@ -47,8 +47,8 @@ struct FabricConfig {
 struct FlowRecord {
   FlowId id = 0;
   FlowSpec spec{};
-  sim::Time start = 0;
-  sim::Time end = 0;
+  sim::Time start{};
+  sim::Time end{};
 };
 
 class Fabric {
@@ -85,11 +85,11 @@ class Fabric {
     FlowCallback on_complete;
     double noisy_weight = 1.0;
     int window = 1;
-    Bytes wire_bytes = 0;
+    Bytes wire_bytes{};
     std::uint32_t chunks_total = 0;
     std::uint32_t next_index = 0;       // next chunk to admit
     std::uint32_t delivered_chunks = 0;
-    sim::Time start = 0;
+    sim::Time start{};
   };
 
   void admit(FlowId id, FlowState& flow);

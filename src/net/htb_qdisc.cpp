@@ -12,8 +12,8 @@ namespace tls::net {
 
 namespace {
 bool valid_config(const HtbClassConfig& c) {
-  return c.minor != 0 && c.rate > 0 && c.ceil >= c.rate && c.burst > 0 &&
-         c.cburst > 0 && c.quantum > 0;
+  return c.minor != 0 && c.rate > Rate{0.0} && c.ceil >= c.rate &&
+         c.burst > Bytes{0} && c.cburst > Bytes{0} && c.quantum > Bytes{0};
 }
 }  // namespace
 
@@ -22,9 +22,9 @@ HtbQdisc::HtbQdisc(Rate root_rate, std::uint32_t default_minor)
       default_minor_(default_minor),
       root_tokens_(0),
       root_burst_(256 * kKiB) {
-  TLS_CHECK(root_rate_ > 0, "htb root rate must be positive, got ",
+  TLS_CHECK(root_rate_ > Rate{0.0}, "htb root rate must be positive, got ",
             root_rate_);
-  root_tokens_ = static_cast<double>(root_burst_);
+  root_tokens_ = to_double(root_burst_);
 }
 
 bool HtbQdisc::add_class(const HtbClassConfig& config) {
@@ -39,8 +39,8 @@ bool HtbQdisc::change_class(const HtbClassConfig& config) {
   if (it == classes_.end()) return false;
   LeafClass& leaf = it->second;
   leaf.cfg = config;
-  leaf.tokens = static_cast<double>(config.burst);
-  leaf.ctokens = static_cast<double>(config.cburst);
+  leaf.tokens = to_double(config.burst);
+  leaf.ctokens = to_double(config.cburst);
   return true;
 }
 
@@ -60,14 +60,15 @@ std::optional<HtbClassConfig> HtbQdisc::class_config(std::uint32_t minor) const 
 
 Bytes HtbQdisc::class_backlog(std::uint32_t minor) const {
   auto it = classes_.find(minor);
-  return it == classes_.end() ? 0 : it->second.queue.backlog_bytes();
+  return it == classes_.end() ? Bytes{0} : it->second.queue.backlog_bytes();
 }
 
 void HtbQdisc::enqueue(const Chunk& chunk) {
-  TLS_CHECK(chunk.size >= 0, "htb enqueue of negative-size chunk: ",
+  TLS_CHECK(chunk.size >= Bytes{0}, "htb enqueue of negative-size chunk: ",
             chunk.size);
   ledger_.enqueued += chunk.size;
-  std::uint32_t minor = chunk.band >= 0 ? static_cast<std::uint32_t>(chunk.band) : 0;
+  std::uint32_t minor =
+      chunk.band.valid() ? static_cast<std::uint32_t>(chunk.band.idx()) : 0;
   auto it = classes_.find(minor);
   if (it == classes_.end() && default_minor_ != 0) {
     it = classes_.find(default_minor_);
@@ -87,18 +88,18 @@ void HtbQdisc::enqueue(const Chunk& chunk) {
 void HtbQdisc::refill(LeafClass& leaf, sim::Time now) const {
   double dt = sim::to_seconds(now - leaf.last_refill);
   if (dt <= 0) return;
-  leaf.tokens = std::min(static_cast<double>(leaf.cfg.burst),
-                         leaf.tokens + leaf.cfg.rate * dt);
-  leaf.ctokens = std::min(static_cast<double>(leaf.cfg.cburst),
-                          leaf.ctokens + leaf.cfg.ceil * dt);
+  leaf.tokens = std::min(to_double(leaf.cfg.burst),
+                         leaf.tokens + bytes_in(leaf.cfg.rate, dt));
+  leaf.ctokens = std::min(to_double(leaf.cfg.cburst),
+                          leaf.ctokens + bytes_in(leaf.cfg.ceil, dt));
   leaf.last_refill = now;
 }
 
 void HtbQdisc::refill_root(sim::Time now) {
   double dt = sim::to_seconds(now - root_last_refill_);
   if (dt <= 0) return;
-  root_tokens_ = std::min(static_cast<double>(root_burst_),
-                          root_tokens_ + root_rate_ * dt);
+  root_tokens_ = std::min(to_double(root_burst_),
+                          root_tokens_ + bytes_in(root_rate_, dt));
   root_last_refill_ = now;
 }
 
@@ -110,9 +111,12 @@ HtbQdisc::Mode HtbQdisc::mode_of(const LeafClass& leaf) const {
 }
 
 double HtbQdisc::eligible_in(const LeafClass& leaf) const {
-  double root_wait = root_tokens_ >= 0 ? 0.0 : -root_tokens_ / root_rate_;
-  double green_wait = leaf.tokens >= 0 ? 0.0 : -leaf.tokens / leaf.cfg.rate;
-  double yellow_wait = leaf.ctokens >= 0 ? 0.0 : -leaf.ctokens / leaf.cfg.ceil;
+  double root_wait =
+      root_tokens_ >= 0 ? 0.0 : seconds_for(-root_tokens_, root_rate_);
+  double green_wait =
+      leaf.tokens >= 0 ? 0.0 : seconds_for(-leaf.tokens, leaf.cfg.rate);
+  double yellow_wait =
+      leaf.ctokens >= 0 ? 0.0 : seconds_for(-leaf.ctokens, leaf.cfg.ceil);
   return std::max(root_wait, std::min(green_wait, yellow_wait));
 }
 
@@ -122,7 +126,7 @@ DequeueResult HtbQdisc::dequeue(sim::Time now) {
   if (!direct_.empty()) {
     Chunk c = direct_.take_front();
     direct_bytes_ -= c.size;
-    TLS_CHECK(direct_bytes_ >= 0, "htb direct backlog went negative: ",
+    TLS_CHECK(direct_bytes_ >= Bytes{0}, "htb direct backlog went negative: ",
               direct_bytes_);
     stats_.bytes_sent += c.size;
     ++stats_.chunks_sent;
@@ -171,7 +175,7 @@ DequeueResult HtbQdisc::dequeue(sim::Time now) {
     TLS_CHECK(std::isfinite(wait_s),
               "htb: all-red backlog but no finite eligibility time");
     ++stats_.overlimits;
-    sim::Time retry = now + std::max<sim::Time>(sim::from_seconds(wait_s), 1);
+    sim::Time retry = now + std::max(sim::from_seconds(wait_s), sim::Time{1});
     TLS_CHECK(retry > now, "htb retry time not in the future: retry=", retry,
               " now=", now);
     if (TLS_OBS_ACTIVE(obs_)) obs_->overlimit(now, obs_host_, retry);
@@ -180,7 +184,7 @@ DequeueResult HtbQdisc::dequeue(sim::Time now) {
 
   std::optional<Chunk> chunk = best->queue.dequeue();
   TLS_CHECK(chunk.has_value(), "htb picked a class with an empty queue");
-  double need = static_cast<double>(chunk->size);
+  double need = to_double(chunk->size);
   // Sending consumes ceil credit and root credit; assured-rate credit only
   // when sending green. Buckets may overdraw (go negative) by one chunk.
   if (best_mode == Mode::kGreen) best->tokens -= need;
@@ -200,8 +204,8 @@ DequeueResult HtbQdisc::dequeue(sim::Time now) {
   }
   if (TLS_OBS_ACTIVE(obs_)) {
     obs_->htb_send(now, obs_host_,
-                   static_cast<std::int32_t>(best->cfg.minor), chunk->size,
-                   best_mode != Mode::kGreen);
+                   BandId{static_cast<std::int32_t>(best->cfg.minor)},
+                   chunk->size, best_mode != Mode::kGreen);
   }
   ledger_.dequeued += chunk->size;
   TLS_DCHECK(ledger_.balanced(backlog_bytes()), "htb ledger imbalance: in=",
@@ -214,7 +218,7 @@ void HtbQdisc::drain(std::vector<Chunk>& out) {
   direct_.append_to(out);
   direct_.clear();
   ledger_.drained += direct_bytes_;
-  direct_bytes_ = 0;
+  direct_bytes_ = Bytes{0};
   for (auto& [minor, leaf] : classes_) {
     (void)minor;
     while (auto c = leaf.queue.dequeue()) {

@@ -84,13 +84,13 @@ class HtbQdisc final : public Qdisc {
     WdrrBand queue;
     double tokens = 0;   // bytes of assured-rate credit
     double ctokens = 0;  // bytes of ceil-rate credit
-    sim::Time last_refill = 0;
+    sim::Time last_refill{};
     std::uint64_t last_served = 0;
     QdiscStats stats;
 
     explicit LeafClass(const HtbClassConfig& c)
-        : cfg(c), queue(c.quantum), tokens(static_cast<double>(c.burst)),
-          ctokens(static_cast<double>(c.cburst)) {}
+        : cfg(c), queue(c.quantum), tokens(to_double(c.burst)),
+          ctokens(to_double(c.cburst)) {}
   };
 
   enum class Mode { kGreen, kYellow, kRed };
@@ -108,13 +108,13 @@ class HtbQdisc final : public Qdisc {
   std::uint32_t default_minor_;
   double root_tokens_;
   Bytes root_burst_;
-  sim::Time root_last_refill_ = 0;
+  sim::Time root_last_refill_{};
   std::uint64_t serve_seq_ = 0;
 
   // Ordered map => deterministic iteration, stable tie-breaking.
   std::map<std::uint32_t, LeafClass> classes_;
   ChunkRing direct_;  // unclassified, unshaped
-  Bytes direct_bytes_ = 0;
+  Bytes direct_bytes_{};
   QdiscStats stats_;
   ByteLedger ledger_;
 };

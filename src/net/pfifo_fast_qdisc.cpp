@@ -17,7 +17,7 @@ int PfifoFastQdisc::priomap(FlowKind kind) {
 }
 
 void PfifoFastQdisc::enqueue(const Chunk& chunk) {
-  TLS_CHECK(chunk.size >= 0, "pfifo_fast enqueue of negative-size chunk: ",
+  TLS_CHECK(chunk.size >= Bytes{0}, "pfifo_fast enqueue of negative-size chunk: ",
             chunk.size);
   int band = priomap(chunk.kind);
   bands_[static_cast<std::size_t>(band)].push_back(chunk);
@@ -32,9 +32,9 @@ DequeueResult PfifoFastQdisc::dequeue(sim::Time now) {
     auto& band = bands_[static_cast<std::size_t>(b)];
     if (band.empty()) continue;
     Chunk c = band.take_front();
-    if (TLS_OBS_ACTIVE(obs_)) obs_->band_service(now, obs_host_, b, c.size);
+    if (TLS_OBS_ACTIVE(obs_)) obs_->band_service(now, obs_host_, BandId{b}, c.size);
     band_bytes_[static_cast<std::size_t>(b)] -= c.size;
-    TLS_CHECK(band_bytes_[static_cast<std::size_t>(b)] >= 0,
+    TLS_CHECK(band_bytes_[static_cast<std::size_t>(b)] >= Bytes{0},
               "pfifo_fast band ", b, " backlog went negative");
     stats_.bytes_sent += c.size;
     ++stats_.chunks_sent;
@@ -62,7 +62,7 @@ void PfifoFastQdisc::drain(std::vector<Chunk>& out) {
     band.append_to(out);
     band.clear();
     ledger_.drained += band_bytes_[static_cast<std::size_t>(b)];
-    band_bytes_[static_cast<std::size_t>(b)] = 0;
+    band_bytes_[static_cast<std::size_t>(b)] = Bytes{0};
   }
   TLS_DCHECK(ledger_.balanced(backlog_bytes()),
              "pfifo_fast ledger imbalance after drain");

@@ -38,7 +38,7 @@ class PfifoFastQdisc final : public Qdisc {
 
  private:
   std::array<ChunkRing, kBands> bands_;
-  std::array<Bytes, kBands> band_bytes_{0, 0, 0};
+  std::array<Bytes, kBands> band_bytes_{};
   QdiscStats stats_;
   ByteLedger ledger_;
 };

@@ -7,7 +7,7 @@
 namespace tls::net {
 
 void PfifoQdisc::enqueue(const Chunk& chunk) {
-  TLS_CHECK(chunk.size >= 0, "pfifo enqueue of negative-size chunk: ",
+  TLS_CHECK(chunk.size >= Bytes{0}, "pfifo enqueue of negative-size chunk: ",
             chunk.size);
   queue_.push_back(chunk);
   backlog_bytes_ += chunk.size;
@@ -21,16 +21,16 @@ void PfifoQdisc::drain(std::vector<Chunk>& out) {
   queue_.append_to(out);
   queue_.clear();
   ledger_.drained += backlog_bytes_;
-  backlog_bytes_ = 0;
+  backlog_bytes_ = Bytes{0};
   TLS_DCHECK(ledger_.balanced(backlog_bytes_), "pfifo ledger imbalance after drain");
 }
 
 DequeueResult PfifoQdisc::dequeue(sim::Time now) {
   if (queue_.empty()) return DequeueResult::idle();
   Chunk c = queue_.take_front();
-  if (TLS_OBS_ACTIVE(obs_)) obs_->band_service(now, obs_host_, 0, c.size);
+  if (TLS_OBS_ACTIVE(obs_)) obs_->band_service(now, obs_host_, BandId{0}, c.size);
   backlog_bytes_ -= c.size;
-  TLS_CHECK(backlog_bytes_ >= 0, "pfifo backlog went negative: ",
+  TLS_CHECK(backlog_bytes_ >= Bytes{0}, "pfifo backlog went negative: ",
             backlog_bytes_);
   stats_.bytes_sent += c.size;
   ++stats_.chunks_sent;
@@ -46,7 +46,7 @@ std::size_t PfifoQdisc::dequeue_batch(sim::Time now, std::size_t max_chunks,
   std::size_t n = 0;
   while (n < max_chunks && !queue_.empty()) {
     Chunk c = queue_.take_front();
-    if (TLS_OBS_ACTIVE(obs_)) obs_->band_service(now, obs_host_, 0, c.size);
+    if (TLS_OBS_ACTIVE(obs_)) obs_->band_service(now, obs_host_, BandId{0}, c.size);
     backlog_bytes_ -= c.size;
     stats_.bytes_sent += c.size;
     ++stats_.chunks_sent;
@@ -54,7 +54,7 @@ std::size_t PfifoQdisc::dequeue_batch(sim::Time now, std::size_t max_chunks,
     out.push_back(c);
     ++n;
   }
-  TLS_CHECK(backlog_bytes_ >= 0, "pfifo backlog went negative: ",
+  TLS_CHECK(backlog_bytes_ >= Bytes{0}, "pfifo backlog went negative: ",
             backlog_bytes_);
   TLS_DCHECK(ledger_.balanced(backlog_bytes_),
              "pfifo ledger imbalance after batch dequeue: in=",

@@ -32,7 +32,7 @@ class PfifoQdisc final : public Qdisc {
 
  private:
   ChunkRing queue_;
-  Bytes backlog_bytes_ = 0;
+  Bytes backlog_bytes_{};
   QdiscStats stats_;
   ByteLedger ledger_;
 };

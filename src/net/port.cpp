@@ -15,12 +15,12 @@ EgressPort::EgressPort(sim::Simulator& simulator, Rate rate,
       rate_(rate),
       on_transmit_(std::move(on_transmit)),
       qdisc_(std::make_unique<PfifoQdisc>()) {
-  TLS_CHECK(rate_ > 0, "egress port rate must be positive, got ", rate_);
+  TLS_CHECK(rate_ > Rate{0.0}, "egress port rate must be positive, got ", rate_);
   TLS_CHECK(on_transmit_, "egress port with null transmit callback");
 }
 
 void EgressPort::submit(Chunk chunk, const FlowSpec& spec) {
-  TLS_CHECK(chunk.size >= 0, "egress submit of negative-size chunk: ",
+  TLS_CHECK(chunk.size >= Bytes{0}, "egress submit of negative-size chunk: ",
             chunk.size);
   chunk.band = classifier_.classify(spec);
   chunk.enqueued_at = sim_.now();
@@ -51,7 +51,7 @@ void EgressPort::set_qdisc(std::unique_ptr<Qdisc> qdisc) {
   // backlog to preserve service order.
   staged_.append_to(backlog);
   staged_.clear();
-  staged_bytes_ = 0;
+  staged_bytes_ = Bytes{0};
   qdisc_->drain(backlog);
   qdisc_ = std::move(qdisc);
   qdisc_->set_obs(sim_.tracer(), host_);
@@ -72,7 +72,7 @@ void EgressPort::maybe_stage() {
   Bytes before = staged_bytes_ + qdisc_->backlog_bytes();
   qdisc_->dequeue_batch(sim_.now(), kStageBatch, staged_);
   staged_bytes_ = before - qdisc_->backlog_bytes();
-  TLS_DCHECK(staged_bytes_ >= 0, "staging lane bytes went negative: ",
+  TLS_DCHECK(staged_bytes_ >= Bytes{0}, "staging lane bytes went negative: ",
              staged_bytes_);
 }
 
@@ -117,7 +117,7 @@ void EgressPort::kick() {
       // kick() runs again and the earlier of the two polls wins.
       if (retry_armed_) sim_.cancel(retry_event_);
       retry_armed_ = true;
-      retry_event_ = sim_.schedule_at(std::max(r.retry_at, sim_.now() + 1),
+      retry_event_ = sim_.schedule_at(std::max(r.retry_at, sim_.now() + sim::Time{1}),
                                       [this] {
                                         retry_armed_ = false;
                                         kick();
@@ -139,7 +139,7 @@ void EgressPort::finish_transmit(const Chunk& chunk) {
   counters_.bytes += chunk.size;
   ++counters_.chunks;
   in_flight_bytes_ -= chunk.size;
-  TLS_CHECK(in_flight_bytes_ >= 0, "egress in-flight bytes went negative: ",
+  TLS_CHECK(in_flight_bytes_ >= Bytes{0}, "egress in-flight bytes went negative: ",
             in_flight_bytes_);
   TLS_DCHECK(submitted_bytes_ == counters_.bytes + in_flight_bytes_ +
                                      staged_bytes_ + qdisc_->backlog_bytes(),
@@ -154,12 +154,12 @@ void EgressPort::finish_transmit(const Chunk& chunk) {
 IngressPort::IngressPort(sim::Simulator& simulator, Rate rate,
                          Delivered on_delivered)
     : sim_(simulator), rate_(rate), on_delivered_(std::move(on_delivered)) {
-  TLS_CHECK(rate_ > 0, "ingress port rate must be positive, got ", rate_);
+  TLS_CHECK(rate_ > Rate{0.0}, "ingress port rate must be positive, got ", rate_);
   TLS_CHECK(on_delivered_, "ingress port with null delivery callback");
 }
 
 void IngressPort::arrive(const Chunk& chunk) {
-  TLS_CHECK(chunk.size >= 0, "ingress arrival of negative-size chunk: ",
+  TLS_CHECK(chunk.size >= Bytes{0}, "ingress arrival of negative-size chunk: ",
             chunk.size);
   if (TLS_OBS_ACTIVE(sim_.tracer())) {
     sim_.tracer()->ingress_arrive(sim_.now(), host_, chunk.job, chunk.band,
@@ -182,7 +182,7 @@ void IngressPort::serve_next() {
   sim::Time arrived_at = queue_.front_stamp();
   Chunk chunk = queue_.take_front();
   backlog_bytes_ -= chunk.size;
-  TLS_CHECK(backlog_bytes_ >= 0, "ingress backlog went negative: ",
+  TLS_CHECK(backlog_bytes_ >= Bytes{0}, "ingress backlog went negative: ",
             backlog_bytes_);
   sim::Time wait = sim_.now() - arrived_at;
   sim_.schedule_after(transmit_time(chunk.size, rate_),

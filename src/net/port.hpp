@@ -16,9 +16,9 @@ namespace tls::net {
 /// Cumulative byte/chunk counters for one direction of a port; the ifstat
 /// analog reads these.
 struct PortCounters {
-  Bytes bytes = 0;
+  Bytes bytes{};
   std::uint64_t chunks = 0;
-  Bytes peak_backlog_bytes = 0;
+  Bytes peak_backlog_bytes{};
 };
 
 /// Transmit side of a host NIC. Owns the classifier and qdisc; serializes
@@ -87,7 +87,7 @@ class EgressPort {
   void maybe_stage();
 
   sim::Simulator& sim_;
-  HostId host_ = -1;
+  HostId host_ = kNoHost;
   Rate rate_;
   TransmitDone on_transmit_;
   std::unique_ptr<Qdisc> qdisc_;
@@ -101,14 +101,14 @@ class EgressPort {
   // happens inside kick() exactly where the poll path would schedule, so
   // the event schedule order is identical to poll-per-chunk.
   ChunkRing staged_;
-  Bytes staged_bytes_ = 0;
+  Bytes staged_bytes_{};
   std::uint64_t ff_promotions_ = 0;
   std::uint64_t ff_polls_ = 0;
   // Byte-conservation bookkeeping: everything submitted is either already
   // transmitted (counters_.bytes), in flight on the wire, staged, or still
   // queued in the qdisc.
-  Bytes submitted_bytes_ = 0;
-  Bytes in_flight_bytes_ = 0;
+  Bytes submitted_bytes_{};
+  Bytes in_flight_bytes_{};
 };
 
 /// Receive side of a host NIC: FIFO service at line rate, modeling fan-in
@@ -138,14 +138,14 @@ class IngressPort {
   void serve_next();
 
   sim::Simulator& sim_;
-  HostId host_ = -1;
+  HostId host_ = kNoHost;
   Rate rate_;
   Delivered on_delivered_;
   /// FIFO of waiting chunks; the ring's stamp lane records each chunk's
   /// arrival instant (fan-in wait and residence trace fields derive from
   /// it), replacing a second parallel deque.
   ChunkRing queue_;
-  Bytes backlog_bytes_ = 0;
+  Bytes backlog_bytes_{};
   bool busy_ = false;
   PortCounters counters_;
 };

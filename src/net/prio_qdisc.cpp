@@ -16,11 +16,11 @@ PrioQdisc::PrioQdisc(int bands, Bytes quantum) {
 }
 
 void PrioQdisc::enqueue(const Chunk& chunk) {
-  TLS_CHECK(chunk.size >= 0, "prio enqueue of negative-size chunk: ",
+  TLS_CHECK(chunk.size >= Bytes{0}, "prio enqueue of negative-size chunk: ",
             chunk.size);
   // Out-of-range bands are clamped to the lowest priority, mirroring how a
   // misconfigured tc filter lands traffic in the last band.
-  int b = std::clamp<int>(chunk.band, 0, bands() - 1);
+  int b = std::clamp<int>(chunk.band.idx(), 0, bands() - 1);
   bands_[static_cast<std::size_t>(b)].enqueue(chunk);
   ledger_.enqueued += chunk.size;
   TLS_DCHECK(ledger_.balanced(backlog_bytes()),
@@ -35,8 +35,8 @@ DequeueResult PrioQdisc::dequeue(sim::Time now) {
       band_stats_[b].bytes_sent += c->size;
       ++band_stats_[b].chunks_sent;
       if (TLS_OBS_ACTIVE(obs_)) {
-        obs_->band_service(now, obs_host_, static_cast<std::int32_t>(b),
-                           c->size);
+        obs_->band_service(now, obs_host_,
+                           BandId{static_cast<std::int32_t>(b)}, c->size);
       }
       ledger_.dequeued += c->size;
       TLS_DCHECK(ledger_.balanced(backlog_bytes()),
@@ -78,7 +78,7 @@ void PrioQdisc::drain(std::vector<Chunk>& out) {
 }
 
 Bytes PrioQdisc::backlog_bytes() const {
-  Bytes total = 0;
+  Bytes total{};
   for (const auto& b : bands_) total += b.backlog_bytes();
   return total;
 }

@@ -25,7 +25,7 @@ class ChunkRing;
 /// Cumulative service counters of a qdisc (or one of its classes/bands),
 /// the `tc -s` statistics analog.
 struct QdiscStats {
-  Bytes bytes_sent = 0;
+  Bytes bytes_sent{};
   std::uint64_t chunks_sent = 0;
   /// htb only: sends at assured rate (green) vs borrowed (yellow).
   std::uint64_t green_sends = 0;
@@ -42,12 +42,12 @@ struct QdiscStats {
 /// chunk silently lost or double-counted by a refactor aborts Debug and
 /// sanitizer runs at the first operation that breaks the books.
 struct ByteLedger {
-  Bytes enqueued = 0;
-  Bytes dequeued = 0;
-  Bytes drained = 0;
+  Bytes enqueued{};
+  Bytes dequeued{};
+  Bytes drained{};
 
   bool balanced(Bytes backlog) const {
-    return backlog >= 0 && enqueued == dequeued + drained + backlog;
+    return backlog >= Bytes{0} && enqueued == dequeued + drained + backlog;
   }
 };
 
@@ -56,7 +56,7 @@ struct DequeueResult {
   enum class Kind { kChunk, kWaitUntil, kIdle };
   Kind kind = Kind::kIdle;
   Chunk chunk{};
-  sim::Time retry_at = 0;
+  sim::Time retry_at{};
 
   static DequeueResult idle() { return {}; }
   static DequeueResult wait_until(sim::Time t) {
@@ -128,14 +128,14 @@ class Qdisc {
   /// Implementations emit discipline-level events (band service, htb
   /// green/yellow, overlimit) through `obs_` when non-null; the EgressPort
   /// propagates this on installation and qdisc replacement.
-  void set_obs(obs::Tracer* tracer, std::int32_t host) {
+  void set_obs(obs::Tracer* tracer, HostId host) {
     obs_ = tracer;
     obs_host_ = host;
   }
 
  protected:
   obs::Tracer* obs_ = nullptr;
-  std::int32_t obs_host_ = -1;
+  HostId obs_host_ = kNoHost;
 };
 
 }  // namespace tls::net

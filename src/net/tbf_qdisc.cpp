@@ -10,13 +10,13 @@
 namespace tls::net {
 
 TbfQdisc::TbfQdisc(const TbfConfig& config)
-    : config_(config), tokens_(static_cast<double>(config.burst)) {
-  if (config_.rate <= 0) throw std::invalid_argument("tbf rate <= 0");
-  if (config_.burst <= 0) throw std::invalid_argument("tbf burst <= 0");
+    : config_(config), tokens_(to_double(config.burst)) {
+  if (config_.rate <= Rate{0.0}) throw std::invalid_argument("tbf rate <= 0");
+  if (config_.burst <= Bytes{0}) throw std::invalid_argument("tbf burst <= 0");
 }
 
 void TbfQdisc::enqueue(const Chunk& chunk) {
-  TLS_CHECK(chunk.size >= 0, "tbf enqueue of negative-size chunk: ",
+  TLS_CHECK(chunk.size >= Bytes{0}, "tbf enqueue of negative-size chunk: ",
             chunk.size);
   queue_.push_back(chunk);
   backlog_bytes_ += chunk.size;
@@ -31,22 +31,22 @@ DequeueResult TbfQdisc::dequeue(sim::Time now) {
             " last_refill=", last_refill_);
   double dt = sim::to_seconds(now - last_refill_);
   if (dt > 0) {
-    tokens_ = std::min(static_cast<double>(config_.burst),
-                       tokens_ + config_.rate * dt);
+    tokens_ = std::min(to_double(config_.burst),
+                       tokens_ + bytes_in(config_.rate, dt));
     last_refill_ = now;
   }
   if (tokens_ < 0) {
     ++stats_.overlimits;
-    sim::Time wait = sim::from_seconds(-tokens_ / config_.rate);
-    sim::Time retry = now + std::max<sim::Time>(wait, 1);
+    sim::Time wait = sim::from_seconds(seconds_for(-tokens_, config_.rate));
+    sim::Time retry = now + std::max(wait, sim::Time{1});
     if (TLS_OBS_ACTIVE(obs_)) obs_->overlimit(now, obs_host_, retry);
     return DequeueResult::wait_until(retry);
   }
   Chunk c = queue_.take_front();
   backlog_bytes_ -= c.size;
-  TLS_CHECK(backlog_bytes_ >= 0, "tbf backlog went negative: ",
+  TLS_CHECK(backlog_bytes_ >= Bytes{0}, "tbf backlog went negative: ",
             backlog_bytes_);
-  tokens_ -= static_cast<double>(c.size);
+  tokens_ -= to_double(c.size);
   stats_.bytes_sent += c.size;
   ++stats_.chunks_sent;
   ledger_.dequeued += c.size;
@@ -60,14 +60,14 @@ void TbfQdisc::drain(std::vector<Chunk>& out) {
   queue_.append_to(out);
   queue_.clear();
   ledger_.drained += backlog_bytes_;
-  backlog_bytes_ = 0;
+  backlog_bytes_ = Bytes{0};
   TLS_DCHECK(ledger_.balanced(backlog_bytes_),
              "tbf ledger imbalance after drain");
 }
 
 std::string TbfQdisc::stats_text() const {
   std::ostringstream os;
-  os << "qdisc tbf rate " << config_.rate * 8 / 1e6 << "mbit: sent "
+  os << "qdisc tbf rate " << config_.rate / mbps(1) << "mbit: sent "
      << stats_.bytes_sent << " bytes " << stats_.chunks_sent
      << " chunks, overlimits " << stats_.overlimits << ", backlog "
      << backlog_bytes_ << " bytes\n";

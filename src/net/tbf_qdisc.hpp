@@ -33,9 +33,9 @@ class TbfQdisc final : public Qdisc {
  private:
   TbfConfig config_;
   ChunkRing queue_;
-  Bytes backlog_bytes_ = 0;
+  Bytes backlog_bytes_{};
   double tokens_;
-  sim::Time last_refill_ = 0;
+  sim::Time last_refill_{};
   QdiscStats stats_;
   ByteLedger ledger_;
 };

@@ -1,45 +1,135 @@
 // Basic network quantities and conversions.
+//
+// Every quantity here is a strong type (simcore/strong.hpp): byte counts,
+// rates, host indices, and band indices do not mix with each other, with
+// sim::Time, or with bare integers. Construction from a raw value is
+// explicit; arithmetic is homogeneous; and the blessed unit-crossing
+// operations live in this header (transmit_time, to_double, gbps/mbps) so
+// everything else can stay cast-free. Uses of `.raw()` outside this header
+// and simcore/time.hpp are flagged by the tls_lint `unit-escape` rule.
 #pragma once
 
-#include <cassert>
 #include <cstdint>
 
+#include "simcore/check.hpp"
+#include "simcore/strong.hpp"
 #include "simcore/time.hpp"
 
 namespace tls::net {
 
-/// Index of a host in the cluster (dense, 0-based).
-using HostId = std::int32_t;
+/// Index of a host in the cluster (dense, 0-based; -1 = no host).
+class HostId : public sim::StrongOrdinal<HostId, std::int32_t> {
+ public:
+  using StrongOrdinal::StrongOrdinal;
+};
+
+/// Priority band index inside a qdisc (0 = highest priority; -1 = none).
+class BandId : public sim::StrongOrdinal<BandId, std::int32_t> {
+ public:
+  using StrongOrdinal::StrongOrdinal;
+};
+
+/// Sentinels for "no such host/band" (unwired ports, background traffic).
+inline constexpr HostId kNoHost{-1};
+inline constexpr BandId kNoBand{-1};
 
 /// Byte counts and sizes.
-using Bytes = std::int64_t;
+class Bytes : public sim::StrongQuantity<Bytes, std::int64_t> {
+ public:
+  using StrongQuantity::StrongQuantity;
+};
 
-/// Link / class rates in bytes per second.
-using Rate = double;
-
-/// Unique id of an in-flight transfer.
+/// Unique id of an in-flight transfer. Deliberately a bare alias: flow ids
+/// are opaque tickets that never participate in arithmetic.
 using FlowId = std::uint64_t;
 
-/// Priority band index inside a qdisc (0 = highest priority).
-using BandId = std::int32_t;
+inline constexpr Bytes kKiB{1024};
+inline constexpr Bytes kMiB{1024 * 1024};
 
-inline constexpr Bytes kKiB = 1024;
-inline constexpr Bytes kMiB = 1024 * 1024;
+/// Link / class rates in bytes per second. Checked on construction
+/// (non-negative, finite) and strongly typed against Bytes and Time;
+/// rate arithmetic that crosses dimensions (rate * seconds, ratio of
+/// rates) deliberately yields plain doubles, because token-bucket credit
+/// and utilization math are inherently floating point.
+class Rate {
+ public:
+  constexpr Rate() = default;
+  constexpr explicit Rate(double bytes_per_sec) : v_(bytes_per_sec) {
+    if (std::is_constant_evaluated()) {
+      if (!(v_ >= 0.0)) {
+        throw "negative rate";  // forces a constant-evaluation error
+      }
+    } else {
+      TLS_CHECK(v_ >= 0.0 && v_ - v_ == 0.0,
+                "rate must be finite and non-negative, got ", v_);
+    }
+  }
+
+  /// Escape hatch; same lint policy as StrongQuantity::raw().
+  constexpr double raw() const { return v_; }
+
+  friend constexpr Rate operator+(Rate a, Rate b) { return Rate{a.v_ + b.v_}; }
+  friend constexpr Rate operator-(Rate a, Rate b) { return Rate{a.v_ - b.v_}; }
+
+  /// Scaling by a dimensionless factor keeps the unit.
+  friend constexpr Rate operator*(Rate a, double k) { return Rate{a.v_ * k}; }
+  friend constexpr Rate operator*(double k, Rate a) { return Rate{k * a.v_}; }
+
+  /// Ratio of two rates is dimensionless.
+  friend constexpr double operator/(Rate a, Rate b) { return a.v_ / b.v_; }
+
+  friend constexpr bool operator==(Rate a, Rate b) { return a.v_ == b.v_; }
+  friend constexpr auto operator<=>(Rate a, Rate b) { return a.v_ <=> b.v_; }
+
+  friend std::ostream& operator<<(std::ostream& os, Rate a) {
+    return os << a.v_;
+  }
+
+ private:
+  double v_ = 0.0;
+};
+
+/// Bytes transferred in `seconds` at `rate`, as a (fractional) byte count —
+/// the token-bucket refill quantity.
+constexpr double bytes_in(Rate rate, double seconds) {
+  return rate.raw() * seconds;
+}
+
+/// Seconds needed to move `amount` (fractional) bytes at `rate`.
+constexpr double seconds_for(double amount, Rate rate) {
+  return amount / rate.raw();
+}
 
 /// Converts gigabits/second (link spec convention) to bytes/second.
-constexpr Rate gbps(double g) { return g * 1e9 / 8.0; }
+constexpr Rate gbps(double g) { return Rate{g * 1e9 / 8.0}; }
 
 /// Converts megabits/second to bytes/second.
-constexpr Rate mbps(double m) { return m * 1e6 / 8.0; }
+constexpr Rate mbps(double m) { return Rate{m * 1e6 / 8.0}; }
+
+/// A rate as bits/second, for tc-style display formatting.
+constexpr double bits_per_sec(Rate rate) { return rate.raw() * 8.0; }
+
+/// A byte count as a double, for throughput/utilization math.
+constexpr double to_double(Bytes bytes) {
+  return static_cast<double>(bytes.raw());
+}
+
+/// A rate as bytes/second, for comparisons against externally computed
+/// throughput numbers.
+constexpr double to_double(Rate rate) { return rate.raw(); }
+
+/// A whole number of bytes as a Bytes; the named counterpart of the
+/// explicit constructor for parsed/serialized integers.
+constexpr Bytes from_bytes(std::int64_t n) { return Bytes{n}; }
 
 /// Serialization delay of `bytes` at `rate`, rounded up to >= 1 ns so a
 /// transmission always advances simulated time.
 inline sim::Time transmit_time(Bytes bytes, Rate rate) {
-  assert(bytes >= 0);
-  assert(rate > 0);
-  double s = static_cast<double>(bytes) / rate;
+  TLS_DCHECK(bytes >= Bytes{0}, "transmit_time of negative size ", bytes);
+  TLS_DCHECK(rate > Rate{0}, "transmit_time at non-positive rate ", rate);
+  double s = static_cast<double>(bytes.raw()) / rate.raw();
   sim::Time t = sim::from_seconds(s);
-  return t > 0 ? t : 1;
+  return t > sim::Time{0} ? t : sim::Time{1};
 }
 
 }  // namespace tls::net

@@ -7,11 +7,11 @@
 namespace tls::net {
 
 WdrrBand::WdrrBand(Bytes quantum) : quantum_(quantum) {
-  TLS_CHECK(quantum_ > 0, "wdrr quantum must be positive, got ", quantum_);
+  TLS_CHECK(quantum_ > Bytes{0}, "wdrr quantum must be positive, got ", quantum_);
 }
 
 void WdrrBand::enqueue(const Chunk& chunk) {
-  TLS_CHECK(chunk.size >= 0, "wdrr enqueue of negative-size chunk: ",
+  TLS_CHECK(chunk.size >= Bytes{0}, "wdrr enqueue of negative-size chunk: ",
             chunk.size);
   auto [it, inserted] = flows_.try_emplace(chunk.flow);
   FlowQueue& fq = it->second;
@@ -23,7 +23,7 @@ void WdrrBand::enqueue(const Chunk& chunk) {
   ++backlog_chunks_;
   if (!fq.in_round) {
     fq.in_round = true;
-    fq.deficit = 0;
+    fq.deficit = Bytes{0};
     active_.push_back(chunk.flow);
   }
 }
@@ -47,7 +47,8 @@ std::optional<Chunk> WdrrBand::dequeue() {
     // One-lane peek: the DRR decision needs only the head chunk's size.
     const Bytes head_size = fq.chunks.front_size();
     if (fq.deficit < head_size) {
-      fq.deficit += static_cast<Bytes>(static_cast<double>(quantum_) * fq.weight);
+      fq.deficit +=
+          Bytes{static_cast<std::int64_t>(to_double(quantum_) * fq.weight)};
       active_.pop_front();
       active_.push_back(fid);
       continue;
@@ -56,11 +57,11 @@ std::optional<Chunk> WdrrBand::dequeue() {
     fq.deficit -= served.size;
     backlog_bytes_ -= served.size;
     --backlog_chunks_;
-    TLS_CHECK(backlog_bytes_ >= 0, "wdrr backlog went negative: ",
+    TLS_CHECK(backlog_bytes_ >= Bytes{0}, "wdrr backlog went negative: ",
               backlog_bytes_);
     if (fq.chunks.empty()) {
       fq.in_round = false;
-      fq.deficit = 0;
+      fq.deficit = Bytes{0};
       active_.pop_front();
       flows_.erase(it);
     }

@@ -50,7 +50,7 @@ class WdrrBand {
   struct FlowQueue {
     ChunkRing chunks;
     double weight = 1.0;
-    Bytes deficit = 0;
+    Bytes deficit{};
     bool in_round = false;  // currently on the active list
   };
 
@@ -61,7 +61,7 @@ class WdrrBand {
   Bytes quantum_;
   std::unordered_map<FlowId, FlowQueue> flows_;
   std::deque<FlowId> active_;
-  Bytes backlog_bytes_ = 0;
+  Bytes backlog_bytes_{};
   std::size_t backlog_chunks_ = 0;
 };
 

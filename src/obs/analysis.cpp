@@ -19,10 +19,10 @@ constexpr std::int32_t kGradientUpdateKind = 1;
 /// Missing stages stay -1 (category filtered out or chunk still in flight
 /// at end of trace).
 struct ChunkTrace {
-  sim::Time enq_at = -1;
-  sim::Time deq_at = -1;
-  sim::Time arr_at = -1;
-  sim::Time del_at = -1;
+  sim::Time enq_at{-1};
+  sim::Time deq_at{-1};
+  sim::Time arr_at{-1};
+  sim::Time del_at{-1};
   std::size_t enq_idx = 0;  ///< log position of the enqueue event
   std::size_t deq_idx = 0;  ///< log position of the dequeue event
   std::int32_t egress_host = -1;
@@ -36,21 +36,21 @@ struct FlowTrace {
   std::int32_t job = -1;
   std::int32_t kind = -1;  ///< FlowKind ordinal
   std::int64_t iteration = -1;
-  sim::Time start_at = -1;
-  sim::Time end_at = -1;
+  sim::Time start_at{-1};
+  sim::Time end_at{-1};
   std::map<std::int64_t, ChunkTrace> chunks;        ///< by chunk index
   std::map<sim::Time, std::int64_t> index_by_deliver;  ///< deliver -> index
 };
 
 struct Span {
-  sim::Time begin = 0;
-  sim::Time end = 0;
+  sim::Time begin{};
+  sim::Time end{};
   std::int32_t actor = -1;  ///< worker or shard id
 };
 
 struct Release {
-  sim::Time at = 0;
-  sim::Time wait = 0;
+  sim::Time at{};
+  sim::Time wait{};
   std::int32_t worker = -1;
 };
 
@@ -90,7 +90,7 @@ Index build_index(const std::vector<TraceEvent>& events) {
       }
       case EventKind::kFlowEnd: {
         FlowTrace& f = ix.flows[e.flow];
-        if (f.start_at < 0) {  // end without start (filtered/truncated)
+        if (f.start_at < sim::Time{0}) {  // end without start (filtered/truncated)
           f.src = e.host;
           f.dst = static_cast<std::int32_t>(e.a);
           f.job = e.job;
@@ -205,7 +205,8 @@ void decompose_flow(const FlowTrace& f, sim::Time lo, SegmentSink& sink,
     c = &f.chunks.at(last->second);
   }
   while (c != nullptr && cursor > lo) {
-    if (c->arr_at < 0 || c->deq_at < 0 || c->enq_at < 0 || c->del_at < 0) {
+    if (c->arr_at < sim::Time{0} || c->deq_at < sim::Time{0} ||
+        c->enq_at < sim::Time{0} || c->del_at < sim::Time{0}) {
       break;  // partial chunk record; leave the remainder to `other`
     }
     sink.add(SegmentKind::kFanIn, c->arr_at, cursor, f.dst, flow_id);
@@ -434,7 +435,7 @@ namespace {
 
 /// Integer percentage of part in whole (0 when whole is 0).
 std::int64_t pct(sim::Time part, sim::Time whole) {
-  return whole > 0 ? part * 100 / whole : 0;
+  return whole > sim::Time{0} ? part * 100 / whole : 0;
 }
 
 void append_iteration_row(std::ostringstream& os, const IterationReport& r) {

@@ -59,8 +59,8 @@ const char* to_string(SegmentKind kind);
 /// in increasing time order and tile [enter, release] with no gaps.
 struct PathSegment {
   SegmentKind kind = SegmentKind::kOther;
-  sim::Time begin = 0;
-  sim::Time end = 0;
+  sim::Time begin{};
+  sim::Time end{};
   /// Host where the time accrued (-1 when not host-specific).
   std::int32_t host = -1;
   /// Flow the segment belongs to (0 for compute/other segments).
@@ -82,15 +82,15 @@ struct IterationReport {
   std::int64_t iteration = -1;
   /// Worker with the largest barrier wait; its window is decomposed.
   std::int32_t critical_worker = -1;
-  sim::Time enter_at = 0;
-  sim::Time release_at = 0;
-  sim::Time barrier_wait = 0;
+  sim::Time enter_at{};
+  sim::Time release_at{};
+  sim::Time barrier_wait{};
   // Per-kind totals; these five always sum exactly to barrier_wait.
-  sim::Time compute_ns = 0;
-  sim::Time egress_queue_ns = 0;
-  sim::Time serialization_ns = 0;
-  sim::Time fan_in_ns = 0;
-  sim::Time other_ns = 0;
+  sim::Time compute_ns{};
+  sim::Time egress_queue_ns{};
+  sim::Time serialization_ns{};
+  sim::Time fan_in_ns{};
+  sim::Time other_ns{};
   std::vector<PathSegment> segments;  ///< time order, tiling [enter, release]
   std::vector<BlameEntry> blame;      ///< sorted by (host, job, band)
 };
@@ -99,12 +99,12 @@ struct IterationReport {
 struct JobSummary {
   std::int32_t job = -1;
   std::int64_t iterations = 0;
-  sim::Time total_wait_ns = 0;
-  sim::Time compute_ns = 0;
-  sim::Time egress_queue_ns = 0;
-  sim::Time serialization_ns = 0;
-  sim::Time fan_in_ns = 0;
-  sim::Time other_ns = 0;
+  sim::Time total_wait_ns{};
+  sim::Time compute_ns{};
+  sim::Time egress_queue_ns{};
+  sim::Time serialization_ns{};
+  sim::Time fan_in_ns{};
+  sim::Time other_ns{};
   /// Blame bytes from other jobs vs the job's own traffic.
   std::int64_t cross_job_blame_bytes = 0;
   std::int64_t self_blame_bytes = 0;
@@ -134,8 +134,8 @@ std::string report_json(const RunReport& report);
 struct DiffRow {
   std::int32_t job = -1;
   std::int64_t iteration = -1;
-  sim::Time wait_a = -1;
-  sim::Time wait_b = -1;
+  sim::Time wait_a{-1};
+  sim::Time wait_b{-1};
   std::int64_t cross_blame_a = 0;
   std::int64_t cross_blame_b = 0;
 };
@@ -143,8 +143,8 @@ struct DiffRow {
 /// Per-job totals of the two runs side by side.
 struct JobDiff {
   std::int32_t job = -1;
-  sim::Time total_wait_a = 0;
-  sim::Time total_wait_b = 0;
+  sim::Time total_wait_a{};
+  sim::Time total_wait_b{};
   std::int64_t cross_blame_a = 0;
   std::int64_t cross_blame_b = 0;
 };

@@ -18,7 +18,8 @@ constexpr int kCtrlPid = 3;
 
 /// Nanoseconds rendered as microseconds with exactly three decimals —
 /// integer math only, so the same event always produces the same bytes.
-std::string ts_us(sim::Time ns) {
+std::string ts_us(sim::Time t) {
+  std::int64_t ns = sim::to_nanos(t);
   if (ns < 0) ns = 0;
   char buf[40];
   std::snprintf(buf, sizeof(buf), "%lld.%03lld",
@@ -226,7 +227,7 @@ std::string chrome_trace_json(const Tracer& tracer) {
     if (!first) os << ",\n";
     first = false;
     Track t = track_for(e);
-    if (e.kind == EventKind::kBarrierRelease && e.dur > 0) {
+    if (e.kind == EventKind::kBarrierRelease && e.dur > sim::Time{0}) {
       // Render the barrier wait as a duration span ending at release time.
       TraceEvent span = e;
       span.at = e.at - e.dur;
@@ -238,7 +239,7 @@ std::string chrome_trace_json(const Tracer& tracer) {
     }
     if ((e.kind == EventKind::kWorkerCompute ||
          e.kind == EventKind::kPsAggregate) &&
-        e.dur > 0) {
+        e.dur > sim::Time{0}) {
       // Compute spans are stamped at their start with the duration known.
       append_common(os, e, t, "X");
       os << ",\"dur\":" << ts_us(e.dur);

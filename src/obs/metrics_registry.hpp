@@ -93,7 +93,7 @@ class Histogram {
 
 /// One periodic sample in the long-format timeseries.
 struct SamplePoint {
-  sim::Time at = 0;
+  sim::Time at{};
   MetricKey key;
   double value = 0.0;
 };

@@ -78,7 +78,7 @@ bool read_trace_csv(std::istream& in, std::vector<TraceEvent>* out,
     TraceEvent e;
     std::int64_t v = 0;
     bool ok = parse_i64(cols[0], &v);
-    e.at = v;
+    e.at = sim::from_nanos(v);
     ok = ok && kind_from_string(cols[1], &e.kind);
     ok = ok && cat_from_string(cols[2], &e.cat);
     ok = ok && parse_i64(cols[3], &v);
@@ -92,7 +92,7 @@ bool read_trace_csv(std::istream& in, std::vector<TraceEvent>* out,
     ok = ok && parse_i64(cols[8], &e.a);
     ok = ok && parse_i64(cols[9], &e.b);
     ok = ok && parse_i64(cols[10], &v);
-    e.dur = v;
+    e.dur = sim::from_nanos(v);
     if (!ok) {
       if (error != nullptr) {
         *error = "line " + std::to_string(lineno) + ": malformed row '" + line + "'";

@@ -90,96 +90,98 @@ void Tracer::push(const TraceEvent& e) {
   events_.push_back(e);
 }
 
-void Tracer::chunk_enqueue(sim::Time at, std::int32_t host, std::int32_t job,
-                           std::int32_t band, std::int64_t flow,
-                           std::int64_t index, std::int64_t bytes) {
+void Tracer::chunk_enqueue(sim::Time at, net::HostId host, std::int32_t job,
+                           net::BandId band, std::int64_t flow,
+                           std::int64_t index, net::Bytes bytes) {
   if (registry_ != nullptr) {
-    registry_->counter("chunks_enqueued", host, -1, band).add(1);
+    registry_->counter("chunks_enqueued", host.idx(), -1, band.idx()).add(1);
   }
   if (!enabled(Cat::kChunk)) return;
   TraceEvent e;
   e.at = at;
   e.kind = EventKind::kChunkEnqueue;
   e.cat = Cat::kChunk;
-  e.host = host;
+  e.host = host.idx();
   e.job = job;
-  e.band = band;
+  e.band = band.idx();
   e.flow = flow;
-  e.bytes = bytes;
+  e.bytes = bytes.raw();
   e.b = index;
   push(e);
 }
 
-void Tracer::chunk_dequeue(sim::Time at, std::int32_t host, std::int32_t job,
-                           std::int32_t band, std::int64_t flow,
-                           std::int64_t index, std::int64_t bytes,
+void Tracer::chunk_dequeue(sim::Time at, net::HostId host, std::int32_t job,
+                           net::BandId band, std::int64_t flow,
+                           std::int64_t index, net::Bytes bytes,
                            sim::Time queue_wait) {
   if (registry_ != nullptr) {
-    registry_->counter("bytes_drained", host, -1, band).add(bytes);
-    registry_->histogram("queue_wait_ns", host, -1, band).record(queue_wait);
+    registry_->counter("bytes_drained", host.idx(), -1, band.idx())
+        .add(bytes.raw());
+    registry_->histogram("queue_wait_ns", host.idx(), -1, band.idx())
+        .record(sim::to_nanos(queue_wait));
   }
   if (!enabled(Cat::kChunk)) return;
   TraceEvent e;
   e.at = at;
   e.kind = EventKind::kChunkDequeue;
   e.cat = Cat::kChunk;
-  e.host = host;
+  e.host = host.idx();
   e.job = job;
-  e.band = band;
+  e.band = band.idx();
   e.flow = flow;
-  e.bytes = bytes;
-  e.a = queue_wait;
+  e.bytes = bytes.raw();
+  e.a = sim::to_nanos(queue_wait);
   e.b = index;
   push(e);
 }
 
-void Tracer::band_service(sim::Time at, std::int32_t host, std::int32_t band,
-                          std::int64_t bytes) {
+void Tracer::band_service(sim::Time at, net::HostId host, net::BandId band,
+                          net::Bytes bytes) {
   if (registry_ != nullptr) {
-    registry_->counter("band_services", host, -1, band).add(1);
+    registry_->counter("band_services", host.idx(), -1, band.idx()).add(1);
   }
   if (!enabled(Cat::kQdisc)) return;
   TraceEvent e;
   e.at = at;
   e.kind = EventKind::kBandService;
   e.cat = Cat::kQdisc;
-  e.host = host;
-  e.band = band;
-  e.bytes = bytes;
+  e.host = host.idx();
+  e.band = band.idx();
+  e.bytes = bytes.raw();
   push(e);
 }
 
-void Tracer::htb_send(sim::Time at, std::int32_t host, std::int32_t band,
-                      std::int64_t bytes, bool borrowed) {
+void Tracer::htb_send(sim::Time at, net::HostId host, net::BandId band,
+                      net::Bytes bytes, bool borrowed) {
   if (registry_ != nullptr) {
     registry_->counter(borrowed ? "htb_yellow_bytes" : "htb_green_bytes",
-                       host, -1, band)
-        .add(bytes);
+                       host.idx(), -1, band.idx())
+        .add(bytes.raw());
   }
   if (!enabled(Cat::kHtb)) return;
   TraceEvent e;
   e.at = at;
   e.kind = borrowed ? EventKind::kHtbYellow : EventKind::kHtbGreen;
   e.cat = Cat::kHtb;
-  e.host = host;
-  e.band = band;
-  e.bytes = bytes;
+  e.host = host.idx();
+  e.band = band.idx();
+  e.bytes = bytes.raw();
   push(e);
 }
 
-void Tracer::overlimit(sim::Time at, std::int32_t host, sim::Time retry_at) {
+void Tracer::overlimit(sim::Time at, net::HostId host, sim::Time retry_at) {
   if (registry_ != nullptr) {
-    registry_->counter("overlimits", host, -1, -1).add(1);
-    registry_->histogram("overlimit_stall_ns", host, -1, -1)
-        .record(retry_at > at ? retry_at - at : 0);
+    registry_->counter("overlimits", host.idx(), -1, -1).add(1);
+    registry_->histogram("overlimit_stall_ns", host.idx(), -1, -1)
+        .record(sim::to_nanos(retry_at > at ? retry_at - at : sim::Time{0}));
   }
   if (!enabled(Cat::kHtb)) return;
   TraceEvent e;
   e.at = at;
   e.kind = EventKind::kOverlimit;
   e.cat = Cat::kHtb;
-  e.host = host;
-  e.a = retry_at;
+  e.host = host.idx();
+  e.a = sim::to_nanos(retry_at);
   push(e);
 }
 
@@ -196,19 +198,19 @@ void Tracer::rotation(sim::Time at, std::int64_t offset) {
   push(e);
 }
 
-void Tracer::band_assign(sim::Time at, std::int32_t host, std::int32_t job,
-                         std::int32_t band) {
+void Tracer::band_assign(sim::Time at, net::HostId host, std::int32_t job,
+                         net::BandId band) {
   if (registry_ != nullptr) {
-    registry_->counter("band_assigns", host, job, band).add(1);
+    registry_->counter("band_assigns", host.idx(), job, band.idx()).add(1);
   }
   if (!enabled(Cat::kRotation)) return;
   TraceEvent e;
   e.at = at;
   e.kind = EventKind::kBandAssign;
   e.cat = Cat::kRotation;
-  e.host = host;
+  e.host = host.idx();
   e.job = job;
-  e.band = band;
+  e.band = band.idx();
   push(e);
 }
 
@@ -229,7 +231,8 @@ void Tracer::barrier_release(sim::Time at, std::int32_t job,
                              std::int32_t worker, std::int64_t iteration,
                              sim::Time wait) {
   if (registry_ != nullptr) {
-    registry_->histogram("barrier_wait_ns", -1, job, -1).record(wait);
+    registry_->histogram("barrier_wait_ns", -1, job, -1)
+        .record(sim::to_nanos(wait));
   }
   if (!enabled(Cat::kBarrier)) return;
   TraceEvent e;
@@ -243,104 +246,107 @@ void Tracer::barrier_release(sim::Time at, std::int32_t job,
   push(e);
 }
 
-void Tracer::flow_start(sim::Time at, std::int32_t src, std::int32_t dst,
+void Tracer::flow_start(sim::Time at, net::HostId src, net::HostId dst,
                         std::int32_t job, std::int32_t kind_ordinal,
-                        std::int64_t flow, std::int64_t bytes,
+                        std::int64_t flow, net::Bytes bytes,
                         std::int64_t iteration) {
   if (registry_ != nullptr) {
-    registry_->counter("flows_started", src, job, -1).add(1);
+    registry_->counter("flows_started", src.idx(), job, -1).add(1);
   }
   if (!enabled(Cat::kFlow)) return;
   TraceEvent e;
   e.at = at;
   e.kind = EventKind::kFlowStart;
   e.cat = Cat::kFlow;
-  e.host = src;
+  e.host = src.idx();
   e.job = job;
   e.band = kind_ordinal;
   e.flow = flow;
-  e.bytes = bytes;
-  e.a = dst;
+  e.bytes = bytes.raw();
+  e.a = dst.idx();
   e.b = iteration;
   push(e);
 }
 
-void Tracer::flow_end(sim::Time at, std::int32_t src, std::int32_t dst,
+void Tracer::flow_end(sim::Time at, net::HostId src, net::HostId dst,
                       std::int32_t job, std::int32_t kind_ordinal,
-                      std::int64_t flow, std::int64_t bytes,
+                      std::int64_t flow, net::Bytes bytes,
                       std::int64_t iteration, sim::Time elapsed) {
   if (registry_ != nullptr) {
-    registry_->counter("flows_completed", src, job, -1).add(1);
-    registry_->histogram("flow_completion_ns", src, job, -1).record(elapsed);
+    registry_->counter("flows_completed", src.idx(), job, -1).add(1);
+    registry_->histogram("flow_completion_ns", src.idx(), job, -1)
+        .record(sim::to_nanos(elapsed));
   }
   if (!enabled(Cat::kFlow)) return;
   TraceEvent e;
   e.at = at;
   e.kind = EventKind::kFlowEnd;
   e.cat = Cat::kFlow;
-  e.host = src;
+  e.host = src.idx();
   e.job = job;
   e.band = kind_ordinal;
   e.flow = flow;
-  e.bytes = bytes;
-  e.a = dst;
+  e.bytes = bytes.raw();
+  e.a = dst.idx();
   e.b = iteration;
   e.dur = elapsed;
   push(e);
 }
 
-void Tracer::ingress_arrive(sim::Time at, std::int32_t host, std::int32_t job,
-                            std::int32_t band, std::int64_t flow,
-                            std::int64_t index, std::int64_t bytes) {
+void Tracer::ingress_arrive(sim::Time at, net::HostId host, std::int32_t job,
+                            net::BandId band, std::int64_t flow,
+                            std::int64_t index, net::Bytes bytes) {
   if (!enabled(Cat::kIngress)) return;
   TraceEvent e;
   e.at = at;
   e.kind = EventKind::kIngressArrive;
   e.cat = Cat::kIngress;
-  e.host = host;
+  e.host = host.idx();
   e.job = job;
-  e.band = band;
+  e.band = band.idx();
   e.flow = flow;
-  e.bytes = bytes;
+  e.bytes = bytes.raw();
   e.b = index;
   push(e);
 }
 
-void Tracer::ingress_deliver(sim::Time at, std::int32_t host, std::int32_t job,
-                             std::int32_t band, std::int64_t flow,
-                             std::int64_t index, std::int64_t bytes,
+void Tracer::ingress_deliver(sim::Time at, net::HostId host, std::int32_t job,
+                             net::BandId band, std::int64_t flow,
+                             std::int64_t index, net::Bytes bytes,
                              sim::Time wait, sim::Time residence) {
   if (registry_ != nullptr) {
-    registry_->histogram("ingress_wait_ns", host, -1, -1).record(wait);
+    registry_->histogram("ingress_wait_ns", host.idx(), -1, -1)
+        .record(sim::to_nanos(wait));
   }
   if (!enabled(Cat::kIngress)) return;
   TraceEvent e;
   e.at = at;
   e.kind = EventKind::kIngressDeliver;
   e.cat = Cat::kIngress;
-  e.host = host;
+  e.host = host.idx();
   e.job = job;
-  e.band = band;
+  e.band = band.idx();
   e.flow = flow;
-  e.bytes = bytes;
-  e.a = wait;
+  e.bytes = bytes.raw();
+  e.a = sim::to_nanos(wait);
   e.b = index;
   e.dur = residence;
   push(e);
 }
 
-void Tracer::worker_compute(sim::Time at, std::int32_t host, std::int32_t job,
+void Tracer::worker_compute(sim::Time at, net::HostId host, std::int32_t job,
                             std::int32_t worker, std::int64_t iteration,
                             sim::Time duration) {
   if (registry_ != nullptr) {
-    registry_->histogram("worker_compute_ns", host, job, -1).record(duration);
+    registry_->histogram("worker_compute_ns", host.idx(), job, -1)
+        .record(sim::to_nanos(duration));
   }
   if (!enabled(Cat::kCompute)) return;
   TraceEvent e;
   e.at = at;
   e.kind = EventKind::kWorkerCompute;
   e.cat = Cat::kCompute;
-  e.host = host;
+  e.host = host.idx();
   e.job = job;
   e.a = worker;
   e.b = iteration;
@@ -348,18 +354,19 @@ void Tracer::worker_compute(sim::Time at, std::int32_t host, std::int32_t job,
   push(e);
 }
 
-void Tracer::ps_aggregate(sim::Time at, std::int32_t host, std::int32_t job,
+void Tracer::ps_aggregate(sim::Time at, net::HostId host, std::int32_t job,
                           std::int32_t shard, std::int64_t iteration,
                           sim::Time duration) {
   if (registry_ != nullptr) {
-    registry_->histogram("ps_aggregate_ns", host, job, -1).record(duration);
+    registry_->histogram("ps_aggregate_ns", host.idx(), job, -1)
+        .record(sim::to_nanos(duration));
   }
   if (!enabled(Cat::kCompute)) return;
   TraceEvent e;
   e.at = at;
   e.kind = EventKind::kPsAggregate;
   e.cat = Cat::kCompute;
-  e.host = host;
+  e.host = host.idx();
   e.job = job;
   e.a = shard;
   e.b = iteration;
@@ -370,7 +377,8 @@ void Tracer::ps_aggregate(sim::Time at, std::int32_t host, std::int32_t job,
 void Tracer::straggler_lag(sim::Time at, std::int32_t job,
                            std::int64_t iteration, sim::Time lag) {
   if (registry_ != nullptr) {
-    registry_->histogram("straggler_lag_ns", -1, job, -1).record(lag);
+    registry_->histogram("straggler_lag_ns", -1, job, -1)
+        .record(sim::to_nanos(lag));
   }
   if (!enabled(Cat::kStraggler)) return;
   TraceEvent e;
@@ -379,22 +387,22 @@ void Tracer::straggler_lag(sim::Time at, std::int32_t job,
   e.cat = Cat::kStraggler;
   e.job = job;
   e.a = iteration;
-  e.b = lag;
+  e.b = sim::to_nanos(lag);
   push(e);
 }
 
 void Tracer::gauge_sample(sim::Time at, const std::string& name,
-                          std::int32_t host, std::int32_t job, double value) {
+                          net::HostId host, std::int32_t job, double value) {
   if (registry_ != nullptr) {
-    registry_->gauge(name, host, job, -1).set(value);
-    registry_->record(at, name, host, job, -1, value);
+    registry_->gauge(name, host.idx(), job, -1).set(value);
+    registry_->record(at, name, host.idx(), job, -1, value);
   }
   if (!enabled(Cat::kSample)) return;
   TraceEvent e;
   e.at = at;
   e.kind = EventKind::kGaugeSample;
   e.cat = Cat::kSample;
-  e.host = host;
+  e.host = host.idx();
   e.job = job;
   // The sampled value, truncated; the registry keeps full precision.
   e.a = static_cast<std::int64_t>(value);

@@ -19,6 +19,11 @@
 #include <string>
 #include <vector>
 
+// Layer note: obs sits below net in the module DAG, but the emission-site
+// vocabulary (HostId, BandId, Bytes) lives in net/units.hpp. tools/layers.txt
+// grants obs this one header file-scoped; the layer checker still verifies
+// the file-level include graph stays acyclic.
+#include "net/units.hpp"
 #include "simcore/time.hpp"
 
 namespace tls::obs {
@@ -84,9 +89,13 @@ enum class EventKind : std::uint8_t {
 };
 
 /// One fixed-size trace record. Field meaning depends on `kind`; `a` and
-/// `b` are kind-specific payloads documented on EventKind.
+/// `b` are kind-specific payloads documented on EventKind. The record is
+/// deliberately flat integers (not strong types): it is the serialization
+/// boundary — rows round-trip through trace CSVs where host/band/bytes are
+/// plain columns, and `a`/`b` are payload slots whose unit depends on the
+/// kind. Tracer's emission methods take the strong types and flatten here.
 struct TraceEvent {
-  sim::Time at = 0;
+  sim::Time at{};
   EventKind kind = EventKind::kChunkEnqueue;
   Cat cat = Cat::kChunk;
   std::int32_t host = -1;
@@ -96,7 +105,7 @@ struct TraceEvent {
   std::int64_t bytes = 0;
   std::int64_t a = 0;
   std::int64_t b = 0;
-  sim::Time dur = 0;
+  sim::Time dur{};
 };
 
 /// Per-simulation observability sink: an append-only event log behind a
@@ -140,20 +149,20 @@ class Tracer {
   /// job (-1 for background traffic) and `index` the chunk's position in
   /// its flow — together they give the analysis layer an exact chunk
   /// identity ((flow, index)) and a "who delayed whom" job axis.
-  void chunk_enqueue(sim::Time at, std::int32_t host, std::int32_t job,
-                     std::int32_t band, std::int64_t flow, std::int64_t index,
-                     std::int64_t bytes);
-  void chunk_dequeue(sim::Time at, std::int32_t host, std::int32_t job,
-                     std::int32_t band, std::int64_t flow, std::int64_t index,
-                     std::int64_t bytes, sim::Time queue_wait);
-  void band_service(sim::Time at, std::int32_t host, std::int32_t band,
-                    std::int64_t bytes);
-  void htb_send(sim::Time at, std::int32_t host, std::int32_t band,
-                std::int64_t bytes, bool borrowed);
-  void overlimit(sim::Time at, std::int32_t host, sim::Time retry_at);
+  void chunk_enqueue(sim::Time at, net::HostId host, std::int32_t job,
+                     net::BandId band, std::int64_t flow, std::int64_t index,
+                     net::Bytes bytes);
+  void chunk_dequeue(sim::Time at, net::HostId host, std::int32_t job,
+                     net::BandId band, std::int64_t flow, std::int64_t index,
+                     net::Bytes bytes, sim::Time queue_wait);
+  void band_service(sim::Time at, net::HostId host, net::BandId band,
+                    net::Bytes bytes);
+  void htb_send(sim::Time at, net::HostId host, net::BandId band,
+                net::Bytes bytes, bool borrowed);
+  void overlimit(sim::Time at, net::HostId host, sim::Time retry_at);
   void rotation(sim::Time at, std::int64_t offset);
-  void band_assign(sim::Time at, std::int32_t host, std::int32_t job,
-                   std::int32_t band);
+  void band_assign(sim::Time at, net::HostId host, std::int32_t job,
+                   net::BandId band);
   void barrier_enter(sim::Time at, std::int32_t job, std::int32_t worker,
                      std::int64_t iteration);
   void barrier_release(sim::Time at, std::int32_t job, std::int32_t worker,
@@ -161,37 +170,36 @@ class Tracer {
   /// Flow lifecycle, the causal spine linking chunks to jobs/iterations.
   /// `kind_ordinal` is the net::FlowKind value; `iteration` tags which
   /// synchronous barrier the transfer serves (-1 = startup/non-barrier).
-  void flow_start(sim::Time at, std::int32_t src, std::int32_t dst,
+  void flow_start(sim::Time at, net::HostId src, net::HostId dst,
                   std::int32_t job, std::int32_t kind_ordinal,
-                  std::int64_t flow, std::int64_t bytes,
-                  std::int64_t iteration);
-  void flow_end(sim::Time at, std::int32_t src, std::int32_t dst,
+                  std::int64_t flow, net::Bytes bytes, std::int64_t iteration);
+  void flow_end(sim::Time at, net::HostId src, net::HostId dst,
                 std::int32_t job, std::int32_t kind_ordinal,
-                std::int64_t flow, std::int64_t bytes, std::int64_t iteration,
+                std::int64_t flow, net::Bytes bytes, std::int64_t iteration,
                 sim::Time elapsed);
   /// Receive-side fan-in: chunk joins the destination ingress FIFO, and
   /// its delivery (`wait` = time queued behind other arrivals, `residence`
   /// = wait + receive serialization).
-  void ingress_arrive(sim::Time at, std::int32_t host, std::int32_t job,
-                      std::int32_t band, std::int64_t flow, std::int64_t index,
-                      std::int64_t bytes);
-  void ingress_deliver(sim::Time at, std::int32_t host, std::int32_t job,
-                       std::int32_t band, std::int64_t flow,
-                       std::int64_t index, std::int64_t bytes, sim::Time wait,
+  void ingress_arrive(sim::Time at, net::HostId host, std::int32_t job,
+                      net::BandId band, std::int64_t flow, std::int64_t index,
+                      net::Bytes bytes);
+  void ingress_deliver(sim::Time at, net::HostId host, std::int32_t job,
+                       net::BandId band, std::int64_t flow,
+                       std::int64_t index, net::Bytes bytes, sim::Time wait,
                        sim::Time residence);
   /// Compute spans, emitted at span start with the full duration (the
   /// simulator schedules compute atomically, so the end is already known).
-  void worker_compute(sim::Time at, std::int32_t host, std::int32_t job,
+  void worker_compute(sim::Time at, net::HostId host, std::int32_t job,
                       std::int32_t worker, std::int64_t iteration,
                       sim::Time duration);
-  void ps_aggregate(sim::Time at, std::int32_t host, std::int32_t job,
+  void ps_aggregate(sim::Time at, net::HostId host, std::int32_t job,
                     std::int32_t shard, std::int64_t iteration,
                     sim::Time duration);
   void straggler_lag(sim::Time at, std::int32_t job, std::int64_t iteration,
                      sim::Time lag);
   /// Periodic gauge sample; also recorded as a registry timeseries point
   /// under `name` when a registry is attached.
-  void gauge_sample(sim::Time at, const std::string& name, std::int32_t host,
+  void gauge_sample(sim::Time at, const std::string& name, net::HostId host,
                     std::int32_t job, double value);
 
  private:

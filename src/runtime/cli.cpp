@@ -1,4 +1,4 @@
-#include "exp/cli.hpp"
+#include "runtime/cli.hpp"
 
 #include <cstdlib>
 #include <ostream>
@@ -8,7 +8,7 @@
 #include "metrics/report.hpp"
 #include "runtime/runner.hpp"
 
-namespace tls::exp {
+namespace tls::runtime {
 
 std::string CliArgs::get(const std::string& key,
                          const std::string& fallback) const {
@@ -117,7 +117,7 @@ bool parse_strategy(const std::string& s, core::AssignStrategy* out) {
 
 /// Builds the experiment configuration from flags; returns false with a
 /// message on any invalid value.
-bool build_config(const CliArgs& args, ExperimentConfig* config,
+bool build_config(const CliArgs& args, exp::ExperimentConfig* config,
                   std::string* error) {
   auto to_long = [&](const std::string& key, long fallback, long lo, long hi,
                      long* out) {
@@ -213,7 +213,7 @@ bool build_config(const CliArgs& args, ExperimentConfig* config,
 
 /// Host-execution options (threads / cache / progress) from flags; false
 /// with a message on a malformed value.
-bool build_run_options(const CliArgs& args, runtime::RunOptions* options,
+bool build_run_options(const CliArgs& args, RunOptions* options,
                        std::string* error) {
   std::string threads = args.get("threads", "0");
   char* end = nullptr;
@@ -233,7 +233,7 @@ void emit(const metrics::Table& table, bool csv, std::ostream& out) {
   out << (csv ? table.csv() : table.str()) << "\n";
 }
 
-void add_result_row(metrics::Table* table, const ExperimentResult& r,
+void add_result_row(metrics::Table* table, const exp::ExperimentResult& r,
                     double norm) {
   table->add_row({r.policy_name, metrics::fmt(r.avg_jct_s),
                   metrics::fmt(r.min_jct_s), metrics::fmt(r.max_jct_s),
@@ -243,21 +243,21 @@ void add_result_row(metrics::Table* table, const ExperimentResult& r,
                   std::to_string(r.tc_commands)});
 }
 
-int cmd_run(const CliArgs& args, const ExperimentConfig& config,
-            const runtime::RunOptions& options, std::ostream& out,
+int cmd_run(const CliArgs& args, const exp::ExperimentConfig& config,
+            const RunOptions& options, std::ostream& out,
             std::ostream& err) {
   long replicas = std::strtol(args.get("replicas", "1").c_str(), nullptr, 10);
   if (replicas < 1) replicas = 1;
-  runtime::RunReport report = runtime::run_plan(
-      runtime::RunPlan::replicated(config, static_cast<int>(replicas)),
+  RunReport report = run_plan(
+      RunPlan::replicated(config, static_cast<int>(replicas)),
       options);
-  std::vector<ExperimentResult>& runs = report.results;
+  std::vector<exp::ExperimentResult>& runs = report.results;
   metrics::Table table({"policy", "avg JCT (s)", "min", "max", "norm",
                         "barrier wait (ms)", "wait var (ms^2)", "tc cmds"});
   for (const auto& r : runs) add_result_row(&table, r, 1.0);
   emit(table, args.has("csv"), out);
   if (replicas > 1) {
-    metrics::Summary s = jct_across(runs);
+    metrics::Summary s = exp::jct_across(runs);
     out << "avg JCT across " << replicas << " seeds: " << metrics::fmt(s.mean)
         << " +/- " << metrics::fmt(s.stddev) << " s\n";
   }
@@ -266,10 +266,10 @@ int cmd_run(const CliArgs& args, const ExperimentConfig& config,
   std::string prefix = args.get("export-prefix");
   if (!prefix.empty()) {
     std::string error;
-    if (!write_file(prefix + ".jobs.csv", jobs_csv(runs.front()), &error) ||
-        !write_file(prefix + ".barriers.csv", barriers_csv(runs.front()),
+    if (!exp::write_file(prefix + ".jobs.csv", exp::jobs_csv(runs.front()), &error) ||
+        !exp::write_file(prefix + ".barriers.csv", exp::barriers_csv(runs.front()),
                     &error) ||
-        !write_file(prefix + ".json", to_json(runs.front()), &error)) {
+        !exp::write_file(prefix + ".json", exp::to_json(runs.front()), &error)) {
       err << "tlsim: export failed: " << error << "\n";
       return 1;
     }
@@ -278,62 +278,62 @@ int cmd_run(const CliArgs& args, const ExperimentConfig& config,
   return 0;
 }
 
-int cmd_compare(const CliArgs& args, const ExperimentConfig& config,
-                const runtime::RunOptions& options, std::ostream& out) {
+int cmd_compare(const CliArgs& args, const exp::ExperimentConfig& config,
+                const RunOptions& options, std::ostream& out) {
   metrics::Table table({"policy", "avg JCT (s)", "min", "max", "norm",
                         "barrier wait (ms)", "wait var (ms^2)", "tc cmds"});
   // Plan order is FIFO, TLs-One, TLs-RR; FIFO (index 0) is the baseline.
-  runtime::RunReport report =
-      runtime::run_plan(runtime::RunPlan::policy_comparison(config), options);
-  const ExperimentResult& fifo = report.results.front();
-  for (const ExperimentResult& r : report.results) {
-    add_result_row(&table, r, avg_normalized_jct(r, fifo));
+  RunReport report =
+      run_plan(RunPlan::policy_comparison(config), options);
+  const exp::ExperimentResult& fifo = report.results.front();
+  for (const exp::ExperimentResult& r : report.results) {
+    add_result_row(&table, r, exp::avg_normalized_jct(r, fifo));
   }
   emit(table, args.has("csv"), out);
   return 0;
 }
 
-int cmd_sweep_placement(const CliArgs& args, const ExperimentConfig& config,
-                        const runtime::RunOptions& options,
+int cmd_sweep_placement(const CliArgs& args, const exp::ExperimentConfig& config,
+                        const RunOptions& options,
                         std::ostream& out) {
   metrics::Table table({"placement", "FIFO avg JCT (s)", "TLs-One norm",
                         "TLs-RR norm"});
   const std::vector<int> indices = {1, 2, 3, 4, 5, 6, 7, 8};
-  runtime::RunReport report = runtime::run_plan(
-      runtime::RunPlan::placement_sweep(config, indices,
-                                        runtime::RunPlan::default_policies()),
+  RunReport report = run_plan(
+      RunPlan::placement_sweep(config, indices,
+                                        RunPlan::default_policies()),
       options);
   // Row-major: results[3*i + {0,1,2}] = placement indices[i] under
   // {FIFO, TLs-One, TLs-RR}.
   for (std::size_t i = 0; i < indices.size(); ++i) {
-    const ExperimentResult& fifo = report.results[3 * i];
-    const ExperimentResult& one = report.results[3 * i + 1];
-    const ExperimentResult& rr = report.results[3 * i + 2];
+    const exp::ExperimentResult& fifo = report.results[3 * i];
+    const exp::ExperimentResult& one = report.results[3 * i + 1];
+    const exp::ExperimentResult& rr = report.results[3 * i + 2];
     table.add_row({"#" + std::to_string(indices[i]),
                    metrics::fmt(fifo.avg_jct_s),
-                   metrics::fmt(avg_normalized_jct(one, fifo), 3),
-                   metrics::fmt(avg_normalized_jct(rr, fifo), 3)});
+                   metrics::fmt(exp::avg_normalized_jct(one, fifo), 3),
+                   metrics::fmt(exp::avg_normalized_jct(rr, fifo), 3)});
   }
   emit(table, args.has("csv"), out);
   return 0;
 }
 
-int cmd_sweep_batch(const CliArgs& args, const ExperimentConfig& config,
-                    const runtime::RunOptions& options, std::ostream& out) {
+int cmd_sweep_batch(const CliArgs& args, const exp::ExperimentConfig& config,
+                    const RunOptions& options, std::ostream& out) {
   metrics::Table table({"batch", "FIFO avg JCT (s)", "TLs-One norm",
                         "TLs-RR norm"});
   const std::vector<int> batches = {1, 2, 4, 8, 16};
-  runtime::RunReport report = runtime::run_plan(
-      runtime::RunPlan::batch_sweep(config, batches,
-                                    runtime::RunPlan::default_policies()),
+  RunReport report = run_plan(
+      RunPlan::batch_sweep(config, batches,
+                                    RunPlan::default_policies()),
       options);
   for (std::size_t i = 0; i < batches.size(); ++i) {
-    const ExperimentResult& fifo = report.results[3 * i];
-    const ExperimentResult& one = report.results[3 * i + 1];
-    const ExperimentResult& rr = report.results[3 * i + 2];
+    const exp::ExperimentResult& fifo = report.results[3 * i];
+    const exp::ExperimentResult& one = report.results[3 * i + 1];
+    const exp::ExperimentResult& rr = report.results[3 * i + 2];
     table.add_row({std::to_string(batches[i]), metrics::fmt(fifo.avg_jct_s),
-                   metrics::fmt(avg_normalized_jct(one, fifo), 3),
-                   metrics::fmt(avg_normalized_jct(rr, fifo), 3)});
+                   metrics::fmt(exp::avg_normalized_jct(one, fifo), 3),
+                   metrics::fmt(exp::avg_normalized_jct(rr, fifo), 3)});
   }
   emit(table, args.has("csv"), out);
   return 0;
@@ -356,12 +356,12 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     return 0;
   }
 
-  ExperimentConfig config;
+  exp::ExperimentConfig config;
   if (!build_config(parsed, &config, &error)) {
     err << "tlsim: " << error << "\n";
     return 2;
   }
-  runtime::RunOptions options;
+  RunOptions options;
   if (!build_run_options(parsed, &options, &error)) {
     err << "tlsim: " << error << "\n";
     return 2;
@@ -380,4 +380,4 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
   return 2;
 }
 
-}  // namespace tls::exp
+}  // namespace tls::runtime

@@ -15,7 +15,7 @@
 //   --bands N (6) --interval-s X (10) --link-gbps X (10)
 //   --replicas N (1) --background --csv
 //
-// Host-execution flags (tls::runtime; results are byte-identical at any
+// Host-execution flags (results are byte-identical at any
 // thread count):
 //   --threads N (0 = $TLS_JOBS or hardware concurrency)
 //   --cache DIR | --no-cache (default: $TLS_CACHE_DIR, unset = off)
@@ -26,7 +26,7 @@
 #include <string>
 #include <vector>
 
-namespace tls::exp {
+namespace tls::runtime {
 
 /// Parsed key-value flags ("--key value" or "--key=value"; bare "--key"
 /// maps to "true"). Positional arguments are collected separately.
@@ -49,4 +49,4 @@ bool parse_args(const std::vector<std::string>& raw, CliArgs* out,
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
             std::ostream& err);
 
-}  // namespace tls::exp
+}  // namespace tls::runtime

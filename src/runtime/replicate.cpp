@@ -1,0 +1,23 @@
+#include "runtime/replicate.hpp"
+
+#include <stdexcept>
+#include <utility>
+
+#include "runtime/runner.hpp"
+
+namespace tls::runtime {
+
+std::vector<exp::ExperimentResult> run_replicated(
+    const exp::ExperimentConfig& config, int replicas) {
+  if (replicas < 1) throw std::invalid_argument("replicas < 1");
+  RunReport report = run_plan(RunPlan::replicated(config, replicas));
+  return std::move(report.results);
+}
+
+std::vector<exp::ExperimentResult> compare(
+    const exp::ExperimentConfig& config) {
+  RunReport report = run_plan(RunPlan::policy_comparison(config));
+  return std::move(report.results);
+}
+
+}  // namespace tls::runtime

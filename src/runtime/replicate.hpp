@@ -1,0 +1,23 @@
+// Replicated and comparative experiment drivers, fanned across the
+// tls::runtime thread pool. These sit above exp in the include-layer DAG:
+// exp defines single experiments; runtime schedules many of them.
+#pragma once
+
+#include <vector>
+
+#include "exp/experiment.hpp"
+
+namespace tls::runtime {
+
+/// Runs `replicas` independent repetitions (seeds config.seed, +1, ...).
+/// Fanned across the tls::runtime thread pool ($TLS_JOBS / hardware
+/// concurrency; $TLS_CACHE_DIR enables the result cache); results are
+/// ordered by replica index, byte-identical to a serial loop.
+std::vector<exp::ExperimentResult> run_replicated(
+    const exp::ExperimentConfig& config, int replicas);
+
+/// Runs `config` under FIFO, TLs-One, and TLs-RR (in that order, FIFO
+/// first as the normalization baseline), in parallel via the same pool.
+std::vector<exp::ExperimentResult> compare(const exp::ExperimentConfig& config);
+
+}  // namespace tls::runtime

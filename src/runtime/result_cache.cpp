@@ -41,6 +41,11 @@ class Writer {
   void kv(const char* key, bool value) {
     kv(key, static_cast<std::int64_t>(value ? 1 : 0));
   }
+  // Strong types flatten to their historical cache encodings (Time and
+  // Bytes as int64, Rate as hex-float) so existing cache keys stay valid.
+  void kv(const char* key, sim::Time value) { kv(key, sim::to_nanos(value)); }
+  void kv(const char* key, net::Bytes value) { kv(key, value.raw()); }
+  void kv(const char* key, net::Rate value) { kv(key, value.raw()); }
   std::string str() const { return os_.str(); }
 
  private:
@@ -88,6 +93,12 @@ class Reader {
   bool kv(const char* k, std::uint64_t* out) { return key(k) && value(out); }
   bool kv(const char* k, int* out) { return key(k) && value(out); }
   bool kv(const char* k, bool* out) { return key(k) && value(out); }
+  bool kv(const char* k, sim::Time* out) {
+    std::int64_t v = 0;
+    if (!key(k) || !value(&v)) return false;
+    *out = sim::from_nanos(v);
+    return true;
+  }
 
  private:
   std::istringstream is_;

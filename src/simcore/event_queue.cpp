@@ -13,7 +13,7 @@ std::uint8_t& EventQueue::state_of(std::uint64_t seq) {
 }
 
 Time EventQueue::window_end() const {
-  Time span = width_ * static_cast<Time>(kBuckets);
+  Time span = width_ * static_cast<std::int64_t>(kBuckets);
   return window_start_ > kTimeMax - span ? kTimeMax : window_start_ + span;
 }
 
@@ -72,11 +72,12 @@ void EventQueue::refill_window() {
     sample.push_back(pop_overflow());
   }
   if (sample.size() > 1) {
-    Time gap = (sample.back().at - t0) / static_cast<Time>(sample.size() - 1);
+    Time gap =
+        (sample.back().at - t0) / static_cast<std::int64_t>(sample.size() - 1);
     // Aim for a handful of events per bucket; clamp so span arithmetic
     // never overflows and width never hits zero.
     Time w = gap > kMaxWidth / 4 ? kMaxWidth : gap * 4;
-    width_ = std::clamp<Time>(w, 1, kMaxWidth);
+    width_ = std::clamp(w, Time{1}, kMaxWidth);
   }
   // A pending rebucket() cap must bound the width BEFORE any entry is
   // distributed: every entry in one window generation must be bucketed
@@ -102,7 +103,7 @@ void EventQueue::rebucket() {
   // cluster hiding behind a sparse head — which fools the spacing sample
   // into the same estimate every time — cannot retrigger forever: width_
   // reaches 1 in at most ~40 steps and the trigger requires width_ > 1.
-  width_cap_ = std::max<Time>(1, width_ / 2);
+  width_cap_ = std::max(Time{1}, width_ / 2);
   for (Bucket& b : buckets_) {
     for (std::size_t j = b.head; j < b.v.size(); ++j) {
       overflow_.push_back(std::move(b.v[j]));
@@ -141,7 +142,7 @@ EventQueue::Entry* EventQueue::peek_physical() {
     Bucket& b = buckets_[cur_];
     TLS_DCHECK(b.head < b.v.size(), "occupied bit set on drained bucket ",
                cur_);
-    if (b.v.size() - b.head > kDenseBucket && width_ > 1) {
+    if (b.v.size() - b.head > kDenseBucket && width_ > Time{1}) {
       // Too many pending entries share one bucket: the width is wrong for
       // the current event density (e.g. a funnelled burst of near-past
       // schedules). Narrow the geometry instead of paying a large re-sort
@@ -268,7 +269,7 @@ void EventQueue::clear() {
   state_.clear();
   state_base_ = next_seq_;
   state_scan_ = 0;
-  window_start_ = 0;
+  window_start_ = Time{0};
   width_ = kDefaultWidth;
   width_cap_ = kMaxWidth;
   cur_ = 0;

@@ -115,8 +115,8 @@ class EventQueue {
 
   static constexpr std::size_t kBuckets = 512;  // power of two
   static constexpr std::size_t kBitmapWords = kBuckets / 64;
-  static constexpr Time kDefaultWidth = 1 << 12;  // ~4us at ns resolution
-  static constexpr Time kMaxWidth = Time(1) << 42;
+  static constexpr Time kDefaultWidth{1 << 12};  // ~4us at ns resolution
+  static constexpr Time kMaxWidth{std::int64_t{1} << 42};
   static constexpr std::size_t kWidthSample = 16;
   static constexpr std::size_t kStateTrimMin = 4096;
   /// Pending-range size at which a bucket is too dense for the current
@@ -154,7 +154,7 @@ class EventQueue {
   // --- calendar window ---
   std::vector<Bucket> buckets_{kBuckets};
   std::uint64_t occupied_[kBitmapWords] = {};
-  Time window_start_ = 0;
+  Time window_start_{};
   Time width_ = kDefaultWidth;
   /// One-shot upper bound on the next refill's width estimate, armed by
   /// rebucket() to guarantee the geometry narrows. kMaxWidth = unarmed.

@@ -51,13 +51,13 @@ const char* Log::level_name(LogLevel l) {
 std::string format_time(Time t) {
   std::ostringstream os;
   os << std::setprecision(4);
-  Time a = t < 0 ? -t : t;
+  Time a = t < Time{0} ? -t : t;
   if (a >= kSecond) {
     os << to_seconds(t) << "s";
   } else if (a >= kMillisecond) {
     os << to_millis(t) << "ms";
   } else if (a >= kMicrosecond) {
-    os << static_cast<double>(t) / kMicrosecond << "us";
+    os << to_micros(t) << "us";
   } else {
     os << t << "ns";
   }

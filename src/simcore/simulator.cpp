@@ -9,7 +9,7 @@ namespace tls::sim {
 Simulator::Simulator(std::uint64_t seed) : rng_(seed) {}
 
 EventId Simulator::schedule_after(Time delay, EventQueue::Callback cb) {
-  TLS_CHECK(delay >= 0, "schedule_after with negative delay=", delay,
+  TLS_CHECK(delay >= Time{0}, "schedule_after with negative delay=", delay,
             " at now=", now_);
   return queue_.schedule(now_ + delay, std::move(cb));
 }
@@ -55,7 +55,7 @@ bool Simulator::step() {
 PeriodicTimer::PeriodicTimer(Simulator& simulator, Time period,
                              std::function<void()> on_tick)
     : sim_(simulator), period_(period), on_tick_(std::move(on_tick)) {
-  TLS_CHECK(period_ > 0, "PeriodicTimer period must be positive, got ",
+  TLS_CHECK(period_ > Time{0}, "PeriodicTimer period must be positive, got ",
             period_);
   TLS_CHECK(on_tick_, "PeriodicTimer with null tick callback");
 }
@@ -65,7 +65,7 @@ PeriodicTimer::~PeriodicTimer() { stop(); }
 void PeriodicTimer::start(Time phase) {
   if (running_) return;
   running_ = true;
-  arm(phase >= 0 ? phase : period_);
+  arm(phase >= Time{0} ? phase : period_);
 }
 
 void PeriodicTimer::stop() {

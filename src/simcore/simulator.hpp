@@ -79,7 +79,7 @@ class Simulator {
 
  private:
   EventQueue queue_;
-  Time now_ = 0;
+  Time now_{};
   std::uint64_t dispatched_ = 0;
   std::uint64_t event_limit_ = 0;
   obs::Tracer* tracer_ = nullptr;
@@ -99,7 +99,7 @@ class PeriodicTimer {
 
   /// Starts ticking; first tick fires one period from now (or at `phase`
   /// from now if given). No-op when already running.
-  void start(Time phase = -1);
+  void start(Time phase = Time{-1});
 
   /// Stops ticking; pending tick is cancelled.
   void stop();

@@ -1,0 +1,155 @@
+// Tagged wrappers for unit-safe quantities and indices.
+//
+// The simulator's claims rest on integer-exact time and byte conservation,
+// yet a bare `int64_t` time mixes silently with a bare `int64_t` byte count.
+// These CRTP bases give each unit its own type so that a time-for-bytes or
+// band-for-host mixup is a *compile* error instead of a runtime surprise:
+//
+//   StrongQuantity  integer amounts (durations, sizes): explicit
+//                   construction from the representation, homogeneous
+//                   addition/subtraction, integer scalar scaling, ratio
+//                   division, total ordering. Two distinct quantity types
+//                   never mix, and floating-point scaling is deleted so a
+//                   `t * 0.5` cannot silently truncate.
+//   StrongOrdinal   dense indices (hosts, bands): equality/ordering and
+//                   ++ for iteration, but no arithmetic at all — adding two
+//                   host ids is meaningless.
+//
+// Escape hatches and policy (see DESIGN.md §11):
+//   .raw()  returns the representation. Outside the unit-vocabulary headers
+//           (simcore/time.hpp, net/units.hpp) every use is flagged by the
+//           tls_lint `unit-escape` rule and needs an allowlist entry with a
+//           justification; prefer the typed helpers those headers provide
+//           (to_seconds, transmit_time, to_double, ...).
+//   .idx()  ordinal-only accessor, sanctioned for container subscripting
+//           (`ring[band.idx()]`). Doing arithmetic on idx() and wrapping the
+//           result back defeats the types; use the typed helpers instead.
+//
+// operator<< streams the raw representation, so exporters and TLS_CHECK
+// messages render byte-identically to the pre-wrapper integers.
+#pragma once
+
+#include <ostream>
+#include <type_traits>
+
+namespace tls::sim {
+
+/// CRTP base for an integer amount of some unit. `Derived` inherits the
+/// constructors (`using StrongQuantity::StrongQuantity;`) and gains the
+/// full homogeneous-arithmetic surface.
+template <class Derived, class Rep>
+class StrongQuantity {
+ public:
+  using rep = Rep;
+
+  constexpr StrongQuantity() = default;
+  constexpr explicit StrongQuantity(Rep value) : v_(value) {}
+
+  /// Escape hatch to the raw representation; lint-flagged outside the
+  /// unit-vocabulary headers (rule `unit-escape`).
+  constexpr Rep raw() const { return v_; }
+
+  friend constexpr Derived operator+(Derived a, Derived b) {
+    return Derived{a.raw() + b.raw()};
+  }
+  friend constexpr Derived operator-(Derived a, Derived b) {
+    return Derived{a.raw() - b.raw()};
+  }
+  friend constexpr Derived operator-(Derived a) { return Derived{-a.raw()}; }
+  friend constexpr Derived& operator+=(Derived& a, Derived b) {
+    a = a + b;
+    return a;
+  }
+  friend constexpr Derived& operator-=(Derived& a, Derived b) {
+    a = a - b;
+    return a;
+  }
+
+  /// Integer scaling. Floating-point factors are deleted below: scaling a
+  /// quantity by a double silently truncates, so such sites must decide
+  /// their rounding explicitly (e.g. via from_seconds).
+  friend constexpr Derived operator*(Derived a, Rep k) {
+    return Derived{a.raw() * k};
+  }
+  friend constexpr Derived operator*(Rep k, Derived a) {
+    return Derived{k * a.raw()};
+  }
+  friend constexpr Derived operator/(Derived a, Rep k) {
+    return Derived{a.raw() / k};
+  }
+  template <class F>
+    requires std::is_floating_point_v<F>
+  friend constexpr Derived operator*(Derived, F) = delete;
+  template <class F>
+    requires std::is_floating_point_v<F>
+  friend constexpr Derived operator*(F, Derived) = delete;
+  template <class F>
+    requires std::is_floating_point_v<F>
+  friend constexpr Derived operator/(Derived, F) = delete;
+
+  /// Ratio of two like quantities is a dimensionless integer; the remainder
+  /// keeps the unit.
+  friend constexpr Rep operator/(Derived a, Derived b) {
+    return a.raw() / b.raw();
+  }
+  friend constexpr Derived operator%(Derived a, Derived b) {
+    return Derived{a.raw() % b.raw()};
+  }
+
+  friend constexpr bool operator==(Derived a, Derived b) {
+    return a.raw() == b.raw();
+  }
+  friend constexpr auto operator<=>(Derived a, Derived b) {
+    return a.raw() <=> b.raw();
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Derived a) {
+    return os << a.raw();
+  }
+
+ private:
+  Rep v_ = 0;
+};
+
+/// CRTP base for a dense index (host number, priority band). Ordered and
+/// incrementable so it can drive loops and sorted containers, but with no
+/// arithmetic: index math belongs in typed helpers next to the type.
+template <class Derived, class Rep>
+class StrongOrdinal {
+ public:
+  using rep = Rep;
+
+  constexpr StrongOrdinal() = default;
+  constexpr explicit StrongOrdinal(Rep value) : v_(value) {}
+
+  /// Sanctioned accessor for container subscripting; see the header
+  /// comment for the idx()-vs-raw() policy.
+  constexpr Rep idx() const { return v_; }
+
+  /// Escape hatch, same policy as StrongQuantity::raw().
+  constexpr Rep raw() const { return v_; }
+
+  /// True for real (non-sentinel) indices.
+  constexpr bool valid() const { return v_ >= 0; }
+
+  constexpr Derived& operator++() {
+    ++v_;
+    return static_cast<Derived&>(*this);
+  }
+
+  friend constexpr bool operator==(Derived a, Derived b) {
+    return a.idx() == b.idx();
+  }
+  friend constexpr auto operator<=>(Derived a, Derived b) {
+    return a.idx() <=> b.idx();
+  }
+
+  friend std::ostream& operator<<(std::ostream& os, Derived a) {
+    return os << a.idx();
+  }
+
+ private:
+  Rep v_ = 0;
+};
+
+}  // namespace tls::sim

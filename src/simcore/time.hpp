@@ -1,31 +1,44 @@
 // Simulation time: a signed 64-bit count of nanoseconds since experiment
 // start. Integer time keeps event ordering exact and experiments bit-for-bit
 // reproducible across platforms; doubles are used only for rates.
+//
+// Time is a strong type (see simcore/strong.hpp): it never mixes with byte
+// counts or bare integers, construction from a raw nanosecond count is
+// explicit, and the only blessed ways in and out are the helpers below
+// (from_seconds/to_seconds/...) plus the unit constants. Code elsewhere
+// that reaches for Time{...}.raw() is flagged by the tls_lint `unit-escape`
+// rule.
 #pragma once
 
 #include <cstdint>
 #include <string>
 
+#include "simcore/strong.hpp"
+
 namespace tls::sim {
 
-/// Simulation timestamp or duration, in nanoseconds.
-using Time = std::int64_t;
+/// Simulation timestamp or duration, in integer nanoseconds.
+class Time : public StrongQuantity<Time, std::int64_t> {
+ public:
+  using StrongQuantity::StrongQuantity;
+};
 
-inline constexpr Time kNanosecond = 1;
-inline constexpr Time kMicrosecond = 1'000;
-inline constexpr Time kMillisecond = 1'000'000;
-inline constexpr Time kSecond = 1'000'000'000;
+inline constexpr Time kNanosecond{1};
+inline constexpr Time kMicrosecond{1'000};
+inline constexpr Time kMillisecond{1'000'000};
+inline constexpr Time kSecond{1'000'000'000};
 
 /// Largest representable time; used as "never".
-inline constexpr Time kTimeMax = INT64_MAX;
+inline constexpr Time kTimeMax{INT64_MAX};
 
 /// Smallest representable time; used as "before everything".
-inline constexpr Time kTimeMin = INT64_MIN;
+inline constexpr Time kTimeMin{INT64_MIN};
 
 /// Converts a duration in (fractional) seconds to a Time, rounding to the
 /// nearest nanosecond. Negative durations are preserved.
 constexpr Time from_seconds(double s) {
-  return static_cast<Time>(s * static_cast<double>(kSecond) + (s >= 0 ? 0.5 : -0.5));
+  return Time{static_cast<std::int64_t>(
+      s * static_cast<double>(kSecond.raw()) + (s >= 0 ? 0.5 : -0.5))};
 }
 
 /// Converts a duration in (fractional) milliseconds to a Time.
@@ -34,14 +47,29 @@ constexpr Time from_millis(double ms) { return from_seconds(ms / 1e3); }
 /// Converts a duration in (fractional) microseconds to a Time.
 constexpr Time from_micros(double us) { return from_seconds(us / 1e6); }
 
+/// Converts a whole number of nanoseconds to a Time; the named counterpart
+/// of the explicit constructor for call sites fed by parsed/serialized
+/// integers.
+constexpr Time from_nanos(std::int64_t ns) { return Time{ns}; }
+
+/// Converts a Time to whole nanoseconds (for serialization boundaries).
+constexpr std::int64_t to_nanos(Time t) { return t.raw(); }
+
 /// Converts a Time to fractional seconds (for reporting and rate math).
 constexpr double to_seconds(Time t) {
-  return static_cast<double>(t) / static_cast<double>(kSecond);
+  return static_cast<double>(t.raw()) / static_cast<double>(kSecond.raw());
 }
 
 /// Converts a Time to fractional milliseconds.
 constexpr double to_millis(Time t) {
-  return static_cast<double>(t) / static_cast<double>(kMillisecond);
+  return static_cast<double>(t.raw()) /
+         static_cast<double>(kMillisecond.raw());
+}
+
+/// Converts a Time to fractional microseconds.
+constexpr double to_micros(Time t) {
+  return static_cast<double>(t.raw()) /
+         static_cast<double>(kMicrosecond.raw());
 }
 
 /// Renders a time as a compact human-readable string, e.g. "1.250s",

@@ -100,7 +100,7 @@ std::optional<net::Rate> parse_rate(const std::string& text) {
   else if (suffix == "gbps") bits_per_sec = v * 8e9;
   else return std::nullopt;
   if (bits_per_sec <= 0) return std::nullopt;
-  return bits_per_sec / 8.0;
+  return net::Rate{bits_per_sec / 8.0};
 }
 
 std::optional<net::Bytes> parse_size(const std::string& text) {
@@ -114,11 +114,11 @@ std::optional<net::Bytes> parse_size(const std::string& text) {
   else if (suffix == "g" || suffix == "gb") bytes = v * 1024.0 * 1024.0 * 1024.0;
   else return std::nullopt;
   if (bytes <= 0) return std::nullopt;
-  return static_cast<net::Bytes>(bytes);
+  return net::Bytes{static_cast<std::int64_t>(bytes)};
 }
 
 std::string format_rate(net::Rate bytes_per_sec) {
-  double bits = bytes_per_sec * 8.0;
+  double bits = net::bits_per_sec(bytes_per_sec);
   char buf[32];
   if (bits >= 1e9) {
     std::snprintf(buf, sizeof(buf), "%ggbit", bits / 1e9);

@@ -40,7 +40,7 @@ struct QdiscSpec {
   /// htb: classid minor receiving unclassified traffic (0 = direct queue).
   std::uint32_t htb_default = 0;
   /// tbf: shaping parameters (rate required by the parser).
-  net::Rate tbf_rate = 0;
+  net::Rate tbf_rate{};
   net::Bytes tbf_burst = 64 * net::kKiB;
 };
 
@@ -48,7 +48,7 @@ struct QdiscSpec {
 struct ClassSpec {
   Handle classid{};
   Handle parent{};
-  net::Rate rate = 0;                  // required
+  net::Rate rate{};                    // required
   std::optional<net::Rate> ceil;       // defaults to rate
   net::Bytes burst = 64 * net::kKiB;
   net::Bytes cburst = 64 * net::kKiB;

@@ -12,7 +12,7 @@
 namespace tls::tc {
 
 std::string device_name(net::HostId host) {
-  return "host" + std::to_string(host);
+  return "host" + std::to_string(host.idx());
 }
 
 TrafficControl::TrafficControl(net::Fabric& fabric)
@@ -27,17 +27,17 @@ net::HostId TrafficControl::resolve_device(const std::string& dev) const {
   } else if (dev.size() > 1 && dev[0] == 'h') {
     digits = dev.substr(1);
   }
-  if (digits.empty()) return -1;
+  if (digits.empty()) return net::kNoHost;
   for (char c : digits) {
-    if (!std::isdigit(static_cast<unsigned char>(c))) return -1;
+    if (!std::isdigit(static_cast<unsigned char>(c))) return net::kNoHost;
   }
   long v = std::strtol(digits.c_str(), nullptr, 10);
-  if (v < 0 || v >= fabric_.num_hosts()) return -1;
-  return static_cast<net::HostId>(v);
+  if (v < 0 || v >= fabric_.num_hosts()) return net::kNoHost;
+  return net::HostId{static_cast<std::int32_t>(v)};
 }
 
 QdiscKind TrafficControl::root_kind(net::HostId host) const {
-  return devices_.at(static_cast<std::size_t>(host)).kind;
+  return devices_.at(static_cast<std::size_t>(host.idx())).kind;
 }
 
 net::Rate TrafficControl::link_rate(net::HostId host) const {
@@ -50,7 +50,7 @@ std::string TrafficControl::show_qdisc(net::HostId host) const {
 }
 
 std::uint64_t TrafficControl::reconfig_count(net::HostId host) const {
-  return reconfigs_.at(static_cast<std::size_t>(host));
+  return reconfigs_.at(static_cast<std::size_t>(host.idx()));
 }
 
 Status TrafficControl::exec(const std::string& command_line) {
@@ -77,8 +77,8 @@ Status TrafficControl::apply(const Command& command) {
 
 Status TrafficControl::apply_qdisc_add(const QdiscAddCmd& cmd) {
   net::HostId host = resolve_device(cmd.dev);
-  if (host < 0) return Status::fail("unknown device '" + cmd.dev + "'");
-  DeviceState& dev = devices_[static_cast<std::size_t>(host)];
+  if (!host.valid()) return Status::fail("unknown device '" + cmd.dev + "'");
+  DeviceState& dev = devices_[static_cast<std::size_t>(host.idx())];
   if (dev.handle.major != 0 && !cmd.replace) {
     return Status::fail("root qdisc already exists (use replace)");
   }
@@ -101,7 +101,7 @@ Status TrafficControl::apply_qdisc_add(const QdiscAddCmd& cmd) {
       net::TbfConfig tbf;
       tbf.rate = cmd.spec.tbf_rate;
       tbf.burst = cmd.spec.tbf_burst;
-      if (tbf.rate <= 0) return Status::fail("tbf requires a positive rate");
+      if (tbf.rate <= net::Rate{0.0}) return Status::fail("tbf requires a positive rate");
       qdisc = std::make_unique<net::TbfQdisc>(tbf);
       break;
     }
@@ -110,27 +110,27 @@ Status TrafficControl::apply_qdisc_add(const QdiscAddCmd& cmd) {
   port.classifier().clear();
   dev.kind = cmd.spec.kind;
   dev.handle = cmd.spec.handle;
-  ++reconfigs_[static_cast<std::size_t>(host)];
+  ++reconfigs_[static_cast<std::size_t>(host.idx())];
   return Status::good();
 }
 
 Status TrafficControl::apply_qdisc_del(const QdiscDelCmd& cmd) {
   net::HostId host = resolve_device(cmd.dev);
-  if (host < 0) return Status::fail("unknown device '" + cmd.dev + "'");
-  DeviceState& dev = devices_[static_cast<std::size_t>(host)];
+  if (!host.valid()) return Status::fail("unknown device '" + cmd.dev + "'");
+  DeviceState& dev = devices_[static_cast<std::size_t>(host.idx())];
   if (dev.handle.major == 0) return Status::fail("no root qdisc configured");
   net::EgressPort& port = fabric_.egress(host);
   port.set_qdisc(std::make_unique<net::PfifoQdisc>());
   port.classifier().clear();
   dev = DeviceState{};
-  ++reconfigs_[static_cast<std::size_t>(host)];
+  ++reconfigs_[static_cast<std::size_t>(host.idx())];
   return Status::good();
 }
 
 Status TrafficControl::apply_class(const ClassAddCmd& cmd) {
   net::HostId host = resolve_device(cmd.dev);
-  if (host < 0) return Status::fail("unknown device '" + cmd.dev + "'");
-  DeviceState& dev = devices_[static_cast<std::size_t>(host)];
+  if (!host.valid()) return Status::fail("unknown device '" + cmd.dev + "'");
+  DeviceState& dev = devices_[static_cast<std::size_t>(host.idx())];
   if (dev.kind != QdiscKind::kHtb) {
     return Status::fail("classes require an htb root qdisc");
   }
@@ -140,7 +140,7 @@ Status TrafficControl::apply_class(const ClassAddCmd& cmd) {
   if (cmd.spec.classid.major != dev.handle.major) {
     return Status::fail("classid major does not match root qdisc");
   }
-  if (cmd.spec.rate <= 0) return Status::fail("class rate must be positive");
+  if (cmd.spec.rate <= net::Rate{0.0}) return Status::fail("class rate must be positive");
   auto& htb = static_cast<net::HtbQdisc&>(fabric_.egress(host).qdisc());
   net::HtbClassConfig config;
   config.minor = cmd.spec.classid.minor;
@@ -157,14 +157,14 @@ Status TrafficControl::apply_class(const ClassAddCmd& cmd) {
   }
   // A class change can unblock or re-order service; re-poll the link.
   fabric_.egress(host).kick();
-  ++reconfigs_[static_cast<std::size_t>(host)];
+  ++reconfigs_[static_cast<std::size_t>(host.idx())];
   return Status::good();
 }
 
 Status TrafficControl::apply_class_del(const ClassDelCmd& cmd) {
   net::HostId host = resolve_device(cmd.dev);
-  if (host < 0) return Status::fail("unknown device '" + cmd.dev + "'");
-  DeviceState& dev = devices_[static_cast<std::size_t>(host)];
+  if (!host.valid()) return Status::fail("unknown device '" + cmd.dev + "'");
+  DeviceState& dev = devices_[static_cast<std::size_t>(host.idx())];
   if (dev.kind != QdiscKind::kHtb) {
     return Status::fail("classes require an htb root qdisc");
   }
@@ -172,14 +172,14 @@ Status TrafficControl::apply_class_del(const ClassDelCmd& cmd) {
   if (!htb.delete_class(cmd.classid.minor)) {
     return Status::fail("class missing or backlogged");
   }
-  ++reconfigs_[static_cast<std::size_t>(host)];
+  ++reconfigs_[static_cast<std::size_t>(host.idx())];
   return Status::good();
 }
 
 Status TrafficControl::apply_filter_add(const FilterAddCmd& cmd) {
   net::HostId host = resolve_device(cmd.dev);
-  if (host < 0) return Status::fail("unknown device '" + cmd.dev + "'");
-  DeviceState& dev = devices_[static_cast<std::size_t>(host)];
+  if (!host.valid()) return Status::fail("unknown device '" + cmd.dev + "'");
+  DeviceState& dev = devices_[static_cast<std::size_t>(host.idx())];
   if (cmd.parent != dev.handle) {
     return Status::fail("filter parent does not match root qdisc");
   }
@@ -192,30 +192,30 @@ Status TrafficControl::apply_filter_add(const FilterAddCmd& cmd) {
   switch (dev.kind) {
     case QdiscKind::kPrio:
       if (cmd.spec.flowid.minor == 0) return Status::fail("bad prio flowid");
-      rule.target_band = static_cast<net::BandId>(cmd.spec.flowid.minor - 1);
+      rule.target_band = net::BandId{cmd.spec.flowid.minor - 1};
       break;
     case QdiscKind::kHtb:
-      rule.target_band = static_cast<net::BandId>(cmd.spec.flowid.minor);
+      rule.target_band = net::BandId{cmd.spec.flowid.minor};
       break;
     case QdiscKind::kPfifo:
     case QdiscKind::kPfifoFast:
     case QdiscKind::kTbf:
       // Legal but meaningless on classless qdiscs, as in Linux.
-      rule.target_band = 0;
+      rule.target_band = net::BandId{0};
       break;
   }
   fabric_.egress(host).classifier().upsert(rule);
-  ++reconfigs_[static_cast<std::size_t>(host)];
+  ++reconfigs_[static_cast<std::size_t>(host.idx())];
   return Status::good();
 }
 
 Status TrafficControl::apply_filter_del(const FilterDelCmd& cmd) {
   net::HostId host = resolve_device(cmd.dev);
-  if (host < 0) return Status::fail("unknown device '" + cmd.dev + "'");
+  if (!host.valid()) return Status::fail("unknown device '" + cmd.dev + "'");
   if (!fabric_.egress(host).classifier().remove(cmd.pref)) {
     return Status::fail("no filter at pref " + std::to_string(cmd.pref));
   }
-  ++reconfigs_[static_cast<std::size_t>(host)];
+  ++reconfigs_[static_cast<std::size_t>(host.idx())];
   return Status::good();
 }
 

@@ -40,7 +40,7 @@ Controller::Controller(sim::Simulator& simulator, tc::TrafficControl& control,
     throw std::invalid_argument("max_bands exceeds data-plane limit");
   }
   if (config_.policy == PolicyKind::kTlsRR) {
-    if (config_.rotation_interval <= 0) {
+    if (config_.rotation_interval <= sim::Time{0}) {
       throw std::invalid_argument("rotation_interval must be positive");
     }
     rotation_timer_ = std::make_unique<sim::PeriodicTimer>(
@@ -212,7 +212,8 @@ void Controller::install_filters(net::HostId host) {
     int band = band_for_rank(ranks[static_cast<std::size_t>(i)], n,
                              config_.max_bands);
     if (TLS_OBS_ACTIVE(sim_.tracer())) {
-      sim_.tracer()->band_assign(sim_.now(), host, job.job_id, band);
+      sim_.tracer()->band_assign(sim_.now(), host, job.job_id,
+                                 net::BandId{band});
     }
     for (const ManagedShard& shard : job.shards) {
       std::ostringstream cmd;

@@ -62,7 +62,7 @@ class Controller : public cluster::JobEventListener {
   };
   struct ManagedJob {
     std::int32_t job_id = 0;
-    net::Bytes update_bytes = 0;
+    net::Bytes update_bytes{};
     std::uint64_t arrival_seq = 0;
     std::uint64_t random_key = 0;
     /// PS shards of this job living on this host (usually one).

@@ -12,7 +12,7 @@ CentralCoordinator::CentralCoordinator(sim::Simulator& simulator,
   if (config_.slots_per_host < 1) {
     throw std::invalid_argument("slots_per_host < 1");
   }
-  if (config_.coordination_rtt < 0) {
+  if (config_.coordination_rtt < sim::Time{0}) {
     throw std::invalid_argument("negative coordination_rtt");
   }
 }

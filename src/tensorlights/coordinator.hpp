@@ -49,7 +49,7 @@ class CentralCoordinator final : public dl::TransmissionGate {
  private:
   struct Pending {
     std::function<void()> grant;
-    sim::Time enqueued = 0;
+    sim::Time enqueued{};
   };
   struct HostState {
     int active = 0;

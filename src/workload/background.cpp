@@ -15,7 +15,7 @@ BackgroundTraffic::BackgroundTraffic(sim::Simulator& simulator,
   if (config_.flows_per_second <= 0) {
     throw std::invalid_argument("flows_per_second must be positive");
   }
-  if (config_.mean_bytes < 1) {
+  if (config_.mean_bytes < net::Bytes{1}) {
     throw std::invalid_argument("mean_bytes must be at least 1");
   }
   if (fabric_.num_hosts() < 2) {
@@ -47,18 +47,18 @@ void BackgroundTraffic::arm_next() {
 
 void BackgroundTraffic::launch_one() {
   int n = fabric_.num_hosts();
-  net::HostId src = static_cast<net::HostId>(rng_.uniform_u64(
-      static_cast<std::uint64_t>(n)));
-  net::HostId dst = static_cast<net::HostId>(rng_.uniform_u64(
-      static_cast<std::uint64_t>(n - 1)));
+  net::HostId src{static_cast<std::int32_t>(
+      rng_.uniform_u64(static_cast<std::uint64_t>(n)))};
+  net::HostId dst{static_cast<std::int32_t>(
+      rng_.uniform_u64(static_cast<std::uint64_t>(n - 1)))};
   if (dst >= src) ++dst;  // distinct endpoints, uniform over pairs
 
   net::FlowSpec flow;
   flow.src = src;
   flow.dst = dst;
-  flow.bytes = std::max<net::Bytes>(
-      1, static_cast<net::Bytes>(
-             rng_.exponential(static_cast<double>(config_.mean_bytes))));
+  flow.bytes = std::max(
+      net::Bytes{1}, net::Bytes{static_cast<std::int64_t>(rng_.exponential(
+                         net::to_double(config_.mean_bytes)))});
   flow.dst_port = config_.port;
   flow.kind = net::FlowKind::kBulk;
   ++started_;

@@ -58,7 +58,7 @@ class BackgroundTraffic {
   sim::EventId pending_{};
   std::uint64_t started_ = 0;
   std::uint64_t completed_ = 0;
-  net::Bytes bytes_ = 0;
+  net::Bytes bytes_{};
   double fct_sum_s_ = 0;
 };
 

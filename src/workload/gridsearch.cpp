@@ -21,7 +21,7 @@ std::vector<dl::JobSpec> grid_search_jobs(const GridSearchConfig& config) {
     spec.global_step_target = config.global_step_target;
     spec.mode = config.mode;
     spec.compute_sigma = config.compute_sigma;
-    if (config.step_overhead >= 0) spec.step_overhead = config.step_overhead;
+    if (config.step_overhead >= sim::Time{0}) spec.step_overhead = config.step_overhead;
     specs.push_back(std::move(spec));
   }
   return specs;

@@ -27,7 +27,7 @@ struct GridSearchConfig {
   double compute_sigma = 0.12;
   /// Per-local-step fixed overhead (see dl::JobSpec::step_overhead); -1
   /// keeps the JobSpec default.
-  sim::Time step_overhead = -1;
+  sim::Time step_overhead{-1};
 };
 
 /// N identical jobs with job ids 0..N-1 (ports assigned at launch).

@@ -52,7 +52,7 @@ TEST_F(LauncherTest, StaggeredLaunchTimes) {
   launcher_.launch_all(jobs(3), assign_tasks(table1(1, 3), 4, 3), {});
   sim_.run();
   ASSERT_EQ(recorder_.arrivals.size(), 3u);
-  EXPECT_EQ(recorder_.arrivals[0].second, 0);
+  EXPECT_EQ(recorder_.arrivals[0].second, tls::sim::Time{0});
   EXPECT_EQ(recorder_.arrivals[1].second, 100 * sim::kMillisecond);
   EXPECT_EQ(recorder_.arrivals[2].second, 200 * sim::kMillisecond);
 }

@@ -73,9 +73,9 @@ TEST(Placement, HigherIndexMoreUniform) {
 TEST(AssignTasks, PsHostsFollowGroups) {
   auto jobs = assign_tasks(table1(4, 21), 21, 20);  // 7,7,7
   ASSERT_EQ(jobs.size(), 21u);
-  for (int j = 0; j < 7; ++j) EXPECT_EQ(jobs[static_cast<size_t>(j)].ps_host, 0);
-  for (int j = 7; j < 14; ++j) EXPECT_EQ(jobs[static_cast<size_t>(j)].ps_host, 1);
-  for (int j = 14; j < 21; ++j) EXPECT_EQ(jobs[static_cast<size_t>(j)].ps_host, 2);
+  for (int j = 0; j < 7; ++j) EXPECT_EQ(jobs[static_cast<size_t>(j)].ps_host, tls::net::HostId{0});
+  for (int j = 7; j < 14; ++j) EXPECT_EQ(jobs[static_cast<size_t>(j)].ps_host, tls::net::HostId{1});
+  for (int j = 14; j < 21; ++j) EXPECT_EQ(jobs[static_cast<size_t>(j)].ps_host, tls::net::HostId{2});
 }
 
 TEST(AssignTasks, WorkersOnePerHostExcludingPs) {
@@ -92,7 +92,7 @@ TEST(AssignTasks, AllHostsGetEqualWorkerLoad) {
   auto jobs = assign_tasks(table1(8, 21), 21, 20);
   std::vector<int> load(21, 0);
   for (const auto& jp : jobs) {
-    for (net::HostId h : jp.worker_hosts) ++load[static_cast<size_t>(h)];
+    for (net::HostId h : jp.worker_hosts) ++load[static_cast<size_t>(h.idx())];
   }
   for (int l : load) EXPECT_EQ(l, 20);  // every host hosts 20 workers
 }
@@ -109,8 +109,8 @@ TEST(AssignTasksSharded, ShardsWalkFromGroupHost) {
   for (const auto& jp : jobs) {
     ASSERT_EQ(jp.ps_count(), 3);
     EXPECT_EQ(jp.ps_shard_host(0), jp.ps_host);
-    EXPECT_EQ(jp.ps_shard_host(1), (jp.ps_host + 1) % 8);
-    EXPECT_EQ(jp.ps_shard_host(2), (jp.ps_host + 2) % 8);
+    EXPECT_EQ(jp.ps_shard_host(1), tls::net::HostId{(jp.ps_host.idx() + 1) % 8});
+    EXPECT_EQ(jp.ps_shard_host(2), tls::net::HostId{(jp.ps_host.idx() + 2) % 8});
   }
 }
 

@@ -50,10 +50,10 @@ TEST(Scheduler, LoadAccountingAndRemove) {
   dl::JobSpec spec = job(3);
   dl::JobPlacement p = sched.place(spec);
   int total = 0;
-  for (net::HostId h = 0; h < 4; ++h) total += sched.task_count(h);
+  for (net::HostId h = tls::net::HostId{0}; h < tls::net::HostId{4}; ++h) total += sched.task_count(h);
   EXPECT_EQ(total, 4);  // 1 PS + 3 workers
   sched.remove(spec, p);
-  for (net::HostId h = 0; h < 4; ++h) {
+  for (net::HostId h = tls::net::HostId{0}; h < tls::net::HostId{4}; ++h) {
     EXPECT_EQ(sched.task_count(h), 0);
     EXPECT_EQ(sched.ps_count(h), 0);
   }

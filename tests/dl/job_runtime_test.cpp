@@ -23,15 +23,15 @@ JobSpec small_job(int workers, std::int64_t target,
   spec.global_step_target = target;
   spec.mode = mode;
   spec.compute_sigma = 0;  // deterministic
-  spec.step_overhead = 0;
+  spec.step_overhead = tls::sim::Time{0};
   spec.ps_port = 5000;
   return spec;
 }
 
 JobPlacement star_placement(int workers) {
   JobPlacement p;
-  p.ps_host = 0;
-  for (int w = 0; w < workers; ++w) p.worker_hosts.push_back(1 + w);
+  p.ps_host = tls::net::HostId{0};
+  for (int w = 0; w < workers; ++w) p.worker_hosts.push_back(net::HostId{1 + w});
   return p;
 }
 
@@ -44,7 +44,7 @@ TEST(JobRuntime, RunsToGlobalStepTarget) {
   EXPECT_TRUE(job.finished());
   EXPECT_EQ(job.global_step(), 10);
   EXPECT_EQ(job.iteration(), 5);
-  EXPECT_GT(job.jct(), 0);
+  EXPECT_GT(job.jct(), tls::sim::Time{0});
 }
 
 TEST(JobRuntime, TargetNotMultipleOfWorkersOvershoots) {
@@ -85,13 +85,13 @@ TEST(JobRuntime, IterationTimeMatchesComputePlusTransfers) {
   sim::Simulator s(1);
   net::Fabric fab(s, small_fabric(2));
   JobSpec spec = small_job(1, 4);
-  spec.ps_aggregate_per_worker = 0;
+  spec.ps_aggregate_per_worker = tls::sim::Time{0};
   JobRuntime job(s, fab, spec, star_placement(1));
   job.start();
   s.run();
   // 4 iterations of (compute 150 ms + 2 transfers of ~1.5 ms each).
   double compute_s = sim::to_seconds(spec.base_step_time());
-  double transfer_s = 2.0 * 1'868'776 / net::gbps(10);
+  double transfer_s = net::seconds_for(2.0 * 1'868'776, net::gbps(10));
   double expect = 4 * (compute_s + transfer_s);
   EXPECT_NEAR(sim::to_seconds(job.jct()), expect, expect * 0.1);
 }
@@ -134,13 +134,13 @@ TEST(JobRuntime, BusySinkSeesWorkerAndPsIntervals) {
   s.run();
   bool saw_worker = false, saw_ps = false;
   for (net::HostId h : hosts) {
-    if (h == 0) saw_ps = true;
-    if (h == 1 || h == 2) saw_worker = true;
+    if (h == tls::net::HostId{0}) saw_ps = true;
+    if (h == tls::net::HostId{1 || h == tls::net::HostId{2}}) saw_worker = true;
   }
   EXPECT_TRUE(saw_worker);
   EXPECT_TRUE(saw_ps);
-  EXPECT_GT(job.ps_busy(), 0);
-  EXPECT_GT(job.worker_busy()[0], 0);
+  EXPECT_GT(job.ps_busy(), tls::sim::Time{0});
+  EXPECT_GT(job.worker_busy()[0], tls::sim::Time{0});
 }
 
 TEST(JobRuntime, OnFinishFiresOnce) {
@@ -187,8 +187,8 @@ TEST(JobRuntime, SpreadWorkersOverFewerHostsStillWorks) {
   sim::Simulator s(1);
   net::Fabric fab(s, small_fabric(2));
   JobPlacement p;
-  p.ps_host = 0;
-  p.worker_hosts = {1, 1};
+  p.ps_host = tls::net::HostId{0};
+  p.worker_hosts = {tls::net::HostId{1}, tls::net::HostId{1}};
   JobRuntime job(s, fab, small_job(2, 4), p);
   job.start();
   s.run();

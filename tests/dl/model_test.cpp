@@ -13,12 +13,12 @@ TEST(ModelZoo, ResNet32MatchesPaperScale) {
   ModelSpec m = zoo::resnet32_cifar10();
   // ~0.46 M parameters -> ~1.87 MB fp32 update, the paper's payload.
   EXPECT_NEAR(static_cast<double>(m.parameters), 0.467e6, 0.01e6);
-  EXPECT_NEAR(static_cast<double>(m.update_bytes()), 1.87e6, 0.05e6);
+  EXPECT_NEAR(net::to_double(m.update_bytes()), 1.87e6, 0.05e6);
 }
 
 TEST(ModelZoo, UpdateBytesIsFourBytesPerParameter) {
   for (const ModelSpec& m : zoo::all()) {
-    EXPECT_EQ(m.update_bytes(), m.parameters * 4) << m.name;
+    EXPECT_EQ(m.update_bytes(), tls::net::Bytes{m.parameters * 4}) << m.name;
   }
 }
 
@@ -53,7 +53,7 @@ TEST(ModelZoo, RelativeSizesSane) {
 TEST(JobSpec, BaseStepTimeScalesWithBatch) {
   JobSpec spec;
   spec.model = zoo::resnet32_cifar10();
-  spec.step_overhead = 0;
+  spec.step_overhead = tls::sim::Time{0};
   spec.local_batch_size = 1;
   sim::Time t1 = spec.base_step_time();
   spec.local_batch_size = 8;
@@ -66,7 +66,7 @@ TEST(JobSpec, StepOverheadAdds) {
   spec.local_batch_size = 1;
   spec.step_overhead = sim::from_millis(100);
   JobSpec no_overhead = spec;
-  no_overhead.step_overhead = 0;
+  no_overhead.step_overhead = tls::sim::Time{0};
   EXPECT_EQ(spec.base_step_time() - no_overhead.base_step_time(),
             sim::from_millis(100));
 }

@@ -25,15 +25,15 @@ JobSpec sharded_job(int workers, int num_ps, std::int64_t target) {
   spec.local_batch_size = 1;
   spec.global_step_target = target;
   spec.compute_sigma = 0;
-  spec.step_overhead = 0;
+  spec.step_overhead = tls::sim::Time{0};
   spec.ps_port = 5000;
   return spec;
 }
 
 JobPlacement sharded_placement(int workers, int num_ps) {
   JobPlacement p;
-  p.ps_host = 0;
-  for (int s = 0; s < num_ps; ++s) p.ps_hosts.push_back(s);
+  p.ps_host = tls::net::HostId{0};
+  for (int s = 0; s < num_ps; ++s) p.ps_hosts.push_back(net::HostId{s});
   for (int w = 0; w < workers; ++w) {
     p.worker_hosts.push_back(static_cast<net::HostId>(num_ps + w));
   }
@@ -46,17 +46,17 @@ TEST(MultiPs, ShardPortsAndBytes) {
   EXPECT_EQ(spec.ps_shard_port(2), 5002);
   // Shards cover the model with ceil rounding.
   EXPECT_GE(spec.shard_bytes() * 3, spec.model.update_bytes());
-  EXPECT_LT(spec.shard_bytes() * 3, spec.model.update_bytes() + 3);
+  EXPECT_LT(spec.shard_bytes() * 3, spec.model.update_bytes() + tls::net::Bytes{3});
 }
 
 TEST(MultiPs, PlacementAccessors) {
   JobPlacement p = sharded_placement(2, 3);
   EXPECT_EQ(p.ps_count(), 3);
-  EXPECT_EQ(p.ps_shard_host(2), 2);
+  EXPECT_EQ(p.ps_shard_host(2), tls::net::HostId{2});
   JobPlacement single;
-  single.ps_host = 7;
+  single.ps_host = tls::net::HostId{7};
   EXPECT_EQ(single.ps_count(), 1);
-  EXPECT_EQ(single.ps_shard_host(0), 7);
+  EXPECT_EQ(single.ps_shard_host(0), tls::net::HostId{7});
 }
 
 TEST(MultiPs, RunsToTargetWithTwoShards) {
@@ -91,9 +91,9 @@ TEST(MultiPs, ShardingSpeedsUpColocatedBroadcast) {
     JobSpec spec = sharded_job(5, num_ps, 5 * 4);
     spec.model = zoo::alexnet();  // 244 MB updates: network-bound
     JobPlacement p;
-    p.ps_host = 0;
-    for (int k = 0; k < num_ps; ++k) p.ps_hosts.push_back(k);
-    for (int w = 0; w < 5; ++w) p.worker_hosts.push_back(5 + w);
+    p.ps_host = tls::net::HostId{0};
+    for (int k = 0; k < num_ps; ++k) p.ps_hosts.push_back(net::HostId{k});
+    for (int w = 0; w < 5; ++w) p.worker_hosts.push_back(net::HostId{5 + w});
     JobRuntime job(s, fab, spec, p);
     job.start();
     s.run();

@@ -42,11 +42,11 @@ class RecordingGate : public TransmissionGate {
 
  private:
   sim::Simulator& sim_;
-  sim::Time delay_ = 0;
+  sim::Time delay_ = tls::sim::Time{0};
   int requests_ = 0;
   int releases_ = 0;
   std::map<net::HostId, int> per_host_balance_;
-  net::Bytes last_bytes_ = 0;
+  net::Bytes last_bytes_ = tls::net::Bytes{0};
 };
 
 net::FabricConfig ideal(int hosts) {
@@ -64,15 +64,15 @@ JobSpec small_job(int workers, std::int64_t target) {
   spec.local_batch_size = 1;
   spec.global_step_target = target;
   spec.compute_sigma = 0;
-  spec.step_overhead = 0;
+  spec.step_overhead = tls::sim::Time{0};
   spec.ps_port = 5000;
   return spec;
 }
 
 JobPlacement star(int workers) {
   JobPlacement p;
-  p.ps_host = 0;
-  for (int w = 0; w < workers; ++w) p.worker_hosts.push_back(1 + w);
+  p.ps_host = tls::net::HostId{0};
+  for (int w = 0; w < workers; ++w) p.worker_hosts.push_back(net::HostId{1 + w});
   return p;
 }
 
@@ -106,7 +106,7 @@ TEST(TransmissionGate, GrantDelayStallsTheJob) {
     EXPECT_TRUE(job.finished());
     return job.jct();
   };
-  sim::Time fast = jct_with_delay(0);
+  sim::Time fast = jct_with_delay(tls::sim::Time{0});
   sim::Time slow = jct_with_delay(50 * sim::kMillisecond);
   // 4 iterations x 50 ms of gating each.
   EXPECT_NEAR(sim::to_seconds(slow - fast), 0.200, 0.02);
@@ -128,9 +128,9 @@ TEST(TransmissionGate, MultiPsRequestsPerShard) {
   JobSpec spec = small_job(3, 3 * 4);
   spec.num_ps = 2;
   JobPlacement p;
-  p.ps_host = 0;
-  p.ps_hosts = {0, 1};
-  p.worker_hosts = {2, 3, 4};
+  p.ps_host = tls::net::HostId{0};
+  p.ps_hosts = {tls::net::HostId{0}, tls::net::HostId{1}};
+  p.worker_hosts = {tls::net::HostId{2}, tls::net::HostId{3}, tls::net::HostId{4}};
   JobRuntime job(s, fab, spec, p);
   job.set_transmission_gate(&gate);
   job.start();

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include "exp/experiment.hpp"
+#include "runtime/replicate.hpp"
 
 namespace tls::exp {
 namespace {
@@ -14,7 +15,7 @@ ExperimentConfig noisy_config(core::PolicyKind policy) {
   c.workload.num_jobs = 8;
   c.workload.workers_per_job = 7;
   c.workload.local_batch_size = 1;
-  c.workload.step_overhead = 0;
+  c.workload.step_overhead = tls::sim::Time{0};
   c.workload.global_step_target = 7L * 12;
   c.fabric.link_rate = net::gbps(2.5);
   c.placement = cluster::table1(1, 8);
@@ -54,8 +55,8 @@ TEST(BackgroundInterference, DefaultClassPreventsStarvation) {
 TEST(Replication, SeedsVaryResultsButNotConclusion) {
   ExperimentConfig base = noisy_config(core::PolicyKind::kFifo);
   base.background = false;
-  auto fifo = run_replicated(base, 3);
-  auto tls = run_replicated(with_policy(base, core::PolicyKind::kTlsOne), 3);
+  auto fifo = runtime::run_replicated(base, 3);
+  auto tls = runtime::run_replicated(with_policy(base, core::PolicyKind::kTlsOne), 3);
   metrics::Summary norm = normalized_across(tls, fifo);
   EXPECT_EQ(norm.count, 3u);
   EXPECT_LT(norm.max, 1.0);  // every seed agrees TLs wins here
@@ -65,7 +66,7 @@ TEST(Replication, SeedsVaryResultsButNotConclusion) {
 
 TEST(Replication, Validation) {
   ExperimentConfig base = noisy_config(core::PolicyKind::kFifo);
-  EXPECT_THROW(run_replicated(base, 0), std::invalid_argument);
+  EXPECT_THROW(runtime::run_replicated(base, 0), std::invalid_argument);
   std::vector<ExperimentResult> two(2), three(3);
   EXPECT_THROW(normalized_across(two, three), std::invalid_argument);
 }

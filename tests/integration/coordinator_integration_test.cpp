@@ -12,7 +12,7 @@ ExperimentConfig contended_base() {
   c.workload.num_jobs = 8;
   c.workload.workers_per_job = 7;
   c.workload.local_batch_size = 1;
-  c.workload.step_overhead = 0;
+  c.workload.step_overhead = tls::sim::Time{0};
   c.workload.global_step_target = 7L * 12;
   c.fabric.link_rate = net::gbps(2.5);
   c.placement = cluster::table1(1, 8);
@@ -24,7 +24,7 @@ ExperimentConfig contended_base() {
 TEST(CoordinatedTransport, RunsToCompletion) {
   ExperimentConfig c = contended_base();
   c.coordinated_transport = true;
-  c.coordinator_config.coordination_rtt = 0;
+  c.coordinator_config.coordination_rtt = tls::sim::Time{0};
   ExperimentResult r = run_experiment(c);
   EXPECT_TRUE(r.all_finished);
   EXPECT_GT(r.coordinator_grants, 0u);
@@ -36,7 +36,7 @@ TEST(CoordinatedTransport, ZeroRttOracleBeatsFifo) {
   ExperimentResult fifo = run_experiment(contended_base());
   ExperimentConfig c = contended_base();
   c.coordinated_transport = true;
-  c.coordinator_config.coordination_rtt = 0;
+  c.coordinator_config.coordination_rtt = tls::sim::Time{0};
   ExperimentResult coord = run_experiment(c);
   EXPECT_LT(avg_normalized_jct(coord, fifo), 1.0);
   EXPECT_GT(coord.coordinator_wait_s, 0);
@@ -47,7 +47,7 @@ TEST(CoordinatedTransport, CoordinationOverheadErodesTheBenefit) {
   // coordination overhead." Larger RTTs must not make things better.
   ExperimentConfig c = contended_base();
   c.coordinated_transport = true;
-  c.coordinator_config.coordination_rtt = 0;
+  c.coordinator_config.coordination_rtt = tls::sim::Time{0};
   double zero_rtt = run_experiment(c).avg_jct_s;
   c.coordinator_config.coordination_rtt = 20 * sim::kMillisecond;
   double slow_rtt = run_experiment(c).avg_jct_s;

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "exp/experiment.hpp"
+#include "runtime/replicate.hpp"
 #include "exp/export.hpp"
 
 namespace tls::exp {
@@ -20,7 +21,7 @@ ExperimentConfig small_contended(core::PolicyKind policy) {
   c.workload.num_jobs = 6;
   c.workload.workers_per_job = 5;
   c.workload.local_batch_size = 1;
-  c.workload.step_overhead = 0;
+  c.workload.step_overhead = tls::sim::Time{0};
   c.workload.global_step_target = 5L * 8;
   c.fabric.link_rate = net::gbps(2.5);
   c.placement = cluster::table1(1, 6);
@@ -61,11 +62,11 @@ TEST(Determinism, EveryPolicyIsReproducible) {
 }
 
 TEST(Determinism, ReplicatedRunsMatchDirectRuns) {
-  // run_replicated() seeds replicas as seed, seed+1, ... — each replica
+  // runtime::run_replicated() seeds replicas as seed, seed+1, ... — each replica
   // must agree byte-for-byte with a direct run at that seed, so replicated
   // figures can be regenerated piecemeal.
   ExperimentConfig config = small_contended(core::PolicyKind::kTlsRR);
-  std::vector<ExperimentResult> replicas = run_replicated(config, 2);
+  std::vector<ExperimentResult> replicas = runtime::run_replicated(config, 2);
   ASSERT_EQ(replicas.size(), 2u);
   ExperimentConfig direct = config;
   for (int i = 0; i < 2; ++i) {

@@ -13,7 +13,7 @@ ExperimentConfig contended(core::PolicyKind policy, int iterations = 12) {
   c.workload.num_jobs = 8;
   c.workload.workers_per_job = 7;
   c.workload.local_batch_size = 1;
-  c.workload.step_overhead = 0;
+  c.workload.step_overhead = tls::sim::Time{0};
   c.workload.global_step_target = 7L * iterations;
   // A slower link pushes the offered load past the iteration period, the
   // paper's heavy-contention regime, without needing 21 hosts.

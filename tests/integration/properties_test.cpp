@@ -13,7 +13,7 @@ ExperimentConfig small_config() {
   c.workload.num_jobs = 6;
   c.workload.workers_per_job = 5;
   c.workload.local_batch_size = 1;
-  c.workload.step_overhead = 0;
+  c.workload.step_overhead = tls::sim::Time{0};
   c.workload.global_step_target = 5L * 8;
   c.fabric.link_rate = net::gbps(2.5);  // heavy-contention regime at small scale
   c.placement = cluster::table1(1, 6);

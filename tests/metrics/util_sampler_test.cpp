@@ -7,41 +7,41 @@ namespace {
 
 TEST(BusyAccumulator, OverlapComputation) {
   BusyAccumulator busy(2);
-  busy.add(0, sim::from_seconds(1), sim::from_seconds(3));
+  busy.add(tls::net::HostId{0}, sim::from_seconds(1), sim::from_seconds(3));
   // Window fully containing the interval.
   EXPECT_DOUBLE_EQ(
-      busy.busy_seconds_in(0, 0, sim::from_seconds(10)), 2.0);
+      busy.busy_seconds_in(tls::net::HostId{0}, tls::sim::Time{0}, sim::from_seconds(10)), 2.0);
   // Window clipping the interval on both sides.
   EXPECT_DOUBLE_EQ(
-      busy.busy_seconds_in(0, sim::from_seconds(2), sim::from_seconds(2.5)),
+      busy.busy_seconds_in(tls::net::HostId{0}, sim::from_seconds(2), sim::from_seconds(2.5)),
       0.5);
   // Disjoint window.
   EXPECT_DOUBLE_EQ(
-      busy.busy_seconds_in(0, sim::from_seconds(5), sim::from_seconds(6)), 0.0);
+      busy.busy_seconds_in(tls::net::HostId{0}, sim::from_seconds(5), sim::from_seconds(6)), 0.0);
   // Other host untouched.
-  EXPECT_DOUBLE_EQ(busy.busy_seconds_in(1, 0, sim::from_seconds(10)), 0.0);
+  EXPECT_DOUBLE_EQ(busy.busy_seconds_in(tls::net::HostId{1}, tls::sim::Time{0}, sim::from_seconds(10)), 0.0);
 }
 
 TEST(BusyAccumulator, MultipleIntervalsSum) {
   BusyAccumulator busy(1);
-  busy.add(0, 0, sim::from_seconds(1));
-  busy.add(0, sim::from_seconds(2), sim::from_seconds(3));
+  busy.add(tls::net::HostId{0}, tls::sim::Time{0}, sim::from_seconds(1));
+  busy.add(tls::net::HostId{0}, sim::from_seconds(2), sim::from_seconds(3));
   // Overlapping intervals double-count: two tasks on two cores.
-  busy.add(0, 0, sim::from_seconds(1));
-  EXPECT_DOUBLE_EQ(busy.busy_seconds_in(0, 0, sim::from_seconds(10)), 3.0);
-  EXPECT_EQ(busy.interval_count(0), 3u);
+  busy.add(tls::net::HostId{0}, tls::sim::Time{0}, sim::from_seconds(1));
+  EXPECT_DOUBLE_EQ(busy.busy_seconds_in(tls::net::HostId{0}, tls::sim::Time{0}, sim::from_seconds(10)), 3.0);
+  EXPECT_EQ(busy.interval_count(tls::net::HostId{0}), 3u);
 }
 
 TEST(BusyAccumulator, CpuUtilizationNormalizesByCores) {
   BusyAccumulator busy(1);
-  busy.add(0, 0, sim::from_seconds(6));
+  busy.add(tls::net::HostId{0}, tls::sim::Time{0}, sim::from_seconds(6));
   // 6 busy core-seconds in a 10 s window on 12 cores = 5%.
-  EXPECT_NEAR(busy.cpu_utilization(0, 0, sim::from_seconds(10), 12), 0.05,
+  EXPECT_NEAR(busy.cpu_utilization(tls::net::HostId{0}, tls::sim::Time{0}, sim::from_seconds(10), 12), 0.05,
               1e-9);
   // One core: 60%.
-  EXPECT_NEAR(busy.cpu_utilization(0, 0, sim::from_seconds(10), 1), 0.6, 1e-9);
+  EXPECT_NEAR(busy.cpu_utilization(tls::net::HostId{0}, tls::sim::Time{0}, sim::from_seconds(10), 1), 0.6, 1e-9);
   // Empty window returns 0.
-  EXPECT_EQ(busy.cpu_utilization(0, 5, 5, 4), 0.0);
+  EXPECT_EQ(busy.cpu_utilization(tls::net::HostId{0}, tls::sim::Time{5}, tls::sim::Time{5}, 4), 0.0);
 }
 
 TEST(NicSampler, MeasuresTransferUtilization) {
@@ -54,21 +54,21 @@ TEST(NicSampler, MeasuresTransferUtilization) {
   NicSampler sampler(s, fab, 100 * sim::kMillisecond);
   // Saturate host0 egress for ~1 s.
   net::FlowSpec f;
-  f.src = 0;
-  f.dst = 1;
-  f.bytes = static_cast<net::Bytes>(net::gbps(10));  // 1 s at line rate
+  f.src = tls::net::HostId{0};
+  f.dst = tls::net::HostId{1};
+  f.bytes = net::Bytes{static_cast<std::int64_t>(net::bytes_in(net::gbps(10), 1.0))};  // 1 s at line rate
   fab.start_flow(f, [](const net::FlowRecord&) {});
   s.run(2 * sim::kSecond);
-  double out = sampler.utilization(0, /*outbound=*/true,
+  double out = sampler.utilization(tls::net::HostId{0}, /*outbound=*/true,
                                    100 * sim::kMillisecond,
                                    900 * sim::kMillisecond);
   EXPECT_GT(out, 0.9);
-  double in = sampler.utilization(1, /*outbound=*/false,
+  double in = sampler.utilization(tls::net::HostId{1}, /*outbound=*/false,
                                   100 * sim::kMillisecond,
                                   900 * sim::kMillisecond);
   EXPECT_GT(in, 0.85);
   // Idle direction reads ~0.
-  EXPECT_LT(sampler.utilization(1, /*outbound=*/true, 100 * sim::kMillisecond,
+  EXPECT_LT(sampler.utilization(tls::net::HostId{1}, /*outbound=*/true, 100 * sim::kMillisecond,
                                 900 * sim::kMillisecond),
             0.01);
 }
@@ -79,9 +79,9 @@ TEST(NicSampler, SeriesGrowsWithTime) {
   fc.num_hosts = 1;
   net::Fabric fab(s, fc);
   NicSampler sampler(s, fab, sim::kSecond);
-  s.run(5 * sim::kSecond + 1);
+  s.run(5 * sim::kSecond + tls::sim::Time{1});
   // Baseline + 5 ticks.
-  EXPECT_GE(sampler.series(0).size(), 6u);
+  EXPECT_GE(sampler.series(tls::net::HostId{0}).size(), 6u);
 }
 
 TEST(NicSampler, UtilizationZeroWithoutCoverage) {
@@ -91,7 +91,7 @@ TEST(NicSampler, UtilizationZeroWithoutCoverage) {
   net::Fabric fab(s, fc);
   NicSampler sampler(s, fab, sim::kSecond);
   // No time elapsed: window edges resolve to the same sample.
-  EXPECT_EQ(sampler.utilization(0, true, 0, sim::kSecond), 0.0);
+  EXPECT_EQ(sampler.utilization(tls::net::HostId{0}, true, tls::sim::Time{0}, sim::kSecond), 0.0);
 }
 
 }  // namespace

@@ -13,11 +13,11 @@ namespace {
 Chunk make_chunk(std::uint32_t index) {
   Chunk c;
   c.flow = 1000 + index;
-  c.size = 100 + static_cast<Bytes>(index);
+  c.size = tls::net::Bytes{100} + static_cast<Bytes>(index);
   c.index = index;
-  c.band = static_cast<std::int32_t>(index % 5);
+  c.band = tls::net::BandId{static_cast<std::int32_t>(index % 5)};
   c.weight = 0.5 + 0.01 * index;
-  c.dst = static_cast<std::int32_t>(index % 7);
+  c.dst = tls::net::HostId{static_cast<std::int32_t>(index % 7)};
   c.job = static_cast<std::int32_t>(index % 3);
   c.last = index % 2 == 0;
   c.kind = index % 2 == 0 ? FlowKind::kGradientUpdate : FlowKind::kControl;
@@ -67,9 +67,9 @@ TEST(ChunkRing, FifoAcrossGrowthAndWraparound) {
 
 TEST(ChunkRing, FrontPeeksReadSingleLanes) {
   ChunkRing ring;
-  ring.push_back(make_chunk(4), /*stamp=*/777);
+  ring.push_back(make_chunk(4), /*stamp=*/tls::sim::Time{777});
   EXPECT_EQ(ring.front_size(), make_chunk(4).size);
-  EXPECT_EQ(ring.front_stamp(), 777);
+  EXPECT_EQ(ring.front_stamp(), tls::sim::Time{777});
   EXPECT_EQ(ring.size(), 1u);  // peeks do not consume
 }
 
@@ -77,7 +77,7 @@ TEST(ChunkRing, StampLaneSurvivesGrowth) {
   ChunkRing ring;
   // Fill beyond the initial capacity and beyond one doubling, with a pop
   // first so the copied range is offset from slot zero.
-  ring.push_back(make_chunk(0), 0);
+  ring.push_back(make_chunk(0), tls::sim::Time{0});
   ring.pop_front();
   for (std::uint32_t i = 1; i <= 100; ++i) {
     ring.push_back(make_chunk(i), static_cast<sim::Time>(1000 + i));
@@ -109,8 +109,8 @@ TEST(ChunkRing, ClearThenReuse) {
   for (std::uint32_t i = 0; i < 20; ++i) ring.push_back(make_chunk(i));
   ring.clear();
   EXPECT_TRUE(ring.empty());
-  ring.push_back(make_chunk(7), 42);
-  EXPECT_EQ(ring.front_stamp(), 42);
+  ring.push_back(make_chunk(7), tls::sim::Time{42});
+  EXPECT_EQ(ring.front_stamp(), tls::sim::Time{42});
   expect_same(ring.take_front(), make_chunk(7));
 }
 

@@ -30,23 +30,23 @@ FlowSpec spec(std::uint16_t sport, std::uint16_t dport, std::int32_t job = -1,
 
 TEST(Classifier, DefaultBandWhenNoRules) {
   Classifier c;
-  EXPECT_EQ(c.classify(spec(1, 2)), 0);
-  c.set_default_band(7);
-  EXPECT_EQ(c.classify(spec(1, 2)), 7);
+  EXPECT_EQ(c.classify(spec(1, 2)), tls::net::BandId{0});
+  c.set_default_band(tls::net::BandId{7});
+  EXPECT_EQ(c.classify(spec(1, 2)), tls::net::BandId{7});
 }
 
 TEST(Classifier, MatchesSrcPort) {
   Classifier c;
-  c.upsert(rule(10, 3, 5000));
-  EXPECT_EQ(c.classify(spec(5000, 1)), 3);
-  EXPECT_EQ(c.classify(spec(5001, 1)), 0);
+  c.upsert(rule(10, tls::net::BandId{3}, 5000));
+  EXPECT_EQ(c.classify(spec(5000, 1)), tls::net::BandId{3});
+  EXPECT_EQ(c.classify(spec(5001, 1)), tls::net::BandId{0});
 }
 
 TEST(Classifier, MatchesDstPort) {
   Classifier c;
-  c.upsert(rule(10, 2, std::nullopt, 8080));
-  EXPECT_EQ(c.classify(spec(1, 8080)), 2);
-  EXPECT_EQ(c.classify(spec(8080, 1)), 0);
+  c.upsert(rule(10, tls::net::BandId{2}, std::nullopt, 8080));
+  EXPECT_EQ(c.classify(spec(1, 8080)), tls::net::BandId{2});
+  EXPECT_EQ(c.classify(spec(8080, 1)), tls::net::BandId{0});
 }
 
 TEST(Classifier, AndSemanticsAcrossFields) {
@@ -55,43 +55,43 @@ TEST(Classifier, AndSemanticsAcrossFields) {
   r.pref = 10;
   r.src_port = 5000;
   r.dst_port = 6000;
-  r.target_band = 4;
+  r.target_band = tls::net::BandId{4};
   c.upsert(r);
-  EXPECT_EQ(c.classify(spec(5000, 6000)), 4);
-  EXPECT_EQ(c.classify(spec(5000, 6001)), 0);
-  EXPECT_EQ(c.classify(spec(5001, 6000)), 0);
+  EXPECT_EQ(c.classify(spec(5000, 6000)), tls::net::BandId{4});
+  EXPECT_EQ(c.classify(spec(5000, 6001)), tls::net::BandId{0});
+  EXPECT_EQ(c.classify(spec(5001, 6000)), tls::net::BandId{0});
 }
 
 TEST(Classifier, FirstMatchWinsByPref) {
   Classifier c;
-  c.upsert(rule(20, 2, 5000));
-  c.upsert(rule(10, 1, 5000));
-  EXPECT_EQ(c.classify(spec(5000, 1)), 1);
+  c.upsert(rule(20, tls::net::BandId{2}, 5000));
+  c.upsert(rule(10, tls::net::BandId{1}, 5000));
+  EXPECT_EQ(c.classify(spec(5000, 1)), tls::net::BandId{1});
 }
 
 TEST(Classifier, UpsertReplacesSamePref) {
   Classifier c;
-  c.upsert(rule(10, 1, 5000));
-  c.upsert(rule(10, 5, 5000));
+  c.upsert(rule(10, tls::net::BandId{1}, 5000));
+  c.upsert(rule(10, tls::net::BandId{5}, 5000));
   EXPECT_EQ(c.size(), 1u);
-  EXPECT_EQ(c.classify(spec(5000, 1)), 5);
+  EXPECT_EQ(c.classify(spec(5000, 1)), tls::net::BandId{5});
 }
 
 TEST(Classifier, RemoveByPref) {
   Classifier c;
-  c.upsert(rule(10, 1, 5000));
+  c.upsert(rule(10, tls::net::BandId{1}, 5000));
   EXPECT_TRUE(c.remove(10));
   EXPECT_FALSE(c.remove(10));
-  EXPECT_EQ(c.classify(spec(5000, 1)), 0);
+  EXPECT_EQ(c.classify(spec(5000, 1)), tls::net::BandId{0});
 }
 
 TEST(Classifier, CatchAllRuleMatchesEverything) {
   Classifier c;
-  c.upsert(rule(65000, 6));
-  EXPECT_EQ(c.classify(spec(1, 2)), 6);
-  c.upsert(rule(10, 1, 5000));
-  EXPECT_EQ(c.classify(spec(5000, 9)), 1);
-  EXPECT_EQ(c.classify(spec(4999, 9)), 6);
+  c.upsert(rule(65000, tls::net::BandId{6}));
+  EXPECT_EQ(c.classify(spec(1, 2)), tls::net::BandId{6});
+  c.upsert(rule(10, tls::net::BandId{1}, 5000));
+  EXPECT_EQ(c.classify(spec(5000, 9)), tls::net::BandId{1});
+  EXPECT_EQ(c.classify(spec(4999, 9)), tls::net::BandId{6});
 }
 
 TEST(Classifier, MatchesJobIdAndKind) {
@@ -100,27 +100,27 @@ TEST(Classifier, MatchesJobIdAndKind) {
   r.pref = 10;
   r.job_id = 7;
   r.kind = FlowKind::kModelUpdate;
-  r.target_band = 2;
+  r.target_band = tls::net::BandId{2};
   c.upsert(r);
-  EXPECT_EQ(c.classify(spec(1, 2, 7, FlowKind::kModelUpdate)), 2);
-  EXPECT_EQ(c.classify(spec(1, 2, 7, FlowKind::kGradientUpdate)), 0);
-  EXPECT_EQ(c.classify(spec(1, 2, 8, FlowKind::kModelUpdate)), 0);
+  EXPECT_EQ(c.classify(spec(1, 2, 7, FlowKind::kModelUpdate)), tls::net::BandId{2});
+  EXPECT_EQ(c.classify(spec(1, 2, 7, FlowKind::kGradientUpdate)), tls::net::BandId{0});
+  EXPECT_EQ(c.classify(spec(1, 2, 8, FlowKind::kModelUpdate)), tls::net::BandId{0});
 }
 
 TEST(Classifier, ClearRemovesRulesKeepsDefault) {
   Classifier c;
-  c.set_default_band(3);
-  c.upsert(rule(10, 1, 1));
+  c.set_default_band(tls::net::BandId{3});
+  c.upsert(rule(10, tls::net::BandId{1}, 1));
   c.clear();
   EXPECT_EQ(c.size(), 0u);
-  EXPECT_EQ(c.classify(spec(1, 1)), 3);
+  EXPECT_EQ(c.classify(spec(1, 1)), tls::net::BandId{3});
 }
 
 TEST(Classifier, RulesKeptSortedByPref) {
   Classifier c;
-  c.upsert(rule(30, 3));
-  c.upsert(rule(10, 1));
-  c.upsert(rule(20, 2));
+  c.upsert(rule(30, tls::net::BandId{3}));
+  c.upsert(rule(10, tls::net::BandId{1}));
+  c.upsert(rule(20, tls::net::BandId{2}));
   ASSERT_EQ(c.rules().size(), 3u);
   EXPECT_EQ(c.rules()[0].pref, 10);
   EXPECT_EQ(c.rules()[1].pref, 20);

@@ -12,23 +12,23 @@ FabricConfig ideal(int hosts) {
   c.num_hosts = hosts;
   c.tcp_weight_sigma = 0;     // deterministic
   c.protocol_overhead = 1.0;  // no framing inflation
-  c.switch_latency = 0;
+  c.switch_latency = tls::sim::Time{0};
   return c;
 }
 
 TEST(Fabric, SingleFlowTakesSerializationTime) {
   sim::Simulator s(1);
   Fabric fab(s, ideal(2));
-  sim::Time done = -1;
+  sim::Time done = tls::sim::Time{-1};
   FlowSpec f;
-  f.src = 0;
-  f.dst = 1;
-  f.bytes = 1250000;  // 1 ms at 10 Gbps... actually 1.25 MB = 1 ms
+  f.src = tls::net::HostId{0};
+  f.dst = tls::net::HostId{1};
+  f.bytes = tls::net::Bytes{1250000};  // 1 ms at 10 Gbps... actually 1.25 MB = 1 ms
   fab.start_flow(f, [&](const FlowRecord& r) { done = r.end; });
   s.run();
-  ASSERT_GE(done, 0);
+  ASSERT_GE(done, tls::sim::Time{0});
   // Egress + ingress are pipelined; total ≈ serialization + one chunk.
-  double expect_s = 1250000.0 / gbps(10);
+  double expect_s = seconds_for(1250000.0, gbps(10));
   EXPECT_NEAR(sim::to_seconds(done), expect_s, expect_s * 0.2);
 }
 
@@ -37,9 +37,9 @@ TEST(Fabric, ZeroByteFlowCompletesAsync) {
   Fabric fab(s, ideal(2));
   bool done = false;
   FlowSpec f;
-  f.src = 0;
-  f.dst = 1;
-  f.bytes = 0;
+  f.src = tls::net::HostId{0};
+  f.dst = tls::net::HostId{1};
+  f.bytes = tls::net::Bytes{0};
   fab.start_flow(f, [&](const FlowRecord&) { done = true; });
   EXPECT_FALSE(done);  // never synchronous
   s.run();
@@ -50,14 +50,14 @@ TEST(Fabric, RejectsBadEndpoints) {
   sim::Simulator s(1);
   Fabric fab(s, ideal(2));
   FlowSpec f;
-  f.src = 0;
-  f.dst = 5;
-  f.bytes = 1;
+  f.src = tls::net::HostId{0};
+  f.dst = tls::net::HostId{5};
+  f.bytes = tls::net::Bytes{1};
   EXPECT_THROW(fab.start_flow(f, [](const FlowRecord&) {}), std::invalid_argument);
-  f.dst = -1;
+  f.dst = tls::net::HostId{-1};
   EXPECT_THROW(fab.start_flow(f, [](const FlowRecord&) {}), std::invalid_argument);
-  f.dst = 1;
-  f.bytes = -5;
+  f.dst = tls::net::HostId{1};
+  f.bytes = tls::net::Bytes{-5};
   EXPECT_THROW(fab.start_flow(f, [](const FlowRecord&) {}), std::invalid_argument);
 }
 
@@ -66,7 +66,7 @@ TEST(Fabric, RejectsBadConfig) {
   FabricConfig c = ideal(0);
   EXPECT_THROW(Fabric(s, c), std::invalid_argument);
   c = ideal(2);
-  c.chunk_size = 0;
+  c.chunk_size = tls::net::Bytes{0};
   EXPECT_THROW(Fabric(s, c), std::invalid_argument);
   c = ideal(2);
   c.flow_window = 0;
@@ -76,12 +76,12 @@ TEST(Fabric, RejectsBadConfig) {
 TEST(Fabric, FairSharingBetweenEqualFlows) {
   sim::Simulator s(1);
   Fabric fab(s, ideal(3));
-  std::vector<sim::Time> ends(2, 0);
+  std::vector<sim::Time> ends(2, tls::sim::Time{0});
   for (int i = 0; i < 2; ++i) {
     FlowSpec f;
-    f.src = 0;
-    f.dst = 1 + i;
-    f.bytes = 12'500'000;  // 10 ms each alone
+    f.src = tls::net::HostId{0};
+    f.dst = tls::net::HostId{1 + i};
+    f.bytes = tls::net::Bytes{12'500'000};  // 10 ms each alone
     fab.start_flow(f, [&ends, i](const FlowRecord& r) { ends[static_cast<size_t>(i)] = r.end; });
   }
   s.run();
@@ -93,13 +93,13 @@ TEST(Fabric, FairSharingBetweenEqualFlows) {
 TEST(Fabric, IngressFanInContention) {
   sim::Simulator s(1);
   Fabric fab(s, ideal(3));
-  std::vector<sim::Time> ends(2, 0);
+  std::vector<sim::Time> ends(2, tls::sim::Time{0});
   // Two sources send to one destination: ingress is the bottleneck.
   for (int i = 0; i < 2; ++i) {
     FlowSpec f;
-    f.src = i;
-    f.dst = 2;
-    f.bytes = 12'500'000;
+    f.src = tls::net::HostId{i};
+    f.dst = tls::net::HostId{2};
+    f.bytes = tls::net::Bytes{12'500'000};
     fab.start_flow(f, [&ends, i](const FlowRecord& r) { ends[static_cast<size_t>(i)] = r.end; });
   }
   s.run();
@@ -110,9 +110,9 @@ TEST(Fabric, CompletedFlowCountAndActiveFlows) {
   sim::Simulator s(1);
   Fabric fab(s, ideal(2));
   FlowSpec f;
-  f.src = 0;
-  f.dst = 1;
-  f.bytes = 1000;
+  f.src = tls::net::HostId{0};
+  f.dst = tls::net::HostId{1};
+  f.bytes = tls::net::Bytes{1000};
   fab.start_flow(f, [](const FlowRecord&) {});
   EXPECT_EQ(fab.active_flows(), 1u);
   s.run();
@@ -126,15 +126,15 @@ TEST(Fabric, ProtocolOverheadInflatesWireBytes) {
   c.protocol_overhead = 2.0;
   Fabric fab(s, c);
   FlowSpec f;
-  f.src = 0;
-  f.dst = 1;
-  f.bytes = 1'250'000;
-  sim::Time done = 0;
+  f.src = tls::net::HostId{0};
+  f.dst = tls::net::HostId{1};
+  f.bytes = tls::net::Bytes{1'250'000};
+  sim::Time done = tls::sim::Time{0};
   fab.start_flow(f, [&](const FlowRecord& r) { done = r.end; });
   s.run();
   // Twice the wire bytes => about twice the ideal duration.
   EXPECT_NEAR(sim::to_seconds(done), 0.002, 0.0005);
-  EXPECT_GE(fab.egress(0).counters().bytes, 2'500'000);
+  EXPECT_GE(fab.egress(tls::net::HostId{0}).counters().bytes, tls::net::Bytes{2'500'000});
 }
 
 TEST(Fabric, SwitchLatencyDelaysDelivery) {
@@ -143,10 +143,10 @@ TEST(Fabric, SwitchLatencyDelaysDelivery) {
   c.switch_latency = sim::from_millis(5);
   Fabric fab(s, c);
   FlowSpec f;
-  f.src = 0;
-  f.dst = 1;
-  f.bytes = 100;
-  sim::Time done = 0;
+  f.src = tls::net::HostId{0};
+  f.dst = tls::net::HostId{1};
+  f.bytes = tls::net::Bytes{100};
+  sim::Time done = tls::sim::Time{0};
   fab.start_flow(f, [&](const FlowRecord& r) { done = r.end; });
   s.run();
   EXPECT_GE(done, sim::from_millis(5));
@@ -160,9 +160,9 @@ TEST(Fabric, WindowScalesWithWeightDeterministically) {
   std::vector<sim::Time> ends;
   for (int i = 0; i < 4; ++i) {
     FlowSpec f;
-    f.src = 0;
-    f.dst = 1 + i;
-    f.bytes = 1'250'000;
+    f.src = tls::net::HostId{0};
+    f.dst = tls::net::HostId{1 + i};
+    f.bytes = tls::net::Bytes{1'250'000};
     fab.start_flow(f, [&](const FlowRecord& r) { ends.push_back(r.end); });
   }
   s.run();
@@ -180,9 +180,9 @@ TEST(Fabric, WeightNoiseSpreadsCompletions) {
   std::vector<sim::Time> ends;
   for (int i = 0; i < 20; ++i) {
     FlowSpec f;
-    f.src = 0;
-    f.dst = 1 + i;
-    f.bytes = 1'868'776;
+    f.src = tls::net::HostId{0};
+    f.dst = tls::net::HostId{1 + i};
+    f.bytes = tls::net::Bytes{1'868'776};
     fab.start_flow(f, [&](const FlowRecord& r) { ends.push_back(r.end); });
   }
   s.run();
@@ -199,12 +199,12 @@ TEST(Fabric, DeterministicAcrossRuns) {
     FabricConfig c;
     c.num_hosts = 4;
     Fabric fab(s, c);
-    sim::Time last = 0;
+    sim::Time last = tls::sim::Time{0};
     for (int i = 0; i < 6; ++i) {
       FlowSpec f;
-      f.src = i % 2;
-      f.dst = 2 + (i % 2);
-      f.bytes = 500'000 + i * 1000;
+      f.src = tls::net::HostId{i % 2};
+      f.dst = tls::net::HostId{2 + (i % 2)};
+      f.bytes = tls::net::Bytes{500'000} + i * tls::net::Bytes{1000};
       fab.start_flow(f, [&](const FlowRecord& r) { last = std::max(last, r.end); });
     }
     s.run();
@@ -220,19 +220,19 @@ TEST(Fabric, ByteConservationEgressEqualsIngress) {
   Fabric fab(s, c);
   for (int i = 0; i < 10; ++i) {
     FlowSpec f;
-    f.src = i % 4;
-    f.dst = (i + 1) % 4;
-    f.bytes = 100'000 * (i + 1);
+    f.src = tls::net::HostId{i % 4};
+    f.dst = tls::net::HostId{(i + 1) % 4};
+    f.bytes = tls::net::Bytes{100'000 * (i + 1)};
     fab.start_flow(f, [](const FlowRecord&) {});
   }
   s.run();
-  Bytes tx = 0, rx = 0;
-  for (HostId h = 0; h < 4; ++h) {
+  Bytes tx = tls::net::Bytes{0}, rx = tls::net::Bytes{0};
+  for (HostId h = tls::net::HostId{0}; h < tls::net::HostId{4}; ++h) {
     tx += fab.egress(h).counters().bytes;
     rx += fab.ingress(h).counters().bytes;
   }
   EXPECT_EQ(tx, rx);
-  EXPECT_GT(tx, 0);
+  EXPECT_GT(tx, tls::net::Bytes{0});
 }
 
 }  // namespace

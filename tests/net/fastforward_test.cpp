@@ -29,11 +29,11 @@ TEST(FastForward, StagedDrainPreservesPerChunkCompletionTimes) {
   // (i+1)*0.1s, as if each had been polled individually.
   sim::Simulator simulator(1);
   std::vector<std::pair<std::uint32_t, sim::Time>> done;
-  EgressPort port(simulator, 1000.0, [&](const Chunk& c) {
+  EgressPort port(simulator, Rate{1000.0}, [&](const Chunk& c) {
     done.emplace_back(c.index, simulator.now());
   });
   for (std::uint32_t i = 0; i < 100; ++i) {
-    port.submit(make_chunk(1, 100, i), FlowSpec{});
+    port.submit(make_chunk(1, tls::net::Bytes{100}, i), FlowSpec{});
   }
   simulator.run();
   ASSERT_EQ(done.size(), 100u);
@@ -45,8 +45,8 @@ TEST(FastForward, StagedDrainPreservesPerChunkCompletionTimes) {
   // carried most of the drain.
   EXPECT_GT(port.ff_promotions(), 0u);
   EXPECT_EQ(port.counters().chunks, 100u);
-  EXPECT_EQ(port.counters().bytes, 100 * 100);
-  EXPECT_EQ(port.staged_bytes(), 0);
+  EXPECT_EQ(port.counters().bytes, tls::net::Bytes{100 * 100});
+  EXPECT_EQ(port.staged_bytes(), tls::net::Bytes{0});
 }
 
 TEST(FastForward, QdiscSwapRequeuesStagedChunksAheadOfBacklog) {
@@ -55,16 +55,16 @@ TEST(FastForward, QdiscSwapRequeuesStagedChunksAheadOfBacklog) {
   // arrival order stays strictly FIFO.
   sim::Simulator simulator(1);
   std::vector<std::uint32_t> order;
-  EgressPort port(simulator, 1000.0,
+  EgressPort port(simulator, Rate{1000.0},
                   [&](const Chunk& c) { order.push_back(c.index); });
   for (std::uint32_t i = 0; i < 8; ++i) {
-    port.submit(make_chunk(1, 100, i), FlowSpec{});
+    port.submit(make_chunk(1, tls::net::Bytes{100}, i), FlowSpec{});
   }
   // Serve two chunks so a staging batch has been pulled, then swap.
   simulator.run(sim::from_seconds(0.25));
   EXPECT_GT(port.ff_promotions(), 0u);
   port.set_qdisc(std::make_unique<PrioQdisc>(3));
-  EXPECT_EQ(port.staged_bytes(), 0);
+  EXPECT_EQ(port.staged_bytes(), tls::net::Bytes{0});
   simulator.run();
   ASSERT_EQ(order.size(), 8u);
   for (std::uint32_t i = 0; i < 8; ++i) EXPECT_EQ(order[i], i);
@@ -77,9 +77,9 @@ TEST(FastForward, DisabledWhenTracerAttached) {
   obs::Tracer tracer;
   simulator.set_tracer(&tracer);
   int done = 0;
-  EgressPort port(simulator, 1000.0, [&](const Chunk&) { ++done; });
+  EgressPort port(simulator, Rate{1000.0}, [&](const Chunk&) { ++done; });
   for (std::uint32_t i = 0; i < 20; ++i) {
-    port.submit(make_chunk(1, 100, i), FlowSpec{});
+    port.submit(make_chunk(1, tls::net::Bytes{100}, i), FlowSpec{});
   }
   simulator.run();
   EXPECT_EQ(done, 20);
@@ -90,10 +90,10 @@ TEST(FastForward, DisabledWhenTracerAttached) {
 TEST(FastForward, DisabledForNonFifoStableQdiscs) {
   sim::Simulator simulator(1);
   int done = 0;
-  EgressPort port(simulator, 1000.0, [&](const Chunk&) { ++done; });
+  EgressPort port(simulator, Rate{1000.0}, [&](const Chunk&) { ++done; });
   port.set_qdisc(std::make_unique<PrioQdisc>(3));
   for (std::uint32_t i = 0; i < 20; ++i) {
-    port.submit(make_chunk(1, 100, i), FlowSpec{});
+    port.submit(make_chunk(1, tls::net::Bytes{100}, i), FlowSpec{});
   }
   simulator.run();
   EXPECT_EQ(done, 20);
@@ -103,9 +103,9 @@ TEST(FastForward, DisabledForNonFifoStableQdiscs) {
 TEST(FastForward, PollsAndPromotionsAccountForEveryChunk) {
   sim::Simulator simulator(1);
   int done = 0;
-  EgressPort port(simulator, 1000.0, [&](const Chunk&) { ++done; });
+  EgressPort port(simulator, Rate{1000.0}, [&](const Chunk&) { ++done; });
   for (std::uint32_t i = 0; i < 50; ++i) {
-    port.submit(make_chunk(1, 100, i), FlowSpec{});
+    port.submit(make_chunk(1, tls::net::Bytes{100}, i), FlowSpec{});
   }
   simulator.run();
   EXPECT_EQ(done, 50);

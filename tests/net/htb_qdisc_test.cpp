@@ -29,7 +29,7 @@ TEST(Htb, AddClassValidation) {
   EXPECT_TRUE(q.add_class(leaf(1, mbps(1), gbps(10), 0)));
   EXPECT_FALSE(q.add_class(leaf(1, mbps(1), gbps(10), 0)));  // duplicate
   EXPECT_FALSE(q.add_class(leaf(0, mbps(1), gbps(10), 0)));  // minor 0
-  EXPECT_FALSE(q.add_class(leaf(2, 0, gbps(10), 0)));        // rate 0
+  EXPECT_FALSE(q.add_class(leaf(2, Rate{0.0}, gbps(10), 0)));        // rate 0
   EXPECT_FALSE(q.add_class(leaf(2, mbps(10), mbps(1), 0)));  // ceil < rate
   EXPECT_EQ(q.class_count(), 1u);
 }
@@ -37,7 +37,7 @@ TEST(Htb, AddClassValidation) {
 TEST(Htb, ChangeClassKeepsBacklog) {
   HtbQdisc q(gbps(10));
   ASSERT_TRUE(q.add_class(leaf(1, mbps(1), gbps(10), 3)));
-  q.enqueue(make_chunk(1, 1));
+  q.enqueue(make_chunk(1, tls::net::BandId{1}));
   HtbClassConfig updated = leaf(1, mbps(2), gbps(10), 0);
   EXPECT_TRUE(q.change_class(updated));
   EXPECT_EQ(q.class_backlog(1), 100 * kKiB);
@@ -48,9 +48,9 @@ TEST(Htb, ChangeClassKeepsBacklog) {
 TEST(Htb, DeleteClassRequiresEmpty) {
   HtbQdisc q(gbps(10));
   ASSERT_TRUE(q.add_class(leaf(1, mbps(1), gbps(10), 0)));
-  q.enqueue(make_chunk(1, 1));
+  q.enqueue(make_chunk(1, tls::net::BandId{1}));
   EXPECT_FALSE(q.delete_class(1));
-  q.dequeue(0);
+  q.dequeue(tls::sim::Time{0});
   EXPECT_TRUE(q.delete_class(1));
   EXPECT_FALSE(q.delete_class(1));
 }
@@ -58,16 +58,16 @@ TEST(Htb, DeleteClassRequiresEmpty) {
 TEST(Htb, UnclassifiedGoesToDefaultClass) {
   HtbQdisc q(gbps(10), /*default_minor=*/9);
   ASSERT_TRUE(q.add_class(leaf(9, gbps(10), gbps(10), 7)));
-  q.enqueue(make_chunk(1, /*band=*/42));  // no class 42 -> default 9
+  q.enqueue(make_chunk(1, /*band=*/tls::net::BandId{42}));  // no class 42 -> default 9
   EXPECT_EQ(q.class_backlog(9), 100 * kKiB);
 }
 
 TEST(Htb, UnclassifiedWithoutDefaultUsesDirectQueue) {
   HtbQdisc q(gbps(10));
-  q.enqueue(make_chunk(1, 42));
+  q.enqueue(make_chunk(1, tls::net::BandId{42}));
   EXPECT_EQ(q.backlog_chunks(), 1u);
   // Direct queue is unshaped: dequeue succeeds immediately.
-  EXPECT_EQ(q.dequeue(0).kind, DequeueResult::Kind::kChunk);
+  EXPECT_EQ(q.dequeue(tls::sim::Time{0}).kind, DequeueResult::Kind::kChunk);
 }
 
 TEST(Htb, PriorityOrderAmongBorrowingClasses) {
@@ -77,11 +77,11 @@ TEST(Htb, PriorityOrderAmongBorrowingClasses) {
   // Both classes start with full burst buckets (green); after the first
   // chunk each goes negative and must borrow: prio 0 wins.
   for (int i = 0; i < 8; ++i) {
-    q.enqueue(make_chunk(1, 1));
-    q.enqueue(make_chunk(2, 2));
+    q.enqueue(make_chunk(1, tls::net::BandId{1}));
+    q.enqueue(make_chunk(2, tls::net::BandId{2}));
   }
   int served2_first10 = 0;
-  sim::Time now = 0;
+  sim::Time now = tls::sim::Time{0};
   for (int served = 0; served < 10;) {
     DequeueResult r = q.dequeue(now);
     if (r.kind == DequeueResult::Kind::kChunk) {
@@ -106,9 +106,9 @@ TEST(Htb, RateLimitEnforcedWithoutBorrowing) {
   cfg.cburst = 100 * kKiB;
   ASSERT_TRUE(q.add_class(cfg));
   const int chunks = 30;
-  for (int i = 0; i < chunks; ++i) q.enqueue(make_chunk(1, 1, 100 * kKiB));
-  sim::Time now = 0;
-  Bytes sent = 0;
+  for (int i = 0; i < chunks; ++i) q.enqueue(make_chunk(1, tls::net::BandId{1}, 100 * kKiB));
+  sim::Time now = tls::sim::Time{0};
+  Bytes sent = tls::net::Bytes{0};
   while (q.backlog_chunks() > 0) {
     DequeueResult res = q.dequeue(now);
     if (res.kind == DequeueResult::Kind::kChunk) {
@@ -121,18 +121,18 @@ TEST(Htb, RateLimitEnforcedWithoutBorrowing) {
     }
   }
   double seconds = sim::to_seconds(now);
-  double achieved = static_cast<double>(sent) / seconds;
+  double achieved = to_double(sent) / seconds;
   // Within 25% of the configured rate (token burst lets the start run hot).
-  EXPECT_LT(achieved, r * 1.25);
-  EXPECT_GT(achieved, r * 0.6);
+  EXPECT_LT(achieved, to_double(r) * 1.25);
+  EXPECT_GT(achieved, to_double(r) * 0.6);
 }
 
 TEST(Htb, WorkConservingViaBorrowing) {
   // rate tiny, ceil = link: class must still push at link speed.
   HtbQdisc q(gbps(10));
   ASSERT_TRUE(q.add_class(leaf(1, mbps(1), gbps(10), 0)));
-  for (int i = 0; i < 50; ++i) q.enqueue(make_chunk(1, 1, 128 * kKiB));
-  sim::Time now = 0;
+  for (int i = 0; i < 50; ++i) q.enqueue(make_chunk(1, tls::net::BandId{1}, 128 * kKiB));
+  sim::Time now = tls::sim::Time{0};
   int direct_serves = 0;
   while (q.backlog_chunks() > 0) {
     DequeueResult r = q.dequeue(now);
@@ -144,8 +144,8 @@ TEST(Htb, WorkConservingViaBorrowing) {
     }
   }
   double seconds = sim::to_seconds(now);
-  double achieved = 50.0 * 128 * kKiB / seconds;
-  EXPECT_GT(achieved, gbps(10) * 0.8);  // ~line rate despite 1mbit assured
+  double achieved = 50.0 * to_double(128 * kKiB) / seconds;
+  EXPECT_GT(achieved, to_double(gbps(10)) * 0.8);  // ~line rate despite 1mbit assured
   EXPECT_EQ(direct_serves, 50);
 }
 
@@ -155,8 +155,8 @@ TEST(Htb, RedClassesReportRetryTime) {
   HtbClassConfig cfg = leaf(1, r, r, 0);
   ASSERT_TRUE(q.add_class(cfg));
   // Exhaust the bucket.
-  for (int i = 0; i < 10; ++i) q.enqueue(make_chunk(1, 1, 128 * kKiB));
-  sim::Time now = 0;
+  for (int i = 0; i < 10; ++i) q.enqueue(make_chunk(1, tls::net::BandId{1}, 128 * kKiB));
+  sim::Time now = tls::sim::Time{0};
   while (true) {
     DequeueResult res = q.dequeue(now);
     if (res.kind == DequeueResult::Kind::kWaitUntil) {
@@ -171,20 +171,20 @@ TEST(Htb, DrainCollectsEverything) {
   HtbQdisc q(gbps(10), 9);
   ASSERT_TRUE(q.add_class(leaf(1, mbps(1), gbps(10), 0)));
   ASSERT_TRUE(q.add_class(leaf(9, mbps(1), gbps(10), 7)));
-  q.enqueue(make_chunk(1, 1));
-  q.enqueue(make_chunk(2, 42));  // default class
-  q.enqueue(make_chunk(3, 99));  // default class
+  q.enqueue(make_chunk(1, tls::net::BandId{1}));
+  q.enqueue(make_chunk(2, tls::net::BandId{42}));  // default class
+  q.enqueue(make_chunk(3, tls::net::BandId{99}));  // default class
   std::vector<Chunk> out;
   q.drain(out);
   EXPECT_EQ(out.size(), 3u);
   EXPECT_EQ(q.backlog_chunks(), 0u);
-  EXPECT_EQ(q.backlog_bytes(), 0);
+  EXPECT_EQ(q.backlog_bytes(), tls::net::Bytes{0});
 }
 
 TEST(Htb, EmptyDequeueIsIdle) {
   HtbQdisc q(gbps(10));
   q.add_class(leaf(1, mbps(1), gbps(10), 0));
-  EXPECT_EQ(q.dequeue(0).kind, DequeueResult::Kind::kIdle);
+  EXPECT_EQ(q.dequeue(tls::sim::Time{0}).kind, DequeueResult::Kind::kIdle);
 }
 
 TEST(Htb, ClassConfigRoundTrips) {
@@ -194,8 +194,8 @@ TEST(Htb, ClassConfigRoundTrips) {
   ASSERT_TRUE(q.add_class(cfg));
   auto got = q.class_config(5);
   ASSERT_TRUE(got);
-  EXPECT_DOUBLE_EQ(got->rate, mbps(3));
-  EXPECT_DOUBLE_EQ(got->ceil, gbps(2));
+  EXPECT_DOUBLE_EQ(to_double(got->rate), to_double(mbps(3)));
+  EXPECT_DOUBLE_EQ(to_double(got->ceil), to_double(gbps(2)));
   EXPECT_EQ(got->prio, 4);
   EXPECT_EQ(got->quantum, 64 * kKiB);
   EXPECT_FALSE(q.class_config(6));

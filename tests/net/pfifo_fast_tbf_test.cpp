@@ -7,7 +7,7 @@
 namespace tls::net {
 namespace {
 
-Chunk kinded_chunk(FlowId flow, FlowKind kind, Bytes size = 1000) {
+Chunk kinded_chunk(FlowId flow, FlowKind kind, Bytes size = Bytes{1000}) {
   Chunk c;
   c.flow = flow;
   c.kind = kind;
@@ -27,27 +27,27 @@ TEST(PfifoFast, ControlPreemptsBestEffortPreemptsBulk) {
   q.enqueue(kinded_chunk(1, FlowKind::kBulk));
   q.enqueue(kinded_chunk(2, FlowKind::kModelUpdate));
   q.enqueue(kinded_chunk(3, FlowKind::kControl));
-  EXPECT_EQ(q.dequeue(0).chunk.flow, 3u);
-  EXPECT_EQ(q.dequeue(0).chunk.flow, 2u);
-  EXPECT_EQ(q.dequeue(0).chunk.flow, 1u);
+  EXPECT_EQ(q.dequeue(tls::sim::Time{0}).chunk.flow, 3u);
+  EXPECT_EQ(q.dequeue(tls::sim::Time{0}).chunk.flow, 2u);
+  EXPECT_EQ(q.dequeue(tls::sim::Time{0}).chunk.flow, 1u);
 }
 
 TEST(PfifoFast, FifoWithinBand) {
   PfifoFastQdisc q;
   q.enqueue(kinded_chunk(1, FlowKind::kModelUpdate));
   q.enqueue(kinded_chunk(2, FlowKind::kGradientUpdate));
-  EXPECT_EQ(q.dequeue(0).chunk.flow, 1u);
-  EXPECT_EQ(q.dequeue(0).chunk.flow, 2u);
+  EXPECT_EQ(q.dequeue(tls::sim::Time{0}).chunk.flow, 1u);
+  EXPECT_EQ(q.dequeue(tls::sim::Time{0}).chunk.flow, 2u);
 }
 
 TEST(PfifoFast, BacklogAndDrain) {
   PfifoFastQdisc q;
-  q.enqueue(kinded_chunk(1, FlowKind::kControl, 100));
-  q.enqueue(kinded_chunk(2, FlowKind::kBulk, 200));
-  EXPECT_EQ(q.backlog_bytes(), 300);
+  q.enqueue(kinded_chunk(1, FlowKind::kControl, tls::net::Bytes{100}));
+  q.enqueue(kinded_chunk(2, FlowKind::kBulk, tls::net::Bytes{200}));
+  EXPECT_EQ(q.backlog_bytes(), tls::net::Bytes{300});
   EXPECT_EQ(q.backlog_chunks(), 2u);
-  EXPECT_EQ(q.band_backlog(0), 100);
-  EXPECT_EQ(q.band_backlog(2), 200);
+  EXPECT_EQ(q.band_backlog(0), tls::net::Bytes{100});
+  EXPECT_EQ(q.band_backlog(2), tls::net::Bytes{200});
   std::vector<Chunk> out;
   q.drain(out);
   EXPECT_EQ(out.size(), 2u);
@@ -57,9 +57,9 @@ TEST(PfifoFast, BacklogAndDrain) {
 
 TEST(PfifoFast, StatsAndText) {
   PfifoFastQdisc q;
-  q.enqueue(kinded_chunk(1, FlowKind::kModelUpdate, 500));
-  q.dequeue(0);
-  EXPECT_EQ(q.stats().bytes_sent, 500);
+  q.enqueue(kinded_chunk(1, FlowKind::kModelUpdate, tls::net::Bytes{500}));
+  q.dequeue(tls::sim::Time{0});
+  EXPECT_EQ(q.stats().bytes_sent, tls::net::Bytes{500});
   EXPECT_NE(q.stats_text().find("pfifo_fast"), std::string::npos);
   EXPECT_EQ(q.kind(), "pfifo_fast");
 }
@@ -70,8 +70,8 @@ TEST(Tbf, ShapesToConfiguredRate) {
   cfg.burst = 100 * kKiB;
   TbfQdisc q(cfg);
   for (int i = 0; i < 20; ++i) q.enqueue(kinded_chunk(1, FlowKind::kBulk, 100 * kKiB));
-  sim::Time now = 0;
-  Bytes sent = 0;
+  sim::Time now = tls::sim::Time{0};
+  Bytes sent = tls::net::Bytes{0};
   while (q.backlog_chunks() > 0) {
     DequeueResult r = q.dequeue(now);
     if (r.kind == DequeueResult::Kind::kChunk) {
@@ -83,7 +83,7 @@ TEST(Tbf, ShapesToConfiguredRate) {
       now = r.retry_at;
     }
   }
-  double achieved = static_cast<double>(sent) / sim::to_seconds(now);
+  Rate achieved{to_double(sent) / sim::to_seconds(now)};
   EXPECT_LT(achieved, cfg.rate * 1.25);
   EXPECT_GT(achieved, cfg.rate * 0.6);
   EXPECT_GT(q.stats().overlimits, 0u);
@@ -97,15 +97,15 @@ TEST(Tbf, BurstAllowsInitialLineRate) {
   for (int i = 0; i < 8; ++i) q.enqueue(kinded_chunk(1, FlowKind::kBulk, 128 * kKiB));
   // The full burst fits in the bucket: all 8 chunks leave without waiting.
   for (int i = 0; i < 8; ++i) {
-    EXPECT_EQ(q.dequeue(0).kind, DequeueResult::Kind::kChunk);
+    EXPECT_EQ(q.dequeue(tls::sim::Time{0}).kind, DequeueResult::Kind::kChunk);
   }
 }
 
 TEST(Tbf, EmptyIsIdleAndValidates) {
   TbfQdisc q({mbps(1), 64 * kKiB});
-  EXPECT_EQ(q.dequeue(0).kind, DequeueResult::Kind::kIdle);
-  EXPECT_THROW(TbfQdisc({0, 64 * kKiB}), std::invalid_argument);
-  EXPECT_THROW(TbfQdisc({mbps(1), 0}), std::invalid_argument);
+  EXPECT_EQ(q.dequeue(tls::sim::Time{0}).kind, DequeueResult::Kind::kIdle);
+  EXPECT_THROW(TbfQdisc({Rate{0.0}, 64 * kKiB}), std::invalid_argument);
+  EXPECT_THROW(TbfQdisc({mbps(1), Bytes{0}}), std::invalid_argument);
 }
 
 TEST(Tbf, DrainKeepsOrder) {
@@ -116,7 +116,7 @@ TEST(Tbf, DrainKeepsOrder) {
   q.drain(out);
   ASSERT_EQ(out.size(), 2u);
   EXPECT_EQ(out[0].flow, 1u);
-  EXPECT_EQ(q.backlog_bytes(), 0);
+  EXPECT_EQ(q.backlog_bytes(), tls::net::Bytes{0});
 }
 
 }  // namespace

@@ -30,11 +30,11 @@ class WdrrWeightRatio : public ::testing::TestWithParam<double> {};
 
 TEST_P(WdrrWeightRatio, ServiceShareTracksWeights) {
   double ratio = GetParam();  // weight of flow 1 relative to flow 2
-  WdrrBand band(100);
+  WdrrBand band(tls::net::Bytes{100});
   const int chunks_per_flow = 600;
   for (int i = 0; i < chunks_per_flow; ++i) {
-    band.enqueue(make_chunk(1, 0, 100, ratio));
-    band.enqueue(make_chunk(2, 0, 100, 1.0));
+    band.enqueue(make_chunk(1, tls::net::BandId{0}, tls::net::Bytes{100}, ratio));
+    band.enqueue(make_chunk(2, tls::net::BandId{0}, tls::net::Bytes{100}, 1.0));
   }
   // Serve while both flows stay backlogged; stop early so neither drains.
   std::map<FlowId, int> served;
@@ -90,7 +90,7 @@ TEST_P(QdiscConservation, EveryChunkServedExactlyOnce) {
   }
 
   std::map<std::pair<FlowId, std::uint32_t>, int> seen;
-  Bytes total_in = 0;
+  Bytes total_in = tls::net::Bytes{0};
   int n = 0;
   for (FlowId f = 1; f <= 12; ++f) {
     for (std::uint32_t i = 0; i < 10; ++i) {
@@ -101,8 +101,8 @@ TEST_P(QdiscConservation, EveryChunkServedExactlyOnce) {
       ++n;
     }
   }
-  Bytes total_out = 0;
-  sim::Time now = 0;
+  Bytes total_out = tls::net::Bytes{0};
+  sim::Time now = tls::sim::Time{0};
   int served = 0;
   while (q->backlog_chunks() > 0 && served <= n) {
     DequeueResult r = q->dequeue(now);
@@ -147,9 +147,9 @@ TEST_P(TbfRateSweep, AchievedRateWithinTolerance) {
   cfg.burst = 128 * kKiB;
   TbfQdisc q(cfg);
   const int chunks = 40;
-  for (int i = 0; i < chunks; ++i) q.enqueue(make_chunk(1, 0, 128 * kKiB));
-  sim::Time now = 0;
-  Bytes sent = 0;
+  for (int i = 0; i < chunks; ++i) q.enqueue(make_chunk(1, tls::net::BandId{0}, 128 * kKiB));
+  sim::Time now = tls::sim::Time{0};
+  Bytes sent = tls::net::Bytes{0};
   while (q.backlog_chunks() > 0) {
     DequeueResult r = q.dequeue(now);
     if (r.kind == DequeueResult::Kind::kChunk) {
@@ -159,9 +159,9 @@ TEST_P(TbfRateSweep, AchievedRateWithinTolerance) {
       now = r.retry_at;
     }
   }
-  double achieved = static_cast<double>(sent) / sim::to_seconds(now);
-  EXPECT_LT(achieved, rate * 1.2);
-  EXPECT_GT(achieved, rate * 0.7);
+  double achieved = to_double(sent) / sim::to_seconds(now);
+  EXPECT_LT(achieved, to_double(rate) * 1.2);
+  EXPECT_GT(achieved, to_double(rate) * 0.7);
 }
 
 INSTANTIATE_TEST_SUITE_P(Rates, TbfRateSweep,
@@ -180,7 +180,7 @@ TEST(PriorityDominance, PrioNeverServesLowerWhileHigherBacklogged) {
   sim::Rng rng(9);
   for (int i = 0; i < 200; ++i) {
     q.enqueue(make_chunk(static_cast<FlowId>(rng.uniform_u64(20)),
-                         static_cast<BandId>(rng.uniform_u64(6)), 1000));
+                         static_cast<BandId>(rng.uniform_u64(6)), tls::net::Bytes{1000}));
   }
   // Track remaining backlog per band; every dequeue must come from the
   // highest nonempty band.
@@ -192,9 +192,9 @@ TEST(PriorityDominance, PrioNeverServesLowerWhileHigherBacklogged) {
         break;
       }
     }
-    DequeueResult r = q.dequeue(0);
+    DequeueResult r = q.dequeue(tls::sim::Time{0});
     ASSERT_EQ(r.kind, DequeueResult::Kind::kChunk);
-    EXPECT_EQ(r.chunk.band, highest);
+    EXPECT_EQ(r.chunk.band, tls::net::BandId{highest});
   }
 }
 

@@ -18,26 +18,26 @@ Chunk make_chunk(FlowId flow, BandId band, Bytes size) {
 
 TEST(QdiscStats, PfifoCountsSentBytes) {
   PfifoQdisc q;
-  q.enqueue(make_chunk(1, 0, 100));
-  q.enqueue(make_chunk(2, 0, 250));
-  q.dequeue(0);
-  EXPECT_EQ(q.stats().bytes_sent, 100);
+  q.enqueue(make_chunk(1, tls::net::BandId{0}, tls::net::Bytes{100}));
+  q.enqueue(make_chunk(2, tls::net::BandId{0}, tls::net::Bytes{250}));
+  q.dequeue(tls::sim::Time{0});
+  EXPECT_EQ(q.stats().bytes_sent, tls::net::Bytes{100});
   EXPECT_EQ(q.stats().chunks_sent, 1u);
-  q.dequeue(0);
-  EXPECT_EQ(q.stats().bytes_sent, 350);
+  q.dequeue(tls::sim::Time{0});
+  EXPECT_EQ(q.stats().bytes_sent, tls::net::Bytes{350});
   EXPECT_NE(q.stats_text().find("sent 350 bytes"), std::string::npos);
 }
 
 TEST(QdiscStats, PrioTracksPerBand) {
   PrioQdisc q(3);
-  q.enqueue(make_chunk(1, 0, 100));
-  q.enqueue(make_chunk(2, 2, 200));
-  q.dequeue(0);
-  q.dequeue(0);
-  EXPECT_EQ(q.stats().bytes_sent, 300);
-  EXPECT_EQ(q.band_stats(0).bytes_sent, 100);
-  EXPECT_EQ(q.band_stats(1).bytes_sent, 0);
-  EXPECT_EQ(q.band_stats(2).bytes_sent, 200);
+  q.enqueue(make_chunk(1, tls::net::BandId{0}, tls::net::Bytes{100}));
+  q.enqueue(make_chunk(2, tls::net::BandId{2}, tls::net::Bytes{200}));
+  q.dequeue(tls::sim::Time{0});
+  q.dequeue(tls::sim::Time{0});
+  EXPECT_EQ(q.stats().bytes_sent, tls::net::Bytes{300});
+  EXPECT_EQ(q.band_stats(0).bytes_sent, tls::net::Bytes{100});
+  EXPECT_EQ(q.band_stats(1).bytes_sent, tls::net::Bytes{0});
+  EXPECT_EQ(q.band_stats(2).bytes_sent, tls::net::Bytes{200});
   EXPECT_NE(q.stats_text().find("band 2"), std::string::npos);
 }
 
@@ -50,8 +50,8 @@ TEST(QdiscStats, HtbDistinguishesGreenFromYellow) {
   cfg.burst = 200 * kKiB;  // enough for exactly the first chunks
   cfg.cburst = 200 * kKiB;
   ASSERT_TRUE(q.add_class(cfg));
-  for (int i = 0; i < 6; ++i) q.enqueue(make_chunk(1, 1, 128 * kKiB));
-  sim::Time now = 0;
+  for (int i = 0; i < 6; ++i) q.enqueue(make_chunk(1, tls::net::BandId{1}, 128 * kKiB));
+  sim::Time now = tls::sim::Time{0};
   while (q.backlog_chunks() > 0) {
     DequeueResult r = q.dequeue(now);
     if (r.kind == DequeueResult::Kind::kChunk) {
@@ -76,8 +76,8 @@ TEST(QdiscStats, HtbOverlimitsCounted) {
   cfg.rate = mbps(8);
   cfg.ceil = mbps(8);  // hard cap: stalls are guaranteed
   ASSERT_TRUE(q.add_class(cfg));
-  for (int i = 0; i < 4; ++i) q.enqueue(make_chunk(1, 1, 128 * kKiB));
-  sim::Time now = 0;
+  for (int i = 0; i < 4; ++i) q.enqueue(make_chunk(1, tls::net::BandId{1}, 128 * kKiB));
+  sim::Time now = tls::sim::Time{0};
   while (q.backlog_chunks() > 0) {
     DequeueResult r = q.dequeue(now);
     now = r.kind == DequeueResult::Kind::kChunk
@@ -90,7 +90,7 @@ TEST(QdiscStats, HtbOverlimitsCounted) {
 TEST(QdiscStats, UnknownClassStatsEmpty) {
   HtbQdisc q(gbps(10));
   QdiscStats s = q.class_stats(42);
-  EXPECT_EQ(s.bytes_sent, 0);
+  EXPECT_EQ(s.bytes_sent, tls::net::Bytes{0});
   EXPECT_EQ(s.chunks_sent, 0u);
 }
 

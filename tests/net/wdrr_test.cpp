@@ -25,7 +25,7 @@ TEST(Wdrr, EmptyBandReturnsNothing) {
 
 TEST(Wdrr, SingleFlowFifoOrder) {
   WdrrBand band;
-  for (std::uint32_t i = 0; i < 5; ++i) band.enqueue(make_chunk(1, 100, 1.0, i));
+  for (std::uint32_t i = 0; i < 5; ++i) band.enqueue(make_chunk(1, tls::net::Bytes{100}, 1.0, i));
   for (std::uint32_t i = 0; i < 5; ++i) {
     auto c = band.dequeue();
     ASSERT_TRUE(c);
@@ -36,19 +36,19 @@ TEST(Wdrr, SingleFlowFifoOrder) {
 
 TEST(Wdrr, BacklogCountsBytesAndChunks) {
   WdrrBand band;
-  band.enqueue(make_chunk(1, 100));
-  band.enqueue(make_chunk(2, 250));
-  EXPECT_EQ(band.backlog_bytes(), 350);
+  band.enqueue(make_chunk(1, tls::net::Bytes{100}));
+  band.enqueue(make_chunk(2, tls::net::Bytes{250}));
+  EXPECT_EQ(band.backlog_bytes(), tls::net::Bytes{350});
   EXPECT_EQ(band.backlog_chunks(), 2u);
   band.dequeue();
   EXPECT_EQ(band.backlog_chunks(), 1u);
 }
 
 TEST(Wdrr, EqualWeightsShareEqually) {
-  WdrrBand band(100);
+  WdrrBand band(tls::net::Bytes{100});
   for (int i = 0; i < 50; ++i) {
-    band.enqueue(make_chunk(1, 100));
-    band.enqueue(make_chunk(2, 100));
+    band.enqueue(make_chunk(1, tls::net::Bytes{100}));
+    band.enqueue(make_chunk(2, tls::net::Bytes{100}));
   }
   std::map<FlowId, int> first20;
   for (int i = 0; i < 20; ++i) ++first20[band.dequeue()->flow];
@@ -57,10 +57,10 @@ TEST(Wdrr, EqualWeightsShareEqually) {
 }
 
 TEST(Wdrr, WeightsBiasService) {
-  WdrrBand band(100);
+  WdrrBand band(tls::net::Bytes{100});
   for (int i = 0; i < 90; ++i) {
-    band.enqueue(make_chunk(1, 100, 2.0));
-    band.enqueue(make_chunk(2, 100, 1.0));
+    band.enqueue(make_chunk(1, tls::net::Bytes{100}, 2.0));
+    band.enqueue(make_chunk(2, tls::net::Bytes{100}, 1.0));
   }
   std::map<FlowId, int> first30;
   for (int i = 0; i < 30; ++i) ++first30[band.dequeue()->flow];
@@ -70,10 +70,10 @@ TEST(Wdrr, WeightsBiasService) {
 }
 
 TEST(Wdrr, TinyWeightClampedNotStarved) {
-  WdrrBand band(100);
+  WdrrBand band(tls::net::Bytes{100});
   for (int i = 0; i < 50; ++i) {
-    band.enqueue(make_chunk(1, 100, 1e-9));  // clamped to kMinWeight
-    band.enqueue(make_chunk(2, 100, 1.0));
+    band.enqueue(make_chunk(1, tls::net::Bytes{100}, 1e-9));  // clamped to kMinWeight
+    band.enqueue(make_chunk(2, tls::net::Bytes{100}, 1.0));
   }
   int served_flow1 = 0;
   for (int i = 0; i < 60; ++i) {
@@ -85,9 +85,9 @@ TEST(Wdrr, TinyWeightClampedNotStarved) {
 TEST(Wdrr, ActiveFlowsTracksBackloggedFlows) {
   WdrrBand band;
   EXPECT_EQ(band.active_flows(), 0u);
-  band.enqueue(make_chunk(1, 100));
-  band.enqueue(make_chunk(2, 100));
-  band.enqueue(make_chunk(1, 100));
+  band.enqueue(make_chunk(1, tls::net::Bytes{100}));
+  band.enqueue(make_chunk(2, tls::net::Bytes{100}));
+  band.enqueue(make_chunk(1, tls::net::Bytes{100}));
   EXPECT_EQ(band.active_flows(), 2u);
   band.dequeue();
   band.dequeue();
@@ -97,10 +97,10 @@ TEST(Wdrr, ActiveFlowsTracksBackloggedFlows) {
 
 TEST(Wdrr, FlowReactivationAfterDrainWorks) {
   WdrrBand band;
-  band.enqueue(make_chunk(7, 100));
+  band.enqueue(make_chunk(7, tls::net::Bytes{100}));
   EXPECT_TRUE(band.dequeue());
   EXPECT_TRUE(band.empty());
-  band.enqueue(make_chunk(7, 100, 0.5, 1));
+  band.enqueue(make_chunk(7, tls::net::Bytes{100}, 0.5, 1));
   auto c = band.dequeue();
   ASSERT_TRUE(c);
   EXPECT_EQ(c->flow, 7u);
@@ -109,20 +109,20 @@ TEST(Wdrr, FlowReactivationAfterDrainWorks) {
 
 TEST(Wdrr, VariableChunkSizesServedCompletely) {
   WdrrBand band(128 * kKiB);
-  Bytes total = 0;
+  Bytes total = tls::net::Bytes{0};
   for (int i = 0; i < 10; ++i) {
-    Bytes size = 1000 * (i + 1);
+    Bytes size = tls::net::Bytes{1000 * (i + 1)};
     band.enqueue(make_chunk(static_cast<FlowId>(i % 3), size));
     total += size;
   }
-  Bytes served = 0;
+  Bytes served = tls::net::Bytes{0};
   while (auto c = band.dequeue()) served += c->size;
   EXPECT_EQ(served, total);
 }
 
 TEST(Wdrr, ManyFlowsAllServed) {
   WdrrBand band;
-  for (FlowId f = 1; f <= 100; ++f) band.enqueue(make_chunk(f, 64));
+  for (FlowId f = 1; f <= 100; ++f) band.enqueue(make_chunk(f, tls::net::Bytes{64}));
   std::map<FlowId, int> counts;
   while (auto c = band.dequeue()) ++counts[c->flow];
   EXPECT_EQ(counts.size(), 100u);

@@ -47,34 +47,34 @@ TEST(AnalysisContract, SegmentKindNames) {
 ///   PS aggregation:                              [1300..1400]
 ///   model flow 100:                                    enq....deq..arr..del
 void emit_one_iteration(Tracer& t) {
-  t.worker_compute(900, /*host=*/1, /*job=*/0, /*worker=*/0, /*iteration=*/0,
-                   /*duration=*/200);
-  t.barrier_enter(1000, /*job=*/0, /*worker=*/0, /*iteration=*/0);
-  t.flow_start(1100, /*src=*/1, /*dst=*/0, /*job=*/0, /*kind_ordinal=*/1,
-               /*flow=*/101, /*bytes=*/5000, /*iteration=*/0);
-  t.chunk_enqueue(1100, /*host=*/1, /*job=*/0, /*band=*/0, /*flow=*/101,
-                  /*index=*/0, /*bytes=*/5000);
-  t.chunk_dequeue(1150, 1, 0, 0, 101, 0, 5000, /*queue_wait=*/50);
-  t.ingress_arrive(1250, /*host=*/0, 0, 0, 101, 0, 5000);
-  t.ingress_deliver(1300, 0, 0, 0, 101, 0, 5000, /*wait=*/0, /*residence=*/50);
-  t.flow_end(1300, 1, 0, 0, 1, 101, 5000, 0, /*elapsed=*/200);
-  t.ps_aggregate(1300, /*host=*/0, /*job=*/0, /*shard=*/0, /*iteration=*/0,
-                 /*duration=*/100);
-  t.flow_start(1400, /*src=*/0, /*dst=*/1, 0, /*kind_ordinal=*/0, /*flow=*/100,
-               6000, 0);
-  t.chunk_enqueue(1400, /*host=*/0, 0, 0, 100, 0, 6000);
+  t.worker_compute(tls::sim::Time{900}, /*host=*/tls::net::HostId{1}, /*job=*/0, /*worker=*/0, /*iteration=*/0,
+                   /*duration=*/tls::sim::Time{200});
+  t.barrier_enter(tls::sim::Time{1000}, /*job=*/0, /*worker=*/0, /*iteration=*/0);
+  t.flow_start(tls::sim::Time{1100}, /*src=*/tls::net::HostId{1}, /*dst=*/tls::net::HostId{0}, /*job=*/0, /*kind_ordinal=*/1,
+               /*flow=*/101, /*bytes=*/tls::net::Bytes{5000}, /*iteration=*/0);
+  t.chunk_enqueue(tls::sim::Time{1100}, /*host=*/tls::net::HostId{1}, /*job=*/0, /*band=*/tls::net::BandId{0}, /*flow=*/101,
+                  /*index=*/0, /*bytes=*/tls::net::Bytes{5000});
+  t.chunk_dequeue(tls::sim::Time{1150}, tls::net::HostId{1}, 0, tls::net::BandId{0}, 101, 0, tls::net::Bytes{5000}, /*queue_wait=*/tls::sim::Time{50});
+  t.ingress_arrive(tls::sim::Time{1250}, /*host=*/tls::net::HostId{0}, 0, tls::net::BandId{0}, 101, 0, tls::net::Bytes{5000});
+  t.ingress_deliver(tls::sim::Time{1300}, tls::net::HostId{0}, 0, tls::net::BandId{0}, 101, 0, tls::net::Bytes{5000}, /*wait=*/tls::sim::Time{0}, /*residence=*/tls::sim::Time{50});
+  t.flow_end(tls::sim::Time{1300}, tls::net::HostId{1}, tls::net::HostId{0}, 0, 1, 101, tls::net::Bytes{5000}, 0, /*elapsed=*/tls::sim::Time{200});
+  t.ps_aggregate(tls::sim::Time{1300}, /*host=*/tls::net::HostId{0}, /*job=*/0, /*shard=*/0, /*iteration=*/0,
+                 /*duration=*/tls::sim::Time{100});
+  t.flow_start(tls::sim::Time{1400}, /*src=*/tls::net::HostId{0}, /*dst=*/tls::net::HostId{1}, 0, /*kind_ordinal=*/0, /*flow=*/100,
+               tls::net::Bytes{6000}, 0);
+  t.chunk_enqueue(tls::sim::Time{1400}, /*host=*/tls::net::HostId{0}, 0, tls::net::BandId{0}, 100, 0, tls::net::Bytes{6000});
   // Inside flow 100's egress-queue log window (enqueue..dequeue):
-  t.chunk_dequeue(1450, 0, /*job=*/1, /*band=*/2, /*flow=*/999, 0, 7777, 0);
-  t.chunk_dequeue(1500, /*host=*/1, 1, 2, 998, 0, 1111, 0);  // other host
-  t.chunk_dequeue(1520, 0, /*job=*/0, 0, /*flow=*/555, 0, 3333, 0);  // self
-  t.chunk_dequeue(1540, 0, 0, 0, /*flow=*/100, 1, 500, 0);  // own pipeline
-  t.chunk_dequeue(1600, 0, 0, 0, 100, 0, 6000, /*queue_wait=*/200);
+  t.chunk_dequeue(tls::sim::Time{1450}, tls::net::HostId{0}, /*job=*/1, /*band=*/tls::net::BandId{2}, /*flow=*/999, 0, tls::net::Bytes{7777}, tls::sim::Time{0});
+  t.chunk_dequeue(tls::sim::Time{1500}, /*host=*/tls::net::HostId{1}, 1, tls::net::BandId{2}, 998, 0, tls::net::Bytes{1111}, tls::sim::Time{0});  // other host
+  t.chunk_dequeue(tls::sim::Time{1520}, tls::net::HostId{0}, /*job=*/0, tls::net::BandId{0}, /*flow=*/555, 0, tls::net::Bytes{3333}, tls::sim::Time{0});  // self
+  t.chunk_dequeue(tls::sim::Time{1540}, tls::net::HostId{0}, 0, tls::net::BandId{0}, /*flow=*/100, 1, tls::net::Bytes{500}, tls::sim::Time{0});  // own pipeline
+  t.chunk_dequeue(tls::sim::Time{1600}, tls::net::HostId{0}, 0, tls::net::BandId{0}, 100, 0, tls::net::Bytes{6000}, /*queue_wait=*/tls::sim::Time{200});
   // After the victim's dequeue: outside the window.
-  t.chunk_dequeue(1650, 0, 1, 2, /*flow=*/997, 0, 2222, 0);
-  t.ingress_arrive(1800, /*host=*/1, 0, 0, 100, 0, 6000);
-  t.ingress_deliver(2000, 1, 0, 0, 100, 0, 6000, 0, /*residence=*/200);
-  t.flow_end(2000, 0, 1, 0, 0, 100, 6000, 0, /*elapsed=*/600);
-  t.barrier_release(2000, 0, 0, 0, /*wait=*/1000);
+  t.chunk_dequeue(tls::sim::Time{1650}, tls::net::HostId{0}, 1, tls::net::BandId{2}, /*flow=*/997, 0, tls::net::Bytes{2222}, tls::sim::Time{0});
+  t.ingress_arrive(tls::sim::Time{1800}, /*host=*/tls::net::HostId{1}, 0, tls::net::BandId{0}, 100, 0, tls::net::Bytes{6000});
+  t.ingress_deliver(tls::sim::Time{2000}, tls::net::HostId{1}, 0, tls::net::BandId{0}, 100, 0, tls::net::Bytes{6000}, tls::sim::Time{0}, /*residence=*/tls::sim::Time{200});
+  t.flow_end(tls::sim::Time{2000}, tls::net::HostId{0}, tls::net::HostId{1}, 0, 0, 100, tls::net::Bytes{6000}, 0, /*elapsed=*/tls::sim::Time{600});
+  t.barrier_release(tls::sim::Time{2000}, 0, 0, 0, /*wait=*/tls::sim::Time{1000});
 }
 
 std::vector<TraceEvent> one_iteration_trace() {
@@ -90,18 +90,18 @@ TEST(Analysis, DecomposesOneIterationExactly) {
   EXPECT_EQ(r.job, 0);
   EXPECT_EQ(r.iteration, 0);
   EXPECT_EQ(r.critical_worker, 0);
-  EXPECT_EQ(r.enter_at, 1000);
-  EXPECT_EQ(r.release_at, 2000);
-  EXPECT_EQ(r.barrier_wait, 1000);
+  EXPECT_EQ(r.enter_at, tls::sim::Time{1000});
+  EXPECT_EQ(r.release_at, tls::sim::Time{2000});
+  EXPECT_EQ(r.barrier_wait, tls::sim::Time{1000});
 
   // Hand-computed decomposition: worker compute clamped to the barrier
   // window [1000,1100], gradient chunk 50+100+50, aggregation 100, model
   // chunk 200+200+200.
-  EXPECT_EQ(r.compute_ns, 200);
-  EXPECT_EQ(r.egress_queue_ns, 250);
-  EXPECT_EQ(r.serialization_ns, 300);
-  EXPECT_EQ(r.fan_in_ns, 250);
-  EXPECT_EQ(r.other_ns, 0);
+  EXPECT_EQ(r.compute_ns, tls::sim::Time{200});
+  EXPECT_EQ(r.egress_queue_ns, tls::sim::Time{250});
+  EXPECT_EQ(r.serialization_ns, tls::sim::Time{300});
+  EXPECT_EQ(r.fan_in_ns, tls::sim::Time{250});
+  EXPECT_EQ(r.other_ns, tls::sim::Time{0});
   EXPECT_EQ(r.compute_ns + r.egress_queue_ns + r.serialization_ns +
                 r.fan_in_ns + r.other_ns,
             r.barrier_wait);
@@ -146,7 +146,7 @@ TEST(Analysis, BlameWindowCountsForeignDequeuesOnly) {
   ASSERT_EQ(report.jobs.size(), 1u);
   EXPECT_EQ(report.jobs[0].cross_job_blame_bytes, 7777);
   EXPECT_EQ(report.jobs[0].self_blame_bytes, 3333);
-  EXPECT_EQ(report.jobs[0].total_wait_ns, 1000);
+  EXPECT_EQ(report.jobs[0].total_wait_ns, tls::sim::Time{1000});
   EXPECT_EQ(report.jobs[0].iterations, 1);
 }
 
@@ -154,12 +154,12 @@ TEST(Analysis, BareBarrierEventsFallToOther) {
   // No compute/flow events at all: the whole window is unattributable and
   // must land in `other` — never dropped, never crashing.
   Tracer t;
-  t.barrier_enter(700, 0, 0, 0);
-  t.barrier_release(1000, 0, /*worker=*/0, 0, /*wait=*/300);
+  t.barrier_enter(tls::sim::Time{700}, 0, 0, 0);
+  t.barrier_release(tls::sim::Time{1000}, 0, /*worker=*/0, 0, /*wait=*/tls::sim::Time{300});
   RunReport report = analyze(t.events());
   ASSERT_EQ(report.iterations.size(), 1u);
   const IterationReport& r = report.iterations[0];
-  EXPECT_EQ(r.other_ns, 300);
+  EXPECT_EQ(r.other_ns, tls::sim::Time{300});
   EXPECT_EQ(r.other_ns, r.barrier_wait);
   ASSERT_EQ(r.segments.size(), 1u);
   EXPECT_EQ(r.segments[0].kind, SegmentKind::kOther);
@@ -168,21 +168,21 @@ TEST(Analysis, BareBarrierEventsFallToOther) {
 
 TEST(Analysis, CriticalWorkerIsLargestWaitFirstInLogOnTies) {
   Tracer t;
-  t.barrier_release(1000, 0, /*worker=*/0, 0, /*wait=*/100);
-  t.barrier_release(1000, 0, /*worker=*/1, 0, /*wait=*/300);
-  t.barrier_release(2000, 0, /*worker=*/2, 1, /*wait=*/250);
-  t.barrier_release(2000, 0, /*worker=*/3, 1, /*wait=*/250);
+  t.barrier_release(tls::sim::Time{1000}, 0, /*worker=*/0, 0, /*wait=*/tls::sim::Time{100});
+  t.barrier_release(tls::sim::Time{1000}, 0, /*worker=*/1, 0, /*wait=*/tls::sim::Time{300});
+  t.barrier_release(tls::sim::Time{2000}, 0, /*worker=*/2, 1, /*wait=*/tls::sim::Time{250});
+  t.barrier_release(tls::sim::Time{2000}, 0, /*worker=*/3, 1, /*wait=*/tls::sim::Time{250});
   RunReport report = analyze(t.events());
   ASSERT_EQ(report.iterations.size(), 2u);
   EXPECT_EQ(report.iterations[0].critical_worker, 1);  // strictly larger
-  EXPECT_EQ(report.iterations[0].barrier_wait, 300);
+  EXPECT_EQ(report.iterations[0].barrier_wait, tls::sim::Time{300});
   EXPECT_EQ(report.iterations[1].critical_worker, 2);  // tie: log order
 }
 
 TEST(Analysis, StartupBroadcastIterationIsSkipped) {
   // iteration -1 tags the startup model broadcast; it is not a barrier.
   Tracer t;
-  t.barrier_release(500, 0, 0, /*iteration=*/-1, 100);
+  t.barrier_release(tls::sim::Time{500}, 0, 0, /*iteration=*/-1, tls::sim::Time{100});
   RunReport report = analyze(t.events());
   EXPECT_TRUE(report.iterations.empty());
   EXPECT_TRUE(report.jobs.empty());
@@ -307,23 +307,23 @@ RunReport report_with(std::int32_t job, std::int64_t iteration,
 }
 
 TEST(AnalysisDiff, AlignsRowsAndFlagsMissingIterations) {
-  RunReport a = report_with(0, 0, 500, 100);
-  RunReport b = report_with(0, 1, 400, 0);  // different iteration
+  RunReport a = report_with(0, 0, tls::sim::Time{500}, 100);
+  RunReport b = report_with(0, 1, tls::sim::Time{400}, 0);  // different iteration
   DiffReport d = diff_reports(a, b, "fifo", "tls-one");
   EXPECT_EQ(d.label_a, "fifo");
   EXPECT_EQ(d.label_b, "tls-one");
   ASSERT_EQ(d.rows.size(), 2u);
   EXPECT_EQ(d.rows[0].iteration, 0);
-  EXPECT_EQ(d.rows[0].wait_a, 500);
-  EXPECT_EQ(d.rows[0].wait_b, -1);  // missing on the B side
+  EXPECT_EQ(d.rows[0].wait_a, tls::sim::Time{500});
+  EXPECT_EQ(d.rows[0].wait_b, tls::sim::Time{-1});  // missing on the B side
   EXPECT_EQ(d.rows[1].iteration, 1);
-  EXPECT_EQ(d.rows[1].wait_a, -1);
-  EXPECT_EQ(d.rows[1].wait_b, 400);
+  EXPECT_EQ(d.rows[1].wait_a, tls::sim::Time{-1});
+  EXPECT_EQ(d.rows[1].wait_b, tls::sim::Time{400});
 }
 
 TEST(AnalysisDiff, CertifiesCrossJobBlameElimination) {
-  DiffReport d = diff_reports(report_with(0, 0, 500, 4096),
-                              report_with(0, 0, 300, 0), "fifo", "tls-one");
+  DiffReport d = diff_reports(report_with(0, 0, tls::sim::Time{500}, 4096),
+                              report_with(0, 0, tls::sim::Time{300}, 0), "fifo", "tls-one");
   ASSERT_EQ(d.jobs.size(), 1u);
   EXPECT_EQ(d.jobs[0].cross_blame_a, 4096);
   EXPECT_EQ(d.jobs[0].cross_blame_b, 0);
@@ -332,8 +332,8 @@ TEST(AnalysisDiff, CertifiesCrossJobBlameElimination) {
             std::string::npos)
       << text;
   // The tag only fires when blame actually went to zero.
-  DiffReport still = diff_reports(report_with(0, 0, 500, 4096),
-                                  report_with(0, 0, 300, 64), "a", "b");
+  DiffReport still = diff_reports(report_with(0, 0, tls::sim::Time{500}, 4096),
+                                  report_with(0, 0, tls::sim::Time{300}, 64), "a", "b");
   EXPECT_EQ(diff_text(still).find("eliminated"), std::string::npos);
 
   std::string json = diff_json(d);

@@ -20,12 +20,12 @@ TEST(ChromeTrace, EmptyTracerIsStillValidDocument) {
 
 TEST(ChromeTrace, RendersTracksInstantsAndSpansExactly) {
   Tracer t;
-  t.chunk_enqueue(1500, 0, 3, 1, 42, 7, 1000);
-  t.chunk_dequeue(2500, 0, 3, 1, 42, 7, 1000, 1000);
+  t.chunk_enqueue(tls::sim::Time{1500}, tls::net::HostId{0}, 3, tls::net::BandId{1}, 42, 7, tls::net::Bytes{1000});
+  t.chunk_dequeue(tls::sim::Time{2500}, tls::net::HostId{0}, 3, tls::net::BandId{1}, 42, 7, tls::net::Bytes{1000}, tls::sim::Time{1000});
   // A 2 ms barrier wait ending at t=5 ms renders as an "X" span starting
   // at the enter time.
-  t.barrier_release(5'000'000, 1, 0, 4, 2'000'000);
-  t.rotation(7000, 2);
+  t.barrier_release(tls::sim::Time{5'000'000}, 1, 0, 4, tls::sim::Time{2'000'000});
+  t.rotation(tls::sim::Time{7000}, 2);
   EXPECT_EQ(
       chrome_trace_json(t),
       "{\"traceEvents\":[\n"
@@ -59,7 +59,7 @@ TEST(ChromeTrace, RendersTracksInstantsAndSpansExactly) {
 
 TEST(ChromeTrace, MetadataCoversOnlyUsedTracks) {
   Tracer t;
-  t.band_service(100, 3, 0, 512);
+  t.band_service(tls::sim::Time{100}, tls::net::HostId{3}, tls::net::BandId{0}, tls::net::Bytes{512});
   std::string json = chrome_trace_json(t);
   // Host 3's NIC track is named; no jobs or controller metadata appears.
   EXPECT_NE(json.find("\"host 3 nic\""), std::string::npos);
@@ -69,8 +69,8 @@ TEST(ChromeTrace, MetadataCoversOnlyUsedTracks) {
 
 TEST(ChromeTrace, GaugeSamplesPickJobTrackWhenJobScoped) {
   Tracer t;
-  t.gauge_sample(1000, "job_iteration_lag", -1, 5, 2.0);
-  t.gauge_sample(1000, "egress_backlog_bytes", 2, -1, 300.5);
+  t.gauge_sample(tls::sim::Time{1000}, "job_iteration_lag", tls::net::HostId{-1}, 5, 2.0);
+  t.gauge_sample(tls::sim::Time{1000}, "egress_backlog_bytes", tls::net::HostId{2}, -1, 300.5);
   std::string json = chrome_trace_json(t);
   EXPECT_NE(json.find("\"job 5\""), std::string::npos);
   EXPECT_NE(json.find("\"host 2 nic\""), std::string::npos);
@@ -80,10 +80,10 @@ TEST(ChromeTrace, GaugeSamplesPickJobTrackWhenJobScoped) {
 
 TEST(TraceCsv, RendersEveryFieldExactly) {
   Tracer t;
-  t.chunk_enqueue(1500, 0, 3, 1, 42, 7, 1000);
-  t.chunk_dequeue(2500, 0, 3, 1, 42, 7, 1000, 1000);
-  t.barrier_release(5'000'000, 1, 0, 4, 2'000'000);
-  t.rotation(7000, 2);
+  t.chunk_enqueue(tls::sim::Time{1500}, tls::net::HostId{0}, 3, tls::net::BandId{1}, 42, 7, tls::net::Bytes{1000});
+  t.chunk_dequeue(tls::sim::Time{2500}, tls::net::HostId{0}, 3, tls::net::BandId{1}, 42, 7, tls::net::Bytes{1000}, tls::sim::Time{1000});
+  t.barrier_release(tls::sim::Time{5'000'000}, 1, 0, 4, tls::sim::Time{2'000'000});
+  t.rotation(tls::sim::Time{7000}, 2);
   EXPECT_EQ(trace_csv(t),
             "at_ns,kind,cat,host,job,band,flow,bytes,a,b,dur_ns\n"
             "1500,chunk_enqueue,chunk,0,3,1,42,1000,0,7,0\n"

@@ -120,9 +120,9 @@ TEST(Registry, TimeseriesCsvIsExactAndOrdered) {
   r.gauge("depth", 0, -1, -1).set(1.5);
   r.histogram("wait_ns", -1, 4, -1).record(10);
   r.histogram("wait_ns", -1, 4, -1).record(20);
-  r.record(100, "depth", 0, -1, -1, 1.5);
-  r.record(200, "depth", 0, -1, -1, 2.0);
-  EXPECT_EQ(r.timeseries_csv(1000),
+  r.record(tls::sim::Time{100}, "depth", 0, -1, -1, 1.5);
+  r.record(tls::sim::Time{200}, "depth", 0, -1, -1, 2.0);
+  EXPECT_EQ(r.timeseries_csv(tls::sim::Time{1000}),
             "t_ns,metric,kind,host,job,band,value\n"
             "100,depth,sample,0,-1,-1,1.500000\n"
             "200,depth,sample,0,-1,-1,2.000000\n"

@@ -119,7 +119,7 @@ TEST(ReportConservation, SegmentsSumExactlyToBarrierWait) {
     ASSERT_FALSE(r.segments.empty());
     EXPECT_EQ(r.segments.front().begin, r.enter_at);
     EXPECT_EQ(r.segments.back().end, r.release_at);
-    sim::Time by_kind[5] = {0, 0, 0, 0, 0};
+    sim::Time by_kind[5] = {tls::sim::Time{0}, tls::sim::Time{0}, tls::sim::Time{0}, tls::sim::Time{0}, tls::sim::Time{0}};
     for (std::size_t i = 0; i < r.segments.size(); ++i) {
       const obs::PathSegment& s = r.segments[i];
       EXPECT_LT(s.begin, s.end);
@@ -201,7 +201,7 @@ TEST(ReportConservation, BlameBytesBracketedByIndependentRecount) {
       for (const obs::TraceEvent& e : events) {
         if (e.kind == obs::EventKind::kChunkDequeue && e.host == s.host &&
             e.flow == s.flow && e.at == s.end) {
-          begin = e.at - e.a;
+          begin = e.at - sim::Time{e.a};
           break;
         }
       }

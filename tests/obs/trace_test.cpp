@@ -51,11 +51,11 @@ TEST(ParseCategories, EveryCatRoundTripsThroughItsName) {
 
 TEST(Tracer, MaskFiltersEventLog) {
   Tracer t(static_cast<std::uint32_t>(Cat::kBarrier));
-  t.chunk_enqueue(10, 0, -1, 1, 42, 0, 1000);  // filtered out
-  t.barrier_enter(20, 3, 1, 5);                // recorded
+  t.chunk_enqueue(tls::sim::Time{10}, tls::net::HostId{0}, -1, tls::net::BandId{1}, 42, 0, tls::net::Bytes{1000});  // filtered out
+  t.barrier_enter(tls::sim::Time{20}, 3, 1, 5);                // recorded
   ASSERT_EQ(t.size(), 1u);
   EXPECT_EQ(t.events()[0].kind, EventKind::kBarrierEnter);
-  EXPECT_EQ(t.events()[0].at, 20);
+  EXPECT_EQ(t.events()[0].at, tls::sim::Time{20});
   EXPECT_EQ(t.events()[0].job, 3);
   EXPECT_EQ(t.events()[0].a, 1);  // worker id rides in `a`
   EXPECT_EQ(t.events()[0].b, 5);  // iteration rides in `b`
@@ -75,7 +75,7 @@ TEST(Tracer, RegistryFedEvenForFilteredCategories) {
   Tracer t(0);
   Registry r;
   t.set_registry(&r);
-  t.chunk_dequeue(50, 2, -1, 0, 7, 0, 4096, 30);
+  t.chunk_dequeue(tls::sim::Time{50}, tls::net::HostId{2}, -1, tls::net::BandId{0}, 7, 0, tls::net::Bytes{4096}, tls::sim::Time{30});
   EXPECT_EQ(t.size(), 0u);
   EXPECT_EQ(r.counters().at(MetricKey{"bytes_drained", 2, -1, 0}).value(),
             4096);
@@ -87,8 +87,8 @@ TEST(Tracer, HtbSendSplitsGreenAndYellow) {
   Tracer t;
   Registry r;
   t.set_registry(&r);
-  t.htb_send(1, 0, 2, 100, /*borrowed=*/false);
-  t.htb_send(2, 0, 2, 250, /*borrowed=*/true);
+  t.htb_send(tls::sim::Time{1}, tls::net::HostId{0}, tls::net::BandId{2}, tls::net::Bytes{100}, /*borrowed=*/false);
+  t.htb_send(tls::sim::Time{2}, tls::net::HostId{0}, tls::net::BandId{2}, tls::net::Bytes{250}, /*borrowed=*/true);
   ASSERT_EQ(t.size(), 2u);
   EXPECT_EQ(t.events()[0].kind, EventKind::kHtbGreen);
   EXPECT_EQ(t.events()[1].kind, EventKind::kHtbYellow);
@@ -101,9 +101,9 @@ TEST(Tracer, HtbSendSplitsGreenAndYellow) {
 TEST(Tracer, EventCapCountsDrops) {
   Tracer t;
   t.set_max_events(2);
-  t.rotation(1, 0);
-  t.rotation(2, 1);
-  t.rotation(3, 2);
+  t.rotation(tls::sim::Time{1}, 0);
+  t.rotation(tls::sim::Time{2}, 1);
+  t.rotation(tls::sim::Time{3}, 2);
   EXPECT_EQ(t.size(), 2u);
   EXPECT_EQ(t.dropped(), 1u);
 }

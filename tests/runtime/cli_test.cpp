@@ -1,4 +1,4 @@
-#include "exp/cli.hpp"
+#include "runtime/cli.hpp"
 
 #include <gtest/gtest.h>
 
@@ -6,7 +6,7 @@
 #include <fstream>
 #include <sstream>
 
-namespace tls::exp {
+namespace tls::runtime {
 namespace {
 
 struct CliRun {
@@ -206,4 +206,4 @@ TEST(Cli, SweepBatchRuns) {
 }
 
 }  // namespace
-}  // namespace tls::exp
+}  // namespace tls::runtime

@@ -69,7 +69,7 @@ TEST(CanonicalConfig, CoversEveryDistinguishingField) {
   EXPECT_TRUE(differs([](auto& c) { c.controller.max_bands += 1; }));
   EXPECT_TRUE(differs([](auto& c) { c.workload.local_batch_size = 2; }));
   EXPECT_TRUE(differs([](auto& c) { c.workload.compute_sigma += 0.001; }));
-  EXPECT_TRUE(differs([](auto& c) { c.fabric.link_rate *= 2.0; }));
+  EXPECT_TRUE(differs([](auto& c) { c.fabric.link_rate = c.fabric.link_rate * 2.0; }));
   EXPECT_TRUE(differs([](auto& c) { c.placement = cluster::table1(2, 4); }));
   EXPECT_TRUE(differs([](auto& c) { c.background = true; }));
   EXPECT_TRUE(differs([](auto& c) { c.coordinated_transport = true; }));

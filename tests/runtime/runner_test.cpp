@@ -5,6 +5,8 @@
 // and still byte-identical.
 #include "runtime/runner.hpp"
 
+#include "runtime/replicate.hpp"
+
 #include <gtest/gtest.h>
 
 #include <filesystem>
@@ -26,7 +28,7 @@ exp::ExperimentConfig small_contended(core::PolicyKind policy) {
   c.workload.num_jobs = 6;
   c.workload.workers_per_job = 5;
   c.workload.local_batch_size = 1;
-  c.workload.step_overhead = 0;
+  c.workload.step_overhead = tls::sim::Time{0};
   c.workload.global_step_target = 5L * 8;
   c.fabric.link_rate = net::gbps(2.5);
   c.placement = cluster::table1(1, 6);
@@ -115,9 +117,9 @@ TEST(Runner, ReplicatedPlanMatchesRunReplicatedContract) {
     EXPECT_EQ(plan.entries[static_cast<std::size_t>(i)].config.seed,
               base.seed + static_cast<std::uint64_t>(i));
   }
-  // exp::run_replicated rides on this plan; results must agree with
+  // runtime::run_replicated rides on this plan; results must agree with
   // direct runs at each seed.
-  std::vector<exp::ExperimentResult> replicas = exp::run_replicated(base, 2);
+  std::vector<exp::ExperimentResult> replicas = runtime::run_replicated(base, 2);
   exp::ExperimentConfig direct = base;
   direct.seed = base.seed + 1;
   EXPECT_EQ(exp::to_json(exp::run_experiment(direct)),
@@ -133,7 +135,7 @@ TEST(Runner, PolicyComparisonPlanIsFifoFirst) {
             core::PolicyKind::kTlsOne);
   EXPECT_EQ(plan.entries[2].config.controller.policy, core::PolicyKind::kTlsRR);
 
-  std::vector<exp::ExperimentResult> results = exp::compare(base);
+  std::vector<exp::ExperimentResult> results = runtime::compare(base);
   ASSERT_EQ(results.size(), 3u);
   EXPECT_EQ(results[0].policy_name, "FIFO");
 }

@@ -29,9 +29,9 @@ TEST(EventQueue, StartsEmpty) {
 TEST(EventQueue, PopsInTimeOrder) {
   EventQueue q;
   std::vector<int> fired;
-  q.schedule(30, [&] { fired.push_back(3); });
-  q.schedule(10, [&] { fired.push_back(1); });
-  q.schedule(20, [&] { fired.push_back(2); });
+  q.schedule(tls::sim::Time{30}, [&] { fired.push_back(3); });
+  q.schedule(tls::sim::Time{10}, [&] { fired.push_back(1); });
+  q.schedule(tls::sim::Time{20}, [&] { fired.push_back(2); });
   while (!q.empty()) {
     auto [t, cb] = q.pop();
     cb();
@@ -43,7 +43,7 @@ TEST(EventQueue, EqualTimesFireInSchedulingOrder) {
   EventQueue q;
   std::vector<int> fired;
   for (int i = 0; i < 10; ++i) {
-    q.schedule(42, [&fired, i] { fired.push_back(i); });
+    q.schedule(tls::sim::Time{42}, [&fired, i] { fired.push_back(i); });
   }
   while (!q.empty()) q.pop().second();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(fired[static_cast<size_t>(i)], i);
@@ -51,15 +51,15 @@ TEST(EventQueue, EqualTimesFireInSchedulingOrder) {
 
 TEST(EventQueue, PeekTimeReturnsEarliest) {
   EventQueue q;
-  q.schedule(100, [] {});
-  q.schedule(50, [] {});
-  EXPECT_EQ(q.peek_time(), 50);
+  q.schedule(tls::sim::Time{100}, [] {});
+  q.schedule(tls::sim::Time{50}, [] {});
+  EXPECT_EQ(q.peek_time(), tls::sim::Time{50});
 }
 
 TEST(EventQueue, CancelPreventsFiring) {
   EventQueue q;
   bool fired = false;
-  EventId id = q.schedule(10, [&] { fired = true; });
+  EventId id = q.schedule(tls::sim::Time{10}, [&] { fired = true; });
   EXPECT_TRUE(q.cancel(id));
   EXPECT_TRUE(q.empty());
   EXPECT_FALSE(fired);
@@ -67,14 +67,14 @@ TEST(EventQueue, CancelPreventsFiring) {
 
 TEST(EventQueue, CancelTwiceReturnsFalse) {
   EventQueue q;
-  EventId id = q.schedule(10, [] {});
+  EventId id = q.schedule(tls::sim::Time{10}, [] {});
   EXPECT_TRUE(q.cancel(id));
   EXPECT_FALSE(q.cancel(id));
 }
 
 TEST(EventQueue, CancelAfterFireReturnsFalse) {
   EventQueue q;
-  EventId id = q.schedule(10, [] {});
+  EventId id = q.schedule(tls::sim::Time{10}, [] {});
   q.pop().second();
   EXPECT_FALSE(q.cancel(id));
 }
@@ -88,9 +88,9 @@ TEST(EventQueue, CancelInvalidIdReturnsFalse) {
 TEST(EventQueue, CancelledEventSkippedByPop) {
   EventQueue q;
   std::vector<int> fired;
-  q.schedule(10, [&] { fired.push_back(1); });
-  EventId mid = q.schedule(20, [&] { fired.push_back(2); });
-  q.schedule(30, [&] { fired.push_back(3); });
+  q.schedule(tls::sim::Time{10}, [&] { fired.push_back(1); });
+  EventId mid = q.schedule(tls::sim::Time{20}, [&] { fired.push_back(2); });
+  q.schedule(tls::sim::Time{30}, [&] { fired.push_back(3); });
   q.cancel(mid);
   EXPECT_EQ(q.size(), 2u);
   while (!q.empty()) q.pop().second();
@@ -99,8 +99,8 @@ TEST(EventQueue, CancelledEventSkippedByPop) {
 
 TEST(EventQueue, SizeTracksLiveEvents) {
   EventQueue q;
-  EventId a = q.schedule(1, [] {});
-  q.schedule(2, [] {});
+  EventId a = q.schedule(tls::sim::Time{1}, [] {});
+  q.schedule(tls::sim::Time{2}, [] {});
   EXPECT_EQ(q.size(), 2u);
   q.cancel(a);
   EXPECT_EQ(q.size(), 1u);
@@ -111,7 +111,7 @@ TEST(EventQueue, SizeTracksLiveEvents) {
 TEST(EventQueue, ClearDropsEverything) {
   EventQueue q;
   bool fired = false;
-  q.schedule(1, [&] { fired = true; });
+  q.schedule(tls::sim::Time{1}, [&] { fired = true; });
   q.clear();
   EXPECT_TRUE(q.empty());
   EXPECT_FALSE(fired);
@@ -122,7 +122,7 @@ TEST(EventQueue, ManyInterleavedScheduleCancelPop) {
   std::vector<EventId> ids;
   int fired = 0;
   for (int i = 0; i < 100; ++i) {
-    ids.push_back(q.schedule(i % 17, [&] { ++fired; }));
+    ids.push_back(q.schedule(tls::sim::Time{i % 17}, [&] { ++fired; }));
   }
   // Cancel every third event.
   int cancelled = 0;
@@ -136,13 +136,13 @@ TEST(EventQueue, ManyInterleavedScheduleCancelPop) {
 
 TEST(EventQueue, CancelAfterClearReturnsFalse) {
   EventQueue q;
-  EventId stale = q.schedule(10, [] {});
+  EventId stale = q.schedule(tls::sim::Time{10}, [] {});
   q.clear();
   EXPECT_FALSE(q.cancel(stale));
   // A handle issued before clear() must never touch an event scheduled
   // after it, even though the post-clear event is the queue's only entry.
   bool fired = false;
-  q.schedule(5, [&] { fired = true; });
+  q.schedule(tls::sim::Time{5}, [&] { fired = true; });
   EXPECT_FALSE(q.cancel(stale));
   EXPECT_EQ(q.size(), 1u);
   q.pop().second();
@@ -151,7 +151,7 @@ TEST(EventQueue, CancelAfterClearReturnsFalse) {
 
 TEST(EventQueue, DoubleCancelAcrossClearStaysFalse) {
   EventQueue q;
-  EventId id = q.schedule(10, [] {});
+  EventId id = q.schedule(tls::sim::Time{10}, [] {});
   EXPECT_TRUE(q.cancel(id));
   EXPECT_FALSE(q.cancel(id));
   q.clear();
@@ -160,9 +160,9 @@ TEST(EventQueue, DoubleCancelAcrossClearStaysFalse) {
 
 TEST(EventQueue, StatsCountActivity) {
   EventQueue q;
-  EventId a = q.schedule(1, [] {});
-  q.schedule(2, [] {});
-  q.schedule(3, [] {});
+  EventId a = q.schedule(tls::sim::Time{1}, [] {});
+  q.schedule(tls::sim::Time{2}, [] {});
+  q.schedule(tls::sim::Time{3}, [] {});
   q.cancel(a);
   q.pop();
   q.pop();
@@ -217,7 +217,7 @@ TEST(EventQueue, MatchesReferenceModelUnderRandomMix) {
   std::set<std::pair<Time, std::size_t>> pending;
   std::size_t fired_token = 0;
   bool fired_flag = false;
-  Time horizon = 0;
+  Time horizon = tls::sim::Time{0};
   for (int op = 0; op < 20000; ++op) {
     std::uint64_t r = rng.next() % 100;
     if (r < 50 || pending.empty()) {
@@ -266,7 +266,7 @@ TEST(EventQueue, DenseBurstsAcrossSparseGapsMatchReference) {
   std::set<std::pair<Time, std::size_t>> pending;
   std::size_t token = 0;
   std::size_t fired_token = 0;
-  Time horizon = 0;
+  Time horizon = tls::sim::Time{0};
   auto sched = [&](Time t) {
     std::size_t tok = token++;
     q.schedule(t, [&fired_token, tok] { fired_token = tok; });

@@ -16,12 +16,12 @@ TEST(Time, FromSecondsRoundTrips) {
 TEST(Time, FromMillisMicros) {
   EXPECT_EQ(from_millis(1.0), kMillisecond);
   EXPECT_EQ(from_micros(1.0), kMicrosecond);
-  EXPECT_EQ(from_millis(1.5), 1'500'000);
+  EXPECT_EQ(from_millis(1.5), tls::sim::Time{1'500'000});
 }
 
 TEST(Time, RoundsToNearestNanosecond) {
-  EXPECT_EQ(from_seconds(1e-9 * 0.6), 1);
-  EXPECT_EQ(from_seconds(1e-9 * 0.4), 0);
+  EXPECT_EQ(from_seconds(1e-9 * 0.6), tls::sim::Time{1});
+  EXPECT_EQ(from_seconds(1e-9 * 0.4), tls::sim::Time{0});
 }
 
 TEST(Time, NegativeDurationsPreserved) {
@@ -32,11 +32,11 @@ TEST(Time, NegativeDurationsPreserved) {
 TEST(Time, FormatPicksUnit) {
   EXPECT_EQ(format_time(2 * kSecond), "2s");
   EXPECT_EQ(format_time(37 * kMillisecond + kMillisecond / 2), "37.5ms");
-  EXPECT_EQ(format_time(800), "800ns");
+  EXPECT_EQ(format_time(tls::sim::Time{800}), "800ns");
   EXPECT_EQ(format_time(5 * kMicrosecond), "5us");
 }
 
-TEST(Time, ToMillis) { EXPECT_DOUBLE_EQ(to_millis(1'500'000), 1.5); }
+TEST(Time, ToMillis) { EXPECT_DOUBLE_EQ(to_millis(tls::sim::Time{1'500'000}), 1.5); }
 
 }  // namespace
 }  // namespace tls::sim

@@ -88,13 +88,13 @@ TEST(Parser, ClassAddFull) {
   EXPECT_FALSE(cmd.change);
   EXPECT_EQ(cmd.spec.classid, (Handle{1, 10}));
   EXPECT_EQ(cmd.spec.parent, (Handle{1, 0}));
-  EXPECT_DOUBLE_EQ(cmd.spec.rate, 1e6 / 8);
+  EXPECT_DOUBLE_EQ(net::to_double(cmd.spec.rate), 1e6 / 8);
   ASSERT_TRUE(cmd.spec.ceil);
-  EXPECT_DOUBLE_EQ(*cmd.spec.ceil, 10e9 / 8);
-  EXPECT_EQ(cmd.spec.burst, 128 * 1024);
-  EXPECT_EQ(cmd.spec.cburst, 64 * 1024);
+  EXPECT_DOUBLE_EQ(net::to_double(*cmd.spec.ceil), 10e9 / 8);
+  EXPECT_EQ(cmd.spec.burst, tls::net::Bytes{128 * 1024});
+  EXPECT_EQ(cmd.spec.cburst, tls::net::Bytes{64 * 1024});
   EXPECT_EQ(cmd.spec.prio, 3);
-  EXPECT_EQ(cmd.spec.quantum, 256 * 1024);
+  EXPECT_EQ(cmd.spec.quantum, tls::net::Bytes{256 * 1024});
 }
 
 TEST(Parser, ClassChangeAndDefaults) {

@@ -55,27 +55,27 @@ TEST(Handle, RoundTrips) {
 }
 
 TEST(ParseRate, BitSuffixesAreBitsPerSecond) {
-  EXPECT_DOUBLE_EQ(*parse_rate("8bit"), 1.0);
-  EXPECT_DOUBLE_EQ(*parse_rate("8kbit"), 1e3);
-  EXPECT_DOUBLE_EQ(*parse_rate("8mbit"), 1e6);
-  EXPECT_DOUBLE_EQ(*parse_rate("8gbit"), 1e9);
-  EXPECT_DOUBLE_EQ(*parse_rate("10gbit"), 10e9 / 8);
+  EXPECT_DOUBLE_EQ(net::to_double(*parse_rate("8bit")), 1.0);
+  EXPECT_DOUBLE_EQ(net::to_double(*parse_rate("8kbit")), 1e3);
+  EXPECT_DOUBLE_EQ(net::to_double(*parse_rate("8mbit")), 1e6);
+  EXPECT_DOUBLE_EQ(net::to_double(*parse_rate("8gbit")), 1e9);
+  EXPECT_DOUBLE_EQ(net::to_double(*parse_rate("10gbit")), 10e9 / 8);
 }
 
 TEST(ParseRate, BpsSuffixesAreBytesPerSecond) {
   // tc(8): "bps" means bytes per second.
-  EXPECT_DOUBLE_EQ(*parse_rate("100bps"), 100.0);
-  EXPECT_DOUBLE_EQ(*parse_rate("1kbps"), 1e3);
-  EXPECT_DOUBLE_EQ(*parse_rate("1mbps"), 1e6);
+  EXPECT_DOUBLE_EQ(net::to_double(*parse_rate("100bps")), 100.0);
+  EXPECT_DOUBLE_EQ(net::to_double(*parse_rate("1kbps")), 1e3);
+  EXPECT_DOUBLE_EQ(net::to_double(*parse_rate("1mbps")), 1e6);
 }
 
 TEST(ParseRate, BareNumberIsBits) {
-  EXPECT_DOUBLE_EQ(*parse_rate("800"), 100.0);
+  EXPECT_DOUBLE_EQ(net::to_double(*parse_rate("800")), 100.0);
 }
 
 TEST(ParseRate, FractionsAndCase) {
-  EXPECT_DOUBLE_EQ(*parse_rate("1.5mbit"), 1.5e6 / 8);
-  EXPECT_DOUBLE_EQ(*parse_rate("1MBit"), 1e6 / 8);
+  EXPECT_DOUBLE_EQ(net::to_double(*parse_rate("1.5mbit")), 1.5e6 / 8);
+  EXPECT_DOUBLE_EQ(net::to_double(*parse_rate("1MBit")), 1e6 / 8);
 }
 
 TEST(ParseRate, RejectsMalformed) {
@@ -87,11 +87,11 @@ TEST(ParseRate, RejectsMalformed) {
 }
 
 TEST(ParseSize, BinaryUnits) {
-  EXPECT_EQ(*parse_size("1540b"), 1540);
-  EXPECT_EQ(*parse_size("64k"), 64 * 1024);
-  EXPECT_EQ(*parse_size("1m"), 1024 * 1024);
-  EXPECT_EQ(*parse_size("2g"), 2LL * 1024 * 1024 * 1024);
-  EXPECT_EQ(*parse_size("100"), 100);
+  EXPECT_EQ(*parse_size("1540b"), tls::net::Bytes{1540});
+  EXPECT_EQ(*parse_size("64k"), tls::net::Bytes{64 * 1024});
+  EXPECT_EQ(*parse_size("1m"), tls::net::Bytes{1024 * 1024});
+  EXPECT_EQ(*parse_size("2g"), tls::net::Bytes{2LL * 1024 * 1024 * 1024});
+  EXPECT_EQ(*parse_size("100"), tls::net::Bytes{100});
 }
 
 TEST(ParseSize, RejectsMalformed) {
@@ -102,15 +102,15 @@ TEST(ParseSize, RejectsMalformed) {
 }
 
 TEST(FormatRate, PicksUnits) {
-  EXPECT_EQ(format_rate(10e9 / 8), "10gbit");
-  EXPECT_EQ(format_rate(1e6 / 8), "1mbit");
-  EXPECT_EQ(format_rate(1e3 / 8), "1kbit");
-  EXPECT_EQ(format_rate(100.0 / 8), "100bit");
+  EXPECT_EQ(format_rate(net::Rate{10e9 / 8}), "10gbit");
+  EXPECT_EQ(format_rate(net::Rate{1e6 / 8}), "1mbit");
+  EXPECT_EQ(format_rate(net::Rate{1e3 / 8}), "1kbit");
+  EXPECT_EQ(format_rate(net::Rate{100.0 / 8}), "100bit");
 }
 
 TEST(FormatRate, RoundTripsThroughParse) {
-  for (double r : {125.0, 125000.0, 1.25e8, 1.25e9}) {
-    EXPECT_DOUBLE_EQ(*parse_rate(format_rate(r)), r);
+  for (net::Rate r : {net::Rate{125.0}, net::Rate{125000.0}, net::Rate{1.25e8}, net::Rate{1.25e9}}) {
+    EXPECT_DOUBLE_EQ(net::to_double(*parse_rate(format_rate(r))), net::to_double(r));
   }
 }
 

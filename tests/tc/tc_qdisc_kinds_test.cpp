@@ -23,17 +23,17 @@ class TcQdiscKindsTest : public ::testing::Test {
 TEST_F(TcQdiscKindsTest, PfifoFastInstalls) {
   Status s = control_.exec("tc qdisc add dev host0 root handle 1: pfifo_fast");
   ASSERT_TRUE(s.ok) << s.error;
-  EXPECT_EQ(control_.root_kind(0), QdiscKind::kPfifoFast);
-  EXPECT_EQ(fabric_.egress(0).qdisc().kind(), "pfifo_fast");
+  EXPECT_EQ(control_.root_kind(tls::net::HostId{0}), QdiscKind::kPfifoFast);
+  EXPECT_EQ(fabric_.egress(tls::net::HostId{0}).qdisc().kind(), "pfifo_fast");
 }
 
 TEST_F(TcQdiscKindsTest, TbfInstallsWithRate) {
   Status s = control_.exec(
       "tc qdisc add dev host0 root handle 1: tbf rate 500mbit burst 256k");
   ASSERT_TRUE(s.ok) << s.error;
-  auto& tbf = static_cast<net::TbfQdisc&>(fabric_.egress(0).qdisc());
-  EXPECT_DOUBLE_EQ(tbf.config().rate, 500e6 / 8);
-  EXPECT_EQ(tbf.config().burst, 256 * 1024);
+  auto& tbf = static_cast<net::TbfQdisc&>(fabric_.egress(tls::net::HostId{0}).qdisc());
+  EXPECT_DOUBLE_EQ(net::to_double(tbf.config().rate), 500e6 / 8);
+  EXPECT_EQ(tbf.config().burst, tls::net::Bytes{256 * 1024});
 }
 
 TEST_F(TcQdiscKindsTest, TbfRequiresRate) {
@@ -59,12 +59,12 @@ TEST_F(TcQdiscKindsTest, FiltersOnClasslessQdiscsAreNoOps) {
                   .ok);
   net::FlowSpec f;
   f.src_port = 5000;
-  EXPECT_EQ(fabric_.egress(0).classifier().classify(f), 0);
+  EXPECT_EQ(fabric_.egress(tls::net::HostId{0}).classifier().classify(f), tls::net::BandId{0});
 }
 
 TEST_F(TcQdiscKindsTest, ShowQdiscNamesDiscipline) {
   ASSERT_TRUE(control_.exec("tc qdisc add dev host0 root handle 1: tbf rate 1gbit").ok);
-  std::string shown = control_.show_qdisc(0);
+  std::string shown = control_.show_qdisc(tls::net::HostId{0});
   EXPECT_NE(shown.find("tbf"), std::string::npos);
   EXPECT_NE(shown.find("host0"), std::string::npos);
 }
@@ -76,10 +76,10 @@ TEST_F(TcQdiscKindsTest, TbfShapesEndToEnd) {
                         "100mbit burst 256k")
                   .ok);
   net::FlowSpec f;
-  f.src = 0;
-  f.dst = 1;
+  f.src = tls::net::HostId{0};
+  f.dst = tls::net::HostId{1};
   f.bytes = 8 * net::kMiB;
-  sim::Time done = 0;
+  sim::Time done = tls::sim::Time{0};
   fabric_.start_flow(f, [&](const net::FlowRecord& r) { done = r.end; });
   sim_.run();
   EXPECT_GT(sim::to_seconds(done), 0.4);

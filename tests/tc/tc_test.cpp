@@ -24,26 +24,26 @@ class TcTest : public ::testing::Test {
 };
 
 TEST_F(TcTest, DeviceNameResolution) {
-  EXPECT_EQ(control_.resolve_device("host0"), 0);
-  EXPECT_EQ(control_.resolve_device("host2"), 2);
-  EXPECT_EQ(control_.resolve_device("h1"), 1);
-  EXPECT_EQ(control_.resolve_device("1"), 1);
-  EXPECT_EQ(control_.resolve_device("host3"), -1);  // out of range
-  EXPECT_EQ(control_.resolve_device("eth0"), -1);
-  EXPECT_EQ(control_.resolve_device(""), -1);
-  EXPECT_EQ(device_name(7), "host7");
+  EXPECT_EQ(control_.resolve_device("host0"), tls::net::HostId{0});
+  EXPECT_EQ(control_.resolve_device("host2"), tls::net::HostId{2});
+  EXPECT_EQ(control_.resolve_device("h1"), tls::net::HostId{1});
+  EXPECT_EQ(control_.resolve_device("1"), tls::net::HostId{1});
+  EXPECT_EQ(control_.resolve_device("host3"), tls::net::HostId{-1});  // out of range
+  EXPECT_EQ(control_.resolve_device("eth0"), tls::net::HostId{-1});
+  EXPECT_EQ(control_.resolve_device(""), tls::net::HostId{-1});
+  EXPECT_EQ(device_name(tls::net::HostId{7}), "host7");
 }
 
 TEST_F(TcTest, DefaultRootIsPfifo) {
-  EXPECT_EQ(control_.root_kind(0), QdiscKind::kPfifo);
-  EXPECT_EQ(fabric_.egress(0).qdisc().kind(), "pfifo");
+  EXPECT_EQ(control_.root_kind(tls::net::HostId{0}), QdiscKind::kPfifo);
+  EXPECT_EQ(fabric_.egress(tls::net::HostId{0}).qdisc().kind(), "pfifo");
 }
 
 TEST_F(TcTest, InstallPrioRoot) {
   Status s = control_.exec("tc qdisc add dev host0 root handle 1: prio bands 6");
   ASSERT_TRUE(s.ok) << s.error;
-  EXPECT_EQ(control_.root_kind(0), QdiscKind::kPrio);
-  auto& q = static_cast<net::PrioQdisc&>(fabric_.egress(0).qdisc());
+  EXPECT_EQ(control_.root_kind(tls::net::HostId{0}), QdiscKind::kPrio);
+  auto& q = static_cast<net::PrioQdisc&>(fabric_.egress(tls::net::HostId{0}).qdisc());
   EXPECT_EQ(q.bands(), 6);
 }
 
@@ -53,13 +53,13 @@ TEST_F(TcTest, AddOverExistingRootFailsWithoutReplace) {
   EXPECT_FALSE(s.ok);
   EXPECT_NE(s.error.find("replace"), std::string::npos);
   EXPECT_TRUE(control_.exec("tc qdisc replace dev host0 root handle 1: htb").ok);
-  EXPECT_EQ(control_.root_kind(0), QdiscKind::kHtb);
+  EXPECT_EQ(control_.root_kind(tls::net::HostId{0}), QdiscKind::kHtb);
 }
 
 TEST_F(TcTest, QdiscDelRestoresDefault) {
   ASSERT_TRUE(control_.exec("tc qdisc add dev host0 root handle 1: htb").ok);
   ASSERT_TRUE(control_.exec("tc qdisc del dev host0 root").ok);
-  EXPECT_EQ(control_.root_kind(0), QdiscKind::kPfifo);
+  EXPECT_EQ(control_.root_kind(tls::net::HostId{0}), QdiscKind::kPfifo);
   EXPECT_FALSE(control_.exec("tc qdisc del dev host0 root").ok);
 }
 
@@ -69,7 +69,7 @@ TEST_F(TcTest, HtbClassLifecycle) {
       "tc class add dev host1 parent 1: classid 1:1 htb rate 1mbit "
       "ceil 10gbit prio 0");
   ASSERT_TRUE(s.ok) << s.error;
-  auto& htb = static_cast<net::HtbQdisc&>(fabric_.egress(1).qdisc());
+  auto& htb = static_cast<net::HtbQdisc&>(fabric_.egress(tls::net::HostId{1}).qdisc());
   EXPECT_TRUE(htb.has_class(1));
   // change
   ASSERT_TRUE(control_
@@ -107,8 +107,9 @@ TEST_F(TcTest, CeilDefaultsToRate) {
                   .exec("tc class add dev host0 parent 1: classid 1:1 htb "
                         "rate 4mbit")
                   .ok);
-  auto& htb = static_cast<net::HtbQdisc&>(fabric_.egress(0).qdisc());
-  EXPECT_DOUBLE_EQ(htb.class_config(1)->ceil, htb.class_config(1)->rate);
+  auto& htb = static_cast<net::HtbQdisc&>(fabric_.egress(tls::net::HostId{0}).qdisc());
+  EXPECT_DOUBLE_EQ(net::to_double(htb.class_config(1)->ceil),
+                   net::to_double(htb.class_config(1)->rate));
 }
 
 TEST_F(TcTest, FilterMapsPrioFlowidToZeroBasedBand) {
@@ -119,7 +120,7 @@ TEST_F(TcTest, FilterMapsPrioFlowidToZeroBasedBand) {
                   .ok);
   net::FlowSpec f;
   f.src_port = 5000;
-  EXPECT_EQ(fabric_.egress(0).classifier().classify(f), 2);  // 1:3 -> band 2
+  EXPECT_EQ(fabric_.egress(tls::net::HostId{0}).classifier().classify(f), tls::net::BandId{2});  // 1:3 -> band 2
 }
 
 TEST_F(TcTest, FilterMapsHtbFlowidToMinor) {
@@ -130,7 +131,7 @@ TEST_F(TcTest, FilterMapsHtbFlowidToMinor) {
                   .ok);
   net::FlowSpec f;
   f.src_port = 5000;
-  EXPECT_EQ(fabric_.egress(0).classifier().classify(f), 3);
+  EXPECT_EQ(fabric_.egress(tls::net::HostId{0}).classifier().classify(f), tls::net::BandId{3});
 }
 
 TEST_F(TcTest, FilterParentMustMatch) {
@@ -151,7 +152,7 @@ TEST_F(TcTest, FilterDelRemovesRule) {
   EXPECT_FALSE(control_.exec("tc filter del dev host0 pref 10").ok);
   net::FlowSpec f;
   f.src_port = 5000;
-  EXPECT_EQ(fabric_.egress(0).classifier().classify(f), 0);
+  EXPECT_EQ(fabric_.egress(tls::net::HostId{0}).classifier().classify(f), tls::net::BandId{0});
 }
 
 TEST_F(TcTest, QdiscReplaceClearsFilters) {
@@ -161,7 +162,7 @@ TEST_F(TcTest, QdiscReplaceClearsFilters) {
                         "ip sport 5000 0xffff flowid 1:3")
                   .ok);
   ASSERT_TRUE(control_.exec("tc qdisc replace dev host0 root handle 1: prio").ok);
-  EXPECT_EQ(fabric_.egress(0).classifier().size(), 0u);
+  EXPECT_EQ(fabric_.egress(tls::net::HostId{0}).classifier().size(), 0u);
 }
 
 TEST_F(TcTest, HistoryRecordsOnlySuccesses) {
@@ -175,8 +176,8 @@ TEST_F(TcTest, ReconfigCountsPerHost) {
   control_.exec("tc qdisc add dev host0 root handle 1: htb");
   control_.exec(
       "tc class add dev host0 parent 1: classid 1:1 htb rate 1mbit");
-  EXPECT_EQ(control_.reconfig_count(0), 2u);
-  EXPECT_EQ(control_.reconfig_count(1), 0u);  // untouched hosts stay at zero
+  EXPECT_EQ(control_.reconfig_count(tls::net::HostId{0}), 2u);
+  EXPECT_EQ(control_.reconfig_count(tls::net::HostId{1}), 0u);  // untouched hosts stay at zero
 }
 
 TEST_F(TcTest, ParseErrorSurfaced) {
@@ -186,7 +187,8 @@ TEST_F(TcTest, ParseErrorSurfaced) {
 }
 
 TEST_F(TcTest, LinkRateExposed) {
-  EXPECT_DOUBLE_EQ(control_.link_rate(0), net::gbps(10));
+  EXPECT_DOUBLE_EQ(net::to_double(control_.link_rate(tls::net::HostId{0})),
+                   net::to_double(net::gbps(10)));
 }
 
 }  // namespace

@@ -8,10 +8,10 @@ namespace {
 TEST(Coordinator, GrantIsNeverSynchronous) {
   sim::Simulator s(1);
   CoordinatorConfig cfg;
-  cfg.coordination_rtt = 0;
+  cfg.coordination_rtt = tls::sim::Time{0};
   CentralCoordinator coord(s, cfg);
   bool granted = false;
-  coord.request(0, 100, [&] { granted = true; });
+  coord.request(tls::net::HostId{0}, tls::net::Bytes{100}, [&] { granted = true; });
   EXPECT_FALSE(granted);
   s.run();
   EXPECT_TRUE(granted);
@@ -22,8 +22,8 @@ TEST(Coordinator, GrantCostsOneRoundTrip) {
   CoordinatorConfig cfg;
   cfg.coordination_rtt = 5 * sim::kMillisecond;
   CentralCoordinator coord(s, cfg);
-  sim::Time granted_at = -1;
-  coord.request(0, 100, [&] { granted_at = s.now(); });
+  sim::Time granted_at = tls::sim::Time{-1};
+  coord.request(tls::net::HostId{0}, tls::net::Bytes{100}, [&] { granted_at = s.now(); });
   s.run();
   EXPECT_EQ(granted_at, 10 * sim::kMillisecond);  // request + response
 }
@@ -32,30 +32,30 @@ TEST(Coordinator, SerializesBurstsPerHost) {
   sim::Simulator s(1);
   CoordinatorConfig cfg;
   cfg.slots_per_host = 1;
-  cfg.coordination_rtt = 0;
+  cfg.coordination_rtt = tls::sim::Time{0};
   CentralCoordinator coord(s, cfg);
   std::vector<int> order;
-  coord.request(0, 100, [&] { order.push_back(1); });
-  coord.request(0, 100, [&] { order.push_back(2); });
+  coord.request(tls::net::HostId{0}, tls::net::Bytes{100}, [&] { order.push_back(1); });
+  coord.request(tls::net::HostId{0}, tls::net::Bytes{100}, [&] { order.push_back(2); });
   s.run();
   // Only the first burst is granted until release.
   EXPECT_EQ(order, std::vector<int>{1});
-  EXPECT_EQ(coord.active(0), 1);
-  EXPECT_EQ(coord.queued(0), 1u);
-  coord.release(0);
+  EXPECT_EQ(coord.active(tls::net::HostId{0}), 1);
+  EXPECT_EQ(coord.queued(tls::net::HostId{0}), 1u);
+  coord.release(tls::net::HostId{0});
   s.run();
   EXPECT_EQ(order, (std::vector<int>{1, 2}));
-  EXPECT_EQ(coord.queued(0), 0u);
+  EXPECT_EQ(coord.queued(tls::net::HostId{0}), 0u);
 }
 
 TEST(Coordinator, HostsAreIndependent) {
   sim::Simulator s(1);
   CoordinatorConfig cfg;
-  cfg.coordination_rtt = 0;
+  cfg.coordination_rtt = tls::sim::Time{0};
   CentralCoordinator coord(s, cfg);
   int grants = 0;
-  coord.request(0, 1, [&] { ++grants; });
-  coord.request(1, 1, [&] { ++grants; });
+  coord.request(tls::net::HostId{0}, tls::net::Bytes{1}, [&] { ++grants; });
+  coord.request(tls::net::HostId{1}, tls::net::Bytes{1}, [&] { ++grants; });
   s.run();
   EXPECT_EQ(grants, 2);
 }
@@ -64,13 +64,13 @@ TEST(Coordinator, MultipleSlots) {
   sim::Simulator s(1);
   CoordinatorConfig cfg;
   cfg.slots_per_host = 2;
-  cfg.coordination_rtt = 0;
+  cfg.coordination_rtt = tls::sim::Time{0};
   CentralCoordinator coord(s, cfg);
   int grants = 0;
-  for (int i = 0; i < 3; ++i) coord.request(0, 1, [&] { ++grants; });
+  for (int i = 0; i < 3; ++i) coord.request(tls::net::HostId{0}, tls::net::Bytes{1}, [&] { ++grants; });
   s.run();
   EXPECT_EQ(grants, 2);
-  coord.release(0);
+  coord.release(tls::net::HostId{0});
   s.run();
   EXPECT_EQ(grants, 3);
 }
@@ -78,12 +78,12 @@ TEST(Coordinator, MultipleSlots) {
 TEST(Coordinator, WaitAccounting) {
   sim::Simulator s(1);
   CoordinatorConfig cfg;
-  cfg.coordination_rtt = 0;
+  cfg.coordination_rtt = tls::sim::Time{0};
   CentralCoordinator coord(s, cfg);
-  coord.request(0, 1, [] {});
-  coord.request(0, 1, [] {});
+  coord.request(tls::net::HostId{0}, tls::net::Bytes{1}, [] {});
+  coord.request(tls::net::HostId{0}, tls::net::Bytes{1}, [] {});
   s.run();
-  s.schedule_after(sim::kSecond, [&] { coord.release(0); });
+  s.schedule_after(sim::kSecond, [&] { coord.release(tls::net::HostId{0}); });
   s.run();
   EXPECT_EQ(coord.grants(), 2u);
   EXPECT_NEAR(coord.total_wait_s(), 1.0, 0.01);  // second burst waited 1 s
@@ -95,7 +95,7 @@ TEST(Coordinator, Validation) {
   bad.slots_per_host = 0;
   EXPECT_THROW(CentralCoordinator(s, bad), std::invalid_argument);
   bad = {};
-  bad.coordination_rtt = -1;
+  bad.coordination_rtt = -tls::sim::Time{1};
   EXPECT_THROW(CentralCoordinator(s, bad), std::invalid_argument);
 }
 

@@ -24,8 +24,8 @@ class TwoSidedTest : public ::testing::Test {
   }
   dl::JobPlacement place() {
     dl::JobPlacement p;
-    p.ps_host = 0;
-    p.worker_hosts = {1, 2, 3};
+    p.ps_host = tls::net::HostId{0};
+    p.worker_hosts = {tls::net::HostId{1}, tls::net::HostId{2}, tls::net::HostId{3}};
     return p;
   }
   net::BandId classify_gradient(net::HostId host, std::uint16_t dport) {
@@ -47,19 +47,19 @@ class TwoSidedTest : public ::testing::Test {
 TEST_F(TwoSidedTest, WorkerHostsGetGradientFilters) {
   Controller ctl(sim_, control_, two_sided());
   ctl.on_job_arrival(job(0, 5000), place());
-  for (net::HostId h : {1, 2, 3}) {
+  for (net::HostId h : {net::HostId{1}, net::HostId{2}, net::HostId{3}}) {
     EXPECT_TRUE(ctl.host_configured(h)) << h;
-    EXPECT_EQ(classify_gradient(h, 5000), 1) << h;  // top class
+    EXPECT_EQ(classify_gradient(h, 5000), tls::net::BandId{1}) << h;  // top class
   }
-  EXPECT_FALSE(ctl.host_configured(4));  // uninvolved host untouched
+  EXPECT_FALSE(ctl.host_configured(tls::net::HostId{4}));  // uninvolved host untouched
 }
 
 TEST_F(TwoSidedTest, GradientBandFollowsJobRank) {
   Controller ctl(sim_, control_, two_sided());
   ctl.on_job_arrival(job(0, 5000), place());
   ctl.on_job_arrival(job(1, 5100), place());
-  EXPECT_EQ(classify_gradient(1, 5000), 1);  // job 0: rank 0
-  EXPECT_EQ(classify_gradient(1, 5100), 2);  // job 1: rank 1
+  EXPECT_EQ(classify_gradient(tls::net::HostId{1}, 5000), tls::net::BandId{1});  // job 0: rank 0
+  EXPECT_EQ(classify_gradient(tls::net::HostId{1}, 5100), tls::net::BandId{2});  // job 1: rank 1
 }
 
 TEST_F(TwoSidedTest, DepartureCleansWorkerFilters) {
@@ -68,8 +68,8 @@ TEST_F(TwoSidedTest, DepartureCleansWorkerFilters) {
   ctl.on_job_arrival(j0, place());
   ctl.on_job_arrival(job(1, 5100), place());
   ctl.on_job_departure(j0, place());
-  EXPECT_EQ(classify_gradient(1, 5000), 0);  // filter removed
-  EXPECT_EQ(classify_gradient(1, 5100), 1);  // survivor promoted
+  EXPECT_EQ(classify_gradient(tls::net::HostId{1}, 5000), tls::net::BandId{0});  // filter removed
+  EXPECT_EQ(classify_gradient(tls::net::HostId{1}, 5100), tls::net::BandId{1});  // survivor promoted
 }
 
 TEST_F(TwoSidedTest, RotationUpdatesGradientFilters) {
@@ -80,14 +80,14 @@ TEST_F(TwoSidedTest, RotationUpdatesGradientFilters) {
   ctl.on_job_arrival(job(0, 5000), place());
   ctl.on_job_arrival(job(1, 5100), place());
   sim_.run(sim::kSecond);
-  EXPECT_EQ(classify_gradient(1, 5000), 2);  // rotated down
-  EXPECT_EQ(classify_gradient(1, 5100), 1);
+  EXPECT_EQ(classify_gradient(tls::net::HostId{1}, 5000), tls::net::BandId{2});  // rotated down
+  EXPECT_EQ(classify_gradient(tls::net::HostId{1}, 5100), tls::net::BandId{1});
 }
 
 TEST_F(TwoSidedTest, OneSidedModeLeavesWorkersUntouched) {
   Controller ctl(sim_, control_, {});
   ctl.on_job_arrival(job(0, 5000), place());
-  for (net::HostId h : {1, 2, 3}) {
+  for (net::HostId h : {net::HostId{1}, net::HostId{2}, net::HostId{3}}) {
     EXPECT_FALSE(ctl.host_configured(h)) << h;
   }
 }

@@ -303,5 +303,249 @@ TEST(TlsLint, FindingsAreSorted) {
   fs::remove_all(root);
 }
 
+TEST(TlsLint, IgnoresBannedPatternsInRawStrings) {
+  // Raw string literals have no escapes; the scanner must track the
+  // )delim" terminator, not the first '"'.
+  std::string src =
+      "const char* doc = R\"(call rand() or time(nullptr) here)\";\n"
+      "const char* sql = R\"sql(select std::mt19937 from x)sql\";\n"
+      "int ok = 1;\n";
+  auto findings = lint_source("net/good.cpp", src);
+  EXPECT_TRUE(findings.empty()) << format_findings(findings);
+}
+
+TEST(TlsLint, IgnoresBannedPatternsInMultiLineBlockComments) {
+  std::string src =
+      "/* This block spans lines and mentions\n"
+      "   rand() and std::random_device and\n"
+      "   steady_clock without using them. */\n"
+      "int ok = 1;\n";
+  auto findings = lint_source("net/good.cpp", src);
+  EXPECT_TRUE(findings.empty()) << format_findings(findings);
+}
+
+TEST(TlsLint, LineCommentWithBannedTokenIsClean) {
+  auto findings = lint_source(
+      "net/good.cpp", "int x = 3;  // not rand(), not time(nullptr)\n");
+  EXPECT_TRUE(findings.empty()) << format_findings(findings);
+}
+
+TEST(TlsLint, CatchesRawValueEscapeOutsideUnitsLayer) {
+  auto f1 = lint_source("net/bad.cpp", "double d = rate.raw() * 2.0;\n");
+  ASSERT_TRUE(has_rule(f1, "unit-escape")) << format_findings(f1);
+  EXPECT_EQ(line_of(f1, "unit-escape"), 1);
+  auto f2 = lint_source("dl/bad.cpp", "auto n = total().raw();\n");
+  EXPECT_TRUE(has_rule(f2, "unit-escape"));
+}
+
+TEST(TlsLint, UnitsLayerMayUseRaw) {
+  for (const char* path :
+       {"net/units.hpp", "simcore/time.hpp", "simcore/strong.hpp",
+        "src/net/units.hpp"}) {
+    auto findings = lint_source(path, "double d = rate.raw();\n");
+    EXPECT_FALSE(has_rule(findings, "unit-escape")) << path;
+  }
+}
+
+TEST(TlsLint, RawEscapeInCommentOrStringIsClean) {
+  auto findings = lint_source(
+      "net/good.cpp",
+      "// .raw() is the escape hatch\nconst char* s = \"x.raw()\";\n");
+  EXPECT_FALSE(has_rule(findings, "unit-escape")) << format_findings(findings);
+}
+
+TEST(TlsLint, FindingsToJsonEscapesAndSorts) {
+  std::vector<Finding> fs{
+      {"net/a.cpp", 3, "wall-clock", "message with \"quotes\"\nand newline"}};
+  std::string json = findings_to_json(fs);
+  EXPECT_NE(json.find("\"file\": \"net/a.cpp\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"line\": 3"), std::string::npos);
+  EXPECT_NE(json.find("\\\"quotes\\\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\\n"), std::string::npos) << json;
+  EXPECT_EQ(findings_to_json({}), "[]\n");
+}
+
+TEST(TlsLint, StaleAllowEntriesAreReported) {
+  std::vector<Finding> findings{{"net/a.cpp", 3, "wall-clock", "m"}};
+  auto entries = parse_allowlist(
+      "net/a.cpp:wall-clock\n"     // still earns its keep
+      "net/gone.cpp:banned-rng\n"  // silences nothing -> stale
+      "dl/also_gone.cpp\n");
+  auto stale = stale_allow_entries(entries, findings);
+  ASSERT_EQ(stale.size(), 2u);
+  EXPECT_EQ(stale[0].path_suffix, "net/gone.cpp");
+  EXPECT_EQ(stale[0].rule, "banned-rng");
+  EXPECT_EQ(stale[1].path_suffix, "dl/also_gone.cpp");
+}
+
+// ---------------------------------------------------------------------------
+// Layer-DAG checking.
+// ---------------------------------------------------------------------------
+
+TEST(TlsLintLayers, ParsesIncludesSkippingCommentsAndSystemHeaders) {
+  std::string src =
+      "#include <vector>\n"
+      "#include \"net/units.hpp\"\n"
+      "// #include \"net/commented.hpp\"\n"
+      "/* #include \"net/blocked.hpp\" */\n"
+      "  #  include   \"simcore/time.hpp\"\n";
+  auto incs = parse_includes(src);
+  ASSERT_EQ(incs.size(), 2u);
+  EXPECT_EQ(incs[0].path, "net/units.hpp");
+  EXPECT_EQ(incs[0].line, 2);
+  EXPECT_EQ(incs[1].path, "simcore/time.hpp");
+  EXPECT_EQ(incs[1].line, 5);
+}
+
+TEST(TlsLintLayers, ParsesManifestModulesAndGrants) {
+  auto m = parse_layer_manifest(
+      "# lowest layer first\n"
+      "module simcore:\n"
+      "module net: simcore   # the fabric\n"
+      "allow obs/trace.hpp -> net/units.hpp\n");
+  EXPECT_TRUE(m.errors.empty());
+  ASSERT_EQ(m.deps.size(), 2u);
+  EXPECT_TRUE(m.deps.at("simcore").empty());
+  EXPECT_EQ(m.deps.at("net"), std::vector<std::string>{"simcore"});
+  ASSERT_EQ(m.file_grants.size(), 1u);
+  EXPECT_EQ(m.file_grants[0].first, "obs/trace.hpp");
+  EXPECT_EQ(m.file_grants[0].second, "net/units.hpp");
+}
+
+TEST(TlsLintLayers, ManifestErrorsAreCollected) {
+  auto m = parse_layer_manifest(
+      "module net: ghost\n"
+      "module net: simcore\n"
+      "frobnicate all\n"
+      "allow broken\n");
+  // undeclared dep, duplicate module, unknown directive, bad allow.
+  EXPECT_EQ(m.errors.size(), 4u);
+}
+
+namespace {
+/// The repo's shape in miniature: simcore below net below runtime.
+LayerManifest tiny_manifest() {
+  return parse_layer_manifest(
+      "module simcore:\n"
+      "module net: simcore\n"
+      "module runtime: net simcore\n");
+}
+}  // namespace
+
+TEST(TlsLintLayers, CleanGraphPasses) {
+  std::map<std::string, std::vector<Include>> files;
+  files["simcore/time.hpp"] = {};
+  files["net/port.hpp"] = {{"simcore/time.hpp", 3}};
+  files["runtime/runner.cpp"] = {{"net/port.hpp", 2},
+                                 {"simcore/time.hpp", 3},
+                                 {"runtime/runner.hpp", 1}};
+  auto findings = check_layer_graph(files, tiny_manifest());
+  EXPECT_TRUE(findings.empty()) << format_findings(findings);
+}
+
+TEST(TlsLintLayers, BackEdgeIsFlaggedWithChain) {
+  // The negative case the ctest contract promises: an artificially
+  // introduced simcore -> runtime include must fail, and the finding must
+  // print the include chain that closes the cycle.
+  std::map<std::string, std::vector<Include>> files;
+  files["simcore/event_queue.hpp"] = {{"runtime/runner.hpp", 7}};
+  files["runtime/runner.hpp"] = {{"net/port.hpp", 2}};
+  files["net/port.hpp"] = {{"simcore/event_queue.hpp", 3}};
+  auto findings = check_layer_graph(files, tiny_manifest());
+  ASSERT_EQ(findings.size(), 1u) << format_findings(findings);
+  EXPECT_EQ(findings[0].rule, "layer-dag");
+  EXPECT_EQ(findings[0].file, "simcore/event_queue.hpp");
+  EXPECT_EQ(findings[0].line, 7);
+  EXPECT_NE(findings[0].message.find("may not depend on 'runtime'"),
+            std::string::npos)
+      << findings[0].message;
+  // The chain walks the actual include edges back into simcore.
+  EXPECT_NE(findings[0].message.find(
+                "simcore/event_queue.hpp -> runtime/runner.hpp -> "
+                "net/port.hpp -> simcore/event_queue.hpp"),
+            std::string::npos)
+      << findings[0].message;
+}
+
+TEST(TlsLintLayers, FileGrantAllowsOneEdgeOnly) {
+  auto manifest = parse_layer_manifest(
+      "module simcore:\n"
+      "module obs: simcore\n"
+      "module net: simcore obs\n"
+      "allow obs/trace.hpp -> net/units.hpp\n");
+  std::map<std::string, std::vector<Include>> files;
+  files["net/units.hpp"] = {};
+  files["net/other.hpp"] = {};
+  files["obs/trace.hpp"] = {{"net/units.hpp", 5}};
+  EXPECT_TRUE(check_layer_graph(files, manifest).empty());
+  // Same edge from a different file: flagged.
+  files["obs/metrics.hpp"] = {{"net/units.hpp", 4}};
+  auto f1 = check_layer_graph(files, manifest);
+  ASSERT_EQ(f1.size(), 1u) << format_findings(f1);
+  EXPECT_EQ(f1[0].file, "obs/metrics.hpp");
+  files.erase("obs/metrics.hpp");
+  // Different target from the granted file: flagged.
+  files["obs/trace.hpp"].push_back({"net/other.hpp", 6});
+  auto f2 = check_layer_graph(files, manifest);
+  ASSERT_EQ(f2.size(), 1u) << format_findings(f2);
+  EXPECT_EQ(f2[0].line, 6);
+}
+
+TEST(TlsLintLayers, UndeclaredModuleIsFlagged) {
+  std::map<std::string, std::vector<Include>> files;
+  files["mystery/box.hpp"] = {};
+  auto findings = check_layer_graph(files, tiny_manifest());
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_NE(findings[0].message.find("'mystery'"), std::string::npos);
+}
+
+TEST(TlsLintLayers, ManifestCycleIsFlagged) {
+  auto manifest = parse_layer_manifest(
+      "module a: b\n"
+      "module b: c\n"
+      "module c: a\n");
+  EXPECT_TRUE(manifest.errors.empty());
+  auto findings = check_layer_graph({}, manifest);
+  ASSERT_EQ(findings.size(), 1u);
+  EXPECT_EQ(findings[0].rule, "layer-dag");
+  EXPECT_NE(findings[0].message.find("cycle"), std::string::npos);
+  // The chain names all three modules.
+  for (const char* mod : {"a", "b", "c"}) {
+    EXPECT_NE(findings[0].message.find(mod), std::string::npos)
+        << findings[0].message;
+  }
+}
+
+TEST(TlsLintLayers, ExternalQuotedIncludesAreIgnored) {
+  std::map<std::string, std::vector<Include>> files;
+  files["net/port.hpp"] = {{"gtest/gtest.h", 2}, {"port_config.hpp", 3}};
+  auto findings = check_layer_graph(files, tiny_manifest());
+  EXPECT_TRUE(findings.empty()) << format_findings(findings);
+}
+
+TEST(TlsLintLayers, TreeScanChecksRealFiles) {
+  namespace fs = std::filesystem;
+  fs::path root = fs::path(testing::TempDir()) / "tls_lint_layers";
+  fs::remove_all(root);
+  fs::create_directories(root / "simcore");
+  fs::create_directories(root / "runtime");
+  {
+    std::ofstream a(root / "runtime" / "runner.hpp");
+    a << "#pragma once\n#include \"simcore/time.hpp\"\n";
+    std::ofstream b(root / "simcore" / "time.hpp");
+    b << "#pragma once\n";
+  }
+  EXPECT_TRUE(check_layer_tree(root, tiny_manifest()).empty());
+  {
+    std::ofstream bad(root / "simcore" / "bad.hpp");
+    bad << "#pragma once\n#include \"runtime/runner.hpp\"\n";
+  }
+  auto findings = check_layer_tree(root, tiny_manifest());
+  ASSERT_EQ(findings.size(), 1u) << format_findings(findings);
+  EXPECT_EQ(findings[0].file, "simcore/bad.hpp");
+  EXPECT_EQ(findings[0].line, 2);
+  fs::remove_all(root);
+}
+
 }  // namespace
 }  // namespace tls::lint

@@ -26,7 +26,7 @@ TEST(Background, GeneratesPoissonFlows) {
   EXPECT_GT(bg.flows_started(), 350u);
   EXPECT_LT(bg.flows_started(), 700u);
   EXPECT_EQ(bg.flows_completed(), bg.flows_started());
-  EXPECT_GT(bg.bytes_injected(), 0);
+  EXPECT_GT(bg.bytes_injected(), tls::net::Bytes{0});
   EXPECT_GT(bg.mean_fct_s(), 0);
 }
 
@@ -59,7 +59,7 @@ TEST(Background, EndpointsAlwaysDistinct) {
   net::Fabric fabric(s, fc);
   BackgroundTrafficConfig cfg;
   cfg.flows_per_second = 100;
-  cfg.mean_bytes = 1024;
+  cfg.mean_bytes = tls::net::Bytes{1024};
   BackgroundTraffic bg(s, fabric, cfg);
   bg.start();
   s.run(sim::kSecond);
@@ -77,7 +77,7 @@ TEST(Background, Validation) {
   bad.flows_per_second = 0;
   EXPECT_THROW(BackgroundTraffic(s, fabric, bad), std::invalid_argument);
   bad = {};
-  bad.mean_bytes = 0;
+  bad.mean_bytes = tls::net::Bytes{0};
   EXPECT_THROW(BackgroundTraffic(s, fabric, bad), std::invalid_argument);
   net::Fabric single(s, fabric_config(1));
   EXPECT_THROW(BackgroundTraffic(s, single, {}), std::invalid_argument);

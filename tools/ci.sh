@@ -14,19 +14,24 @@ cmake --preset debug-asan
 cmake --build --preset debug-asan -j "$jobs"
 ctest --preset debug-asan -j "$jobs"
 
-echo "==> [2/4] determinism lint over src/"
-./build-asan/tools/tls_lint src --allowlist tools/tls_lint_allow.txt
+smoke_dir="$(mktemp -d)"
+trap 'rm -rf "$smoke_dir"' EXIT
+
+echo "==> [2/4] determinism + unit-escape + layer-DAG lint over src/"
+# The JSON findings dump is archived next to the BENCH_*.json artifacts so
+# a lint regression is diffable like a perf regression.
+./build-asan/tools/tls_lint src --allowlist tools/tls_lint_allow.txt \
+  --layers tools/layers.txt --prune-allowlist \
+  --json "$smoke_dir/LINT_findings.json"
 
 if command -v clang-tidy >/dev/null 2>&1; then
-  echo "==> [2b/4] clang-tidy (.clang-tidy profile)"
+  echo "==> [2b/4] clang-tidy (.clang-tidy profile, compile_commands.json)"
   clang-tidy -p build-asan src/simcore/*.cpp src/net/*.cpp tools/*.cpp
 else
   echo "==> [2b/4] clang-tidy not installed; skipping (profile: .clang-tidy)"
 fi
 
 echo "==> [2c/4] trace smoke: tlsim --trace/--metrics under ASan"
-smoke_dir="$(mktemp -d)"
-trap 'rm -rf "$smoke_dir"' EXIT
 ./build-asan/tools/tlsim run --hosts 4 --jobs 4 --workers 3 --iters 2 \
   --placement 1 --policy tls-rr --seed 5 \
   --trace "$smoke_dir/trace.json" --trace-csv "$smoke_dir/trace.csv" \

@@ -2,7 +2,10 @@
 
 #include <algorithm>
 #include <cctype>
+#include <cstdio>
+#include <deque>
 #include <fstream>
+#include <functional>
 #include <map>
 #include <regex>
 #include <sstream>
@@ -109,9 +112,22 @@ std::vector<std::string> split_lines(const std::string& text) {
   return lines;
 }
 
-}  // namespace
+/// True when the '"' at `i` opens a raw string literal (R"..., u8R"...,
+/// LR"..., ...): the prefix must not be a suffix of a longer identifier.
+bool opens_raw_string(const std::string& source, std::size_t i) {
+  if (i == 0 || source[i - 1] != 'R') return false;
+  std::size_t k = i - 1;  // position of 'R'
+  while (k > 0 && (source[k - 1] == 'u' || source[k - 1] == 'U' ||
+                   source[k - 1] == 'L' || source[k - 1] == '8')) {
+    --k;
+  }
+  return k == 0 || !is_ident_char(source[k - 1]);
+}
 
-std::string strip_comments_and_strings(const std::string& source) {
+/// The shared comment/string scanner. `blank_strings` controls whether
+/// string/char literal bodies are blanked too (lint rules: yes; include
+/// extraction: no, the include path lives in a string).
+std::string strip_impl(const std::string& source, bool blank_strings) {
   std::string out = source;
   enum class State { kCode, kLineComment, kBlockComment, kString, kChar };
   State state = State::kCode;
@@ -126,6 +142,26 @@ std::string strip_comments_and_strings(const std::string& source) {
         } else if (c == '/' && next == '*') {
           state = State::kBlockComment;
           out[i] = ' ';
+        } else if (c == '"' && opens_raw_string(source, i)) {
+          // R"delim( ... )delim" — no escapes inside; scan to the matching
+          // terminator and (optionally) blank the body, keeping newlines so
+          // later findings keep their line numbers.
+          std::size_t p = i + 1;
+          std::string delim;
+          while (p < source.size() && source[p] != '(' && delim.size() < 18) {
+            delim.push_back(source[p]);
+            ++p;
+          }
+          std::string term = ")" + delim + "\"";
+          std::size_t close = source.find(term, p);
+          std::size_t end =
+              close == std::string::npos ? source.size() : close + term.size();
+          if (blank_strings) {
+            for (std::size_t q = i + 1; q < end; ++q) {
+              if (out[q] != '\n') out[q] = ' ';
+            }
+          }
+          i = end == 0 ? i : end - 1;
         } else if (c == '"') {
           state = State::kString;
         } else if (c == '\'') {
@@ -151,29 +187,39 @@ std::string strip_comments_and_strings(const std::string& source) {
         break;
       case State::kString:
         if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
+          if (blank_strings) {
+            out[i] = ' ';
+            if (next != '\n') out[i + 1] = ' ';
+          }
           ++i;
         } else if (c == '"') {
           state = State::kCode;
-        } else if (c != '\n') {
+        } else if (blank_strings && c != '\n') {
           out[i] = ' ';
         }
         break;
       case State::kChar:
         if (c == '\\' && next != '\0') {
-          out[i] = ' ';
-          if (next != '\n') out[i + 1] = ' ';
+          if (blank_strings) {
+            out[i] = ' ';
+            if (next != '\n') out[i + 1] = ' ';
+          }
           ++i;
         } else if (c == '\'') {
           state = State::kCode;
-        } else if (c != '\n') {
+        } else if (blank_strings && c != '\n') {
           out[i] = ' ';
         }
         break;
     }
   }
   return out;
+}
+
+}  // namespace
+
+std::string strip_comments_and_strings(const std::string& source) {
+  return strip_impl(source, /*blank_strings=*/true);
 }
 
 std::vector<std::string> unordered_decl_names(const std::string& source) {
@@ -247,6 +293,11 @@ std::vector<Finding> lint_source(
   const bool hot = in_hot_path_dir(rel_path);
   const bool rng_ok = is_rng_module(rel_path);
   const bool threads_ok = in_runtime_dir(rel_path);
+  // The units layer itself is where .raw() lives; everywhere else it is an
+  // escape from the compile-time unit checks.
+  const bool units_ok = rel_path.ends_with("simcore/strong.hpp") ||
+                        rel_path.ends_with("simcore/time.hpp") ||
+                        rel_path.ends_with("net/units.hpp");
 
   static const char* kWallClockTokens[] = {
       "system_clock", "steady_clock", "high_resolution_clock", "gettimeofday",
@@ -383,6 +434,26 @@ std::vector<Finding> lint_source(
       }
     }
 
+    // --- unit-escape ---
+    if (!units_ok) {
+      std::size_t pos = 0;
+      while ((pos = line.find(".raw(", pos)) != std::string::npos) {
+        // Member access on something: an identifier, ')' or ']' before the
+        // dot. A leading ".raw(" on a continuation line counts too.
+        bool member = pos == 0 || is_ident_char(line[pos - 1]) ||
+                      line[pos - 1] == ')' || line[pos - 1] == ']';
+        if (member) {
+          add(lineno, "unit-escape",
+              "raw-value escape '.raw()' outside the units layer — use the "
+              "typed helpers in net/units.hpp (bytes_in, seconds_for, "
+              "to_double, ...) or allowlist the serialization boundary with "
+              "a justification");
+          break;
+        }
+        pos += 5;
+      }
+    }
+
     // --- float-time-compare ---
     if (line.find("to_seconds") != std::string::npos &&
         (line.find("==") != std::string::npos ||
@@ -503,6 +574,352 @@ std::string format_findings(const std::vector<Finding>& findings) {
        << '\n';
   }
   return os.str();
+}
+
+namespace {
+
+void json_escape(std::ostringstream& os, const std::string& s) {
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        os << "\\\"";
+        break;
+      case '\\':
+        os << "\\\\";
+        break;
+      case '\n':
+        os << "\\n";
+        break;
+      case '\t':
+        os << "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof buf, "\\u%04x", c);
+          os << buf;
+        } else {
+          os << c;
+        }
+    }
+  }
+}
+
+}  // namespace
+
+std::string findings_to_json(const std::vector<Finding>& findings) {
+  std::ostringstream os;
+  if (findings.empty()) return "[]\n";
+  os << "[\n";
+  for (std::size_t i = 0; i < findings.size(); ++i) {
+    const Finding& f = findings[i];
+    os << "  {\"file\": \"";
+    json_escape(os, f.file);
+    os << "\", \"line\": " << f.line << ", \"rule\": \"";
+    json_escape(os, f.rule);
+    os << "\", \"message\": \"";
+    json_escape(os, f.message);
+    os << "\"}" << (i + 1 < findings.size() ? "," : "") << "\n";
+  }
+  os << "]\n";
+  return os.str();
+}
+
+std::vector<AllowEntry> stale_allow_entries(
+    const std::vector<AllowEntry>& entries,
+    const std::vector<Finding>& findings) {
+  std::vector<AllowEntry> stale;
+  for (const AllowEntry& e : entries) {
+    bool used = false;
+    for (const Finding& f : findings) {
+      if (is_allowed(f, {e})) {
+        used = true;
+        break;
+      }
+    }
+    if (!used) stale.push_back(e);
+  }
+  return stale;
+}
+
+// ---------------------------------------------------------------------------
+// Include-layer DAG checking.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+/// Top-level module directory of a '/'-separated relative path; empty for
+/// paths with no directory (same-directory includes, root-level files).
+std::string module_of(const std::string& path) {
+  std::size_t slash = path.find('/');
+  return slash == std::string::npos ? std::string() : path.substr(0, slash);
+}
+
+std::string join_list(const std::vector<std::string>& xs) {
+  std::string out;
+  for (const std::string& x : xs) {
+    if (!out.empty()) out += ", ";
+    out += x;
+  }
+  return out.empty() ? "nothing" : out;
+}
+
+/// True when `path` ends with `suffix` on a '/' segment boundary.
+bool suffix_matches(const std::string& path, const std::string& suffix) {
+  if (path.size() < suffix.size()) return false;
+  if (path.compare(path.size() - suffix.size(), suffix.size(), suffix) != 0) {
+    return false;
+  }
+  std::size_t at = path.size() - suffix.size();
+  return at == 0 || path[at - 1] == '/';
+}
+
+/// BFS over actual include edges from `start` to any file in
+/// `target_module`; the returned chain starts at `start` and ends inside the
+/// target module (empty when unreachable). Proves that a layering violation
+/// closes a real include cycle.
+std::vector<std::string> include_chain_to_module(
+    const std::map<std::string, std::vector<Include>>& includes,
+    const std::string& start, const std::string& target_module) {
+  std::map<std::string, std::string> prev;
+  std::deque<std::string> queue{start};
+  prev[start] = "";
+  while (!queue.empty()) {
+    std::string cur = queue.front();
+    queue.pop_front();
+    if (module_of(cur) == target_module) {
+      std::vector<std::string> chain;
+      for (std::string n = cur; !n.empty(); n = prev[n]) chain.push_back(n);
+      std::reverse(chain.begin(), chain.end());
+      return chain;
+    }
+    auto it = includes.find(cur);
+    if (it == includes.end()) continue;
+    for (const Include& inc : it->second) {
+      if (!prev.count(inc.path)) {
+        prev[inc.path] = cur;
+        queue.push_back(inc.path);
+      }
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+std::vector<Include> parse_includes(const std::string& source) {
+  // Strip comments but keep string bodies: the include path *is* a string.
+  std::string code = strip_impl(source, /*blank_strings=*/false);
+  std::vector<Include> out;
+  std::vector<std::string> lines = split_lines(code);
+  static const std::regex kInclude("^\\s*#\\s*include\\s+\"([^\"]+)\"");
+  std::smatch m;
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    if (std::regex_search(lines[i], m, kInclude)) {
+      out.push_back(Include{m[1].str(), static_cast<int>(i) + 1});
+    }
+  }
+  return out;
+}
+
+LayerManifest parse_layer_manifest(const std::string& text) {
+  LayerManifest m;
+  std::vector<std::string> lines = split_lines(text);
+  auto trim = [](std::string s) {
+    auto is_space = [](unsigned char c) { return std::isspace(c) != 0; };
+    while (!s.empty() && is_space(s.back())) s.pop_back();
+    std::size_t start = 0;
+    while (start < s.size() && is_space(s[start])) ++start;
+    return s.substr(start);
+  };
+  auto split_ws = [](const std::string& s) {
+    std::vector<std::string> out;
+    std::istringstream in(s);
+    std::string tok;
+    while (in >> tok) out.push_back(tok);
+    return out;
+  };
+  for (std::size_t i = 0; i < lines.size(); ++i) {
+    std::string line = lines[i];
+    std::size_t hash = line.find('#');
+    if (hash != std::string::npos) line.erase(hash);
+    line = trim(line);
+    if (line.empty()) continue;
+    int lineno = static_cast<int>(i) + 1;
+    if (line.rfind("module ", 0) == 0) {
+      std::string rest = line.substr(7);
+      std::size_t colon = rest.find(':');
+      if (colon == std::string::npos) {
+        m.errors.push_back("line " + std::to_string(lineno) +
+                           ": 'module <name>:' needs a colon");
+        continue;
+      }
+      std::string name = trim(rest.substr(0, colon));
+      if (name.empty() || split_ws(name).size() != 1) {
+        m.errors.push_back("line " + std::to_string(lineno) +
+                           ": bad module name '" + name + "'");
+        continue;
+      }
+      if (m.deps.count(name)) {
+        m.errors.push_back("line " + std::to_string(lineno) + ": module '" +
+                           name + "' declared twice");
+        continue;
+      }
+      m.deps[name] = split_ws(rest.substr(colon + 1));
+      m.module_line[name] = lineno;
+    } else if (line.rfind("allow ", 0) == 0) {
+      std::string rest = line.substr(6);
+      std::size_t arrow = rest.find("->");
+      if (arrow == std::string::npos) {
+        m.errors.push_back("line " + std::to_string(lineno) +
+                           ": 'allow <file> -> <path>' needs '->'");
+        continue;
+      }
+      std::string from = trim(rest.substr(0, arrow));
+      std::string to = trim(rest.substr(arrow + 2));
+      if (from.empty() || to.empty()) {
+        m.errors.push_back("line " + std::to_string(lineno) +
+                           ": 'allow' needs both sides");
+        continue;
+      }
+      m.file_grants.emplace_back(from, to);
+    } else {
+      m.errors.push_back("line " + std::to_string(lineno) +
+                         ": unknown directive '" + line + "'");
+    }
+  }
+  for (const auto& [name, deps] : m.deps) {
+    for (const std::string& dep : deps) {
+      if (dep == name) {
+        m.errors.push_back("module '" + name + "' depends on itself");
+      } else if (!m.deps.count(dep)) {
+        m.errors.push_back("module '" + name +
+                           "' depends on undeclared module '" + dep + "'");
+      }
+    }
+  }
+  return m;
+}
+
+std::vector<Finding> check_layer_graph(
+    const std::map<std::string, std::vector<Include>>& includes,
+    const LayerManifest& manifest) {
+  std::vector<Finding> out;
+
+  // The manifest's own module graph must be a DAG; report the first cycle
+  // with its chain so the back-edge is obvious.
+  {
+    std::map<std::string, int> color;  // 0 unseen, 1 on stack, 2 done
+    std::vector<std::string> stack;
+    std::function<bool(const std::string&)> dfs =
+        [&](const std::string& u) -> bool {
+      color[u] = 1;
+      stack.push_back(u);
+      for (const std::string& dep : manifest.deps.at(u)) {
+        if (!manifest.deps.count(dep)) continue;
+        if (color[dep] == 1) {
+          std::string chain = dep;
+          std::size_t at = 0;
+          while (at < stack.size() && stack[at] != dep) ++at;
+          for (std::size_t i = at + 1; i < stack.size(); ++i) {
+            chain += " -> " + stack[i];
+          }
+          chain += " -> " + dep;
+          int line = 0;
+          auto it = manifest.module_line.find(dep);
+          if (it != manifest.module_line.end()) line = it->second;
+          out.push_back(Finding{
+              "tools/layers.txt", line, "layer-dag",
+              "module grant cycle in the layer manifest: " + chain});
+          return true;
+        }
+        if (color[dep] == 0 && dfs(dep)) return true;
+      }
+      stack.pop_back();
+      color[u] = 2;
+      return false;
+    };
+    for (const auto& [name, deps] : manifest.deps) {
+      (void)deps;
+      if (color[name] == 0 && dfs(name)) break;
+    }
+  }
+
+  // Every module on disk must be declared (an undeclared module would
+  // silently bypass the layering).
+  std::map<std::string, std::string> undeclared;  // module -> first file
+  for (const auto& [file, incs] : includes) {
+    (void)incs;
+    std::string mod = module_of(file);
+    if (mod.empty() || manifest.deps.count(mod)) continue;
+    if (!undeclared.count(mod)) undeclared[mod] = file;
+  }
+  for (const auto& [mod, file] : undeclared) {
+    out.push_back(Finding{file, 0, "layer-dag",
+                          "module '" + mod +
+                              "' is not declared in the layer manifest "
+                              "(tools/layers.txt)"});
+  }
+
+  // Each cross-module include edge must be granted.
+  for (const auto& [file, incs] : includes) {
+    std::string from = module_of(file);
+    if (from.empty() || !manifest.deps.count(from)) continue;
+    const std::vector<std::string>& granted = manifest.deps.at(from);
+    for (const Include& inc : incs) {
+      std::string to = module_of(inc.path);
+      if (to.empty() || to == from) continue;
+      // External quoted includes (not a scanned file, not a declared
+      // module) are outside the layering's jurisdiction.
+      if (!includes.count(inc.path) && !manifest.deps.count(to)) continue;
+      bool ok = std::find(granted.begin(), granted.end(), to) != granted.end();
+      if (!ok) {
+        for (const auto& [grant_from, grant_to] : manifest.file_grants) {
+          if (inc.path == grant_to && suffix_matches(file, grant_from)) {
+            ok = true;
+            break;
+          }
+        }
+      }
+      if (ok) continue;
+      std::string msg = "include \"" + inc.path + "\": layer '" + from +
+                        "' may not depend on '" + to +
+                        "' (granted: " + join_list(granted) + ")";
+      std::vector<std::string> chain =
+          include_chain_to_module(includes, inc.path, from);
+      if (!chain.empty()) {
+        msg += "; closes the include cycle " + file;
+        for (const std::string& n : chain) msg += " -> " + n;
+      }
+      out.push_back(Finding{file, inc.line, "layer-dag", msg});
+    }
+  }
+
+  std::sort(out.begin(), out.end(), [](const Finding& a, const Finding& b) {
+    if (a.file != b.file) return a.file < b.file;
+    if (a.line != b.line) return a.line < b.line;
+    return a.rule < b.rule;
+  });
+  return out;
+}
+
+std::vector<Finding> check_layer_tree(const std::filesystem::path& root,
+                                      const LayerManifest& manifest) {
+  namespace fs = std::filesystem;
+  std::map<std::string, std::vector<Include>> includes;
+  for (const auto& entry : fs::recursive_directory_iterator(root)) {
+    if (!entry.is_regular_file()) continue;
+    std::string ext = entry.path().extension().string();
+    if (ext != ".hpp" && ext != ".h" && ext != ".cpp" && ext != ".cc") {
+      continue;
+    }
+    std::ifstream in(entry.path(), std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    std::string rel = entry.path().lexically_relative(root).generic_string();
+    includes[rel] = parse_includes(buf.str());
+  }
+  return check_layer_graph(includes, manifest);
 }
 
 }  // namespace tls::lint

@@ -37,6 +37,20 @@
 //                       consumer, and no cross-thread interleavings;
 //                       tls::runtime is the one sanctioned place that fans
 //                       whole simulations across threads.
+//   unit-escape         .raw() on a strong unit type (sim::Time, net::Bytes,
+//                       net::Rate, net::HostId, net::BandId) outside the
+//                       units layer itself (simcore/strong.hpp,
+//                       simcore/time.hpp, net/units.hpp). Escaping to the
+//                       raw representation defeats the compile-time unit
+//                       checks; use the typed helpers (bytes_in,
+//                       seconds_for, transmit_time, to_double, ...) or add
+//                       an allowlist entry documenting the serialization
+//                       boundary that genuinely needs the raw value.
+//   layer-dag           an #include edge that violates the module layering
+//                       declared in tools/layers.txt (see
+//                       parse_layer_manifest below), or a cycle in the
+//                       manifest itself. Checked by check_layer_tree, which
+//                       the tls_lint driver runs under --layers.
 //
 // Comments and string literals are stripped before matching, so documenting
 // a banned pattern is fine. The scanner is line-based and intentionally
@@ -45,7 +59,9 @@
 #pragma once
 
 #include <filesystem>
+#include <map>
 #include <string>
+#include <utility>
 #include <vector>
 
 namespace tls::lint {
@@ -99,5 +115,77 @@ std::vector<Finding> lint_tree(const std::filesystem::path& root,
 
 /// Renders findings in "file:line: [rule] message" form, one per line.
 std::string format_findings(const std::vector<Finding>& findings);
+
+/// Renders findings as a JSON array of {"file","line","rule","message"}
+/// objects, one per line, sorted like format_findings. "[]\n" when empty.
+std::string findings_to_json(const std::vector<Finding>& findings);
+
+/// Allowlist entries that silence nothing in `findings` (which must have
+/// been produced with an *empty* allowlist): stale entries whose source
+/// lines were fixed or deleted. tls_lint --prune-allowlist fails on these
+/// so the allowlist can only shrink back toward empty.
+std::vector<AllowEntry> stale_allow_entries(
+    const std::vector<AllowEntry>& entries,
+    const std::vector<Finding>& findings);
+
+// ---------------------------------------------------------------------------
+// Include-layer DAG checking (rule "layer-dag").
+//
+// tools/layers.txt declares the allowed module-dependency graph of src/.
+// A module is a top-level directory under the scan root (src/net -> "net").
+// Manifest syntax, one directive per line, '#' comments:
+//
+//   module <name>: <dep> <dep> ...   files under <name>/ may #include from
+//                                    <dep>/ (and from <name>/ itself);
+//                                    list a module below its dependents
+//   allow <file> -> <path>           file-scoped exception: the file whose
+//                                    path ends with <file> may include
+//                                    exactly <path> despite the layering
+//
+// The checker fails on: a cycle among the module grants (the manifest must
+// itself be a DAG — the cycle chain is printed), an include edge into a
+// module the including module was not granted (when the reverse reach
+// exists, the file-level include cycle is printed), and a module on disk
+// that the manifest does not list.
+// ---------------------------------------------------------------------------
+
+/// One quoted #include directive ("..."; <system> includes are ignored).
+struct Include {
+  std::string path;  ///< as written, e.g. "net/units.hpp"
+  int line = 0;      ///< 1-based
+};
+
+/// Extracts the quoted #include directives from `source`, in order.
+/// Comments are stripped first so a commented-out include does not count.
+std::vector<Include> parse_includes(const std::string& source);
+
+/// A parsed tools/layers.txt.
+struct LayerManifest {
+  /// module -> modules it may include from (not transitively closed).
+  std::map<std::string, std::vector<std::string>> deps;
+  /// module -> manifest line it was declared on (for reporting).
+  std::map<std::string, int> module_line;
+  /// file-scoped grants: (including-file path suffix, included path).
+  std::vector<std::pair<std::string, std::string>> file_grants;
+  /// parse/validation problems; a non-empty list means the manifest is
+  /// broken and layer results are not meaningful.
+  std::vector<std::string> errors;
+};
+
+/// Parses manifest text. Unknown directives and deps on undeclared modules
+/// land in .errors.
+LayerManifest parse_layer_manifest(const std::string& text);
+
+/// Checks every include edge against the manifest. `includes` maps each
+/// file's '/'-separated root-relative path to its quoted includes (the
+/// synthetic-fixture entry point for tests). Findings use rule "layer-dag"
+/// and are sorted by (file, line, rule).
+std::vector<Finding> check_layer_graph(
+    const std::map<std::string, std::vector<Include>>& includes,
+    const LayerManifest& manifest);
+
+/// Reads every .hpp/.h/.cpp/.cc under `root` and runs check_layer_graph.
+std::vector<Finding> check_layer_tree(const std::filesystem::path& root,
+                                      const LayerManifest& manifest);
 
 }  // namespace tls::lint

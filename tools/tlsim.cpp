@@ -3,9 +3,9 @@
 #include <string>
 #include <vector>
 
-#include "exp/cli.hpp"
+#include "runtime/cli.hpp"
 
 int main(int argc, char** argv) {
   std::vector<std::string> args(argv + 1, argv + argc);
-  return tls::exp::run_cli(args, std::cout, std::cerr);
+  return tls::runtime::run_cli(args, std::cout, std::cerr);
 }
