@@ -1,5 +1,6 @@
 #include "cluster/launcher.hpp"
 
+#include <algorithm>
 #include <stdexcept>
 
 namespace tls::cluster {
@@ -9,6 +10,63 @@ Launcher::Launcher(sim::Simulator& simulator, net::Fabric& fabric)
 
 void Launcher::add_listener(JobEventListener* listener) {
   listeners_.push_back(listener);
+}
+
+std::uint16_t Launcher::take_port_slot(const LaunchConfig& config) {
+  std::uint16_t slot;
+  if (!free_slots_.empty()) {
+    slot = free_slots_.back();  // sorted descending -> lowest slot
+    free_slots_.pop_back();
+  } else {
+    slot = next_fresh_slot_++;
+  }
+  std::uint32_t port = static_cast<std::uint32_t>(config.base_port) +
+                       static_cast<std::uint32_t>(slot) * config.port_stride;
+  if (port + config.port_stride > 65536) {
+    throw std::runtime_error("port space exhausted: too many concurrent jobs");
+  }
+  return static_cast<std::uint16_t>(port);
+}
+
+dl::JobRuntime& Launcher::admit(
+    dl::JobSpec spec, dl::JobPlacement placement, const LaunchConfig& config,
+    std::function<void(const dl::JobRuntime&)> on_departed) {
+  if (!jobs_.empty() && !dynamic_) {
+    throw std::logic_error("admit() cannot follow launch_all()");
+  }
+  dynamic_ = true;
+  if (config.port_stride <
+      static_cast<std::uint16_t>(1 + spec.num_ps + spec.num_workers)) {
+    throw std::invalid_argument("port_stride too small for task count");
+  }
+  spec.ps_port = take_port_slot(config);
+  std::uint16_t slot = static_cast<std::uint16_t>(
+      (spec.ps_port - config.base_port) / config.port_stride);
+  std::size_t index = jobs_.size();
+  auto on_finish = [this, index, slot, cb = std::move(on_departed)] {
+    ++finished_;
+    // Lowest-slot-first reuse keeps port assignment a pure function of the
+    // admission/departure sequence (determinism across runs).
+    free_slots_.insert(
+        std::upper_bound(free_slots_.begin(), free_slots_.end(), slot,
+                         std::greater<std::uint16_t>()),
+        slot);
+    const dl::JobRuntime& job = *jobs_[index];
+    for (JobEventListener* l : listeners_) {
+      l->on_job_departure(job.spec(), job.placement());
+    }
+    if (cb) cb(job);
+  };
+  jobs_.push_back(std::make_unique<dl::JobRuntime>(
+      sim_, fabric_, std::move(spec), std::move(placement), on_finish,
+      busy_sink_));
+  dl::JobRuntime& job = *jobs_.back();
+  if (gate_ != nullptr) job.set_transmission_gate(gate_);
+  for (JobEventListener* l : listeners_) {
+    l->on_job_arrival(job.spec(), job.placement());
+  }
+  job.start();
+  return job;
 }
 
 void Launcher::launch_all(std::vector<dl::JobSpec> specs,
@@ -47,6 +105,8 @@ void Launcher::launch_all(std::vector<dl::JobSpec> specs,
 
 void Launcher::launch_one(std::size_t index) {
   dl::JobRuntime& job = *jobs_[index];
+  // Evicted before its staggered start: nothing to launch.
+  if (job.finished()) return;
   // Arrival precedes the first packet so controllers can configure tc
   // before the initial model broadcast hits the NIC.
   for (JobEventListener* l : listeners_) {

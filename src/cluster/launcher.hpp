@@ -56,10 +56,28 @@ class Launcher {
 
   /// Creates runtimes for `specs[i]` placed at `placements[i]` and
   /// schedules their staggered starts from the current simulation time.
-  /// Assigns each spec's ps_port. May be called once.
+  /// Assigns each spec's ps_port. May be called once; incompatible with
+  /// the dynamic admit() path.
   void launch_all(std::vector<dl::JobSpec> specs,
                   std::vector<dl::JobPlacement> placements,
                   const LaunchConfig& config = {});
+
+  /// Dynamic-cluster admission: creates one job and starts it at the
+  /// current simulation time (arrival listeners fire first, as in
+  /// launch_all). The spec's ps_port is drawn from a free-slot pool —
+  /// slots are recycled on departure so hour-long churn traces never walk
+  /// off the end of the 16-bit port space. `on_departed` (optional) runs
+  /// after the departure listeners when this job ends, whether by
+  /// completion or eviction. Incompatible with launch_all.
+  dl::JobRuntime& admit(dl::JobSpec spec, dl::JobPlacement placement,
+                        const LaunchConfig& config = {},
+                        std::function<void(const dl::JobRuntime&)>
+                            on_departed = {});
+
+  /// Evicts a running job mid-flight; its departure fires exactly like a
+  /// normal completion (listeners + on_departed + port-slot release).
+  /// No-op on an already-finished job.
+  void evict(dl::JobRuntime& job) { job.request_stop(); }
 
   const std::vector<std::unique_ptr<dl::JobRuntime>>& jobs() const {
     return jobs_;
@@ -71,6 +89,8 @@ class Launcher {
 
  private:
   void launch_one(std::size_t index);
+  /// Lowest free port slot (allocating a fresh one when the pool is dry).
+  std::uint16_t take_port_slot(const LaunchConfig& config);
 
   sim::Simulator& sim_;
   net::Fabric& fabric_;
@@ -79,6 +99,11 @@ class Launcher {
   dl::BusySink busy_sink_;
   dl::TransmissionGate* gate_ = nullptr;
   int finished_ = 0;
+  bool dynamic_ = false;
+  /// Port-slot recycling for the dynamic path: slot s covers ports
+  /// [base_port + s*stride, base_port + (s+1)*stride).
+  std::vector<std::uint16_t> free_slots_;  // kept sorted descending
+  std::uint16_t next_fresh_slot_ = 0;
 };
 
 }  // namespace tls::cluster

@@ -15,17 +15,44 @@ const char* to_string(SchedulerPolicy policy) {
   return "?";
 }
 
-OnlineScheduler::OnlineScheduler(int num_hosts, SchedulerPolicy policy)
+const char* to_string(AdmissionPolicy policy) {
+  switch (policy) {
+    case AdmissionPolicy::kShareBand: return "share-band";
+    case AdmissionPolicy::kQueue: return "queue";
+    case AdmissionPolicy::kReject: return "reject";
+  }
+  return "?";
+}
+
+const char* to_string(AdmissionOutcome outcome) {
+  switch (outcome) {
+    case AdmissionOutcome::kPlaced: return "placed";
+    case AdmissionOutcome::kQueued: return "queued";
+    case AdmissionOutcome::kRejected: return "rejected";
+  }
+  return "?";
+}
+
+OnlineScheduler::OnlineScheduler(int num_hosts, SchedulerPolicy policy,
+                                 AdmissionPolicy admission, int ps_band_limit)
     : policy_(policy),
+      admission_(admission),
+      band_limit_(ps_band_limit),
       tasks_(static_cast<std::size_t>(num_hosts), 0),
       ps_(static_cast<std::size_t>(num_hosts), 0) {
   if (num_hosts < 2) throw std::invalid_argument("need at least 2 hosts");
+  if (ps_band_limit < 0) throw std::invalid_argument("ps_band_limit < 0");
 }
 
-net::HostId OnlineScheduler::pick_ps_host() const {
-  net::HostId best{0};
-  for (net::HostId h{1}; h < net::HostId{num_hosts()}; ++h) {
+net::HostId OnlineScheduler::pick_ps_host(bool respect_limit) const {
+  net::HostId best = net::kNoHost;
+  for (net::HostId h{0}; h < net::HostId{num_hosts()}; ++h) {
     auto hi = static_cast<std::size_t>(h.idx());
+    if (respect_limit && band_limit_ > 0 && ps_[hi] >= band_limit_) continue;
+    if (best == net::kNoHost) {
+      best = h;
+      continue;
+    }
     auto bi = static_cast<std::size_t>(best.idx());
     bool better;
     if (policy_ == SchedulerPolicy::kPsAware) {
@@ -38,14 +65,36 @@ net::HostId OnlineScheduler::pick_ps_host() const {
   return best;
 }
 
+Admission OnlineScheduler::try_place(const dl::JobSpec& spec) {
+  Admission result;
+  // Band exhaustion is probed with the *first* shard's candidate set: when
+  // no host can take one more PS without passing the band budget, the
+  // cluster is exhausted for this job as a whole.
+  if (band_limit_ > 0 && admission_ != AdmissionPolicy::kShareBand &&
+      pick_ps_host(/*respect_limit=*/true) == net::kNoHost) {
+    result.outcome = admission_ == AdmissionPolicy::kQueue
+                         ? AdmissionOutcome::kQueued
+                         : AdmissionOutcome::kRejected;
+    result.ps_colocation = max_ps_colocation();
+    return result;
+  }
+  result.outcome = AdmissionOutcome::kPlaced;
+  result.placement = place(spec);
+  result.ps_colocation = max_ps_colocation();
+  return result;
+}
+
 dl::JobPlacement OnlineScheduler::place(const dl::JobSpec& spec) {
   if (spec.num_workers > num_hosts() - 1) {
     throw std::invalid_argument("more workers than non-PS hosts");
   }
   dl::JobPlacement placement;
   // Place PS shards one at a time so later shards see earlier ones' load.
+  // A shard prefers hosts under the band budget and falls back to plain
+  // least-loaded when every host is at it (the share-band regime).
   for (int p = 0; p < spec.num_ps; ++p) {
-    net::HostId host = pick_ps_host();
+    net::HostId host = pick_ps_host(/*respect_limit=*/true);
+    if (host == net::kNoHost) host = pick_ps_host(/*respect_limit=*/false);
     if (p == 0) placement.ps_host = host;
     if (spec.num_ps > 1) placement.ps_hosts.push_back(host);
     ++ps_[static_cast<std::size_t>(host.idx())];

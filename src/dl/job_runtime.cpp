@@ -250,6 +250,18 @@ void JobRuntime::complete_shard_barrier(int ps) {
   }
 }
 
+void JobRuntime::request_stop() {
+  if (finished_) return;
+  evicted_ = true;
+  // An unstarted job can still be evicted (queued departure before its
+  // staggered start); give it a zero-length lifetime at the current time.
+  if (!started_) {
+    started_ = true;
+    start_time_ = sim_.now();
+  }
+  finish_job();
+}
+
 void JobRuntime::finish_job() {
   assert(!finished_);
   finished_ = true;

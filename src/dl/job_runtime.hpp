@@ -48,8 +48,19 @@ class JobRuntime {
   /// Launches the job: the initial model broadcast leaves every PS now.
   void start();
 
+  /// Evicts the job mid-flight (dynamic-cluster departures): the job
+  /// finishes *now* — on_finish fires, departure listeners run — while
+  /// chunks already inside the network drain normally (their completion
+  /// callbacks no-op on the finished job), so qdisc byte conservation
+  /// holds across the eviction. Idempotent; a no-op after normal
+  /// completion.
+  void request_stop();
+
   bool started() const { return started_; }
   bool finished() const { return finished_; }
+  /// True when the job ended via request_stop() rather than reaching its
+  /// global-step target.
+  bool evicted() const { return evicted_; }
   sim::Time start_time() const { return start_time_; }
   sim::Time finish_time() const { return finish_time_; }
   /// Job completion time; only valid when finished().
@@ -89,6 +100,7 @@ class JobRuntime {
 
   bool started_ = false;
   bool finished_ = false;
+  bool evicted_ = false;
   sim::Time start_time_{};
   sim::Time finish_time_{};
   std::int64_t global_step_ = 0;

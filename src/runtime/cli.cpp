@@ -1,12 +1,17 @@
 #include "runtime/cli.hpp"
 
 #include <cstdlib>
+#include <fstream>
 #include <ostream>
+#include <sstream>
 
 #include "exp/experiment.hpp"
 #include "exp/export.hpp"
 #include "metrics/report.hpp"
+#include "obs/trace.hpp"
 #include "runtime/runner.hpp"
+#include "runtime/scenario_runner.hpp"
+#include "scenario/export.hpp"
 
 namespace tls::runtime {
 
@@ -68,6 +73,8 @@ commands:
   compare          FIFO vs TLs-One vs TLs-RR on one configuration
   sweep-placement  Table I placements under every policy
   sweep-batch      local batch sizes {1,2,4,8,16} under every policy
+  scenario         trace-driven dynamic cluster: jobs arrive/depart over
+                   hours of simulated time (see scenario flags below)
   help             this text
 
 flags (defaults = the paper's testbed):
@@ -97,6 +104,32 @@ derive per-run paths, e.g. trace.json -> trace.run-label.json):
                        decomposition + contention blame; tlsreport text)
   --report-csv PATH    same report as tidy long CSV
   --report-json PATH   same report as tlsreport-v1 JSON
+
+scenario flags (shared flags that apply: --hosts (12 here), --policy,
+--strategy, --bands, --interval-s (20 here), --link-gbps, --seed,
+--threads, --csv):
+  --scenario-jobs N (100)        trace length
+  --scenario-arrivals poisson|pareto (poisson)
+  --scenario-mean-s X (30)       Poisson mean interarrival
+  --scenario-pareto-alpha X (1.5) --scenario-pareto-min-s X (2)
+  --scenario-pareto-max-s X (600) bounded-Pareto interarrival shape/bounds
+  --scenario-models LIST         comma list of zoo models, or mix = all
+                                 (default resnet32_cifar10)
+  --scenario-workers-min N (2) --scenario-workers-max N (8)
+  --scenario-iters-min N (20) --scenario-iters-max N (80)
+  --scenario-batch N (4)         local batch size
+  --scenario-evict-frac X (0)    fraction of jobs evicted mid-flight
+  --scenario-evict-min-s X (30) --scenario-evict-max-s X (300)
+  --scenario-trace-seed N (1)    workload seed (fixed across --policy)
+  --scenario-admission share|queue|reject (share)
+  --scenario-band-limit N (-1)   PS jobs/host before admission kicks in
+                                 (-1 = follow --bands, 0 = unlimited)
+  --scenario-time-limit-s X (14400) --scenario-sample-s X (10)
+  --scenario-compare             FIFO vs TLs-One vs TLs-RR, same trace
+  --scenario-trace PATH          replay a trace CSV instead of generating
+  --scenario-trace-out PATH      write the trace CSV actually used
+  --scenario-out PATH            scenario-v1 JSON result
+  --scenario-csv PATH            per-job outcome CSV
 )";
 
 bool parse_policy(const std::string& s, core::PolicyKind* out) {
@@ -339,6 +372,300 @@ int cmd_sweep_batch(const CliArgs& args, const exp::ExperimentConfig& config,
   return 0;
 }
 
+// ---------------------------------------------------------------------
+// tlsim scenario — the dynamic-cluster workload engine front end.
+
+/// Every --scenario-* key the CLI understands; anything else starting
+/// with "scenario-" is rejected with this list (mirroring the
+/// --trace-filter category check).
+const char* const kScenarioFlagNames[] = {
+    "scenario-jobs",         "scenario-arrivals",
+    "scenario-mean-s",       "scenario-pareto-alpha",
+    "scenario-pareto-min-s", "scenario-pareto-max-s",
+    "scenario-models",       "scenario-workers-min",
+    "scenario-workers-max",  "scenario-iters-min",
+    "scenario-iters-max",    "scenario-batch",
+    "scenario-evict-frac",   "scenario-evict-min-s",
+    "scenario-evict-max-s",  "scenario-trace-seed",
+    "scenario-admission",    "scenario-band-limit",
+    "scenario-time-limit-s", "scenario-sample-s",
+    "scenario-compare",      "scenario-trace",
+    "scenario-trace-out",    "scenario-out",
+    "scenario-csv",
+};
+
+bool check_scenario_flag_names(const CliArgs& args, std::string* error) {
+  for (const auto& [k, v] : args.flags) {
+    (void)v;
+    if (k.rfind("scenario-", 0) != 0) continue;
+    bool known = false;
+    for (const char* name : kScenarioFlagNames) {
+      if (k == name) {
+        known = true;
+        break;
+      }
+    }
+    if (!known) {
+      std::string valid;
+      for (const char* name : kScenarioFlagNames) {
+        if (!valid.empty()) valid += ", ";
+        valid += "--";
+        valid += name;
+      }
+      *error = "unknown flag --" + k + " (valid scenario flags: " + valid + ")";
+      return false;
+    }
+  }
+  return true;
+}
+
+bool parse_arrivals(const std::string& s, scenario::ArrivalProcess* out) {
+  if (s == "poisson") *out = scenario::ArrivalProcess::kPoisson;
+  else if (s == "pareto") *out = scenario::ArrivalProcess::kParetoBounded;
+  else return false;
+  return true;
+}
+
+bool parse_admission(const std::string& s, cluster::AdmissionPolicy* out) {
+  if (s == "share") *out = cluster::AdmissionPolicy::kShareBand;
+  else if (s == "queue") *out = cluster::AdmissionPolicy::kQueue;
+  else if (s == "reject") *out = cluster::AdmissionPolicy::kReject;
+  else return false;
+  return true;
+}
+
+bool build_scenario_config(const CliArgs& args, scenario::Config* config,
+                           std::string* error) {
+  if (!check_scenario_flag_names(args, error)) return false;
+
+  auto to_long = [&](const std::string& key, long fallback, long lo, long hi,
+                     long* out) {
+    std::string v = args.get(key);
+    if (v.empty()) {
+      *out = fallback;
+      return true;
+    }
+    char* end = nullptr;
+    long parsed = std::strtol(v.c_str(), &end, 10);
+    if (end == nullptr || *end != '\0' || parsed < lo || parsed > hi) {
+      *error = "bad value for --" + key + ": '" + v + "'";
+      return false;
+    }
+    *out = parsed;
+    return true;
+  };
+  auto to_double = [&](const std::string& key, double fallback, double lo,
+                       double* out) {
+    std::string v = args.get(key);
+    if (v.empty()) {
+      *out = fallback;
+      return true;
+    }
+    char* end = nullptr;
+    double parsed = std::strtod(v.c_str(), &end);
+    if (end == nullptr || *end != '\0' || parsed < lo) {
+      *error = "bad value for --" + key + ": '" + v + "'";
+      return false;
+    }
+    *out = parsed;
+    return true;
+  };
+
+  long hosts, cores, bands, seed, trace_seed, jobs, workers_min, workers_max;
+  long iters_min, iters_max, batch, band_limit;
+  double interval_s, link_gbps, mean_s, alpha, pareto_min, pareto_max;
+  double evict_frac, evict_min, evict_max, time_limit_s, sample_s;
+  if (!to_long("hosts", 12, 2, 4096, &hosts)) return false;
+  if (!to_long("cores", 6, 1, 1024, &cores)) return false;
+  if (!to_long("bands", 6, 1, 15, &bands)) return false;
+  if (!to_long("seed", 1, 0, INT64_MAX / 2, &seed)) return false;
+  if (!to_long("scenario-trace-seed", 1, 0, INT64_MAX / 2, &trace_seed)) {
+    return false;
+  }
+  if (!to_long("scenario-jobs", 100, 1, 100000, &jobs)) return false;
+  if (!to_long("scenario-workers-min", 2, 1, 4095, &workers_min)) return false;
+  if (!to_long("scenario-workers-max", 8, 1, 4095, &workers_max)) return false;
+  if (!to_long("scenario-iters-min", 20, 1, 1000000, &iters_min)) return false;
+  if (!to_long("scenario-iters-max", 80, 1, 1000000, &iters_max)) return false;
+  if (!to_long("scenario-batch", 4, 1, 65536, &batch)) return false;
+  if (!to_long("scenario-band-limit", -1, -1, 4096, &band_limit)) return false;
+  if (!to_double("interval-s", 20.0, 1e-3, &interval_s)) return false;
+  if (!to_double("link-gbps", 10.0, 1e-3, &link_gbps)) return false;
+  if (!to_double("scenario-mean-s", 30.0, 1e-6, &mean_s)) return false;
+  if (!to_double("scenario-pareto-alpha", 1.5, 1e-6, &alpha)) return false;
+  if (!to_double("scenario-pareto-min-s", 2.0, 1e-6, &pareto_min)) return false;
+  if (!to_double("scenario-pareto-max-s", 600.0, 1e-6, &pareto_max)) {
+    return false;
+  }
+  if (!to_double("scenario-evict-frac", 0.0, 0.0, &evict_frac)) return false;
+  if (!to_double("scenario-evict-min-s", 30.0, 1e-6, &evict_min)) return false;
+  if (!to_double("scenario-evict-max-s", 300.0, 1e-6, &evict_max)) {
+    return false;
+  }
+  if (!to_double("scenario-time-limit-s", 14400.0, 1.0, &time_limit_s)) {
+    return false;
+  }
+  if (!to_double("scenario-sample-s", 10.0, 0.0, &sample_s)) return false;
+
+  config->num_hosts = static_cast<int>(hosts);
+  config->cores_per_host = static_cast<int>(cores);
+  config->controller.max_bands = static_cast<int>(bands);
+  config->controller.rotation_interval = sim::from_seconds(interval_s);
+  config->fabric.link_rate = net::gbps(link_gbps);
+  config->seed = static_cast<std::uint64_t>(seed);
+  config->ps_band_limit = static_cast<int>(band_limit);
+  config->time_limit = sim::from_seconds(time_limit_s);
+  config->sample_period = sim::from_seconds(sample_s);
+
+  if (!parse_policy(args.get("policy", "tls-rr"),
+                    &config->controller.policy)) {
+    *error = "bad --policy (fifo|tls-one|tls-rr)";
+    return false;
+  }
+  if (!parse_strategy(args.get("strategy", "arrival"),
+                      &config->controller.strategy)) {
+    *error = "bad --strategy (arrival|random|smallest)";
+    return false;
+  }
+  if (config->controller.max_bands > 8) {
+    config->controller.data_plane = core::DataPlane::kPrio;
+  }
+  std::string arrivals = args.get("scenario-arrivals", "poisson");
+  if (!parse_arrivals(arrivals, &config->trace.process)) {
+    *error = "bad --scenario-arrivals '" + arrivals + "' (poisson|pareto)";
+    return false;
+  }
+  std::string admission = args.get("scenario-admission", "share");
+  if (!parse_admission(admission, &config->admission)) {
+    *error = "bad --scenario-admission '" + admission +
+             "' (share|queue|reject)";
+    return false;
+  }
+  std::string models = args.get("scenario-models");
+  if (!models.empty() &&
+      !scenario::parse_model_mix(models, &config->trace.models, error)) {
+    *error = "bad --scenario-models: " + *error;
+    return false;
+  }
+
+  config->trace.num_jobs = static_cast<int>(jobs);
+  config->trace.mean_interarrival_s = mean_s;
+  config->trace.pareto_alpha = alpha;
+  config->trace.pareto_min_s = pareto_min;
+  config->trace.pareto_max_s = pareto_max;
+  config->trace.min_workers = static_cast<int>(workers_min);
+  config->trace.max_workers = static_cast<int>(workers_max);
+  config->trace.min_iterations = iters_min;
+  config->trace.max_iterations = iters_max;
+  config->trace.local_batch_size = static_cast<int>(batch);
+  config->trace.evict_fraction = evict_frac;
+  config->trace.evict_min_s = evict_min;
+  config->trace.evict_max_s = evict_max;
+  config->trace.seed = static_cast<std::uint64_t>(trace_seed);
+  if (workers_min > workers_max) {
+    *error = "--scenario-workers-min must be <= --scenario-workers-max";
+    return false;
+  }
+  if (iters_min > iters_max) {
+    *error = "--scenario-iters-min must be <= --scenario-iters-max";
+    return false;
+  }
+  if (evict_frac > 1.0) {
+    *error = "--scenario-evict-frac must be <= 1";
+    return false;
+  }
+  config->metrics_path = args.get("metrics");
+
+  std::string trace_path = args.get("scenario-trace");
+  if (!trace_path.empty()) {
+    std::ifstream in(trace_path, std::ios::binary);
+    if (!in) {
+      *error = "cannot open --scenario-trace file: " + trace_path;
+      return false;
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    if (!scenario::parse_trace_csv(buffer.str(), &config->replay, error)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+void add_scenario_row(metrics::Table* table, const std::string& label,
+                      const scenario::Result& r) {
+  table->add_row({label, std::to_string(r.jobs.size()),
+                  std::to_string(r.completed), std::to_string(r.evicted),
+                  std::to_string(r.rejected), std::to_string(r.unfinished),
+                  metrics::fmt(r.jct.mean), metrics::fmt(r.jct.p99),
+                  metrics::fmt(r.queue_wait.mean),
+                  std::to_string(r.peak_ps_colocation),
+                  metrics::fmt(r.cluster_cpu_util, 3),
+                  std::to_string(r.rotations),
+                  std::to_string(r.tc_commands)});
+}
+
+int cmd_scenario(const CliArgs& args, const RunOptions& options,
+                 std::ostream& out, std::ostream& err) {
+  scenario::Config config;
+  std::string error;
+  if (!build_scenario_config(args, &config, &error)) {
+    err << "tlsim: " << error << "\n";
+    return 2;
+  }
+
+  std::string trace_out = args.get("scenario-trace-out");
+  if (!trace_out.empty()) {
+    scenario::Trace trace = config.replay.jobs.empty()
+                                ? scenario::generate_trace(config.trace)
+                                : config.replay;
+    if (!scenario::write_file(trace_out, scenario::trace_csv(trace), &error)) {
+      err << "tlsim: trace export failed: " << error << "\n";
+      return 1;
+    }
+  }
+
+  ScenarioPlan plan;
+  if (args.has("scenario-compare")) {
+    plan = ScenarioPlan::policy_comparison(config);
+  } else {
+    plan.add(core::to_string(config.controller.policy), config);
+  }
+  ScenarioReport report = run_scenario_plan(plan, options.jobs);
+
+  metrics::Table table({"policy", "jobs", "done", "evict", "rej", "unfin",
+                        "mean JCT (s)", "p99 JCT", "mean wait (s)",
+                        "peak coloc", "cpu util", "rotations", "tc cmds"});
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    add_scenario_row(&table, report.labels[i], report.results[i]);
+  }
+  emit(table, args.has("csv"), out);
+
+  std::string json_path = args.get("scenario-out");
+  std::string csv_path = args.get("scenario-csv");
+  for (std::size_t i = 0; i < report.results.size(); ++i) {
+    const scenario::Result& r = report.results[i];
+    bool multi = report.results.size() > 1;
+    if (!json_path.empty()) {
+      std::string path =
+          multi ? obs::per_run_path(json_path, report.labels[i]) : json_path;
+      if (!scenario::write_file(path, scenario::scenario_json(r), &error)) {
+        err << "tlsim: scenario export failed: " << error << "\n";
+        return 1;
+      }
+    }
+    if (!csv_path.empty()) {
+      std::string path =
+          multi ? obs::per_run_path(csv_path, report.labels[i]) : csv_path;
+      if (!scenario::write_file(path, scenario::scenario_csv(r), &error)) {
+        err << "tlsim: scenario export failed: " << error << "\n";
+        return 1;
+      }
+    }
+  }
+  return 0;
+}
+
 }  // namespace
 
 int run_cli(const std::vector<std::string>& args, std::ostream& out,
@@ -356,13 +683,17 @@ int run_cli(const std::vector<std::string>& args, std::ostream& out,
     return 0;
   }
 
-  exp::ExperimentConfig config;
-  if (!build_config(parsed, &config, &error)) {
+  RunOptions options;
+  if (!build_run_options(parsed, &options, &error)) {
     err << "tlsim: " << error << "\n";
     return 2;
   }
-  RunOptions options;
-  if (!build_run_options(parsed, &options, &error)) {
+  // The scenario command has its own configuration surface (dynamic
+  // cluster, not the static testbed), so it skips build_config.
+  if (command == "scenario") return cmd_scenario(parsed, options, out, err);
+
+  exp::ExperimentConfig config;
+  if (!build_config(parsed, &config, &error)) {
     err << "tlsim: " << error << "\n";
     return 2;
   }

@@ -1,0 +1,93 @@
+#include "runtime/scenario_runner.hpp"
+
+#include <exception>
+#include <mutex>
+#include <utility>
+
+#include "obs/trace.hpp"
+#include "runtime/runner.hpp"
+#include "runtime/thread_pool.hpp"
+
+namespace tls::runtime {
+
+void ScenarioPlan::add(std::string label, scenario::Config config) {
+  entries.push_back(Entry{std::move(label), std::move(config)});
+}
+
+ScenarioPlan ScenarioPlan::policy_comparison(const scenario::Config& base) {
+  ScenarioPlan plan;
+  for (core::PolicyKind policy : RunPlan::default_policies()) {
+    scenario::Config c = base;
+    c.controller.policy = policy;
+    plan.add(core::to_string(policy), std::move(c));
+  }
+  return plan;
+}
+
+ScenarioPlan ScenarioPlan::replicated(const scenario::Config& base,
+                                      int replicas) {
+  ScenarioPlan plan;
+  for (int i = 0; i < replicas; ++i) {
+    scenario::Config c = base;
+    c.seed = base.seed + static_cast<std::uint64_t>(i);
+    plan.add("seed" + std::to_string(c.seed), std::move(c));
+  }
+  return plan;
+}
+
+ScenarioReport run_scenario_plan(const ScenarioPlan& plan, int jobs) {
+  const std::size_t n = plan.entries.size();
+  ScenarioReport report;
+  report.results.resize(n);
+  report.labels.reserve(n);
+  for (const ScenarioPlan::Entry& e : plan.entries) {
+    report.labels.push_back(e.label);
+  }
+
+  // Multi-entry plans derive per-run metrics paths (metrics.csv ->
+  // metrics.<label>.csv) so parallel runs never share an output file.
+  std::vector<scenario::Config> configs;
+  configs.reserve(n);
+  for (const ScenarioPlan::Entry& e : plan.entries) {
+    scenario::Config c = e.config;
+    if (n > 1 && !c.metrics_path.empty()) {
+      c.metrics_path = obs::per_run_path(c.metrics_path, e.label);
+    }
+    configs.push_back(std::move(c));
+  }
+
+  if (jobs <= 0) jobs = default_jobs();
+  if (static_cast<std::size_t>(jobs) > n && n > 0) {
+    jobs = static_cast<int>(n);
+  }
+  report.jobs_used = n == 0 ? 1 : jobs;
+
+  std::mutex error_mu;
+  std::exception_ptr first_error;
+
+  // Each worker writes only results[i] for its own i; the error slot is
+  // the sole shared state.
+  auto run_one = [&](std::size_t i) {
+    try {
+      report.results[i] = scenario::run_scenario(configs[i]);
+    } catch (...) {
+      std::lock_guard<std::mutex> lock(error_mu);
+      if (first_error == nullptr) first_error = std::current_exception();
+    }
+  };
+
+  if (report.jobs_used <= 1) {
+    for (std::size_t i = 0; i < n; ++i) run_one(i);
+  } else {
+    ThreadPool pool(report.jobs_used);
+    for (std::size_t i = 0; i < n; ++i) {
+      pool.submit([&run_one, i] { run_one(i); });
+    }
+    pool.wait_idle();
+  }
+
+  if (first_error != nullptr) std::rethrow_exception(first_error);
+  return report;
+}
+
+}  // namespace tls::runtime

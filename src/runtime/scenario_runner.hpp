@@ -1,0 +1,51 @@
+// Parallel execution of scenario plans (the dynamic-cluster analog of
+// RunPlan/RunSet). Entries are fully independent scenario::Configs; the
+// plan fans across the work-stealing thread pool and results come back
+// keyed by entry index, never by completion order, so a parallel plan's
+// output is byte-identical to a serial one. Scenarios are not cached:
+// unlike ExperimentConfig there is no content-addressed key for an
+// arbitrary replayed trace, and a scenario run is the benchmark itself.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/engine.hpp"
+
+namespace tls::runtime {
+
+struct ScenarioPlan {
+  struct Entry {
+    std::string label;
+    scenario::Config config;
+  };
+  std::vector<Entry> entries;
+
+  void add(std::string label, scenario::Config config);
+  std::size_t size() const { return entries.size(); }
+  bool empty() const { return entries.empty(); }
+
+  /// One run of `base` per TensorLights policy (FIFO, TLs-One, TLs-RR by
+  /// default — FIFO first so it is the comparison baseline). The trace
+  /// seed is shared, so every policy schedules the identical workload.
+  static ScenarioPlan policy_comparison(const scenario::Config& base);
+
+  /// `replicas` copies of `base` with simulator seeds base.seed, +1, ...
+  /// The trace seed stays fixed: same workload, fresh noise streams.
+  static ScenarioPlan replicated(const scenario::Config& base, int replicas);
+};
+
+struct ScenarioReport {
+  /// results[i] corresponds to plan.entries[i], regardless of completion
+  /// order.
+  std::vector<scenario::Result> results;
+  std::vector<std::string> labels;
+  int jobs_used = 1;
+};
+
+/// Executes every entry across `jobs` worker threads (0 = default_jobs()
+/// from runner.hpp; 1 = inline on the caller's thread), rethrowing the
+/// first worker exception after in-flight runs drain.
+ScenarioReport run_scenario_plan(const ScenarioPlan& plan, int jobs = 0);
+
+}  // namespace tls::runtime

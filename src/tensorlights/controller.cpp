@@ -292,4 +292,9 @@ bool Controller::host_configured(net::HostId host) const {
   return it != hosts_.end() && it->second.configured;
 }
 
+int Controller::managed_job_count(net::HostId host) const {
+  auto it = hosts_.find(host);
+  return it == hosts_.end() ? 0 : static_cast<int>(it->second.jobs.size());
+}
+
 }  // namespace tls::core

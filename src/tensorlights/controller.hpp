@@ -52,6 +52,16 @@ class Controller : public cluster::JobEventListener {
   /// True when the controller has installed a qdisc on this host.
   bool host_configured(net::HostId host) const;
 
+  /// PS jobs currently managed on `host` (0 when unconfigured or FIFO) —
+  /// the band-map occupancy dynamic-cluster scenarios sample over time.
+  int managed_job_count(net::HostId host) const;
+
+  /// Jobs with at least one managed PS shard anywhere, each counted once.
+  /// Returns to 0 when every job has departed (churn leak check).
+  int total_managed_jobs() const {
+    return static_cast<int>(job_hosts_.size());
+  }
+
   /// Number of TLs-RR rotations performed so far.
   std::uint64_t rotations() const { return rotations_; }
 

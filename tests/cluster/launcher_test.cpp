@@ -130,5 +130,66 @@ TEST_F(LauncherTest, BusySinkForwarded) {
   EXPECT_GT(intervals, 0);
 }
 
+// ---------------------------------------------------------------------------
+// Dynamic-cluster admission (admit/evict): jobs enter and leave one at a
+// time, ports are recycled, and the two launch paths exclude each other.
+
+TEST_F(LauncherTest, AdmitStartsImmediatelyAndFiresCallbacks) {
+  launcher_.add_listener(&recorder_);
+  dl::JobSpec spec = jobs(1)[0];
+  dl::JobPlacement placement = assign_tasks(table1(1, 1), 4, 3)[0];
+  int departed = 0;
+  launcher_.admit(spec, placement, {},
+                  [&](const dl::JobRuntime&) { ++departed; });
+  ASSERT_EQ(recorder_.arrivals.size(), 1u);  // arrival fires before packets
+  sim_.run();
+  EXPECT_EQ(launcher_.finished_count(), 1);
+  EXPECT_EQ(departed, 1);
+  ASSERT_EQ(recorder_.departures.size(), 1u);
+}
+
+TEST_F(LauncherTest, AdmitRecyclesLowestFreePortSlot) {
+  auto placements = assign_tasks(table1(1, 2), 4, 3);
+  std::vector<dl::JobSpec> specs = jobs(2);
+  dl::JobRuntime& a = launcher_.admit(specs[0], placements[0], {});
+  dl::JobRuntime& b = launcher_.admit(specs[1], placements[1], {});
+  std::uint16_t port_a = a.spec().ps_port;
+  std::uint16_t port_b = b.spec().ps_port;
+  EXPECT_NE(port_a, port_b);
+  sim_.run();
+  ASSERT_TRUE(a.finished() && b.finished());
+  // Both slots are free; the next admit takes the lowest one back.
+  dl::JobSpec next = jobs(1)[0];
+  next.job_id = 7;
+  dl::JobRuntime& c = launcher_.admit(next, placements[0], {});
+  EXPECT_EQ(c.spec().ps_port, std::min(port_a, port_b));
+}
+
+TEST_F(LauncherTest, EvictEndsAJobEarly) {
+  dl::JobSpec spec = jobs(1, /*target=*/1'000'000)[0];
+  dl::JobRuntime& job =
+      launcher_.admit(spec, assign_tasks(table1(1, 1), 4, 3)[0], {});
+  sim_.run(sim_.now() + 1 * sim::kSecond);
+  ASSERT_FALSE(job.finished());
+  launcher_.evict(job);
+  sim_.run();
+  EXPECT_TRUE(job.finished());
+  EXPECT_TRUE(job.evicted());
+  EXPECT_EQ(launcher_.finished_count(), 1);
+  EXPECT_EQ(fabric_.active_flows(), 0u);
+}
+
+TEST_F(LauncherTest, AdmitAndLaunchAllAreMutuallyExclusive) {
+  launcher_.admit(jobs(1)[0], assign_tasks(table1(1, 1), 4, 3)[0], {});
+  EXPECT_THROW(
+      launcher_.launch_all(jobs(1), assign_tasks(table1(1, 1), 4, 3), {}),
+      std::logic_error);
+
+  Launcher other(sim_, fabric_);
+  other.launch_all(jobs(1), assign_tasks(table1(1, 1), 4, 3), {});
+  EXPECT_THROW(other.admit(jobs(1)[0], assign_tasks(table1(1, 1), 4, 3)[0], {}),
+               std::logic_error);
+}
+
 }  // namespace
 }  // namespace tls::cluster

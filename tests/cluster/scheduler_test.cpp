@@ -92,5 +92,94 @@ TEST(Scheduler, DeparturesReopenCapacity) {
   EXPECT_EQ(p.ps_host, placements[0].ps_host);
 }
 
+// ---------------------------------------------------------------------------
+// Admission-aware placement (try_place): the band budget turns placement
+// into a three-way decision — place, queue, or reject.
+
+TEST(Scheduler, TryPlaceAdmitsUpToTheBandLimit) {
+  OnlineScheduler sched(4, SchedulerPolicy::kPsAware,
+                        AdmissionPolicy::kQueue, /*ps_band_limit=*/1);
+  for (int j = 0; j < 4; ++j) {
+    Admission a = sched.try_place(job(2));
+    EXPECT_EQ(a.outcome, AdmissionOutcome::kPlaced) << "job " << j;
+    EXPECT_EQ(a.ps_colocation, 1);
+  }
+  EXPECT_EQ(sched.max_ps_colocation(), 1);
+}
+
+TEST(Scheduler, TryPlaceQueuesOnBandExhaustionWithoutMutating) {
+  OnlineScheduler sched(4, SchedulerPolicy::kPsAware,
+                        AdmissionPolicy::kQueue, /*ps_band_limit=*/1);
+  std::vector<std::pair<dl::JobSpec, dl::JobPlacement>> admitted;
+  for (int j = 0; j < 4; ++j) {
+    dl::JobSpec spec = job(2);
+    admitted.emplace_back(spec, sched.try_place(spec).placement);
+  }
+  int before = 0;
+  for (net::HostId h{0}; h < net::HostId{4}; ++h) before += sched.task_count(h);
+
+  Admission held = sched.try_place(job(2));
+  EXPECT_EQ(held.outcome, AdmissionOutcome::kQueued);
+  EXPECT_EQ(held.ps_colocation, 1);  // the budget that triggered the refusal
+  int after = 0;
+  for (net::HostId h{0}; h < net::HostId{4}; ++h) after += sched.task_count(h);
+  EXPECT_EQ(after, before);  // queue/reject never charge accounting
+
+  // A departure frees a band slot; the retry then lands.
+  sched.remove(admitted[0].first, admitted[0].second);
+  EXPECT_EQ(sched.try_place(job(2)).outcome, AdmissionOutcome::kPlaced);
+}
+
+TEST(Scheduler, TryPlaceRejectsOnBandExhaustion) {
+  OnlineScheduler sched(4, SchedulerPolicy::kPsAware,
+                        AdmissionPolicy::kReject, /*ps_band_limit=*/1);
+  for (int j = 0; j < 4; ++j) sched.try_place(job(2));
+  Admission refused = sched.try_place(job(2));
+  EXPECT_EQ(refused.outcome, AdmissionOutcome::kRejected);
+  for (net::HostId h{0}; h < net::HostId{4}; ++h) {
+    EXPECT_EQ(sched.ps_count(h), 1);
+  }
+}
+
+TEST(Scheduler, ShareBandPlacesPastTheLimit) {
+  OnlineScheduler sched(4, SchedulerPolicy::kPsAware,
+                        AdmissionPolicy::kShareBand, /*ps_band_limit=*/1);
+  for (int j = 0; j < 4; ++j) sched.try_place(job(2));
+  Admission a = sched.try_place(job(2));
+  EXPECT_EQ(a.outcome, AdmissionOutcome::kPlaced);
+  EXPECT_EQ(a.ps_colocation, 2);  // budget exceeded, bands now shared
+  EXPECT_EQ(sched.max_ps_colocation(), 2);
+}
+
+TEST(Scheduler, ZeroLimitDisablesAdmissionControl) {
+  OnlineScheduler sched(3, SchedulerPolicy::kPsAware,
+                        AdmissionPolicy::kReject, /*ps_band_limit=*/0);
+  for (int j = 0; j < 12; ++j) {
+    EXPECT_EQ(sched.try_place(job(2)).outcome, AdmissionOutcome::kPlaced);
+  }
+  EXPECT_EQ(sched.max_ps_colocation(), 4);
+}
+
+TEST(Scheduler, TryPlaceStillThrowsOnStructuralImpossibility) {
+  // Too many workers is a configuration error, not a load condition — it
+  // would never succeed no matter how many jobs depart.
+  OnlineScheduler sched(3, SchedulerPolicy::kPsAware,
+                        AdmissionPolicy::kQueue, /*ps_band_limit=*/1);
+  EXPECT_THROW(sched.try_place(job(3)), std::invalid_argument);
+}
+
+TEST(Scheduler, AdmissionAccessorsAndNames) {
+  OnlineScheduler sched(3, SchedulerPolicy::kPsAware,
+                        AdmissionPolicy::kQueue, /*ps_band_limit=*/6);
+  EXPECT_EQ(sched.admission_policy(), AdmissionPolicy::kQueue);
+  EXPECT_EQ(sched.ps_band_limit(), 6);
+  EXPECT_STREQ(to_string(AdmissionPolicy::kShareBand), "share-band");
+  EXPECT_STREQ(to_string(AdmissionPolicy::kQueue), "queue");
+  EXPECT_STREQ(to_string(AdmissionPolicy::kReject), "reject");
+  EXPECT_STREQ(to_string(AdmissionOutcome::kPlaced), "placed");
+  EXPECT_STREQ(to_string(AdmissionOutcome::kQueued), "queued");
+  EXPECT_STREQ(to_string(AdmissionOutcome::kRejected), "rejected");
+}
+
 }  // namespace
 }  // namespace tls::cluster

@@ -195,5 +195,58 @@ TEST(JobRuntime, SpreadWorkersOverFewerHostsStillWorks) {
   EXPECT_TRUE(job.finished());
 }
 
+TEST(JobRuntime, RequestStopEvictsMidFlight) {
+  sim::Simulator s(1);
+  net::Fabric fab(s, small_fabric(3));
+  int finishes = 0;
+  JobRuntime job(s, fab, small_job(2, 1'000'000), star_placement(2),
+                 [&] { ++finishes; });
+  job.start();
+  s.run(s.now() + 1 * sim::kSecond);
+  ASSERT_FALSE(job.finished());
+  job.request_stop();
+  EXPECT_TRUE(job.finished());
+  EXPECT_TRUE(job.evicted());
+  EXPECT_EQ(finishes, 1);
+  EXPECT_LT(job.iteration(), 1'000'000);
+  EXPECT_GT(job.jct(), sim::Time{0});
+}
+
+TEST(JobRuntime, RequestStopIsNoOpOnFinishedJob) {
+  sim::Simulator s(1);
+  net::Fabric fab(s, small_fabric(3));
+  int finishes = 0;
+  JobRuntime job(s, fab, small_job(2, 4), star_placement(2),
+                 [&] { ++finishes; });
+  job.start();
+  s.run();
+  ASSERT_TRUE(job.finished());
+  job.request_stop();  // must not re-fire on_finish or flip evicted
+  EXPECT_FALSE(job.evicted());
+  EXPECT_EQ(finishes, 1);
+}
+
+TEST(JobRuntime, RequestStopBeforeStartGivesZeroLengthLifetime) {
+  // A queued job can be cancelled before its staggered start.
+  sim::Simulator s(1);
+  net::Fabric fab(s, small_fabric(3));
+  JobRuntime job(s, fab, small_job(2, 4), star_placement(2));
+  job.request_stop();
+  EXPECT_TRUE(job.finished());
+  EXPECT_TRUE(job.evicted());
+  EXPECT_EQ(job.jct(), sim::Time{0});
+  EXPECT_EQ(job.iteration(), 0);
+}
+
+TEST(JobRuntime, CompletedJobIsNotEvicted) {
+  sim::Simulator s(1);
+  net::Fabric fab(s, small_fabric(3));
+  JobRuntime job(s, fab, small_job(2, 4), star_placement(2));
+  job.start();
+  s.run();
+  EXPECT_TRUE(job.finished());
+  EXPECT_FALSE(job.evicted());
+}
+
 }  // namespace
 }  // namespace tls::dl

@@ -196,6 +196,126 @@ TEST(Cli, ReportWorksWithNarrowTraceFilter) {
   std::remove(path.c_str());
 }
 
+// Small dynamic-cluster scenario: finishes in well under a second.
+#define SMALL_SCENARIO                                                  \
+  "scenario", "--hosts", "4", "--cores", "4", "--scenario-jobs", "5",   \
+      "--scenario-mean-s", "2", "--scenario-workers-min", "2",          \
+      "--scenario-workers-max", "3", "--scenario-iters-min", "3",       \
+      "--scenario-iters-max", "4", "--scenario-batch", "1",             \
+      "--scenario-sample-s", "0"
+
+TEST(Cli, ScenarioProducesTable) {
+  CliRun r = cli({SMALL_SCENARIO, "--policy", "tls-one"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  EXPECT_NE(r.out.find("policy"), std::string::npos);
+  EXPECT_NE(r.out.find("mean JCT (s)"), std::string::npos);
+  EXPECT_NE(r.out.find("TLs-One"), std::string::npos);
+}
+
+TEST(Cli, ScenarioCompareRunsAllPolicies) {
+  CliRun r = cli({SMALL_SCENARIO, "--scenario-compare", "--csv"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  for (const char* policy : {"FIFO", "TLs-One", "TLs-RR"}) {
+    EXPECT_NE(r.out.find(policy), std::string::npos) << policy << "\n" << r.out;
+  }
+}
+
+TEST(Cli, ScenarioUnknownFlagRejectedWithValidList) {
+  CliRun r = cli({SMALL_SCENARIO, "--scenario-bogus", "1"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("unknown flag --scenario-bogus"), std::string::npos)
+      << r.err;
+  // The error lists every valid scenario flag so the user can self-serve.
+  EXPECT_NE(r.err.find("--scenario-jobs"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("--scenario-csv"), std::string::npos) << r.err;
+}
+
+TEST(Cli, ScenarioBadArrivalsRejected) {
+  CliRun r = cli({SMALL_SCENARIO, "--scenario-arrivals", "weibull"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("bad --scenario-arrivals 'weibull' (poisson|pareto)"),
+            std::string::npos)
+      << r.err;
+}
+
+TEST(Cli, ScenarioBadAdmissionRejected) {
+  CliRun r = cli({SMALL_SCENARIO, "--scenario-admission", "drop"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("bad --scenario-admission 'drop'"), std::string::npos)
+      << r.err;
+  EXPECT_NE(r.err.find("share|queue|reject"), std::string::npos) << r.err;
+}
+
+TEST(Cli, ScenarioBadModelRejectedWithZooList) {
+  CliRun r = cli({SMALL_SCENARIO, "--scenario-models", "resnet999"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("bad --scenario-models"), std::string::npos) << r.err;
+  EXPECT_NE(r.err.find("unknown model 'resnet999'"), std::string::npos)
+      << r.err;
+  EXPECT_NE(r.err.find("resnet32_cifar10"), std::string::npos) << r.err;
+}
+
+TEST(Cli, ScenarioBadRangeRejected) {
+  CliRun r = cli({SMALL_SCENARIO, "--scenario-evict-frac", "1.5"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("--scenario-evict-frac must be <= 1"),
+            std::string::npos)
+      << r.err;
+}
+
+TEST(Cli, ScenarioBadNumberRejected) {
+  CliRun r = cli({SMALL_SCENARIO, "--scenario-band-limit", "many"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("bad value for --scenario-band-limit"),
+            std::string::npos)
+      << r.err;
+}
+
+TEST(Cli, ScenarioWritesResultAndTraceArtifacts) {
+  std::string prefix = ::testing::TempDir() + "/tlsim_cli_scenario";
+  CliRun r = cli({SMALL_SCENARIO, "--policy", "tls-one",
+                  "--scenario-out", prefix + ".json",
+                  "--scenario-csv", prefix + ".csv",
+                  "--scenario-trace-out", prefix + "_trace.csv"});
+  EXPECT_EQ(r.code, 0) << r.err;
+  std::ifstream json(prefix + ".json");
+  std::string line;
+  std::getline(json, line);
+  EXPECT_EQ(line, "{");
+  std::getline(json, line);
+  EXPECT_NE(line.find("\"schema\": \"scenario-v1\""), std::string::npos);
+  std::ifstream csv(prefix + ".csv");
+  std::getline(csv, line);
+  EXPECT_NE(line.find("job_id,model"), std::string::npos);
+  std::ifstream trace(prefix + "_trace.csv");
+  std::getline(trace, line);
+  EXPECT_NE(line.find("job_id,arrival_s"), std::string::npos);
+  for (const char* suffix : {".json", ".csv", "_trace.csv"}) {
+    std::remove((prefix + suffix).c_str());
+  }
+}
+
+TEST(Cli, ScenarioTraceReplayRoundTrips) {
+  // Export the generated trace, replay it, and check the replayed run
+  // reports the same jobs.
+  std::string path = ::testing::TempDir() + "/tlsim_cli_scenario_replay.csv";
+  CliRun gen = cli({SMALL_SCENARIO, "--policy", "fifo", "--csv",
+                    "--scenario-trace-out", path});
+  ASSERT_EQ(gen.code, 0) << gen.err;
+  CliRun replay = cli({SMALL_SCENARIO, "--policy", "fifo", "--csv",
+                       "--scenario-trace", path});
+  EXPECT_EQ(replay.code, 0) << replay.err;
+  EXPECT_EQ(gen.out, replay.out);
+  std::remove(path.c_str());
+}
+
+TEST(Cli, ScenarioMissingTraceFileRejected) {
+  CliRun r = cli({SMALL_SCENARIO, "--scenario-trace", "/nonexistent/t.csv"});
+  EXPECT_EQ(r.code, 2);
+  EXPECT_NE(r.err.find("cannot open --scenario-trace file"), std::string::npos)
+      << r.err;
+}
+
 TEST(Cli, SweepBatchRuns) {
   CliRun r = cli({"sweep-batch", "--hosts", "5", "--jobs", "4", "--workers",
                   "4", "--iters", "3", "--link-gbps", "2.5", "--csv"});

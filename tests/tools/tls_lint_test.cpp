@@ -72,6 +72,33 @@ TEST(TlsLint, RngModuleIsExemptFromRngRule) {
   EXPECT_FALSE(has_rule(findings, "banned-rng"));
 }
 
+TEST(TlsLint, CatchesDefaultSeededRngConstruction) {
+  // `Rng()` / `Rng{}` fall back to the fixed default seed, so every such
+  // generator produces identical correlated draws.
+  auto f1 = lint_source("net/bad.cpp", "sim::Rng r = sim::Rng();\n");
+  EXPECT_TRUE(has_rule(f1, "banned-rng")) << format_findings(f1);
+  auto f2 = lint_source("scenario/bad.cpp", "auto r = sim::Rng{};\n");
+  EXPECT_TRUE(has_rule(f2, "banned-rng")) << format_findings(f2);
+  auto f3 = lint_source("dl/bad.cpp", "use(Rng());\n");
+  EXPECT_TRUE(has_rule(f3, "banned-rng")) << format_findings(f3);
+}
+
+TEST(TlsLint, DoesNotFlagSeededRngOrPlainDeclarations) {
+  std::string src =
+      "sim::Rng seeded(7);\n"
+      "sim::Rng forked = root.fork(\"stream\");\n"
+      "sim::Rng rng_;\n";  // member decl, re-seeded in the ctor initializer
+  auto findings = lint_source("net/good.cpp", src);
+  EXPECT_FALSE(has_rule(findings, "banned-rng")) << format_findings(findings);
+}
+
+TEST(TlsLint, RngModuleMayDefaultConstruct) {
+  // The generator's own header declares the defaulted constructor.
+  auto findings = lint_source("simcore/rng.hpp",
+                              "explicit Rng(std::uint64_t seed = 1); Rng();\n");
+  EXPECT_FALSE(has_rule(findings, "banned-rng")) << format_findings(findings);
+}
+
 TEST(TlsLint, DoesNotFlagOperandLikeIdentifiers) {
   auto findings = lint_source(
       "net/good.cpp", "int operand(int x);\nint y = my_rand(3);\n");

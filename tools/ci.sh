@@ -82,7 +82,42 @@ else
   echo "python3 not installed; skipping report JSON well-formedness check"
 fi
 
-echo "==> [2e/4] bench_simcore smoke: queue mixes + fabric drain under ASan"
+echo "==> [2e/4] scenario smoke: tlsim scenario + trace replay under ASan"
+./build-asan/tools/tlsim scenario --hosts 4 --cores 4 \
+  --scenario-jobs 6 --scenario-mean-s 2 --scenario-workers-min 2 \
+  --scenario-workers-max 3 --scenario-iters-min 3 --scenario-iters-max 5 \
+  --scenario-batch 1 --scenario-sample-s 0 --seed 5 \
+  --scenario-out "$smoke_dir/scenario.json" \
+  --scenario-csv "$smoke_dir/scenario.csv" \
+  --scenario-trace-out "$smoke_dir/scenario-trace.csv" >/dev/null
+for f in scenario.json scenario.csv scenario-trace.csv; do
+  [ -s "$smoke_dir/$f" ] || { echo "missing scenario artifact $f"; exit 1; }
+done
+# Replaying the emitted trace must reproduce the generated run exactly.
+# (trace_seed is metadata: replayed CSVs record 0, generated runs the seed.)
+./build-asan/tools/tlsim scenario --hosts 4 --cores 4 \
+  --scenario-trace "$smoke_dir/scenario-trace.csv" \
+  --scenario-sample-s 0 --seed 5 \
+  --scenario-out "$smoke_dir/scenario-replay.json" >/dev/null
+cmp <(grep -v '"trace_seed"' "$smoke_dir/scenario.json") \
+    <(grep -v '"trace_seed"' "$smoke_dir/scenario-replay.json") \
+  || { echo "scenario trace replay diverges from generated run"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$smoke_dir/scenario.json" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+assert doc["schema"] == "scenario-v1", doc.get("schema")
+assert doc["jobs"]["total"] == len(doc["jobs_detail"]) == 6, doc["jobs"]
+assert doc["jobs"]["completed"] + doc["jobs"]["evicted"] \
+    + doc["jobs"]["rejected"] + doc["jobs"]["unfinished"] == 6
+print(f"scenario OK: {doc['jobs']['completed']} completed, "
+      f"horizon {doc['horizon_s']:.1f} s")
+PYEOF
+else
+  echo "python3 not installed; skipping scenario JSON well-formedness check"
+fi
+
+echo "==> [2f/4] bench_simcore smoke: queue mixes + fabric drain under ASan"
 cmake --build --preset debug-asan -j "$jobs" --target bench_simcore
 env TLS_BENCH_SIMCORE_OPS=2000 TLS_BENCH_SIMCORE_HOSTS=64 TLS_BENCH_ITERS=2 \
   TLS_BENCH_JSON_DIR="$smoke_dir" ./build-asan/bench/bench_simcore >/dev/null

@@ -370,6 +370,31 @@ std::vector<Finding> lint_source(
           pos += call.size();
         }
       }
+      // Default-seeded sim::Rng construction (`Rng()` / `Rng{}`): every
+      // generator outside the rng module must take an explicit seed or be
+      // fork()ed from a seeded stream — the default seed silently
+      // correlates draws across unrelated components. Plain member
+      // declarations (`sim::Rng rng_;`) are fine: they are re-seeded in a
+      // constructor initializer list.
+      {
+        std::size_t pos = 0;
+        while ((pos = line.find("Rng", pos)) != std::string::npos) {
+          std::size_t end = pos + 3;
+          bool left_ok = pos == 0 || !is_ident_char(line[pos - 1]);
+          bool right_ok = end >= line.size() || !is_ident_char(line[end]);
+          if (left_ok && right_ok) {
+            std::size_t j = end;
+            while (j < line.size() && line[j] == ' ') ++j;
+            if (j + 1 < line.size() && ((line[j] == '(' && line[j + 1] == ')') ||
+                                        (line[j] == '{' && line[j + 1] == '}'))) {
+              add(lineno, "banned-rng",
+                  "default-seeded sim::Rng — pass an explicit seed or fork() "
+                  "from the experiment's root stream");
+            }
+          }
+          pos = end;
+        }
+      }
     }
 
     // --- threading-outside-runtime ---

@@ -16,6 +16,13 @@
 //   banned-rng          rand()/srand(), std::random_device, mt19937 and
 //                       friends anywhere except src/simcore/rng.* — all
 //                       randomness must flow through tls::sim::Rng streams.
+//                       Also flags default-seeded construction (`Rng()` /
+//                       `Rng{}`) outside src/simcore/rng.*: a generator
+//                       must be given an explicit seed or fork()ed from a
+//                       seeded stream, otherwise every default-constructed
+//                       Rng silently produces the same correlated draws.
+//                       Plain declarations (`sim::Rng rng_;`) stay legal —
+//                       they are re-seeded in constructor initializers.
 //   unordered-iteration range-for or .begin() iteration over a member
 //                       declared as std::unordered_map/unordered_set in the
 //                       hot-path directories (src/net, src/simcore,
