@@ -10,7 +10,9 @@
 #include "metrics/util_sampler.hpp"
 #include "obs/analysis.hpp"
 #include "obs/export.hpp"
+#include "obs/html.hpp"
 #include "obs/metrics_registry.hpp"
+#include "obs/streaming.hpp"
 #include "simcore/simulator.hpp"
 #include "tc/tc.hpp"
 #include "tensorlights/controller.hpp"
@@ -35,6 +37,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
     if (config.obs.report_any()) cats |= obs::kAnalysisCats;
     tracer = std::make_unique<obs::Tracer>(cats);
     tracer->set_max_events(config.obs.max_events);
+    if (!config.obs.trace_sample.empty()) {
+      std::uint32_t every[obs::kNumCats];
+      for (int i = 0; i < obs::kNumCats; ++i) every[i] = 1;
+      std::string sample_err;
+      if (!obs::parse_sampling(config.obs.trace_sample, every, &sample_err)) {
+        throw std::invalid_argument("bad trace sampling spec: " + sample_err);
+      }
+      for (int i = 0; i < obs::kNumCats; ++i) {
+        tracer->set_sample_every(static_cast<obs::Cat>(1u << i), every[i]);
+      }
+    }
     if (!config.obs.metrics_path.empty()) {
       registry = std::make_unique<obs::Registry>();
       tracer->set_registry(registry.get());
@@ -264,7 +277,13 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
       throw std::runtime_error("metrics export failed: " + err);
     }
     if (config.obs.report_any()) {
-      obs::RunReport report = obs::analyze(tracer->events());
+      // The in-process report runs on the streaming engine (bounded
+      // retention); the offline tlsreport default stays batch, and the
+      // golden-report tests pin the two byte-identical.
+      obs::StreamingAnalyzer analyzer;
+      for (const obs::TraceEvent& e : tracer->events()) analyzer.ingest(e);
+      analyzer.set_health(tracer->health());
+      obs::RunReport report = analyzer.finish();
       if (!config.obs.report_path.empty() &&
           !write_file(config.obs.report_path, obs::report_text(report),
                       &err)) {
@@ -279,6 +298,17 @@ ExperimentResult run_experiment(const ExperimentConfig& config) {
           !write_file(config.obs.report_json_path, obs::report_json(report),
                       &err)) {
         throw std::runtime_error("report JSON export failed: " + err);
+      }
+      if (!config.obs.report_html_path.empty()) {
+        obs::HtmlOptions html_opts;
+        html_opts.title = "tlsreport: " + result.policy_name;
+        html_opts.label_a = result.policy_name;
+        if (!write_file(config.obs.report_html_path,
+                        obs::report_html(obs::report_json(report), "",
+                                         html_opts),
+                        &err)) {
+          throw std::runtime_error("report HTML export failed: " + err);
+        }
       }
     }
   }

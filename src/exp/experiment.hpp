@@ -37,14 +37,19 @@ struct ObsOptions {
   std::string report_path;       ///< human-readable text
   std::string report_csv_path;   ///< tidy long CSV
   std::string report_json_path;  ///< tlsreport-v1 JSON
+  std::string report_html_path;  ///< self-contained HTML dashboard
   /// Period of the queue-depth / iteration-lag gauge sampler.
   sim::Time sample_period = 100 * sim::kMillisecond;
   /// Event-log cap guarding memory on big sweeps (0 = unlimited).
   std::size_t max_events = 0;
+  /// Capture-sampling spec, a comma list of cat=N keep-1-in-N rates (see
+  /// obs::parse_sampling, e.g. "qdisc=16,htb=8"). Critical-chain
+  /// categories are clamped to 1 so attribution stays exact.
+  std::string trace_sample;
 
   bool report_any() const {
     return !report_path.empty() || !report_csv_path.empty() ||
-           !report_json_path.empty();
+           !report_json_path.empty() || !report_html_path.empty();
   }
   bool any() const {
     return !trace_path.empty() || !trace_csv_path.empty() ||

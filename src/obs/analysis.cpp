@@ -5,75 +5,20 @@
 #include <sstream>
 #include <tuple>
 
+#include "obs/analysis_detail.hpp"
+
 namespace tls::obs {
 
 namespace {
 
-// net::FlowKind ordinals as stamped into flow events' `band` field; the
-// analysis must not depend on net/ (it also runs on offline CSVs), so the
-// two ordinals it interprets are pinned here and guarded by a test.
-constexpr std::int32_t kModelUpdateKind = 0;
-constexpr std::int32_t kGradientUpdateKind = 1;
-
-/// Per-chunk trace times gathered from the four chunk/ingress events.
-/// Missing stages stay -1 (category filtered out or chunk still in flight
-/// at end of trace).
-struct ChunkTrace {
-  sim::Time enq_at{-1};
-  sim::Time deq_at{-1};
-  sim::Time arr_at{-1};
-  sim::Time del_at{-1};
-  std::size_t enq_idx = 0;  ///< log position of the enqueue event
-  std::size_t deq_idx = 0;  ///< log position of the dequeue event
-  std::int32_t egress_host = -1;
-  std::int32_t band = -1;
-  std::int64_t bytes = 0;
-};
-
-struct FlowTrace {
-  std::int32_t src = -1;
-  std::int32_t dst = -1;
-  std::int32_t job = -1;
-  std::int32_t kind = -1;  ///< FlowKind ordinal
-  std::int64_t iteration = -1;
-  sim::Time start_at{-1};
-  sim::Time end_at{-1};
-  std::map<std::int64_t, ChunkTrace> chunks;        ///< by chunk index
-  std::map<sim::Time, std::int64_t> index_by_deliver;  ///< deliver -> index
-};
-
-struct Span {
-  sim::Time begin{};
-  sim::Time end{};
-  std::int32_t actor = -1;  ///< worker or shard id
-};
-
-struct Release {
-  sim::Time at{};
-  sim::Time wait{};
-  std::int32_t worker = -1;
-};
-
-/// Everything analyze() needs, indexed once in a single pass over the log.
-struct Index {
-  std::map<std::int64_t, FlowTrace> flows;  ///< by flow id
-  /// (job, kind, dst host, end time) -> flow id, last in log order wins.
-  std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t, sim::Time>,
-           std::int64_t>
-      flow_by_end;
-  /// (job, worker) -> host, from worker_compute emission sites.
-  std::map<std::pair<std::int32_t, std::int32_t>, std::int32_t> worker_host;
-  /// (job, host) -> compute/aggregation spans ending at key time.
-  std::map<std::tuple<std::int32_t, std::int32_t, sim::Time>, Span>
-      compute_by_end;
-  std::map<std::tuple<std::int32_t, std::int32_t, sim::Time>, Span>
-      agg_by_end;
-  /// (job, iteration) -> barrier releases in log order.
-  std::map<std::pair<std::int32_t, std::int64_t>, std::vector<Release>>
-      releases;
-};
+using detail::Index;
+using detail::QueueVisit;
+using detail::Release;
 
 Index build_index(const std::vector<TraceEvent>& events) {
+  using detail::ChunkTrace;
+  using detail::FlowTrace;
+  using detail::Span;
   Index ix;
   for (std::size_t i = 0; i < events.size(); ++i) {
     const TraceEvent& e = events[i];
@@ -154,185 +99,6 @@ Index build_index(const std::vector<TraceEvent>& events) {
   return ix;
 }
 
-/// An egress-queueing interval on the critical path, remembered so the
-/// blame pass can scan the log window (enq_idx, deq_idx).
-struct QueueVisit {
-  std::int32_t host = -1;
-  std::int64_t victim_flow = 0;
-  std::size_t enq_idx = 0;
-  std::size_t deq_idx = 0;
-};
-
-/// Collects backward-ordered segments; clamps every interval to >= lo and
-/// coalesces nothing (renderers aggregate by kind).
-class SegmentSink {
- public:
-  explicit SegmentSink(sim::Time lo) : lo_(lo) {}
-
-  void add(SegmentKind kind, sim::Time begin, sim::Time end,
-           std::int32_t host, std::int64_t flow) {
-    begin = std::max(begin, lo_);
-    end = std::max(end, lo_);
-    if (end <= begin) return;
-    segs_.push_back(PathSegment{kind, begin, end, host, flow});
-  }
-
-  /// Segments in forward time order.
-  std::vector<PathSegment> take() {
-    std::reverse(segs_.begin(), segs_.end());
-    return std::move(segs_);
-  }
-
- private:
-  sim::Time lo_;
-  std::vector<PathSegment> segs_;
-};
-
-/// Decomposes the critical flow's span [start, end] into the backward
-/// chunk chain: the last-delivered chunk's fan-in / wire / egress-queue
-/// intervals, then (recursively) the chunk whose delivery admitted it,
-/// until the chain reaches the flow start. The transport admits follow-up
-/// chunks at the exact delivery instant of earlier ones, so the chain
-/// tiles the span with no gaps; anything unattributable (no chunk events,
-/// zero-byte flow) lands in `other`.
-void decompose_flow(const FlowTrace& f, sim::Time lo, SegmentSink& sink,
-                    std::vector<QueueVisit>& visits, std::int64_t flow_id) {
-  sim::Time cursor = f.end_at;
-  // Last chunk: the one delivered at flow end.
-  const ChunkTrace* c = nullptr;
-  if (!f.index_by_deliver.empty()) {
-    auto last = std::prev(f.index_by_deliver.end());
-    c = &f.chunks.at(last->second);
-  }
-  while (c != nullptr && cursor > lo) {
-    if (c->arr_at < sim::Time{0} || c->deq_at < sim::Time{0} ||
-        c->enq_at < sim::Time{0} || c->del_at < sim::Time{0}) {
-      break;  // partial chunk record; leave the remainder to `other`
-    }
-    sink.add(SegmentKind::kFanIn, c->arr_at, cursor, f.dst, flow_id);
-    sink.add(SegmentKind::kSerialization, c->deq_at, c->arr_at, f.src,
-             flow_id);
-    sink.add(SegmentKind::kEgressQueue, c->enq_at, c->deq_at, f.src, flow_id);
-    if (c->deq_at > c->enq_at && c->deq_at > lo) {
-      visits.push_back(
-          QueueVisit{c->egress_host, flow_id, c->enq_idx, c->deq_idx});
-    }
-    cursor = c->enq_at;
-    if (cursor <= f.start_at || cursor <= lo) break;
-    // The chunk was admitted by the delivery of an earlier chunk at the
-    // same instant; follow it.
-    auto it = f.index_by_deliver.find(cursor);
-    if (it == f.index_by_deliver.end()) break;
-    c = &f.chunks.at(it->second);
-  }
-  // Gap between flow start and where the chunk chain bottomed out (missing
-  // chunk data, truncated trace): unattributable.
-  if (cursor > f.start_at) {
-    sink.add(SegmentKind::kOther, std::max(f.start_at, lo), cursor, f.src,
-             flow_id);
-  }
-}
-
-/// Walks the backward causal chain for one barrier window [lo, release],
-/// alternating transfer and compute links per the PS state machine:
-/// model flow <- aggregation <- gradient flow <- worker compute <- model
-/// flow of the previous iteration <- ... Every link ends exactly where the
-/// next begins (same-instant callbacks in the simulator), so the segments
-/// tile the window; when a link cannot be found the remainder is `other`.
-void walk_critical_path(const Index& ix, std::int32_t job, sim::Time lo,
-                        sim::Time release_at, std::int32_t release_host,
-                        SegmentSink& sink, std::vector<QueueVisit>& visits) {
-  enum class Phase { kModelFlow, kAggregate, kGradientFlow, kCompute };
-  Phase phase = Phase::kModelFlow;
-  std::int32_t host = release_host;
-  sim::Time cursor = release_at;
-  // The chain shortens cursor by >= 1 ns per full cycle; the bound only
-  // guards against malformed (hand-edited) traces.
-  for (int steps = 0; cursor > lo && steps < 1 << 20; ++steps) {
-    switch (phase) {
-      case Phase::kModelFlow: {
-        auto it = ix.flow_by_end.find({job, kModelUpdateKind, host, cursor});
-        if (it == ix.flow_by_end.end()) {
-          sink.add(SegmentKind::kOther, lo, cursor, host, 0);
-          return;
-        }
-        const FlowTrace& f = ix.flows.at(it->second);
-        decompose_flow(f, lo, sink, visits, it->second);
-        host = f.src;
-        cursor = std::max(f.start_at, lo);
-        phase = Phase::kAggregate;
-        break;
-      }
-      case Phase::kAggregate: {
-        // Greatest aggregation span at this host ending at or before the
-        // flow start; the gap between its end and the flow start is the
-        // coordination wait (transmission gate).
-        auto it = ix.agg_by_end.upper_bound({job, host, cursor});
-        if (it == ix.agg_by_end.begin()) {
-          sink.add(SegmentKind::kOther, lo, cursor, host, 0);
-          return;
-        }
-        --it;
-        if (std::get<0>(it->first) != job || std::get<1>(it->first) != host) {
-          sink.add(SegmentKind::kOther, lo, cursor, host, 0);
-          return;
-        }
-        const Span& agg = it->second;
-        sink.add(SegmentKind::kOther, agg.end, cursor, host, 0);
-        sink.add(SegmentKind::kCompute, agg.begin, std::min(agg.end, cursor),
-                 host, 0);
-        cursor = std::max(agg.begin, lo);
-        phase = Phase::kGradientFlow;
-        break;
-      }
-      case Phase::kGradientFlow: {
-        // Aggregation starts the instant the last gradient lands.
-        auto it =
-            ix.flow_by_end.find({job, kGradientUpdateKind, host, cursor});
-        if (it == ix.flow_by_end.end()) {
-          sink.add(SegmentKind::kOther, lo, cursor, host, 0);
-          return;
-        }
-        const FlowTrace& f = ix.flows.at(it->second);
-        decompose_flow(f, lo, sink, visits, it->second);
-        host = f.src;
-        cursor = std::max(f.start_at, lo);
-        phase = Phase::kCompute;
-        break;
-      }
-      case Phase::kCompute: {
-        // Gradient flows leave at the exact compute-done instant.
-        auto it = ix.compute_by_end.find({job, host, cursor});
-        if (it == ix.compute_by_end.end()) {
-          sink.add(SegmentKind::kOther, lo, cursor, host, 0);
-          return;
-        }
-        const Span& cs = it->second;
-        sink.add(SegmentKind::kCompute, cs.begin, cursor, host, 0);
-        cursor = std::max(cs.begin, lo);
-        // Compute started when the previous iteration's model update
-        // finished arriving at this worker host.
-        phase = Phase::kModelFlow;
-        break;
-      }
-    }
-  }
-  if (cursor > lo) sink.add(SegmentKind::kOther, lo, cursor, host, 0);
-}
-
-void accumulate(IterationReport& r) {
-  for (const PathSegment& s : r.segments) {
-    sim::Time len = s.end - s.begin;
-    switch (s.kind) {
-      case SegmentKind::kCompute: r.compute_ns += len; break;
-      case SegmentKind::kEgressQueue: r.egress_queue_ns += len; break;
-      case SegmentKind::kSerialization: r.serialization_ns += len; break;
-      case SegmentKind::kFanIn: r.fan_in_ns += len; break;
-      case SegmentKind::kOther: r.other_ns += len; break;
-    }
-  }
-}
-
 }  // namespace
 
 const char* to_string(SegmentKind kind) {
@@ -354,34 +120,9 @@ RunReport analyze(const std::vector<TraceEvent>& events) {
   for (const auto& [key, rels] : ix.releases) {
     auto [job, iteration] = key;
     if (iteration < 0) continue;
-    // Critical worker: largest wait; first in log order breaks ties.
-    const Release* crit = &rels.front();
-    for (const Release& r : rels) {
-      if (r.wait > crit->wait) crit = &r;
-    }
-
-    IterationReport r;
-    r.job = job;
-    r.iteration = iteration;
-    r.critical_worker = crit->worker;
-    r.release_at = crit->at;
-    r.barrier_wait = crit->wait;
-    r.enter_at = crit->at - crit->wait;
-
-    std::int32_t worker_host = -1;
-    auto wh = ix.worker_host.find({job, crit->worker});
-    if (wh != ix.worker_host.end()) worker_host = wh->second;
-
-    SegmentSink sink(r.enter_at);
     std::vector<QueueVisit> visits;
-    if (worker_host >= 0) {
-      walk_critical_path(ix, job, r.enter_at, r.release_at, worker_host, sink,
-                         visits);
-    } else {
-      sink.add(SegmentKind::kOther, r.enter_at, r.release_at, -1, 0);
-    }
-    r.segments = sink.take();
-    accumulate(r);
+    IterationReport r = detail::build_iteration(ix, job, iteration, rels,
+                                                visits);
 
     // Blame pass: log-order window scan per queueing visit.
     std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t>,
@@ -401,22 +142,7 @@ RunReport analyze(const std::vector<TraceEvent>& events) {
                                    std::get<2>(bk), bytes});
     }
 
-    JobSummary& js = jobs[job];
-    js.job = job;
-    ++js.iterations;
-    js.total_wait_ns += r.barrier_wait;
-    js.compute_ns += r.compute_ns;
-    js.egress_queue_ns += r.egress_queue_ns;
-    js.serialization_ns += r.serialization_ns;
-    js.fan_in_ns += r.fan_in_ns;
-    js.other_ns += r.other_ns;
-    for (const BlameEntry& b : r.blame) {
-      if (b.culprit_job == job) {
-        js.self_blame_bytes += b.bytes;
-      } else {
-        js.cross_job_blame_bytes += b.bytes;
-      }
-    }
+    detail::fold_into_summary(jobs[job], r);
     report.iterations.push_back(std::move(r));
   }
 
@@ -436,6 +162,18 @@ namespace {
 /// Integer percentage of part in whole (0 when whole is 0).
 std::int64_t pct(sim::Time part, sim::Time whole) {
   return whole > sim::Time{0} ? part * 100 / whole : 0;
+}
+
+/// Renders `name=count` pairs for every nonzero per-category counter.
+void append_cat_counts(std::ostringstream& os,
+                       const std::uint64_t (&by_cat)[kNumCats]) {
+  bool first = true;
+  for (int i = 0; i < kNumCats; ++i) {
+    if (by_cat[i] == 0) continue;
+    if (!first) os << ", ";
+    first = false;
+    os << to_string(static_cast<Cat>(1u << i)) << '=' << by_cat[i];
+  }
 }
 
 void append_iteration_row(std::ostringstream& os, const IterationReport& r) {
@@ -458,6 +196,19 @@ std::string report_text(const RunReport& report) {
   os << "tlsreport: per-iteration critical-path attribution\n";
   os << "jobs " << report.jobs.size() << ", iterations "
      << report.iterations.size() << "\n";
+  if (report.health.dropped_total > 0) {
+    os << "WARNING: trace is incomplete - the tracer dropped "
+       << report.health.dropped_total
+       << " events at the max-events cap (";
+    append_cat_counts(os, report.health.dropped_by_cat);
+    os << "); attribution below may be missing time and blame\n";
+  }
+  if (report.health.sampled_out_total > 0) {
+    os << "note: capture sampling excluded "
+       << report.health.sampled_out_total << " events (";
+    append_cat_counts(os, report.health.sampled_out_by_cat);
+    os << "); critical-chain categories are never sampled\n";
+  }
   for (const JobSummary& js : report.jobs) {
     os << "\njob " << js.job << " (" << js.iterations << " iterations)\n";
     for (const IterationReport& r : report.iterations) {
@@ -503,9 +254,41 @@ std::string report_csv(const RunReport& report) {
   return os.str();
 }
 
+namespace {
+
+/// JSON object of nonzero per-category counters ({"chunk":12,...}).
+void append_cat_counts_json(std::ostringstream& os,
+                            const std::uint64_t (&by_cat)[kNumCats]) {
+  os << '{';
+  bool first = true;
+  for (int i = 0; i < kNumCats; ++i) {
+    if (by_cat[i] == 0) continue;
+    if (!first) os << ',';
+    first = false;
+    os << '"' << to_string(static_cast<Cat>(1u << i)) << "\":" << by_cat[i];
+  }
+  os << '}';
+}
+
+}  // namespace
+
 std::string report_json(const RunReport& report) {
   std::ostringstream os;
-  os << "{\"schema\":\"tlsreport-v1\",\"jobs\":[";
+  os << "{\"schema\":\"tlsreport-v1\",";
+  // Only an incomplete capture carries a health object, so reports from
+  // complete traces keep their historical bytes (golden-report contract).
+  if (report.health.dropped_total > 0 ||
+      report.health.sampled_out_total > 0) {
+    os << "\"trace_health\":{\"dropped_total\":"
+       << report.health.dropped_total
+       << ",\"sampled_out_total\":" << report.health.sampled_out_total
+       << ",\"dropped_by_cat\":";
+    append_cat_counts_json(os, report.health.dropped_by_cat);
+    os << ",\"sampled_out_by_cat\":";
+    append_cat_counts_json(os, report.health.sampled_out_by_cat);
+    os << "},";
+  }
+  os << "\"jobs\":[";
   bool first_job = true;
   for (const JobSummary& js : report.jobs) {
     if (!first_job) os << ',';

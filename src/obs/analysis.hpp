@@ -114,6 +114,10 @@ struct JobSummary {
 struct RunReport {
   std::vector<IterationReport> iterations;  ///< sorted by (job, iteration)
   std::vector<JobSummary> jobs;             ///< sorted by job
+  /// Capture completeness of the trace the report was built from. When the
+  /// tracer dropped events (max_events cap) the text/JSON renderers emit a
+  /// warning — a truncated trace must never pass as a complete one.
+  TraceHealth health{};
 };
 
 /// Builds the attribution report from a trace event stream. Requires the

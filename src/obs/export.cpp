@@ -264,6 +264,24 @@ std::string trace_csv(const Tracer& tracer) {
        << e.host << ',' << e.job << ',' << e.band << ',' << e.flow << ','
        << e.bytes << ',' << e.a << ',' << e.b << ',' << e.dur << '\n';
   }
+  // Capture-health trailer: omitted entirely for complete traces, so the
+  // file format (and every golden) is unchanged unless events went missing.
+  const TraceHealth& h = tracer.health();
+  if (!h.complete()) {
+    auto emit = [&os](const char* which, std::uint64_t total,
+                      const std::uint64_t (&by_cat)[kNumCats]) {
+      if (total == 0) return;
+      os << "#health," << which << ",total," << total << '\n';
+      for (std::uint32_t bit = 1; bit <= kAllCats; bit <<= 1) {
+        Cat cat = static_cast<Cat>(bit);
+        std::uint64_t n = by_cat[cat_index(cat)];
+        if (n != 0) os << "#health," << which << ',' << to_string(cat) << ','
+                       << n << '\n';
+      }
+    };
+    emit("dropped", h.dropped_total, h.dropped_by_cat);
+    emit("sampled", h.sampled_out_total, h.sampled_out_by_cat);
+  }
   return os.str();
 }
 

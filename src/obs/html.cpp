@@ -1,0 +1,407 @@
+#include "obs/html.hpp"
+
+#include <sstream>
+
+namespace tls::obs {
+
+namespace {
+
+/// Escapes text destined for HTML element/attribute context.
+std::string escape_html(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '&': out += "&amp;"; break;
+      case '<': out += "&lt;"; break;
+      case '>': out += "&gt;"; break;
+      case '"': out += "&quot;"; break;
+      default: out += c;
+    }
+  }
+  return out;
+}
+
+/// Makes a JSON document safe to embed inside <script>: '<' can only occur
+/// inside JSON strings, where < is an equivalent escape, so a global
+/// replace can never corrupt the document (it forecloses '</script>').
+std::string escape_json_for_script(const std::string& json) {
+  std::string out;
+  out.reserve(json.size());
+  for (char c : json) {
+    if (c == '<') {
+      out += "\\u003c";
+    } else {
+      out += c;
+    }
+  }
+  return out;
+}
+
+constexpr const char* kStyle = R"css(
+  :root { color-scheme: light; }
+  body { font: 14px/1.45 -apple-system, "Segoe UI", Roboto, sans-serif;
+         margin: 24px auto; max-width: 1100px; padding: 0 16px;
+         color: #1c2733; background: #fafbfc; }
+  h1 { font-size: 22px; margin-bottom: 4px; }
+  h2 { font-size: 17px; margin: 28px 0 8px; border-bottom: 1px solid #d8dee4;
+       padding-bottom: 4px; }
+  h3 { font-size: 15px; margin: 18px 0 6px; }
+  .meta { color: #57606a; margin-bottom: 16px; }
+  .banner { background: #fff1f0; border: 1px solid #d4380d; color: #a8071a;
+            padding: 8px 12px; border-radius: 6px; margin: 12px 0; }
+  .note { background: #fffbe6; border: 1px solid #d4b106; color: #614700;
+          padding: 8px 12px; border-radius: 6px; margin: 12px 0; }
+  .legend { margin: 8px 0 16px; }
+  .legend span { display: inline-block; margin-right: 14px; }
+  .swatch { display: inline-block; width: 12px; height: 12px;
+            border-radius: 2px; margin-right: 4px; vertical-align: -1px; }
+  table.iters { border-collapse: collapse; width: 100%; }
+  table.iters td { padding: 2px 6px; vertical-align: middle; }
+  td.lbl { white-space: nowrap; color: #57606a; font-family: ui-monospace,
+           SFMono-Regular, Menlo, monospace; font-size: 12px; width: 1%; }
+  .bar { display: flex; height: 16px; background: #eceff2;
+         border-radius: 3px; overflow: hidden; }
+  .bar span { display: block; height: 100%; }
+  .num { font-family: ui-monospace, SFMono-Regular, Menlo, monospace;
+         font-size: 12px; }
+  table.heat { border-collapse: collapse; margin-top: 6px; }
+  table.heat th, table.heat td { border: 1px solid #d8dee4; padding: 3px 8px;
+         font-size: 12px; text-align: right;
+         font-family: ui-monospace, SFMono-Regular, Menlo, monospace; }
+  table.heat th { background: #f0f2f4; font-weight: 600; }
+  .pair { display: flex; gap: 6px; align-items: center; }
+  .pair .tag { width: 14px; color: #57606a; font-size: 11px;
+         font-family: ui-monospace, SFMono-Regular, Menlo, monospace; }
+  .delta-good { color: #1a7f37; }
+  .delta-bad { color: #cf222e; }
+  .empty { color: #57606a; font-style: italic; }
+)css";
+
+constexpr const char* kScript = R"js(
+"use strict";
+(function () {
+  var KINDS = ["compute", "egress_queue", "serialization", "fan_in", "other"];
+  var COLORS = {
+    compute: "#4c9aff",
+    egress_queue: "#f5222d",
+    serialization: "#52c41a",
+    fan_in: "#fa8c16",
+    other: "#bfbfbf"
+  };
+
+  function parseReport(id) {
+    var node = document.getElementById(id);
+    return node ? JSON.parse(node.textContent) : null;
+  }
+
+  function el(tag, cls, text) {
+    var e = document.createElement(tag);
+    if (cls) e.className = cls;
+    if (text !== undefined) e.textContent = text;
+    return e;
+  }
+
+  function fmt(n) {
+    return String(n).replace(/\B(?=(\d{3})+(?!\d))/g, ",");
+  }
+
+  function catCounts(obj) {
+    return Object.keys(obj).map(function (k) {
+      return k + "=" + obj[k];
+    }).join(", ");
+  }
+
+  function renderHealth(rep, root) {
+    var h = rep.trace_health;
+    if (!h) return;
+    if (h.dropped_total > 0) {
+      root.appendChild(el("div", "banner",
+          "WARNING: trace is incomplete - the tracer dropped " +
+          fmt(h.dropped_total) + " events at the max-events cap (" +
+          catCounts(h.dropped_by_cat) +
+          "); attribution may be missing time and blame"));
+    }
+    if (h.sampled_out_total > 0) {
+      root.appendChild(el("div", "note",
+          "capture sampling excluded " + fmt(h.sampled_out_total) +
+          " events (" + catCounts(h.sampled_out_by_cat) +
+          "); critical-chain categories are never sampled"));
+    }
+  }
+
+  function legend(root) {
+    var box = el("div", "legend");
+    KINDS.forEach(function (k) {
+      var item = el("span");
+      var sw = el("span", "swatch");
+      sw.style.background = COLORS[k];
+      item.appendChild(sw);
+      item.appendChild(document.createTextNode(k));
+      box.appendChild(item);
+    });
+    root.appendChild(box);
+  }
+
+  function stackedBar(row, maxWait) {
+    var bar = el("div", "bar");
+    var wait = row.wait_ns !== undefined ? row.wait_ns : row.total_wait_ns;
+    if (maxWait > 0) bar.style.width = (wait * 100 / maxWait) + "%";
+    KINDS.forEach(function (k) {
+      var v = row[k + "_ns"];
+      if (!v || wait <= 0) return;
+      var seg = el("span");
+      seg.style.width = (v * 100 / wait) + "%";
+      seg.style.background = COLORS[k];
+      bar.appendChild(seg);
+    });
+    bar.title = KINDS.map(function (k) {
+      return k + " " + fmt(row[k + "_ns"] || 0) + " ns";
+    }).join(", ");
+    return bar;
+  }
+
+  function renderSegments(rep, root) {
+    root.appendChild(el("h2", null, "Per-iteration critical-path segments"));
+    legend(root);
+    if (!rep.jobs.length) {
+      root.appendChild(el("div", "empty", "no iterations in this trace"));
+      return;
+    }
+    rep.jobs.forEach(function (js) {
+      root.appendChild(el("h3", null,
+          "job " + js.job + " - " + js.iterations + " iterations, total wait " +
+          fmt(js.total_wait_ns) + " ns"));
+      var maxWait = 0;
+      js.per_iteration.forEach(function (it) {
+        if (it.wait_ns > maxWait) maxWait = it.wait_ns;
+      });
+      var table = el("table", "iters");
+      js.per_iteration.forEach(function (it) {
+        var tr = el("tr");
+        tr.appendChild(el("td", "lbl",
+            "iter " + it.iteration + " w" + it.critical_worker));
+        var cell = el("td");
+        cell.appendChild(stackedBar(it, maxWait));
+        tr.appendChild(cell);
+        tr.appendChild(el("td", "lbl num", fmt(it.wait_ns) + " ns"));
+        table.appendChild(tr);
+      });
+      root.appendChild(table);
+    });
+  }
+
+  function renderHeatmap(rep, root) {
+    root.appendChild(el("h2", null,
+        "Blame heatmap - bytes drained ahead of critical chunks"));
+    var cells = {};  // "host|job|band" -> bytes
+    var hosts = {};
+    var cols = {};   // "job|band"
+    var max = 0;
+    rep.jobs.forEach(function (js) {
+      js.per_iteration.forEach(function (it) {
+        it.blame.forEach(function (b) {
+          var col = b.culprit_job + "|" + b.culprit_band;
+          var key = b.host + "|" + col;
+          cells[key] = (cells[key] || 0) + b.bytes;
+          hosts[b.host] = true;
+          cols[col] = true;
+          if (cells[key] > max) max = cells[key];
+        });
+      });
+    });
+    var hostIds = Object.keys(hosts).map(Number).sort(function (a, b) {
+      return a - b;
+    });
+    var colIds = Object.keys(cols).sort();
+    if (!hostIds.length) {
+      root.appendChild(el("div", "empty",
+          "no egress-queue contention on any critical path"));
+      return;
+    }
+    var table = el("table", "heat");
+    var head = el("tr");
+    head.appendChild(el("th", null, "host"));
+    colIds.forEach(function (c) {
+      var parts = c.split("|");
+      head.appendChild(el("th", null,
+          "job " + parts[0] + " / band " + parts[1]));
+    });
+    table.appendChild(head);
+    hostIds.forEach(function (h) {
+      var tr = el("tr");
+      tr.appendChild(el("th", null, String(h)));
+      colIds.forEach(function (c) {
+        var v = cells[h + "|" + c] || 0;
+        var td = el("td", null, v ? fmt(v) : "");
+        if (v && max > 0) {
+          td.style.background =
+              "rgba(245, 34, 45, " + (0.08 + 0.72 * v / max).toFixed(3) + ")";
+        }
+        tr.appendChild(td);
+      });
+      table.appendChild(tr);
+    });
+    root.appendChild(table);
+  }
+
+  function crossBlame(it) {
+    var sum = 0;
+    it.blame.forEach(function (b) {
+      if (b.culprit_job !== it.job_self) sum += b.bytes;
+    });
+    return sum;
+  }
+
+  function indexIters(rep) {
+    var by = {};  // job -> iteration -> row
+    rep.jobs.forEach(function (js) {
+      var m = {};
+      js.per_iteration.forEach(function (it) {
+        it.job_self = js.job;
+        m[it.iteration] = it;
+      });
+      by[js.job] = { summary: js, iters: m };
+    });
+    return by;
+  }
+
+  function renderDiff(a, b, labelA, labelB, root) {
+    root.appendChild(el("h2", null,
+        "A/B diff - " + labelA + " vs " + labelB));
+    var ia = indexIters(a);
+    var ib = indexIters(b);
+    var jobIds = {};
+    Object.keys(ia).forEach(function (j) { jobIds[j] = true; });
+    Object.keys(ib).forEach(function (j) { jobIds[j] = true; });
+    var ordered = Object.keys(jobIds).map(Number).sort(function (x, y) {
+      return x - y;
+    });
+    var maxWait = 0;
+    [a, b].forEach(function (rep) {
+      rep.jobs.forEach(function (js) {
+        js.per_iteration.forEach(function (it) {
+          if (it.wait_ns > maxWait) maxWait = it.wait_ns;
+        });
+      });
+    });
+    ordered.forEach(function (job) {
+      var ja = ia[job];
+      var jb = ib[job];
+      root.appendChild(el("h3", null, "job " + job));
+      var iterIds = {};
+      if (ja) Object.keys(ja.iters).forEach(function (i) { iterIds[i] = true; });
+      if (jb) Object.keys(jb.iters).forEach(function (i) { iterIds[i] = true; });
+      var table = el("table", "iters");
+      Object.keys(iterIds).map(Number).sort(function (x, y) {
+        return x - y;
+      }).forEach(function (iter) {
+        var ra = ja && ja.iters[iter];
+        var rb = jb && jb.iters[iter];
+        var tr = el("tr");
+        tr.appendChild(el("td", "lbl", "iter " + iter));
+        var cell = el("td");
+        [[ra, "A"], [rb, "B"]].forEach(function (pair) {
+          var row = el("div", "pair");
+          row.appendChild(el("span", "tag", pair[1]));
+          if (pair[0]) {
+            var wrap = el("div");
+            wrap.style.flex = "1";
+            wrap.appendChild(stackedBar(pair[0], maxWait));
+            row.appendChild(wrap);
+          } else {
+            row.appendChild(el("span", "empty", "absent"));
+          }
+          cell.appendChild(row);
+        });
+        tr.appendChild(cell);
+        var txt = el("td", "lbl num");
+        if (ra && rb) {
+          var d = rb.wait_ns - ra.wait_ns;
+          var span = el("span", d <= 0 ? "delta-good" : "delta-bad",
+              (d >= 0 ? "+" : "") + fmt(d) + " ns");
+          txt.appendChild(span);
+          var ca = crossBlame(ra);
+          var cb = crossBlame(rb);
+          txt.appendChild(document.createTextNode(
+              " | cross blame " + fmt(ca) + " -> " + fmt(cb)));
+        }
+        tr.appendChild(txt);
+        table.appendChild(tr);
+      });
+      root.appendChild(table);
+      if (ja && jb) {
+        var sa = ja.summary;
+        var sb = jb.summary;
+        var totals = el("div", "num");
+        totals.appendChild(document.createTextNode(
+            "totals: wait " + fmt(sa.total_wait_ns) + " -> " +
+            fmt(sb.total_wait_ns) + " ns, cross-job blame " +
+            fmt(sa.cross_job_blame_bytes) + " -> " +
+            fmt(sb.cross_job_blame_bytes) + " bytes"));
+        if (sa.cross_job_blame_bytes > 0 && sb.cross_job_blame_bytes === 0) {
+          totals.appendChild(el("span", "delta-good",
+              " [queueing-behind-other-jobs eliminated]"));
+        }
+        root.appendChild(totals);
+      }
+    });
+  }
+
+  var A = parseReport("tlsreport-a");
+  var B = parseReport("tlsreport-b");
+  var root = document.getElementById("content");
+  var labelA = document.body.getAttribute("data-label-a") || "A";
+  var labelB = document.body.getAttribute("data-label-b") || "B";
+  renderHealth(A, root);
+  if (B) {
+    renderHealth(B, root);
+    renderDiff(A, B, labelA, labelB, root);
+  }
+  renderSegments(A, root);
+  renderHeatmap(A, root);
+})();
+)js";
+
+}  // namespace
+
+std::string report_html(const std::string& json_a, const std::string& json_b,
+                        const HtmlOptions& options) {
+  std::string title = options.title.empty() ? "tlsreport" : options.title;
+  std::ostringstream os;
+  os << "<!doctype html>\n<html lang=\"en\">\n<head>\n"
+     << "<meta charset=\"utf-8\">\n"
+     << "<meta name=\"viewport\" content=\"width=device-width, "
+        "initial-scale=1\">\n";
+  if (options.refresh_seconds > 0) {
+    os << "<meta http-equiv=\"refresh\" content=\"" << options.refresh_seconds
+       << "\">\n";
+  }
+  os << "<title>" << escape_html(title) << "</title>\n"
+     << "<style>" << kStyle << "</style>\n</head>\n"
+     << "<body data-page=\"tlsreport\" data-label-a=\""
+     << escape_html(options.label_a) << "\" data-label-b=\""
+     << escape_html(options.label_b) << "\">\n"
+     << "<h1>" << escape_html(title) << "</h1>\n"
+     << "<div class=\"meta\">straggler attribution dashboard";
+  if (!options.label_a.empty()) {
+    os << " &middot; " << escape_html(options.label_a);
+    if (!options.label_b.empty()) {
+      os << " vs " << escape_html(options.label_b);
+    }
+  }
+  if (options.refresh_seconds > 0) {
+    os << " &middot; live (reloads every " << options.refresh_seconds << "s)";
+  }
+  os << "</div>\n<div id=\"content\"></div>\n"
+     << "<script type=\"application/json\" id=\"tlsreport-a\">"
+     << escape_json_for_script(json_a) << "</script>\n";
+  if (!json_b.empty()) {
+    os << "<script type=\"application/json\" id=\"tlsreport-b\">"
+       << escape_json_for_script(json_b) << "</script>\n";
+  }
+  os << "<script>" << kScript << "</script>\n</body>\n</html>\n";
+  return os.str();
+}
+
+}  // namespace tls::obs

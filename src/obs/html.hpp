@@ -1,0 +1,42 @@
+// tls::obs — self-contained HTML dashboard for tlsreport output.
+//
+// report_html() wraps one (or, for an A/B diff, two) "tlsreport-v1" JSON
+// documents in a single static HTML page: inline CSS, inline JS, the JSON
+// embedded verbatim in <script type="application/json"> blocks — no
+// external references of any kind, so the file can be scp'd or attached
+// anywhere and opened offline. The page renders
+//
+//   * per-iteration stacked segment bars (compute / egress_queue /
+//     serialization / fan_in / other) per job,
+//   * a host x culprit-job x band blame heatmap aggregated over the run,
+//   * when a second report is present, an aligned A/B diff view (wait and
+//     cross-job blame per iteration, with per-job totals),
+//
+// plus the capture-health warning banner when the embedded report says the
+// tracer dropped events. `tlsreport --follow` rewrites the file as the
+// trace grows; options.refresh_seconds adds a <meta> refresh so an open
+// browser tab tracks the run live.
+#pragma once
+
+#include <string>
+
+namespace tls::obs {
+
+struct HtmlOptions {
+  /// Page <title> and heading. Empty uses "tlsreport".
+  std::string title;
+  /// Run labels shown in the header (and naming the A/B sides of a diff).
+  std::string label_a;
+  std::string label_b;
+  /// When > 0, the page auto-reloads every this-many seconds (live follow
+  /// mode); 0 renders a static page.
+  int refresh_seconds = 0;
+};
+
+/// Renders the dashboard. `json_a` must be a report_json() document;
+/// `json_b` is either empty (single-run page) or a second report to diff
+/// against. The result is one self-contained HTML document.
+std::string report_html(const std::string& json_a, const std::string& json_b,
+                        const HtmlOptions& options = {});
+
+}  // namespace tls::obs

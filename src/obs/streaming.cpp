@@ -1,0 +1,395 @@
+#include "obs/streaming.hpp"
+
+#include <algorithm>
+#include <limits>
+
+namespace tls::obs {
+
+namespace {
+
+using detail::ChunkTrace;
+using detail::FlowTrace;
+using detail::QueueVisit;
+using detail::Release;
+using detail::Span;
+
+constexpr std::int32_t kI32Min = std::numeric_limits<std::int32_t>::min();
+
+}  // namespace
+
+StreamingAnalyzer::StreamingAnalyzer(StreamingOptions options)
+    : options_(options), last_at_(sim::kTimeMin) {}
+
+void StreamingAnalyzer::note_retention(std::ptrdiff_t delta) {
+  retained_ = static_cast<std::size_t>(
+      static_cast<std::ptrdiff_t>(retained_) + delta);
+  if (retained_ > peak_retained_) peak_retained_ = retained_;
+  if (options_.retention_budget != 0 &&
+      retained_ > options_.retention_budget) {
+    budget_exceeded_ = true;
+  }
+}
+
+void StreamingAnalyzer::ingest(const TraceEvent& e) {
+  std::size_t idx = next_idx_++;
+  if (e.at < last_at_) {
+    out_of_order_ = true;
+  } else {
+    last_at_ = e.at;
+  }
+  // Time moved strictly past a completed barrier's last release: every
+  // index entry its walk can reference is final now (nondecreasing time).
+  if (next_deadline_ < e.at) finalize_ripe(e.at);
+
+  switch (e.kind) {
+    case EventKind::kFlowStart: {
+      auto [it, inserted] = ix_.flows.try_emplace(e.flow);
+      FlowTrace& f = it->second;
+      if (inserted) {
+        flows_by_job_[e.job].push_back(e.flow);
+        note_retention(1);
+      }
+      f.src = e.host;
+      f.dst = static_cast<std::int32_t>(e.a);
+      f.job = e.job;
+      f.kind = e.band;
+      f.iteration = e.b;
+      f.start_at = e.at;
+      break;
+    }
+    case EventKind::kFlowEnd: {
+      auto [it, inserted] = ix_.flows.try_emplace(e.flow);
+      FlowTrace& f = it->second;
+      if (inserted) {
+        flows_by_job_[e.job].push_back(e.flow);
+        note_retention(1);
+      }
+      if (f.start_at < sim::Time{0}) {  // end without start
+        f.src = e.host;
+        f.dst = static_cast<std::int32_t>(e.a);
+        f.job = e.job;
+        f.kind = e.band;
+        f.iteration = e.b;
+        f.start_at = e.at - e.dur;
+      }
+      f.end_at = e.at;
+      auto [fit, finserted] = ix_.flow_by_end.insert_or_assign(
+          std::make_tuple(e.job, e.band, static_cast<std::int32_t>(e.a),
+                          e.at),
+          e.flow);
+      (void)fit;
+      if (finserted) note_retention(1);
+      break;
+    }
+    case EventKind::kChunkEnqueue: {
+      auto [it, inserted] = ix_.flows.try_emplace(e.flow);
+      FlowTrace& f = it->second;
+      if (inserted) {
+        flows_by_job_[e.job].push_back(e.flow);
+        note_retention(1);
+      }
+      auto [cit, cinserted] = f.chunks.try_emplace(e.b);
+      if (cinserted) note_retention(1);
+      ChunkTrace& c = cit->second;
+      c.enq_at = e.at;
+      c.enq_idx = idx;
+      c.egress_host = e.host;
+      c.band = e.band;
+      c.bytes = e.bytes;
+      if (idx < f.min_enq_idx) f.min_enq_idx = idx;
+      break;
+    }
+    case EventKind::kChunkDequeue: {
+      auto [it, inserted] = ix_.flows.try_emplace(e.flow);
+      FlowTrace& f = it->second;
+      if (inserted) {
+        flows_by_job_[e.job].push_back(e.flow);
+        note_retention(1);
+      }
+      auto [cit, cinserted] = f.chunks.try_emplace(e.b);
+      if (cinserted) note_retention(1);
+      ChunkTrace& c = cit->second;
+      c.deq_at = e.at;
+      c.deq_idx = idx;
+      c.egress_host = e.host;
+      c.band = e.band;
+      c.bytes = e.bytes;
+      deq_by_host_[e.host].push_back(
+          DeqRec{idx, e.flow, e.job, e.band, e.bytes});
+      note_retention(1);
+      break;
+    }
+    case EventKind::kIngressArrive: {
+      auto [it, inserted] = ix_.flows.try_emplace(e.flow);
+      if (inserted) {
+        flows_by_job_[e.job].push_back(e.flow);
+        note_retention(1);
+      }
+      auto [cit, cinserted] = it->second.chunks.try_emplace(e.b);
+      if (cinserted) note_retention(1);
+      cit->second.arr_at = e.at;
+      break;
+    }
+    case EventKind::kIngressDeliver: {
+      auto [it, inserted] = ix_.flows.try_emplace(e.flow);
+      FlowTrace& f = it->second;
+      if (inserted) {
+        flows_by_job_[e.job].push_back(e.flow);
+        note_retention(1);
+      }
+      auto [cit, cinserted] = f.chunks.try_emplace(e.b);
+      if (cinserted) note_retention(1);
+      cit->second.del_at = e.at;
+      f.index_by_deliver[e.at] = e.b;
+      break;
+    }
+    case EventKind::kWorkerCompute: {
+      ix_.worker_host[{e.job, static_cast<std::int32_t>(e.a)}] = e.host;
+      auto [it, inserted] = ix_.compute_by_end.insert_or_assign(
+          std::make_tuple(e.job, e.host, e.at + e.dur),
+          Span{e.at, e.at + e.dur, static_cast<std::int32_t>(e.a)});
+      (void)it;
+      if (inserted) note_retention(1);
+      break;
+    }
+    case EventKind::kPsAggregate: {
+      auto [it, inserted] = ix_.agg_by_end.insert_or_assign(
+          std::make_tuple(e.job, e.host, e.at + e.dur),
+          Span{e.at, e.at + e.dur, static_cast<std::int32_t>(e.a)});
+      (void)it;
+      if (inserted) note_retention(1);
+      break;
+    }
+    case EventKind::kBarrierEnter: {
+      if (e.b < 0) break;  // non-barrier span; batch never reports these
+      auto [it, inserted] = enters_.try_emplace({e.job, e.b}, 0);
+      if (inserted) note_retention(1);
+      ++it->second;
+      break;
+    }
+    case EventKind::kBarrierRelease: {
+      if (e.b < 0) break;  // batch skips iteration < 0 identically
+      std::pair<std::int32_t, std::int64_t> key{e.job, e.b};
+      std::vector<Release>& rels = ix_.releases[key];
+      rels.push_back(Release{e.at, e.dur, static_cast<std::int32_t>(e.a)});
+      note_retention(1);
+      auto en = enters_.find(key);
+      if (en != enters_.end() &&
+          static_cast<std::int64_t>(rels.size()) >= en->second) {
+        // All expected workers released; arm finalization for the first
+        // event past the last release instant.
+        ripe_[key] = e.at;
+        next_deadline_ = std::min(next_deadline_, e.at);
+      }
+      break;
+    }
+    default:
+      break;
+  }
+}
+
+void StreamingAnalyzer::finalize_ripe(sim::Time now) {
+  // Collect first (finalize mutates ripe_); map order keeps this
+  // deterministic, and order does not affect output (finish() sorts).
+  std::vector<std::pair<std::int32_t, std::int64_t>> ready;
+  for (const auto& [key, deadline] : ripe_) {
+    if (deadline < now) ready.push_back(key);
+  }
+  for (const auto& key : ready) {
+    ripe_.erase(key);
+    finalize(key.first, key.second);
+  }
+  next_deadline_ = sim::kTimeMax;
+  for (const auto& [key, deadline] : ripe_) {
+    (void)key;
+    next_deadline_ = std::min(next_deadline_, deadline);
+  }
+}
+
+void StreamingAnalyzer::finalize(std::int32_t job, std::int64_t iteration) {
+  auto rit = ix_.releases.find({job, iteration});
+  if (rit == ix_.releases.end() || rit->second.empty()) return;
+
+  std::vector<QueueVisit> visits;
+  IterationReport r =
+      detail::build_iteration(ix_, job, iteration, rit->second, visits);
+
+  // Blame pass over the retained per-host dequeue records: the same
+  // exclusive (enq_idx, deq_idx) log window the batch engine scans.
+  std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t>,
+           std::int64_t>
+      blame;
+  for (const QueueVisit& v : visits) {
+    auto dit = deq_by_host_.find(v.host);
+    if (dit == deq_by_host_.end()) continue;
+    const std::deque<DeqRec>& dq = dit->second;
+    auto lo = std::upper_bound(
+        dq.begin(), dq.end(), v.enq_idx,
+        [](std::size_t idx, const DeqRec& rec) { return idx < rec.idx; });
+    auto hi = std::lower_bound(
+        dq.begin(), dq.end(), v.deq_idx,
+        [](const DeqRec& rec, std::size_t idx) { return rec.idx < idx; });
+    for (auto it = lo; it != hi; ++it) {
+      if (it->flow == v.victim_flow) continue;  // own pipeline, not blame
+      blame[{v.host, it->job, it->band}] += it->bytes;
+    }
+  }
+  for (const auto& [bk, bytes] : blame) {
+    r.blame.push_back(BlameEntry{std::get<0>(bk), std::get<1>(bk),
+                                 std::get<2>(bk), bytes});
+  }
+
+  detail::fold_into_summary(jobs_[job], r);
+
+  // Retire. Watermark: min release time of this iteration. Any later
+  // iteration's window starts at enter >= its worker's previous release
+  // >= this minimum, so index entries keyed strictly below it can never
+  // be referenced again (see header contract).
+  sim::Time watermark = rit->second.front().at;
+  for (const Release& rel : rit->second) {
+    watermark = std::min(watermark, rel.at);
+  }
+  note_retention(-static_cast<std::ptrdiff_t>(rit->second.size()));
+  ix_.releases.erase(rit);
+  auto en = enters_.find({job, iteration});
+  if (en != enters_.end()) {
+    enters_.erase(en);
+    note_retention(-1);
+  }
+
+  auto wit = watermark_.find(job);
+  if (wit == watermark_.end()) {
+    watermark_[job] = watermark;
+  } else {
+    wit->second = std::max(wit->second, watermark);
+  }
+  prune_job(job, watermark_[job]);
+
+  // Background traffic (job < 0) never finalizes an iteration of its own;
+  // it retires under the most conservative per-job watermark.
+  if (!watermark_.empty()) {
+    sim::Time global = watermark_.begin()->second;
+    for (const auto& [j, w] : watermark_) {
+      (void)j;
+      global = std::min(global, w);
+    }
+    for (const auto& [j, flows] : flows_by_job_) {
+      (void)flows;
+      if (j < 0) prune_job(j, global);
+    }
+  }
+  prune_dequeues();
+
+  finalized_.push_back(std::move(r));
+}
+
+void StreamingAnalyzer::prune_job(std::int32_t job, sim::Time watermark) {
+  // Ended flows strictly below the watermark (in-flight flows must stay:
+  // a later flow_end would otherwise rebuild them without their chunks).
+  auto fj = flows_by_job_.find(job);
+  if (fj != flows_by_job_.end()) {
+    std::vector<std::int64_t>& ids = fj->second;
+    std::size_t kept = 0;
+    for (std::int64_t id : ids) {
+      auto it = ix_.flows.find(id);
+      if (it == ix_.flows.end()) continue;
+      const FlowTrace& f = it->second;
+      if (f.end_at >= sim::Time{0} && f.end_at < watermark) {
+        note_retention(-static_cast<std::ptrdiff_t>(1 + f.chunks.size()));
+        ix_.flows.erase(it);
+      } else {
+        ids[kept++] = id;
+      }
+    }
+    ids.resize(kept);
+  }
+
+  auto prune_range = [this](auto& m, auto first_key, std::int32_t j,
+                            sim::Time w, auto time_of) {
+    auto it = m.lower_bound(first_key);
+    while (it != m.end() && std::get<0>(it->first) == j) {
+      if (time_of(it->first) < w) {
+        it = m.erase(it);
+        note_retention(-1);
+      } else {
+        ++it;
+      }
+    }
+  };
+  prune_range(ix_.flow_by_end,
+              std::make_tuple(job, kI32Min, kI32Min, sim::kTimeMin), job,
+              watermark,
+              [](const auto& k) { return std::get<3>(k); });
+  prune_range(ix_.compute_by_end,
+              std::make_tuple(job, kI32Min, sim::kTimeMin), job, watermark,
+              [](const auto& k) { return std::get<2>(k); });
+  prune_range(ix_.agg_by_end, std::make_tuple(job, kI32Min, sim::kTimeMin),
+              job, watermark,
+              [](const auto& k) { return std::get<2>(k); });
+}
+
+void StreamingAnalyzer::prune_dequeues() {
+  // Every future blame window (enq_idx, deq_idx) comes from a chunk of a
+  // still-live flow, so the minimum enqueue index across live flows
+  // bounds all of them from below.
+  std::size_t floor_idx = next_idx_;
+  for (const auto& [id, f] : ix_.flows) {
+    (void)id;
+    if (f.min_enq_idx < floor_idx) floor_idx = f.min_enq_idx;
+  }
+  for (auto& [host, dq] : deq_by_host_) {
+    (void)host;
+    while (!dq.empty() && dq.front().idx < floor_idx) {
+      dq.pop_front();
+      note_retention(-1);
+    }
+  }
+}
+
+RunReport StreamingAnalyzer::snapshot() const {
+  RunReport report;
+  report.iterations = finalized_;
+  std::sort(report.iterations.begin(), report.iterations.end(),
+            [](const IterationReport& a, const IterationReport& b) {
+              if (a.job != b.job) return a.job < b.job;
+              return a.iteration < b.iteration;
+            });
+  for (const auto& [job, js] : jobs_) {
+    (void)job;
+    report.jobs.push_back(js);
+  }
+  report.health = health_;
+  return report;
+}
+
+RunReport StreamingAnalyzer::finish() {
+  if (!finished_) {
+    finished_ = true;
+    // Armed iterations first, then stragglers whose enters were filtered
+    // out (or whose barrier never completed) — exactly the set the batch
+    // engine reports.
+    std::vector<std::pair<std::int32_t, std::int64_t>> pending;
+    for (const auto& [key, deadline] : ripe_) {
+      (void)deadline;
+      pending.push_back(key);
+    }
+    ripe_.clear();
+    for (const auto& [key, rels] : ix_.releases) {
+      (void)rels;
+      if (std::find(pending.begin(), pending.end(), key) == pending.end()) {
+        pending.push_back(key);
+      }
+    }
+    std::sort(pending.begin(), pending.end());
+    for (const auto& key : pending) finalize(key.first, key.second);
+  }
+  return snapshot();
+}
+
+RunReport analyze_streaming(const std::vector<TraceEvent>& events) {
+  StreamingAnalyzer analyzer;
+  for (const TraceEvent& e : events) analyzer.ingest(e);
+  return analyzer.finish();
+}
+
+}  // namespace tls::obs

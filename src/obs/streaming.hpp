@@ -1,0 +1,160 @@
+// tls::obs::StreamingAnalyzer — incremental straggler attribution.
+//
+// The batch engine (obs::analyze) buffers a complete trace and walks it
+// post-mortem; at Fig. 5a scale that means holding millions of events for
+// a report that only ever inspects a sliding window of them. This class
+// is the same attribution engine restructured as a consumer: events are
+// ingested one at a time (from a live Tracer or a tailed trace CSV), each
+// (job, iteration) is finalized the moment its barrier fully releases and
+// the stream moves past the release instant, and everything behind the
+// finalization watermark is retired — so peak retention is proportional
+// to the in-flight window (roughly two iterations per job), independent
+// of trace length.
+//
+// Equivalence contract: on any trace the simulator emits (events appended
+// in nondecreasing time order), finish() returns a RunReport whose three
+// renderings are byte-identical to obs::analyze on the same events. The
+// golden-report tests witness this — the in-process tlsim report path
+// runs on this engine while tlsreport's offline default stays batch, and
+// CI compares the two outputs. The walk itself is shared code
+// (obs/analysis_detail.hpp); what this class adds is the finalization
+// trigger and the retirement rules:
+//
+//  * Finalization trigger: count kBarrierEnter per (job, iteration); when
+//    the release count matches and an event with a strictly later
+//    timestamp arrives, every index entry the walk could reference is
+//    final (time is nondecreasing), so the iteration is built and emitted.
+//    Iterations whose enters were never seen (filtered trace) finalize at
+//    finish(), exactly like batch.
+//
+//  * Retirement: after finalizing (job j, iteration N) the per-job
+//    watermark W_j = min release time of N. Any future walk for j starts
+//    at lo = enter(N+1) >= W_j, and every index lookup happens at
+//    cursor > lo, so entries keyed strictly below W_j are unreachable —
+//    flows (once ended), flow_by_end / compute_by_end / agg_by_end
+//    entries are erased below it. (The kAggregate upper_bound probe can
+//    land on an erased-older entry, but batch and streaming then emit the
+//    identical clamped `other` segment — see walk_critical_path.)
+//    Dequeue records for the blame pass are kept per host and pruned by
+//    log index: the minimum enqueue index over still-live flows bounds
+//    every future blame window. Events with job < 0 (background traffic)
+//    retire under the minimum watermark across jobs.
+//
+//  * Blame without the log: batch scans the raw event window
+//    (enq_idx, deq_idx) for foreign kChunkDequeue at the same host; the
+//    streaming engine keeps exactly those records — per-host, in log
+//    order — and binary-searches the same window, yielding identical
+//    bytes.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <vector>
+
+#include "obs/analysis.hpp"
+#include "obs/analysis_detail.hpp"
+#include "obs/trace.hpp"
+
+namespace tls::obs {
+
+struct StreamingOptions {
+  /// Soft retention budget in records (0 = unlimited). Purely diagnostic:
+  /// budget_exceeded() reports whether retention ever crossed it; the
+  /// analyzer never trades correctness for the budget.
+  std::size_t retention_budget = 0;
+};
+
+class StreamingAnalyzer {
+ public:
+  explicit StreamingAnalyzer(StreamingOptions options = {});
+
+  StreamingAnalyzer(const StreamingAnalyzer&) = delete;
+  StreamingAnalyzer& operator=(const StreamingAnalyzer&) = delete;
+
+  /// Consumes the next trace event. Events must arrive in nondecreasing
+  /// time order (the simulator's append order; out_of_order() reports
+  /// violations, under which equivalence to batch is no longer promised).
+  void ingest(const TraceEvent& e);
+
+  /// Attaches the capture-health record carried into the final report
+  /// (tracer drops / sampling exclusions).
+  void set_health(const TraceHealth& health) { health_ = health; }
+
+  /// Finalizes every pending iteration and returns the complete report.
+  /// Call once, after the last ingest; rendering finish() of an unsampled
+  /// trace is byte-identical to obs::analyze of the same events.
+  RunReport finish();
+
+  /// Report of everything finalized so far, without disturbing pending
+  /// state — the live dashboard renders these mid-stream.
+  RunReport snapshot() const;
+
+  /// Records currently retained across all index structures (flows,
+  /// chunks, span keys, dequeue records, pending releases).
+  std::size_t retained_records() const { return retained_; }
+  /// High-water mark of retained_records() over the whole stream.
+  std::size_t peak_retained_records() const { return peak_retained_; }
+  /// Iterations finalized so far.
+  std::int64_t finalized_iterations() const {
+    return static_cast<std::int64_t>(finalized_.size());
+  }
+  /// Events ingested so far.
+  std::uint64_t ingested_events() const { return next_idx_; }
+  /// True when retention ever exceeded options.retention_budget.
+  bool budget_exceeded() const { return budget_exceeded_; }
+  /// True when an event arrived with a timestamp before its predecessor.
+  bool out_of_order() const { return out_of_order_; }
+
+ private:
+  /// One kChunkDequeue record, the blame pass's working set.
+  struct DeqRec {
+    std::size_t idx = 0;  ///< global log position
+    std::int64_t flow = 0;
+    std::int32_t job = -1;
+    std::int32_t band = -1;
+    std::int64_t bytes = 0;
+  };
+
+  void finalize_ripe(sim::Time now);
+  void finalize(std::int32_t job, std::int64_t iteration);
+  void prune_job(std::int32_t job, sim::Time watermark);
+  void prune_dequeues();
+  void note_retention(std::ptrdiff_t delta);
+
+  StreamingOptions options_;
+  detail::Index ix_;
+  TraceHealth health_;
+
+  /// Per-host kChunkDequeue records in log order (blame windows).
+  std::map<std::int32_t, std::deque<DeqRec>> deq_by_host_;
+  /// Flow ids per job, so per-job pruning never scans foreign flows.
+  std::map<std::int32_t, std::vector<std::int64_t>> flows_by_job_;
+  /// kBarrierEnter count per (job, iteration).
+  std::map<std::pair<std::int32_t, std::int64_t>, std::int64_t> enters_;
+  /// Iterations whose releases all arrived, keyed to the last release
+  /// instant; finalized when the stream passes that time.
+  std::map<std::pair<std::int32_t, std::int64_t>, sim::Time> ripe_;
+  /// Per-job retirement watermark (min release time of the last finalized
+  /// iteration); kMinWatermark until the job first finalizes.
+  std::map<std::int32_t, sim::Time> watermark_;
+
+  std::vector<IterationReport> finalized_;
+  std::map<std::int32_t, JobSummary> jobs_;
+
+  std::size_t next_idx_ = 0;
+  sim::Time last_at_{};
+  /// Min deadline over ripe_ (kTimeMax when none): one compare per event.
+  sim::Time next_deadline_{sim::kTimeMax};
+  std::size_t retained_ = 0;
+  std::size_t peak_retained_ = 0;
+  bool budget_exceeded_ = false;
+  bool out_of_order_ = false;
+  bool finished_ = false;
+};
+
+/// Convenience: streams `events` through a fresh analyzer. Exists mostly
+/// for tests and benches comparing against obs::analyze.
+RunReport analyze_streaming(const std::vector<TraceEvent>& events);
+
+}  // namespace tls::obs

@@ -1,5 +1,7 @@
 #include "obs/trace.hpp"
 
+#include <cstdlib>
+
 #include "obs/metrics_registry.hpp"
 
 namespace tls::obs {
@@ -22,6 +24,14 @@ constexpr CatName kCatNames[] = {
 };
 
 }  // namespace
+
+int cat_index(Cat cat) {
+  std::uint32_t bits = static_cast<std::uint32_t>(cat);
+  for (int i = 0; i < kNumCats; ++i) {
+    if (bits == (1u << i)) return i;
+  }
+  return kNumCats - 1;
+}
 
 const char* to_string(Cat cat) {
   for (const CatName& cn : kCatNames) {
@@ -82,9 +92,67 @@ bool parse_categories(const std::string& text, std::uint32_t* mask,
   return true;
 }
 
+bool parse_sampling(const std::string& text, std::uint32_t* out,
+                    std::string* error) {
+  std::size_t start = 0;
+  bool saw_token = false;
+  while (start <= text.size()) {
+    std::size_t comma = text.find(',', start);
+    std::size_t end = comma == std::string::npos ? text.size() : comma;
+    std::string tok = text.substr(start, end - start);
+    while (!tok.empty() && tok.front() == ' ') tok.erase(tok.begin());
+    while (!tok.empty() && tok.back() == ' ') tok.pop_back();
+    if (!tok.empty()) {
+      saw_token = true;
+      std::size_t eq = tok.find('=');
+      std::string name = eq == std::string::npos ? tok : tok.substr(0, eq);
+      std::string val = eq == std::string::npos ? "" : tok.substr(eq + 1);
+      const CatName* match = nullptr;
+      for (const CatName& cn : kCatNames) {
+        if (name == cn.name) {
+          match = &cn;
+          break;
+        }
+      }
+      long n = val.empty() ? 0 : std::strtol(val.c_str(), nullptr, 10);
+      if (match == nullptr || n <= 0) {
+        if (error != nullptr) {
+          *error = "bad sampling term '" + tok +
+                   "' (expected a comma list of cat=N with N >= 1, e.g. "
+                   "qdisc=16,htb=8)";
+        }
+        return false;
+      }
+      out[cat_index(match->cat)] = static_cast<std::uint32_t>(n);
+    }
+    if (comma == std::string::npos) break;
+    start = comma + 1;
+  }
+  if (!saw_token) {
+    if (error != nullptr) *error = "empty sampling spec";
+    return false;
+  }
+  return true;
+}
+
+void Tracer::set_sample_every(Cat cat, std::uint32_t n, bool force) {
+  if (n == 0) n = 1;
+  std::uint32_t bit = static_cast<std::uint32_t>(cat);
+  if (!force && (bit & kAnalysisCats) != 0) n = 1;  // keep the critical chain
+  sample_every_[cat_index(cat)] = n;
+}
+
 void Tracer::push(const TraceEvent& e) {
+  int ci = cat_index(e.cat);
+  std::uint32_t every = sample_every_[ci];
+  if (every > 1 && (sample_seen_[ci]++ % every) != 0) {
+    ++health_.sampled_out_total;
+    ++health_.sampled_out_by_cat[ci];
+    return;
+  }
   if (max_events_ != 0 && events_.size() >= max_events_) {
-    ++dropped_;
+    ++health_.dropped_total;
+    ++health_.dropped_by_cat[ci];
     return;
   }
   events_.push_back(e);

@@ -56,6 +56,13 @@ inline constexpr std::uint32_t kAnalysisCats =
     static_cast<std::uint32_t>(Cat::kIngress) |
     static_cast<std::uint32_t>(Cat::kCompute);
 
+/// Number of defined categories (== popcount(kAllCats)).
+inline constexpr int kNumCats = 10;
+
+/// Index of a category's bit in [0, kNumCats); kNumCats - 1 for unknown
+/// bits so malformed inputs stay in range.
+int cat_index(Cat cat);
+
 /// Stable lower-case name of a category ("chunk", "htb", ...).
 const char* to_string(Cat cat);
 
@@ -63,6 +70,31 @@ const char* to_string(Cat cat);
 /// Returns false and sets *error on an unknown name.
 bool parse_categories(const std::string& text, std::uint32_t* mask,
                       std::string* error);
+
+/// Capture-completeness record for one trace: how many events the tracer
+/// refused to store, split by why (the max_events cap vs deliberate
+/// sampling) and by category. It travels with the trace — trace_csv()
+/// appends it as `#health` trailer comments and the reader restores it —
+/// so offline attribution can warn that it ran on an incomplete log
+/// instead of silently passing a truncated trace as a complete one.
+struct TraceHealth {
+  std::uint64_t dropped_total = 0;      ///< events past the max_events cap
+  std::uint64_t sampled_out_total = 0;  ///< events excluded by sampling
+  std::uint64_t dropped_by_cat[kNumCats] = {};
+  std::uint64_t sampled_out_by_cat[kNumCats] = {};
+
+  /// True when every emitted event was stored.
+  bool complete() const {
+    return dropped_total == 0 && sampled_out_total == 0;
+  }
+};
+
+/// Parses a sampling spec: comma-separated `cat=N` pairs ("qdisc=16,htb=8"),
+/// keeping one event in every N of that category. Returns false and sets
+/// *error on an unknown category or a non-positive N. `out` must have
+/// kNumCats slots; unmentioned categories are left untouched.
+bool parse_sampling(const std::string& text, std::uint32_t* out,
+                    std::string* error);
 
 /// What happened. Order is part of the trace-CSV schema; append only.
 enum class EventKind : std::uint8_t {
@@ -138,7 +170,19 @@ class Tracer {
   /// in dropped() instead of stored, so a runaway trace degrades instead
   /// of exhausting memory.
   void set_max_events(std::size_t cap) { max_events_ = cap; }
-  std::uint64_t dropped() const { return dropped_; }
+  std::uint64_t dropped() const { return health_.dropped_total; }
+
+  /// Per-category sampling: keep one event in every `n` of category `cat`
+  /// (n <= 1 disables). The kAnalysisCats categories are always kept —
+  /// the critical-chain events must stay integer-exact for attribution —
+  /// so requests for them are clamped to 1 unless `force` is set.
+  void set_sample_every(Cat cat, std::uint32_t n, bool force = false);
+  std::uint32_t sample_every(Cat cat) const {
+    return sample_every_[cat_index(cat)];
+  }
+
+  /// Capture-health snapshot: cap drops and sampling exclusions, per cat.
+  const TraceHealth& health() const { return health_; }
 
   const std::vector<TraceEvent>& events() const { return events_; }
   std::size_t size() const { return events_.size(); }
@@ -208,7 +252,9 @@ class Tracer {
   std::uint32_t mask_;
   Registry* registry_ = nullptr;
   std::size_t max_events_ = 0;
-  std::uint64_t dropped_ = 0;
+  std::uint32_t sample_every_[kNumCats] = {1, 1, 1, 1, 1, 1, 1, 1, 1, 1};
+  std::uint64_t sample_seen_[kNumCats] = {};
+  TraceHealth health_;
   std::vector<TraceEvent> events_;
 };
 

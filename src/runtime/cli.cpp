@@ -99,11 +99,15 @@ derive per-run paths, e.g. trace.json -> trace.run-label.json):
   --trace-filter CATS  comma list of chunk,qdisc,htb,rotation,barrier,
                        straggler,sample,flow,ingress,compute; or
                        all (default) / none
+  --trace-sample SPEC  capture sampling, comma list of cat=N keeping one
+                       event in N (e.g. qdisc=16,htb=8); attribution
+                       categories are always kept exact
   --metrics PATH       long-format metrics timeseries CSV
   --report PATH        straggler-attribution report (critical-path
                        decomposition + contention blame; tlsreport text)
   --report-csv PATH    same report as tidy long CSV
   --report-json PATH   same report as tlsreport-v1 JSON
+  --report-html PATH   same report as a self-contained HTML dashboard
 
 scenario flags (shared flags that apply: --hosts (12 here), --policy,
 --strategy, --bands, --interval-s (20 here), --link-gbps, --seed,
@@ -236,10 +240,20 @@ bool build_config(const CliArgs& args, exp::ExperimentConfig* config,
   config->obs.report_path = args.get("report");
   config->obs.report_csv_path = args.get("report-csv");
   config->obs.report_json_path = args.get("report-json");
+  config->obs.report_html_path = args.get("report-html");
   std::string filter = args.get("trace-filter");
   if (!filter.empty() &&
       !obs::parse_categories(filter, &config->obs.trace_categories, error)) {
     return false;
+  }
+  std::string sample = args.get("trace-sample");
+  if (!sample.empty()) {
+    // Validate the spec here so a typo fails at flag parse, not mid-run;
+    // the parsed rates are re-derived inside run_experiment.
+    std::uint32_t every[obs::kNumCats];
+    for (int i = 0; i < obs::kNumCats; ++i) every[i] = 1;
+    if (!obs::parse_sampling(sample, every, error)) return false;
+    config->obs.trace_sample = sample;
   }
   return true;
 }

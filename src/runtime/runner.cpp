@@ -170,6 +170,8 @@ RunReport RunSet::run(const RunPlan& plan) {
           obs::per_run_path(c.obs.report_csv_path, e.label);
       c.obs.report_json_path =
           obs::per_run_path(c.obs.report_json_path, e.label);
+      c.obs.report_html_path =
+          obs::per_run_path(c.obs.report_html_path, e.label);
     }
     configs.push_back(std::move(c));
   }

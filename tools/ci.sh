@@ -82,6 +82,52 @@ else
   echo "python3 not installed; skipping report JSON well-formedness check"
 fi
 
+echo "==> [2d2/4] streaming + dashboard smoke: --stream/--html/--follow under ASan"
+# The streaming engine must be byte-identical to batch on an unsampled trace.
+./build-asan/tools/tlsreport "$smoke_dir/fifo.csv" --quiet --stream \
+  --json "$smoke_dir/fifo-stream.json"
+cmp "$smoke_dir/fifo.json" "$smoke_dir/fifo-stream.json" \
+  || { echo "streaming tlsreport diverges from batch"; exit 1; }
+# Single-run dashboard, diff dashboard, and a bounded follow over the same
+# (static) trace — follow's final report must equal batch too.
+./build-asan/tools/tlsreport "$smoke_dir/fifo.csv" --quiet \
+  --html "$smoke_dir/fifo.html"
+./build-asan/tools/tlsreport --diff "$smoke_dir/fifo.csv" \
+  "$smoke_dir/tls-one.csv" --quiet --html "$smoke_dir/diff.html"
+./build-asan/tools/tlsreport --follow "$smoke_dir/fifo.csv" --quiet \
+  --poll-ms 10 --max-polls 3 --html "$smoke_dir/follow.html" \
+  --json "$smoke_dir/fifo-follow.json"
+cmp "$smoke_dir/fifo.json" "$smoke_dir/fifo-follow.json" \
+  || { echo "follow-mode tlsreport diverges from batch"; exit 1; }
+if command -v python3 >/dev/null 2>&1; then
+  python3 - "$smoke_dir/fifo.html" "$smoke_dir/diff.html" <<'PYEOF'
+import json, sys
+for path in sys.argv[1:]:
+    page = open(path).read()
+    assert page.startswith("<!doctype html>"), path
+    assert page.rstrip().endswith("</html>"), path
+    # Self-contained: nothing fetched from anywhere.
+    for banned in ("http://", "https://", "src=", "href="):
+        assert banned not in page, f"{path}: external reference {banned!r}"
+    # The embedded report JSON must parse and carry the right schema.
+    marker = '<script type="application/json" id="tlsreport-a">'
+    start = page.index(marker) + len(marker)
+    end = page.index("</script>", start)
+    doc = json.loads(page[start:end].replace("\\u003c", "<"))
+    assert doc["schema"] in ("tlsreport-v1", "tlsreport-diff-v1"), path
+print("dashboard OK: self-contained, embedded JSON parses")
+PYEOF
+else
+  echo "python3 not installed; skipping dashboard well-formedness check"
+fi
+
+echo "==> [2d3/4] bench_obs_streaming smoke: batch vs streaming engines"
+cmake --build --preset debug-asan -j "$jobs" --target bench_obs_streaming
+env TLS_BENCH_ITERS=2 TLS_BENCH_JSON_DIR="$smoke_dir" \
+  ./build-asan/bench/bench_obs_streaming >/dev/null
+[ -s "$smoke_dir/BENCH_obs_streaming.json" ] \
+  || { echo "missing BENCH_obs_streaming.json"; exit 1; }
+
 echo "==> [2e/4] scenario smoke: tlsim scenario + trace replay under ASan"
 ./build-asan/tools/tlsim scenario --hosts 4 --cores 4 \
   --scenario-jobs 6 --scenario-mean-s 2 --scenario-workers-min 2 \

@@ -1,10 +1,18 @@
 // tlsreport — post-hoc straggler root-cause attribution for tlsim traces.
 // All logic lives in obs::run_report_cli (src/obs/report_cli.cpp) so the
-// test suite exercises it in-process.
+// test suite exercises it in-process. The one thing injected here is the
+// --follow poll sleeper: the obs library stays wall-clock-free (see
+// tls_lint), so the real pause between polls lives in the tool binary.
+#include <chrono>
 #include <iostream>
+#include <thread>
 
 #include "obs/report_cli.hpp"
 
 int main(int argc, char** argv) {
-  return tls::obs::run_report_cli(argc, argv, std::cout, std::cerr);
+  tls::obs::ReportCliHooks hooks;
+  hooks.sleep_ms = [](int ms) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(ms));
+  };
+  return tls::obs::run_report_cli(argc, argv, std::cout, std::cerr, hooks);
 }
