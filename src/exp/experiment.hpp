@@ -36,7 +36,7 @@ struct ObsOptions {
   /// narrow --trace-filter.
   std::string report_path;       ///< human-readable text
   std::string report_csv_path;   ///< tidy long CSV
-  std::string report_json_path;  ///< tlsreport-v1 JSON
+  std::string report_json_path;  ///< tlsreport-v2 JSON
   std::string report_html_path;  ///< self-contained HTML dashboard
   /// Period of the queue-depth / iteration-lag gauge sampler.
   sim::Time sample_period = 100 * sim::kMillisecond;

@@ -67,12 +67,18 @@ Index build_index(const std::vector<TraceEvent>& events) {
         break;
       }
       case EventKind::kIngressArrive: {
-        ix.flows[e.flow].chunks[e.b].arr_at = e.at;
+        ChunkTrace& c = ix.flows[e.flow].chunks[e.b];
+        c.arr_at = e.at;
+        c.arr_idx = i;
         break;
       }
       case EventKind::kIngressDeliver: {
         FlowTrace& f = ix.flows[e.flow];
-        f.chunks[e.b].del_at = e.at;
+        ChunkTrace& c = f.chunks[e.b];
+        c.del_at = e.at;
+        c.del_idx = i;
+        c.del_wait = sim::from_nanos(e.a);
+        c.ingress_host = e.host;
         f.index_by_deliver[e.at] = e.b;
         break;
       }
@@ -112,6 +118,10 @@ const char* to_string(SegmentKind kind) {
   return "?";
 }
 
+const char* to_string(BlameSide side) {
+  return side == BlameSide::kEgress ? "egress" : "ingress";
+}
+
 RunReport analyze(const std::vector<TraceEvent>& events) {
   Index ix = build_index(events);
   RunReport report;
@@ -124,23 +134,24 @@ RunReport analyze(const std::vector<TraceEvent>& events) {
     IterationReport r = detail::build_iteration(ix, job, iteration, rels,
                                                 visits);
 
-    // Blame pass: log-order window scan per queueing visit.
-    std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t>,
-             std::int64_t>
-        blame;
+    // Blame pass: log-order window scan per queueing visit. Egress visits
+    // look for foreign dequeues at the sender, ingress visits for foreign
+    // deliveries at the receiver — the same exclusive-window rule.
+    std::map<detail::BlameKey, std::int64_t> blame;
     for (const QueueVisit& v : visits) {
-      for (std::size_t i = v.enq_idx + 1; i < v.deq_idx; ++i) {
+      EventKind want = v.side == BlameSide::kEgress
+                           ? EventKind::kChunkDequeue
+                           : EventKind::kIngressDeliver;
+      for (std::size_t i = v.begin_idx + 1; i < v.end_idx; ++i) {
         const TraceEvent& e = events[i];
-        if (e.kind != EventKind::kChunkDequeue) continue;
+        if (e.kind != want) continue;
         if (e.host != v.host) continue;
         if (e.flow == v.victim_flow) continue;  // own pipeline, not blame
-        blame[{e.host, e.job, e.band}] += e.bytes;
+        blame[{static_cast<std::uint8_t>(v.side), e.host, e.job, e.band}] +=
+            e.bytes;
       }
     }
-    for (const auto& [bk, bytes] : blame) {
-      r.blame.push_back(BlameEntry{std::get<0>(bk), std::get<1>(bk),
-                                   std::get<2>(bk), bytes});
-    }
+    detail::emit_blame(blame, r);
 
     detail::fold_into_summary(jobs[job], r);
     report.iterations.push_back(std::move(r));
@@ -180,12 +191,19 @@ void append_iteration_row(std::ostringstream& os, const IterationReport& r) {
   os << "  iter " << r.iteration << " worker " << r.critical_worker
      << ": wait " << r.barrier_wait << " ns = compute " << r.compute_ns
      << " + egress_queue " << r.egress_queue_ns << " + serialization "
-     << r.serialization_ns << " + fan_in " << r.fan_in_ns << " + other "
+     << r.serialization_ns << " + fan_in " << r.fan_in_ns << " (wait "
+     << r.fan_in_wait_ns << " + recv " << r.fan_in_ser_ns << ") + other "
      << r.other_ns << "\n";
   for (const BlameEntry& b : r.blame) {
-    os << "    blame host " << b.host << ": job " << b.culprit_job
-       << " band " << b.culprit_band << " drained " << b.bytes
-       << " bytes ahead\n";
+    if (b.side == BlameSide::kEgress) {
+      os << "    blame host " << b.host << ": job " << b.culprit_job
+         << " band " << b.culprit_band << " drained " << b.bytes
+         << " bytes ahead\n";
+    } else {
+      os << "    ingress blame host " << b.host << ": job " << b.culprit_job
+         << " band " << b.culprit_band << " delivered " << b.bytes
+         << " bytes ahead\n";
+    }
   }
 }
 
@@ -223,8 +241,12 @@ std::string report_text(const RunReport& report) {
        << js.fan_in_ns << " (" << pct(js.fan_in_ns, js.total_wait_ns)
        << "%), other " << js.other_ns << " ("
        << pct(js.other_ns, js.total_wait_ns) << "%)\n";
+    os << "  fan_in split: ingress wait " << js.fan_in_wait_ns
+       << " ns, receive " << js.fan_in_ser_ns << " ns\n";
     os << "  blame: cross-job " << js.cross_job_blame_bytes
        << " bytes, self " << js.self_blame_bytes << " bytes\n";
+    os << "  ingress blame: cross-job " << js.cross_job_ingress_blame_bytes
+       << " bytes, self " << js.self_ingress_blame_bytes << " bytes\n";
   }
   return os.str();
 }
@@ -244,11 +266,16 @@ std::string report_csv(const RunReport& report) {
     seg_row(r, "egress_queue_ns", r.egress_queue_ns);
     seg_row(r, "serialization_ns", r.serialization_ns);
     seg_row(r, "fan_in_ns", r.fan_in_ns);
+    seg_row(r, "fan_in_wait_ns", r.fan_in_wait_ns);
+    seg_row(r, "fan_in_ser_ns", r.fan_in_ser_ns);
     seg_row(r, "other_ns", r.other_ns);
     for (const BlameEntry& b : r.blame) {
-      os << r.job << ',' << r.iteration << ',' << r.critical_worker
-         << ",blame," << b.host << ',' << b.culprit_job << ','
-         << b.culprit_band << ",blame_bytes," << b.bytes << '\n';
+      const bool egress = b.side == BlameSide::kEgress;
+      os << r.job << ',' << r.iteration << ',' << r.critical_worker << ','
+         << (egress ? "blame" : "ingress_blame") << ',' << b.host << ','
+         << b.culprit_job << ',' << b.culprit_band << ','
+         << (egress ? "blame_bytes" : "ingress_blame_bytes") << ','
+         << b.bytes << '\n';
     }
   }
   return os.str();
@@ -274,7 +301,7 @@ void append_cat_counts_json(std::ostringstream& os,
 
 std::string report_json(const RunReport& report) {
   std::ostringstream os;
-  os << "{\"schema\":\"tlsreport-v1\",";
+  os << "{\"schema\":\"tlsreport-v2\",";
   // Only an incomplete capture carries a health object, so reports from
   // complete traces keep their historical bytes (golden-report contract).
   if (report.health.dropped_total > 0 ||
@@ -300,8 +327,13 @@ std::string report_json(const RunReport& report) {
        << ",\"serialization_ns\":" << js.serialization_ns
        << ",\"fan_in_ns\":" << js.fan_in_ns
        << ",\"other_ns\":" << js.other_ns
+       << ",\"fan_in_wait_ns\":" << js.fan_in_wait_ns
+       << ",\"fan_in_ser_ns\":" << js.fan_in_ser_ns
        << ",\"cross_job_blame_bytes\":" << js.cross_job_blame_bytes
        << ",\"self_blame_bytes\":" << js.self_blame_bytes
+       << ",\"cross_job_ingress_blame_bytes\":"
+       << js.cross_job_ingress_blame_bytes
+       << ",\"self_ingress_blame_bytes\":" << js.self_ingress_blame_bytes
        << ",\"per_iteration\":[";
     bool first_iter = true;
     for (const IterationReport& r : report.iterations) {
@@ -317,12 +349,16 @@ std::string report_json(const RunReport& report) {
          << ",\"egress_queue_ns\":" << r.egress_queue_ns
          << ",\"serialization_ns\":" << r.serialization_ns
          << ",\"fan_in_ns\":" << r.fan_in_ns
-         << ",\"other_ns\":" << r.other_ns << ",\"blame\":[";
+         << ",\"other_ns\":" << r.other_ns
+         << ",\"fan_in_wait_ns\":" << r.fan_in_wait_ns
+         << ",\"fan_in_ser_ns\":" << r.fan_in_ser_ns << ",\"blame\":[";
       bool first_blame = true;
       for (const BlameEntry& b : r.blame) {
         if (!first_blame) os << ',';
         first_blame = false;
-        os << "{\"host\":" << b.host << ",\"culprit_job\":" << b.culprit_job
+        os << "{\"side\":\"" << to_string(b.side)
+           << "\",\"host\":" << b.host
+           << ",\"culprit_job\":" << b.culprit_job
            << ",\"culprit_band\":" << b.culprit_band
            << ",\"bytes\":" << b.bytes << '}';
       }
@@ -348,15 +384,19 @@ DiffReport diff_reports(const RunReport& a, const RunReport& b,
       row.job = it.job;
       row.iteration = it.iteration;
       std::int64_t cross = 0;
+      std::int64_t cross_ingress = 0;
       for (const BlameEntry& bl : it.blame) {
-        if (bl.culprit_job != it.job) cross += bl.bytes;
+        if (bl.culprit_job == it.job) continue;
+        (bl.side == BlameSide::kEgress ? cross : cross_ingress) += bl.bytes;
       }
       if (is_a) {
         row.wait_a = it.barrier_wait;
         row.cross_blame_a = cross;
+        row.cross_ingress_blame_a = cross_ingress;
       } else {
         row.wait_b = it.barrier_wait;
         row.cross_blame_b = cross;
+        row.cross_ingress_blame_b = cross_ingress;
       }
     }
   };
@@ -373,12 +413,14 @@ DiffReport diff_reports(const RunReport& a, const RunReport& b,
     jd.job = js.job;
     jd.total_wait_a = js.total_wait_ns;
     jd.cross_blame_a = js.cross_job_blame_bytes;
+    jd.cross_ingress_blame_a = js.cross_job_ingress_blame_bytes;
   }
   for (const JobSummary& js : b.jobs) {
     JobDiff& jd = jobs[js.job];
     jd.job = js.job;
     jd.total_wait_b = js.total_wait_ns;
     jd.cross_blame_b = js.cross_job_blame_bytes;
+    jd.cross_ingress_blame_b = js.cross_job_ingress_blame_bytes;
   }
   for (const auto& [job, jd] : jobs) {
     (void)job;
@@ -397,14 +439,21 @@ std::string diff_text(const DiffReport& diff) {
       os << "  iter " << r.iteration << ": wait " << r.wait_a << " -> "
          << r.wait_b << " ns (delta " << (r.wait_b - r.wait_a)
          << "), cross-job blame " << r.cross_blame_a << " -> "
-         << r.cross_blame_b << " bytes\n";
+         << r.cross_blame_b << " bytes, ingress "
+         << r.cross_ingress_blame_a << " -> " << r.cross_ingress_blame_b
+         << " bytes\n";
     }
     os << "  totals: wait " << jd.total_wait_a << " -> " << jd.total_wait_b
        << " ns (delta " << (jd.total_wait_b - jd.total_wait_a)
        << "), cross-job blame " << jd.cross_blame_a << " -> "
-       << jd.cross_blame_b << " bytes";
+       << jd.cross_blame_b << " bytes, ingress "
+       << jd.cross_ingress_blame_a << " -> " << jd.cross_ingress_blame_b
+       << " bytes";
     if (jd.cross_blame_a > 0 && jd.cross_blame_b == 0) {
       os << " [queueing-behind-other-jobs eliminated]";
+    }
+    if (jd.cross_ingress_blame_a > 0 && jd.cross_ingress_blame_b == 0) {
+      os << " [fan-in contention eliminated]";
     }
     os << "\n";
   }
@@ -419,19 +468,24 @@ std::string diff_csv(const DiffReport& diff) {
        << r.wait_b << '\n';
     os << r.job << ',' << r.iteration << ",cross_job_blame_bytes,"
        << r.cross_blame_a << ',' << r.cross_blame_b << '\n';
+    os << r.job << ',' << r.iteration << ",cross_job_ingress_blame_bytes,"
+       << r.cross_ingress_blame_a << ',' << r.cross_ingress_blame_b << '\n';
   }
   for (const JobDiff& jd : diff.jobs) {
     os << jd.job << ",-1,total_wait_ns," << jd.total_wait_a << ','
        << jd.total_wait_b << '\n';
     os << jd.job << ",-1,cross_job_blame_bytes," << jd.cross_blame_a << ','
        << jd.cross_blame_b << '\n';
+    os << jd.job << ",-1,cross_job_ingress_blame_bytes,"
+       << jd.cross_ingress_blame_a << ',' << jd.cross_ingress_blame_b
+       << '\n';
   }
   return os.str();
 }
 
 std::string diff_json(const DiffReport& diff) {
   std::ostringstream os;
-  os << "{\"schema\":\"tlsreport-diff-v1\",\"a\":\"" << diff.label_a
+  os << "{\"schema\":\"tlsreport-diff-v2\",\"a\":\"" << diff.label_a
      << "\",\"b\":\"" << diff.label_b << "\",\"jobs\":[";
   bool first_job = true;
   for (const JobDiff& jd : diff.jobs) {
@@ -441,6 +495,8 @@ std::string diff_json(const DiffReport& diff) {
        << ",\"total_wait_ns_b\":" << jd.total_wait_b
        << ",\"cross_job_blame_bytes_a\":" << jd.cross_blame_a
        << ",\"cross_job_blame_bytes_b\":" << jd.cross_blame_b
+       << ",\"cross_job_ingress_blame_bytes_a\":" << jd.cross_ingress_blame_a
+       << ",\"cross_job_ingress_blame_bytes_b\":" << jd.cross_ingress_blame_b
        << ",\"per_iteration\":[";
     bool first_row = true;
     for (const DiffRow& r : diff.rows) {
@@ -450,7 +506,10 @@ std::string diff_json(const DiffReport& diff) {
       os << "{\"iteration\":" << r.iteration << ",\"wait_ns_a\":" << r.wait_a
          << ",\"wait_ns_b\":" << r.wait_b
          << ",\"cross_job_blame_bytes_a\":" << r.cross_blame_a
-         << ",\"cross_job_blame_bytes_b\":" << r.cross_blame_b << '}';
+         << ",\"cross_job_blame_bytes_b\":" << r.cross_blame_b
+         << ",\"cross_job_ingress_blame_bytes_a\":" << r.cross_ingress_blame_a
+         << ",\"cross_job_ingress_blame_bytes_b\":" << r.cross_ingress_blame_b
+         << '}';
     }
     os << "]}";
   }

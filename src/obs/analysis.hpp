@@ -16,13 +16,17 @@
 //       gate waits). Segments partition [barrier enter, barrier release]
 //       exactly: their lengths always sum to the barrier wait.
 //
-//   (b) a contention blame matrix: for every egress-queueing segment on
-//       the critical path, the bytes each competing (job, band) drained
-//       ahead of the blamed chunk at that host. "Ahead" is log-order: a
-//       chunk_dequeue event positioned after the blamed chunk's enqueue
-//       and before its dequeue in the trace. The chunk already in service
-//       when the victim arrived was dequeued earlier in the log, so the
-//       non-preempted in-service chunk is naturally excluded.
+//   (b) a two-sided contention blame matrix: for every egress-queueing
+//       segment on the critical path, the bytes each competing (job, band)
+//       drained ahead of the blamed chunk at that host ("egress" side), and
+//       for every fan-in segment, the bytes sibling flows got delivered
+//       ahead of the critical chunk at the receiving host ("ingress" side).
+//       "Ahead" is log-order: a chunk_dequeue (resp. ingress_deliver) event
+//       positioned after the blamed chunk's enqueue (resp. arrival) and
+//       before its dequeue (resp. delivery) in the trace. The chunk already
+//       in service when the victim arrived was dequeued (delivered) earlier
+//       in the log, so the non-preempted in-service chunk is naturally
+//       excluded on both sides.
 //
 //   (c) policy diff reports: two runs of the same scenario under
 //       different disciplines (e.g. FIFO vs TLs-One), aligned per
@@ -65,11 +69,25 @@ struct PathSegment {
   std::int32_t host = -1;
   /// Flow the segment belongs to (0 for compute/other segments).
   std::int64_t flow = 0;
+  /// kFanIn only: instant where the ingress-queue wait ended and receive
+  /// serialization began, clamped into [begin, end]. -1 for other kinds.
+  sim::Time fan_in_wait_end{-1};
 };
 
-/// Bytes a competing (job, band) drained ahead of the victim job's
-/// critical-path chunks at one host's egress qdisc.
+/// Which port of the fabric a blame cell was measured at.
+enum class BlameSide : std::uint8_t {
+  kEgress = 0,   ///< sender's egress qdisc (chunk_dequeue window)
+  kIngress = 1,  ///< receiver's ingress port (ingress_deliver window)
+};
+
+/// Stable lower-snake name ("egress" / "ingress").
+const char* to_string(BlameSide side);
+
+/// Bytes a competing (job, band) moved ahead of the victim job's
+/// critical-path chunks at one host — at the sender's egress qdisc
+/// (kEgress) or the receiver's ingress port (kIngress).
 struct BlameEntry {
+  BlameSide side = BlameSide::kEgress;
   std::int32_t host = -1;
   std::int32_t culprit_job = -1;
   std::int32_t culprit_band = -1;
@@ -91,8 +109,12 @@ struct IterationReport {
   sim::Time serialization_ns{};
   sim::Time fan_in_ns{};
   sim::Time other_ns{};
+  /// fan_in_ns split at the receiver: ingress-queue wait vs receive
+  /// serialization. Always sums exactly to fan_in_ns.
+  sim::Time fan_in_wait_ns{};
+  sim::Time fan_in_ser_ns{};
   std::vector<PathSegment> segments;  ///< time order, tiling [enter, release]
-  std::vector<BlameEntry> blame;      ///< sorted by (host, job, band)
+  std::vector<BlameEntry> blame;      ///< sorted by (side, host, job, band)
 };
 
 /// Whole-run rollup for one job.
@@ -105,9 +127,14 @@ struct JobSummary {
   sim::Time serialization_ns{};
   sim::Time fan_in_ns{};
   sim::Time other_ns{};
-  /// Blame bytes from other jobs vs the job's own traffic.
+  sim::Time fan_in_wait_ns{};
+  sim::Time fan_in_ser_ns{};
+  /// Egress-side blame bytes from other jobs vs the job's own traffic.
   std::int64_t cross_job_blame_bytes = 0;
   std::int64_t self_blame_bytes = 0;
+  /// Ingress-side (receiver fan-in) blame bytes, split the same way.
+  std::int64_t cross_job_ingress_blame_bytes = 0;
+  std::int64_t self_ingress_blame_bytes = 0;
 };
 
 /// Full attribution report for one run.
@@ -130,7 +157,7 @@ RunReport analyze(const std::vector<TraceEvent>& events);
 std::string report_text(const RunReport& report);
 /// Tidy long CSV: one row per segment total and per blame cell.
 std::string report_csv(const RunReport& report);
-/// JSON document ("tlsreport-v1" schema), integers only.
+/// JSON document ("tlsreport-v2" schema), integers only.
 std::string report_json(const RunReport& report);
 
 /// One aligned (job, iteration) comparison row. A value of -1 for a wait
@@ -142,6 +169,8 @@ struct DiffRow {
   sim::Time wait_b{-1};
   std::int64_t cross_blame_a = 0;
   std::int64_t cross_blame_b = 0;
+  std::int64_t cross_ingress_blame_a = 0;
+  std::int64_t cross_ingress_blame_b = 0;
 };
 
 /// Per-job totals of the two runs side by side.
@@ -151,6 +180,8 @@ struct JobDiff {
   sim::Time total_wait_b{};
   std::int64_t cross_blame_a = 0;
   std::int64_t cross_blame_b = 0;
+  std::int64_t cross_ingress_blame_a = 0;
+  std::int64_t cross_ingress_blame_b = 0;
 };
 
 /// Aligned comparison of two runs of the same scenario.

@@ -31,9 +31,15 @@ struct ChunkTrace {
   sim::Time deq_at{-1};
   sim::Time arr_at{-1};
   sim::Time del_at{-1};
+  /// Ingress-queue wait at the receiver (deliver event's `a` field); the
+  /// fan-in wait/serialization split point is arr_at + del_wait.
+  sim::Time del_wait{0};
   std::size_t enq_idx = 0;  ///< log position of the enqueue event
   std::size_t deq_idx = 0;  ///< log position of the dequeue event
+  std::size_t arr_idx = 0;  ///< log position of the ingress arrival
+  std::size_t del_idx = 0;  ///< log position of the ingress delivery
   std::int32_t egress_host = -1;
+  std::int32_t ingress_host = -1;
   std::int32_t band = -1;
   std::int64_t bytes = 0;
 };
@@ -51,6 +57,8 @@ struct FlowTrace {
   /// Log position of the flow's earliest enqueue event (streaming only:
   /// the dequeue-record retention watermark; ignored by the batch path).
   std::size_t min_enq_idx = static_cast<std::size_t>(-1);
+  /// Same for the earliest ingress arrival (deliver-record retention).
+  std::size_t min_arr_idx = static_cast<std::size_t>(-1);
 };
 
 struct Span {
@@ -86,14 +94,35 @@ struct Index {
       releases;
 };
 
-/// An egress-queueing interval on the critical path, remembered so the
-/// blame pass can scan the log window (enq_idx, deq_idx).
+/// A queueing interval on the critical path — an egress-qdisc visit
+/// (kEgress: window (enq_idx, deq_idx) scanned for foreign chunk_dequeue)
+/// or an ingress-port visit (kIngress: window (arr_idx, del_idx) scanned
+/// for foreign ingress_deliver) — remembered so the blame pass can scan
+/// the exclusive log window (begin_idx, end_idx).
 struct QueueVisit {
+  BlameSide side = BlameSide::kEgress;
   std::int32_t host = -1;
   std::int64_t victim_flow = 0;
-  std::size_t enq_idx = 0;
-  std::size_t deq_idx = 0;
+  std::size_t begin_idx = 0;
+  std::size_t end_idx = 0;
 };
+
+/// Blame accumulator key: (side, host, culprit job, culprit band). Map
+/// iteration order is exactly the report's sorted blame order — egress
+/// cells first, then ingress.
+using BlameKey =
+    std::tuple<std::uint8_t, std::int32_t, std::int32_t, std::int32_t>;
+
+/// Converts the accumulated blame map into the report's sorted entries;
+/// shared so the batch and streaming engines emit byte-identically.
+inline void emit_blame(const std::map<BlameKey, std::int64_t>& blame,
+                       IterationReport& r) {
+  for (const auto& [bk, bytes] : blame) {
+    r.blame.push_back(BlameEntry{static_cast<BlameSide>(std::get<0>(bk)),
+                                 std::get<1>(bk), std::get<2>(bk),
+                                 std::get<3>(bk), bytes});
+  }
+}
 
 /// Collects backward-ordered segments; clamps every interval to >= lo and
 /// coalesces nothing (renderers aggregate by kind).
@@ -102,11 +131,16 @@ class SegmentSink {
   explicit SegmentSink(sim::Time lo) : lo_(lo) {}
 
   void add(SegmentKind kind, sim::Time begin, sim::Time end,
-           std::int32_t host, std::int64_t flow) {
+           std::int32_t host, std::int64_t flow,
+           sim::Time fan_in_wait_end = sim::Time{-1}) {
     begin = std::max(begin, lo_);
     end = std::max(end, lo_);
     if (end <= begin) return;
-    segs_.push_back(PathSegment{kind, begin, end, host, flow});
+    if (fan_in_wait_end >= sim::Time{0}) {
+      fan_in_wait_end = std::min(std::max(fan_in_wait_end, begin), end);
+    }
+    segs_.push_back(
+        PathSegment{kind, begin, end, host, flow, fan_in_wait_end});
   }
 
   /// Segments in forward time order.
@@ -142,13 +176,18 @@ inline void decompose_flow(const FlowTrace& f, sim::Time lo, SegmentSink& sink,
         c->enq_at < sim::Time{0} || c->del_at < sim::Time{0}) {
       break;  // partial chunk record; leave the remainder to `other`
     }
-    sink.add(SegmentKind::kFanIn, c->arr_at, cursor, f.dst, flow_id);
+    sink.add(SegmentKind::kFanIn, c->arr_at, cursor, f.dst, flow_id,
+             c->arr_at + c->del_wait);
     sink.add(SegmentKind::kSerialization, c->deq_at, c->arr_at, f.src,
              flow_id);
     sink.add(SegmentKind::kEgressQueue, c->enq_at, c->deq_at, f.src, flow_id);
     if (c->deq_at > c->enq_at && c->deq_at > lo) {
-      visits.push_back(
-          QueueVisit{c->egress_host, flow_id, c->enq_idx, c->deq_idx});
+      visits.push_back(QueueVisit{BlameSide::kEgress, c->egress_host, flow_id,
+                                  c->enq_idx, c->deq_idx});
+    }
+    if (c->del_at > c->arr_at && c->del_at > lo) {
+      visits.push_back(QueueVisit{BlameSide::kIngress, c->ingress_host,
+                                  flow_id, c->arr_idx, c->del_idx});
     }
     cursor = c->enq_at;
     if (cursor <= f.start_at || cursor <= lo) break;
@@ -254,7 +293,9 @@ inline void walk_critical_path(const Index& ix, std::int32_t job, sim::Time lo,
   if (cursor > lo) sink.add(SegmentKind::kOther, lo, cursor, host, 0);
 }
 
-/// Folds the segment list into the per-kind ns totals.
+/// Folds the segment list into the per-kind ns totals. Fan-in segments
+/// also split at fan_in_wait_end into ingress-queue wait vs receive
+/// serialization; the two sub-totals always sum exactly to fan_in_ns.
 inline void accumulate(IterationReport& r) {
   for (const PathSegment& s : r.segments) {
     sim::Time len = s.end - s.begin;
@@ -262,7 +303,17 @@ inline void accumulate(IterationReport& r) {
       case SegmentKind::kCompute: r.compute_ns += len; break;
       case SegmentKind::kEgressQueue: r.egress_queue_ns += len; break;
       case SegmentKind::kSerialization: r.serialization_ns += len; break;
-      case SegmentKind::kFanIn: r.fan_in_ns += len; break;
+      case SegmentKind::kFanIn: {
+        r.fan_in_ns += len;
+        // The sink clamps fan_in_wait_end into [begin, end]; a segment
+        // built without the split (degraded trace) carries -1 and counts
+        // fully as receive serialization.
+        sim::Time split = s.fan_in_wait_end >= s.begin ? s.fan_in_wait_end
+                                                      : s.begin;
+        r.fan_in_wait_ns += split - s.begin;
+        r.fan_in_ser_ns += s.end - split;
+        break;
+      }
       case SegmentKind::kOther: r.other_ns += len; break;
     }
   }
@@ -316,11 +367,21 @@ inline void fold_into_summary(JobSummary& js, const IterationReport& r) {
   js.serialization_ns += r.serialization_ns;
   js.fan_in_ns += r.fan_in_ns;
   js.other_ns += r.other_ns;
+  js.fan_in_wait_ns += r.fan_in_wait_ns;
+  js.fan_in_ser_ns += r.fan_in_ser_ns;
   for (const BlameEntry& b : r.blame) {
-    if (b.culprit_job == r.job) {
-      js.self_blame_bytes += b.bytes;
+    if (b.side == BlameSide::kEgress) {
+      if (b.culprit_job == r.job) {
+        js.self_blame_bytes += b.bytes;
+      } else {
+        js.cross_job_blame_bytes += b.bytes;
+      }
     } else {
-      js.cross_job_blame_bytes += b.bytes;
+      if (b.culprit_job == r.job) {
+        js.self_ingress_blame_bytes += b.bytes;
+      } else {
+        js.cross_job_ingress_blame_bytes += b.bytes;
+      }
     }
   }
 }

@@ -76,6 +76,14 @@ constexpr const char* kStyle = R"css(
   .delta-good { color: #1a7f37; }
   .delta-bad { color: #cf222e; }
   .empty { color: #57606a; font-style: italic; }
+  .sides { margin: 6px 0; }
+  .sides button { font: inherit; font-size: 12px; padding: 3px 12px;
+         border: 1px solid #d8dee4; background: #f0f2f4; color: #57606a;
+         cursor: pointer; }
+  .sides button:first-child { border-radius: 4px 0 0 4px; }
+  .sides button:last-child { border-radius: 0 4px 4px 0; }
+  .sides button.on { background: #1c2733; color: #fafbfc;
+         border-color: #1c2733; }
 )css";
 
 constexpr const char* kScript = R"js(
@@ -191,9 +199,12 @@ constexpr const char* kScript = R"js(
     });
   }
 
-  function renderHeatmap(rep, root) {
-    root.appendChild(el("h2", null,
-        "Blame heatmap - bytes drained ahead of critical chunks"));
+  function blameSide(b) {
+    return b.side || "egress";
+  }
+
+  function heatPane(rep, side, emptyText) {
+    var pane = el("div");
     var cells = {};  // "host|job|band" -> bytes
     var hosts = {};
     var cols = {};   // "job|band"
@@ -201,6 +212,7 @@ constexpr const char* kScript = R"js(
     rep.jobs.forEach(function (js) {
       js.per_iteration.forEach(function (it) {
         it.blame.forEach(function (b) {
+          if (blameSide(b) !== side) return;
           var col = b.culprit_job + "|" + b.culprit_band;
           var key = b.host + "|" + col;
           cells[key] = (cells[key] || 0) + b.bytes;
@@ -215,9 +227,8 @@ constexpr const char* kScript = R"js(
     });
     var colIds = Object.keys(cols).sort();
     if (!hostIds.length) {
-      root.appendChild(el("div", "empty",
-          "no egress-queue contention on any critical path"));
-      return;
+      pane.appendChild(el("div", "empty", emptyText));
+      return pane;
     }
     var table = el("table", "heat");
     var head = el("tr");
@@ -242,13 +253,48 @@ constexpr const char* kScript = R"js(
       });
       table.appendChild(tr);
     });
-    root.appendChild(table);
+    pane.appendChild(table);
+    return pane;
   }
 
-  function crossBlame(it) {
+  function renderHeatmap(rep, root) {
+    root.appendChild(el("h2", null,
+        "Blame heatmap - bytes moved ahead of critical chunks"));
+    var SIDES = ["egress", "ingress"];
+    var EMPTY = {
+      egress: "no egress-queue contention on any critical path",
+      ingress: "no ingress fan-in contention on any critical path"
+    };
+    var bar = el("div", "sides");
+    root.appendChild(bar);
+    var buttons = {};
+    var panes = {};
+    SIDES.forEach(function (side) {
+      var btn = el("button", null, side);
+      btn.type = "button";
+      bar.appendChild(btn);
+      buttons[side] = btn;
+      panes[side] = heatPane(rep, side, EMPTY[side]);
+      root.appendChild(panes[side]);
+    });
+    function show(side) {
+      SIDES.forEach(function (s) {
+        panes[s].style.display = s === side ? "" : "none";
+        buttons[s].className = s === side ? "on" : "";
+      });
+    }
+    SIDES.forEach(function (side) {
+      buttons[side].addEventListener("click", function () { show(side); });
+    });
+    show("egress");
+  }
+
+  function crossBlame(it, side) {
     var sum = 0;
     it.blame.forEach(function (b) {
-      if (b.culprit_job !== it.job_self) sum += b.bytes;
+      if (blameSide(b) === side && b.culprit_job !== it.job_self) {
+        sum += b.bytes;
+      }
     });
     return sum;
   }
@@ -321,10 +367,13 @@ constexpr const char* kScript = R"js(
           var span = el("span", d <= 0 ? "delta-good" : "delta-bad",
               (d >= 0 ? "+" : "") + fmt(d) + " ns");
           txt.appendChild(span);
-          var ca = crossBlame(ra);
-          var cb = crossBlame(rb);
+          var ca = crossBlame(ra, "egress");
+          var cb = crossBlame(rb, "egress");
+          var ia = crossBlame(ra, "ingress");
+          var ib = crossBlame(rb, "ingress");
           txt.appendChild(document.createTextNode(
-              " | cross blame " + fmt(ca) + " -> " + fmt(cb)));
+              " | cross blame " + fmt(ca) + " -> " + fmt(cb) +
+              " | ingress " + fmt(ia) + " -> " + fmt(ib)));
         }
         tr.appendChild(txt);
         table.appendChild(tr);
@@ -338,10 +387,17 @@ constexpr const char* kScript = R"js(
             "totals: wait " + fmt(sa.total_wait_ns) + " -> " +
             fmt(sb.total_wait_ns) + " ns, cross-job blame " +
             fmt(sa.cross_job_blame_bytes) + " -> " +
-            fmt(sb.cross_job_blame_bytes) + " bytes"));
+            fmt(sb.cross_job_blame_bytes) + " bytes, ingress " +
+            fmt(sa.cross_job_ingress_blame_bytes || 0) + " -> " +
+            fmt(sb.cross_job_ingress_blame_bytes || 0) + " bytes"));
         if (sa.cross_job_blame_bytes > 0 && sb.cross_job_blame_bytes === 0) {
           totals.appendChild(el("span", "delta-good",
               " [queueing-behind-other-jobs eliminated]"));
+        }
+        if (sa.cross_job_ingress_blame_bytes > 0 &&
+            sb.cross_job_ingress_blame_bytes === 0) {
+          totals.appendChild(el("span", "delta-good",
+              " [fan-in contention eliminated]"));
         }
         root.appendChild(totals);
       }

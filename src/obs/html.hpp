@@ -1,6 +1,6 @@
 // tls::obs — self-contained HTML dashboard for tlsreport output.
 //
-// report_html() wraps one (or, for an A/B diff, two) "tlsreport-v1" JSON
+// report_html() wraps one (or, for an A/B diff, two) "tlsreport-v2" JSON
 // documents in a single static HTML page: inline CSS, inline JS, the JSON
 // embedded verbatim in <script type="application/json"> blocks — no
 // external references of any kind, so the file can be scp'd or attached

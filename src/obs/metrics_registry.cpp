@@ -75,6 +75,35 @@ std::int64_t Histogram::quantile_upper_bound(double q) const {
   return max_;
 }
 
+std::int64_t Histogram::quantile(double q) const {
+  if (count_ == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  std::int64_t rank = static_cast<std::int64_t>(q * static_cast<double>(count_));
+  if (rank < 1) rank = 1;
+  if (rank > count_) rank = count_;
+  std::int64_t seen = 0;
+  for (int i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    if (seen + buckets_[i] < rank) {
+      seen += buckets_[i];
+      continue;
+    }
+    // Interpolate by rank within the containing bucket [lo, hi], with the
+    // edges clamped to the observed extremes so a single-sample bucket
+    // reports the real range, not the power-of-two envelope.
+    std::int64_t lo = i == 0 ? 0 : (std::int64_t{1} << (i - 1));
+    std::int64_t hi = bucket_upper(i);
+    if (lo < min_) lo = min_;
+    if (hi > max_) hi = max_;
+    if (hi < lo) hi = lo;
+    std::int64_t pos = rank - seen;  // 1..buckets_[i]
+    return lo + static_cast<std::int64_t>(static_cast<__int128>(hi - lo) *
+                                          pos / buckets_[i]);
+  }
+  return max_;
+}
+
 Counter& Registry::counter(const std::string& name, std::int32_t host,
                            std::int32_t job, std::int32_t band) {
   return counters_[MetricKey{name, host, job, band}];
@@ -120,10 +149,9 @@ std::string Registry::timeseries_csv(sim::Time end) const {
     row(end, key, "hist", ".sum", std::to_string(h.sum()));
     row(end, key, "hist", ".min", std::to_string(h.min()));
     row(end, key, "hist", ".max", std::to_string(h.max()));
-    row(end, key, "hist", ".p50",
-        std::to_string(h.quantile_upper_bound(0.5)));
-    row(end, key, "hist", ".p99",
-        std::to_string(h.quantile_upper_bound(0.99)));
+    row(end, key, "hist", ".p50", std::to_string(h.quantile(0.5)));
+    row(end, key, "hist", ".p95", std::to_string(h.quantile(0.95)));
+    row(end, key, "hist", ".p99", std::to_string(h.quantile(0.99)));
   }
   return os.str();
 }

@@ -83,6 +83,13 @@ class Histogram {
   /// resolved to the upper edge of the containing bucket.
   std::int64_t quantile_upper_bound(double q) const;
 
+  /// Rank-interpolated quantile: locates the containing bucket like
+  /// quantile_upper_bound, then interpolates linearly by rank across the
+  /// bucket's span (edges clamped to the observed min/max), so quantile
+  /// estimates move smoothly instead of jumping between power-of-two
+  /// edges. Integer arithmetic throughout — the result is byte-stable.
+  std::int64_t quantile(double q) const;
+
  private:
   std::int64_t buckets_[kBuckets] = {};
   std::int64_t count_ = 0;
@@ -125,8 +132,9 @@ class Registry {
   /// summary and one per timeseries point. Columns:
   ///   t_ns,metric,kind,host,job,band,value
   /// Summaries use t_ns = `end` (the final simulation time); histogram
-  /// summaries expand to count/sum/min/max/p50/p99 rows. Byte-identical
-  /// across runs by construction (map order + fixed numeric formatting).
+  /// summaries expand to count/sum/min/max/p50/p95/p99 rows (quantiles
+  /// rank-interpolated within their log2 bucket). Byte-identical across
+  /// runs by construction (map order + fixed numeric formatting).
   std::string timeseries_csv(sim::Time end) const;
 
  private:

@@ -1,5 +1,6 @@
 #include "obs/reader.hpp"
 
+#include <algorithm>
 #include <cstdlib>
 #include <fstream>
 
@@ -242,8 +243,31 @@ bool TraceCsvTail::poll(const std::function<void(const TraceEvent&)>& sink,
     if (error != nullptr) *error = "cannot open trace CSV: " + path_;
     return false;
   }
+  // Truncation/rotation detection: a file smaller than what we already
+  // consumed, or leading bytes that no longer match the header we parsed,
+  // means the writer replaced the file. Restart from offset 0 with fresh
+  // parser state instead of tailing a stale offset forever.
+  in.seekg(0, std::ios::end);
+  std::uint64_t size = static_cast<std::uint64_t>(in.tellg());
+  bool restart = size < offset_;
+  if (!restart && header_seen_ && size > 0) {
+    const std::string header(kHeader);
+    std::string lead(
+        std::min(header.size(), static_cast<std::size_t>(size)), '\0');
+    in.seekg(0);
+    in.read(lead.data(), static_cast<std::streamsize>(lead.size()));
+    if (header.compare(0, lead.size(), lead) != 0) restart = true;
+  }
+  if (restart) {
+    offset_ = 0;
+    pending_.clear();
+    lineno_ = 0;
+    header_seen_ = false;
+    health_ = TraceHealth{};  // the trailer belonged to the replaced file
+  }
+  in.clear();
   in.seekg(static_cast<std::streamoff>(offset_));
-  if (!in) return true;  // file shrank or not yet that large; try later
+  if (!in) return true;  // racing writer mid-replace; try later
   std::vector<char> buf(kReadChunkBytes);
   EventSink counting = [this, &sink](const TraceEvent& e) {
     ++events_read_;

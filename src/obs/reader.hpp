@@ -56,6 +56,10 @@ bool for_each_trace_csv_event(
 /// and delivers them to the sink; a partially-written final line is
 /// buffered until a later append completes it. The file is reopened per
 /// poll (cheap, and robust to the writer recreating it with more data).
+/// Truncation and rotation are detected — a file that shrank below the
+/// consumed offset, or whose leading bytes no longer match the already
+/// parsed header, resets the tail to offset 0 with fresh parser state and
+/// the new file is followed from its start.
 class TraceCsvTail {
  public:
   explicit TraceCsvTail(std::string path);

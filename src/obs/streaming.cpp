@@ -115,19 +115,22 @@ void StreamingAnalyzer::ingest(const TraceEvent& e) {
       c.band = e.band;
       c.bytes = e.bytes;
       deq_by_host_[e.host].push_back(
-          DeqRec{idx, e.flow, e.job, e.band, e.bytes});
+          PortRec{idx, e.flow, e.job, e.band, e.bytes});
       note_retention(1);
       break;
     }
     case EventKind::kIngressArrive: {
       auto [it, inserted] = ix_.flows.try_emplace(e.flow);
+      FlowTrace& f = it->second;
       if (inserted) {
         flows_by_job_[e.job].push_back(e.flow);
         note_retention(1);
       }
-      auto [cit, cinserted] = it->second.chunks.try_emplace(e.b);
+      auto [cit, cinserted] = f.chunks.try_emplace(e.b);
       if (cinserted) note_retention(1);
       cit->second.arr_at = e.at;
+      cit->second.arr_idx = idx;
+      if (idx < f.min_arr_idx) f.min_arr_idx = idx;
       break;
     }
     case EventKind::kIngressDeliver: {
@@ -139,8 +142,15 @@ void StreamingAnalyzer::ingest(const TraceEvent& e) {
       }
       auto [cit, cinserted] = f.chunks.try_emplace(e.b);
       if (cinserted) note_retention(1);
-      cit->second.del_at = e.at;
+      ChunkTrace& c = cit->second;
+      c.del_at = e.at;
+      c.del_idx = idx;
+      c.del_wait = sim::from_nanos(e.a);
+      c.ingress_host = e.host;
       f.index_by_deliver[e.at] = e.b;
+      del_by_host_[e.host].push_back(
+          PortRec{idx, e.flow, e.job, e.band, e.bytes});
+      note_retention(1);
       break;
     }
     case EventKind::kWorkerCompute: {
@@ -214,30 +224,29 @@ void StreamingAnalyzer::finalize(std::int32_t job, std::int64_t iteration) {
   IterationReport r =
       detail::build_iteration(ix_, job, iteration, rit->second, visits);
 
-  // Blame pass over the retained per-host dequeue records: the same
-  // exclusive (enq_idx, deq_idx) log window the batch engine scans.
-  std::map<std::tuple<std::int32_t, std::int32_t, std::int32_t>,
-           std::int64_t>
-      blame;
+  // Blame pass over the retained per-host port records: the same
+  // exclusive (begin_idx, end_idx) log windows the batch engine scans —
+  // dequeues for egress visits, deliveries for ingress visits.
+  std::map<detail::BlameKey, std::int64_t> blame;
   for (const QueueVisit& v : visits) {
-    auto dit = deq_by_host_.find(v.host);
-    if (dit == deq_by_host_.end()) continue;
-    const std::deque<DeqRec>& dq = dit->second;
+    const auto& lane =
+        v.side == BlameSide::kEgress ? deq_by_host_ : del_by_host_;
+    auto dit = lane.find(v.host);
+    if (dit == lane.end()) continue;
+    const std::deque<PortRec>& dq = dit->second;
     auto lo = std::upper_bound(
-        dq.begin(), dq.end(), v.enq_idx,
-        [](std::size_t idx, const DeqRec& rec) { return idx < rec.idx; });
+        dq.begin(), dq.end(), v.begin_idx,
+        [](std::size_t idx, const PortRec& rec) { return idx < rec.idx; });
     auto hi = std::lower_bound(
-        dq.begin(), dq.end(), v.deq_idx,
-        [](const DeqRec& rec, std::size_t idx) { return rec.idx < idx; });
+        dq.begin(), dq.end(), v.end_idx,
+        [](const PortRec& rec, std::size_t idx) { return rec.idx < idx; });
     for (auto it = lo; it != hi; ++it) {
       if (it->flow == v.victim_flow) continue;  // own pipeline, not blame
-      blame[{v.host, it->job, it->band}] += it->bytes;
+      blame[{static_cast<std::uint8_t>(v.side), v.host, it->job,
+             it->band}] += it->bytes;
     }
   }
-  for (const auto& [bk, bytes] : blame) {
-    r.blame.push_back(BlameEntry{std::get<0>(bk), std::get<1>(bk),
-                                 std::get<2>(bk), bytes});
-  }
+  detail::emit_blame(blame, r);
 
   detail::fold_into_summary(jobs_[job], r);
 
@@ -278,7 +287,7 @@ void StreamingAnalyzer::finalize(std::int32_t job, std::int64_t iteration) {
       if (j < 0) prune_job(j, global);
     }
   }
-  prune_dequeues();
+  prune_port_records();
 
   finalized_.push_back(std::move(r));
 }
@@ -328,22 +337,33 @@ void StreamingAnalyzer::prune_job(std::int32_t job, sim::Time watermark) {
               [](const auto& k) { return std::get<2>(k); });
 }
 
-void StreamingAnalyzer::prune_dequeues() {
-  // Every future blame window (enq_idx, deq_idx) comes from a chunk of a
-  // still-live flow, so the minimum enqueue index across live flows
-  // bounds all of them from below.
-  std::size_t floor_idx = next_idx_;
+void StreamingAnalyzer::prune_port_records() {
+  // Every future egress blame window (enq_idx, deq_idx) comes from a
+  // chunk of a still-live flow, so the minimum enqueue index across live
+  // flows bounds all of them from below; the ingress lane's windows
+  // (arr_idx, del_idx) are bounded by the minimum arrival index the same
+  // way. Each lane prunes under its own floor, keeping the per-host
+  // delivery records live exactly until the last window that could
+  // reference them has finalized.
+  std::size_t enq_floor = next_idx_;
+  std::size_t arr_floor = next_idx_;
   for (const auto& [id, f] : ix_.flows) {
     (void)id;
-    if (f.min_enq_idx < floor_idx) floor_idx = f.min_enq_idx;
+    if (f.min_enq_idx < enq_floor) enq_floor = f.min_enq_idx;
+    if (f.min_arr_idx < arr_floor) arr_floor = f.min_arr_idx;
   }
-  for (auto& [host, dq] : deq_by_host_) {
-    (void)host;
-    while (!dq.empty() && dq.front().idx < floor_idx) {
-      dq.pop_front();
-      note_retention(-1);
+  auto prune_lane = [this](std::map<std::int32_t, std::deque<PortRec>>& lane,
+                           std::size_t floor_idx) {
+    for (auto& [host, dq] : lane) {
+      (void)host;
+      while (!dq.empty() && dq.front().idx < floor_idx) {
+        dq.pop_front();
+        note_retention(-1);
+      }
     }
-  }
+  };
+  prune_lane(deq_by_host_, enq_floor);
+  prune_lane(del_by_host_, arr_floor);
 }
 
 RunReport StreamingAnalyzer::snapshot() const {

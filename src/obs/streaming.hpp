@@ -35,16 +35,21 @@
 //    entries are erased below it. (The kAggregate upper_bound probe can
 //    land on an erased-older entry, but batch and streaming then emit the
 //    identical clamped `other` segment — see walk_critical_path.)
-//    Dequeue records for the blame pass are kept per host and pruned by
-//    log index: the minimum enqueue index over still-live flows bounds
-//    every future blame window. Events with job < 0 (background traffic)
-//    retire under the minimum watermark across jobs.
+//    Dequeue records for the egress blame pass are kept per host and
+//    pruned by log index: the minimum enqueue index over still-live flows
+//    bounds every future blame window. The ingress delivery lane is the
+//    mirror image — per-receiving-host kIngressDeliver records pruned by
+//    the minimum ingress-arrival index over still-live flows — so it too
+//    stays live exactly until the last blame window that could reference
+//    it closes. Events with job < 0 (background traffic) retire under the
+//    minimum watermark across jobs.
 //
 //  * Blame without the log: batch scans the raw event window
-//    (enq_idx, deq_idx) for foreign kChunkDequeue at the same host; the
+//    (enq_idx, deq_idx) for foreign kChunkDequeue at the same host, and
+//    (arr_idx, del_idx) for foreign kIngressDeliver at the receiver; the
 //    streaming engine keeps exactly those records — per-host, in log
-//    order — and binary-searches the same window, yielding identical
-//    bytes.
+//    order — and binary-searches the same windows, yielding identical
+//    bytes on both blame sides.
 #pragma once
 
 #include <cstdint>
@@ -107,8 +112,9 @@ class StreamingAnalyzer {
   bool out_of_order() const { return out_of_order_; }
 
  private:
-  /// One kChunkDequeue record, the blame pass's working set.
-  struct DeqRec {
+  /// One kChunkDequeue (egress lane) or kIngressDeliver (ingress lane)
+  /// record, the blame pass's working set.
+  struct PortRec {
     std::size_t idx = 0;  ///< global log position
     std::int64_t flow = 0;
     std::int32_t job = -1;
@@ -119,15 +125,18 @@ class StreamingAnalyzer {
   void finalize_ripe(sim::Time now);
   void finalize(std::int32_t job, std::int64_t iteration);
   void prune_job(std::int32_t job, sim::Time watermark);
-  void prune_dequeues();
+  void prune_port_records();
   void note_retention(std::ptrdiff_t delta);
 
   StreamingOptions options_;
   detail::Index ix_;
   TraceHealth health_;
 
-  /// Per-host kChunkDequeue records in log order (blame windows).
-  std::map<std::int32_t, std::deque<DeqRec>> deq_by_host_;
+  /// Per-host kChunkDequeue records in log order (egress blame windows).
+  std::map<std::int32_t, std::deque<PortRec>> deq_by_host_;
+  /// Per-receiving-host kIngressDeliver records in log order (ingress
+  /// blame windows).
+  std::map<std::int32_t, std::deque<PortRec>> del_by_host_;
   /// Flow ids per job, so per-job pruning never scans foreign flows.
   std::map<std::int32_t, std::vector<std::int64_t>> flows_by_job_;
   /// kBarrierEnter count per (job, iteration).

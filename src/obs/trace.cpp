@@ -23,6 +23,18 @@ constexpr CatName kCatNames[] = {
     {Cat::kIngress, "ingress"},    {Cat::kCompute, "compute"},
 };
 
+/// Canonical comma-separated listing of every category name, embedded in
+/// both parse_categories' and parse_sampling's unknown-name diagnostics so
+/// the two flags never drift apart.
+std::string known_categories() {
+  std::string known;
+  for (const CatName& cn : kCatNames) {
+    if (!known.empty()) known += ",";
+    known += cn.name;
+  }
+  return known;
+}
+
 }  // namespace
 
 int cat_index(Cat cat) {
@@ -70,12 +82,9 @@ bool parse_categories(const std::string& text, std::uint32_t* mask,
         }
         if (!found) {
           if (error != nullptr) {
-            std::string known;
-            for (const CatName& cn : kCatNames) {
-              if (!known.empty()) known += ",";
-              known += cn.name;
-            }
-            *error = "unknown trace category '" + tok + "' (expected all, none, or a comma list of " + known + ")";
+            *error = "unknown trace category '" + tok +
+                     "' (expected all, none, or a comma list of " +
+                     known_categories() + ")";
           }
           return false;
         }
@@ -118,8 +127,9 @@ bool parse_sampling(const std::string& text, std::uint32_t* out,
       if (match == nullptr || n <= 0) {
         if (error != nullptr) {
           *error = "bad sampling term '" + tok +
-                   "' (expected a comma list of cat=N with N >= 1, e.g. "
-                   "qdisc=16,htb=8)";
+                   "' (expected a comma list of cat=N with N >= 1 and cat "
+                   "one of " +
+                   known_categories() + ", e.g. qdisc=16,htb=8)";
         }
         return false;
       }

@@ -106,7 +106,7 @@ derive per-run paths, e.g. trace.json -> trace.run-label.json):
   --report PATH        straggler-attribution report (critical-path
                        decomposition + contention blame; tlsreport text)
   --report-csv PATH    same report as tidy long CSV
-  --report-json PATH   same report as tlsreport-v1 JSON
+  --report-json PATH   same report as tlsreport-v2 JSON
   --report-html PATH   same report as a self-contained HTML dashboard
 
 scenario flags (shared flags that apply: --hosts (12 here), --policy,

@@ -37,8 +37,11 @@ TEST(AnalysisContract, SegmentKindNames) {
 /// One complete synchronous iteration of a 1-worker job, emitted in the
 /// order the simulator would: compute on host 1, gradient flow 101 to the
 /// PS on host 0, aggregation, model flow 100 back, barrier release. Extra
-/// foreign dequeues land inside flow 100's egress-queue window to exercise
-/// every blame inclusion/exclusion rule.
+/// foreign dequeues land inside flow 100's egress-queue window, and extra
+/// foreign delivers inside its ingress window at host 1, to exercise every
+/// blame inclusion/exclusion rule on both sides. Flow 100's deliver
+/// carries an 80 ns ingress-queue wait, splitting its fan-in segment into
+/// wait [1800,1880] + receive [1880,2000].
 ///
 /// Timeline (ns):              1000      1100 1150  1250 1300 1400 1600 1800 2000
 ///   barrier [enter.....................................................release]
@@ -72,7 +75,14 @@ void emit_one_iteration(Tracer& t) {
   // After the victim's dequeue: outside the window.
   t.chunk_dequeue(tls::sim::Time{1650}, tls::net::HostId{0}, 1, tls::net::BandId{2}, /*flow=*/997, 0, tls::net::Bytes{2222}, tls::sim::Time{0});
   t.ingress_arrive(tls::sim::Time{1800}, /*host=*/tls::net::HostId{1}, 0, tls::net::BandId{0}, 100, 0, tls::net::Bytes{6000});
-  t.ingress_deliver(tls::sim::Time{2000}, tls::net::HostId{1}, 0, tls::net::BandId{0}, 100, 0, tls::net::Bytes{6000}, tls::sim::Time{0}, /*residence=*/tls::sim::Time{200});
+  // Inside flow 100's ingress log window (arrive..deliver) at host 1:
+  t.ingress_deliver(tls::sim::Time{1850}, tls::net::HostId{1}, /*job=*/1, /*band=*/tls::net::BandId{2}, /*flow=*/888, 0, tls::net::Bytes{4444}, tls::sim::Time{0}, tls::sim::Time{10});
+  t.ingress_deliver(tls::sim::Time{1870}, /*host=*/tls::net::HostId{0}, 1, tls::net::BandId{2}, 887, 0, tls::net::Bytes{123}, tls::sim::Time{0}, tls::sim::Time{10});  // other host
+  t.ingress_deliver(tls::sim::Time{1890}, tls::net::HostId{1}, /*job=*/0, tls::net::BandId{0}, /*flow=*/666, 0, tls::net::Bytes{2222}, tls::sim::Time{0}, tls::sim::Time{10});  // self
+  t.ingress_deliver(tls::sim::Time{1900}, tls::net::HostId{1}, 0, tls::net::BandId{0}, /*flow=*/100, 1, tls::net::Bytes{500}, tls::sim::Time{0}, tls::sim::Time{10});  // own pipeline
+  t.ingress_deliver(tls::sim::Time{2000}, tls::net::HostId{1}, 0, tls::net::BandId{0}, 100, 0, tls::net::Bytes{6000}, /*wait=*/tls::sim::Time{80}, /*residence=*/tls::sim::Time{200});
+  // After the victim's deliver: outside the window.
+  t.ingress_deliver(tls::sim::Time{2000}, tls::net::HostId{1}, 1, tls::net::BandId{2}, /*flow=*/886, 0, tls::net::Bytes{3210}, tls::sim::Time{0}, tls::sim::Time{10});
   t.flow_end(tls::sim::Time{2000}, tls::net::HostId{0}, tls::net::HostId{1}, 0, 0, 100, tls::net::Bytes{6000}, 0, /*elapsed=*/tls::sim::Time{600});
   t.barrier_release(tls::sim::Time{2000}, 0, 0, 0, /*wait=*/tls::sim::Time{1000});
 }
@@ -105,6 +115,12 @@ TEST(Analysis, DecomposesOneIterationExactly) {
   EXPECT_EQ(r.compute_ns + r.egress_queue_ns + r.serialization_ns +
                 r.fan_in_ns + r.other_ns,
             r.barrier_wait);
+  // The fan-in total splits into ingress-queue wait vs receive
+  // serialization at arr_at + del_wait: the model chunk waited 80 ns
+  // ([1800,1880]), the gradient chunk 0; the split always sums back.
+  EXPECT_EQ(r.fan_in_wait_ns, tls::sim::Time{80});
+  EXPECT_EQ(r.fan_in_ser_ns, tls::sim::Time{170});
+  EXPECT_EQ(r.fan_in_wait_ns + r.fan_in_ser_ns, r.fan_in_ns);
 
   // Segments tile [enter, release] in forward time order with no gaps.
   ASSERT_EQ(r.segments.size(), 8u);
@@ -123,6 +139,10 @@ TEST(Analysis, DecomposesOneIterationExactly) {
   EXPECT_EQ(r.segments[7].kind, SegmentKind::kFanIn);
   EXPECT_EQ(r.segments[5].host, 0);    // model flow queues at the PS host
   EXPECT_EQ(r.segments[5].flow, 100);
+  // Only fan-in segments carry the wait/receive split point.
+  EXPECT_EQ(r.segments[3].fan_in_wait_end, tls::sim::Time{1250});
+  EXPECT_EQ(r.segments[7].fan_in_wait_end, tls::sim::Time{1880});
+  EXPECT_EQ(r.segments[0].fan_in_wait_end, tls::sim::Time{-1});
 }
 
 TEST(Analysis, BlameWindowCountsForeignDequeuesOnly) {
@@ -130,22 +150,39 @@ TEST(Analysis, BlameWindowCountsForeignDequeuesOnly) {
   ASSERT_EQ(report.iterations.size(), 1u);
   const IterationReport& r = report.iterations[0];
 
-  // In flow 100's window: flow 999 (job 1) and flow 555 (job 0) at host 0
-  // count; the other-host, own-pipeline, and outside-window dequeues do
-  // not. Entries are sorted by (host, culprit job, culprit band).
-  ASSERT_EQ(r.blame.size(), 2u);
+  // Egress side, flow 100's window: flow 999 (job 1) and flow 555 (job 0)
+  // at host 0 count; the other-host, own-pipeline, and outside-window
+  // dequeues do not. Ingress side, same flow's window at host 1: flow 888
+  // (job 1) and flow 666 (job 0) count under the same exclusion rules.
+  // Entries are sorted by (side, host, culprit job, culprit band) with
+  // egress first.
+  ASSERT_EQ(r.blame.size(), 4u);
+  EXPECT_EQ(r.blame[0].side, BlameSide::kEgress);
   EXPECT_EQ(r.blame[0].host, 0);
   EXPECT_EQ(r.blame[0].culprit_job, 0);
   EXPECT_EQ(r.blame[0].culprit_band, 0);
   EXPECT_EQ(r.blame[0].bytes, 3333);
+  EXPECT_EQ(r.blame[1].side, BlameSide::kEgress);
   EXPECT_EQ(r.blame[1].host, 0);
   EXPECT_EQ(r.blame[1].culprit_job, 1);
   EXPECT_EQ(r.blame[1].culprit_band, 2);
   EXPECT_EQ(r.blame[1].bytes, 7777);
+  EXPECT_EQ(r.blame[2].side, BlameSide::kIngress);
+  EXPECT_EQ(r.blame[2].host, 1);
+  EXPECT_EQ(r.blame[2].culprit_job, 0);
+  EXPECT_EQ(r.blame[2].culprit_band, 0);
+  EXPECT_EQ(r.blame[2].bytes, 2222);
+  EXPECT_EQ(r.blame[3].side, BlameSide::kIngress);
+  EXPECT_EQ(r.blame[3].host, 1);
+  EXPECT_EQ(r.blame[3].culprit_job, 1);
+  EXPECT_EQ(r.blame[3].culprit_band, 2);
+  EXPECT_EQ(r.blame[3].bytes, 4444);
 
   ASSERT_EQ(report.jobs.size(), 1u);
   EXPECT_EQ(report.jobs[0].cross_job_blame_bytes, 7777);
   EXPECT_EQ(report.jobs[0].self_blame_bytes, 3333);
+  EXPECT_EQ(report.jobs[0].cross_job_ingress_blame_bytes, 4444);
+  EXPECT_EQ(report.jobs[0].self_ingress_blame_bytes, 2222);
   EXPECT_EQ(report.jobs[0].total_wait_ns, tls::sim::Time{1000});
   EXPECT_EQ(report.jobs[0].iterations, 1);
 }
@@ -200,11 +237,22 @@ TEST(AnalysisRenderers, TextCsvJsonAgreeOnTotals) {
   RunReport report = analyze(one_iteration_trace());
   std::string text = report_text(report);
   EXPECT_NE(text.find("wait 1000 ns = compute 200 + egress_queue 250 + "
-                      "serialization 300 + fan_in 250 + other 0"),
+                      "serialization 300 + fan_in 250 (wait 80 + recv 170) + "
+                      "other 0"),
             std::string::npos)
       << text;
   EXPECT_NE(text.find("blame host 0: job 1 band 2 drained 7777 bytes ahead"),
             std::string::npos);
+  EXPECT_NE(text.find("ingress blame host 1: job 1 band 2 delivered 4444 "
+                      "bytes ahead"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("fan_in split: ingress wait 80 ns, receive 170 ns"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("ingress blame: cross-job 4444 bytes, self 2222 bytes"),
+            std::string::npos)
+      << text;
 
   std::string csv = report_csv(report);
   EXPECT_NE(csv.find("job,iteration,critical_worker,record,host,culprit_job,"
@@ -212,12 +260,26 @@ TEST(AnalysisRenderers, TextCsvJsonAgreeOnTotals) {
             std::string::npos);
   EXPECT_NE(csv.find("0,0,0,segment,-1,-1,-1,barrier_wait_ns,1000"),
             std::string::npos);
+  EXPECT_NE(csv.find("0,0,0,segment,-1,-1,-1,fan_in_wait_ns,80"),
+            std::string::npos);
+  EXPECT_NE(csv.find("0,0,0,segment,-1,-1,-1,fan_in_ser_ns,170"),
+            std::string::npos);
   EXPECT_NE(csv.find("0,0,0,blame,0,1,2,blame_bytes,7777"), std::string::npos);
+  EXPECT_NE(csv.find("0,0,0,ingress_blame,1,1,2,ingress_blame_bytes,4444"),
+            std::string::npos)
+      << csv;
 
   std::string json = report_json(report);
-  EXPECT_NE(json.find("\"schema\":\"tlsreport-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"tlsreport-v2\""), std::string::npos);
   EXPECT_NE(json.find("\"cross_job_blame_bytes\":7777"), std::string::npos);
   EXPECT_NE(json.find("\"self_blame_bytes\":3333"), std::string::npos);
+  EXPECT_NE(json.find("\"cross_job_ingress_blame_bytes\":4444"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"self_ingress_blame_bytes\":2222"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"fan_in_wait_ns\":80"), std::string::npos);
+  EXPECT_NE(json.find("\"side\":\"egress\""), std::string::npos);
+  EXPECT_NE(json.find("\"side\":\"ingress\""), std::string::npos);
   // Integer-only output: a float would break byte-identical determinism.
   EXPECT_EQ(json.find('.'), std::string::npos);
 }
@@ -287,14 +349,19 @@ TEST(AnalysisReader, MissingFileReportsPath) {
 }
 
 RunReport report_with(std::int32_t job, std::int64_t iteration,
-                      sim::Time wait, std::int64_t cross_bytes) {
+                      sim::Time wait, std::int64_t cross_bytes,
+                      std::int64_t ingress_bytes = 0) {
   RunReport r;
   IterationReport it;
   it.job = job;
   it.iteration = iteration;
   it.barrier_wait = wait;
   if (cross_bytes > 0) {
-    it.blame.push_back(BlameEntry{0, job + 1, 0, cross_bytes});
+    it.blame.push_back(BlameEntry{BlameSide::kEgress, 0, job + 1, 0, cross_bytes});
+  }
+  if (ingress_bytes > 0) {
+    it.blame.push_back(
+        BlameEntry{BlameSide::kIngress, 1, job + 1, 0, ingress_bytes});
   }
   r.iterations.push_back(it);
   JobSummary js;
@@ -302,6 +369,7 @@ RunReport report_with(std::int32_t job, std::int64_t iteration,
   js.iterations = 1;
   js.total_wait_ns = wait;
   js.cross_job_blame_bytes = cross_bytes;
+  js.cross_job_ingress_blame_bytes = ingress_bytes;
   r.jobs.push_back(js);
   return r;
 }
@@ -337,11 +405,56 @@ TEST(AnalysisDiff, CertifiesCrossJobBlameElimination) {
   EXPECT_EQ(diff_text(still).find("eliminated"), std::string::npos);
 
   std::string json = diff_json(d);
-  EXPECT_NE(json.find("\"schema\":\"tlsreport-diff-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"tlsreport-diff-v2\""), std::string::npos);
   EXPECT_NE(json.find("\"cross_job_blame_bytes_a\":4096"), std::string::npos);
   std::string csv = diff_csv(d);
   EXPECT_NE(csv.find("job,iteration,metric,a,b\n"), std::string::npos);
   EXPECT_NE(csv.find("0,-1,cross_job_blame_bytes,4096,0"), std::string::npos);
+}
+
+TEST(AnalysisDiff, CertifiesFanInContentionElimination) {
+  // Both sides of the blame matrix go to zero: both certificates fire.
+  DiffReport d = diff_reports(
+      report_with(0, 0, tls::sim::Time{500}, 4096, /*ingress_bytes=*/2048),
+      report_with(0, 0, tls::sim::Time{300}, 0, 0), "fifo", "tls-one");
+  ASSERT_EQ(d.jobs.size(), 1u);
+  EXPECT_EQ(d.jobs[0].cross_ingress_blame_a, 2048);
+  EXPECT_EQ(d.jobs[0].cross_ingress_blame_b, 0);
+  std::string text = diff_text(d);
+  EXPECT_NE(text.find("[queueing-behind-other-jobs eliminated]"),
+            std::string::npos)
+      << text;
+  EXPECT_NE(text.find("[fan-in contention eliminated]"), std::string::npos)
+      << text;
+
+  // Only the ingress side goes to zero: only the fan-in tag fires.
+  DiffReport ingress_only = diff_reports(
+      report_with(0, 0, tls::sim::Time{500}, 4096, 2048),
+      report_with(0, 0, tls::sim::Time{300}, 64, 0), "a", "b");
+  std::string partial = diff_text(ingress_only);
+  EXPECT_EQ(partial.find("[queueing-behind-other-jobs eliminated]"),
+            std::string::npos);
+  EXPECT_NE(partial.find("[fan-in contention eliminated]"), std::string::npos);
+  // Residual ingress blame: no tag.
+  DiffReport still = diff_reports(
+      report_with(0, 0, tls::sim::Time{500}, 0, 2048),
+      report_with(0, 0, tls::sim::Time{300}, 0, 64), "a", "b");
+  EXPECT_EQ(diff_text(still).find("fan-in contention"), std::string::npos);
+
+  std::string json = diff_json(d);
+  EXPECT_NE(json.find("\"cross_job_ingress_blame_bytes_a\":2048"),
+            std::string::npos);
+  EXPECT_NE(json.find("\"cross_job_ingress_blame_bytes_b\":0"),
+            std::string::npos);
+  std::string csv = diff_csv(d);
+  EXPECT_NE(csv.find("0,-1,cross_job_ingress_blame_bytes,2048,0"),
+            std::string::npos)
+      << csv;
+}
+
+TEST(AnalysisContract, BlameSideNames) {
+  EXPECT_STREQ(to_string(BlameSide::kEgress), "egress");
+  EXPECT_STREQ(to_string(BlameSide::kIngress), "ingress");
 }
 
 }  // namespace

@@ -93,6 +93,24 @@ TEST(Html, SingleRunPageIsSelfContained) {
   EXPECT_EQ(html.find("http-equiv=\"refresh\""), std::string::npos);
 }
 
+TEST(Html, HeatmapHasEgressIngressToggle) {
+  // The blame heatmap is two-sided: an egress and an ingress pane behind
+  // a button bar, egress shown by default — all inline, no new scripts.
+  std::string json = small_report_json();
+  std::string html = report_html(json, "", HtmlOptions{});
+  EXPECT_NE(html.find("var SIDES = [\"egress\", \"ingress\"]"),
+            std::string::npos);
+  EXPECT_NE(html.find("show(\"egress\")"), std::string::npos)
+      << "egress pane must be the default";
+  EXPECT_NE(html.find("no egress-queue contention on any critical path"),
+            std::string::npos);
+  EXPECT_NE(html.find("no ingress fan-in contention on any critical path"),
+            std::string::npos);
+  EXPECT_EQ(count_substr(html, "<script"), 2u);
+  EXPECT_EQ(html.find("src="), std::string::npos);
+  EXPECT_EQ(html.find("href="), std::string::npos);
+}
+
 TEST(Html, DiffPageEmbedsBothReportsAndLabels) {
   std::string json = small_report_json();
   HtmlOptions opts;
@@ -111,7 +129,7 @@ TEST(Html, EscapesLabelsAndRefreshMeta) {
   opts.title = "a<b&\"c";
   opts.label_a = "x<y";
   opts.refresh_seconds = 2;
-  std::string html = report_html("{\"schema\":\"tlsreport-v1\",\"jobs\":[]}\n",
+  std::string html = report_html("{\"schema\":\"tlsreport-v2\",\"jobs\":[]}\n",
                                  "", opts);
   EXPECT_EQ(html.find("a<b"), std::string::npos);
   EXPECT_NE(html.find("a&lt;b&amp;&quot;c"), std::string::npos);
@@ -124,7 +142,7 @@ TEST(Html, JsonScriptEscapeForeclosesScriptTermination) {
   // A hostile label inside diff JSON must not be able to close the script
   // block early.
   std::string json =
-      "{\"schema\":\"tlsreport-diff-v1\",\"a\":\"</script><script>\","
+      "{\"schema\":\"tlsreport-diff-v2\",\"a\":\"</script><script>\","
       "\"b\":\"b\",\"jobs\":[]}\n";
   std::string html = report_html(json, "", HtmlOptions{});
   EXPECT_EQ(html.find("</script><script>"), std::string::npos);
@@ -237,6 +255,60 @@ TEST(ReportCliFollow, RendersGrowingTraceViaHook) {
   ASSERT_EQ(batch.code, 0) << batch.err;
   EXPECT_EQ(read_file(json), read_file(json_batch));
   EXPECT_NE(page.find(read_file(json_batch)), std::string::npos);
+}
+
+TEST(ReportCliFollow, CarriesHealthTrailerIntoBannerAndJson) {
+  // A sampled capture (tlsim --trace-sample) writes a #health trailer;
+  // following that file must surface the trailer in the final JSON's
+  // trace_health object and as the dashboard's incomplete-trace banner
+  // plus the sampling note.
+  Tracer t;
+  t.set_sample_every(Cat::kQdisc, 2);  // what --trace-sample qdisc=2 sets
+  for (std::int64_t iter = 0; iter < 2; ++iter) {
+    sim::Time base{iter * 10000};
+    t.worker_compute(base + sim::Time{0}, net::HostId{1}, 0, 0, iter,
+                     sim::Time{200});
+    t.barrier_enter(base + sim::Time{100}, 0, 0, iter);
+    t.barrier_release(base + sim::Time{1100}, 0, 0, iter, sim::Time{1000});
+  }
+  for (int i = 0; i < 4; ++i) {  // every-2nd sampled out: 2 excluded
+    t.band_service(sim::Time{500 + i}, net::HostId{0}, net::BandId{0},
+                   net::Bytes{10});
+  }
+  t.set_max_events(t.events().size());  // cap reached: next record drops
+  t.band_service(sim::Time{600}, net::HostId{0}, net::BandId{0},
+                 net::Bytes{10});
+  std::string csv = trace_csv(t);
+  ASSERT_NE(csv.find("#health,dropped,total,1"), std::string::npos) << csv;
+  ASSERT_NE(csv.find("#health,sampled,qdisc,2"), std::string::npos) << csv;
+
+  fs::path dir = fs::path(testing::TempDir()) / "tls_cli_follow_health";
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  fs::path trace = dir / "trace.csv";
+  fs::path html = dir / "live.html";
+  fs::path json = dir / "final.json";
+  std::ofstream(trace, std::ios::binary) << csv;
+
+  CliRun r = report_cli({"--follow", trace.string(), "--html", html.string(),
+                         "--json", json.string(), "--poll-ms", "1000",
+                         "--idle-polls", "1", "--quiet"});
+  ASSERT_EQ(r.code, 0) << r.err;
+
+  std::string doc = read_file(json);
+  EXPECT_NE(doc.find("\"trace_health\":{\"dropped_total\":1"),
+            std::string::npos)
+      << doc;
+  EXPECT_NE(doc.find("\"sampled_out_total\":2"), std::string::npos) << doc;
+
+  std::string page = read_file(html);
+  ASSERT_FALSE(page.empty());
+  // The banner and note are rendered client-side from the embedded JSON;
+  // the page must carry both the renderer strings and the health object.
+  EXPECT_NE(page.find("WARNING: trace is incomplete"), std::string::npos);
+  EXPECT_NE(page.find("capture sampling excluded"), std::string::npos);
+  EXPECT_NE(page.find("\"trace_health\":{\"dropped_total\":1"),
+            std::string::npos);
 }
 
 TEST(ReportCliFollow, UsageErrors) {

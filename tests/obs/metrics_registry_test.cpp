@@ -133,10 +133,36 @@ TEST(Registry, TimeseriesCsvIsExactAndOrdered) {
             "1000,wait_ns.sum,hist,-1,4,-1,30\n"
             "1000,wait_ns.min,hist,-1,4,-1,10\n"
             "1000,wait_ns.max,hist,-1,4,-1,20\n"
-            // Both quantile ranks (floor(q*2) clamped to 1) land in the
-            // 10-sample's bucket, whose upper edge is 15.
+            // All three quantile ranks (floor(q*2) clamped to 1) land in
+            // the 10-sample's bucket [8,16); interpolation spans lo=10
+            // (clamped to min) to hi=15 with one sample, so pos/count = 1.
             "1000,wait_ns.p50,hist,-1,4,-1,15\n"
+            "1000,wait_ns.p95,hist,-1,4,-1,15\n"
             "1000,wait_ns.p99,hist,-1,4,-1,15\n");
+}
+
+TEST(Histogram, QuantileInterpolatesWithinBucket) {
+  // 1..8 across four buckets: rank arithmetic and the within-bucket
+  // linear interpolation are exact, hand-computed values.
+  Histogram h;
+  for (std::int64_t v = 1; v <= 8; ++v) h.record(v);
+  // rank 4 lands in bucket [4,8) at position 1 of 4: 4 + 3*1/4 = 4.
+  EXPECT_EQ(h.quantile(0.5), 4);
+  // rank 7 is position 4 of 4 in the same bucket: 4 + 3*4/4 = 7.
+  EXPECT_EQ(h.quantile(0.95), 7);
+  EXPECT_EQ(h.quantile(0.99), 7);
+  // Extremes clamp to the observed min and max, not bucket edges.
+  EXPECT_EQ(h.quantile(0.0), 1);
+  EXPECT_EQ(h.quantile(1.0), 8);
+
+  // Identical samples collapse lo == hi: every quantile is the value.
+  Histogram flat;
+  for (int i = 0; i < 100; ++i) flat.record(10);
+  EXPECT_EQ(flat.quantile(0.5), 10);
+  EXPECT_EQ(flat.quantile(0.99), 10);
+
+  Histogram empty;
+  EXPECT_EQ(empty.quantile(0.5), 0);
 }
 
 }  // namespace

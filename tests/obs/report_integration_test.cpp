@@ -134,6 +134,22 @@ TEST(ReportConservation, SegmentsSumExactlyToBarrierWait) {
     EXPECT_EQ(by_kind[3], r.fan_in_ns);
     EXPECT_EQ(by_kind[4], r.other_ns);
 
+    // The fan-in sub-attribution partitions fan_in exactly, and the
+    // per-segment split points reproduce the iteration fields.
+    EXPECT_EQ(r.fan_in_wait_ns + r.fan_in_ser_ns, r.fan_in_ns)
+        << "job " << r.job << " iter " << r.iteration;
+    sim::Time wait_from_segments{0};
+    for (const obs::PathSegment& s : r.segments) {
+      if (s.kind == obs::SegmentKind::kFanIn) {
+        ASSERT_GE(s.fan_in_wait_end, s.begin);
+        ASSERT_LE(s.fan_in_wait_end, s.end);
+        wait_from_segments += s.fan_in_wait_end - s.begin;
+      } else {
+        EXPECT_EQ(s.fan_in_wait_end, tls::sim::Time{-1});
+      }
+    }
+    EXPECT_EQ(wait_from_segments, r.fan_in_wait_ns);
+
     obs::JobSummary& t = totals[r.job];
     t.total_wait_ns += r.barrier_wait;
     t.compute_ns += r.compute_ns;
@@ -141,12 +157,16 @@ TEST(ReportConservation, SegmentsSumExactlyToBarrierWait) {
     t.serialization_ns += r.serialization_ns;
     t.fan_in_ns += r.fan_in_ns;
     t.other_ns += r.other_ns;
+    t.fan_in_wait_ns += r.fan_in_wait_ns;
+    t.fan_in_ser_ns += r.fan_in_ser_ns;
     for (const obs::BlameEntry& b : r.blame) {
       EXPECT_GT(b.bytes, 0);
+      const bool egress = b.side == obs::BlameSide::kEgress;
       if (b.culprit_job == r.job) {
-        t.self_blame_bytes += b.bytes;
+        (egress ? t.self_blame_bytes : t.self_ingress_blame_bytes) += b.bytes;
       } else {
-        t.cross_job_blame_bytes += b.bytes;
+        (egress ? t.cross_job_blame_bytes : t.cross_job_ingress_blame_bytes) +=
+            b.bytes;
       }
     }
   }
@@ -162,6 +182,11 @@ TEST(ReportConservation, SegmentsSumExactlyToBarrierWait) {
     EXPECT_EQ(js.other_ns, t.other_ns);
     EXPECT_EQ(js.cross_job_blame_bytes, t.cross_job_blame_bytes);
     EXPECT_EQ(js.self_blame_bytes, t.self_blame_bytes);
+    EXPECT_EQ(js.fan_in_wait_ns, t.fan_in_wait_ns);
+    EXPECT_EQ(js.fan_in_ser_ns, t.fan_in_ser_ns);
+    EXPECT_EQ(js.cross_job_ingress_blame_bytes,
+              t.cross_job_ingress_blame_bytes);
+    EXPECT_EQ(js.self_ingress_blame_bytes, t.self_ingress_blame_bytes);
   }
 }
 
@@ -186,7 +211,9 @@ TEST(ReportConservation, BlameBytesBracketedByIndependentRecount) {
 
   std::int64_t reported = 0;
   for (const obs::IterationReport& r : report.iterations) {
-    for (const obs::BlameEntry& b : r.blame) reported += b.bytes;
+    for (const obs::BlameEntry& b : r.blame) {
+      if (b.side == obs::BlameSide::kEgress) reported += b.bytes;
+    }
   }
   ASSERT_GT(reported, 0) << "scenario no longer contends";
 
@@ -207,6 +234,58 @@ TEST(ReportConservation, BlameBytesBracketedByIndependentRecount) {
       }
       for (const obs::TraceEvent& e : events) {
         if (e.kind != obs::EventKind::kChunkDequeue) continue;
+        if (e.host != s.host || e.flow == s.flow) continue;
+        if (e.at > begin && e.at < s.end) interior += e.bytes;
+        if (e.at >= begin && e.at <= s.end) closed += e.bytes;
+      }
+    }
+  }
+  EXPECT_LE(interior, reported);
+  EXPECT_LE(reported, closed);
+}
+
+TEST(ReportConservation, IngressBlameBytesBracketedByIndependentRecount) {
+  // Mirror of the egress bracket for the ingress side: for every fan-in
+  // segment on a critical path, recount the foreign deliver bytes at the
+  // receiving host by *time* window (true arrival recovered from the
+  // deliver's residence payload). Strict-interior <= reported <= closed.
+  fs::path dir = fs::path(testing::TempDir()) / "tls_report_irecount";
+  fs::remove_all(dir);
+  exp::ExperimentConfig c = contended_scenario(core::PolicyKind::kFifo);
+  fs::create_directories(dir);
+  c.obs.trace_csv_path = (dir / "trace.csv").string();
+  exp::run_experiment(c);
+  std::vector<obs::TraceEvent> events;
+  std::string error;
+  ASSERT_TRUE(obs::read_trace_csv_file((dir / "trace.csv").string(), &events,
+                                       &error))
+      << error;
+  obs::RunReport report = obs::analyze(events);
+
+  std::int64_t reported = 0;
+  for (const obs::IterationReport& r : report.iterations) {
+    for (const obs::BlameEntry& b : r.blame) {
+      if (b.side == obs::BlameSide::kIngress) reported += b.bytes;
+    }
+  }
+  ASSERT_GT(reported, 0) << "scenario no longer contends at the ingress port";
+
+  std::int64_t interior = 0, closed = 0;
+  for (const obs::IterationReport& r : report.iterations) {
+    for (const obs::PathSegment& s : r.segments) {
+      if (s.kind != obs::SegmentKind::kFanIn) continue;
+      // The fan-in segment ends at the critical chunk's deliver; its true
+      // arrival is deliver minus residence (the deliver event's dur).
+      sim::Time begin = s.begin;
+      for (const obs::TraceEvent& e : events) {
+        if (e.kind == obs::EventKind::kIngressDeliver && e.host == s.host &&
+            e.flow == s.flow && e.at == s.end) {
+          begin = e.at - e.dur;
+          break;
+        }
+      }
+      for (const obs::TraceEvent& e : events) {
+        if (e.kind != obs::EventKind::kIngressDeliver) continue;
         if (e.host != s.host || e.flow == s.flow) continue;
         if (e.at > begin && e.at < s.end) interior += e.bytes;
         if (e.at >= begin && e.at <= s.end) closed += e.bytes;
@@ -258,6 +337,23 @@ TEST(ReportDiff, TlsOneEliminatesPrioritizedJobsCrossJobBlame) {
   EXPECT_NE(text.find("[queueing-behind-other-jobs eliminated]"),
             std::string::npos)
       << text;
+
+  // The ingress side tells the complementary story: TLs-One schedules the
+  // egress port only, so it reshuffles — not removes — fan-in contention.
+  // Under FIFO the prioritized job absorbs cross-job deliver bytes at its
+  // PS host; the deprioritized job sees none. Under TLs-One job 1's bursts
+  // land behind job 0's, so job 1 *gains* ingress blame; the reverse diff
+  // (tls-one -> fifo) then certifies that contention eliminated.
+  EXPECT_GT(fifo.jobs[0].cross_job_ingress_blame_bytes, 0)
+      << "FIFO baseline no longer contends at the ingress port";
+  EXPECT_EQ(fifo.jobs[1].cross_job_ingress_blame_bytes, 0);
+  EXPECT_GT(one.jobs[1].cross_job_ingress_blame_bytes, 0)
+      << "TLs-One no longer displaces fan-in contention onto job 1";
+
+  obs::DiffReport rev = obs::diff_reports(one, fifo, "tls-one", "fifo");
+  std::string rev_text = obs::diff_text(rev);
+  EXPECT_NE(rev_text.find("[fan-in contention eliminated]"), std::string::npos)
+      << rev_text;
 }
 
 TEST(ReportDeterminism, RepeatedSeededRunsWriteIdenticalReports) {
@@ -317,7 +413,7 @@ TEST(ReportArtifacts, JsonIsWellFormedAndIntegerOnly) {
   std::string json = read_file(dir / "report.json");
   ASSERT_FALSE(json.empty());
   EXPECT_EQ(json.front(), '{');
-  EXPECT_NE(json.find("\"schema\":\"tlsreport-v1\""), std::string::npos);
+  EXPECT_NE(json.find("\"schema\":\"tlsreport-v2\""), std::string::npos);
   // No string payload contains braces/brackets, so balance is structural.
   EXPECT_EQ(std::count(json.begin(), json.end(), '{'),
             std::count(json.begin(), json.end(), '}'));

@@ -87,8 +87,20 @@ void emit_iteration(Tracer& t, std::int32_t job, std::int64_t iter,
                   net::Bytes{6000}, sim::Time{200});
   t.ingress_arrive(at(900), w, job, net::BandId{0}, model, 0,
                    net::Bytes{6000});
+  // Fan-in contention at the receiving worker: the foreign-job and
+  // background chunks are delivered ahead of the model chunk inside its
+  // arrive..deliver window, exercising the ingress blame lane (and its
+  // retirement) in both engines.
+  t.ingress_arrive(at(920), w, 1 - job, net::BandId{2}, foreign, 0,
+                   net::Bytes{7777});
+  t.ingress_deliver(at(960), w, 1 - job, net::BandId{2}, foreign, 0,
+                    net::Bytes{7777}, sim::Time{10}, sim::Time{40});
+  t.ingress_arrive(at(980), w, /*job=*/-1, net::BandId{2}, bg, 0,
+                   net::Bytes{1111});
+  t.ingress_deliver(at(1000), w, /*job=*/-1, net::BandId{2}, bg, 0,
+                    net::Bytes{1111}, sim::Time{5}, sim::Time{20});
   t.ingress_deliver(at(1100), w, job, net::BandId{0}, model, 0,
-                    net::Bytes{6000}, sim::Time{0}, sim::Time{200});
+                    net::Bytes{6000}, sim::Time{100}, sim::Time{200});
   t.flow_end(at(1100), ps, w, job, 0, model, net::Bytes{6000}, iter,
              sim::Time{600});
   t.barrier_release(at(1100), job, /*worker=*/0, iter, sim::Time{1000});
@@ -115,6 +127,13 @@ TEST(Streaming, MatchesBatchOnHandBuiltTrace) {
   EXPECT_EQ(report_text(batch), report_text(streaming));
   EXPECT_EQ(report_csv(batch), report_csv(streaming));
   EXPECT_EQ(report_json(batch), report_json(streaming));
+  // The fixture contends on both sides of the port — the equivalence
+  // above must be witnessing nonzero blame on each, not trivially empty.
+  ASSERT_EQ(batch.jobs.size(), 2u);
+  for (const JobSummary& js : batch.jobs) {
+    EXPECT_GT(js.cross_job_blame_bytes, 0) << "job " << js.job;
+    EXPECT_GT(js.cross_job_ingress_blame_bytes, 0) << "job " << js.job;
+  }
 }
 
 TEST(Streaming, MatchesBatchWithStragglerIterations) {

@@ -49,6 +49,34 @@ TEST(ParseCategories, EveryCatRoundTripsThroughItsName) {
   }
 }
 
+TEST(ParseSampling, AcceptsTermsAndRejectsBadOnes) {
+  std::uint32_t every[kNumCats] = {};
+  std::string err;
+  ASSERT_TRUE(parse_sampling("qdisc=16, htb=8", every, &err)) << err;
+  EXPECT_EQ(every[cat_index(Cat::kQdisc)], 16u);
+  EXPECT_EQ(every[cat_index(Cat::kHtb)], 8u);
+
+  EXPECT_FALSE(parse_sampling("qdisc=0", every, &err));
+  EXPECT_NE(err.find("qdisc=0"), std::string::npos);
+  err.clear();
+  EXPECT_FALSE(parse_sampling("", every, &err));
+  EXPECT_EQ(err, "empty sampling spec");
+}
+
+TEST(ParseSampling, UnknownCategoryErrorListsTheKnownNames) {
+  // The CLI message must be self-serve: a typo'd category name comes back
+  // with the full list of valid ones (same helper parse_categories uses).
+  std::uint32_t every[kNumCats] = {};
+  std::string err;
+  EXPECT_FALSE(parse_sampling("qdsic=16", every, &err));
+  EXPECT_NE(err.find("qdsic=16"), std::string::npos);
+  for (const char* name : {"chunk", "qdisc", "htb", "rotation", "barrier",
+                           "straggler", "sample", "flow", "ingress",
+                           "compute"}) {
+    EXPECT_NE(err.find(name), std::string::npos) << name << " in: " << err;
+  }
+}
+
 TEST(Tracer, MaskFiltersEventLog) {
   Tracer t(static_cast<std::uint32_t>(Cat::kBarrier));
   t.chunk_enqueue(tls::sim::Time{10}, tls::net::HostId{0}, -1, tls::net::BandId{1}, 42, 0, tls::net::Bytes{1000});  // filtered out

@@ -174,7 +174,7 @@ TEST(Cli, ReportFlagsWriteAttributionArtifacts) {
   EXPECT_NE(first_line.find("job,iteration"), std::string::npos);
   std::ifstream json(prefix + ".json");
   std::getline(json, first_line);
-  EXPECT_NE(first_line.find("\"schema\":\"tlsreport-v1\""), std::string::npos);
+  EXPECT_NE(first_line.find("\"schema\":\"tlsreport-v2\""), std::string::npos);
   for (const char* suffix : {".txt", ".csv", ".json"}) {
     std::remove((prefix + suffix).c_str());
   }

@@ -71,10 +71,10 @@ if command -v python3 >/dev/null 2>&1; then
   python3 - "$smoke_dir/fifo.json" "$smoke_dir/diff.json" <<'PYEOF'
 import json, sys
 report = json.load(open(sys.argv[1]))
-assert report["schema"] == "tlsreport-v1", report.get("schema")
+assert report["schema"] == "tlsreport-v2", report.get("schema")
 assert report["jobs"], "report has no job rollups"
 diff = json.load(open(sys.argv[2]))
-assert diff["schema"] == "tlsreport-diff-v1", diff.get("schema")
+assert diff["schema"] == "tlsreport-diff-v2", diff.get("schema")
 print(f"tlsreport OK: {len(report['jobs'])} jobs, "
       f"{len(diff['jobs'])} diffed")
 PYEOF
@@ -114,7 +114,7 @@ for path in sys.argv[1:]:
     start = page.index(marker) + len(marker)
     end = page.index("</script>", start)
     doc = json.loads(page[start:end].replace("\\u003c", "<"))
-    assert doc["schema"] in ("tlsreport-v1", "tlsreport-diff-v1"), path
+    assert doc["schema"] in ("tlsreport-v2", "tlsreport-diff-v2"), path
 print("dashboard OK: self-contained, embedded JSON parses")
 PYEOF
 else
@@ -153,10 +153,11 @@ if command -v python3 >/dev/null 2>&1; then
 import json, sys
 doc = json.load(open(sys.argv[1]))
 assert doc["schema"] == "scenario-v1", doc.get("schema")
-assert doc["jobs"]["total"] == len(doc["jobs_detail"]) == 6, doc["jobs"]
-assert doc["jobs"]["completed"] + doc["jobs"]["evicted"] \
-    + doc["jobs"]["rejected"] + doc["jobs"]["unfinished"] == 6
-print(f"scenario OK: {doc['jobs']['completed']} completed, "
+counts = doc["counts"]
+assert counts["jobs"] == len(doc["jobs_detail"]) == 6, counts
+assert counts["completed"] + counts["evicted"] \
+    + counts["rejected"] + counts["unfinished"] == 6
+print(f"scenario OK: {counts['completed']} completed, "
       f"horizon {doc['horizon_s']:.1f} s")
 PYEOF
 else
@@ -169,6 +170,14 @@ env TLS_BENCH_SIMCORE_OPS=2000 TLS_BENCH_SIMCORE_HOSTS=64 TLS_BENCH_ITERS=2 \
   TLS_BENCH_JSON_DIR="$smoke_dir" ./build-asan/bench/bench_simcore >/dev/null
 [ -s "$smoke_dir/BENCH_simcore.json" ] \
   || { echo "missing BENCH_simcore.json"; exit 1; }
+
+echo "==> [2g/4] bench_diff: perf trajectory vs committed BENCH baselines"
+# Non-fatal: smoke runs use tiny iteration counts (workload-changed rows)
+# and ASan wall clock is noisy; the table is for eyeballs, the exit code
+# only warns.
+cmake --build --preset debug-asan -j "$jobs" --target bench_diff
+./build-asan/tools/bench_diff . "$smoke_dir" --max-regress-pct 15 \
+  || echo "bench_diff: regression worse than 15% (non-fatal; see table above)"
 
 echo "==> [3/4] debug-tsan: tls::runtime pool/runner under ThreadSanitizer"
 cmake --preset debug-tsan
